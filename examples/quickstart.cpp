@@ -1,0 +1,65 @@
+// Quickstart: trace streamlines through an analytic field and export
+// them for ParaView/VisIt.
+//
+//   1. pick a vector field (here: the chaotic ABC flow),
+//   2. sample it onto a block-decomposed dataset (as simulation output
+//      would arrive),
+//   3. seed and trace streamlines with the serial API,
+//   4. write the polylines to legacy VTK.
+//
+// Usage: quickstart [output_dir]   (default ./output)
+
+#include <filesystem>
+#include <iostream>
+
+#include "core/analytic_fields.hpp"
+#include "core/seeds.hpp"
+#include "core/tracer.hpp"
+#include "io/vtk_writer.hpp"
+
+int main(int argc, char** argv) {
+  const std::filesystem::path out_dir = argc > 1 ? argv[1] : "output";
+
+  // 1. The field.
+  auto field = std::make_shared<sf::ABCField>();
+
+  // 2. A 4x4x4-block dataset sampled at 17^3 nodes per block with a
+  //    2-cell ghost layer — the shape large simulation data arrives in.
+  const sf::BlockDecomposition decomp(field->bounds(), 4, 4, 4);
+  const auto dataset =
+      std::make_shared<sf::BlockedDataset>(field, decomp, 17, 2);
+
+  // 3. Seed a sparse lattice and trace.
+  const auto seeds = sf::uniform_grid_seeds(field->bounds(), 6, 6, 6);
+
+  sf::IntegratorParams integrator;  // adaptive Dormand-Prince 5(4)
+  integrator.tol = 1e-7;
+  sf::TraceLimits limits;
+  limits.max_time = 12.0;
+  limits.max_steps = 4000;
+
+  sf::PolylineRecorder recorder(seeds.size());
+  const auto particles =
+      sf::trace_all(*dataset, seeds, integrator, limits, &recorder);
+
+  // 4. Export.
+  const auto path = out_dir / "quickstart_streamlines.vtk";
+  sf::write_vtk_polylines(path, recorder.lines(), "ABC flow streamlines");
+
+  std::size_t steps = 0;
+  int by_status[6] = {};
+  for (const sf::Particle& p : particles) {
+    steps += p.steps;
+    by_status[static_cast<int>(p.status)]++;
+  }
+  std::cout << "traced " << particles.size() << " streamlines ("
+            << steps << " steps total)\n";
+  for (int s = 1; s < 6; ++s) {
+    if (by_status[s] > 0) {
+      std::cout << "  " << sf::to_string(static_cast<sf::ParticleStatus>(s))
+                << ": " << by_status[s] << '\n';
+    }
+  }
+  std::cout << "wrote " << path.string() << '\n';
+  return 0;
+}

@@ -1,0 +1,84 @@
+// Thermal-hydraulics scenario (Figures 3 and 4): streamlines showing how
+// water from twin inlets mixes in a box, and a stream surface seeded as
+// a circle around one inlet showing the turbulence in the flow leaving
+// it.  Adds an FTLE slice to expose the recirculation zones' transport
+// barriers (the Lagrangian analysis §2.1 motivates).
+//
+// Usage: thermal_mixing [output_dir]   (default ./output)
+
+#include <filesystem>
+#include <iostream>
+
+#include "analysis/ftle.hpp"
+#include "analysis/stream_surface.hpp"
+#include "core/analytic_fields.hpp"
+#include "core/seeds.hpp"
+#include "core/tracer.hpp"
+#include "io/obj_writer.hpp"
+#include "io/vtk_writer.hpp"
+
+int main(int argc, char** argv) {
+  const std::filesystem::path out_dir = argc > 1 ? argv[1] : "output";
+
+  auto field = std::make_shared<sf::ThermalHydraulicsField>();
+  const auto& prm = field->params();
+
+  // Figure 3: streamlines seeded uniformly through the volume, showing
+  // areas of high velocity, stagnation and recirculation.
+  {
+    const sf::BlockDecomposition decomp(field->bounds(), 8, 8, 8);
+    const auto dataset =
+        std::make_shared<sf::BlockedDataset>(field, decomp, 9, 2);
+    const auto seeds = sf::uniform_grid_seeds(field->bounds(), 8, 8, 8);
+    sf::IntegratorParams integrator;
+    integrator.tol = 1e-6;
+    sf::TraceLimits limits;
+    limits.max_time = 6.0;
+    limits.max_steps = 3000;
+    sf::PolylineRecorder recorder(seeds.size());
+    sf::trace_all(*dataset, seeds, integrator, limits, &recorder);
+    const auto path = out_dir / "thermal_volume_streamlines.vtk";
+    sf::write_vtk_polylines(path, recorder.lines(),
+                            "thermal hydraulics mixing");
+    std::cout << "wrote " << path.string() << '\n';
+  }
+
+  // Figure 4: a stream surface from a circle of seeds immediately around
+  // inlet 1 — with dynamic mid-surface seed insertion where the front
+  // stretches.
+  {
+    const auto curve = sf::circle_seeds(prm.inlet1 + sf::Vec3{0.02, 0, 0},
+                                        {1, 0, 0}, prm.inlet_radius, 64);
+    sf::StreamSurfaceParams sprm;
+    sprm.ring_dt = 0.01;
+    sprm.max_rings = 150;
+    sprm.split_distance = 0.02;
+    sprm.integrator.tol = 1e-6;
+    const sf::StreamSurface surface =
+        sf::compute_stream_surface(*field, curve, sprm);
+    const auto path = out_dir / "thermal_inlet_surface.obj";
+    sf::write_obj(path, surface.vertices, surface.triangles);
+    std::cout << "wrote " << path.string() << " (" << surface.rings
+              << " rings, " << surface.vertices.size() << " vertices, "
+              << surface.inserted_streamlines
+              << " dynamically inserted streamlines)\n";
+  }
+
+  // FTLE slice at mid-height: ridges mark the recirculation zones that
+  // isolate regions from heat exchange.
+  {
+    sf::FtleParams fprm;
+    fprm.region = sf::AABB{{0.02, 0.02, 0.45}, {0.98, 0.98, 0.45}};
+    fprm.nx = 48;
+    fprm.ny = 48;
+    fprm.nz = 1;
+    fprm.horizon = 4.0;
+    fprm.integrator.tol = 1e-5;
+    const sf::FtleField ftle = sf::compute_ftle(*field, fprm);
+    const auto path = out_dir / "thermal_ftle_slice.vtk";
+    sf::write_vtk_scalar_grid(path, ftle.region, ftle.nx, ftle.ny, ftle.nz,
+                              ftle.values, "ftle");
+    std::cout << "wrote " << path.string() << '\n';
+  }
+  return 0;
+}

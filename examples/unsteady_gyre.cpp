@@ -1,0 +1,90 @@
+// Unsteady analysis end to end (the §8 pathline extension): build
+// time-sliced block data from the double-gyre flow, run parallel
+// Load-On-Demand pathlines over the spacetime blocks, and compute
+// forward/backward FTLE fields whose ridges are the flow's Lagrangian
+// coherent structures.
+//
+// Usage: unsteady_gyre [output_dir]   (default ./output)
+
+#include <filesystem>
+#include <iostream>
+
+#include "analysis/ftle.hpp"
+#include "analysis/pathline_lod.hpp"
+#include "analysis/time_field.hpp"
+#include "core/seeds.hpp"
+#include "io/vtk_writer.hpp"
+
+namespace {
+
+// One frozen time snapshot of the gyre, used to build slice datasets.
+class FrozenGyre final : public sf::VectorField {
+ public:
+  explicit FrozenGyre(double t) : t_(t) {}
+  bool sample(const sf::Vec3& p, sf::Vec3& out) const override {
+    return gyre_.sample(p, t_, out);
+  }
+  sf::AABB bounds() const override { return gyre_.bounds(); }
+
+ private:
+  sf::DoubleGyreField gyre_;
+  double t_;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::filesystem::path out_dir = argc > 1 ? argv[1] : "output";
+  const sf::DoubleGyreField gyre;
+  const double horizon = 10.0;  // one oscillation period
+
+  // Time-sliced block data, as a simulation would write it: 21 slices
+  // of an 8x8x1 block decomposition.
+  const sf::BlockDecomposition decomp(gyre.bounds(), 8, 8, 1);
+  std::vector<sf::DatasetPtr> slices;
+  std::vector<double> times;
+  for (int i = 0; i <= 20; ++i) {
+    const double t = horizon * i / 20.0;
+    slices.push_back(std::make_shared<sf::BlockedDataset>(
+        std::make_shared<FrozenGyre>(t), decomp, 17, 2));
+    times.push_back(t);
+  }
+
+  // Parallel pathlines over the spacetime blocks.
+  {
+    auto seeds = sf::uniform_grid_seeds(
+        sf::AABB{{0.1, 0.1, 0}, {1.9, 0.9, 0}}, 24, 12, 1);
+    sf::PathlineExperimentConfig cfg;
+    cfg.runtime.num_ranks = 16;
+    cfg.runtime.cache_blocks = 48;
+    cfg.limits.max_time = horizon;
+    cfg.limits.max_steps = 20000;
+    const sf::RunMetrics m = sf::run_pathline_experiment(
+        cfg, decomp, slices, times, seeds, /*modelled_block_bytes=*/0);
+    std::cout << "parallel pathlines: " << m.particles.size()
+              << " traced over " << slices.size() << " slices, "
+              << m.total_blocks_loaded() << " spacetime block loads, E = "
+              << m.block_efficiency() << '\n';
+  }
+
+  // FTLE of the continuous field, forward and backward: repelling and
+  // attracting LCS.
+  const sf::TimeSliceField sliced(slices, times);
+  for (const double sign : {+1.0, -1.0}) {
+    sf::FtleParams prm;
+    prm.region = sf::AABB{{0.02, 0.02, 0}, {1.98, 0.98, 0}};
+    prm.nx = 96;
+    prm.ny = 48;
+    prm.nz = 1;
+    prm.t0 = sign > 0 ? 0.0 : horizon;
+    prm.horizon = sign * horizon;
+    prm.integrator.tol = 1e-6;
+    const sf::FtleField f = sf::compute_ftle(sliced, prm);
+    const auto path = out_dir / (sign > 0 ? "gyre_ftle_forward.vtk"
+                                          : "gyre_ftle_backward.vtk");
+    sf::write_vtk_scalar_grid(path, f.region, f.nx, f.ny, f.nz, f.values,
+                              "ftle");
+    std::cout << "wrote " << path.string() << '\n';
+  }
+  return 0;
+}

@@ -1,0 +1,71 @@
+#include "algorithms/driver.hpp"
+
+#include <algorithm>
+
+#include "algorithms/load_on_demand.hpp"
+#include "algorithms/static_alloc.hpp"
+
+namespace sf {
+
+const char* to_string(Algorithm a) {
+  switch (a) {
+    case Algorithm::kStaticAllocation: return "static-allocation";
+    case Algorithm::kLoadOnDemand: return "load-on-demand";
+    case Algorithm::kHybridMasterSlave: return "hybrid-master-slave";
+  }
+  return "unknown";
+}
+
+RunMetrics run_experiment(const ExperimentConfig& config,
+                          const BlockDecomposition& decomp,
+                          const BlockSource& source,
+                          std::span<const Vec3> seeds) {
+  std::vector<Particle> rejected;
+  std::vector<Particle> particles = make_particles(decomp, seeds, rejected);
+  const auto total_active = static_cast<std::uint32_t>(particles.size());
+  const int num_ranks = config.runtime.num_ranks;
+
+  ProgramFactory factory;
+  switch (config.algorithm) {
+    case Algorithm::kStaticAllocation:
+      factory = make_static_allocation(
+          &decomp,
+          partition_by_block_owner(decomp, num_ranks, std::move(particles)),
+          total_active);
+      break;
+    case Algorithm::kLoadOnDemand:
+      factory = make_load_on_demand(
+          &decomp,
+          partition_evenly_by_block(num_ranks, decomp, std::move(particles)));
+      break;
+    case Algorithm::kHybridMasterSlave: {
+      const HybridLayout layout =
+          HybridLayout::make(num_ranks, config.hybrid.slaves_per_master);
+      // Masters get equal seed shares *grouped by block* (same locality
+      // trick as §4.2's seed split): each master group then only touches
+      // the blocks its own seeds and their streamlines reach, instead of
+      // every group re-loading the whole dataset.
+      factory = make_hybrid(
+          &decomp,
+          partition_evenly_by_block(layout.num_masters, decomp,
+                                    std::move(particles)),
+          total_active, config.hybrid);
+      break;
+    }
+  }
+
+  SimRuntime runtime(config.runtime, &decomp, &source, config.integrator,
+                     config.limits);
+  RunMetrics metrics = runtime.run(factory);
+
+  if (!metrics.failed_oom && !rejected.empty()) {
+    metrics.particles.insert(metrics.particles.end(), rejected.begin(),
+                             rejected.end());
+    std::sort(
+        metrics.particles.begin(), metrics.particles.end(),
+        [](const Particle& a, const Particle& b) { return a.id < b.id; });
+  }
+  return metrics;
+}
+
+}  // namespace sf

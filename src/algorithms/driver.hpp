@@ -1,0 +1,42 @@
+#pragma once
+
+// Experiment driver: one call to run any of the three algorithms on a
+// dataset + seed set over the simulated machine, returning the metrics
+// the paper's figures plot.
+
+#include <span>
+#include <string>
+
+#include "algorithms/hybrid.hpp"
+#include "core/dataset.hpp"
+#include "core/tracer.hpp"
+#include "runtime/metrics.hpp"
+#include "runtime/sim_runtime.hpp"
+
+namespace sf {
+
+enum class Algorithm {
+  kStaticAllocation,
+  kLoadOnDemand,
+  kHybridMasterSlave,
+};
+
+const char* to_string(Algorithm a);
+
+struct ExperimentConfig {
+  Algorithm algorithm = Algorithm::kHybridMasterSlave;
+  SimRuntimeConfig runtime{};
+  IntegratorParams integrator{};
+  TraceLimits limits{};
+  HybridParams hybrid{};
+};
+
+// Run one experiment.  Seeds outside the domain terminate immediately and
+// are folded back into the result.  Throws std::invalid_argument on
+// nonsensical configurations (e.g. hybrid with one rank).
+RunMetrics run_experiment(const ExperimentConfig& config,
+                          const BlockDecomposition& decomp,
+                          const BlockSource& source,
+                          std::span<const Vec3> seeds);
+
+}  // namespace sf

@@ -1,0 +1,791 @@
+#include "algorithms/hybrid.hpp"
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <stdexcept>
+
+#include "core/rng.hpp"
+
+namespace sf {
+
+// ---------------------------------------------------------------------------
+// Layout
+// ---------------------------------------------------------------------------
+
+HybridLayout HybridLayout::make(int num_ranks, int slaves_per_master) {
+  if (num_ranks < 2) {
+    throw std::invalid_argument("HybridLayout: need at least 2 ranks");
+  }
+  if (slaves_per_master < 1) {
+    throw std::invalid_argument("HybridLayout: W >= 1");
+  }
+  HybridLayout layout;
+  layout.num_ranks = num_ranks;
+  // One master per W slaves, carved out of the allocation itself.
+  layout.num_masters =
+      std::clamp(num_ranks / (slaves_per_master + 1), 1, num_ranks - 1);
+  return layout;
+}
+
+int HybridLayout::master_of(int slave_rank) const {
+  const int s = slave_rank - num_masters;  // slave index
+  // Inverse of slaves_of's balanced contiguous split.
+  return static_cast<int>(
+      ((static_cast<std::int64_t>(s) + 1) * num_masters - 1) / num_slaves());
+}
+
+std::pair<int, int> HybridLayout::slaves_of(int master_rank) const {
+  const auto ns = static_cast<std::int64_t>(num_slaves());
+  const int first =
+      num_masters + static_cast<int>(ns * master_rank / num_masters);
+  const int last =
+      num_masters + static_cast<int>(ns * (master_rank + 1) / num_masters);
+  return {first, last};
+}
+
+namespace {
+
+std::size_t particles_resident_bytes(const std::vector<Particle>& ps,
+                                     const MachineModel& model) {
+  std::size_t n = 0;
+  for (const Particle& p : ps) n += resident_particle_bytes(p, model);
+  return n;
+}
+
+// ---------------------------------------------------------------------------
+// Slave
+// ---------------------------------------------------------------------------
+
+class HybridSlave final : public RankProgram {
+ public:
+  HybridSlave(const BlockDecomposition* decomp, int rank, int master,
+              HybridParams params)
+      : decomp_(decomp), rank_(rank), master_(master), params_(params) {}
+
+  void start(RankContext& ctx) override {
+    // Slaves begin idle; everything arrives from the master.  Do not
+    // report yet — the master hands out the initial allocation unasked.
+    (void)ctx;
+  }
+
+  void on_message(RankContext& ctx, Message msg) override {
+    if (auto* batch = std::get_if<ParticleBatch>(&msg.payload)) {
+      accept_particles(ctx, std::move(batch->particles));
+      try_start(ctx);
+      return;
+    }
+    auto* cmd = std::get_if<Command>(&msg.payload);
+    if (cmd == nullptr) return;
+
+    switch (cmd->type) {
+      case Command::Type::kAssign: {
+        // Assign_loaded / Assign_unloaded: integrate these seeds; load
+        // their blocks if we do not have them.
+        std::set<BlockId> blocks;
+        for (const Particle& p : cmd->particles) {
+          blocks.insert(decomp_->block_of(p.pos));
+        }
+        accept_particles(ctx, std::move(cmd->particles));
+        for (const BlockId b : blocks) {
+          request_if_needed(ctx, b);
+        }
+        try_start(ctx);
+        break;
+      }
+      case Command::Type::kLoad:
+        request_if_needed(ctx, cmd->block);
+        try_start(ctx);
+        break;
+      case Command::Type::kSendForce: {
+        // Mandatory migration of our particles in `block` to `target`.
+        std::vector<Particle> moving = pool_.drain_block(cmd->block);
+        ship_particles(ctx, cmd->target, cmd->block, std::move(moving));
+        reported_ = false;
+        try_start(ctx);
+        break;
+      }
+      case Command::Type::kSendHint: {
+        // Optional: offload particles waiting in *unloaded* hint blocks.
+        // If none are appropriate, ignore the hint (the autonomy rule).
+        for (const BlockId b : cmd->hint_blocks) {
+          if (ctx.block_resident(b) || ctx.block_pending(b)) continue;
+          std::vector<Particle> moving = pool_.drain_block(b);
+          if (!moving.empty()) {
+            ship_particles(ctx, cmd->target, b, std::move(moving));
+            reported_ = false;
+          }
+        }
+        try_start(ctx);
+        break;
+      }
+      case Command::Type::kTerminate:
+        finished_ = true;
+        break;
+    }
+  }
+
+  void on_block_loaded(RankContext& ctx, BlockId) override {
+    if (pending_loads_ > 0) --pending_loads_;
+    reported_ = false;
+    try_start(ctx);
+  }
+
+  void on_compute_done(RankContext& ctx) override {
+    Particle p = std::move(*in_flight_);
+    in_flight_.reset();
+    if (is_terminal(flight_.status)) {
+      done_.push_back(std::move(p));
+      ++terminated_delta_;
+    } else {
+      pool_.add(flight_.blocking_block, std::move(p));
+    }
+    reported_ = false;
+    try_start(ctx);
+  }
+
+  bool finished() const override { return finished_; }
+
+  void collect_particles(std::vector<Particle>& out) const override {
+    out.insert(out.end(), done_.begin(), done_.end());
+  }
+
+ private:
+  std::uint32_t workable(RankContext& ctx) const {
+    std::uint32_t n = 0;
+    for (const auto& [block, count] : pool_.census()) {
+      if (ctx.block_resident(block)) n += count;
+    }
+    return n;
+  }
+
+  void accept_particles(RankContext& ctx, std::vector<Particle> particles) {
+    for (Particle& p : particles) {
+      ctx.charge_particle_memory(static_cast<std::int64_t>(
+          resident_particle_bytes(p, ctx.model())));
+      pool_.add(decomp_->block_of(p.pos), std::move(p));
+    }
+    reported_ = false;
+  }
+
+  void ship_particles(RankContext& ctx, int target, BlockId block,
+                      std::vector<Particle> particles) {
+    if (particles.empty()) return;
+    ctx.charge_particle_memory(-static_cast<std::int64_t>(
+        particles_resident_bytes(particles, ctx.model())));
+    Message m;
+    m.payload = ParticleBatch{block, std::move(particles)};
+    ctx.send(target, std::move(m));
+  }
+
+  void request_if_needed(RankContext& ctx, BlockId b) {
+    if (b == kInvalidBlock || ctx.block_resident(b) || ctx.block_pending(b)) {
+      return;
+    }
+    ++pending_loads_;
+    ctx.request_block(b);
+  }
+
+  void send_status(RankContext& ctx, std::uint32_t workable_now) {
+    StatusUpdate s;
+    for (const auto& [block, count] : pool_.census()) {
+      s.queued_by_block.emplace_back(block, count);
+    }
+    s.loaded = ctx.resident_blocks();
+    for (const auto& [block, count] : pool_.census()) {
+      if (ctx.block_pending(block)) s.loading.push_back(block);
+    }
+    s.workable = workable_now;
+    s.terminated_delta = terminated_delta_;
+    terminated_delta_ = 0;
+    Message m;
+    m.payload = std::move(s);
+    ctx.send(master_, std::move(m));
+    reported_ = true;
+  }
+
+  void try_start(RankContext& ctx) {
+    if (finished_ || ctx.busy() || in_flight_.has_value()) return;
+
+    const BlockId runnable = pool_.first_block_where(
+        [&ctx](BlockId id) { return ctx.block_resident(id); });
+    if (runnable != kInvalidBlock) {
+      // Latency hiding (§4.3): report *before* advancing the last
+      // workable streamline so the master's reply overlaps the burst.
+      if (!reported_ && workable(ctx) == 1) send_status(ctx, 0);
+      in_flight_ = *pool_.take_from(runnable);
+      flight_ = advance_and_charge(ctx, *in_flight_);
+      ctx.begin_compute(
+          static_cast<double>(flight_.steps) * ctx.model().seconds_per_step,
+          flight_.steps);
+      return;
+    }
+
+    if (pending_loads_ > 0) return;  // work arrives when the load lands
+
+    // Out of work: tell the master (once per state change).
+    if (!reported_) send_status(ctx, 0);
+  }
+
+  const BlockDecomposition* decomp_;
+  int rank_;
+  int master_;
+  HybridParams params_;
+
+  ParticlePool pool_;
+  std::vector<Particle> done_;
+  std::optional<Particle> in_flight_;
+  AdvanceOutcome flight_{};
+  std::uint32_t terminated_delta_ = 0;
+  int pending_loads_ = 0;
+  bool reported_ = false;
+  bool finished_ = false;
+};
+
+// ---------------------------------------------------------------------------
+// Master
+// ---------------------------------------------------------------------------
+
+class HybridMaster final : public RankProgram {
+ public:
+  HybridMaster(const BlockDecomposition* decomp, int rank,
+               HybridLayout layout, HybridParams params,
+               std::vector<Particle> seeds, std::uint32_t total_active)
+      : decomp_(decomp),
+        rank_(rank),
+        layout_(layout),
+        params_(params),
+        initial_seeds_(std::move(seeds)),
+        total_active_(total_active),
+        rng_(params.rng_seed + static_cast<std::uint64_t>(rank)) {}
+
+  void start(RankContext& ctx) override {
+    const auto [first, last] = layout_.slaves_of(rank_);
+    for (int s = first; s < last; ++s) records_[s] = SlaveRecord{};
+
+    for (Particle& p : initial_seeds_) {
+      // Pooled seeds are bare seed points, not active streamline
+      // objects: charge them at solver-state size.
+      ctx.charge_particle_memory(
+          static_cast<std::int64_t>(particle_message_bytes(p, false)));
+      seeds_.add(decomp_->block_of(p.pos), std::move(p));
+    }
+    initial_seeds_.clear();
+
+    if (rank_ == 0 && total_active_ == 0) {
+      finish_everyone(ctx);
+      return;
+    }
+
+    // Initial allocation: N seeds per slave through Assign_unloaded.
+    for (auto& [slave, record] : records_) {
+      if (seeds_.empty()) break;
+      assign_seeds(ctx, slave, record);
+    }
+  }
+
+  void on_message(RankContext& ctx, Message msg) override {
+    if (finished_) return;
+    if (auto* status = std::get_if<StatusUpdate>(&msg.payload)) {
+      auto it = records_.find(msg.from);
+      if (it == records_.end()) return;
+      apply_status(msg.from, it->second, *status);
+      if (status->terminated_delta > 0) {
+        note_terminations(ctx, status->terminated_delta);
+      }
+      if (finished_) return;  // terminations may have ended the run
+      assignment_pass(ctx);
+    } else if (auto* term = std::get_if<TerminationCount>(&msg.payload)) {
+      note_terminations(ctx, term->count);
+    } else if (std::holds_alternative<SeedRequest>(msg.payload)) {
+      respond_seed_request(ctx, msg.from);
+    } else if (auto* transfer = std::get_if<SeedTransfer>(&msg.payload)) {
+      seed_request_outstanding_ = false;
+      if (transfer->seeds.empty()) {
+        dry_masters_.insert(msg.from);
+      } else {
+        for (Particle& p : transfer->seeds) {
+          ctx.charge_particle_memory(
+              static_cast<std::int64_t>(particle_message_bytes(p, false)));
+          seeds_.add(decomp_->block_of(p.pos), std::move(p));
+        }
+      }
+      assignment_pass(ctx);
+    } else if (std::holds_alternative<DoneSignal>(msg.payload)) {
+      terminate_group(ctx);
+    }
+  }
+
+  void on_block_loaded(RankContext&, BlockId) override {}
+  void on_compute_done(RankContext&) override {}
+
+  bool finished() const override { return finished_; }
+
+  void collect_particles(std::vector<Particle>&) const override {}
+
+ private:
+  struct BlockSet {
+    std::set<BlockId> s;
+    void assign_from(const std::vector<BlockId>& v) {
+      s.clear();
+      s.insert(v.begin(), v.end());
+    }
+    bool contains(BlockId b) const { return s.count(b) != 0; }
+    void insert(BlockId b) { s.insert(b); }
+  };
+
+  struct SlaveRecord {
+    std::map<BlockId, std::uint32_t> queued;  // waiting, by current block
+    BlockSet loaded;
+    BlockSet loading;
+    std::uint32_t workable = 0;
+    bool outstanding = false;  // assigned work since its last status
+    bool needs_work = false;
+    bool hint_requested = false;  // a Send_hint on its behalf is pending
+  };
+
+  // --- index maintenance ---------------------------------------------------
+  // Two inverted indexes keep the rule passes O(own state) instead of
+  // O(slaves x blocks): which slaves hold a block (loaded or loading),
+  // and which slaves have particles queued in it.
+
+  void index_hold(int slave, BlockId b) { holders_[b].insert(slave); }
+
+  void index_unhold(int slave, BlockId b) {
+    auto it = holders_.find(b);
+    if (it == holders_.end()) return;
+    it->second.erase(slave);
+    if (it->second.empty()) holders_.erase(it);
+  }
+
+  void index_queue(int slave, BlockId b, std::uint32_t count) {
+    if (count > 0) queued_idx_[b][slave] += count;
+  }
+
+  void index_unqueue(int slave, BlockId b) {
+    auto it = queued_idx_.find(b);
+    if (it == queued_idx_.end()) return;
+    it->second.erase(slave);
+    if (it->second.empty()) queued_idx_.erase(it);
+  }
+
+  void apply_status(int slave, SlaveRecord& rec, const StatusUpdate& status) {
+    for (const auto& [b, count] : rec.queued) index_unqueue(slave, b);
+    for (const BlockId b : rec.loaded.s) index_unhold(slave, b);
+    for (const BlockId b : rec.loading.s) index_unhold(slave, b);
+
+    rec.queued.clear();
+    for (const auto& [block, count] : status.queued_by_block) {
+      rec.queued[block] = count;
+      index_queue(slave, block, count);
+    }
+    rec.loaded.assign_from(status.loaded);
+    rec.loading.assign_from(status.loading);
+    for (const BlockId b : rec.loaded.s) index_hold(slave, b);
+    for (const BlockId b : rec.loading.s) index_hold(slave, b);
+    rec.workable = status.workable;
+    rec.outstanding = false;
+    rec.needs_work = (status.workable == 0);
+    rec.hint_requested = false;
+  }
+
+  // Optimistic bookkeeping for a Send_force: move the queued particles
+  // of block `b` from one record to another.
+  void move_queued(int from_slave, SlaveRecord& from_rec, BlockId b,
+                   int to_slave) {
+    const auto it = from_rec.queued.find(b);
+    if (it == from_rec.queued.end()) return;
+    const std::uint32_t count = it->second;
+    from_rec.queued.erase(it);
+    index_unqueue(from_slave, b);
+    records_[to_slave].queued[b] += count;
+    index_queue(to_slave, b, count);
+  }
+
+  void note_load_command(int slave, SlaveRecord& rec, BlockId b) {
+    rec.loading.insert(b);
+    index_hold(slave, b);
+  }
+
+  static std::uint32_t workload(const SlaveRecord& rec) {
+    std::uint32_t n = rec.workable;
+    for (const auto& [block, count] : rec.queued) n += count;
+    return n;
+  }
+
+  bool has_block(const SlaveRecord& rec, BlockId b) const {
+    return rec.loaded.contains(b) || rec.loading.contains(b);
+  }
+
+  std::uint32_t overload_limit() const {
+    return static_cast<std::uint32_t>(params_.overload_factor *
+                                      params_.assign_batch);
+  }
+
+  // Take up to N seeds out of one block of the master pool.
+  std::vector<Particle> pick_seeds(RankContext& ctx, BlockId from) {
+    std::vector<Particle> out;
+    for (int i = 0; i < params_.assign_batch; ++i) {
+      auto p = seeds_.take_from(from);
+      if (!p) break;
+      out.push_back(std::move(*p));
+    }
+    ctx.charge_particle_memory(-static_cast<std::int64_t>(
+        particles_resident_bytes(out, ctx.model())));
+    return out;
+  }
+
+  void assign_seeds(RankContext& ctx, int slave, SlaveRecord& rec) {
+    // Prefer a block the slave already has loaded (Assign_loaded), else
+    // the densest seed block (Assign_unloaded).
+    BlockId from = kInvalidBlock;
+    for (const auto& [block, count] : seeds_.census()) {
+      if (rec.loaded.contains(block)) {
+        from = block;
+        break;
+      }
+    }
+    if (from == kInvalidBlock) from = seeds_.densest_block();
+    if (from == kInvalidBlock) return;
+
+    std::vector<Particle> batch = pick_seeds(ctx, from);
+    rec.queued[from] += static_cast<std::uint32_t>(batch.size());
+    index_queue(slave, from, static_cast<std::uint32_t>(batch.size()));
+    // The slave auto-loads the blocks of assigned seeds (Assign_unloaded).
+    if (!has_block(rec, from)) note_load_command(slave, rec, from);
+    rec.outstanding = true;
+    rec.needs_work = false;
+
+    Command cmd;
+    cmd.type = Command::Type::kAssign;
+    cmd.block = from;
+    cmd.particles = std::move(batch);
+    Message m;
+    m.payload = std::move(cmd);
+    ctx.send(slave, std::move(m));
+  }
+
+  void send_command(RankContext& ctx, int to, Command cmd) {
+    Message m;
+    m.payload = std::move(cmd);
+    ctx.send(to, std::move(m));
+  }
+
+  // The §4.3 rule sequence for one workless slave.  Returns true when S
+  // was supplied with work.  The last-resort rules (6's global fallback
+  // and 7) are gated by `allow_expensive`: the assignment pass grants
+  // them to one starving slave per pass, because they scan group-wide
+  // state and rarely succeed twice in the same pass ("the next time
+  // another slave posts a status ... there is another opportunity").
+  bool rules_for(RankContext& ctx, int slave, SlaveRecord& rec,
+                 bool allow_expensive) {
+    bool assigned = false;
+
+    // (1) Send_force away: S's particles in unloaded blocks go to group
+    // slaves that have those blocks loaded/loading (if they stay under
+    // NO).  A block still in flight counts: particles queue on the
+    // receiving slave until its read lands.
+    {
+      std::vector<BlockId> stuck;
+      for (const auto& [b, count] : rec.queued) {
+        if (count > 0 && !has_block(rec, b)) stuck.push_back(b);
+      }
+      for (const BlockId b : stuck) {
+        const auto hit = holders_.find(b);
+        if (hit == holders_.end()) continue;
+        const std::uint32_t count = rec.queued[b];
+        int target = -1;
+        for (const int cand : hit->second) {
+          if (cand == slave) continue;
+          if (workload(records_[cand]) + count <= overload_limit()) {
+            target = cand;
+            break;
+          }
+        }
+        if (target >= 0) {
+          Command cmd;
+          cmd.type = Command::Type::kSendForce;
+          cmd.block = b;
+          cmd.target = target;
+          send_command(ctx, slave, std::move(cmd));
+          move_queued(slave, rec, b, target);
+        }
+      }
+    }
+
+    // (2) Load: S has more than NL particles stuck in one unloaded block.
+    {
+      BlockId best = kInvalidBlock;
+      std::uint32_t best_count =
+          static_cast<std::uint32_t>(params_.load_threshold);
+      for (const auto& [b, count] : rec.queued) {
+        if (!has_block(rec, b) && count > best_count) {
+          best = b;
+          best_count = count;
+        }
+      }
+      if (best != kInvalidBlock) {
+        Command cmd;
+        cmd.type = Command::Type::kLoad;
+        cmd.block = best;
+        send_command(ctx, slave, std::move(cmd));
+        note_load_command(slave, rec, best);
+        assigned = true;
+      }
+    }
+
+    // (3) The loads above changed the group's loaded sets: other slaves
+    // may now Send_force their stuck particles to S.
+    {
+      std::vector<BlockId> held(rec.loaded.s.begin(), rec.loaded.s.end());
+      held.insert(held.end(), rec.loading.s.begin(), rec.loading.s.end());
+      for (const BlockId b : held) {
+        const auto qit = queued_idx_.find(b);
+        if (qit == queued_idx_.end()) continue;
+        // Copy: move_queued mutates the index.
+        const std::vector<std::pair<int, std::uint32_t>> waiters(
+            qit->second.begin(), qit->second.end());
+        for (const auto& [other, count] : waiters) {
+          if (other == slave || count == 0) continue;
+          SlaveRecord& orec = records_[other];
+          if (has_block(orec, b)) continue;  // they can run it themselves
+          if (workload(rec) + count > overload_limit()) break;
+          Command cmd;
+          cmd.type = Command::Type::kSendForce;
+          cmd.block = b;
+          cmd.target = slave;
+          send_command(ctx, other, std::move(cmd));
+          move_queued(other, orec, b, slave);
+          assigned = true;
+        }
+      }
+    }
+
+    // (4) Assign_loaded / (5) Assign_unloaded from the master seed pool.
+    if (!assigned && !seeds_.empty()) {
+      assign_seeds(ctx, slave, rec);
+      return true;  // assign_seeds maintains the record flags itself
+    }
+
+    // (6) Still nothing: make S load the block holding its most
+    // streamlines (or, failing that, the group's hottest block).
+    if (!assigned) {
+      BlockId best = kInvalidBlock;
+      std::uint32_t best_count = 0;
+      for (const auto& [b, count] : rec.queued) {
+        if (!has_block(rec, b) && count > best_count) {
+          best = b;
+          best_count = count;
+        }
+      }
+      if (best == kInvalidBlock && allow_expensive) {
+        // Fall back to the group's hottest block — but only one held by
+        // *no* group slave.  If somebody already holds it, migration
+        // (rules 1/3/7) is strictly cheaper than a duplicate 12 MB read,
+        // and without this guard every starved slave in a large group
+        // re-loads the same hot block.
+        for (const auto& [b, waiters] : queued_idx_) {
+          if (holders_.count(b) != 0) continue;
+          std::uint32_t total = 0;
+          for (const auto& [other, count] : waiters) total += count;
+          if (total > best_count) {
+            best = b;
+            best_count = total;
+          }
+        }
+      }
+      if (best != kInvalidBlock) {
+        Command cmd;
+        cmd.type = Command::Type::kLoad;
+        cmd.block = best;
+        send_command(ctx, slave, std::move(cmd));
+        note_load_command(slave, rec, best);
+        assigned = true;
+      }
+    }
+
+    // (7) Hint the busiest slave that S can take work off its hands.
+    // At most one outstanding hint per starving slave (re-armed by its
+    // next status) — unthrottled hinting floods the group.
+    if (!assigned && allow_expensive && !rec.hint_requested) {
+      std::vector<int> busiest;
+      std::uint32_t most = 0;
+      for (const auto& [other, orec] : records_) {
+        if (other == slave) continue;
+        const std::uint32_t w = workload(orec);
+        if (w > most) {
+          most = w;
+          busiest.assign(1, other);
+        } else if (w == most && w > 0) {
+          busiest.push_back(other);
+        }
+      }
+      if (!busiest.empty() && most > 0) {
+        const int target = busiest[static_cast<std::size_t>(
+            rng_.next_below(busiest.size()))];
+        Command cmd;
+        cmd.type = Command::Type::kSendHint;
+        cmd.target = slave;
+        for (const auto& [b, count] : records_[target].queued) {
+          if (count > 0 && !has_block(records_[target], b)) {
+            cmd.hint_blocks.push_back(b);
+          }
+        }
+        if (!cmd.hint_blocks.empty()) {
+          send_command(ctx, target, std::move(cmd));
+          rec.hint_requested = true;
+        }
+      }
+    }
+
+    return assigned;
+  }
+
+  void assignment_pass(RankContext& ctx) {
+    bool expensive_available = true;
+    for (auto& [slave, rec] : records_) {
+      if (!rec.needs_work || rec.outstanding) continue;
+      if (rules_for(ctx, slave, rec, expensive_available)) {
+        rec.needs_work = false;
+        rec.outstanding = true;
+      } else if (expensive_available) {
+        // The group-wide last-resort rules ran and found nothing; do not
+        // re-scan for every other starving slave in this pass.
+        expensive_available = false;
+      }
+    }
+
+    // Master-to-master balancing: my pool is dry but slaves are starving.
+    if (seeds_.empty() && !seed_request_outstanding_ &&
+        layout_.num_masters > 1) {
+      bool starving = false;
+      for (const auto& [slave, rec] : records_) {
+        if (rec.needs_work && !rec.outstanding) starving = true;
+      }
+      if (starving) {
+        for (int m = 0; m < layout_.num_masters; ++m) {
+          const int candidate = (rank_ + 1 + m) % layout_.num_masters;
+          if (candidate == rank_ || dry_masters_.count(candidate)) continue;
+          Message msg;
+          msg.payload = SeedRequest{};
+          ctx.send(candidate, std::move(msg));
+          seed_request_outstanding_ = true;
+          break;
+        }
+      }
+    }
+  }
+
+  void respond_seed_request(RankContext& ctx, int requester) {
+    SeedTransfer transfer;
+    // Donate up to 4N seeds, whole blocks at a time, if we can spare them.
+    const std::size_t spare_floor =
+        static_cast<std::size_t>(params_.assign_batch) * records_.size();
+    std::size_t donated = 0;
+    const std::size_t donate_cap =
+        static_cast<std::size_t>(4 * params_.assign_batch);
+    while (seeds_.size() > spare_floor && donated < donate_cap) {
+      const BlockId b = seeds_.densest_block();
+      if (b == kInvalidBlock) break;
+      auto p = seeds_.take_from(b);
+      if (!p) break;
+      ctx.charge_particle_memory(
+          -static_cast<std::int64_t>(particle_message_bytes(*p, false)));
+      transfer.seeds.push_back(std::move(*p));
+      ++donated;
+    }
+    Message m;
+    m.payload = std::move(transfer);
+    ctx.send(requester, std::move(m));
+  }
+
+  void note_terminations(RankContext& ctx, std::uint32_t n) {
+    if (rank_ == 0) {
+      total_active_ -= n;
+      if (total_active_ == 0) finish_everyone(ctx);
+    } else {
+      Message m;
+      m.payload = TerminationCount{n};
+      ctx.send(0, std::move(m));
+    }
+  }
+
+  void finish_everyone(RankContext& ctx) {
+    for (int m = 1; m < layout_.num_masters; ++m) {
+      Message msg;
+      msg.payload = DoneSignal{};
+      ctx.send(m, std::move(msg));
+    }
+    terminate_group(ctx);
+  }
+
+  void terminate_group(RankContext& ctx) {
+    for (const auto& [slave, rec] : records_) {
+      Command cmd;
+      cmd.type = Command::Type::kTerminate;
+      send_command(ctx, slave, std::move(cmd));
+    }
+    finished_ = true;
+  }
+
+  const BlockDecomposition* decomp_;
+  int rank_;
+  HybridLayout layout_;
+  HybridParams params_;
+  std::vector<Particle> initial_seeds_;
+  std::uint32_t total_active_;  // meaningful on master 0 only
+  Rng rng_;
+
+  ParticlePool seeds_;
+  std::map<int, SlaveRecord> records_;
+  // Inverted indexes over the records (see index_* helpers).
+  std::map<BlockId, std::set<int>> holders_;
+  std::map<BlockId, std::map<int, std::uint32_t>> queued_idx_;
+  std::set<int> dry_masters_;
+  bool seed_request_outstanding_ = false;
+  bool finished_ = false;
+};
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Factory
+// ---------------------------------------------------------------------------
+
+std::vector<std::vector<Particle>> partition_for_masters(
+    int num_masters, std::vector<Particle> particles) {
+  std::vector<std::vector<Particle>> out(
+      static_cast<std::size_t>(num_masters));
+  const std::size_t total = particles.size();
+  for (std::size_t m = 0; m < out.size(); ++m) {
+    const std::size_t first = total * m / out.size();
+    const std::size_t last = total * (m + 1) / out.size();
+    out[m].assign(std::make_move_iterator(particles.begin() + first),
+                  std::make_move_iterator(particles.begin() + last));
+  }
+  return out;
+}
+
+ProgramFactory make_hybrid(const BlockDecomposition* decomp,
+                           std::vector<std::vector<Particle>> seeds_per_master,
+                           std::uint32_t total_active, HybridParams params) {
+  auto shared = std::make_shared<std::vector<std::vector<Particle>>>(
+      std::move(seeds_per_master));
+  return [decomp, shared, total_active, params](
+             int rank, int num_ranks) -> std::unique_ptr<RankProgram> {
+    const HybridLayout layout =
+        HybridLayout::make(num_ranks, params.slaves_per_master);
+    if (layout.is_master(rank)) {
+      return std::make_unique<HybridMaster>(
+          decomp, rank, layout, params,
+          std::move((*shared)[static_cast<std::size_t>(rank)]),
+          total_active);
+    }
+    return std::make_unique<HybridSlave>(decomp, rank,
+                                         layout.master_of(rank), params);
+  };
+}
+
+}  // namespace sf

@@ -1,0 +1,66 @@
+#pragma once
+
+// Hybrid Master/Slave (§4.3) — the paper's contribution.
+//
+// Ranks are split into master processes (one per W slaves) and slave
+// processes.  Slaves advance streamlines from their block caches and
+// report status when they run out of work; masters monitor slave state
+// and rebalance by either communicating streamlines or instructing
+// duplicate block loads, using five rules applied in order:
+//
+//   Assign_loaded    — N seeds in block B to a slave with B loaded
+//   Assign_unloaded  — N seeds in block B to a slave, which loads B
+//   Send_force       — slave S1 must send its particles in B to S2
+//                      (only if S2's load stays under NO)
+//   Send_hint        — S1 *may* offload particles in given blocks to S2
+//   Load             — slave must load block B
+//
+// with heuristics N = 10 (assignment granularity), NO = 20 N (overload
+// limit), NL = 40 (load-rather-than-send threshold), W = 32.  Multiple
+// masters balance seeds among themselves; master 0 aggregates the global
+// termination count.
+
+#include <cstdint>
+
+#include "algorithms/routing.hpp"
+#include "runtime/rank_context.hpp"
+
+namespace sf {
+
+struct HybridParams {
+  int assign_batch = 10;      // N:  seeds per assignment
+  int overload_factor = 20;   // NO = overload_factor * N
+  int load_threshold = 40;    // NL: load instead of migrating
+  int slaves_per_master = 32; // W
+  std::uint64_t rng_seed = 0x1dd51c3ULL;
+};
+
+// How ranks are split into masters and slaves: masters are ranks
+// [0, num_masters), slaves the rest, divided into contiguous groups.
+struct HybridLayout {
+  int num_ranks = 0;
+  int num_masters = 0;
+
+  static HybridLayout make(int num_ranks, int slaves_per_master);
+
+  int num_slaves() const { return num_ranks - num_masters; }
+  bool is_master(int rank) const { return rank < num_masters; }
+
+  // The master responsible for a slave rank.
+  int master_of(int slave_rank) const;
+
+  // The [first, last) slave-rank range of one master's group.
+  std::pair<int, int> slaves_of(int master_rank) const;
+};
+
+// Program factory.  `seeds_per_master[m]` is master m's initial seed
+// pool; `total_active` the global live-streamline count.
+ProgramFactory make_hybrid(const BlockDecomposition* decomp,
+                           std::vector<std::vector<Particle>> seeds_per_master,
+                           std::uint32_t total_active, HybridParams params);
+
+// Deal particles into `num_masters` equal chunks (initial seed split).
+std::vector<std::vector<Particle>> partition_for_masters(
+    int num_masters, std::vector<Particle> particles);
+
+}  // namespace sf

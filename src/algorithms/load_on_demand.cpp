@@ -1,0 +1,129 @@
+#include "algorithms/load_on_demand.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <optional>
+
+namespace sf {
+
+namespace {
+
+class LoadOnDemandProgram final : public RankProgram {
+ public:
+  LoadOnDemandProgram(const BlockDecomposition* decomp,
+                      std::vector<Particle> initial)
+      : decomp_(decomp), initial_(std::move(initial)) {}
+
+  void start(RankContext& ctx) override {
+    for (Particle& p : initial_) {
+      ctx.charge_particle_memory(static_cast<std::int64_t>(
+          resident_particle_bytes(p, ctx.model())));
+      pool_.add(decomp_->block_of(p.pos), std::move(p));
+    }
+    initial_.clear();
+    try_start(ctx);
+  }
+
+  void on_message(RankContext&, Message) override {
+    // Load On Demand never communicates.
+  }
+
+  void on_block_loaded(RankContext& ctx, BlockId) override {
+    if (loads_outstanding_ > 0) --loads_outstanding_;
+    try_start(ctx);
+  }
+
+  void on_compute_done(RankContext& ctx) override {
+    Particle p = std::move(*in_flight_);
+    in_flight_.reset();
+    if (is_terminal(flight_.status)) {
+      done_.push_back(std::move(p));
+    } else {
+      pool_.add(flight_.blocking_block, std::move(p));
+    }
+    try_start(ctx);
+  }
+
+  bool finished() const override { return finished_; }
+
+  void collect_particles(std::vector<Particle>& out) const override {
+    out.insert(out.end(), done_.begin(), done_.end());
+  }
+
+ private:
+  void try_start(RankContext& ctx) {
+    if (finished_ || ctx.busy() || in_flight_.has_value()) return;
+
+    if (pool_.empty()) {
+      // All of this rank's streamlines have terminated; it is done,
+      // independently of everyone else (§4.2).
+      finished_ = true;
+      return;
+    }
+
+    const BlockId runnable = pool_.first_block_where(
+        [&ctx](BlockId id) { return ctx.block_resident(id); });
+    if (runnable != kInvalidBlock) {
+      in_flight_ = *pool_.take_from(runnable);
+      flight_ = advance_and_charge(ctx, *in_flight_);
+      ctx.begin_compute(
+          static_cast<double>(flight_.steps) * ctx.model().seconds_per_step,
+          flight_.steps);
+      return;
+    }
+
+    // No in-memory work left: only now read one block from disk — the one
+    // that unblocks the most streamlines.
+    if (loads_outstanding_ == 0) {
+      const BlockId next = pool_.densest_block();
+      if (next != kInvalidBlock && !ctx.block_pending(next)) {
+        ++loads_outstanding_;
+        ctx.request_block(next);
+      }
+    }
+  }
+
+  const BlockDecomposition* decomp_;
+  std::vector<Particle> initial_;
+  ParticlePool pool_;
+  std::vector<Particle> done_;
+  std::optional<Particle> in_flight_;
+  AdvanceOutcome flight_{};
+  int loads_outstanding_ = 0;
+  bool finished_ = false;
+};
+
+}  // namespace
+
+std::vector<std::vector<Particle>> partition_evenly_by_block(
+    int num_ranks, const BlockDecomposition& decomp,
+    std::vector<Particle> particles) {
+  std::stable_sort(particles.begin(), particles.end(),
+                   [&decomp](const Particle& a, const Particle& b) {
+                     return decomp.block_of(a.pos) < decomp.block_of(b.pos);
+                   });
+  std::vector<std::vector<Particle>> out(
+      static_cast<std::size_t>(num_ranks));
+  const std::size_t total = particles.size();
+  for (std::size_t r = 0; r < out.size(); ++r) {
+    const std::size_t first = total * r / out.size();
+    const std::size_t last = total * (r + 1) / out.size();
+    out[r].assign(std::make_move_iterator(particles.begin() + first),
+                  std::make_move_iterator(particles.begin() + last));
+  }
+  return out;
+}
+
+ProgramFactory make_load_on_demand(
+    const BlockDecomposition* decomp,
+    std::vector<std::vector<Particle>> initial) {
+  auto shared = std::make_shared<std::vector<std::vector<Particle>>>(
+      std::move(initial));
+  return [decomp, shared](int rank,
+                          int /*num_ranks*/) -> std::unique_ptr<RankProgram> {
+    return std::make_unique<LoadOnDemandProgram>(
+        decomp, std::move((*shared)[static_cast<std::size_t>(rank)]));
+  };
+}
+
+}  // namespace sf

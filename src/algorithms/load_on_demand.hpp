@@ -1,0 +1,30 @@
+#pragma once
+
+// Load On Demand (§4.2): parallelize across streamlines.
+//
+// Seeds are split evenly among processors, grouped by block for data
+// locality.  Each processor owns its streamlines for their entire life,
+// loading whatever blocks they need into an LRU cache; a new block is
+// read from disk only when no more work can be done on in-memory blocks.
+// There is no communication at all; each processor terminates
+// independently.
+//
+// Strengths: zero communication, perfect parallelism over streamlines.
+// Weaknesses: redundant I/O (blocks loaded by many processors, and
+// reloaded after purges), which can dominate at scale.
+
+#include "algorithms/routing.hpp"
+#include "runtime/rank_context.hpp"
+
+namespace sf {
+
+// The §4.2 seed split: sort by seed block (for locality), then deal out
+// equal contiguous chunks.
+std::vector<std::vector<Particle>> partition_evenly_by_block(
+    int num_ranks, const BlockDecomposition& decomp,
+    std::vector<Particle> particles);
+
+ProgramFactory make_load_on_demand(const BlockDecomposition* decomp,
+                                   std::vector<std::vector<Particle>> initial);
+
+}  // namespace sf

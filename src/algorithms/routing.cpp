@@ -1,0 +1,116 @@
+#include "algorithms/routing.hpp"
+
+#include <stdexcept>
+
+namespace sf {
+
+std::pair<BlockId, BlockId> contiguous_range(int num_blocks, int num_ranks,
+                                             int rank) {
+  const auto nb = static_cast<std::int64_t>(num_blocks);
+  const BlockId first = static_cast<BlockId>(nb * rank / num_ranks);
+  const BlockId last = static_cast<BlockId>(nb * (rank + 1) / num_ranks);
+  return {first, last};
+}
+
+int contiguous_owner(int num_blocks, int num_ranks, BlockId block) {
+  if (block < 0 || block >= num_blocks) {
+    throw std::out_of_range("contiguous_owner: bad block id");
+  }
+  // Inverse of contiguous_range with first(r) = floor(NB*r/P): the owner
+  // of b is floor(((b+1)*P - 1) / NB).
+  return static_cast<int>(
+      ((static_cast<std::int64_t>(block) + 1) * num_ranks - 1) / num_blocks);
+}
+
+std::size_t resident_particle_bytes(const Particle& p,
+                                    const MachineModel& model) {
+  return model.particle_overhead_bytes +
+         static_cast<std::size_t>(p.geometry_points) * sizeof(Vec3);
+}
+
+void ParticlePool::add(BlockId block, Particle p) {
+  by_block_[block].push_back(std::move(p));
+  ++total_;
+}
+
+std::optional<Particle> ParticlePool::take_from(BlockId b) {
+  auto it = by_block_.find(b);
+  if (it == by_block_.end() || it->second.empty()) return std::nullopt;
+  Particle p = std::move(it->second.front());
+  it->second.pop_front();
+  if (it->second.empty()) by_block_.erase(it);
+  --total_;
+  return p;
+}
+
+std::size_t ParticlePool::count_in(BlockId b) const {
+  auto it = by_block_.find(b);
+  return it == by_block_.end() ? 0 : it->second.size();
+}
+
+BlockId ParticlePool::densest_block() const {
+  BlockId best = kInvalidBlock;
+  std::size_t best_count = 0;
+  for (const auto& [block, queue] : by_block_) {
+    if (queue.size() > best_count) {
+      best_count = queue.size();
+      best = block;
+    }
+  }
+  return best;
+}
+
+std::vector<std::pair<BlockId, std::uint32_t>> ParticlePool::census() const {
+  std::vector<std::pair<BlockId, std::uint32_t>> out;
+  out.reserve(by_block_.size());
+  for (const auto& [block, queue] : by_block_) {
+    if (!queue.empty()) {
+      out.emplace_back(block, static_cast<std::uint32_t>(queue.size()));
+    }
+  }
+  return out;
+}
+
+std::vector<Particle> ParticlePool::drain_block(BlockId b) {
+  std::vector<Particle> out;
+  auto it = by_block_.find(b);
+  if (it == by_block_.end()) return out;
+  out.assign(std::make_move_iterator(it->second.begin()),
+             std::make_move_iterator(it->second.end()));
+  total_ -= out.size();
+  by_block_.erase(it);
+  return out;
+}
+
+std::vector<Particle> make_particles(const BlockDecomposition& decomp,
+                                     std::span<const Vec3> seeds,
+                                     std::vector<Particle>& rejected) {
+  std::vector<Particle> out;
+  out.reserve(seeds.size());
+  for (std::size_t i = 0; i < seeds.size(); ++i) {
+    Particle p;
+    p.id = static_cast<std::uint32_t>(i);
+    p.pos = seeds[i];
+    if (decomp.block_of(seeds[i]) == kInvalidBlock) {
+      p.status = ParticleStatus::kExitedDomain;
+      rejected.push_back(p);
+    } else {
+      out.push_back(p);
+    }
+  }
+  return out;
+}
+
+AdvanceOutcome advance_and_charge(RankContext& ctx, Particle& particle) {
+  const std::uint32_t points_before = particle.geometry_points;
+  const AdvanceOutcome outcome = ctx.tracer().advance(
+      particle, [&ctx](BlockId id) { return ctx.block(id); });
+  const std::uint32_t grown = particle.geometry_points - points_before;
+  if (grown != 0) {
+    ctx.charge_particle_memory(static_cast<std::int64_t>(grown) *
+                               static_cast<std::int64_t>(sizeof(Vec3)));
+  }
+  return outcome;
+}
+
+}  // namespace sf

@@ -1,0 +1,84 @@
+#pragma once
+
+// Shared helpers for the three parallelization strategies: contiguous
+// block ownership, per-block particle pools, and resident-particle memory
+// accounting.
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "core/block_decomposition.hpp"
+#include "core/particle.hpp"
+#include "core/vec3.hpp"
+#include "runtime/rank_context.hpp"
+
+namespace sf {
+
+// Static Allocation's block->processor map: "the first of n processors is
+// assigned the first 1/n of the blocks, the next processor the second
+// 1/n" (§4.1).  Balanced contiguous ranges.
+int contiguous_owner(int num_blocks, int num_ranks, BlockId block);
+
+// The contiguous [first, last) block range owned by `rank`.
+std::pair<BlockId, BlockId> contiguous_range(int num_blocks, int num_ranks,
+                                             int rank);
+
+// Bytes a resident particle occupies on a rank: fixed bookkeeping plus
+// its recorded geometry (kept after termination — trajectories are
+// gathered for rendering).
+std::size_t resident_particle_bytes(const Particle& p,
+                                    const MachineModel& model);
+
+// Particles waiting on a rank, grouped by the block they currently
+// reside in.  std::map keeps iteration deterministic.
+class ParticlePool {
+ public:
+  // Enqueue a particle under the block it currently resides in.
+  void add(BlockId block, Particle p);
+  // Pop one particle from block `b`; nullopt if none.
+  std::optional<Particle> take_from(BlockId b);
+
+  bool empty() const { return total_ == 0; }
+  std::size_t size() const { return total_; }
+  std::size_t count_in(BlockId b) const;
+
+  // First block (in id order) whose particles can run, per `resident`.
+  template <typename Pred>
+  BlockId first_block_where(Pred resident) const {
+    for (const auto& [block, queue] : by_block_) {
+      if (!queue.empty() && resident(block)) return block;
+    }
+    return kInvalidBlock;
+  }
+
+  // Block with the most waiting particles (ties -> lowest id).
+  BlockId densest_block() const;
+
+  // Blocks with at least one waiting particle, with counts.
+  std::vector<std::pair<BlockId, std::uint32_t>> census() const;
+
+  // Remove and return every particle waiting in block `b`.
+  std::vector<Particle> drain_block(BlockId b);
+
+ private:
+  std::map<BlockId, std::deque<Particle>> by_block_;
+  std::size_t total_ = 0;
+};
+
+// Create initial particles from seed points.  Seeds outside the domain
+// terminate immediately (status kExitedDomain) and are returned in
+// `rejected`; ids are the seed indices.
+std::vector<Particle> make_particles(const BlockDecomposition& decomp,
+                                     std::span<const Vec3> seeds,
+                                     std::vector<Particle>& rejected);
+
+// Advance one particle against the rank's cache and account for the
+// geometry its trajectory grew.  Returns the outcome; the caller charges
+// compute cost via ctx.begin_compute.
+AdvanceOutcome advance_and_charge(RankContext& ctx, Particle& particle);
+
+}  // namespace sf

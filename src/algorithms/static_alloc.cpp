@@ -1,0 +1,171 @@
+#include "algorithms/static_alloc.hpp"
+
+#include <memory>
+#include <optional>
+
+namespace sf {
+
+namespace {
+
+class StaticProgram final : public RankProgram {
+ public:
+  StaticProgram(const BlockDecomposition* decomp, int rank, int num_ranks,
+                std::vector<Particle> initial, std::uint32_t total_active)
+      : decomp_(decomp),
+        rank_(rank),
+        num_ranks_(num_ranks),
+        initial_(std::move(initial)),
+        total_active_(total_active) {}
+
+  void start(RankContext& ctx) override {
+    for (Particle& p : initial_) {
+      ctx.charge_particle_memory(static_cast<std::int64_t>(
+          resident_particle_bytes(p, ctx.model())));
+      pool_.add(decomp_->block_of(p.pos), std::move(p));
+    }
+    initial_.clear();
+    if (rank_ == 0 && total_active_ == 0) {
+      broadcast_done(ctx);
+      return;
+    }
+    try_start(ctx);
+  }
+
+  void on_message(RankContext& ctx, Message msg) override {
+    if (auto* batch = std::get_if<ParticleBatch>(&msg.payload)) {
+      for (Particle& p : batch->particles) {
+        ctx.charge_particle_memory(static_cast<std::int64_t>(
+            resident_particle_bytes(p, ctx.model())));
+        pool_.add(decomp_->block_of(p.pos), std::move(p));
+      }
+      try_start(ctx);
+    } else if (auto* term = std::get_if<TerminationCount>(&msg.payload)) {
+      note_terminations(ctx, term->count);
+    } else if (std::holds_alternative<DoneSignal>(msg.payload)) {
+      finished_ = true;
+    }
+  }
+
+  void on_block_loaded(RankContext& ctx, BlockId) override { try_start(ctx); }
+
+  void on_compute_done(RankContext& ctx) override {
+    Particle p = std::move(*in_flight_);
+    in_flight_.reset();
+
+    if (is_terminal(flight_.status)) {
+      done_.push_back(std::move(p));
+      note_terminations(ctx, 1);
+    } else {
+      const BlockId need = flight_.blocking_block;
+      const int owner =
+          contiguous_owner(decomp_->num_blocks(), num_ranks_, need);
+      if (owner == rank_) {
+        pool_.add(need, std::move(p));
+        if (!ctx.block_resident(need) && !ctx.block_pending(need)) {
+          ctx.request_block(need);
+        }
+      } else {
+        // Communicate the streamline to the block's owner (§4.1).
+        ctx.charge_particle_memory(-static_cast<std::int64_t>(
+            resident_particle_bytes(p, ctx.model())));
+        Message m;
+        m.payload = ParticleBatch{need, {std::move(p)}};
+        ctx.send(owner, std::move(m));
+      }
+    }
+    try_start(ctx);
+  }
+
+  bool finished() const override { return finished_; }
+
+  void collect_particles(std::vector<Particle>& out) const override {
+    out.insert(out.end(), done_.begin(), done_.end());
+  }
+
+ private:
+  void try_start(RankContext& ctx) {
+    if (finished_ || ctx.busy() || in_flight_.has_value()) return;
+
+    const BlockId runnable = pool_.first_block_where(
+        [&ctx](BlockId id) { return ctx.block_resident(id); });
+    if (runnable != kInvalidBlock) {
+      in_flight_ = *pool_.take_from(runnable);
+      flight_ = advance_and_charge(ctx, *in_flight_);
+      ctx.begin_compute(
+          static_cast<double>(flight_.steps) * ctx.model().seconds_per_step,
+          flight_.steps);
+      return;
+    }
+
+    // Nothing runnable: fetch every owned block that has waiting work.
+    // (All pool blocks are owned by this rank by construction.)
+    for (const auto& [block, count] : pool_.census()) {
+      if (!ctx.block_resident(block) && !ctx.block_pending(block)) {
+        ctx.request_block(block);
+      }
+    }
+  }
+
+  void note_terminations(RankContext& ctx, std::uint32_t n) {
+    if (rank_ == 0) {
+      total_active_ -= n;
+      if (total_active_ == 0) broadcast_done(ctx);
+    } else {
+      Message m;
+      m.payload = TerminationCount{n};
+      ctx.send(0, std::move(m));
+    }
+  }
+
+  void broadcast_done(RankContext& ctx) {
+    for (int r = 0; r < num_ranks_; ++r) {
+      if (r == rank_) continue;
+      Message m;
+      m.payload = DoneSignal{};
+      ctx.send(r, std::move(m));
+    }
+    finished_ = true;
+  }
+
+  const BlockDecomposition* decomp_;
+  int rank_;
+  int num_ranks_;
+  std::vector<Particle> initial_;
+  std::uint32_t total_active_;  // meaningful on rank 0 only
+
+  ParticlePool pool_;
+  std::vector<Particle> done_;
+  std::optional<Particle> in_flight_;
+  AdvanceOutcome flight_{};
+  bool finished_ = false;
+};
+
+}  // namespace
+
+std::vector<std::vector<Particle>> partition_by_block_owner(
+    const BlockDecomposition& decomp, int num_ranks,
+    std::vector<Particle> particles) {
+  std::vector<std::vector<Particle>> out(
+      static_cast<std::size_t>(num_ranks));
+  for (Particle& p : particles) {
+    const BlockId b = decomp.block_of(p.pos);
+    const int owner = contiguous_owner(decomp.num_blocks(), num_ranks, b);
+    out[static_cast<std::size_t>(owner)].push_back(std::move(p));
+  }
+  return out;
+}
+
+ProgramFactory make_static_allocation(
+    const BlockDecomposition* decomp,
+    std::vector<std::vector<Particle>> initial, std::uint32_t total_active) {
+  auto shared = std::make_shared<std::vector<std::vector<Particle>>>(
+      std::move(initial));
+  return [decomp, shared, total_active](
+             int rank, int num_ranks) -> std::unique_ptr<RankProgram> {
+    return std::make_unique<StaticProgram>(
+        decomp, rank, num_ranks,
+        std::move((*shared)[static_cast<std::size_t>(rank)]), total_active);
+  };
+}
+
+}  // namespace sf

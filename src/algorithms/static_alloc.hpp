@@ -1,0 +1,36 @@
+#pragma once
+
+// Static Allocation (§4.1): parallelize across blocks.
+//
+// Blocks are statically assigned in contiguous 1/n slices.  Each
+// streamline is integrated until it leaves the blocks owned by its
+// current processor, then communicated to the owner of the block it
+// entered.  A globally communicated streamline count (aggregated at rank
+// 0) detects termination; rank 0 then broadcasts a done signal.
+//
+// Strengths: minimal I/O (each block read at most once by its owner).
+// Weaknesses: load imbalance and heavy communication when streamlines
+// concentrate — including running out of memory outright when a dense
+// seed set lands on one processor (Figure 13).
+
+#include <span>
+
+#include "algorithms/routing.hpp"
+#include "runtime/rank_context.hpp"
+
+namespace sf {
+
+// Partition particles by the static owner of their seed block: the
+// initial distribution of §4.1.
+std::vector<std::vector<Particle>> partition_by_block_owner(
+    const BlockDecomposition& decomp, int num_ranks,
+    std::vector<Particle> particles);
+
+// Program factory.  `initial[r]` are rank r's starting particles;
+// `total_active` is the global count of live streamlines (the number the
+// termination protocol counts down from).
+ProgramFactory make_static_allocation(const BlockDecomposition* decomp,
+                                      std::vector<std::vector<Particle>> initial,
+                                      std::uint32_t total_active);
+
+}  // namespace sf

@@ -1,0 +1,148 @@
+#include "analysis/ftle.hpp"
+
+#include <cmath>
+#include <memory>
+#include <stdexcept>
+
+#include "analysis/pathlines.hpp"
+
+namespace sf {
+
+double symmetric3_max_eigenvalue(const double m[3][3]) {
+  // Closed-form symmetric 3x3 eigenvalues (Smith's trigonometric method).
+  const double p1 = m[0][1] * m[0][1] + m[0][2] * m[0][2] +
+                    m[1][2] * m[1][2];
+  const double tr = m[0][0] + m[1][1] + m[2][2];
+  if (p1 == 0.0) {
+    return std::max({m[0][0], m[1][1], m[2][2]});
+  }
+  const double q = tr / 3.0;
+  const double p2 = (m[0][0] - q) * (m[0][0] - q) +
+                    (m[1][1] - q) * (m[1][1] - q) +
+                    (m[2][2] - q) * (m[2][2] - q) + 2.0 * p1;
+  const double p = std::sqrt(p2 / 6.0);
+  // B = (A - qI) / p; r = det(B) / 2 in [-1, 1].
+  double b[3][3];
+  for (int i = 0; i < 3; ++i) {
+    for (int j = 0; j < 3; ++j) {
+      b[i][j] = (m[i][j] - (i == j ? q : 0.0)) / p;
+    }
+  }
+  double r = (b[0][0] * (b[1][1] * b[2][2] - b[1][2] * b[2][1]) -
+              b[0][1] * (b[1][0] * b[2][2] - b[1][2] * b[2][0]) +
+              b[0][2] * (b[1][0] * b[2][1] - b[1][1] * b[2][0])) /
+             2.0;
+  r = std::clamp(r, -1.0, 1.0);
+  const double phi = std::acos(r) / 3.0;
+  return q + 2.0 * p * std::cos(phi);
+}
+
+FtleField compute_ftle(const TimeVectorField& field,
+                       const FtleParams& params) {
+  FtleParams prm = params;
+  if (!prm.region.valid()) prm.region = field.bounds();
+  if (prm.nx < 2 || prm.ny < 2 || prm.nz < 1) {
+    throw std::invalid_argument("compute_ftle: lattice must be >= 2x2x1");
+  }
+
+  const int nx = prm.nx, ny = prm.ny, nz = prm.nz;
+  const Vec3 e = prm.region.extent();
+  const Vec3 d{e.x / (nx - 1), e.y / (ny - 1),
+               nz > 1 ? e.z / (nz - 1) : 0.0};
+
+  auto lattice_pos = [&](int i, int j, int k) {
+    return Vec3{prm.region.lo.x + i * d.x, prm.region.lo.y + j * d.y,
+                prm.region.lo.z + k * d.z};
+  };
+
+  // Advect the whole lattice to build the discrete flow map.
+  const double t1 = prm.t0 + prm.horizon;
+  std::vector<Vec3> flow(static_cast<std::size_t>(nx) * ny * nz);
+  for (int k = 0; k < nz; ++k) {
+    for (int j = 0; j < ny; ++j) {
+      for (int i = 0; i < nx; ++i) {
+        const std::size_t idx = static_cast<std::size_t>(k) * nx * ny +
+                                static_cast<std::size_t>(j) * nx + i;
+        flow[idx] =
+            advect(field, lattice_pos(i, j, k), prm.t0, t1, prm.integrator);
+      }
+    }
+  }
+
+  FtleField out;
+  out.region = prm.region;
+  out.nx = nx;
+  out.ny = ny;
+  out.nz = nz;
+  out.values.resize(flow.size());
+
+  auto fm = [&](int i, int j, int k) -> const Vec3& {
+    return flow[static_cast<std::size_t>(k) * nx * ny +
+                static_cast<std::size_t>(j) * nx + i];
+  };
+
+  const double abs_t = std::abs(prm.horizon);
+  for (int k = 0; k < nz; ++k) {
+    for (int j = 0; j < ny; ++j) {
+      for (int i = 0; i < nx; ++i) {
+        // Finite-difference flow-map gradient F (one-sided at edges).
+        double F[3][3] = {};
+        auto diff = [&](int axis) {
+          int i0 = i, i1 = i, j0 = j, j1 = j, k0 = k, k1 = k;
+          double h2 = 0.0;
+          if (axis == 0) {
+            i0 = std::max(i - 1, 0);
+            i1 = std::min(i + 1, nx - 1);
+            h2 = (i1 - i0) * d.x;
+          } else if (axis == 1) {
+            j0 = std::max(j - 1, 0);
+            j1 = std::min(j + 1, ny - 1);
+            h2 = (j1 - j0) * d.y;
+          } else {
+            k0 = std::max(k - 1, 0);
+            k1 = std::min(k + 1, nz - 1);
+            h2 = (k1 - k0) * d.z;
+          }
+          const Vec3 g = h2 > 0.0
+                             ? (fm(i1, j1, k1) - fm(i0, j0, k0)) / h2
+                             : Vec3{};
+          F[0][axis] = g.x;
+          F[1][axis] = g.y;
+          F[2][axis] = g.z;
+        };
+        diff(0);
+        diff(1);
+        if (nz > 1) {
+          diff(2);
+        } else {
+          F[2][2] = 1.0;  // planar lattice: identity out of plane
+        }
+
+        // Cauchy-Green C = F^T F.
+        double C[3][3] = {};
+        for (int a = 0; a < 3; ++a) {
+          for (int b = 0; b < 3; ++b) {
+            for (int c = 0; c < 3; ++c) C[a][b] += F[c][a] * F[c][b];
+          }
+        }
+        const double lmax = std::max(symmetric3_max_eigenvalue(C), 1e-300);
+        out.values[static_cast<std::size_t>(k) * nx * ny +
+                   static_cast<std::size_t>(j) * nx + i] =
+            std::log(std::sqrt(lmax)) / abs_t;
+      }
+    }
+  }
+  return out;
+}
+
+FtleField compute_ftle(const VectorField& field, const FtleParams& params) {
+  // Wrap without taking ownership: the adapter's FieldPtr uses a no-op
+  // deleter because `field` outlives this call.
+  FieldPtr alias(&field, [](const VectorField*) {});
+  SteadyAsTimeField as_time(std::move(alias));
+  FtleParams prm = params;
+  if (!prm.region.valid()) prm.region = field.bounds();
+  return compute_ftle(as_time, prm);
+}
+
+}  // namespace sf

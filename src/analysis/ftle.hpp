@@ -1,0 +1,48 @@
+#pragma once
+
+// Finite-Time Lyapunov Exponent fields (§2.1 cites FTLE / Lagrangian
+// Coherent Structures as the motivating many-thousands-of-streamlines
+// workload).  The FTLE at a point is ln(sqrt(lambda_max(C))) / |T| where
+// C = F^T F is the Cauchy–Green tensor of the flow map F over horizon T,
+// estimated here by central differences of a lattice of advected seeds.
+
+#include <vector>
+
+#include "analysis/time_field.hpp"
+#include "core/aabb.hpp"
+#include "core/integrator.hpp"
+
+namespace sf {
+
+struct FtleParams {
+  AABB region;            // lattice region (defaults to the field bounds)
+  int nx = 32, ny = 32, nz = 8;
+  double t0 = 0.0;        // release time
+  double horizon = 8.0;   // |T|; negative for backward FTLE
+  IntegratorParams integrator{};
+};
+
+struct FtleField {
+  AABB region;
+  int nx = 0, ny = 0, nz = 0;
+  std::vector<double> values;  // x-fastest lattice of FTLE values
+
+  double at(int i, int j, int k) const {
+    return values[static_cast<std::size_t>(k) * nx * ny +
+                  static_cast<std::size_t>(j) * nx +
+                  static_cast<std::size_t>(i)];
+  }
+};
+
+// Unsteady FTLE through pathline advection.
+FtleField compute_ftle(const TimeVectorField& field, const FtleParams& params);
+
+// Steady-field convenience (advects along streamlines in time
+// parameterization).
+FtleField compute_ftle(const VectorField& field, const FtleParams& params);
+
+// Largest eigenvalue of a symmetric positive semi-definite 3x3 matrix
+// (exposed for tests).
+double symmetric3_max_eigenvalue(const double m[3][3]);
+
+}  // namespace sf

@@ -1,0 +1,37 @@
+#pragma once
+
+// Parallel pathline computation over time-sliced block data — the §8
+// future-work extension, realized with the Load On Demand strategy
+// (parallelize over pathlines, cache spacetime blocks in LRU order).
+//
+// A pathline needs *two* resident spacetime blocks at every instant, so
+// the same cache and filesystem that comfortably serve streamlines get
+// hammered by slice churn; run_pathline_experiment exposes exactly that
+// (see bench/pathline_study).
+
+#include <span>
+
+#include "analysis/unsteady_tracer.hpp"
+#include "runtime/metrics.hpp"
+#include "runtime/sim_runtime.hpp"
+
+namespace sf {
+
+struct PathlineExperimentConfig {
+  SimRuntimeConfig runtime{};
+  IntegratorParams integrator{};
+  TraceLimits limits{};  // max_time caps the pathline horizon
+};
+
+// Run Load-On-Demand pathlines over `slices` (with times `slice_times`)
+// from `seeds` released at the first slice time.  The returned metrics
+// are directly comparable to a streamline run_experiment on the same
+// machine model.
+RunMetrics run_pathline_experiment(const PathlineExperimentConfig& config,
+                                   const BlockDecomposition& decomp,
+                                   std::vector<DatasetPtr> slices,
+                                   std::vector<double> slice_times,
+                                   std::span<const Vec3> seeds,
+                                   std::size_t modelled_block_bytes = 0);
+
+}  // namespace sf

@@ -1,0 +1,80 @@
+#include "analysis/pathlines.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace sf {
+
+PathlineResult trace_pathline(const TimeVectorField& field, const Vec3& seed,
+                              double t0, double t1,
+                              const IntegratorParams& iparams,
+                              std::uint32_t max_steps) {
+  PathlineResult result;
+  Particle& p = result.particle;
+  p.pos = seed;
+  p.time = t0;
+  p.h = iparams.h_init;
+  result.path.push_back(seed);
+  result.times.push_back(t0);
+
+  const double dir = (t1 >= t0) ? 1.0 : -1.0;
+  const double span = std::abs(t1 - t0);
+
+  if (!field.bounds().contains(seed)) {
+    p.status = ParticleStatus::kExitedDomain;
+    return result;
+  }
+
+  // Integrate the non-autonomous system in the forward parameter
+  // tau = dir * (t - t0); the right-hand side maps back to field time.
+  const UnsteadySampleFn rhs = [&field, t0, dir](const Vec3& pos, double tau,
+                                                 Vec3& out) {
+    if (!field.sample(pos, t0 + dir * tau, out)) return false;
+    if (dir < 0.0) out = -out;
+    return true;
+  };
+
+  double tau = 0.0;
+  while (tau < span) {
+    if (p.steps >= max_steps) {
+      p.status = ParticleStatus::kMaxSteps;
+      return result;
+    }
+    Vec3 v{};
+    if (!field.sample(p.pos, t0 + dir * tau, v)) {
+      p.status = ParticleStatus::kExitedDomain;
+      return result;
+    }
+    if (norm(v) < 1e-12) {
+      // Spatially stagnant; time still passes.  Jump to the horizon.
+      tau = span;
+      break;
+    }
+
+    double h = std::min(p.h, span - tau);
+    h = std::max(h, iparams.h_min);
+    const StepResult step = dopri5_step(rhs, p.pos, tau, h, iparams);
+    if (step.status == StepStatus::kSampleFailed) {
+      p.status = ParticleStatus::kExitedDomain;
+      return result;
+    }
+    p.pos = step.p;
+    tau = step.t;
+    p.h = step.h_next;
+    p.steps += 1;
+    p.geometry_points += 1;
+    p.time = t0 + dir * tau;
+    result.path.push_back(p.pos);
+    result.times.push_back(p.time);
+  }
+  p.time = t1;
+  p.status = ParticleStatus::kMaxTime;  // reached the requested horizon
+  return result;
+}
+
+Vec3 advect(const TimeVectorField& field, const Vec3& seed, double t0,
+            double t1, const IntegratorParams& iparams) {
+  return trace_pathline(field, seed, t0, t1, iparams).particle.pos;
+}
+
+}  // namespace sf

@@ -1,0 +1,34 @@
+#pragma once
+
+// Pathline integration: dx/dt = v(x, t) through a time-varying field —
+// the §8 extension of the paper's streamline setting.  Uses the same
+// Dormand–Prince 5(4) scheme via a frozen-time wrapper per stage.
+
+#include <vector>
+
+#include "analysis/time_field.hpp"
+#include "core/integrator.hpp"
+#include "core/particle.hpp"
+#include "core/tracer.hpp"
+
+namespace sf {
+
+struct PathlineResult {
+  Particle particle;        // final state (time is the simulation time)
+  std::vector<Vec3> path;   // recorded trajectory (seed first)
+  std::vector<double> times;
+};
+
+// Integrate a pathline from `seed` at time `t0` until `t1`, domain exit,
+// or the step budget.  t1 may be < t0 for backward advection (used by
+// unsteady FTLE).
+PathlineResult trace_pathline(const TimeVectorField& field, const Vec3& seed,
+                              double t0, double t1,
+                              const IntegratorParams& iparams,
+                              std::uint32_t max_steps = 100000);
+
+// Convenience: final position only (the flow map sample).
+Vec3 advect(const TimeVectorField& field, const Vec3& seed, double t0,
+            double t1, const IntegratorParams& iparams);
+
+}  // namespace sf

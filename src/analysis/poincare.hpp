@@ -1,0 +1,38 @@
+#pragma once
+
+// Poincaré puncture plots (§8 mentions them as the class of problems
+// where only solver state needs to travel with a particle).  Records the
+// intersections of a streamline with a section plane; for tokamak fields
+// the standard section is a poloidal half-plane, visualizing flux
+// surfaces, magnetic islands and chaotic layers.
+
+#include <functional>
+#include <vector>
+
+#include "core/field.hpp"
+#include "core/integrator.hpp"
+#include "core/tracer.hpp"
+
+namespace sf {
+
+struct PoincareParams {
+  Vec3 plane_point{};            // a point on the section plane
+  Vec3 plane_normal{0, 1, 0};    // its normal
+  // Optional filter on crossing points (e.g. x > 0 to keep one poloidal
+  // half-plane of a torus).  Default accepts everything.
+  std::function<bool(const Vec3&)> accept;
+  // Count only crossings in the +normal direction (true) or both (false).
+  bool positive_direction_only = true;
+  std::size_t max_crossings = 500;
+  IntegratorParams integrator{};
+  TraceLimits limits{.max_time = 1e9, .max_steps = 2000000, .min_speed = 1e-9};
+};
+
+// Integrate from `seed` and return the section crossings in order.
+// Crossing positions are located by linear interpolation within the
+// bracketing accepted step (adequate at integrator tolerances).
+std::vector<Vec3> poincare_punctures(const VectorField& field,
+                                     const Vec3& seed,
+                                     const PoincareParams& params);
+
+}  // namespace sf

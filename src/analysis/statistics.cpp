@@ -1,0 +1,86 @@
+#include "analysis/statistics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace sf {
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), counts_(bins, 0) {
+  if (bins == 0 || !(hi > lo)) {
+    throw std::invalid_argument("Histogram: need bins > 0 and hi > lo");
+  }
+}
+
+void Histogram::add(double value) {
+  const double t = (value - lo_) / (hi_ - lo_);
+  auto bin = static_cast<std::ptrdiff_t>(
+      std::floor(t * static_cast<double>(counts_.size())));
+  bin = std::clamp<std::ptrdiff_t>(
+      bin, 0, static_cast<std::ptrdiff_t>(counts_.size()) - 1);
+  ++counts_[static_cast<std::size_t>(bin)];
+  ++total_;
+}
+
+double Histogram::quantile(double q) const {
+  if (total_ == 0) return lo_;
+  q = std::clamp(q, 0.0, 1.0);
+  if (q == 0.0) return lo_;
+  const double target = q * static_cast<double>(total_);
+  double cumulative = 0.0;
+  for (std::size_t b = 0; b < counts_.size(); ++b) {
+    cumulative += static_cast<double>(counts_[b]);
+    if (cumulative >= target) {
+      return lo_ + (hi_ - lo_) * static_cast<double>(b + 1) /
+                       static_cast<double>(counts_.size());
+    }
+  }
+  return hi_;
+}
+
+StreamlineStats summarize(std::span<const Particle> particles) {
+  StreamlineStats s;
+  s.count = particles.size();
+  if (particles.empty()) return s;
+  double steps = 0.0, time = 0.0, geometry = 0.0;
+  for (const Particle& p : particles) {
+    s.by_status[static_cast<std::size_t>(p.status)] += 1;
+    steps += static_cast<double>(p.steps);
+    time += p.time;
+    geometry += static_cast<double>(p.geometry_points);
+    s.max_steps = std::max(s.max_steps, p.steps);
+    s.max_time = std::max(s.max_time, p.time);
+    s.total_geometry_bytes +=
+        static_cast<std::size_t>(p.geometry_points) * sizeof(Vec3);
+  }
+  const auto n = static_cast<double>(particles.size());
+  s.mean_steps = steps / n;
+  s.mean_time = time / n;
+  s.mean_geometry_points = geometry / n;
+  return s;
+}
+
+double polyline_length(std::span<const Vec3> line) {
+  double length = 0.0;
+  for (std::size_t i = 1; i < line.size(); ++i) {
+    length += distance(line[i - 1], line[i]);
+  }
+  return length;
+}
+
+Histogram length_histogram(const std::vector<std::vector<Vec3>>& lines,
+                           std::size_t bins) {
+  double longest = 0.0;
+  std::vector<double> lengths;
+  lengths.reserve(lines.size());
+  for (const auto& line : lines) {
+    lengths.push_back(polyline_length(line));
+    longest = std::max(longest, lengths.back());
+  }
+  Histogram h(0.0, std::max(longest, 1e-300), bins);
+  for (const double length : lengths) h.add(length);
+  return h;
+}
+
+}  // namespace sf

@@ -1,0 +1,65 @@
+#pragma once
+
+// Streamline statistics — the "statistical analysis of integral curves
+// or particle trajectories" workload §3.1 gives as the canonical
+// many-streamlines-over-small-data problem class.  Summaries are
+// computed from terminated particles and (optionally) their recorded
+// polylines.
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/particle.hpp"
+
+namespace sf {
+
+// Fixed-width histogram over [lo, hi); values outside clamp into the
+// edge bins so totals always match the sample count.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double value);
+
+  double lo() const { return lo_; }
+  double hi() const { return hi_; }
+  std::size_t bins() const { return counts_.size(); }
+  std::uint64_t count(std::size_t bin) const { return counts_[bin]; }
+  std::uint64_t total() const { return total_; }
+
+  // The value below which `q` of the mass lies (bin-resolution accurate;
+  // q in [0, 1]).
+  double quantile(double q) const;
+
+ private:
+  double lo_, hi_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+};
+
+struct StreamlineStats {
+  std::size_t count = 0;
+  std::array<std::size_t, 6> by_status{};  // indexed by ParticleStatus
+  double mean_steps = 0.0;
+  std::uint32_t max_steps = 0;
+  double mean_time = 0.0;
+  double max_time = 0.0;
+  double mean_geometry_points = 0.0;
+  // Total memory the trajectories would occupy if gathered in one place
+  // (the thing that blows up Static Allocation in Figure 13).
+  std::size_t total_geometry_bytes = 0;
+};
+
+StreamlineStats summarize(std::span<const Particle> particles);
+
+// Arc length of a recorded polyline (sum of segment lengths).
+double polyline_length(std::span<const Vec3> line);
+
+// Histogram of arc lengths over a set of polylines, with automatic
+// range [0, max-length].
+Histogram length_histogram(const std::vector<std::vector<Vec3>>& lines,
+                           std::size_t bins = 32);
+
+}  // namespace sf

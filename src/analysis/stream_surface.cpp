@@ -1,0 +1,149 @@
+#include "analysis/stream_surface.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace sf {
+
+namespace {
+
+struct FrontParticle {
+  Vec3 pos{};
+  double time = 0.0;
+  double h = 0.0;
+  bool alive = true;
+  std::uint32_t vertex = 0;  // index of its latest surface vertex
+};
+
+// Advance one front particle to `target_time`; marks it dead on domain
+// exit or stagnation.
+void advance_to(const VectorField& field, FrontParticle& fp,
+                double target_time, const IntegratorParams& iparams) {
+  while (fp.alive && fp.time < target_time) {
+    Vec3 v{};
+    if (!field.sample(fp.pos, v) || norm(v) < 1e-10) {
+      fp.alive = false;
+      return;
+    }
+    double h = std::min(fp.h, target_time - fp.time);
+    h = std::max(h, iparams.h_min);
+    const StepResult step = dopri5_step(field, fp.pos, fp.time, h, iparams);
+    if (step.status == StepStatus::kSampleFailed) {
+      fp.alive = false;
+      return;
+    }
+    fp.pos = step.p;
+    fp.time = step.t;
+    fp.h = step.h_next;
+  }
+}
+
+// Triangulate the ribbon between two polylines (the previous and current
+// front) with the classic greedy shortest-diagonal march.  Indices refer
+// to surface vertices.
+void stitch(const std::vector<Vec3>& vertices,
+            const std::vector<std::uint32_t>& prev,
+            const std::vector<std::uint32_t>& cur,
+            std::vector<Triangle>& out) {
+  if (prev.size() < 2 && cur.size() < 2) return;
+  std::size_t i = 0, j = 0;
+  while (i + 1 < prev.size() || j + 1 < cur.size()) {
+    const bool can_i = i + 1 < prev.size();
+    const bool can_j = j + 1 < cur.size();
+    bool step_i;
+    if (can_i && can_j) {
+      const double di = distance(vertices[prev[i + 1]], vertices[cur[j]]);
+      const double dj = distance(vertices[prev[i]], vertices[cur[j + 1]]);
+      step_i = di <= dj;
+    } else {
+      step_i = can_i;
+    }
+    if (step_i) {
+      out.push_back({prev[i], prev[i + 1], cur[j]});
+      ++i;
+    } else {
+      out.push_back({prev[i], cur[j + 1], cur[j]});
+      ++j;
+    }
+  }
+}
+
+}  // namespace
+
+StreamSurface compute_stream_surface(const VectorField& field,
+                                     std::span<const Vec3> seed_curve,
+                                     const StreamSurfaceParams& params) {
+  StreamSurface surface;
+  if (seed_curve.size() < 2) return surface;
+
+  std::vector<FrontParticle> front;
+  front.reserve(seed_curve.size());
+  for (const Vec3& seed : seed_curve) {
+    FrontParticle fp;
+    fp.pos = seed;
+    fp.h = params.integrator.h_init;
+    fp.alive = field.bounds().contains(seed);
+    fp.vertex = static_cast<std::uint32_t>(surface.vertices.size());
+    surface.vertices.push_back(seed);
+    front.push_back(fp);
+  }
+
+  for (std::size_t ring = 1; ring <= params.max_rings; ++ring) {
+    const double target = static_cast<double>(ring) * params.ring_dt;
+
+    // Previous ring's vertex ids of the still-alive contiguous runs.
+    std::vector<std::uint32_t> prev_ids;
+    prev_ids.reserve(front.size());
+    for (const FrontParticle& fp : front) {
+      if (fp.alive) prev_ids.push_back(fp.vertex);
+    }
+    if (prev_ids.size() < 2) break;  // surface has collapsed
+
+    for (FrontParticle& fp : front) {
+      if (fp.alive) advance_to(field, fp, target, params.integrator);
+    }
+
+    // Adaptive refinement: fill gaps that opened beyond split_distance
+    // by seeding a fresh streamline at the midpoint of the *current*
+    // ring (it has no surface history — it starts here).
+    if (front.size() < params.max_front) {
+      std::vector<FrontParticle> refined;
+      refined.reserve(front.size() + 8);
+      for (std::size_t i = 0; i < front.size(); ++i) {
+        refined.push_back(front[i]);
+        if (i + 1 < front.size() && front[i].alive && front[i + 1].alive &&
+            refined.size() + (front.size() - i - 1) < params.max_front &&
+            distance(front[i].pos, front[i + 1].pos) >
+                params.split_distance) {
+          FrontParticle mid;
+          mid.pos = (front[i].pos + front[i + 1].pos) * 0.5;
+          mid.time = target;
+          mid.h = params.integrator.h_init;
+          mid.alive = field.bounds().contains(mid.pos);
+          if (mid.alive) {
+            refined.push_back(mid);
+            ++surface.inserted_streamlines;
+          }
+        }
+      }
+      front = std::move(refined);
+    }
+
+    // Emit this ring's vertices and stitch to the previous ring.
+    std::vector<std::uint32_t> cur_ids;
+    cur_ids.reserve(front.size());
+    for (FrontParticle& fp : front) {
+      if (!fp.alive) continue;
+      fp.vertex = static_cast<std::uint32_t>(surface.vertices.size());
+      surface.vertices.push_back(fp.pos);
+      cur_ids.push_back(fp.vertex);
+    }
+    if (cur_ids.size() < 2) break;
+
+    stitch(surface.vertices, prev_ids, cur_ids, surface.triangles);
+    surface.rings = ring;
+  }
+  return surface;
+}
+
+}  // namespace sf

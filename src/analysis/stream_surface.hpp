@@ -1,0 +1,38 @@
+#pragma once
+
+// Stream surfaces (Figure 4): the surface swept by all streamlines
+// emanating from a seed curve, built ring by ring with an advancing
+// front.  When adjacent front particles separate beyond a threshold a new
+// streamline is inserted between them mid-surface — the "dynamic creation
+// of streamlines" §8 identifies as the natural extension of the
+// architecture.
+
+#include <span>
+#include <vector>
+
+#include "core/field.hpp"
+#include "core/integrator.hpp"
+#include "io/obj_writer.hpp"
+
+namespace sf {
+
+struct StreamSurfaceParams {
+  double ring_dt = 0.05;        // integration time between rings
+  std::size_t max_rings = 200;
+  double split_distance = 0.05; // insert a streamline beyond this gap
+  std::size_t max_front = 4096; // cap on front width
+  IntegratorParams integrator{};
+};
+
+struct StreamSurface {
+  std::vector<Vec3> vertices;
+  std::vector<Triangle> triangles;
+  std::size_t rings = 0;
+  std::size_t inserted_streamlines = 0;  // dynamic seeds added
+};
+
+StreamSurface compute_stream_surface(const VectorField& field,
+                                     std::span<const Vec3> seed_curve,
+                                     const StreamSurfaceParams& params);
+
+}  // namespace sf

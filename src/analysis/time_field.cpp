@@ -1,0 +1,54 @@
+#include "analysis/time_field.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace sf {
+
+bool DoubleGyreField::sample(const Vec3& p, double t, Vec3& out) const {
+  if (!bounds().contains(p)) return false;
+  const double pi = 3.14159265358979323846;
+  // f(x,t) = eps sin(wt) x^2 + (1 - 2 eps sin(wt)) x
+  const double s = eps_ * std::sin(omega_ * t);
+  const double f = s * p.x * p.x + (1.0 - 2.0 * s) * p.x;
+  const double dfdx = 2.0 * s * p.x + (1.0 - 2.0 * s);
+  out = {-pi * a_ * std::sin(pi * f) * std::cos(pi * p.y),
+         pi * a_ * std::cos(pi * f) * std::sin(pi * p.y) * dfdx, 0.0};
+  return true;
+}
+
+TimeSliceField::TimeSliceField(std::vector<DatasetPtr> slices,
+                               std::vector<double> times)
+    : slices_(std::move(slices)), times_(std::move(times)) {
+  if (slices_.size() < 2 || slices_.size() != times_.size()) {
+    throw std::invalid_argument(
+        "TimeSliceField: need >= 2 slices with matching times");
+  }
+  if (!std::is_sorted(times_.begin(), times_.end())) {
+    throw std::invalid_argument("TimeSliceField: times must be increasing");
+  }
+}
+
+AABB TimeSliceField::bounds() const { return slices_.front()->bounds(); }
+
+bool TimeSliceField::sample(const Vec3& p, double t, Vec3& out) const {
+  if (t < times_.front() || t > times_.back()) return false;
+  const auto hi =
+      std::upper_bound(times_.begin(), times_.end(), t) - times_.begin();
+  const std::size_t i1 =
+      std::min(static_cast<std::size_t>(std::max<std::ptrdiff_t>(hi, 1)),
+               times_.size() - 1);
+  const std::size_t i0 = i1 - 1;
+
+  Vec3 v0, v1;
+  if (!slices_[i0]->sample(p, v0) || !slices_[i1]->sample(p, v1)) {
+    return false;
+  }
+  const double span = times_[i1] - times_[i0];
+  const double w = span > 0.0 ? (t - times_[i0]) / span : 0.0;
+  out = v0 * (1.0 - w) + v1 * w;
+  return true;
+}
+
+}  // namespace sf

@@ -1,0 +1,87 @@
+#pragma once
+
+// Time-varying vector fields — the substrate for pathlines (§8 of the
+// paper lists pathline support as the immediate extension of this work,
+// "depending on considerably larger amounts of data since it becomes
+// necessary to advance through multiple time steps").
+
+#include <memory>
+#include <vector>
+
+#include "core/dataset.hpp"
+#include "core/field.hpp"
+
+namespace sf {
+
+class TimeVectorField {
+ public:
+  virtual ~TimeVectorField() = default;
+
+  // Evaluate at position `p` and time `t`.  False outside the spatial
+  // domain or time range.
+  virtual bool sample(const Vec3& p, double t, Vec3& out) const = 0;
+  virtual AABB bounds() const = 0;
+  virtual std::pair<double, double> time_range() const = 0;
+};
+
+// A steady field viewed as time varying (valid for all t).
+class SteadyAsTimeField final : public TimeVectorField {
+ public:
+  explicit SteadyAsTimeField(FieldPtr field) : field_(std::move(field)) {}
+
+  bool sample(const Vec3& p, double /*t*/, Vec3& out) const override {
+    return field_->sample(p, out);
+  }
+  AABB bounds() const override { return field_->bounds(); }
+  std::pair<double, double> time_range() const override {
+    return {-1e300, 1e300};
+  }
+
+ private:
+  FieldPtr field_;
+};
+
+// The classic double-gyre benchmark flow (Shadden et al.), extruded to a
+// thin 3D slab: two counter-rotating gyres whose dividing line oscillates
+// with amplitude eps at frequency omega.  Standard ground truth for
+// unsteady FTLE ridges.
+class DoubleGyreField final : public TimeVectorField {
+ public:
+  DoubleGyreField(double amplitude = 0.1, double eps = 0.25,
+                  double omega = 0.62831853071795865)
+      : a_(amplitude), eps_(eps), omega_(omega) {}
+
+  bool sample(const Vec3& p, double t, Vec3& out) const override;
+  AABB bounds() const override { return {{0, 0, -0.1}, {2, 1, 0.1}}; }
+  std::pair<double, double> time_range() const override {
+    return {-1e300, 1e300};
+  }
+
+ private:
+  double a_, eps_, omega_;
+};
+
+// Linear interpolation between block-decomposed time slices: the discrete
+// form time-varying simulation output takes on disk.  Each slice is a
+// full BlockedDataset; sampling interpolates between the two bracketing
+// slices ("two blocks that occupy the same space at different times are
+// considered independent", §4).
+class TimeSliceField final : public TimeVectorField {
+ public:
+  TimeSliceField(std::vector<DatasetPtr> slices, std::vector<double> times);
+
+  bool sample(const Vec3& p, double t, Vec3& out) const override;
+  AABB bounds() const override;
+  std::pair<double, double> time_range() const override {
+    return {times_.front(), times_.back()};
+  }
+
+  std::size_t num_slices() const { return slices_.size(); }
+  const DatasetPtr& slice(std::size_t i) const { return slices_[i]; }
+
+ private:
+  std::vector<DatasetPtr> slices_;
+  std::vector<double> times_;
+};
+
+}  // namespace sf

@@ -1,0 +1,72 @@
+#pragma once
+
+// Axis-aligned bounding box over doubles.
+//
+// Used for the global field domain, per-block extents (with and without
+// ghost layers) and seed-placement regions.
+
+#include <algorithm>
+#include <limits>
+
+#include "core/vec3.hpp"
+
+namespace sf {
+
+struct AABB {
+  Vec3 lo{std::numeric_limits<double>::max(),
+          std::numeric_limits<double>::max(),
+          std::numeric_limits<double>::max()};
+  Vec3 hi{std::numeric_limits<double>::lowest(),
+          std::numeric_limits<double>::lowest(),
+          std::numeric_limits<double>::lowest()};
+
+  constexpr AABB() = default;
+  constexpr AABB(const Vec3& lo_, const Vec3& hi_) : lo(lo_), hi(hi_) {}
+
+  constexpr bool valid() const {
+    return lo.x <= hi.x && lo.y <= hi.y && lo.z <= hi.z;
+  }
+
+  // Half-open on no side: boundary points are contained.  Block-ownership
+  // resolution uses index arithmetic instead (BlockDecomposition::block_of)
+  // so shared faces have a unique owner.
+  constexpr bool contains(const Vec3& p) const {
+    return p.x >= lo.x && p.x <= hi.x && p.y >= lo.y && p.y <= hi.y &&
+           p.z >= lo.z && p.z <= hi.z;
+  }
+
+  constexpr Vec3 extent() const { return hi - lo; }
+  constexpr Vec3 center() const { return (lo + hi) * 0.5; }
+
+  constexpr double volume() const {
+    const Vec3 e = extent();
+    return e.x * e.y * e.z;
+  }
+
+  void expand(const Vec3& p) {
+    lo = min(lo, p);
+    hi = max(hi, p);
+  }
+
+  // Grow symmetrically by `m` in every direction (used for ghost regions).
+  constexpr AABB inflated(double m) const {
+    return {lo - Vec3{m, m, m}, hi + Vec3{m, m, m}};
+  }
+
+  constexpr bool intersects(const AABB& o) const {
+    return lo.x <= o.hi.x && hi.x >= o.lo.x && lo.y <= o.hi.y &&
+           hi.y >= o.lo.y && lo.z <= o.hi.z && hi.z >= o.lo.z;
+  }
+
+  // Clamp a point into the box (used to nudge seeds onto the domain).
+  constexpr Vec3 clamp(const Vec3& p) const {
+    return {std::clamp(p.x, lo.x, hi.x), std::clamp(p.y, lo.y, hi.y),
+            std::clamp(p.z, lo.z, hi.z)};
+  }
+
+  friend constexpr bool operator==(const AABB& a, const AABB& b) {
+    return a.lo == b.lo && a.hi == b.hi;
+  }
+};
+
+}  // namespace sf

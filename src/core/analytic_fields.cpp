@@ -1,0 +1,269 @@
+#include "core/analytic_fields.hpp"
+
+#include <cmath>
+
+#include "core/rng.hpp"
+
+namespace sf {
+
+namespace {
+constexpr double kTwoPi = 6.283185307179586476925286766559;
+}
+
+bool UniformField::sample(const Vec3& p, Vec3& out) const {
+  if (!bounds_.contains(p)) return false;
+  out = v_;
+  return true;
+}
+
+bool RotorField::sample(const Vec3& p, Vec3& out) const {
+  if (!bounds_.contains(p)) return false;
+  out = cross(omega_, p - center_);
+  return true;
+}
+
+bool SaddleField::sample(const Vec3& p, Vec3& out) const {
+  if (!bounds_.contains(p)) return false;
+  out = {lambda_ * p.x, -lambda_ * p.y, 0.0};
+  return true;
+}
+
+bool ABCField::sample(const Vec3& p, Vec3& out) const {
+  if (!bounds_.contains(p)) return false;
+  out = {a_ * std::sin(p.z) + c_ * std::cos(p.y),
+         b_ * std::sin(p.x) + a_ * std::cos(p.z),
+         c_ * std::sin(p.y) + b_ * std::cos(p.x)};
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Hill's spherical vortex
+// ---------------------------------------------------------------------------
+
+bool HillVortexField::sample(const Vec3& p, Vec3& out) const {
+  if (!bounds_.contains(p)) return false;
+  const double rho2 = p.x * p.x + p.y * p.y;
+  const double r2 = rho2 + p.z * p.z;
+  const double a2 = a_ * a_;
+
+  double u_rho, u_z;  // cylindrical components
+  if (r2 <= a2) {
+    // Interior: solid rotational core.
+    u_rho = 1.5 * u_ * p.z / a2;  // (u_rho / rho), applied below
+    u_z = 1.5 * u_ * (1.0 - (2.0 * rho2 + p.z * p.z) / a2);
+  } else {
+    // Exterior: dipole superposed on the uniform stream -U e_z.
+    const double r5 = r2 * r2 * std::sqrt(r2);
+    u_rho = 1.5 * u_ * a_ * a2 * p.z / r5;  // (u_rho / rho)
+    u_z = u_ * (a_ * a2 * (2.0 * p.z * p.z - rho2) / (2.0 * r5) - 1.0);
+  }
+  // u_rho above is the coefficient of rho; convert to cartesian x/y.
+  out = {u_rho * p.x, u_rho * p.y, u_z};
+  return true;
+}
+
+double HillVortexField::streamfunction(const Vec3& p) const {
+  const double rho2 = p.x * p.x + p.y * p.y;
+  const double r2 = rho2 + p.z * p.z;
+  const double a2 = a_ * a_;
+  if (r2 <= a2) {
+    return 0.75 * u_ * rho2 * (1.0 - r2 / a2);
+  }
+  const double r3 = r2 * std::sqrt(r2);
+  return -0.5 * u_ * rho2 * (1.0 - a_ * a2 / r3);
+}
+
+// ---------------------------------------------------------------------------
+// Supernova
+// ---------------------------------------------------------------------------
+
+SupernovaField::SupernovaField(const SupernovaParams& params)
+    : params_(params) {
+  // Build a small set of Fourier modes for the turbulent vector potential
+  //   A(p) = sum_m amp_m * sin(k_m . p + phase_m)   (per component)
+  // The turbulent velocity is curl A, hence exactly divergence free.
+  Rng rng(params_.seed);
+  const int n = params_.turbulence_modes;
+  modes_.reserve(static_cast<std::size_t>(n) * 2);
+  for (int m = 0; m < 2 * n; ++m) {
+    Mode mode;
+    // Wave numbers are multiples of pi so the potential vanishes smoothly
+    // toward the domain faces of [-1,1]^3.
+    const double base = 3.14159265358979323846;
+    mode.k = {base * (1.0 + rng.next_below(static_cast<std::uint64_t>(n))),
+              base * (1.0 + rng.next_below(static_cast<std::uint64_t>(n))),
+              base * (1.0 + rng.next_below(static_cast<std::uint64_t>(n)))};
+    // Amplitude decays with |k| for a rough Kolmogorov-like spectrum.
+    const double decay = 1.0 / (1.0 + 0.15 * norm2(mode.k));
+    mode.amp = {rng.uniform(-1, 1) * decay, rng.uniform(-1, 1) * decay,
+                rng.uniform(-1, 1) * decay};
+    mode.phase = {rng.uniform(0, kTwoPi), rng.uniform(0, kTwoPi),
+                  rng.uniform(0, kTwoPi)};
+    modes_.push_back(mode);
+  }
+}
+
+Vec3 SupernovaField::turbulence(const Vec3& p) const {
+  // curl A where A_i = sum_m amp_m[i] * sin(k_m . p + phase_m[i]).
+  // dA_i/dx_j = sum_m amp_m[i] * k_m[j] * cos(k_m . p + phase_m[i]).
+  double dA[3][3] = {};  // dA[i][j] = dA_i/dx_j
+  for (const Mode& m : modes_) {
+    const double kp = dot(m.k, p);
+    for (int i = 0; i < 3; ++i) {
+      const double c = m.amp[i] * std::cos(kp + m.phase[i]);
+      dA[i][0] += c * m.k.x;
+      dA[i][1] += c * m.k.y;
+      dA[i][2] += c * m.k.z;
+    }
+  }
+  return {dA[2][1] - dA[1][2], dA[0][2] - dA[2][0], dA[1][0] - dA[0][1]};
+}
+
+bool SupernovaField::sample(const Vec3& p, Vec3& out) const {
+  if (!bounds().contains(p)) return false;
+
+  const double r = norm(p);
+
+  // Shock-front shell: a semi-attracting manifold at shock_radius.
+  // Inside, the field sweeps streamlines outward onto the shell — the
+  // "strongly attracting structures draw streamlines towards them"
+  // behaviour §3.1 identifies as what breaks static parallelization
+  // (work concentrates in the shell's blocks).  Beyond the shell a slow
+  // outward ejecta drift lets lines escape and terminate at the domain
+  // boundary, so the concentration is intense but transient.
+  Vec3 radial{};
+  if (r > 1e-12) {
+    const double d = (r - params_.shock_radius) / params_.shock_width;
+    // Attraction toward the shell plus a weak uniform ejecta leak: lines
+    // are trapped near the shell (equilibrium slightly outside it) until
+    // turbulence random-walks them past the attraction tail, after which
+    // the leak carries them out of the domain.  Residence is long enough
+    // to concentrate the workload, finite enough that lines terminate.
+    const double mag = params_.shock_strength *
+                       ((-d) * std::exp(-0.5 * d * d) + 0.08);
+    radial = p * (mag / r);
+  }
+
+  // Differential rotation about z, decaying with cylindrical radius.
+  const double rc2 = p.x * p.x + p.y * p.y;
+  const double fall = params_.rotation_falloff * params_.rotation_falloff;
+  const double omega = params_.rotation_strength * fall / (fall + rc2);
+  const Vec3 rot{-omega * p.y, omega * p.x, 0.0};
+
+  out = radial + rot + params_.turbulence_strength * turbulence(p);
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Tokamak
+// ---------------------------------------------------------------------------
+
+TokamakField::TokamakField(const TokamakParams& params) : params_(params) {
+  const double reach = params_.major_radius + params_.minor_radius * 1.3;
+  const double height = params_.minor_radius * 1.3;
+  bounds_ = {{-reach, -reach, -height}, {reach, reach, height}};
+}
+
+bool TokamakField::sample(const Vec3& p, Vec3& out) const {
+  if (!bounds_.contains(p)) return false;
+
+  const double R = std::hypot(p.x, p.y);  // cylindrical radius
+  if (R < 1e-9) return false;             // on the torus axis: undefined
+
+  const double R0 = params_.major_radius;
+  // Local poloidal coordinates in the (R, z) half-plane.
+  const double dr = R - R0;
+  const double dz = p.z;
+  const double r = std::hypot(dr, dz);        // minor radius
+  const double theta = std::atan2(dz, dr);    // poloidal angle
+  const double phi = std::atan2(p.y, p.x);    // toroidal angle
+
+  // Toroidal component: B0 * R0 / R along e_phi.
+  const double b_tor = params_.b0 * R0 / R;
+  const Vec3 e_phi{-p.y / R, p.x / R, 0.0};
+
+  // Poloidal winding from the safety factor q(r): a field line advances
+  // dtheta/dphi = 1/q, so |B_pol| = r/(q R) * b_tor along e_theta.
+  const double a = params_.minor_radius;
+  const double q = params_.q0 + params_.q1 * (r / a) * (r / a);
+  double b_pol = (r > 1e-12) ? b_tor * r / (q * R) : 0.0;
+
+  // Resonant island perturbation: radial kick localized in minor radius,
+  // resonant with mode numbers (m, n).
+  const double pert =
+      params_.island_amplitude * params_.b0 *
+      std::sin(params_.island_m * theta - params_.island_n * phi) *
+      std::exp(-(r / a - 0.6) * (r / a - 0.6) * 12.0);
+
+  // Unit vectors: e_R points outward in the (x,y) plane; e_r / e_theta are
+  // the poloidal-plane polar frame.
+  const Vec3 e_R{p.x / R, p.y / R, 0.0};
+  const Vec3 e_z{0.0, 0.0, 1.0};
+  const double ct = std::cos(theta), st = std::sin(theta);
+  const Vec3 e_r = e_R * ct + e_z * st;        // radial in poloidal plane
+  const Vec3 e_theta = e_R * (-st) + e_z * ct; // poloidal direction
+
+  out = e_phi * b_tor + e_theta * b_pol + e_r * pert;
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Thermal hydraulics
+// ---------------------------------------------------------------------------
+
+ThermalHydraulicsField::ThermalHydraulicsField(
+    const ThermalHydraulicsParams& params)
+    : params_(params) {}
+
+bool ThermalHydraulicsField::sample(const Vec3& p, Vec3& out) const {
+  if (!bounds().contains(p)) return false;
+
+  Vec3 v{};
+
+  // Twin inlet jets: gaussian cross-section, decaying along +x.
+  for (const Vec3& inlet : {params_.inlet1, params_.inlet2}) {
+    const double dy = p.y - inlet.y;
+    const double dz = p.z - inlet.z;
+    const double r2 = dy * dy + dz * dz;
+    const double sigma2 =
+        params_.inlet_radius * params_.inlet_radius * (1.0 + 3.0 * p.x);
+    const double profile = std::exp(-r2 / (2.0 * sigma2));
+    const double axial = std::exp(-p.x / params_.jet_reach);
+    // The jet entrains fluid slightly toward its axis, giving the strong
+    // local shear that makes the inlet region turbulent (Figure 4).
+    v.x += params_.jet_strength * profile * axial;
+    v.y += -0.35 * params_.jet_strength * profile * axial * dy /
+           params_.inlet_radius * 0.2;
+    v.z += -0.35 * params_.jet_strength * profile * axial * dz /
+           params_.inlet_radius * 0.2;
+  }
+
+  // Outlet sink near the upper corner.
+  {
+    const Vec3 d = p - params_.outlet;
+    const double r2 = norm2(d) + 0.01;
+    v += d * (-params_.outlet_strength / (r2 * std::sqrt(r2) * 25.0 + 1.0));
+  }
+
+  // Cellular recirculation: curl of A = psi * e_y with
+  // psi = sin(pi c x) sin(pi c z) * amplitude(y) gives counter-rotating
+  // rolls in the x-z plane, modulated along y — long-lived recirculation
+  // zones that isolate regions from mixing (§3.2).
+  {
+    const double c = static_cast<double>(params_.cells);
+    const double pi = 3.14159265358979323846;
+    const double ay = 1.0 + 0.5 * std::sin(pi * p.y);
+    const double s = params_.recirculation_strength * ay;
+    // curl(psi e_y) = (dpsi/dz, 0, -dpsi/dx)
+    v.x += s * pi * c * std::sin(pi * c * p.x) * std::cos(pi * c * p.z);
+    v.z += -s * pi * c * std::cos(pi * c * p.x) * std::sin(pi * c * p.z);
+    // Slow drift along y so streamlines explore the third dimension.
+    v.y += 0.3 * params_.recirculation_strength *
+           std::sin(pi * p.x) * std::sin(pi * p.z);
+  }
+
+  out = v;
+  return true;
+}
+
+}  // namespace sf

@@ -1,0 +1,234 @@
+#pragma once
+
+// Analytic vector fields.
+//
+// These stand in for the paper's proprietary simulation outputs (GenASiS
+// supernova magnetic field, NIMROD tokamak field, Nek5000 thermal
+// hydraulics).  Each is constructed to reproduce the *transport structure*
+// that drives the paper's performance results — see DESIGN.md §2 for the
+// substitution rationale.  They are also exact, cheap, and differentiable,
+// which makes them ideal ground truth for integrator and FTLE tests.
+
+#include <cstdint>
+#include <vector>
+
+#include "core/field.hpp"
+
+namespace sf {
+
+// Constant field; streamlines are straight lines.  Ground truth for
+// integrator exactness and the "nearly uniform field traverses the whole
+// dataset" problem class from §3.1 of the paper.
+class UniformField final : public VectorField {
+ public:
+  explicit UniformField(const Vec3& v = {1, 0, 0},
+                        const AABB& bounds = {{-1, -1, -1}, {1, 1, 1}})
+      : v_(v), bounds_(bounds) {}
+
+  bool sample(const Vec3& p, Vec3& out) const override;
+  AABB bounds() const override { return bounds_; }
+
+ private:
+  Vec3 v_;
+  AABB bounds_;
+};
+
+// Rigid rotation about an axis through `center`: v = omega x (p - center).
+// Streamlines are exact circles with period 2*pi/|omega| — used to measure
+// integrator convergence order.
+class RotorField final : public VectorField {
+ public:
+  explicit RotorField(const Vec3& center = {}, const Vec3& omega = {0, 0, 1},
+                      const AABB& bounds = {{-2, -2, -2}, {2, 2, 2}})
+      : center_(center), omega_(omega), bounds_(bounds) {}
+
+  bool sample(const Vec3& p, Vec3& out) const override;
+  AABB bounds() const override { return bounds_; }
+
+ private:
+  Vec3 center_;
+  Vec3 omega_;
+  AABB bounds_;
+};
+
+// Linear saddle v = (lambda*x, -lambda*y, 0).  Exact solution
+// x(t) = x0*exp(lambda t), y(t) = y0*exp(-lambda t).  Ground truth for FTLE
+// (the FTLE of a linear saddle is exactly lambda everywhere).
+class SaddleField final : public VectorField {
+ public:
+  explicit SaddleField(double lambda = 1.0,
+                       const AABB& bounds = {{-4, -4, -1}, {4, 4, 1}})
+      : lambda_(lambda), bounds_(bounds) {}
+
+  bool sample(const Vec3& p, Vec3& out) const override;
+  AABB bounds() const override { return bounds_; }
+
+ private:
+  double lambda_;
+  AABB bounds_;
+};
+
+// Arnold–Beltrami–Childress flow, the classic divergence-free chaotic
+// benchmark field:
+//   v = (A sin z + C cos y, B sin x + A cos z, C sin y + B cos x)
+// defined on a 2*pi-periodic box.
+class ABCField final : public VectorField {
+ public:
+  ABCField(double a, double b, double c,
+           const AABB& bounds = {{0, 0, 0},
+                                 {6.283185307179586, 6.283185307179586,
+                                  6.283185307179586}})
+      : a_(a), b_(b), c_(c), bounds_(bounds) {}
+  ABCField() : ABCField(1.0, 1.1547005383792517, 0.5773502691896258) {}
+
+  bool sample(const Vec3& p, Vec3& out) const override;
+  AABB bounds() const override { return bounds_; }
+
+ private:
+  double a_, b_, c_;
+  AABB bounds_;
+};
+
+// Hill's spherical vortex: the classic exact solution of a vortex of
+// radius `a` embedded in a uniform stream of speed U along -z (the
+// vortex itself is at rest).  Interior streamlines are closed loops on
+// which the Stokes streamfunction is exactly conserved — a strong
+// validation target for the integrator and grid sampling.
+class HillVortexField final : public VectorField {
+ public:
+  explicit HillVortexField(double radius = 0.6, double speed = 1.0,
+                           const AABB& bounds = {{-1.5, -1.5, -1.5},
+                                                 {1.5, 1.5, 1.5}})
+      : a_(radius), u_(speed), bounds_(bounds) {}
+
+  bool sample(const Vec3& p, Vec3& out) const override;
+  AABB bounds() const override { return bounds_; }
+
+  double radius() const { return a_; }
+
+  // The Stokes streamfunction (conserved along streamlines; continuous
+  // across the vortex boundary).
+  double streamfunction(const Vec3& p) const;
+
+ private:
+  double a_, u_;
+  AABB bounds_;
+};
+
+// Supernova-like magnetic field (substitute for the GenASiS dataset of
+// Figure 1 and the Figures 5–8 scaling study).
+//
+// Three superposed solenoidal components on [-1,1]^3:
+//   * a shock-front radial sweep: strong outward transport in a shell
+//     around the expanding shock radius (streamlines seeded sparsely get
+//     carried across the whole domain),
+//   * differential rotation about the z axis whose angular velocity decays
+//     with cylindrical radius (keeps densely seeded lines near the
+//     proto-neutron star localized),
+//   * a turbulent perturbation built as the curl of a low-order Fourier
+//     vector potential (exactly divergence free, "complex magnetic field
+//     inside the shock front").
+struct SupernovaParams {
+  double shock_radius = 0.55;   // centre of the radial sweep shell
+  double shock_width = 0.18;    // gaussian width of the shell
+  double shock_strength = 1.2;  // peak radial speed
+  double rotation_strength = 2.0;
+  double rotation_falloff = 0.35;  // cylindrical-radius scale of the rotor
+  double turbulence_strength = 0.8;
+  int turbulence_modes = 3;     // Fourier modes per axis in the potential
+  std::uint64_t seed = 0x5eedULL;
+};
+
+class SupernovaField final : public VectorField {
+ public:
+  explicit SupernovaField(const SupernovaParams& params = {});
+
+  bool sample(const Vec3& p, Vec3& out) const override;
+  AABB bounds() const override { return {{-1, -1, -1}, {1, 1, 1}}; }
+
+  // The turbulent component alone (curl of the vector potential); exposed
+  // so tests can verify it is numerically divergence free.
+  Vec3 turbulence(const Vec3& p) const;
+
+ private:
+  struct Mode {
+    Vec3 k;      // wave vector
+    Vec3 amp;    // potential amplitude
+    Vec3 phase;  // per-component phase
+  };
+
+  SupernovaParams params_;
+  std::vector<Mode> modes_;
+};
+
+// Tokamak-like magnetic field (substitute for the NIMROD dataset of
+// Figure 2 and the Figures 9–12 scaling study).
+//
+// Torus of major radius R0 and minor radius a centred at the origin with
+// the z axis as the torus axis.  The field is
+//   B = B0 * R0/R * e_phi  +  poloidal winding with safety factor
+//       q(r) = q0 + q1 (r/a)^2  +  resonant (m,n) island perturbation.
+// Field lines are nearly closed, orbit the torus indefinitely and fill it
+// uniformly regardless of where they are seeded — the property §5.2 of the
+// paper calls out.  The perturbation creates a chaotic layer so some lines
+// wander across flux surfaces.
+struct TokamakParams {
+  double major_radius = 1.0;
+  double minor_radius = 0.45;
+  double b0 = 1.0;      // toroidal field strength at R = R0
+  double q0 = 1.1;      // on-axis safety factor
+  double q1 = 1.9;      // edge shear
+  double island_amplitude = 0.04;
+  int island_m = 3;     // poloidal mode number
+  int island_n = 2;     // toroidal mode number
+};
+
+class TokamakField final : public VectorField {
+ public:
+  explicit TokamakField(const TokamakParams& params = {});
+
+  bool sample(const Vec3& p, Vec3& out) const override;
+  AABB bounds() const override { return bounds_; }
+
+  const TokamakParams& params() const { return params_; }
+
+ private:
+  TokamakParams params_;
+  AABB bounds_;
+};
+
+// Thermal-hydraulics mixing flow (substitute for the Nek5000 dataset of
+// Figures 3, 4 and the Figures 13–16 scaling study).
+//
+// Unit box with two inlets on the x=0 wall injecting gaussian-profile jets
+// toward +x, an outlet sink near the upper corner, and a cellular
+// recirculation pattern (curl of a potential, divergence free) filling the
+// interior.  Dense seeding just outside an inlet stays within a few blocks
+// for short integration times (the Load-On-Demand-wins case of Figure 13);
+// sparse volume seeding traverses the whole box.
+struct ThermalHydraulicsParams {
+  Vec3 inlet1 = {0.0, 0.30, 0.30};
+  Vec3 inlet2 = {0.0, 0.70, 0.30};
+  double inlet_radius = 0.07;
+  double jet_strength = 3.0;
+  double jet_reach = 0.45;  // e-folding distance of the jet in x
+  Vec3 outlet = {1.0, 0.85, 0.85};
+  double outlet_strength = 1.0;
+  double recirculation_strength = 0.5;
+  int cells = 2;  // recirculation cells per axis
+};
+
+class ThermalHydraulicsField final : public VectorField {
+ public:
+  explicit ThermalHydraulicsField(const ThermalHydraulicsParams& params = {});
+
+  bool sample(const Vec3& p, Vec3& out) const override;
+  AABB bounds() const override { return {{0, 0, 0}, {1, 1, 1}}; }
+
+  const ThermalHydraulicsParams& params() const { return params_; }
+
+ private:
+  ThermalHydraulicsParams params_;
+};
+
+}  // namespace sf

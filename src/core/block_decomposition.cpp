@@ -1,0 +1,102 @@
+#include "core/block_decomposition.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace sf {
+
+BlockDecomposition::BlockDecomposition(const AABB& domain, int nbx, int nby,
+                                       int nbz)
+    : domain_(domain), nbx_(nbx), nby_(nby), nbz_(nbz) {
+  if (nbx < 1 || nby < 1 || nbz < 1) {
+    throw std::invalid_argument("BlockDecomposition needs >= 1 block/axis");
+  }
+  if (!domain.valid() || domain.volume() <= 0.0) {
+    throw std::invalid_argument("BlockDecomposition needs a valid domain");
+  }
+  const Vec3 e = domain_.extent();
+  bsize_ = {e.x / nbx_, e.y / nby_, e.z / nbz_};
+}
+
+BlockCoords BlockDecomposition::coords_of(BlockId id) const {
+  BlockCoords c;
+  c.i = static_cast<int>(id) % nbx_;
+  c.j = (static_cast<int>(id) / nbx_) % nby_;
+  c.k = static_cast<int>(id) / (nbx_ * nby_);
+  return c;
+}
+
+AABB BlockDecomposition::block_bounds(BlockId id) const {
+  const BlockCoords c = coords_of(id);
+  const Vec3 lo{domain_.lo.x + c.i * bsize_.x, domain_.lo.y + c.j * bsize_.y,
+                domain_.lo.z + c.k * bsize_.z};
+  return {lo, lo + bsize_};
+}
+
+AABB BlockDecomposition::ghost_bounds(BlockId id, int nodes_per_axis,
+                                      int ghost_cells) const {
+  const AABB core = block_bounds(id);
+  const int cells = nodes_per_axis - 1;
+  const Vec3 cell{bsize_.x / cells, bsize_.y / cells, bsize_.z / cells};
+  const Vec3 margin = cell * static_cast<double>(ghost_cells);
+  return {core.lo - margin, core.hi + margin};
+}
+
+BlockId BlockDecomposition::block_of(const Vec3& p) const {
+  if (!domain_.contains(p)) return kInvalidBlock;
+  auto axis = [](double v, double lo, double size, int n) {
+    int i = static_cast<int>((v - lo) / size);
+    if (i >= n) i = n - 1;  // high domain face belongs to the last block
+    if (i < 0) i = 0;       // guards against -0.0 style rounding
+    return i;
+  };
+  BlockCoords c;
+  c.i = axis(p.x, domain_.lo.x, bsize_.x, nbx_);
+  c.j = axis(p.y, domain_.lo.y, bsize_.y, nby_);
+  c.k = axis(p.z, domain_.lo.z, bsize_.z, nbz_);
+  return id_of(c);
+}
+
+std::vector<BlockId> BlockDecomposition::face_neighbors(BlockId id) const {
+  const BlockCoords c = coords_of(id);
+  std::vector<BlockId> out;
+  out.reserve(6);
+  const int di[6] = {-1, 1, 0, 0, 0, 0};
+  const int dj[6] = {0, 0, -1, 1, 0, 0};
+  const int dk[6] = {0, 0, 0, 0, -1, 1};
+  for (int f = 0; f < 6; ++f) {
+    const int i = c.i + di[f], j = c.j + dj[f], k = c.k + dk[f];
+    if (i < 0 || i >= nbx_ || j < 0 || j >= nby_ || k < 0 || k >= nbz_) {
+      continue;
+    }
+    out.push_back(id_of({i, j, k}));
+  }
+  return out;
+}
+
+std::vector<BlockId> BlockDecomposition::blocks_intersecting(
+    const AABB& box) const {
+  std::vector<BlockId> out;
+  if (!box.valid()) return out;
+  auto range = [](double lo, double hi, double dlo, double size, int n,
+                  int& a, int& b) {
+    a = static_cast<int>(std::floor((lo - dlo) / size));
+    b = static_cast<int>(std::floor((hi - dlo) / size));
+    if (a < 0) a = 0;
+    if (b >= n) b = n - 1;
+  };
+  int i0, i1, j0, j1, k0, k1;
+  range(box.lo.x, box.hi.x, domain_.lo.x, bsize_.x, nbx_, i0, i1);
+  range(box.lo.y, box.hi.y, domain_.lo.y, bsize_.y, nby_, j0, j1);
+  range(box.lo.z, box.hi.z, domain_.lo.z, bsize_.z, nbz_, k0, k1);
+  for (int k = k0; k <= k1; ++k) {
+    for (int j = j0; j <= j1; ++j) {
+      for (int i = i0; i <= i1; ++i) {
+        out.push_back(id_of({i, j, k}));
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace sf

@@ -1,0 +1,69 @@
+#pragma once
+
+// Spatial decomposition of the field domain into disjoint blocks.
+//
+// Mirrors the setting of §4 of the paper: "the problem mesh is decomposed
+// into a number of spatially disjoint blocks; each block may or may not
+// have ghost cells for connectivity purposes".  Ownership of a point is
+// unique (index arithmetic, lower-closed intervals), so every algorithm
+// agrees on which block a particle currently resides in.
+
+#include <cstdint>
+#include <vector>
+
+#include "core/aabb.hpp"
+
+namespace sf {
+
+using BlockId = std::int32_t;
+inline constexpr BlockId kInvalidBlock = -1;
+
+struct BlockCoords {
+  int i = 0;
+  int j = 0;
+  int k = 0;
+  friend bool operator==(const BlockCoords&, const BlockCoords&) = default;
+};
+
+class BlockDecomposition {
+ public:
+  BlockDecomposition(const AABB& domain, int nbx, int nby, int nbz);
+
+  const AABB& domain() const { return domain_; }
+  int nbx() const { return nbx_; }
+  int nby() const { return nby_; }
+  int nbz() const { return nbz_; }
+  int num_blocks() const { return nbx_ * nby_ * nbz_; }
+
+  BlockId id_of(const BlockCoords& c) const {
+    return static_cast<BlockId>((c.k * nby_ + c.j) * nbx_ + c.i);
+  }
+  BlockCoords coords_of(BlockId id) const;
+
+  // Core (ghost-free) spatial extent of a block.
+  AABB block_bounds(BlockId id) const;
+
+  // Block extent inflated by `ghost_cells` cells of a grid with
+  // `nodes_per_axis` nodes across the core extent, clipped to nothing
+  // (ghost regions may extend beyond the global domain; sampling clamps).
+  AABB ghost_bounds(BlockId id, int nodes_per_axis, int ghost_cells) const;
+
+  // Unique owner of `p`, or kInvalidBlock if p is outside the domain.
+  // Ownership intervals are closed below and open above, except the last
+  // block per axis which also owns the domain's high face.
+  BlockId block_of(const Vec3& p) const;
+
+  // Face-adjacent neighbours (up to 6).
+  std::vector<BlockId> face_neighbors(BlockId id) const;
+
+  // All blocks whose core bounds intersect `box` (used by seed routing
+  // and stream-surface front queries).
+  std::vector<BlockId> blocks_intersecting(const AABB& box) const;
+
+ private:
+  AABB domain_;
+  int nbx_, nby_, nbz_;
+  Vec3 bsize_;  // extent of one block
+};
+
+}  // namespace sf

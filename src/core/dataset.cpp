@@ -1,0 +1,52 @@
+#include "core/dataset.hpp"
+
+#include <stdexcept>
+
+namespace sf {
+
+BlockedDataset::BlockedDataset(FieldPtr field,
+                               const BlockDecomposition& decomp,
+                               int nodes_per_axis, int ghost_cells)
+    : field_(std::move(field)),
+      decomp_(decomp),
+      nodes_per_axis_(nodes_per_axis),
+      ghost_cells_(ghost_cells) {
+  if (!field_) throw std::invalid_argument("BlockedDataset: null field");
+  if (nodes_per_axis_ < 2) {
+    throw std::invalid_argument("BlockedDataset: nodes_per_axis >= 2");
+  }
+  if (ghost_cells_ < 0) {
+    throw std::invalid_argument("BlockedDataset: ghost_cells >= 0");
+  }
+  blocks_.resize(static_cast<std::size_t>(decomp_.num_blocks()));
+}
+
+GridPtr BlockedDataset::block(BlockId id) const {
+  if (id < 0 || id >= decomp_.num_blocks()) {
+    throw std::out_of_range("BlockedDataset::block: bad block id");
+  }
+  std::lock_guard lock(mutex_);
+  GridPtr& slot = blocks_[static_cast<std::size_t>(id)];
+  if (!slot) {
+    const AABB box = decomp_.ghost_bounds(id, nodes_per_axis_, ghost_cells_);
+    const int n = nodes_per_axis_ + 2 * ghost_cells_;
+    auto grid = std::make_shared<StructuredGrid>(box, n, n, n);
+    grid->sample_from(*field_);
+    slot = std::move(grid);
+  }
+  return slot;
+}
+
+std::size_t BlockedDataset::block_payload_bytes() const {
+  const std::size_t n =
+      static_cast<std::size_t>(nodes_per_axis_ + 2 * ghost_cells_);
+  return n * n * n * sizeof(Vec3);
+}
+
+bool BlockedDataset::sample(const Vec3& p, Vec3& out) const {
+  const BlockId id = decomp_.block_of(p);
+  if (id == kInvalidBlock) return false;
+  return block(id)->sample(p, out);
+}
+
+}  // namespace sf

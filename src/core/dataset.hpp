@@ -1,0 +1,105 @@
+#pragma once
+
+// Block-decomposed dataset: the decomposition plus one StructuredGrid per
+// block (with ghost layers), sampled from an underlying field.
+//
+// This is the stand-in for "unmodified, pre-partitioned data as output
+// from a simulation" (§2.2): blocks are the unit of I/O and ownership and
+// no global re-partitioning or pre-analysis is ever performed.
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "core/block_decomposition.hpp"
+#include "core/field.hpp"
+#include "core/structured_grid.hpp"
+
+namespace sf {
+
+using GridPtr = std::shared_ptr<const StructuredGrid>;
+
+class BlockedDataset final : public VectorField {
+ public:
+  // Sample `field` onto `decomp.num_blocks()` blocks, each a grid with
+  // `nodes_per_axis` nodes across the core extent plus `ghost_cells`
+  // extra cells on every face.  Blocks are built lazily and memoized, so
+  // constructing a 512-block dataset is cheap until blocks are touched.
+  BlockedDataset(FieldPtr field, const BlockDecomposition& decomp,
+                 int nodes_per_axis, int ghost_cells);
+
+  const BlockDecomposition& decomposition() const { return decomp_; }
+  int nodes_per_axis() const { return nodes_per_axis_; }
+  int ghost_cells() const { return ghost_cells_; }
+  int num_blocks() const { return decomp_.num_blocks(); }
+
+  // The grid for one block (built on first use; thread safe).
+  GridPtr block(BlockId id) const;
+
+  // Actual in-memory payload of one block's grid.
+  std::size_t block_payload_bytes() const;
+
+  // Sample through the owning block's grid.  This is the authoritative
+  // definition of the discrete field: every algorithm and runtime samples
+  // through exactly this path, so trajectories never depend on data
+  // distribution (DESIGN.md §5.1).
+  bool sample(const Vec3& p, Vec3& out) const override;
+  AABB bounds() const override { return decomp_.domain(); }
+
+  // The analytic field the dataset was sampled from.
+  const FieldPtr& source_field() const { return field_; }
+
+ private:
+  FieldPtr field_;
+  BlockDecomposition decomp_;
+  int nodes_per_axis_;
+  int ghost_cells_;
+  mutable std::mutex mutex_;
+  mutable std::vector<GridPtr> blocks_;
+};
+
+using DatasetPtr = std::shared_ptr<const BlockedDataset>;
+
+// Where algorithms obtain block data from, and how expensive a block is.
+//
+// `block_bytes` is the size the I/O cost model charges — for scaled-down
+// reproduction runs this is typically the *paper-scale* block size
+// (512 blocks x 1M cells ~= 12 MB/block) rather than the actual reduced
+// payload; see DESIGN.md §2.
+class BlockSource {
+ public:
+  virtual ~BlockSource() = default;
+
+  // Fetch a block's grid.  Thread safe.  Throws on unknown id.
+  virtual GridPtr load(BlockId id) const = 0;
+
+  // Bytes charged to the I/O model for loading this block.
+  virtual std::size_t block_bytes(BlockId id) const = 0;
+
+  virtual int num_blocks() const = 0;
+};
+
+// BlockSource over an in-process BlockedDataset with an optional modelled
+// byte size.  modelled_bytes == 0 charges the actual payload size.
+class DatasetBlockSource final : public BlockSource {
+ public:
+  explicit DatasetBlockSource(DatasetPtr dataset,
+                              std::size_t modelled_bytes = 0)
+      : dataset_(std::move(dataset)), modelled_bytes_(modelled_bytes) {}
+
+  GridPtr load(BlockId id) const override { return dataset_->block(id); }
+
+  std::size_t block_bytes(BlockId) const override {
+    return modelled_bytes_ != 0 ? modelled_bytes_
+                                : dataset_->block_payload_bytes();
+  }
+
+  int num_blocks() const override { return dataset_->num_blocks(); }
+
+ private:
+  DatasetPtr dataset_;
+  std::size_t modelled_bytes_;
+};
+
+}  // namespace sf

@@ -1,0 +1,32 @@
+#pragma once
+
+// Abstract steady vector field interface.
+//
+// Everything that can be advected through implements VectorField: analytic
+// test fields, structured grids, block-set samplers inside the parallel
+// algorithms, and the time-slice views used for pathlines.
+
+#include <memory>
+
+#include "core/aabb.hpp"
+#include "core/vec3.hpp"
+
+namespace sf {
+
+class VectorField {
+ public:
+  virtual ~VectorField() = default;
+
+  // Evaluate the field at `p`.  Returns false when `p` lies outside the
+  // field's domain of definition (the caller treats this as streamline
+  // exit); `out` is untouched in that case.
+  virtual bool sample(const Vec3& p, Vec3& out) const = 0;
+
+  // Domain of definition.  Sampling outside may fail; sampling inside
+  // must succeed.
+  virtual AABB bounds() const = 0;
+};
+
+using FieldPtr = std::shared_ptr<const VectorField>;
+
+}  // namespace sf

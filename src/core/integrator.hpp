@@ -1,0 +1,60 @@
+#pragma once
+
+// Numerical integration of streamlines.
+//
+// The production scheme is the Dormand–Prince embedded Runge–Kutta 5(4)
+// pair with adaptive step-size control (the scheme the paper uses, citing
+// Prince & Dormand 1981).  A fixed-step classic RK4 is provided as a
+// baseline and for convergence tests.
+
+#include <functional>
+
+#include "core/field.hpp"
+
+namespace sf {
+
+struct IntegratorParams {
+  double h_init = 1e-2;  // first trial step for fresh particles
+  double h_min = 1e-9;   // below this, a failing step is a hard error
+  double h_max = 0.25;   // cap on accepted steps
+  double tol = 1e-6;     // error tolerance (used as both abs and rel)
+};
+
+enum class StepStatus : std::uint8_t {
+  kOk = 0,
+  // A stage evaluation left the field's domain even at h_min.  For block
+  // grids (whose domain is the ghost-inflated block) this means the
+  // particle is at the edge of the available data.
+  kSampleFailed = 1,
+};
+
+struct StepResult {
+  StepStatus status = StepStatus::kOk;
+  Vec3 p{};             // accepted position (valid when kOk)
+  double t = 0.0;       // time after the step
+  double h_used = 0.0;  // the accepted step size
+  double h_next = 0.0;  // controller's suggestion for the next step
+  int n_evals = 0;      // field evaluations spent (incl. rejected tries)
+};
+
+// Take one *accepted* adaptive DoPri5(4) step from (p, t) with trial step
+// size h.  Rejected trials (error too large, or a stage sampling outside
+// the field domain) shrink h and retry inside this call; the step only
+// fails once h would drop below h_min.
+StepResult dopri5_step(const VectorField& field, const Vec3& p, double t,
+                       double h, const IntegratorParams& params);
+
+// Time-varying right-hand side: v = f(p, t), false outside the domain.
+using UnsteadySampleFn =
+    std::function<bool(const Vec3& p, double t, Vec3& out)>;
+
+// The same scheme for non-autonomous systems dx/dt = f(x, t): stages are
+// evaluated at t + c_s * h, keeping full 5th order for pathlines.
+StepResult dopri5_step(const UnsteadySampleFn& f, const Vec3& p, double t,
+                       double h, const IntegratorParams& params);
+
+// One classic fixed-step RK4 step (no error control; h_next == h).
+StepResult rk4_step(const VectorField& field, const Vec3& p, double t,
+                    double h);
+
+}  // namespace sf

@@ -1,0 +1,58 @@
+#pragma once
+
+// Advection state of a single streamline.
+//
+// A Particle is what moves between blocks, ranks, caches and messages in
+// all three parallelization algorithms.  It carries exactly the solver
+// state needed to resume integration bit-identically on another rank,
+// plus the size of the trajectory geometry recorded so far (which is what
+// makes communicated particles expensive — §8 of the paper).
+
+#include <cstdint>
+
+#include "core/vec3.hpp"
+
+namespace sf {
+
+enum class ParticleStatus : std::uint8_t {
+  kActive = 0,        // still integrating
+  kExitedDomain = 1,  // left the global field domain
+  kMaxTime = 2,       // reached the integration-time budget
+  kMaxSteps = 3,      // reached the step budget
+  kStagnant = 4,      // |v| below the stagnation threshold
+  kError = 5,         // integrator could not proceed (should not happen)
+};
+
+constexpr bool is_terminal(ParticleStatus s) {
+  return s != ParticleStatus::kActive;
+}
+
+const char* to_string(ParticleStatus s);
+
+struct Particle {
+  std::uint32_t id = 0;
+  Vec3 pos{};
+  double time = 0.0;
+  // Current adaptive step size, carried across block and rank hand-offs so
+  // the accepted-step sequence is identical no matter where the particle
+  // is advanced.  0 means "not yet started, use h_init".
+  double h = 0.0;
+  std::uint32_t steps = 0;
+  // Trajectory vertices recorded so far (including the seed).  Determines
+  // the geometry payload when the particle is communicated.
+  std::uint32_t geometry_points = 1;
+  ParticleStatus status = ParticleStatus::kActive;
+};
+
+// Serialized size of a particle in a message.  When `carry_geometry` is
+// set (the paper's baseline behaviour) the full recorded polyline travels
+// with the particle; otherwise only solver state does (the communication
+// optimization discussed in §8).
+constexpr std::size_t particle_message_bytes(const Particle& p,
+                                             bool carry_geometry) {
+  constexpr std::size_t kSolverState = 64;  // id/pos/time/h/steps + padding
+  return kSolverState +
+         (carry_geometry ? p.geometry_points * sizeof(Vec3) : 0);
+}
+
+}  // namespace sf

@@ -1,0 +1,91 @@
+#include "core/seeds.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace sf {
+
+std::vector<Vec3> uniform_grid_seeds(const AABB& box, int nx, int ny,
+                                     int nz) {
+  if (nx < 1 || ny < 1 || nz < 1) {
+    throw std::invalid_argument("uniform_grid_seeds: counts must be >= 1");
+  }
+  std::vector<Vec3> out;
+  out.reserve(static_cast<std::size_t>(nx) * ny * nz);
+  const Vec3 e = box.extent();
+  for (int k = 0; k < nz; ++k) {
+    for (int j = 0; j < ny; ++j) {
+      for (int i = 0; i < nx; ++i) {
+        out.push_back({box.lo.x + e.x * (i + 0.5) / nx,
+                       box.lo.y + e.y * (j + 0.5) / ny,
+                       box.lo.z + e.z * (k + 0.5) / nz});
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<Vec3> random_seeds(const AABB& box, std::size_t count,
+                               Rng& rng) {
+  std::vector<Vec3> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    out.push_back({rng.uniform(box.lo.x, box.hi.x),
+                   rng.uniform(box.lo.y, box.hi.y),
+                   rng.uniform(box.lo.z, box.hi.z)});
+  }
+  return out;
+}
+
+std::vector<Vec3> cluster_seeds(const Vec3& center, double sigma,
+                                std::size_t count, Rng& rng,
+                                const AABB& clip) {
+  std::vector<Vec3> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const Vec3 p{center.x + sigma * rng.next_normal(),
+                 center.y + sigma * rng.next_normal(),
+                 center.z + sigma * rng.next_normal()};
+    out.push_back(clip.clamp(p));
+  }
+  return out;
+}
+
+std::vector<Vec3> circle_seeds(const Vec3& center, const Vec3& normal,
+                               double radius, std::size_t count) {
+  if (count == 0) return {};
+  // Build an orthonormal basis {u, v} of the plane orthogonal to normal.
+  const Vec3 n = normalized(normal);
+  const Vec3 ref = std::abs(n.x) < 0.9 ? Vec3{1, 0, 0} : Vec3{0, 1, 0};
+  const Vec3 u = normalized(cross(n, ref));
+  const Vec3 v = cross(n, u);
+
+  std::vector<Vec3> out;
+  out.reserve(count);
+  const double two_pi = 6.283185307179586;
+  for (std::size_t i = 0; i < count; ++i) {
+    const double a = two_pi * static_cast<double>(i) /
+                     static_cast<double>(count);
+    out.push_back(center + u * (radius * std::cos(a)) +
+                  v * (radius * std::sin(a)));
+  }
+  return out;
+}
+
+std::vector<Vec3> line_seeds(const Vec3& a, const Vec3& b,
+                             std::size_t count) {
+  std::vector<Vec3> out;
+  out.reserve(count);
+  if (count == 1) {
+    out.push_back((a + b) * 0.5);
+    return out;
+  }
+  for (std::size_t i = 0; i < count; ++i) {
+    const double t =
+        static_cast<double>(i) / static_cast<double>(count - 1);
+    out.push_back(a + (b - a) * t);
+  }
+  return out;
+}
+
+}  // namespace sf

@@ -1,0 +1,43 @@
+#pragma once
+
+// Seed-point generators for the seeding scenarios of §3 and §5:
+// sparse uniform volume seeding, dense clustered seeding, the 16x16x16
+// regular grid of the thermal-hydraulics sparse case, and the 22,000-seed
+// circle around an inlet that replicates stream-surface computation.
+
+#include <cstdint>
+#include <vector>
+
+#include "core/aabb.hpp"
+#include "core/rng.hpp"
+#include "core/vec3.hpp"
+
+namespace sf {
+
+// nx*ny*nz seeds at the cell centres of a regular lattice over `box`
+// (e.g. 16x16x16 through the thermal-hydraulics box, Figure 13 sparse).
+std::vector<Vec3> uniform_grid_seeds(const AABB& box, int nx, int ny, int nz);
+
+// `count` independent uniform random seeds in `box` (the "sparse" initial
+// condition of the astro and fusion studies).
+std::vector<Vec3> random_seeds(const AABB& box, std::size_t count, Rng& rng);
+
+// `count` gaussian-distributed seeds around `center` with standard
+// deviation `sigma`, clamped into `clip` (the "dense" initial condition:
+// all seeds land in a small neighbourhood, i.e. a few blocks).
+std::vector<Vec3> cluster_seeds(const Vec3& center, double sigma,
+                                std::size_t count, Rng& rng,
+                                const AABB& clip);
+
+// `count` seeds evenly spaced on the circle of radius `radius` around
+// `center` in the plane orthogonal to `normal` (the 22,000-seed inlet
+// circle of §5.3).
+std::vector<Vec3> circle_seeds(const Vec3& center, const Vec3& normal,
+                               double radius, std::size_t count);
+
+// `count` seeds evenly spaced on the segment [a, b] (stream-surface seed
+// curves; rake seeding).
+std::vector<Vec3> line_seeds(const Vec3& a, const Vec3& b,
+                             std::size_t count);
+
+}  // namespace sf

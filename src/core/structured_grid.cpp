@@ -1,0 +1,86 @@
+#include "core/structured_grid.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+namespace sf {
+
+StructuredGrid::StructuredGrid(const AABB& bounds, int nx, int ny, int nz)
+    : bounds_(bounds), nx_(nx), ny_(ny), nz_(nz) {
+  if (nx < 2 || ny < 2 || nz < 2) {
+    throw std::invalid_argument("StructuredGrid needs >= 2 nodes per axis");
+  }
+  if (!bounds.valid() || bounds.volume() <= 0.0) {
+    throw std::invalid_argument("StructuredGrid needs a positive-volume box");
+  }
+  const Vec3 e = bounds_.extent();
+  cell_ = {e.x / (nx_ - 1), e.y / (ny_ - 1), e.z / (nz_ - 1)};
+  data_.resize(static_cast<std::size_t>(nx_) * ny_ * nz_);
+}
+
+Vec3 StructuredGrid::node_position(int i, int j, int k) const {
+  return {bounds_.lo.x + i * cell_.x, bounds_.lo.y + j * cell_.y,
+          bounds_.lo.z + k * cell_.z};
+}
+
+void StructuredGrid::sample_from(const VectorField& field) {
+  const AABB domain = field.bounds();
+  for (int k = 0; k < nz_; ++k) {
+    for (int j = 0; j < ny_; ++j) {
+      for (int i = 0; i < nx_; ++i) {
+        const Vec3 p = node_position(i, j, k);
+        Vec3 v{};
+        if (!field.sample(p, v)) {
+          // Ghost node outside the global domain: clamp so boundary cells
+          // still interpolate sensibly.
+          field.sample(domain.clamp(p), v);
+        }
+        at(i, j, k) = v;
+      }
+    }
+  }
+}
+
+bool StructuredGrid::sample(const Vec3& p, Vec3& out) const {
+  if (!bounds_.contains(p)) return false;
+
+  // Continuous cell coordinates.
+  double fx = (p.x - bounds_.lo.x) / cell_.x;
+  double fy = (p.y - bounds_.lo.y) / cell_.y;
+  double fz = (p.z - bounds_.lo.z) / cell_.z;
+
+  int i = static_cast<int>(fx);
+  int j = static_cast<int>(fy);
+  int k = static_cast<int>(fz);
+  // Points exactly on the high face land in the last cell.
+  if (i >= nx_ - 1) i = nx_ - 2;
+  if (j >= ny_ - 1) j = ny_ - 2;
+  if (k >= nz_ - 1) k = nz_ - 2;
+
+  const double tx = fx - i;
+  const double ty = fy - j;
+  const double tz = fz - k;
+
+  const Vec3& c000 = at(i, j, k);
+  const Vec3& c100 = at(i + 1, j, k);
+  const Vec3& c010 = at(i, j + 1, k);
+  const Vec3& c110 = at(i + 1, j + 1, k);
+  const Vec3& c001 = at(i, j, k + 1);
+  const Vec3& c101 = at(i + 1, j, k + 1);
+  const Vec3& c011 = at(i, j + 1, k + 1);
+  const Vec3& c111 = at(i + 1, j + 1, k + 1);
+
+  const Vec3 c00 = c000 * (1 - tx) + c100 * tx;
+  const Vec3 c10 = c010 * (1 - tx) + c110 * tx;
+  const Vec3 c01 = c001 * (1 - tx) + c101 * tx;
+  const Vec3 c11 = c011 * (1 - tx) + c111 * tx;
+
+  const Vec3 c0 = c00 * (1 - ty) + c10 * ty;
+  const Vec3 c1 = c01 * (1 - ty) + c11 * ty;
+
+  out = c0 * (1 - tz) + c1 * tz;
+  return true;
+}
+
+}  // namespace sf

@@ -1,0 +1,66 @@
+#pragma once
+
+// Uniform structured grid of node-centered vectors with trilinear
+// interpolation.  This is the in-memory representation of one dataset
+// block (the unit of I/O, caching and ownership in all three parallel
+// algorithms).
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "core/field.hpp"
+
+namespace sf {
+
+class StructuredGrid final : public VectorField {
+ public:
+  // A grid with nx*ny*nz nodes spanning `bounds`.  Each axis needs at
+  // least 2 nodes so a trilinear cell exists.
+  StructuredGrid(const AABB& bounds, int nx, int ny, int nz);
+
+  int nx() const { return nx_; }
+  int ny() const { return ny_; }
+  int nz() const { return nz_; }
+  std::size_t num_nodes() const { return data_.size(); }
+
+  // Physical size of one cell.
+  Vec3 cell_size() const { return cell_; }
+
+  std::size_t index(int i, int j, int k) const {
+    return static_cast<std::size_t>(k) * nx_ * ny_ +
+           static_cast<std::size_t>(j) * nx_ + static_cast<std::size_t>(i);
+  }
+
+  Vec3& at(int i, int j, int k) { return data_[index(i, j, k)]; }
+  const Vec3& at(int i, int j, int k) const { return data_[index(i, j, k)]; }
+
+  // Physical position of node (i, j, k).
+  Vec3 node_position(int i, int j, int k) const;
+
+  // Fill every node by sampling `field` at the node position.  Nodes
+  // outside the field's domain (possible for ghost nodes of boundary
+  // blocks) are set to the field value at the clamped position, so
+  // interpolation near the domain boundary stays well defined.
+  void sample_from(const VectorField& field);
+
+  // Trilinear interpolation.  Positions outside `bounds()` fail.
+  bool sample(const Vec3& p, Vec3& out) const override;
+  AABB bounds() const override { return bounds_; }
+
+  // Raw node storage, x0 y0 z0 x1 y1 z1 ... in k-major order.  Exposed for
+  // serialization (BlockStore) and direct fills in tests.
+  const std::vector<Vec3>& data() const { return data_; }
+  std::vector<Vec3>& data() { return data_; }
+
+  // Bytes of node payload (what BlockStore writes for this grid).
+  std::size_t payload_bytes() const { return data_.size() * sizeof(Vec3); }
+
+ private:
+  AABB bounds_;
+  int nx_, ny_, nz_;
+  Vec3 cell_;
+  std::vector<Vec3> data_;
+};
+
+}  // namespace sf

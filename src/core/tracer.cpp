@@ -1,0 +1,192 @@
+#include "core/tracer.hpp"
+
+#include <cmath>
+
+namespace sf {
+
+const char* to_string(ParticleStatus s) {
+  switch (s) {
+    case ParticleStatus::kActive: return "active";
+    case ParticleStatus::kExitedDomain: return "exited-domain";
+    case ParticleStatus::kMaxTime: return "max-time";
+    case ParticleStatus::kMaxSteps: return "max-steps";
+    case ParticleStatus::kStagnant: return "stagnant";
+    case ParticleStatus::kError: return "error";
+  }
+  return "unknown";
+}
+
+AdvanceOutcome Tracer::advance(Particle& particle, const BlockAccessFn& blocks,
+                               TraceRecorder* recorder) const {
+  AdvanceOutcome out;
+  if (is_terminal(particle.status)) {
+    out.status = particle.status;
+    return out;
+  }
+
+  if (particle.steps == 0 && recorder != nullptr) {
+    recorder->record(particle, particle.pos);  // seed vertex
+  }
+  if (particle.h <= 0.0) particle.h = iparams_.h_init;
+
+  for (;;) {
+    // Budget checks first so hand-offs can't dodge them.
+    if (particle.time >= limits_.max_time) {
+      particle.status = ParticleStatus::kMaxTime;
+      break;
+    }
+    if (particle.steps >= limits_.max_steps) {
+      particle.status = ParticleStatus::kMaxSteps;
+      break;
+    }
+
+    const BlockId owner = decomp_->block_of(particle.pos);
+    if (owner == kInvalidBlock) {
+      particle.status = ParticleStatus::kExitedDomain;
+      break;
+    }
+
+    const StructuredGrid* grid = blocks(owner);
+    if (grid == nullptr) {
+      // Edge of the available data: the caller must fetch `owner` (or
+      // hand the particle to whoever has it).
+      out.blocking_block = owner;
+      out.status = ParticleStatus::kActive;
+      return out;
+    }
+
+    // Stagnation check at the current position.
+    Vec3 v{};
+    ++out.evals;
+    if (!grid->sample(particle.pos, v)) {
+      // The owner grid must cover its own core extent; failure here is a
+      // dataset construction bug, not a flow condition.
+      particle.status = ParticleStatus::kError;
+      break;
+    }
+    if (norm(v) < limits_.min_speed) {
+      particle.status = ParticleStatus::kStagnant;
+      break;
+    }
+
+    // Cap the trial step so the remaining time budget is never overshot
+    // by more than one step.
+    double h = particle.h;
+    const double remaining = limits_.max_time - particle.time;
+    if (h > remaining) h = std::max(remaining, iparams_.h_min);
+
+    const StepResult step = dopri5_step(*grid, particle.pos, particle.time,
+                                        h, iparams_);
+    out.evals += static_cast<std::uint64_t>(step.n_evals);
+
+    if (step.status == StepStatus::kSampleFailed) {
+      // Even the smallest step sampled outside the block's ghost region.
+      // Boundary-block grids extend (clamped) beyond the global domain,
+      // so this only happens at the very rim of the data; classify by
+      // whether a nudge along the flow leaves the domain.
+      const Vec3 probe = particle.pos + normalized(v) * (iparams_.h_min * 10);
+      particle.status = decomp_->block_of(probe) == kInvalidBlock
+                            ? ParticleStatus::kExitedDomain
+                            : ParticleStatus::kError;
+      break;
+    }
+
+    particle.pos = step.p;
+    particle.time = step.t;
+    particle.h = step.h_next;
+    particle.steps += 1;
+    particle.geometry_points += 1;
+    out.steps += 1;
+    if (recorder != nullptr) recorder->record(particle, particle.pos);
+  }
+
+  out.status = particle.status;
+  return out;
+}
+
+std::vector<Particle> trace_all(const BlockedDataset& dataset,
+                                std::span<const Vec3> seeds,
+                                const IntegratorParams& iparams,
+                                const TraceLimits& limits,
+                                TraceRecorder* recorder) {
+  const BlockDecomposition& decomp = dataset.decomposition();
+  Tracer tracer(&decomp, iparams, limits);
+
+  // Keep every touched block alive for the duration of the trace.
+  std::vector<GridPtr> cache(
+      static_cast<std::size_t>(dataset.num_blocks()));
+  const BlockAccessFn access = [&](BlockId id) -> const StructuredGrid* {
+    GridPtr& slot = cache[static_cast<std::size_t>(id)];
+    if (!slot) slot = dataset.block(id);
+    return slot.get();
+  };
+
+  std::vector<Particle> particles(seeds.size());
+  for (std::size_t i = 0; i < seeds.size(); ++i) {
+    particles[i].id = static_cast<std::uint32_t>(i);
+    particles[i].pos = seeds[i];
+    if (decomp.block_of(seeds[i]) == kInvalidBlock) {
+      particles[i].status = ParticleStatus::kExitedDomain;
+      continue;
+    }
+    tracer.advance(particles[i], access, recorder);
+  }
+  return particles;
+}
+
+Particle trace_field(const VectorField& field, const Vec3& seed,
+                     const IntegratorParams& iparams,
+                     const TraceLimits& limits, TraceRecorder* recorder,
+                     std::uint32_t particle_id) {
+  Particle particle;
+  particle.id = particle_id;
+  particle.pos = seed;
+  particle.h = iparams.h_init;
+
+  if (!field.bounds().contains(seed)) {
+    particle.status = ParticleStatus::kExitedDomain;
+    return particle;
+  }
+  if (recorder != nullptr) recorder->record(particle, particle.pos);
+
+  for (;;) {
+    if (particle.time >= limits.max_time) {
+      particle.status = ParticleStatus::kMaxTime;
+      return particle;
+    }
+    if (particle.steps >= limits.max_steps) {
+      particle.status = ParticleStatus::kMaxSteps;
+      return particle;
+    }
+
+    Vec3 v{};
+    if (!field.sample(particle.pos, v)) {
+      particle.status = ParticleStatus::kExitedDomain;
+      return particle;
+    }
+    if (norm(v) < limits.min_speed) {
+      particle.status = ParticleStatus::kStagnant;
+      return particle;
+    }
+
+    double h = particle.h;
+    const double remaining = limits.max_time - particle.time;
+    if (h > remaining) h = std::max(remaining, iparams.h_min);
+
+    const StepResult step =
+        dopri5_step(field, particle.pos, particle.time, h, iparams);
+    if (step.status == StepStatus::kSampleFailed) {
+      particle.status = ParticleStatus::kExitedDomain;
+      return particle;
+    }
+
+    particle.pos = step.p;
+    particle.time = step.t;
+    particle.h = step.h_next;
+    particle.steps += 1;
+    particle.geometry_points += 1;
+    if (recorder != nullptr) recorder->record(particle, particle.pos);
+  }
+}
+
+}  // namespace sf

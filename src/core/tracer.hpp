@@ -1,0 +1,110 @@
+#pragma once
+
+// Streamline advancement.
+//
+// Tracer::advance is the single inner loop shared by every algorithm and
+// runtime: it advances one particle through whatever blocks the caller
+// has available and stops either at a terminal condition or at the edge
+// of the available data (reporting which block is needed next).  Because
+// each position samples only its *owning* block's grid, the accepted-step
+// sequence is identical regardless of which rank runs it or which other
+// blocks happen to be loaded — see DESIGN.md §5.1.
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "core/block_decomposition.hpp"
+#include "core/dataset.hpp"
+#include "core/integrator.hpp"
+#include "core/particle.hpp"
+
+namespace sf {
+
+struct TraceLimits {
+  double max_time = 1e12;          // integration-time budget per line
+  std::uint32_t max_steps = 10000; // accepted-step budget per line
+  double min_speed = 1e-8;         // below this the line is stagnant
+};
+
+// Observer for accepted integration steps (trajectory recording).
+class TraceRecorder {
+ public:
+  virtual ~TraceRecorder() = default;
+  // Called once when a particle starts (with its seed position) and after
+  // every accepted step.
+  virtual void record(const Particle& particle, const Vec3& position) = 0;
+};
+
+// Stores full polylines per particle id.
+class PolylineRecorder final : public TraceRecorder {
+ public:
+  explicit PolylineRecorder(std::size_t num_particles)
+      : lines_(num_particles) {}
+
+  void record(const Particle& particle, const Vec3& position) override {
+    lines_[particle.id].push_back(position);
+  }
+
+  const std::vector<std::vector<Vec3>>& lines() const { return lines_; }
+
+ private:
+  std::vector<std::vector<Vec3>> lines_;
+};
+
+// Returns the grid for a block if the caller currently has it, nullptr
+// otherwise.  The returned pointer must stay valid for the duration of
+// the advance() call.
+using BlockAccessFn = std::function<const StructuredGrid*(BlockId)>;
+
+struct AdvanceOutcome {
+  // Terminal status, or kActive if the particle stopped because it needs
+  // a block that is not available.
+  ParticleStatus status = ParticleStatus::kActive;
+  // When status == kActive: the block the particle needs next.
+  BlockId blocking_block = kInvalidBlock;
+  std::uint64_t steps = 0;   // accepted steps in this call
+  std::uint64_t evals = 0;   // field evaluations in this call
+};
+
+class Tracer {
+ public:
+  Tracer(const BlockDecomposition* decomp, const IntegratorParams& iparams,
+         const TraceLimits& limits)
+      : decomp_(decomp), iparams_(iparams), limits_(limits) {}
+
+  const IntegratorParams& integrator_params() const { return iparams_; }
+  const TraceLimits& limits() const { return limits_; }
+
+  // Advance `particle` while its owning block is available via `blocks`.
+  // Updates the particle in place; returns what happened.
+  AdvanceOutcome advance(Particle& particle, const BlockAccessFn& blocks,
+                         TraceRecorder* recorder = nullptr) const;
+
+ private:
+  const BlockDecomposition* decomp_;
+  IntegratorParams iparams_;
+  TraceLimits limits_;
+};
+
+// ---------------------------------------------------------------------------
+// Serial convenience APIs (the small-data entry points of the library).
+// ---------------------------------------------------------------------------
+
+// Trace all seeds over a fully accessible blocked dataset, serially.
+std::vector<Particle> trace_all(const BlockedDataset& dataset,
+                                std::span<const Vec3> seeds,
+                                const IntegratorParams& iparams,
+                                const TraceLimits& limits,
+                                TraceRecorder* recorder = nullptr);
+
+// Trace one streamline directly against any VectorField (no blocks).
+// Used by FTLE / Poincaré / stream-surface analysis and the examples.
+Particle trace_field(const VectorField& field, const Vec3& seed,
+                     const IntegratorParams& iparams,
+                     const TraceLimits& limits,
+                     TraceRecorder* recorder = nullptr,
+                     std::uint32_t particle_id = 0);
+
+}  // namespace sf

@@ -1,0 +1,93 @@
+#pragma once
+
+// Small 3-component double vector used throughout StreamFlow.
+//
+// Kept deliberately minimal: value semantics, constexpr-friendly, no SIMD
+// intrinsics (the interpolation kernels auto-vectorize well enough and the
+// hot loops are dominated by memory access, not arithmetic).
+
+#include <cmath>
+#include <iosfwd>
+#include <ostream>
+
+namespace sf {
+
+struct Vec3 {
+  double x = 0.0;
+  double y = 0.0;
+  double z = 0.0;
+
+  constexpr Vec3() = default;
+  constexpr Vec3(double x_, double y_, double z_) : x(x_), y(y_), z(z_) {}
+
+  constexpr double& operator[](int i) { return i == 0 ? x : (i == 1 ? y : z); }
+  constexpr double operator[](int i) const {
+    return i == 0 ? x : (i == 1 ? y : z);
+  }
+
+  constexpr Vec3& operator+=(const Vec3& o) {
+    x += o.x;
+    y += o.y;
+    z += o.z;
+    return *this;
+  }
+  constexpr Vec3& operator-=(const Vec3& o) {
+    x -= o.x;
+    y -= o.y;
+    z -= o.z;
+    return *this;
+  }
+  constexpr Vec3& operator*=(double s) {
+    x *= s;
+    y *= s;
+    z *= s;
+    return *this;
+  }
+  constexpr Vec3& operator/=(double s) { return *this *= (1.0 / s); }
+
+  friend constexpr Vec3 operator+(Vec3 a, const Vec3& b) { return a += b; }
+  friend constexpr Vec3 operator-(Vec3 a, const Vec3& b) { return a -= b; }
+  friend constexpr Vec3 operator*(Vec3 a, double s) { return a *= s; }
+  friend constexpr Vec3 operator*(double s, Vec3 a) { return a *= s; }
+  friend constexpr Vec3 operator/(Vec3 a, double s) { return a /= s; }
+  friend constexpr Vec3 operator-(const Vec3& a) { return {-a.x, -a.y, -a.z}; }
+
+  friend constexpr bool operator==(const Vec3& a, const Vec3& b) {
+    return a.x == b.x && a.y == b.y && a.z == b.z;
+  }
+};
+
+constexpr double dot(const Vec3& a, const Vec3& b) {
+  return a.x * b.x + a.y * b.y + a.z * b.z;
+}
+
+constexpr Vec3 cross(const Vec3& a, const Vec3& b) {
+  return {a.y * b.z - a.z * b.y, a.z * b.x - a.x * b.z, a.x * b.y - a.y * b.x};
+}
+
+inline double norm(const Vec3& a) { return std::sqrt(dot(a, a)); }
+
+constexpr double norm2(const Vec3& a) { return dot(a, a); }
+
+inline Vec3 normalized(const Vec3& a) {
+  const double n = norm(a);
+  return n > 0.0 ? a / n : Vec3{};
+}
+
+inline double distance(const Vec3& a, const Vec3& b) { return norm(a - b); }
+
+// Component-wise min/max — used by bounding-box accumulation.
+constexpr Vec3 min(const Vec3& a, const Vec3& b) {
+  return {a.x < b.x ? a.x : b.x, a.y < b.y ? a.y : b.y,
+          a.z < b.z ? a.z : b.z};
+}
+constexpr Vec3 max(const Vec3& a, const Vec3& b) {
+  return {a.x > b.x ? a.x : b.x, a.y > b.y ? a.y : b.y,
+          a.z > b.z ? a.z : b.z};
+}
+
+inline std::ostream& operator<<(std::ostream& os, const Vec3& v) {
+  return os << '(' << v.x << ", " << v.y << ", " << v.z << ')';
+}
+
+}  // namespace sf

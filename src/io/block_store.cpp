@@ -1,0 +1,157 @@
+#include "io/block_store.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace sf {
+
+namespace {
+
+constexpr char kMagic[8] = {'S', 'F', 'B', 'L', 'K', '0', '1', '\n'};
+
+std::uint64_t fnv1a(const void* data, std::size_t bytes) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::uint64_t h = 1469598103934665603ULL;
+  for (std::size_t i = 0; i < bytes; ++i) {
+    h ^= p[i];
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+struct BlockHeader {
+  char magic[8];
+  double lo[3];
+  double hi[3];
+  std::int32_t nx, ny, nz;
+  std::int32_t pad = 0;
+  std::uint64_t payload_checksum;
+};
+
+}  // namespace
+
+void BlockStore::write(const std::filesystem::path& dir,
+                       const BlockedDataset& dataset) {
+  std::filesystem::create_directories(dir);
+
+  const BlockDecomposition& d = dataset.decomposition();
+  {
+    std::ofstream manifest(dir / "manifest.txt");
+    if (!manifest) {
+      throw std::runtime_error("BlockStore: cannot write manifest in " +
+                               dir.string());
+    }
+    manifest.precision(17);
+    manifest << "streamflow-block-store 1\n";
+    manifest << "domain " << d.domain().lo.x << ' ' << d.domain().lo.y << ' '
+             << d.domain().lo.z << ' ' << d.domain().hi.x << ' '
+             << d.domain().hi.y << ' ' << d.domain().hi.z << '\n';
+    manifest << "blocks " << d.nbx() << ' ' << d.nby() << ' ' << d.nbz()
+             << '\n';
+    manifest << "nodes_per_axis " << dataset.nodes_per_axis() << '\n';
+    manifest << "ghost_cells " << dataset.ghost_cells() << '\n';
+  }
+
+  for (BlockId id = 0; id < d.num_blocks(); ++id) {
+    const GridPtr grid = dataset.block(id);
+    const AABB b = grid->bounds();
+
+    BlockHeader h{};
+    std::copy(std::begin(kMagic), std::end(kMagic), h.magic);
+    h.lo[0] = b.lo.x;
+    h.lo[1] = b.lo.y;
+    h.lo[2] = b.lo.z;
+    h.hi[0] = b.hi.x;
+    h.hi[1] = b.hi.y;
+    h.hi[2] = b.hi.z;
+    h.nx = grid->nx();
+    h.ny = grid->ny();
+    h.nz = grid->nz();
+    h.payload_checksum =
+        fnv1a(grid->data().data(), grid->payload_bytes());
+
+    std::ofstream f(dir / ("block_" + std::to_string(id) + ".blk"),
+                    std::ios::binary);
+    if (!f) {
+      throw std::runtime_error("BlockStore: cannot write block " +
+                               std::to_string(id));
+    }
+    f.write(reinterpret_cast<const char*>(&h), sizeof(h));
+    f.write(reinterpret_cast<const char*>(grid->data().data()),
+            static_cast<std::streamsize>(grid->payload_bytes()));
+  }
+}
+
+BlockStore::BlockStore(std::filesystem::path dir) : dir_(std::move(dir)) {
+  std::ifstream manifest(dir_ / "manifest.txt");
+  if (!manifest) {
+    throw std::runtime_error("BlockStore: no manifest in " + dir_.string());
+  }
+  std::string line, key;
+  std::getline(manifest, line);
+  if (line != "streamflow-block-store 1") {
+    throw std::runtime_error("BlockStore: bad manifest header: " + line);
+  }
+  Vec3 lo, hi;
+  int nbx = 0, nby = 0, nbz = 0;
+  while (manifest >> key) {
+    if (key == "domain") {
+      manifest >> lo.x >> lo.y >> lo.z >> hi.x >> hi.y >> hi.z;
+    } else if (key == "blocks") {
+      manifest >> nbx >> nby >> nbz;
+    } else if (key == "nodes_per_axis") {
+      manifest >> nodes_per_axis_;
+    } else if (key == "ghost_cells") {
+      manifest >> ghost_cells_;
+    } else {
+      std::getline(manifest, line);  // skip unknown keys
+    }
+  }
+  if (nbx < 1 || nodes_per_axis_ < 2) {
+    throw std::runtime_error("BlockStore: manifest incomplete");
+  }
+  decomp_.emplace(AABB{lo, hi}, nbx, nby, nbz);
+}
+
+std::filesystem::path BlockStore::block_path(BlockId id) const {
+  return dir_ / ("block_" + std::to_string(id) + ".blk");
+}
+
+GridPtr BlockStore::load_block(BlockId id) const {
+  if (id < 0 || id >= num_blocks()) {
+    throw std::out_of_range("BlockStore::load_block: bad id");
+  }
+  std::ifstream f(block_path(id), std::ios::binary);
+  if (!f) {
+    throw std::runtime_error("BlockStore: missing block file " +
+                             block_path(id).string());
+  }
+  BlockHeader h{};
+  f.read(reinterpret_cast<char*>(&h), sizeof(h));
+  if (!f || !std::equal(std::begin(kMagic), std::end(kMagic), h.magic)) {
+    throw std::runtime_error("BlockStore: bad magic in " +
+                             block_path(id).string());
+  }
+  auto grid = std::make_shared<StructuredGrid>(
+      AABB{{h.lo[0], h.lo[1], h.lo[2]}, {h.hi[0], h.hi[1], h.hi[2]}}, h.nx,
+      h.ny, h.nz);
+  f.read(reinterpret_cast<char*>(grid->data().data()),
+         static_cast<std::streamsize>(grid->payload_bytes()));
+  if (!f) {
+    throw std::runtime_error("BlockStore: truncated block " +
+                             block_path(id).string());
+  }
+  if (fnv1a(grid->data().data(), grid->payload_bytes()) !=
+      h.payload_checksum) {
+    throw std::runtime_error("BlockStore: checksum mismatch in " +
+                             block_path(id).string());
+  }
+  return grid;
+}
+
+std::size_t BlockStore::block_file_bytes(BlockId id) const {
+  return static_cast<std::size_t>(std::filesystem::file_size(block_path(id)));
+}
+
+}  // namespace sf

@@ -1,0 +1,103 @@
+#include "io/csv.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <stdexcept>
+
+namespace sf {
+
+Table& Table::add_row(std::vector<Cell> row) {
+  if (row.size() != columns_.size()) {
+    throw std::invalid_argument("Table::add_row: wrong number of cells");
+  }
+  rows_.push_back(std::move(row));
+  return *this;
+}
+
+std::string Table::cell_text(const Cell& c) {
+  if (const auto* s = std::get_if<std::string>(&c)) return *s;
+  if (const auto* i = std::get_if<long long>(&c)) return std::to_string(*i);
+  const double v = std::get<double>(c);
+  char buf[64];
+  // %g keeps both tiny times and large byte counts readable.
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+void Table::write_csv(const std::filesystem::path& path) const {
+  if (path.has_parent_path()) {
+    std::filesystem::create_directories(path.parent_path());
+  }
+  std::ofstream f(path);
+  if (!f) {
+    throw std::runtime_error("cannot open for writing: " + path.string());
+  }
+  write_csv(f);
+}
+
+void Table::write_csv(std::ostream& os) const {
+  auto emit = [&os](const std::string& text) {
+    if (text.find_first_of(",\"\n") != std::string::npos) {
+      os << '"';
+      for (const char ch : text) {
+        if (ch == '"') os << '"';
+        os << ch;
+      }
+      os << '"';
+    } else {
+      os << text;
+    }
+  };
+  for (std::size_t i = 0; i < columns_.size(); ++i) {
+    if (i) os << ',';
+    emit(columns_[i]);
+  }
+  os << '\n';
+  for (const auto& row : rows_) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      if (i) os << ',';
+      emit(cell_text(row[i]));
+    }
+    os << '\n';
+  }
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> width(columns_.size());
+  for (std::size_t i = 0; i < columns_.size(); ++i) {
+    width[i] = columns_[i].size();
+  }
+  std::vector<std::vector<std::string>> text;
+  text.reserve(rows_.size());
+  for (const auto& row : rows_) {
+    std::vector<std::string> cells;
+    cells.reserve(row.size());
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      cells.push_back(cell_text(row[i]));
+      width[i] = std::max(width[i], cells.back().size());
+    }
+    text.push_back(std::move(cells));
+  }
+
+  auto line = [&] {
+    for (const std::size_t w : width) {
+      os << '+' << std::string(w + 2, '-');
+    }
+    os << "+\n";
+  };
+  auto emit_row = [&](const std::vector<std::string>& cells) {
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      os << "| " << cells[i] << std::string(width[i] - cells[i].size() + 1, ' ');
+    }
+    os << "|\n";
+  };
+
+  line();
+  emit_row(columns_);
+  line();
+  for (const auto& row : text) emit_row(row);
+  line();
+}
+
+}  // namespace sf

@@ -1,0 +1,42 @@
+#pragma once
+
+// Tabular output: CSV files for post-processing and aligned text tables
+// for the figure-harness binaries (which print the same rows/series the
+// paper's figures plot).
+
+#include <filesystem>
+#include <ostream>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace sf {
+
+class Table {
+ public:
+  using Cell = std::variant<std::string, double, long long>;
+
+  explicit Table(std::vector<std::string> columns)
+      : columns_(std::move(columns)) {}
+
+  Table& add_row(std::vector<Cell> row);
+
+  const std::vector<std::string>& columns() const { return columns_; }
+  std::size_t num_rows() const { return rows_.size(); }
+
+  // Write RFC-4180-ish CSV (no quoting of commas is needed for our data,
+  // but quotes are applied when a cell contains one).
+  void write_csv(const std::filesystem::path& path) const;
+  void write_csv(std::ostream& os) const;
+
+  // Print an aligned, human-readable table.
+  void print(std::ostream& os) const;
+
+ private:
+  static std::string cell_text(const Cell& c);
+
+  std::vector<std::string> columns_;
+  std::vector<std::vector<Cell>> rows_;
+};
+
+}  // namespace sf

@@ -1,0 +1,36 @@
+#include "io/obj_writer.hpp"
+
+#include <fstream>
+#include <stdexcept>
+
+namespace sf {
+
+void write_obj(const std::filesystem::path& path,
+               const std::vector<Vec3>& vertices,
+               const std::vector<Triangle>& triangles) {
+  for (const Triangle& t : triangles) {
+    for (const std::uint32_t v : t) {
+      if (v >= vertices.size()) {
+        throw std::invalid_argument("write_obj: triangle index out of range");
+      }
+    }
+  }
+  if (path.has_parent_path()) {
+    std::filesystem::create_directories(path.parent_path());
+  }
+  std::ofstream f(path);
+  if (!f) {
+    throw std::runtime_error("cannot open for writing: " + path.string());
+  }
+  f.precision(9);
+  f << "# streamflow surface: " << vertices.size() << " vertices, "
+    << triangles.size() << " triangles\n";
+  for (const Vec3& v : vertices) {
+    f << "v " << v.x << ' ' << v.y << ' ' << v.z << '\n';
+  }
+  for (const Triangle& t : triangles) {
+    f << "f " << t[0] + 1 << ' ' << t[1] + 1 << ' ' << t[2] + 1 << '\n';
+  }
+}
+
+}  // namespace sf

@@ -1,0 +1,20 @@
+#pragma once
+
+// Wavefront OBJ output for triangle meshes (stream surfaces, Figure 4).
+
+#include <array>
+#include <cstdint>
+#include <filesystem>
+#include <vector>
+
+#include "core/vec3.hpp"
+
+namespace sf {
+
+using Triangle = std::array<std::uint32_t, 3>;  // 0-based vertex indices
+
+void write_obj(const std::filesystem::path& path,
+               const std::vector<Vec3>& vertices,
+               const std::vector<Triangle>& triangles);
+
+}  // namespace sf

@@ -1,0 +1,133 @@
+#include "io/vtk_writer.hpp"
+
+#include <fstream>
+#include <stdexcept>
+
+namespace sf {
+
+namespace {
+
+std::ofstream open_or_throw(const std::filesystem::path& path) {
+  if (path.has_parent_path()) {
+    std::filesystem::create_directories(path.parent_path());
+  }
+  std::ofstream f(path);
+  if (!f) {
+    throw std::runtime_error("cannot open for writing: " + path.string());
+  }
+  f.precision(9);
+  return f;
+}
+
+void header(std::ofstream& f, const std::string& title,
+            const std::string& dataset_type) {
+  f << "# vtk DataFile Version 3.0\n"
+    << title << "\nASCII\nDATASET " << dataset_type << '\n';
+}
+
+}  // namespace
+
+void write_vtk_polylines(const std::filesystem::path& path,
+                         const std::vector<std::vector<Vec3>>& lines,
+                         const std::string& title) {
+  std::size_t total_points = 0;
+  std::size_t total_lines = 0;
+  for (const auto& line : lines) {
+    if (line.size() < 2) continue;
+    total_points += line.size();
+    ++total_lines;
+  }
+
+  std::ofstream f = open_or_throw(path);
+  header(f, title, "POLYDATA");
+  f << "POINTS " << total_points << " float\n";
+  for (const auto& line : lines) {
+    if (line.size() < 2) continue;
+    for (const Vec3& p : line) f << p.x << ' ' << p.y << ' ' << p.z << '\n';
+  }
+
+  f << "LINES " << total_lines << ' ' << (total_lines + total_points)
+    << '\n';
+  std::size_t offset = 0;
+  for (const auto& line : lines) {
+    if (line.size() < 2) continue;
+    f << line.size();
+    for (std::size_t i = 0; i < line.size(); ++i) f << ' ' << (offset + i);
+    f << '\n';
+    offset += line.size();
+  }
+
+  // Per-vertex parameter (index along the line) for colouring.
+  f << "POINT_DATA " << total_points << "\nSCALARS arc_index float 1\n"
+    << "LOOKUP_TABLE default\n";
+  for (const auto& line : lines) {
+    if (line.size() < 2) continue;
+    for (std::size_t i = 0; i < line.size(); ++i) {
+      f << static_cast<double>(i) << '\n';
+    }
+  }
+}
+
+void write_vtk_vector_grid(const std::filesystem::path& path,
+                           const StructuredGrid& grid,
+                           const std::string& title) {
+  std::ofstream f = open_or_throw(path);
+  header(f, title, "STRUCTURED_POINTS");
+  const AABB b = grid.bounds();
+  const Vec3 cell = grid.cell_size();
+  f << "DIMENSIONS " << grid.nx() << ' ' << grid.ny() << ' ' << grid.nz()
+    << '\n';
+  f << "ORIGIN " << b.lo.x << ' ' << b.lo.y << ' ' << b.lo.z << '\n';
+  f << "SPACING " << cell.x << ' ' << cell.y << ' ' << cell.z << '\n';
+  f << "POINT_DATA " << grid.num_nodes() << "\nVECTORS velocity float\n";
+  for (const Vec3& v : grid.data()) {
+    f << v.x << ' ' << v.y << ' ' << v.z << '\n';
+  }
+}
+
+void write_vtk_scalar_grid(const std::filesystem::path& path,
+                           const AABB& bounds, int nx, int ny, int nz,
+                           const std::vector<double>& values,
+                           const std::string& name,
+                           const std::string& title) {
+  const std::size_t expect =
+      static_cast<std::size_t>(nx) * static_cast<std::size_t>(ny) *
+      static_cast<std::size_t>(nz);
+  if (values.size() != expect) {
+    throw std::invalid_argument("write_vtk_scalar_grid: size mismatch");
+  }
+  std::ofstream f = open_or_throw(path);
+  header(f, title, "STRUCTURED_POINTS");
+  const Vec3 e = bounds.extent();
+  f << "DIMENSIONS " << nx << ' ' << ny << ' ' << nz << '\n';
+  f << "ORIGIN " << bounds.lo.x << ' ' << bounds.lo.y << ' ' << bounds.lo.z
+    << '\n';
+  f << "SPACING " << (nx > 1 ? e.x / (nx - 1) : 1.0) << ' '
+    << (ny > 1 ? e.y / (ny - 1) : 1.0) << ' '
+    << (nz > 1 ? e.z / (nz - 1) : 1.0) << '\n';
+  f << "POINT_DATA " << values.size() << "\nSCALARS " << name
+    << " float 1\nLOOKUP_TABLE default\n";
+  for (const double v : values) f << v << '\n';
+}
+
+void write_vtk_points(const std::filesystem::path& path,
+                      const std::vector<Vec3>& points,
+                      const std::vector<double>& scalars,
+                      const std::string& title) {
+  if (!scalars.empty() && scalars.size() != points.size()) {
+    throw std::invalid_argument("write_vtk_points: scalar size mismatch");
+  }
+  std::ofstream f = open_or_throw(path);
+  header(f, title, "POLYDATA");
+  f << "POINTS " << points.size() << " float\n";
+  for (const Vec3& p : points) f << p.x << ' ' << p.y << ' ' << p.z << '\n';
+  f << "VERTICES " << points.size() << ' ' << 2 * points.size() << '\n';
+  for (std::size_t i = 0; i < points.size(); ++i) f << "1 " << i << '\n';
+  if (!scalars.empty()) {
+    f << "POINT_DATA " << points.size()
+      << "\nSCALARS value float 1\nLOOKUP_TABLE default\n";
+    for (const double s : scalars) f << s << '\n';
+  }
+}
+
+}  // namespace sf

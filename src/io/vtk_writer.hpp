@@ -1,0 +1,43 @@
+#pragma once
+
+// Legacy-VTK ASCII output for visual inspection of results (streamline
+// polylines, vector grids, scalar grids).  Files open directly in
+// ParaView/VisIt — the natural downstream consumers of this library.
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "core/aabb.hpp"
+#include "core/structured_grid.hpp"
+#include "core/vec3.hpp"
+
+namespace sf {
+
+// Streamlines as VTK POLYDATA with one polyline per streamline and the
+// per-vertex integration index as scalar data.  Empty lines are skipped.
+void write_vtk_polylines(const std::filesystem::path& path,
+                         const std::vector<std::vector<Vec3>>& lines,
+                         const std::string& title = "streamflow lines");
+
+// A vector field grid as VTK STRUCTURED_POINTS with point vectors.
+void write_vtk_vector_grid(const std::filesystem::path& path,
+                           const StructuredGrid& grid,
+                           const std::string& title = "streamflow field");
+
+// A scalar lattice (e.g. an FTLE field) as VTK STRUCTURED_POINTS.
+// `values` is x-fastest with dims nx*ny*nz over `bounds`.
+void write_vtk_scalar_grid(const std::filesystem::path& path,
+                           const AABB& bounds, int nx, int ny, int nz,
+                           const std::vector<double>& values,
+                           const std::string& name = "scalar",
+                           const std::string& title = "streamflow scalar");
+
+// Points (e.g. Poincaré punctures) as VTK POLYDATA vertices with an
+// optional per-point scalar.
+void write_vtk_points(const std::filesystem::path& path,
+                      const std::vector<Vec3>& points,
+                      const std::vector<double>& scalars = {},
+                      const std::string& title = "streamflow points");
+
+}  // namespace sf

@@ -1,0 +1,48 @@
+#include "runtime/block_cache.hpp"
+
+#include <stdexcept>
+
+namespace sf {
+
+BlockCache::BlockCache(std::size_t capacity) : capacity_(capacity) {
+  if (capacity_ < 1) {
+    throw std::invalid_argument("BlockCache: capacity must be >= 1");
+  }
+}
+
+const StructuredGrid* BlockCache::find(BlockId id) {
+  auto it = map_.find(id);
+  if (it == map_.end()) return nullptr;
+  touch(it->second.pos);
+  return it->second.grid.get();
+}
+
+void BlockCache::insert(BlockId id, GridPtr grid) {
+  auto it = map_.find(id);
+  if (it != map_.end()) {
+    touch(it->second.pos);
+    return;
+  }
+  if (map_.size() >= capacity_) {
+    const BlockId victim = lru_.back();
+    lru_.pop_back();
+    map_.erase(victim);
+    ++purges_;
+  }
+  lru_.push_front(id);
+  map_.emplace(id, Entry{std::move(grid), lru_.begin()});
+  ++loads_;
+}
+
+void BlockCache::erase(BlockId id) {
+  auto it = map_.find(id);
+  if (it == map_.end()) return;
+  lru_.erase(it->second.pos);
+  map_.erase(it);
+}
+
+std::vector<BlockId> BlockCache::resident() const {
+  return {lru_.begin(), lru_.end()};
+}
+
+}  // namespace sf

@@ -1,0 +1,64 @@
+#pragma once
+
+// Per-rank LRU block cache.
+//
+// "The Load On Demand algorithm makes use of caching of blocks in a LRU
+// fashion; old blocks are discarded if available main memory is
+// insufficient" (§4.2).  Every algorithm caches through this class, and
+// its load/purge counters feed the paper's block-efficiency metric
+// E = (B_loaded - B_purged) / B_loaded.
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+#include <vector>
+
+#include "core/dataset.hpp"
+
+namespace sf {
+
+class BlockCache {
+ public:
+  // `capacity` is the user-defined upper bound on resident blocks (§5).
+  explicit BlockCache(std::size_t capacity);
+
+  std::size_t capacity() const { return capacity_; }
+  std::size_t size() const { return map_.size(); }
+
+  // Look up a block and mark it most-recently used.
+  const StructuredGrid* find(BlockId id);
+
+  // Look up without touching LRU order.
+  bool contains(BlockId id) const { return map_.count(id) != 0; }
+
+  // Insert a freshly loaded block as most-recently used, evicting the
+  // least-recently used entry if at capacity.  Counts one load (and one
+  // purge per eviction).  Re-inserting a resident block just touches it.
+  void insert(BlockId id, GridPtr grid);
+
+  // Drop a block explicitly (not counted as a purge; used by tests).
+  void erase(BlockId id);
+
+  // Resident block ids, most-recently used first.
+  std::vector<BlockId> resident() const;
+
+  std::uint64_t loads() const { return loads_; }
+  std::uint64_t purges() const { return purges_; }
+
+ private:
+  void touch(std::list<BlockId>::iterator it) {
+    lru_.splice(lru_.begin(), lru_, it);
+  }
+
+  std::size_t capacity_;
+  std::list<BlockId> lru_;  // front = most recent
+  struct Entry {
+    GridPtr grid;
+    std::list<BlockId>::iterator pos;
+  };
+  std::unordered_map<BlockId, Entry> map_;
+  std::uint64_t loads_ = 0;
+  std::uint64_t purges_ = 0;
+};
+
+}  // namespace sf

@@ -1,0 +1,84 @@
+#pragma once
+
+// Messages exchanged between ranks.
+//
+// One tagged-union message type covers all three algorithms:
+//   * ParticleBatch      — streamlines in flight between ranks (Static
+//                          hand-offs, Hybrid Sendforce/Sendhint traffic)
+//   * StatusUpdate       — slave -> master state report (§4.3)
+//   * Command            — master -> slave work assignment (the 5 rules)
+//   * TerminationCount   — the global streamline count of §4.1
+//   * DoneSignal         — terminate broadcast
+//   * SeedRequest/SeedTransfer — master <-> master balancing
+//
+// message_bytes() is the serialized size the network model charges; with
+// carry_geometry set (the paper's behaviour) particles pay for their full
+// recorded polyline, which is why communication gets expensive for long
+// streamlines (§8).
+
+#include <cstdint>
+#include <utility>
+#include <variant>
+#include <vector>
+
+#include "core/block_decomposition.hpp"
+#include "core/particle.hpp"
+
+namespace sf {
+
+struct ParticleBatch {
+  // The block the particles currently reside in (kInvalidBlock when the
+  // batch is mixed).
+  BlockId block = kInvalidBlock;
+  std::vector<Particle> particles;
+};
+
+struct StatusUpdate {
+  // Waiting particles grouped by the block they currently reside in.
+  std::vector<std::pair<BlockId, std::uint32_t>> queued_by_block;
+  std::vector<BlockId> loaded;   // blocks resident in the slave's cache
+  std::vector<BlockId> loading;  // block loads in flight
+  std::uint32_t workable = 0;    // particles advanceable right now
+  std::uint32_t terminated_delta = 0;  // terminations since last status
+};
+
+struct Command {
+  enum class Type : std::uint8_t {
+    kAssign,     // integrate these particles (Assign_loaded/unloaded)
+    kSendForce,  // send your particles in `block` to rank `target`
+    kSendHint,   // offload particles in `hint_blocks` to `target` if apt
+    kLoad,       // load `block`
+    kTerminate,  // all streamlines done; shut down
+  };
+  Type type = Type::kAssign;
+  BlockId block = kInvalidBlock;
+  int target = -1;
+  std::vector<Particle> particles;    // kAssign payload
+  std::vector<BlockId> hint_blocks;   // kSendHint payload
+};
+
+struct TerminationCount {
+  std::uint32_t count = 0;
+};
+
+struct DoneSignal {};
+
+struct SeedRequest {};
+
+struct SeedTransfer {
+  std::vector<Particle> seeds;
+};
+
+struct Message {
+  int from = -1;
+  std::variant<ParticleBatch, StatusUpdate, Command, TerminationCount,
+               DoneSignal, SeedRequest, SeedTransfer>
+      payload;
+};
+
+// Serialized size used by the cost model.
+std::size_t message_bytes(const Message& msg, bool carry_geometry);
+
+const char* to_string(Command::Type t);
+
+}  // namespace sf

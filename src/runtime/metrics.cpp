@@ -1,0 +1,73 @@
+#include "runtime/metrics.hpp"
+
+namespace sf {
+
+namespace {
+template <typename T, typename F>
+T accumulate_ranks(const std::vector<RankMetrics>& ranks, F f) {
+  T total{};
+  for (const RankMetrics& r : ranks) total += f(r);
+  return total;
+}
+}  // namespace
+
+double RunMetrics::total_io_time() const {
+  return accumulate_ranks<double>(ranks,
+                                  [](const RankMetrics& r) { return r.io_time; });
+}
+double RunMetrics::total_comm_time() const {
+  return accumulate_ranks<double>(
+      ranks, [](const RankMetrics& r) { return r.comm_time; });
+}
+double RunMetrics::total_compute_time() const {
+  return accumulate_ranks<double>(
+      ranks, [](const RankMetrics& r) { return r.compute_time; });
+}
+std::uint64_t RunMetrics::total_blocks_loaded() const {
+  return accumulate_ranks<std::uint64_t>(
+      ranks, [](const RankMetrics& r) { return r.blocks_loaded; });
+}
+std::uint64_t RunMetrics::total_blocks_purged() const {
+  return accumulate_ranks<std::uint64_t>(
+      ranks, [](const RankMetrics& r) { return r.blocks_purged; });
+}
+std::uint64_t RunMetrics::total_bytes_read() const {
+  return accumulate_ranks<std::uint64_t>(
+      ranks, [](const RankMetrics& r) { return r.bytes_read; });
+}
+std::uint64_t RunMetrics::total_messages() const {
+  return accumulate_ranks<std::uint64_t>(
+      ranks, [](const RankMetrics& r) { return r.messages_sent; });
+}
+std::uint64_t RunMetrics::total_bytes_sent() const {
+  return accumulate_ranks<std::uint64_t>(
+      ranks, [](const RankMetrics& r) { return r.bytes_sent; });
+}
+std::uint64_t RunMetrics::total_steps() const {
+  return accumulate_ranks<std::uint64_t>(
+      ranks, [](const RankMetrics& r) { return r.steps; });
+}
+
+double RunMetrics::block_efficiency() const {
+  const std::uint64_t loaded = total_blocks_loaded();
+  if (loaded == 0) return 1.0;
+  const std::uint64_t purged = total_blocks_purged();
+  return static_cast<double>(loaded - purged) / static_cast<double>(loaded);
+}
+
+double RunMetrics::mean_utilization() const {
+  if (wall_clock <= 0.0 || ranks.empty()) return 0.0;
+  return total_compute_time() /
+         (wall_clock * static_cast<double>(ranks.size()));
+}
+
+double RunMetrics::utilization_imbalance() const {
+  if (wall_clock <= 0.0 || ranks.empty()) return 0.0;
+  double busiest = 0.0;
+  for (const RankMetrics& r : ranks) {
+    busiest = std::max(busiest, r.compute_time);
+  }
+  return busiest / wall_clock - mean_utilization();
+}
+
+}  // namespace sf

@@ -1,0 +1,67 @@
+#pragma once
+
+// Per-rank and per-run performance metrics — exactly the quantities §5 of
+// the paper plots: wall clock, total I/O time, total communication time,
+// and block efficiency, plus supporting counters.
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/particle.hpp"
+#include "runtime/timeline.hpp"
+
+namespace sf {
+
+struct RankMetrics {
+  double compute_time = 0.0;  // busy advecting particles
+  double io_time = 0.0;       // waiting on block reads (incl. queueing)
+  double comm_time = 0.0;     // posting/managing sends and receives
+  std::uint64_t blocks_loaded = 0;
+  std::uint64_t blocks_purged = 0;
+  std::uint64_t bytes_read = 0;
+  std::uint64_t messages_sent = 0;
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t steps = 0;              // accepted integration steps
+  std::uint64_t bursts = 0;             // compute bursts executed
+  std::size_t peak_particle_bytes = 0;  // high-water resident memory
+  bool oom = false;
+};
+
+struct RunMetrics {
+  double wall_clock = 0.0;
+  bool failed_oom = false;  // run aborted: a rank exceeded its memory
+  int num_ranks = 0;
+  std::vector<RankMetrics> ranks;
+  // Final particle states (terminated streamlines), gathered from all
+  // ranks and sorted by id.  Empty when the run failed.
+  std::vector<Particle> particles;
+  // Populated when SimRuntimeConfig::record_timeline is set: per-rank
+  // compute/I/O spans for utilization and starvation analysis (§8).
+  std::shared_ptr<const Timeline> timeline;
+
+  double total_io_time() const;
+  double total_comm_time() const;
+  double total_compute_time() const;
+  std::uint64_t total_blocks_loaded() const;
+  std::uint64_t total_blocks_purged() const;
+  std::uint64_t total_bytes_read() const;
+  std::uint64_t total_messages() const;
+  std::uint64_t total_bytes_sent() const;
+  std::uint64_t total_steps() const;
+
+  // E = (B_loaded - B_purged) / B_loaded, eq. (2).  Defined as 1 when no
+  // blocks were loaded.
+  double block_efficiency() const;
+
+  // Mean fraction of the run each rank spent advecting particles —
+  // the processor-utilization view of load balance (§8 names processor
+  // starvation as the main limit to scalability).  0 when wall is 0.
+  double mean_utilization() const;
+
+  // Utilization of the busiest rank minus the mean: a large spread means
+  // a few ranks did all the work (Static Allocation's failure mode).
+  double utilization_imbalance() const;
+};
+
+}  // namespace sf

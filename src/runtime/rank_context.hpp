@@ -1,0 +1,97 @@
+#pragma once
+
+// The runtime abstraction the three algorithms are written against.
+//
+// A RankProgram is an event-driven state machine for one rank; a
+// RankContext is what the hosting runtime (discrete-event simulator or
+// real threads) provides to it.  Programs do the *real* numerical work
+// synchronously inside handlers and report its modelled cost through
+// begin_compute(); the runtime decides what that costs in (simulated or
+// real) time.
+//
+// Contract:
+//   * Handlers are never re-entered; the runtime serializes calls per rank.
+//   * on_message / on_block_loaded may arrive while a compute burst is in
+//     flight (busy() == true).  Handlers must then only mutate state and
+//     may not call begin_compute(); they resume work from
+//     on_compute_done().
+//   * request_block() is idempotent while a load is pending; exactly one
+//     on_block_loaded(id) fires per completed load (immediately for cache
+//     hits).
+//   * After finished() becomes true the program must not send or compute.
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+#include "core/block_decomposition.hpp"
+#include "core/dataset.hpp"
+#include "core/tracer.hpp"
+#include "runtime/message.hpp"
+#include "sim/machine_model.hpp"
+
+namespace sf {
+
+class RankContext {
+ public:
+  virtual ~RankContext() = default;
+
+  virtual int rank() const = 0;
+  virtual int num_ranks() const = 0;
+  virtual double now() const = 0;
+
+  virtual const BlockDecomposition& decomposition() const = 0;
+  virtual const Tracer& tracer() const = 0;
+  virtual const MachineModel& model() const = 0;
+
+  // Asynchronous point-to-point send.
+  virtual void send(int to, Message msg) = 0;
+
+  // Fetch a block into this rank's cache; on_block_loaded(id) fires when
+  // it is resident (a cache hit fires immediately, at zero I/O cost).
+  virtual void request_block(BlockId id) = 0;
+
+  virtual bool block_resident(BlockId id) const = 0;
+  virtual bool block_pending(BlockId id) const = 0;
+
+  // Blocks currently resident in this rank's cache, MRU first (what a
+  // hybrid slave reports to its master).
+  virtual std::vector<BlockId> resident_blocks() const = 0;
+
+  // The cached grid (marks it most-recently-used), or nullptr.
+  virtual const StructuredGrid* block(BlockId id) = 0;
+
+  // Begin a compute burst whose real work the caller just performed.
+  // `seconds` of busy time are charged; `steps` accepted integration
+  // steps are recorded.  on_compute_done() fires when the burst ends.
+  // Must not be called while busy().
+  virtual void begin_compute(double seconds, std::uint64_t steps) = 0;
+  virtual bool busy() const = 0;
+
+  // Account resident-particle memory (positive when particles arrive or
+  // grow geometry, negative when they leave or terminate).  The runtime
+  // aborts the run with OOM when a rank exceeds its budget.
+  virtual void charge_particle_memory(std::int64_t delta_bytes) = 0;
+};
+
+class RankProgram {
+ public:
+  virtual ~RankProgram() = default;
+
+  // Called once before any other handler.
+  virtual void start(RankContext& ctx) = 0;
+  virtual void on_message(RankContext& ctx, Message msg) = 0;
+  virtual void on_block_loaded(RankContext& ctx, BlockId id) = 0;
+  virtual void on_compute_done(RankContext& ctx) = 0;
+
+  // True when this rank will never send or compute again.
+  virtual bool finished() const = 0;
+
+  // Append this rank's terminated particles (for result gathering).
+  virtual void collect_particles(std::vector<Particle>& out) const = 0;
+};
+
+using ProgramFactory =
+    std::function<std::unique_ptr<RankProgram>(int rank, int num_ranks)>;
+
+}  // namespace sf

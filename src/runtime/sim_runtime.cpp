@@ -1,0 +1,222 @@
+#include "runtime/sim_runtime.hpp"
+
+#include <algorithm>
+#include <set>
+#include <stdexcept>
+
+namespace sf {
+
+// Per-rank state + the RankContext implementation handed to the program.
+class SimRuntime::Context final : public RankContext {
+ public:
+  Context(SimRuntime* runtime, SimEngine* engine, SharedDisk* disk,
+          Network* network, int rank)
+      : runtime_(runtime),
+        engine_(engine),
+        disk_(disk),
+        network_(network),
+        rank_(rank),
+        cache_(runtime->config_.cache_blocks) {}
+
+  // --- RankContext -----------------------------------------------------
+
+  int rank() const override { return rank_; }
+  int num_ranks() const override { return runtime_->config_.num_ranks; }
+  double now() const override { return engine_->now(); }
+
+  const BlockDecomposition& decomposition() const override {
+    return *runtime_->decomp_;
+  }
+  const Tracer& tracer() const override { return runtime_->tracer_; }
+  const MachineModel& model() const override {
+    return runtime_->config_.model;
+  }
+
+  void send(int to, Message msg) override {
+    msg.from = rank_;
+    const std::size_t bytes =
+        message_bytes(msg, runtime_->config_.carry_geometry);
+    metrics.comm_time += network_->endpoint_cost(bytes);
+    metrics.messages_sent += 1;
+    metrics.bytes_sent += bytes;
+    const SimTime arrive = network_->delivery_time(engine_->now(), bytes);
+    Context* dest = runtime_->contexts_[static_cast<std::size_t>(to)].get();
+    engine_->schedule_at(arrive, [dest, bytes, m = std::move(msg)]() mutable {
+      dest->metrics.comm_time += dest->network_->endpoint_cost(bytes);
+      dest->program->on_message(*dest, std::move(m));
+    });
+  }
+
+  void request_block(BlockId id) override {
+    if (cache_.contains(id)) {
+      // Hit: re-insert touches LRU; notify at the current instant.
+      engine_->schedule_at(engine_->now(), [this, id] {
+        program->on_block_loaded(*this, id);
+      });
+      return;
+    }
+    if (pending_.count(id) != 0) return;  // coalesce duplicate requests
+    pending_.insert(id);
+
+    const std::size_t bytes = runtime_->source_->block_bytes(id);
+    const SimTime done = disk_->submit_read(engine_->now(), bytes);
+    metrics.io_time += done - engine_->now();
+    metrics.bytes_read += bytes;
+    if (runtime_->timeline_) {
+      runtime_->timeline_->add(rank_, TimelineSpan::Kind::kIo,
+                               engine_->now(), done);
+    }
+    engine_->schedule_at(done, [this, id] {
+      // The real payload is fetched at completion time (memoized inside
+      // the source, so host memory holds each block once).
+      cache_.insert(id, runtime_->source_->load(id));
+      pending_.erase(id);
+      sync_cache_counters();
+      program->on_block_loaded(*this, id);
+    });
+  }
+
+  bool block_resident(BlockId id) const override {
+    return cache_.contains(id);
+  }
+  bool block_pending(BlockId id) const override {
+    return pending_.count(id) != 0;
+  }
+
+  std::vector<BlockId> resident_blocks() const override {
+    return cache_.resident();
+  }
+
+  const StructuredGrid* block(BlockId id) override {
+    return cache_.find(id);
+  }
+
+  void begin_compute(double seconds, std::uint64_t steps) override {
+    if (busy_) {
+      throw std::logic_error("begin_compute while busy (program bug)");
+    }
+    busy_ = true;
+    metrics.compute_time += seconds;
+    metrics.steps += steps;
+    metrics.bursts += 1;
+    if (runtime_->timeline_ && seconds > 0.0) {
+      runtime_->timeline_->add(rank_, TimelineSpan::Kind::kCompute,
+                               engine_->now(), engine_->now() + seconds);
+    }
+    engine_->schedule_after(seconds, [this] {
+      busy_ = false;
+      program->on_compute_done(*this);
+    });
+  }
+
+  bool busy() const override { return busy_; }
+
+  void charge_particle_memory(std::int64_t delta_bytes) override {
+    particle_bytes_ += delta_bytes;
+    if (particle_bytes_ < 0) particle_bytes_ = 0;  // paranoia
+    metrics.peak_particle_bytes =
+        std::max(metrics.peak_particle_bytes,
+                 static_cast<std::size_t>(particle_bytes_));
+    if (static_cast<std::size_t>(particle_bytes_) >
+        runtime_->config_.model.particle_memory_bytes) {
+      metrics.oom = true;
+      throw SimAbort("rank " + std::to_string(rank_) +
+                     " exceeded its particle memory budget");
+    }
+  }
+
+  // --- runtime-side ------------------------------------------------------
+
+  void sync_cache_counters() {
+    metrics.blocks_loaded = cache_.loads();
+    metrics.blocks_purged = cache_.purges();
+  }
+
+  std::unique_ptr<RankProgram> program;
+  RankMetrics metrics;
+
+ private:
+  SimRuntime* runtime_;
+  SimEngine* engine_;
+  SharedDisk* disk_;
+  Network* network_;
+  int rank_;
+  BlockCache cache_;
+  std::set<BlockId> pending_;
+  bool busy_ = false;
+  std::int64_t particle_bytes_ = 0;
+};
+
+SimRuntime::SimRuntime(const SimRuntimeConfig& config,
+                       const BlockDecomposition* decomp,
+                       const BlockSource* source,
+                       const IntegratorParams& iparams,
+                       const TraceLimits& limits)
+    : config_(config),
+      decomp_(decomp),
+      source_(source),
+      tracer_(decomp, iparams, limits) {
+  if (config_.num_ranks < 1) {
+    throw std::invalid_argument("SimRuntime: num_ranks >= 1");
+  }
+  if (decomp_ == nullptr || source_ == nullptr) {
+    throw std::invalid_argument("SimRuntime: null decomposition or source");
+  }
+}
+
+SimRuntime::~SimRuntime() = default;
+
+RunMetrics SimRuntime::run(const ProgramFactory& factory) {
+  SimEngine engine;
+  SharedDisk disk(config_.model, config_.model.io_channels);
+  Network network(config_.model);
+  timeline_ = config_.record_timeline
+                  ? std::make_shared<Timeline>(config_.num_ranks)
+                  : nullptr;
+
+  contexts_.clear();
+  contexts_.reserve(static_cast<std::size_t>(config_.num_ranks));
+  for (int r = 0; r < config_.num_ranks; ++r) {
+    auto ctx = std::make_unique<Context>(this, &engine, &disk, &network, r);
+    ctx->program = factory(r, config_.num_ranks);
+    contexts_.push_back(std::move(ctx));
+  }
+
+  // Kick every program off at t = 0 (in rank order, deterministically).
+  for (auto& ctx : contexts_) {
+    engine.schedule_at(0.0, [c = ctx.get()] { c->program->start(*c); });
+  }
+
+  RunMetrics run_metrics;
+  run_metrics.num_ranks = config_.num_ranks;
+  try {
+    run_metrics.wall_clock = engine.run();
+  } catch (const SimAbort&) {
+    run_metrics.failed_oom = true;
+    run_metrics.wall_clock = engine.now();
+  }
+
+  bool all_finished = true;
+  for (auto& ctx : contexts_) {
+    ctx->sync_cache_counters();
+    run_metrics.ranks.push_back(ctx->metrics);
+    if (!ctx->program->finished()) all_finished = false;
+    if (!run_metrics.failed_oom) {
+      ctx->program->collect_particles(run_metrics.particles);
+    }
+  }
+  if (!run_metrics.failed_oom && !all_finished) {
+    // The event queue drained but some program still expects work: a
+    // deadlock in the algorithm.  Surface it loudly.
+    throw std::logic_error(
+        "SimRuntime: simulation quiesced before all ranks finished");
+  }
+
+  std::sort(run_metrics.particles.begin(), run_metrics.particles.end(),
+            [](const Particle& a, const Particle& b) { return a.id < b.id; });
+  run_metrics.timeline = std::move(timeline_);
+  contexts_.clear();
+  return run_metrics;
+}
+
+}  // namespace sf

@@ -1,0 +1,63 @@
+#pragma once
+
+// Discrete-event-simulated runtime: runs one RankProgram per simulated
+// rank over the machine model of sim/machine_model.hpp.
+//
+// This is the substitute for the paper's 512-rank MPI runs on JaguarPF
+// (DESIGN.md §2): the very same algorithm code performs the real
+// numerical integration, while elapsed time, network transfers, shared-
+// filesystem contention and memory limits are modelled.  Runs are
+// deterministic: same inputs, same metrics, bit for bit.
+
+#include <memory>
+#include <vector>
+
+#include "core/dataset.hpp"
+#include "core/tracer.hpp"
+#include "runtime/block_cache.hpp"
+#include "runtime/metrics.hpp"
+#include "runtime/rank_context.hpp"
+#include "sim/disk.hpp"
+#include "sim/network.hpp"
+#include "sim/sim_engine.hpp"
+
+namespace sf {
+
+struct SimRuntimeConfig {
+  int num_ranks = 4;
+  MachineModel model{};
+  // LRU capacity per rank, in blocks ("user defined upper bound", §5).
+  std::size_t cache_blocks = 32;
+  // Whether communicated particles carry their recorded trajectory
+  // geometry (the paper's behaviour) or only solver state (§8's proposed
+  // optimization).
+  bool carry_geometry = true;
+  // Record per-rank compute/I/O spans into RunMetrics::timeline for
+  // utilization and starvation analysis (§8).  Off by default: large
+  // runs generate millions of spans.
+  bool record_timeline = false;
+};
+
+class SimRuntime {
+ public:
+  SimRuntime(const SimRuntimeConfig& config, const BlockDecomposition* decomp,
+             const BlockSource* source, const IntegratorParams& iparams,
+             const TraceLimits& limits);
+  ~SimRuntime();  // out of line: Context is incomplete here
+
+  // Instantiate one program per rank and simulate to completion.
+  // Terminated particles are gathered from all programs, sorted by id.
+  RunMetrics run(const ProgramFactory& factory);
+
+ private:
+  class Context;
+
+  SimRuntimeConfig config_;
+  const BlockDecomposition* decomp_;
+  const BlockSource* source_;
+  Tracer tracer_;
+  std::vector<std::unique_ptr<Context>> contexts_;
+  std::shared_ptr<Timeline> timeline_;
+};
+
+}  // namespace sf

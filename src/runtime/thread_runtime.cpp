@@ -1,0 +1,248 @@
+#include "runtime/thread_runtime.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <set>
+#include <stdexcept>
+#include <thread>
+#include <variant>
+
+#include "runtime/block_cache.hpp"
+
+namespace sf {
+
+namespace {
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+struct ThreadAbort {};
+}  // namespace
+
+class ThreadRuntime::Context final : public RankContext {
+ public:
+  Context(ThreadRuntime* runtime, int rank,
+          std::chrono::steady_clock::time_point epoch,
+          std::atomic<bool>* abort)
+      : runtime_(runtime),
+        rank_(rank),
+        epoch_(epoch),
+        abort_(abort),
+        cache_(runtime->config_.cache_blocks) {}
+
+  // --- RankContext -------------------------------------------------------
+
+  int rank() const override { return rank_; }
+  int num_ranks() const override { return runtime_->config_.num_ranks; }
+  double now() const override { return seconds_since(epoch_); }
+
+  const BlockDecomposition& decomposition() const override {
+    return *runtime_->decomp_;
+  }
+  const Tracer& tracer() const override { return runtime_->tracer_; }
+  const MachineModel& model() const override {
+    return runtime_->config_.model;
+  }
+
+  void send(int to, Message msg) override {
+    msg.from = rank_;
+    const std::size_t bytes =
+        message_bytes(msg, runtime_->config_.carry_geometry);
+    const auto t0 = std::chrono::steady_clock::now();
+    runtime_->contexts_[static_cast<std::size_t>(to)]->deliver(
+        std::move(msg));
+    metrics.comm_time += seconds_since(t0);
+    metrics.messages_sent += 1;
+    metrics.bytes_sent += bytes;
+  }
+
+  void request_block(BlockId id) override {
+    if (cache_.contains(id)) {
+      local_.push_back(id);
+      return;
+    }
+    if (pending_.count(id) != 0) return;
+    pending_.insert(id);
+    // Real synchronous read; completion is delivered through the local
+    // event queue so the program still sees it asynchronously.
+    const auto t0 = std::chrono::steady_clock::now();
+    GridPtr grid = runtime_->source_->load(id);
+    metrics.io_time += seconds_since(t0);
+    metrics.bytes_read += runtime_->source_->block_bytes(id);
+    cache_.insert(id, std::move(grid));
+    pending_.erase(id);
+    local_.push_back(id);
+  }
+
+  bool block_resident(BlockId id) const override {
+    return cache_.contains(id);
+  }
+  bool block_pending(BlockId id) const override {
+    return pending_.count(id) != 0;
+  }
+  std::vector<BlockId> resident_blocks() const override {
+    return cache_.resident();
+  }
+  const StructuredGrid* block(BlockId id) override { return cache_.find(id); }
+
+  void begin_compute(double seconds, std::uint64_t steps) override {
+    // The real work already happened inside the handler; record it and
+    // queue the completion notification.
+    metrics.compute_time += seconds;
+    metrics.steps += steps;
+    metrics.bursts += 1;
+    local_.push_back(ComputeDone{});
+  }
+
+  bool busy() const override { return false; }
+
+  void charge_particle_memory(std::int64_t delta_bytes) override {
+    particle_bytes_ += delta_bytes;
+    if (particle_bytes_ < 0) particle_bytes_ = 0;
+    metrics.peak_particle_bytes =
+        std::max(metrics.peak_particle_bytes,
+                 static_cast<std::size_t>(particle_bytes_));
+    if (static_cast<std::size_t>(particle_bytes_) >
+        runtime_->config_.model.particle_memory_bytes) {
+      metrics.oom = true;
+      abort_->store(true);
+      throw ThreadAbort{};
+    }
+  }
+
+  // --- thread driver -------------------------------------------------------
+
+  void deliver(Message msg) {
+    {
+      std::lock_guard lock(mailbox_mutex_);
+      mailbox_.push_back(std::move(msg));
+    }
+    mailbox_cv_.notify_one();
+  }
+
+  void thread_main() {
+    try {
+      program->start(*this);
+      drain_local();
+      while (!program->finished() && !abort_->load()) {
+        std::unique_lock lock(mailbox_mutex_);
+        mailbox_cv_.wait_for(lock, std::chrono::milliseconds(20), [this] {
+          return !mailbox_.empty() || abort_->load();
+        });
+        if (mailbox_.empty()) continue;
+        Message msg = std::move(mailbox_.front());
+        mailbox_.pop_front();
+        lock.unlock();
+        program->on_message(*this, std::move(msg));
+        drain_local();
+      }
+    } catch (const ThreadAbort&) {
+      // OOM: abort_ is set; all threads wind down.
+    }
+    metrics.blocks_loaded = cache_.loads();
+    metrics.blocks_purged = cache_.purges();
+  }
+
+  std::unique_ptr<RankProgram> program;
+  RankMetrics metrics;
+
+ private:
+  struct ComputeDone {};
+  using LocalEvent = std::variant<BlockId, ComputeDone>;
+
+  void drain_local() {
+    while (!local_.empty() && !abort_->load()) {
+      // Drain the mailbox between local events so commands interleave
+      // with compute, like they do under the simulator.
+      for (;;) {
+        Message msg;
+        {
+          std::lock_guard lock(mailbox_mutex_);
+          if (mailbox_.empty()) break;
+          msg = std::move(mailbox_.front());
+          mailbox_.pop_front();
+        }
+        program->on_message(*this, std::move(msg));
+      }
+      if (local_.empty()) break;
+      LocalEvent ev = local_.front();
+      local_.pop_front();
+      if (std::holds_alternative<ComputeDone>(ev)) {
+        program->on_compute_done(*this);
+      } else {
+        program->on_block_loaded(*this, std::get<BlockId>(ev));
+      }
+    }
+  }
+
+  ThreadRuntime* runtime_;
+  int rank_;
+  std::chrono::steady_clock::time_point epoch_;
+  std::atomic<bool>* abort_;
+  BlockCache cache_;
+  std::set<BlockId> pending_;
+  std::deque<LocalEvent> local_;
+  std::int64_t particle_bytes_ = 0;
+
+  std::mutex mailbox_mutex_;
+  std::condition_variable mailbox_cv_;
+  std::deque<Message> mailbox_;
+};
+
+ThreadRuntime::ThreadRuntime(const ThreadRuntimeConfig& config,
+                             const BlockDecomposition* decomp,
+                             const BlockSource* source,
+                             const IntegratorParams& iparams,
+                             const TraceLimits& limits)
+    : config_(config),
+      decomp_(decomp),
+      source_(source),
+      tracer_(decomp, iparams, limits) {
+  if (config_.num_ranks < 1) {
+    throw std::invalid_argument("ThreadRuntime: num_ranks >= 1");
+  }
+  if (decomp_ == nullptr || source_ == nullptr) {
+    throw std::invalid_argument("ThreadRuntime: null decomposition/source");
+  }
+}
+
+ThreadRuntime::~ThreadRuntime() = default;
+
+RunMetrics ThreadRuntime::run(const ProgramFactory& factory) {
+  const auto epoch = std::chrono::steady_clock::now();
+  std::atomic<bool> abort{false};
+
+  contexts_.clear();
+  for (int r = 0; r < config_.num_ranks; ++r) {
+    contexts_.push_back(
+        std::make_unique<Context>(this, r, epoch, &abort));
+    contexts_.back()->program = factory(r, config_.num_ranks);
+  }
+
+  std::vector<std::thread> threads;
+  threads.reserve(contexts_.size());
+  for (auto& ctx : contexts_) {
+    threads.emplace_back([c = ctx.get()] { c->thread_main(); });
+  }
+  for (std::thread& t : threads) t.join();
+
+  RunMetrics run_metrics;
+  run_metrics.num_ranks = config_.num_ranks;
+  run_metrics.wall_clock = seconds_since(epoch);
+  run_metrics.failed_oom = abort.load();
+  for (auto& ctx : contexts_) {
+    run_metrics.ranks.push_back(ctx->metrics);
+    if (!run_metrics.failed_oom) {
+      ctx->program->collect_particles(run_metrics.particles);
+    }
+  }
+  std::sort(run_metrics.particles.begin(), run_metrics.particles.end(),
+            [](const Particle& a, const Particle& b) { return a.id < b.id; });
+  contexts_.clear();
+  return run_metrics;
+}
+
+}  // namespace sf

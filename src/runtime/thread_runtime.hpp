@@ -1,0 +1,47 @@
+#pragma once
+
+// Real-thread runtime: runs the same RankPrograms as SimRuntime, but with
+// one OS thread per rank, real mailboxes and real block I/O.
+//
+// This demonstrates that the algorithms are not simulator-bound — the
+// identical state machines execute end to end on actual threads and
+// disks — and it is the execution engine a downstream user would run on a
+// real multi-core node.  Timing metrics are measured wall-clock seconds;
+// for scaling *studies* use SimRuntime, which models a large machine.
+
+#include <memory>
+
+#include "core/dataset.hpp"
+#include "core/tracer.hpp"
+#include "runtime/metrics.hpp"
+#include "runtime/rank_context.hpp"
+
+namespace sf {
+
+struct ThreadRuntimeConfig {
+  int num_ranks = 4;
+  MachineModel model{};  // memory budgets + per-particle overheads
+  std::size_t cache_blocks = 32;
+  bool carry_geometry = true;
+};
+
+class ThreadRuntime {
+ public:
+  ThreadRuntime(const ThreadRuntimeConfig& config,
+                const BlockDecomposition* decomp, const BlockSource* source,
+                const IntegratorParams& iparams, const TraceLimits& limits);
+  ~ThreadRuntime();
+
+  RunMetrics run(const ProgramFactory& factory);
+
+ private:
+  class Context;
+
+  ThreadRuntimeConfig config_;
+  const BlockDecomposition* decomp_;
+  const BlockSource* source_;
+  Tracer tracer_;
+  std::vector<std::unique_ptr<Context>> contexts_;
+};
+
+}  // namespace sf

@@ -1,0 +1,50 @@
+#include "runtime/timeline.hpp"
+
+#include <algorithm>
+
+namespace sf {
+
+std::vector<double> Timeline::rank_utilization(double wall) const {
+  std::vector<double> busy(static_cast<std::size_t>(num_ranks_), 0.0);
+  if (wall <= 0.0) return busy;
+  for (const TimelineSpan& s : spans_) {
+    if (s.kind == TimelineSpan::Kind::kCompute) {
+      busy[static_cast<std::size_t>(s.rank)] += s.t1 - s.t0;
+    }
+  }
+  for (double& b : busy) b = std::min(b / wall, 1.0);
+  return busy;
+}
+
+std::vector<double> Timeline::utilization_curve(double wall,
+                                                int bins) const {
+  std::vector<double> curve(static_cast<std::size_t>(bins), 0.0);
+  if (wall <= 0.0 || bins <= 0 || num_ranks_ <= 0) return curve;
+  const double bin_width = wall / bins;
+  for (const TimelineSpan& s : spans_) {
+    if (s.kind != TimelineSpan::Kind::kCompute) continue;
+    // Distribute the span's duration over the bins it overlaps.
+    const int first = std::clamp(static_cast<int>(s.t0 / bin_width), 0,
+                                 bins - 1);
+    const int last = std::clamp(static_cast<int>(s.t1 / bin_width), 0,
+                                bins - 1);
+    for (int b = first; b <= last; ++b) {
+      const double lo = std::max(s.t0, b * bin_width);
+      const double hi = std::min(s.t1, (b + 1) * bin_width);
+      if (hi > lo) curve[static_cast<std::size_t>(b)] += hi - lo;
+    }
+  }
+  const double denom = bin_width * num_ranks_;
+  for (double& c : curve) c = std::min(c / denom, 1.0);
+  return curve;
+}
+
+double Timeline::total_starved_seconds(double wall) const {
+  if (wall <= 0.0) return 0.0;
+  double active = 0.0;  // compute + I/O rank-seconds
+  for (const TimelineSpan& s : spans_) active += s.t1 - s.t0;
+  const double total = wall * num_ranks_;
+  return std::max(0.0, total - active);
+}
+
+}  // namespace sf

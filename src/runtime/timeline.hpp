@@ -1,0 +1,52 @@
+#pragma once
+
+// Per-rank activity timeline.
+//
+// §8 of the paper: "we have found that processor starvation is often a
+// limitation to large scalability".  When enabled, the simulated runtime
+// records every compute burst and I/O wait as a time span, from which
+// utilization curves and starvation statistics are derived — the
+// "observing communication and processor utilization patterns" the paper
+// proposes as the input for smarter heuristics.
+
+#include <cstdint>
+#include <vector>
+
+namespace sf {
+
+struct TimelineSpan {
+  enum class Kind : std::uint8_t { kCompute = 0, kIo = 1 };
+  int rank = 0;
+  Kind kind = Kind::kCompute;
+  double t0 = 0.0;
+  double t1 = 0.0;
+};
+
+class Timeline {
+ public:
+  explicit Timeline(int num_ranks) : num_ranks_(num_ranks) {}
+
+  void add(int rank, TimelineSpan::Kind kind, double t0, double t1) {
+    spans_.push_back({rank, kind, t0, t1});
+  }
+
+  int num_ranks() const { return num_ranks_; }
+  const std::vector<TimelineSpan>& spans() const { return spans_; }
+
+  // Fraction of [0, wall] each rank spent computing.
+  std::vector<double> rank_utilization(double wall) const;
+
+  // System-wide compute utilization per time bin: the fraction of all
+  // ranks busy during each of `bins` equal slices of [0, wall].
+  std::vector<double> utilization_curve(double wall, int bins) const;
+
+  // Total rank-seconds in which a rank was neither computing nor waiting
+  // on I/O — idle/starved time.
+  double total_starved_seconds(double wall) const;
+
+ private:
+  int num_ranks_;
+  std::vector<TimelineSpan> spans_;
+};
+
+}  // namespace sf

@@ -1,0 +1,3 @@
+// SharedDisk is header-only; this TU exists so the module shows up as a
+// distinct object in the archive and to anchor future out-of-line growth.
+#include "sim/disk.hpp"

@@ -1,0 +1,54 @@
+#pragma once
+
+// Deterministic discrete-event queue.
+//
+// Events fire in (time, insertion-sequence) order, so simultaneous events
+// run in the order they were scheduled and repeated runs are bit-identical.
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace sf {
+
+using SimTime = double;  // simulated seconds
+
+class EventQueue {
+ public:
+  using Handler = std::function<void()>;
+
+  void schedule(SimTime time, Handler fn) {
+    heap_.push(Event{time, next_seq_++, std::move(fn)});
+  }
+
+  bool empty() const { return heap_.empty(); }
+  std::size_t size() const { return heap_.size(); }
+  SimTime next_time() const { return heap_.top().time; }
+
+  // Pop and run the earliest event; returns its time.
+  SimTime run_next() {
+    Event ev = std::move(const_cast<Event&>(heap_.top()));
+    heap_.pop();
+    ev.fn();
+    return ev.time;
+  }
+
+ private:
+  struct Event {
+    SimTime time;
+    std::uint64_t seq;
+    Handler fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace sf

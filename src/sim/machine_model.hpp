@@ -1,0 +1,61 @@
+#pragma once
+
+// Cost model of the simulated distributed machine.
+//
+// Calibrated loosely against a 2009-era Cray XT5 (JaguarPF) with a Lustre
+// parallel filesystem — the paper's testbed.  Absolute values matter less
+// than the ratios (I/O latency vs per-step compute vs message overhead),
+// which set where the algorithms' crossovers fall.
+
+#include <cstddef>
+
+namespace sf {
+
+struct MachineModel {
+  // --- Compute -----------------------------------------------------------
+  // Simulated wall time charged per accepted integration step (includes
+  // the amortized cost of rejected trials and cell location).
+  double seconds_per_step = 4.0e-6;
+
+  // --- Shared parallel filesystem -----------------------------------------
+  // A block read costs io_latency + bytes / io_bandwidth on one of
+  // io_channels concurrent servers; excess requests queue.  This is what
+  // makes redundant reads hurt at scale.
+  double io_latency = 4.0e-3;       // seconds per read request
+  double io_bandwidth = 1.0e9;      // bytes/second per channel
+  int io_channels = 128;            // concurrent filesystem servers (OSTs)
+
+  // --- Interconnect --------------------------------------------------------
+  double net_latency = 1.0e-5;      // seconds per message
+  double net_bandwidth = 1.6e9;     // bytes/second on a link
+  // CPU time to post/manage a send or receive.  This (plus packing) is the
+  // "communication time" metric of §5.
+  double msg_overhead = 2.0e-5;     // seconds of CPU per message endpoint
+  double pack_bandwidth = 2.0e9;    // bytes/second for (un)packing payloads
+
+  // --- Memory ---------------------------------------------------------------
+  // Per-rank budget for resident particles (solver state + recorded
+  // geometry).  Exceeding it aborts the run with OOM, like Static
+  // Allocation on the dense thermal-hydraulics case (Figure 13).
+  std::size_t particle_memory_bytes = 512ull << 20;
+  // Fixed bookkeeping bytes per resident particle on top of its geometry.
+  std::size_t particle_overhead_bytes = 8 << 10;
+
+  // Time a message spends in flight (sender clock to receiver clock).
+  double message_flight_seconds(std::size_t bytes) const {
+    return net_latency + static_cast<double>(bytes) / net_bandwidth;
+  }
+  // CPU cost charged to an endpoint for handling a message.
+  double message_endpoint_seconds(std::size_t bytes) const {
+    return msg_overhead + static_cast<double>(bytes) / pack_bandwidth;
+  }
+  // Service time of one block read, excluding queueing.
+  double io_service_seconds(std::size_t bytes) const {
+    return io_latency + static_cast<double>(bytes) / io_bandwidth;
+  }
+
+  // The defaults above, named for readability at call sites.
+  static MachineModel jaguar_like() { return {}; }
+};
+
+}  // namespace sf

@@ -1,0 +1,2 @@
+// Network is header-only; see disk.cpp for the rationale of this TU.
+#include "sim/network.hpp"

@@ -1,0 +1,2 @@
+// SimEngine is header-only; see disk.cpp for the rationale of this TU.
+#include "sim/sim_engine.hpp"

@@ -1,0 +1,47 @@
+#pragma once
+
+// Discrete-event simulation engine: a clock plus the event queue, with an
+// abort channel for simulated failures (OOM).
+
+#include <stdexcept>
+#include <string>
+
+#include "sim/event_queue.hpp"
+
+namespace sf {
+
+// Thrown inside event handlers to abort the simulated run (e.g. a rank
+// exceeded its memory budget).  Caught by SimRuntime::run.
+struct SimAbort : std::runtime_error {
+  explicit SimAbort(const std::string& what) : std::runtime_error(what) {}
+};
+
+class SimEngine {
+ public:
+  SimTime now() const { return now_; }
+
+  void schedule_at(SimTime t, EventQueue::Handler fn) {
+    queue_.schedule(t, std::move(fn));
+  }
+  void schedule_after(double dt, EventQueue::Handler fn) {
+    queue_.schedule(now_ + dt, std::move(fn));
+  }
+
+  // Run until the queue drains; returns the time of the last event.
+  // SimAbort propagates to the caller with `now()` at the failure point.
+  SimTime run() {
+    while (!queue_.empty()) {
+      now_ = queue_.next_time();
+      queue_.run_next();
+    }
+    return now_;
+  }
+
+  std::size_t pending_events() const { return queue_.size(); }
+
+ private:
+  EventQueue queue_;
+  SimTime now_ = 0.0;
+};
+
+}  // namespace sf

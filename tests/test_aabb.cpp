@@ -1,0 +1,62 @@
+#include "core/aabb.hpp"
+
+#include <gtest/gtest.h>
+
+namespace sf {
+namespace {
+
+TEST(AABB, DefaultIsInvalid) {
+  AABB box;
+  EXPECT_FALSE(box.valid());
+}
+
+TEST(AABB, ContainsBoundaryAndInterior) {
+  const AABB box{{0, 0, 0}, {1, 2, 3}};
+  EXPECT_TRUE(box.valid());
+  EXPECT_TRUE(box.contains({0.5, 1.0, 1.5}));
+  EXPECT_TRUE(box.contains({0, 0, 0}));
+  EXPECT_TRUE(box.contains({1, 2, 3}));
+  EXPECT_FALSE(box.contains({1.0001, 1, 1}));
+  EXPECT_FALSE(box.contains({-0.0001, 1, 1}));
+}
+
+TEST(AABB, ExtentCenterVolume) {
+  const AABB box{{-1, -2, -3}, {1, 2, 3}};
+  EXPECT_EQ(box.extent(), Vec3(2, 4, 6));
+  EXPECT_EQ(box.center(), Vec3(0, 0, 0));
+  EXPECT_DOUBLE_EQ(box.volume(), 48.0);
+}
+
+TEST(AABB, ExpandGrowsToCoverPoints) {
+  AABB box;
+  box.expand({1, 1, 1});
+  EXPECT_TRUE(box.valid());
+  EXPECT_DOUBLE_EQ(box.volume(), 0.0);
+  box.expand({-1, 2, 0});
+  EXPECT_EQ(box.lo, Vec3(-1, 1, 0));
+  EXPECT_EQ(box.hi, Vec3(1, 2, 1));
+}
+
+TEST(AABB, Inflated) {
+  const AABB box{{0, 0, 0}, {1, 1, 1}};
+  const AABB big = box.inflated(0.5);
+  EXPECT_EQ(big.lo, Vec3(-0.5, -0.5, -0.5));
+  EXPECT_EQ(big.hi, Vec3(1.5, 1.5, 1.5));
+}
+
+TEST(AABB, Intersects) {
+  const AABB a{{0, 0, 0}, {1, 1, 1}};
+  EXPECT_TRUE(a.intersects(AABB{{0.5, 0.5, 0.5}, {2, 2, 2}}));
+  // Face contact counts as intersection.
+  EXPECT_TRUE(a.intersects(AABB{{1, 0, 0}, {2, 1, 1}}));
+  EXPECT_FALSE(a.intersects(AABB{{1.01, 0, 0}, {2, 1, 1}}));
+}
+
+TEST(AABB, ClampProjectsOntoBox) {
+  const AABB box{{0, 0, 0}, {1, 1, 1}};
+  EXPECT_EQ(box.clamp({2, 0.5, -3}), Vec3(1, 0.5, 0));
+  EXPECT_EQ(box.clamp({0.3, 0.4, 0.5}), Vec3(0.3, 0.4, 0.5));
+}
+
+}  // namespace
+}  // namespace sf

@@ -1,0 +1,310 @@
+#include "core/analytic_fields.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/integrator.hpp"
+#include "core/rng.hpp"
+#include "core/tracer.hpp"
+
+namespace sf {
+namespace {
+
+// Central-difference divergence of a field.
+double divergence(const VectorField& f, const Vec3& p, double h = 1e-5) {
+  Vec3 xp, xm, yp, ym, zp, zm;
+  EXPECT_TRUE(f.sample(p + Vec3{h, 0, 0}, xp));
+  EXPECT_TRUE(f.sample(p - Vec3{h, 0, 0}, xm));
+  EXPECT_TRUE(f.sample(p + Vec3{0, h, 0}, yp));
+  EXPECT_TRUE(f.sample(p - Vec3{0, h, 0}, ym));
+  EXPECT_TRUE(f.sample(p + Vec3{0, 0, h}, zp));
+  EXPECT_TRUE(f.sample(p - Vec3{0, 0, h}, zm));
+  return (xp.x - xm.x + yp.y - ym.y + zp.z - zm.z) / (2 * h);
+}
+
+TEST(UniformField, ConstantInsideFailsOutside) {
+  const UniformField f({1, 2, 3});
+  Vec3 v;
+  ASSERT_TRUE(f.sample({0, 0, 0}, v));
+  EXPECT_EQ(v, Vec3(1, 2, 3));
+  EXPECT_FALSE(f.sample({5, 0, 0}, v));
+}
+
+TEST(RotorField, VelocityPerpendicularToRadius) {
+  const RotorField f({0, 0, 0}, {0, 0, 2});
+  Vec3 v;
+  ASSERT_TRUE(f.sample({1, 0, 0}, v));
+  EXPECT_EQ(v, Vec3(0, 2, 0));
+  ASSERT_TRUE(f.sample({0, 1, 0}, v));
+  EXPECT_EQ(v, Vec3(-2, 0, 0));
+}
+
+TEST(SaddleField, MatchesLinearForm) {
+  const SaddleField f(2.0);
+  Vec3 v;
+  ASSERT_TRUE(f.sample({1.5, -0.5, 0.2}, v));
+  EXPECT_DOUBLE_EQ(v.x, 3.0);
+  EXPECT_DOUBLE_EQ(v.y, 1.0);
+  EXPECT_DOUBLE_EQ(v.z, 0.0);
+}
+
+TEST(ABCField, DivergenceFree) {
+  const ABCField f;
+  Rng rng(3);
+  for (int i = 0; i < 50; ++i) {
+    const Vec3 p{rng.uniform(0.5, 5.5), rng.uniform(0.5, 5.5),
+                 rng.uniform(0.5, 5.5)};
+    EXPECT_NEAR(divergence(f, p), 0.0, 1e-6) << "at " << p;
+  }
+}
+
+TEST(SupernovaField, TurbulenceIsDivergenceFree) {
+  // The turbulent component is a curl, hence exactly solenoidal; check
+  // the numerical divergence of the full field minus the radial part is
+  // small by checking the exposed turbulence() directly.
+  const SupernovaField f;
+  Rng rng(4);
+  for (int i = 0; i < 30; ++i) {
+    const Vec3 p{rng.uniform(-0.8, 0.8), rng.uniform(-0.8, 0.8),
+                 rng.uniform(-0.8, 0.8)};
+    const double h = 1e-5;
+    const double div =
+        (f.turbulence(p + Vec3{h, 0, 0}).x - f.turbulence(p - Vec3{h, 0, 0}).x +
+         f.turbulence(p + Vec3{0, h, 0}).y - f.turbulence(p - Vec3{0, h, 0}).y +
+         f.turbulence(p + Vec3{0, 0, h}).z -
+         f.turbulence(p - Vec3{0, 0, h}).z) /
+        (2 * h);
+    EXPECT_NEAR(div, 0.0, 1e-4) << "at " << p;
+  }
+}
+
+TEST(SupernovaField, ShockShellAttracts) {
+  SupernovaParams prm;
+  prm.turbulence_strength = 0.0;  // isolate shock + rotation
+  const SupernovaField f(prm);
+  Vec3 v;
+  // Inside the shell the field sweeps outward toward it...
+  const Vec3 inside{prm.shock_radius - prm.shock_width, 0, 0};
+  ASSERT_TRUE(f.sample(inside, v));
+  EXPECT_GT(dot(v, inside), 0.0);
+  // ...just beyond it the attraction still pulls back in (lines are
+  // trapped near the shell)...
+  const Vec3 near_out{prm.shock_radius + prm.shock_width, 0, 0};
+  ASSERT_TRUE(f.sample(near_out, v));
+  EXPECT_LT(dot(v, near_out), 0.0);
+  // ...while far outside (reachable toward the domain corners) the weak
+  // ejecta leak wins and lines escape through the boundary.
+  const Vec3 far_out{0.8, 0.8, 0.8};  // r ~ 1.39, well past the shell
+  ASSERT_TRUE(f.sample(far_out, v));
+  EXPECT_GT(dot(v, far_out), 0.0);
+}
+
+TEST(SupernovaField, DifferentialRotationMatchesProfile) {
+  SupernovaParams prm;
+  prm.turbulence_strength = 0.0;
+  const SupernovaField f(prm);
+  const Vec3 p{0.05, 0, 0};
+  Vec3 v;
+  ASSERT_TRUE(f.sample(p, v));
+  // With turbulence off, the azimuthal component is exactly
+  // omega(r_c) * r_c with omega = strength * s^2 / (s^2 + r_c^2).
+  const double fall = prm.rotation_falloff * prm.rotation_falloff;
+  const double omega =
+      prm.rotation_strength * fall / (fall + p.x * p.x);
+  EXPECT_NEAR(v.y, omega * p.x, 1e-12);
+  EXPECT_NEAR(v.z, 0.0, 1e-12);
+}
+
+TEST(SupernovaField, DeterministicAcrossInstances) {
+  const SupernovaField a, b;
+  Vec3 va, vb;
+  const Vec3 p{0.3, -0.2, 0.6};
+  ASSERT_TRUE(a.sample(p, va));
+  ASSERT_TRUE(b.sample(p, vb));
+  EXPECT_EQ(va, vb);
+}
+
+TEST(TokamakField, ToroidalMagnitudeFallsAsOneOverR) {
+  TokamakParams prm;
+  prm.island_amplitude = 0.0;
+  const TokamakField f(prm);
+  Vec3 v_in, v_out;
+  ASSERT_TRUE(f.sample({0.8, 0, 0}, v_in));
+  ASSERT_TRUE(f.sample({1.2, 0, 0}, v_out));
+  // B_phi ~ R0/R: closer in is stronger.
+  EXPECT_GT(std::abs(v_in.y), std::abs(v_out.y));
+  EXPECT_NEAR(std::abs(v_in.y) * 0.8, std::abs(v_out.y) * 1.2, 0.05);
+}
+
+TEST(TokamakField, FieldIsToroidalOnAxisCircle) {
+  TokamakParams prm;
+  prm.island_amplitude = 0.0;
+  const TokamakField f(prm);
+  // On the magnetic axis (r = 0) the poloidal component vanishes.
+  Vec3 v;
+  ASSERT_TRUE(f.sample({1.0, 0, 0}, v));
+  EXPECT_NEAR(v.x, 0.0, 1e-12);
+  EXPECT_NEAR(v.z, 0.0, 1e-12);
+  EXPECT_NEAR(std::abs(v.y), prm.b0, 1e-12);
+}
+
+TEST(TokamakField, UndefinedOnTorusAxis) {
+  const TokamakField f;
+  Vec3 v;
+  EXPECT_FALSE(f.sample({0, 0, 0}, v));
+}
+
+TEST(ThermalHydraulicsField, JetStrongestAtInletMouth) {
+  const ThermalHydraulicsField f;
+  const auto& prm = f.params();
+  Vec3 at_inlet, far_away;
+  ASSERT_TRUE(f.sample({0.01, prm.inlet1.y, prm.inlet1.z}, at_inlet));
+  ASSERT_TRUE(f.sample({0.9, prm.inlet1.y, prm.inlet1.z}, far_away));
+  EXPECT_GT(at_inlet.x, 2.0);
+  // Far from the inlet only the (weaker) recirculation contributes.
+  EXPECT_GT(at_inlet.x, 2.0 * std::abs(far_away.x));
+}
+
+TEST(ThermalHydraulicsField, OutletAttracts) {
+  ThermalHydraulicsParams prm;
+  prm.jet_strength = 0.0;
+  prm.recirculation_strength = 0.0;
+  const ThermalHydraulicsField f(prm);
+  const Vec3 p{0.7, 0.7, 0.7};
+  Vec3 v;
+  ASSERT_TRUE(f.sample(p, v));
+  // Velocity points toward the outlet.
+  EXPECT_GT(dot(v, prm.outlet - p), 0.0);
+}
+
+TEST(ThermalHydraulicsField, RecirculationHasClosedCells) {
+  ThermalHydraulicsParams prm;
+  prm.jet_strength = 0.0;
+  prm.outlet_strength = 0.0;
+  const ThermalHydraulicsField f(prm);
+  // At the centre of a recirculation cell the in-plane velocity vanishes.
+  Vec3 v;
+  ASSERT_TRUE(f.sample({0.25, 0.5, 0.25}, v));
+  EXPECT_NEAR(v.x, 0.0, 1e-9);
+  EXPECT_NEAR(v.z, 0.0, 1e-9);
+}
+
+TEST(HillVortex, VelocityContinuousAtBoundary) {
+  const HillVortexField f(0.6, 1.0);
+  for (const double frac : {0.3, 0.7, 0.95}) {
+    // A point on the vortex sphere, just inside vs just outside.
+    const double z = 0.6 * frac;
+    const double rho = std::sqrt(0.36 - z * z);
+    Vec3 vin, vout;
+    const double eps = 1e-7;
+    ASSERT_TRUE(f.sample({rho * (1 - eps), 0, z * (1 - eps)}, vin));
+    ASSERT_TRUE(f.sample({rho * (1 + eps), 0, z * (1 + eps)}, vout));
+    EXPECT_NEAR(vin.x, vout.x, 1e-5);
+    EXPECT_NEAR(vin.z, vout.z, 1e-5);
+  }
+}
+
+TEST(HillVortex, StreamfunctionContinuousAndZeroOnSphere) {
+  const HillVortexField f(0.6, 1.0);
+  EXPECT_NEAR(f.streamfunction({0.6, 0, 0}), 0.0, 1e-12);
+  EXPECT_NEAR(f.streamfunction({0, 0.36, 0.48}), 0.0, 1e-12);
+}
+
+TEST(HillVortex, DivergenceFree) {
+  const HillVortexField f;
+  Rng rng(6);
+  for (int i = 0; i < 50; ++i) {
+    const Vec3 p{rng.uniform(-1.2, 1.2), rng.uniform(-1.2, 1.2),
+                 rng.uniform(-1.2, 1.2)};
+    if (std::abs(norm(p) - 0.6) < 0.05) continue;  // skip the interface
+    EXPECT_NEAR(divergence(f, p), 0.0, 1e-5) << "at " << p;
+  }
+}
+
+TEST(HillVortex, StreamfunctionConservedAlongStreamlines) {
+  // The exact invariant: psi is constant along every streamline.  This
+  // exercises integrator + field together at tight tolerance.
+  const HillVortexField f(0.6, 1.0);
+  IntegratorParams prm;
+  prm.tol = 1e-10;
+  for (const Vec3 seed : {Vec3{0.25, 0, 0.1}, Vec3{0.4, 0.1, -0.2},
+                          Vec3{0.9, 0, 0.3}}) {
+    const double psi0 = f.streamfunction(seed);
+    Vec3 p = seed;
+    double t = 0.0, h = prm.h_init;
+    double worst = 0.0;
+    for (int s = 0; s < 600; ++s) {
+      const StepResult r = dopri5_step(f, p, t, h, prm);
+      if (r.status != StepStatus::kOk) break;
+      p = r.p;
+      t = r.t;
+      h = r.h_next;
+      worst = std::max(worst, std::abs(f.streamfunction(p) - psi0));
+    }
+    EXPECT_LT(worst, 1e-6) << "seed " << seed;
+  }
+}
+
+TEST(HillVortex, InteriorStreamlinesCloseOnThemselves) {
+  const HillVortexField f(0.6, 1.0);
+  IntegratorParams prm;
+  prm.tol = 1e-10;
+  TraceLimits lim;
+  lim.max_steps = 200000;
+  lim.max_time = 1e9;
+  lim.min_speed = 1e-10;
+  // Trace an interior loop and find the closest return to the seed
+  // after leaving its neighbourhood.
+  const Vec3 seed{0.3, 0.0, 0.0};
+  Vec3 p = seed;
+  double t = 0.0, h = prm.h_init;
+  double best_return = 1e300;
+  bool left = false;
+  for (int s = 0; s < 5000; ++s) {
+    const StepResult r = dopri5_step(f, p, t, h, prm);
+    ASSERT_EQ(r.status, StepStatus::kOk);
+    p = r.p;
+    t = r.t;
+    h = r.h_next;
+    const double d = distance(p, seed);
+    if (d > 0.1) left = true;
+    if (left) best_return = std::min(best_return, d);
+    if (left && d < 1e-3) break;
+  }
+  EXPECT_TRUE(left);
+  EXPECT_LT(best_return, 5e-3);
+}
+
+TEST(AllApplicationFields, SampleEverywhereInsideBounds) {
+  const SupernovaField sn;
+  const TokamakField tk;
+  const ThermalHydraulicsField th;
+  Rng rng(99);
+  for (const VectorField* f :
+       std::initializer_list<const VectorField*>{&sn, &th}) {
+    const AABB b = f->bounds();
+    for (int i = 0; i < 200; ++i) {
+      const Vec3 p{rng.uniform(b.lo.x, b.hi.x), rng.uniform(b.lo.y, b.hi.y),
+                   rng.uniform(b.lo.z, b.hi.z)};
+      Vec3 v;
+      EXPECT_TRUE(f->sample(p, v)) << "at " << p;
+      EXPECT_TRUE(std::isfinite(v.x) && std::isfinite(v.y) &&
+                  std::isfinite(v.z));
+    }
+  }
+  // Tokamak: defined everywhere except the z axis.
+  const AABB b = tk.bounds();
+  for (int i = 0; i < 200; ++i) {
+    const Vec3 p{rng.uniform(b.lo.x, b.hi.x), rng.uniform(b.lo.y, b.hi.y),
+                 rng.uniform(b.lo.z, b.hi.z)};
+    if (std::hypot(p.x, p.y) < 1e-6) continue;
+    Vec3 v;
+    EXPECT_TRUE(tk.sample(p, v));
+    EXPECT_TRUE(std::isfinite(v.x) && std::isfinite(v.y) &&
+                std::isfinite(v.z));
+  }
+}
+
+}  // namespace
+}  // namespace sf

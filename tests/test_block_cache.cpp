@@ -1,0 +1,92 @@
+#include "runtime/block_cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/analytic_fields.hpp"
+
+namespace sf {
+namespace {
+
+GridPtr dummy_grid() {
+  return std::make_shared<StructuredGrid>(AABB{{0, 0, 0}, {1, 1, 1}}, 2, 2,
+                                          2);
+}
+
+TEST(BlockCache, RejectsZeroCapacity) {
+  EXPECT_THROW(BlockCache(0), std::invalid_argument);
+}
+
+TEST(BlockCache, InsertFindContains) {
+  BlockCache cache(4);
+  EXPECT_EQ(cache.find(1), nullptr);
+  auto g = dummy_grid();
+  cache.insert(1, g);
+  EXPECT_TRUE(cache.contains(1));
+  EXPECT_EQ(cache.find(1), g.get());
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.loads(), 1u);
+  EXPECT_EQ(cache.purges(), 0u);
+}
+
+TEST(BlockCache, EvictsLeastRecentlyUsed) {
+  BlockCache cache(2);
+  cache.insert(1, dummy_grid());
+  cache.insert(2, dummy_grid());
+  cache.find(1);              // 1 becomes MRU
+  cache.insert(3, dummy_grid());  // evicts 2
+  EXPECT_TRUE(cache.contains(1));
+  EXPECT_FALSE(cache.contains(2));
+  EXPECT_TRUE(cache.contains(3));
+  EXPECT_EQ(cache.purges(), 1u);
+  EXPECT_EQ(cache.loads(), 3u);
+}
+
+TEST(BlockCache, ReinsertTouchesWithoutCounting) {
+  BlockCache cache(2);
+  cache.insert(1, dummy_grid());
+  cache.insert(2, dummy_grid());
+  cache.insert(1, dummy_grid());  // touch, not a load
+  EXPECT_EQ(cache.loads(), 2u);
+  cache.insert(3, dummy_grid());  // evicts 2 (1 was touched)
+  EXPECT_TRUE(cache.contains(1));
+  EXPECT_FALSE(cache.contains(2));
+}
+
+TEST(BlockCache, ResidentIsMruFirst) {
+  BlockCache cache(3);
+  cache.insert(1, dummy_grid());
+  cache.insert(2, dummy_grid());
+  cache.insert(3, dummy_grid());
+  cache.find(1);
+  EXPECT_EQ(cache.resident(), (std::vector<BlockId>{1, 3, 2}));
+}
+
+TEST(BlockCache, EraseIsNotAPurge) {
+  BlockCache cache(2);
+  cache.insert(1, dummy_grid());
+  cache.erase(1);
+  EXPECT_FALSE(cache.contains(1));
+  EXPECT_EQ(cache.purges(), 0u);
+  cache.erase(99);  // erasing a missing block is a no-op
+}
+
+// Property: under arbitrary access patterns the cache never exceeds
+// capacity and loads - purges == resident.
+class CacheCapacity : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(CacheCapacity, InvariantsHoldUnderChurn) {
+  const std::size_t cap = GetParam();
+  BlockCache cache(cap);
+  for (int i = 0; i < 500; ++i) {
+    cache.insert((i * 7) % 23, dummy_grid());
+    cache.find((i * 3) % 23);
+    ASSERT_LE(cache.size(), cap);
+    ASSERT_EQ(cache.loads() - cache.purges(), cache.size());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Capacities, CacheCapacity,
+                         ::testing::Values(1u, 2u, 5u, 23u, 100u));
+
+}  // namespace
+}  // namespace sf

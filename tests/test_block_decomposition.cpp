@@ -1,0 +1,123 @@
+#include "core/block_decomposition.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/rng.hpp"
+
+namespace sf {
+namespace {
+
+const AABB kDomain{{-1, -1, -1}, {1, 1, 1}};
+
+TEST(BlockDecomposition, Validation) {
+  EXPECT_THROW(BlockDecomposition(kDomain, 0, 1, 1), std::invalid_argument);
+  EXPECT_THROW(BlockDecomposition(AABB{}, 2, 2, 2), std::invalid_argument);
+}
+
+TEST(BlockDecomposition, IdCoordRoundTrip) {
+  const BlockDecomposition d(kDomain, 4, 3, 2);
+  EXPECT_EQ(d.num_blocks(), 24);
+  for (BlockId id = 0; id < d.num_blocks(); ++id) {
+    EXPECT_EQ(d.id_of(d.coords_of(id)), id);
+  }
+}
+
+TEST(BlockDecomposition, BlockBoundsTileTheDomain) {
+  const BlockDecomposition d(kDomain, 2, 2, 2);
+  double volume = 0.0;
+  for (BlockId id = 0; id < d.num_blocks(); ++id) {
+    volume += d.block_bounds(id).volume();
+  }
+  EXPECT_NEAR(volume, kDomain.volume(), 1e-12);
+}
+
+TEST(BlockDecomposition, OwnershipIsUniqueAndConsistent) {
+  const BlockDecomposition d(kDomain, 3, 3, 3);
+  Rng rng(17);
+  for (int i = 0; i < 2000; ++i) {
+    const Vec3 p{rng.uniform(-1, 1), rng.uniform(-1, 1), rng.uniform(-1, 1)};
+    const BlockId owner = d.block_of(p);
+    ASSERT_NE(owner, kInvalidBlock);
+    EXPECT_TRUE(d.block_bounds(owner).contains(p))
+        << p << " not in bounds of its owner block " << owner;
+  }
+}
+
+TEST(BlockDecomposition, SharedFacesHaveOneOwner) {
+  const BlockDecomposition d(kDomain, 2, 2, 2);
+  // A point exactly on the x = 0 internal face belongs to the upper block.
+  const BlockId b = d.block_of({0.0, -0.5, -0.5});
+  EXPECT_EQ(d.coords_of(b).i, 1);
+}
+
+TEST(BlockDecomposition, DomainHighFaceOwnedByLastBlock) {
+  const BlockDecomposition d(kDomain, 2, 2, 2);
+  const BlockId b = d.block_of({1.0, 1.0, 1.0});
+  EXPECT_EQ(b, d.num_blocks() - 1);
+}
+
+TEST(BlockDecomposition, OutsideIsInvalid) {
+  const BlockDecomposition d(kDomain, 2, 2, 2);
+  EXPECT_EQ(d.block_of({1.5, 0, 0}), kInvalidBlock);
+  EXPECT_EQ(d.block_of({0, 0, -1.0001}), kInvalidBlock);
+}
+
+TEST(BlockDecomposition, GhostBoundsInflateByCells) {
+  const BlockDecomposition d(kDomain, 2, 2, 2);
+  // Block core is 1.0 wide; with 9 nodes (8 cells) a cell is 0.125, so a
+  // 2-cell ghost margin is 0.25.
+  const AABB g = d.ghost_bounds(0, 9, 2);
+  const AABB core = d.block_bounds(0);
+  EXPECT_NEAR(core.lo.x - g.lo.x, 0.25, 1e-12);
+  EXPECT_NEAR(g.hi.y - core.hi.y, 0.25, 1e-12);
+}
+
+TEST(BlockDecomposition, FaceNeighborsCornerAndCenter) {
+  const BlockDecomposition d(kDomain, 3, 3, 3);
+  // Corner block: 3 neighbours.
+  EXPECT_EQ(d.face_neighbors(0).size(), 3u);
+  // Centre block (1,1,1): 6 neighbours.
+  const BlockId center = d.id_of({1, 1, 1});
+  const auto n = d.face_neighbors(center);
+  EXPECT_EQ(n.size(), 6u);
+  const std::set<BlockId> ns(n.begin(), n.end());
+  EXPECT_TRUE(ns.count(d.id_of({0, 1, 1})));
+  EXPECT_TRUE(ns.count(d.id_of({1, 2, 1})));
+}
+
+TEST(BlockDecomposition, BlocksIntersectingBox) {
+  const BlockDecomposition d(kDomain, 4, 4, 4);
+  // A box covering one octant touches 2x2x2 blocks.
+  const auto ids = d.blocks_intersecting(AABB{{0.01, 0.01, 0.01}, {0.99, 0.99, 0.99}});
+  EXPECT_EQ(ids.size(), 8u);
+  // Whole domain: every block.
+  EXPECT_EQ(d.blocks_intersecting(kDomain).size(), 64u);
+}
+
+// Property sweep: ownership by index arithmetic must agree with bounds
+// containment across decomposition shapes.
+class DecompositionShapes
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(DecompositionShapes, EveryPointFindsItsBlock) {
+  const auto [nx, ny, nz] = GetParam();
+  const BlockDecomposition d(kDomain, nx, ny, nz);
+  Rng rng(31);
+  for (int i = 0; i < 500; ++i) {
+    const Vec3 p{rng.uniform(-1, 1), rng.uniform(-1, 1), rng.uniform(-1, 1)};
+    const BlockId owner = d.block_of(p);
+    ASSERT_NE(owner, kInvalidBlock);
+    EXPECT_TRUE(d.block_bounds(owner).contains(p));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, DecompositionShapes,
+    ::testing::Values(std::tuple{1, 1, 1}, std::tuple{8, 1, 1},
+                      std::tuple{1, 1, 8}, std::tuple{2, 3, 5},
+                      std::tuple{8, 8, 8}, std::tuple{16, 4, 2}));
+
+}  // namespace
+}  // namespace sf

@@ -1,0 +1,121 @@
+#include "io/block_store.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "core/analytic_fields.hpp"
+
+namespace sf {
+namespace {
+
+namespace fs = std::filesystem;
+
+class BlockStoreTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("sf_store_" + std::to_string(::getpid()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    fs::remove_all(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  DatasetPtr make_dataset() {
+    auto field = std::make_shared<ABCField>();
+    const BlockDecomposition decomp(field->bounds(), 2, 2, 2);
+    return std::make_shared<BlockedDataset>(field, decomp, 5, 1);
+  }
+
+  fs::path dir_;
+};
+
+TEST_F(BlockStoreTest, RoundTripPreservesEverything) {
+  auto ds = make_dataset();
+  BlockStore::write(dir_, *ds);
+
+  const BlockStore store(dir_);
+  EXPECT_EQ(store.num_blocks(), 8);
+  EXPECT_EQ(store.nodes_per_axis(), 5);
+  EXPECT_EQ(store.ghost_cells(), 1);
+  EXPECT_EQ(store.decomposition().nbx(), 2);
+
+  for (BlockId id = 0; id < 8; ++id) {
+    const GridPtr original = ds->block(id);
+    const GridPtr loaded = store.load_block(id);
+    ASSERT_EQ(loaded->num_nodes(), original->num_nodes());
+    EXPECT_EQ(loaded->bounds(), original->bounds());
+    EXPECT_EQ(loaded->data(), original->data());
+  }
+}
+
+TEST_F(BlockStoreTest, MissingManifestThrows) {
+  EXPECT_THROW(BlockStore(dir_ / "nope"), std::runtime_error);
+}
+
+TEST_F(BlockStoreTest, BadBlockIdThrows) {
+  BlockStore::write(dir_, *make_dataset());
+  const BlockStore store(dir_);
+  EXPECT_THROW(store.load_block(-1), std::out_of_range);
+  EXPECT_THROW(store.load_block(8), std::out_of_range);
+}
+
+TEST_F(BlockStoreTest, CorruptionIsDetected) {
+  BlockStore::write(dir_, *make_dataset());
+  const BlockStore store(dir_);
+  // Flip a payload byte in block 3.
+  const fs::path victim = store.block_path(3);
+  {
+    std::fstream f(victim, std::ios::in | std::ios::out | std::ios::binary);
+    f.seekp(-8, std::ios::end);
+    const char junk = 0x5a;
+    f.write(&junk, 1);
+  }
+  EXPECT_THROW(store.load_block(3), std::runtime_error);
+  // Other blocks stay readable.
+  EXPECT_NO_THROW(store.load_block(2));
+}
+
+TEST_F(BlockStoreTest, TruncationIsDetected) {
+  BlockStore::write(dir_, *make_dataset());
+  const BlockStore store(dir_);
+  const fs::path victim = store.block_path(1);
+  fs::resize_file(victim, fs::file_size(victim) / 2);
+  EXPECT_THROW(store.load_block(1), std::runtime_error);
+}
+
+TEST_F(BlockStoreTest, FileBytesAreHeaderPlusPayload) {
+  auto ds = make_dataset();
+  BlockStore::write(dir_, *ds);
+  const BlockStore store(dir_);
+  EXPECT_GT(store.block_file_bytes(0), ds->block_payload_bytes());
+  EXPECT_LT(store.block_file_bytes(0), ds->block_payload_bytes() + 256);
+}
+
+TEST_F(BlockStoreTest, DiskBlockSourceLoadsFreshCopies) {
+  auto ds = make_dataset();
+  BlockStore::write(dir_, *ds);
+  auto store = std::make_shared<BlockStore>(dir_);
+  const DiskBlockSource source(store);
+  EXPECT_EQ(source.num_blocks(), 8);
+  // Every load is a real read: distinct objects (no hidden memoization,
+  // redundant I/O really happens — the Load On Demand cost).
+  EXPECT_NE(source.load(0).get(), source.load(0).get());
+  EXPECT_EQ(source.load(0)->data(), ds->block(0)->data());
+  EXPECT_EQ(source.block_bytes(0), store->block_file_bytes(0));
+
+  const DiskBlockSource modelled(store, 1 << 20);
+  EXPECT_EQ(modelled.block_bytes(5), 1u << 20);
+}
+
+TEST_F(BlockStoreTest, RewriteOverwritesCleanly) {
+  auto ds = make_dataset();
+  BlockStore::write(dir_, *ds);
+  BlockStore::write(dir_, *ds);  // second write over the same directory
+  const BlockStore store(dir_);
+  EXPECT_NO_THROW(store.load_block(7));
+}
+
+}  // namespace
+}  // namespace sf

@@ -1,0 +1,69 @@
+#include "io/csv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace sf {
+namespace {
+
+TEST(Table, RowArityEnforced) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({1.0}), std::invalid_argument);
+  EXPECT_NO_THROW(t.add_row({1.0, std::string("x")}));
+  EXPECT_EQ(t.num_rows(), 1u);
+}
+
+TEST(Table, CsvOutput) {
+  Table t({"algo", "procs", "wall"});
+  t.add_row({std::string("static"), 64ll, 1.5});
+  t.add_row({std::string("hybrid"), 128ll, 0.25});
+  std::ostringstream os;
+  t.write_csv(os);
+  EXPECT_EQ(os.str(),
+            "algo,procs,wall\n"
+            "static,64,1.5\n"
+            "hybrid,128,0.25\n");
+}
+
+TEST(Table, CsvQuotesSpecialCells) {
+  Table t({"name"});
+  t.add_row({std::string("a,b")});
+  t.add_row({std::string("say \"hi\"")});
+  std::ostringstream os;
+  t.write_csv(os);
+  EXPECT_EQ(os.str(),
+            "name\n"
+            "\"a,b\"\n"
+            "\"say \"\"hi\"\"\"\n");
+}
+
+TEST(Table, PrintAlignsColumns) {
+  Table t({"x", "longer"});
+  t.add_row({1ll, 2ll});
+  std::ostringstream os;
+  t.print(os);
+  const std::string text = os.str();
+  EXPECT_NE(text.find("| x | longer |"), std::string::npos);
+  EXPECT_NE(text.find("| 1 | 2      |"), std::string::npos);
+  // Separator lines on top, under header and at bottom.
+  std::size_t separator_lines = 0;
+  std::istringstream is(text);
+  for (std::string line; std::getline(is, line);) {
+    if (!line.empty() && line.front() == '+') ++separator_lines;
+  }
+  EXPECT_EQ(separator_lines, 3u);
+}
+
+TEST(Table, DoubleFormatting) {
+  Table t({"v"});
+  t.add_row({0.000123456});
+  t.add_row({123456789.0});
+  std::ostringstream os;
+  t.write_csv(os);
+  EXPECT_NE(os.str().find("0.000123456"), std::string::npos);
+  EXPECT_NE(os.str().find("1.23457e+08"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sf

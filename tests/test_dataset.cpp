@@ -1,0 +1,101 @@
+#include "core/dataset.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/analytic_fields.hpp"
+#include "core/rng.hpp"
+
+namespace sf {
+namespace {
+
+DatasetPtr make_dataset(int blocks_per_axis = 2, int nodes = 9,
+                        int ghost = 2) {
+  auto field = std::make_shared<ABCField>();
+  const BlockDecomposition decomp(field->bounds(), blocks_per_axis,
+                                  blocks_per_axis, blocks_per_axis);
+  return std::make_shared<BlockedDataset>(field, decomp, nodes, ghost);
+}
+
+TEST(BlockedDataset, Validation) {
+  auto field = std::make_shared<ABCField>();
+  const BlockDecomposition d(field->bounds(), 2, 2, 2);
+  EXPECT_THROW(BlockedDataset(nullptr, d, 8, 1), std::invalid_argument);
+  EXPECT_THROW(BlockedDataset(field, d, 1, 1), std::invalid_argument);
+  EXPECT_THROW(BlockedDataset(field, d, 8, -1), std::invalid_argument);
+}
+
+TEST(BlockedDataset, BlockGridCoversGhostRegion) {
+  auto ds = make_dataset(2, 9, 2);
+  const GridPtr g = ds->block(0);
+  // 9 core nodes + 2 ghost cells per side.
+  EXPECT_EQ(g->nx(), 13);
+  const AABB core = ds->decomposition().block_bounds(0);
+  EXPECT_TRUE(g->bounds().contains(core.lo));
+  EXPECT_TRUE(g->bounds().contains(core.hi));
+  EXPECT_GT(core.lo.x - g->bounds().lo.x, 0.0);
+}
+
+TEST(BlockedDataset, BlocksAreMemoized) {
+  auto ds = make_dataset();
+  EXPECT_EQ(ds->block(3).get(), ds->block(3).get());
+}
+
+TEST(BlockedDataset, BadBlockIdThrows) {
+  auto ds = make_dataset();
+  EXPECT_THROW(ds->block(-1), std::out_of_range);
+  EXPECT_THROW(ds->block(8), std::out_of_range);
+}
+
+TEST(BlockedDataset, SampleMatchesSourceFieldClosely) {
+  auto ds = make_dataset(2, 33, 2);
+  const VectorField& f = *ds->source_field();
+  Rng rng(5);
+  const AABB b = ds->bounds();
+  for (int i = 0; i < 300; ++i) {
+    const Vec3 p{rng.uniform(b.lo.x, b.hi.x), rng.uniform(b.lo.y, b.hi.y),
+                 rng.uniform(b.lo.z, b.hi.z)};
+    Vec3 vd, vf;
+    ASSERT_TRUE(ds->sample(p, vd));
+    ASSERT_TRUE(f.sample(p, vf));
+    EXPECT_LT(norm(vd - vf), 0.05) << "at " << p;
+  }
+}
+
+TEST(BlockedDataset, SamplingIsContinuousAcrossBlockFaces) {
+  // Approaching an internal face from both sides must agree to grid
+  // accuracy — this is what ghost layers buy.
+  auto ds = make_dataset(2, 17, 2);
+  const double face = 3.14159265358979323846;  // domain is [0, 2pi]^3
+  Vec3 below, above;
+  ASSERT_TRUE(ds->sample({face - 1e-9, 2.0, 2.0}, below));
+  ASSERT_TRUE(ds->sample({face + 1e-9, 2.0, 2.0}, above));
+  EXPECT_LT(norm(below - above), 1e-5);
+}
+
+TEST(BlockedDataset, SampleOutsideFails) {
+  auto ds = make_dataset();
+  Vec3 v;
+  EXPECT_FALSE(ds->sample({-1, 0, 0}, v));
+}
+
+TEST(BlockedDataset, PayloadBytesMatchGridSize) {
+  auto ds = make_dataset(2, 9, 2);
+  EXPECT_EQ(ds->block_payload_bytes(), 13u * 13u * 13u * sizeof(Vec3));
+  EXPECT_EQ(ds->block_payload_bytes(), ds->block(0)->payload_bytes());
+}
+
+TEST(DatasetBlockSource, LoadsAndReportsModelledBytes) {
+  auto ds = make_dataset();
+  const DatasetBlockSource actual(ds);
+  EXPECT_EQ(actual.num_blocks(), 8);
+  EXPECT_EQ(actual.block_bytes(0), ds->block_payload_bytes());
+  EXPECT_EQ(actual.load(2).get(), ds->block(2).get());
+
+  const DatasetBlockSource modelled(ds, 12u << 20);
+  EXPECT_EQ(modelled.block_bytes(0), 12u << 20);
+  // Modelled size changes accounting only, never the data.
+  EXPECT_EQ(modelled.load(2).get(), ds->block(2).get());
+}
+
+}  // namespace
+}  // namespace sf

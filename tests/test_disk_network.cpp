@@ -1,0 +1,97 @@
+#include <gtest/gtest.h>
+
+#include "sim/disk.hpp"
+#include "sim/network.hpp"
+
+namespace sf {
+namespace {
+
+MachineModel simple_model() {
+  MachineModel m;
+  m.io_latency = 1.0;
+  m.io_bandwidth = 100.0;  // 100 bytes/sec: easy numbers
+  m.net_latency = 0.5;
+  m.net_bandwidth = 10.0;
+  m.msg_overhead = 0.25;
+  m.pack_bandwidth = 100.0;
+  return m;
+}
+
+TEST(SharedDisk, SingleChannelQueues) {
+  SharedDisk disk(simple_model(), 1);
+  // 100-byte read: 1s latency + 1s transfer = 2s service.
+  EXPECT_DOUBLE_EQ(disk.submit_read(0.0, 100), 2.0);
+  // Second read at t=0 queues behind the first.
+  EXPECT_DOUBLE_EQ(disk.submit_read(0.0, 100), 4.0);
+  // A late arrival after the channel is free starts immediately.
+  EXPECT_DOUBLE_EQ(disk.submit_read(10.0, 100), 12.0);
+}
+
+TEST(SharedDisk, MultipleChannelsServeInParallel) {
+  SharedDisk disk(simple_model(), 3);
+  EXPECT_DOUBLE_EQ(disk.submit_read(0.0, 100), 2.0);
+  EXPECT_DOUBLE_EQ(disk.submit_read(0.0, 100), 2.0);
+  EXPECT_DOUBLE_EQ(disk.submit_read(0.0, 100), 2.0);
+  // Fourth request waits for the earliest-free channel.
+  EXPECT_DOUBLE_EQ(disk.submit_read(0.0, 100), 4.0);
+}
+
+TEST(SharedDisk, CountersAccumulate) {
+  SharedDisk disk(simple_model(), 2);
+  disk.submit_read(0.0, 10);
+  disk.submit_read(0.0, 20);
+  EXPECT_EQ(disk.reads(), 2u);
+  EXPECT_EQ(disk.bytes_read(), 30u);
+}
+
+TEST(SharedDisk, RejectsOutOfOrderSubmissions) {
+  SharedDisk disk(simple_model(), 1);
+  disk.submit_read(5.0, 10);
+  EXPECT_THROW(disk.submit_read(4.0, 10), std::logic_error);
+}
+
+TEST(SharedDisk, RejectsZeroChannels) {
+  EXPECT_THROW(SharedDisk(simple_model(), 0), std::invalid_argument);
+}
+
+TEST(SharedDisk, ContentionScalesWithRedundantReaders) {
+  // The Load-On-Demand failure mode: R ranks all reading the same block
+  // serialize on the channels; completion of the last read grows
+  // linearly once channels saturate.
+  const MachineModel m = simple_model();
+  SharedDisk disk(m, 4);
+  SimTime last = 0.0;
+  for (int r = 0; r < 32; ++r) last = disk.submit_read(0.0, 100);
+  // 32 reads over 4 channels of 2s each: 8 rounds -> 16s.
+  EXPECT_DOUBLE_EQ(last, 16.0);
+}
+
+TEST(Network, DeliveryTimeIsLatencyPlusTransfer) {
+  Network net(simple_model());
+  // 0.5 latency + 20 bytes / 10 Bps = 2.5.
+  EXPECT_DOUBLE_EQ(net.delivery_time(1.0, 20), 3.5);
+  EXPECT_EQ(net.messages(), 1u);
+  EXPECT_EQ(net.bytes_sent(), 20u);
+}
+
+TEST(Network, EndpointCostHasOverheadAndPacking) {
+  Network net(simple_model());
+  // 0.25 overhead + 50/100 packing.
+  EXPECT_DOUBLE_EQ(net.endpoint_cost(50), 0.75);
+  EXPECT_DOUBLE_EQ(net.endpoint_cost(0), 0.25);
+}
+
+TEST(MachineModel, JaguarPresetIsSelfConsistent) {
+  const MachineModel m = MachineModel::jaguar_like();
+  EXPECT_GT(m.seconds_per_step, 0.0);
+  EXPECT_GT(m.io_channels, 0);
+  // A 12 MB block read must cost far more than a small message.
+  EXPECT_GT(m.io_service_seconds(12u << 20),
+            10.0 * m.message_flight_seconds(1024));
+  // Latency floors apply to empty payloads.
+  EXPECT_DOUBLE_EQ(m.io_service_seconds(0), m.io_latency);
+  EXPECT_DOUBLE_EQ(m.message_flight_seconds(0), m.net_latency);
+}
+
+}  // namespace
+}  // namespace sf

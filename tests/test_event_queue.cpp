@@ -1,0 +1,88 @@
+#include "sim/event_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/sim_engine.hpp"
+
+namespace sf {
+namespace {
+
+TEST(EventQueue, FiresInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(3.0, [&] { order.push_back(3); });
+  q.schedule(1.0, [&] { order.push_back(1); });
+  q.schedule(2.0, [&] { order.push_back(2); });
+  while (!q.empty()) q.run_next();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, TiesBreakByInsertionOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    q.schedule(1.0, [&order, i] { order.push_back(i); });
+  }
+  while (!q.empty()) q.run_next();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(EventQueue, HandlersMayScheduleMoreEvents) {
+  EventQueue q;
+  int fired = 0;
+  std::function<void()> chain = [&] {
+    ++fired;
+    if (fired < 5) q.schedule(static_cast<double>(fired), chain);
+  };
+  q.schedule(0.0, chain);
+  while (!q.empty()) q.run_next();
+  EXPECT_EQ(fired, 5);
+}
+
+TEST(SimEngine, ClockFollowsEvents) {
+  SimEngine e;
+  double seen = -1.0;
+  e.schedule_at(2.5, [&] { seen = e.now(); });
+  e.schedule_after(1.0, [&] { EXPECT_DOUBLE_EQ(e.now(), 1.0); });
+  const SimTime end = e.run();
+  EXPECT_DOUBLE_EQ(seen, 2.5);
+  EXPECT_DOUBLE_EQ(end, 2.5);
+}
+
+TEST(SimEngine, ScheduleAfterIsRelativeToNow) {
+  SimEngine e;
+  double fired_at = -1.0;
+  e.schedule_at(10.0, [&] {
+    e.schedule_after(5.0, [&] { fired_at = e.now(); });
+  });
+  e.run();
+  EXPECT_DOUBLE_EQ(fired_at, 15.0);
+}
+
+TEST(SimEngine, AbortPropagates) {
+  SimEngine e;
+  e.schedule_at(1.0, [] { throw SimAbort("boom"); });
+  e.schedule_at(2.0, [] { FAIL() << "must not run after abort"; });
+  EXPECT_THROW(e.run(), SimAbort);
+  EXPECT_DOUBLE_EQ(e.now(), 1.0);
+}
+
+TEST(SimEngine, DeterministicAcrossRuns) {
+  auto run_once = [] {
+    SimEngine e;
+    std::vector<double> times;
+    for (int i = 0; i < 100; ++i) {
+      e.schedule_at(static_cast<double>((i * 37) % 10), [&times, &e] {
+        times.push_back(e.now());
+      });
+    }
+    e.run();
+    return times;
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+}  // namespace
+}  // namespace sf

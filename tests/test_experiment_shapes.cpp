@@ -1,0 +1,172 @@
+// Miniature versions of the paper's §5 experiments: we check the
+// *qualitative shape* of the results (who does more I/O, who communicates
+// more, whose block efficiency is ideal) on small configurations that run
+// in milliseconds.  The full-size reproductions live in bench/fig_*.
+
+#include <gtest/gtest.h>
+
+#include "algorithms/driver.hpp"
+#include "test_support.hpp"
+
+namespace sf {
+namespace {
+
+using sf::testing::make_world;
+using sf::testing::test_config;
+
+// A world where I/O is expensive (paper-scale 12 MB blocks).
+sf::testing::TestWorld costly_world(FieldPtr field) {
+  return make_world(std::move(field), 4, 9, 2, /*modelled_bytes=*/12u << 20);
+}
+
+ExperimentConfig shape_config(Algorithm algo, int ranks) {
+  auto cfg = test_config(algo, ranks);
+  cfg.runtime.model = MachineModel::jaguar_like();
+  cfg.runtime.model.particle_memory_bytes = 1ull << 30;
+  cfg.runtime.cache_blocks = 12;
+  cfg.limits.max_steps = 800;
+  cfg.limits.max_time = 30.0;
+  cfg.hybrid.slaves_per_master = 8;
+  return cfg;
+}
+
+TEST(ExperimentShapes, SparseSeeding_LodDoesFarMoreIoThanStatic) {
+  auto w = costly_world(std::make_shared<SupernovaField>());
+  Rng rng(1);
+  const auto seeds = random_seeds(w.dataset->bounds(), 256, rng);
+
+  const RunMetrics st = run_experiment(
+      shape_config(Algorithm::kStaticAllocation, 16), w.decomp(), *w.source,
+      seeds);
+  const RunMetrics lod = run_experiment(
+      shape_config(Algorithm::kLoadOnDemand, 16), w.decomp(), *w.source,
+      seeds);
+  ASSERT_FALSE(st.failed_oom);
+  ASSERT_FALSE(lod.failed_oom);
+
+  // Figure 6: Load On Demand spends an order of magnitude more in I/O.
+  EXPECT_GT(lod.total_io_time(), 3.0 * st.total_io_time());
+  EXPECT_GT(lod.total_blocks_loaded(), st.total_blocks_loaded());
+  // Figure 7: Static is ideal (each block loaded at most once, nothing
+  // purged).
+  EXPECT_DOUBLE_EQ(st.block_efficiency(), 1.0);
+  // And no communication at all for Load On Demand (Figure 8 note).
+  EXPECT_EQ(lod.total_messages(), 0u);
+}
+
+TEST(ExperimentShapes, DenseSeeding_StaticCommunicatesFarMoreThanHybrid) {
+  auto w = costly_world(std::make_shared<SupernovaField>());
+  Rng rng(2);
+  // Seed densely inside the rotation core: the differential rotation
+  // carries every line through all four quadrant owners over and over,
+  // so Static keeps shipping geometry-laden particles between owners.
+  const auto seeds =
+      cluster_seeds({0.3, 0.0, 0.0}, 0.05, 600, rng, w.dataset->bounds());
+
+  auto cfg_st = shape_config(Algorithm::kStaticAllocation, 8);
+  cfg_st.limits.max_steps = 2000;
+  auto cfg_hy = shape_config(Algorithm::kHybridMasterSlave, 8);
+  cfg_hy.limits.max_steps = 2000;
+  const RunMetrics st =
+      run_experiment(cfg_st, w.decomp(), *w.source, seeds);
+  const RunMetrics hy =
+      run_experiment(cfg_hy, w.decomp(), *w.source, seeds);
+  ASSERT_FALSE(st.failed_oom);
+  ASSERT_FALSE(hy.failed_oom);
+
+  // Figure 8 (dense): Static ships every streamline (with geometry) to
+  // block owners; Hybrid mostly ships compact control traffic.
+  EXPECT_GT(st.total_bytes_sent(), 2.0 * hy.total_bytes_sent());
+}
+
+TEST(ExperimentShapes, Fusion_LodCompetitiveWhenWorkingSetFitsCache) {
+  // §5.2: dense fusion seeds orbit within a working set that fits in
+  // memory, so Load On Demand stops paying I/O after warm-up.
+  auto w = costly_world(std::make_shared<TokamakField>());
+  const TokamakField& tok =
+      static_cast<const TokamakField&>(*w.field);
+  Rng rng(3);
+  const auto seeds = cluster_seeds({tok.params().major_radius, 0.0, 0.0},
+                                   0.08, 150, rng, w.dataset->bounds());
+
+  auto cfg = shape_config(Algorithm::kLoadOnDemand, 8);
+  cfg.runtime.cache_blocks = 48;  // the orbit's working set fits
+  const RunMetrics lod = run_experiment(cfg, w.decomp(), *w.source, seeds);
+  ASSERT_FALSE(lod.failed_oom);
+  // Orbiting lines revisit blocks: efficiency stays high because the
+  // working set is cached, not because blocks are read once per rank.
+  EXPECT_GT(lod.block_efficiency(), 0.5);
+}
+
+TEST(ExperimentShapes, ThermalDense_StaticOomsWhileOthersComplete) {
+  // Figure 13: 22k seeds around one inlet kill Static Allocation; Load
+  // On Demand (and Hybrid) complete.  Scaled to 300 seeds and a small
+  // memory budget with identical structure.
+  auto w = costly_world(std::make_shared<ThermalHydraulicsField>());
+  const ThermalHydraulicsField& th =
+      static_cast<const ThermalHydraulicsField&>(*w.field);
+  const auto seeds = circle_seeds(
+      th.params().inlet1 + Vec3{0.02, 0, 0}, {1, 0, 0}, 0.05, 300);
+
+  auto cfg = shape_config(Algorithm::kStaticAllocation, 8);
+  cfg.runtime.model.particle_memory_bytes = 4u << 20;
+  const RunMetrics st = run_experiment(cfg, w.decomp(), *w.source, seeds);
+  EXPECT_TRUE(st.failed_oom);
+
+  cfg.algorithm = Algorithm::kLoadOnDemand;
+  const RunMetrics lod = run_experiment(cfg, w.decomp(), *w.source, seeds);
+  ASSERT_FALSE(lod.failed_oom);
+  EXPECT_EQ(lod.particles.size(), seeds.size());
+
+  cfg.algorithm = Algorithm::kHybridMasterSlave;
+  cfg.runtime.model.particle_memory_bytes = 64u << 20;  // seed pool fits
+  const RunMetrics hy = run_experiment(cfg, w.decomp(), *w.source, seeds);
+  ASSERT_FALSE(hy.failed_oom);
+  EXPECT_EQ(hy.particles.size(), seeds.size());
+}
+
+TEST(ExperimentShapes, ThermalDense_LittleDataTouched) {
+  // "very little data needs to be read off disk" for inlet seeding: the
+  // streamlines touch a small fraction of the 64 blocks.
+  auto w = costly_world(std::make_shared<ThermalHydraulicsField>());
+  const ThermalHydraulicsField& th =
+      static_cast<const ThermalHydraulicsField&>(*w.field);
+  const auto seeds = circle_seeds(
+      th.params().inlet1 + Vec3{0.02, 0, 0}, {1, 0, 0}, 0.05, 100);
+
+  auto cfg = shape_config(Algorithm::kLoadOnDemand, 4);
+  cfg.limits.max_steps = 300;  // "integrated a short distance"
+  const RunMetrics m = run_experiment(cfg, w.decomp(), *w.source, seeds);
+  ASSERT_FALSE(m.failed_oom);
+  EXPECT_LT(m.total_blocks_loaded(),
+            static_cast<std::uint64_t>(w.decomp().num_blocks()));
+}
+
+TEST(ExperimentShapes, GeometryStrippingCutsCommBytes) {
+  // §8: communicating solver state only (no trajectory geometry) slashes
+  // Static Allocation's communication volume.
+  auto w = costly_world(std::make_shared<SupernovaField>());
+  Rng rng(4);
+  const auto seeds = random_seeds(w.dataset->bounds(), 100, rng);
+
+  auto with_geom = shape_config(Algorithm::kStaticAllocation, 8);
+  with_geom.runtime.carry_geometry = true;
+  auto without = with_geom;
+  without.runtime.carry_geometry = false;
+
+  const RunMetrics g = run_experiment(with_geom, w.decomp(), *w.source, seeds);
+  const RunMetrics s = run_experiment(without, w.decomp(), *w.source, seeds);
+  ASSERT_FALSE(g.failed_oom);
+  ASSERT_FALSE(s.failed_oom);
+  // Identical schedule (same messages), far fewer bytes.
+  EXPECT_EQ(g.total_messages(), s.total_messages());
+  EXPECT_GT(g.total_bytes_sent(), 3.0 * s.total_bytes_sent());
+  // And identical results, of course.
+  ASSERT_EQ(g.particles.size(), s.particles.size());
+  for (std::size_t i = 0; i < g.particles.size(); ++i) {
+    EXPECT_EQ(g.particles[i].steps, s.particles[i].steps);
+  }
+}
+
+}  // namespace
+}  // namespace sf

@@ -1,0 +1,123 @@
+#include "analysis/ftle.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/analytic_fields.hpp"
+
+namespace sf {
+namespace {
+
+TEST(Symmetric3Eigen, DiagonalMatrix) {
+  const double m[3][3] = {{3, 0, 0}, {0, 5, 0}, {0, 0, 1}};
+  EXPECT_DOUBLE_EQ(symmetric3_max_eigenvalue(m), 5.0);
+}
+
+TEST(Symmetric3Eigen, KnownSymmetricMatrix) {
+  // Eigenvalues of [[2,1,0],[1,2,0],[0,0,7]] are {1, 3, 7}.
+  const double m[3][3] = {{2, 1, 0}, {1, 2, 0}, {0, 0, 7}};
+  EXPECT_NEAR(symmetric3_max_eigenvalue(m), 7.0, 1e-12);
+  const double m2[3][3] = {{2, 1, 0}, {1, 2, 0}, {0, 0, 0.5}};
+  EXPECT_NEAR(symmetric3_max_eigenvalue(m2), 3.0, 1e-12);
+}
+
+TEST(Symmetric3Eigen, IdentityIsOne) {
+  const double m[3][3] = {{1, 0, 0}, {0, 1, 0}, {0, 0, 1}};
+  EXPECT_NEAR(symmetric3_max_eigenvalue(m), 1.0, 1e-12);
+}
+
+TEST(Ftle, LinearSaddleGivesLambdaEverywhere) {
+  // For v = (lx, -ly, 0), the flow map stretches by exp(l T); FTLE = l
+  // exactly, independent of position and horizon.
+  const double lambda = 0.8;
+  const SaddleField field(lambda);
+  FtleParams prm;
+  prm.region = AABB{{-1, -1, -0.2}, {1, 1, 0.2}};
+  prm.nx = 9;
+  prm.ny = 9;
+  prm.nz = 3;
+  // Keep e^(lambda T) within the field bounds so the flow map is never
+  // clipped at the domain edge.
+  prm.horizon = 1.5;
+  prm.integrator.tol = 1e-10;
+  const FtleField f = compute_ftle(field, prm);
+  ASSERT_EQ(f.values.size(), 9u * 9u * 3u);
+  for (const double v : f.values) {
+    EXPECT_NEAR(v, lambda, 0.02);
+  }
+}
+
+TEST(Ftle, BackwardHorizonOnSaddleAlsoLambda) {
+  // Backward time swaps stable/unstable manifolds; magnitude stays l.
+  const SaddleField field(0.5);
+  FtleParams prm;
+  prm.region = AABB{{-1, -1, -0.2}, {1, 1, 0.2}};
+  prm.nx = 7;
+  prm.ny = 7;
+  prm.nz = 3;
+  prm.horizon = -2.0;
+  prm.integrator.tol = 1e-10;
+  const FtleField f = compute_ftle(field, prm);
+  for (const double v : f.values) EXPECT_NEAR(v, 0.5, 0.02);
+}
+
+TEST(Ftle, UniformFlowHasZeroStretching) {
+  const UniformField field({0.05, 0.02, 0.0},
+                           AABB{{-10, -10, -1}, {10, 10, 1}});
+  FtleParams prm;
+  prm.region = AABB{{-1, -1, -0.5}, {1, 1, 0.5}};
+  prm.nx = 6;
+  prm.ny = 6;
+  prm.nz = 3;
+  prm.horizon = 5.0;
+  const FtleField f = compute_ftle(field, prm);
+  for (const double v : f.values) EXPECT_NEAR(v, 0.0, 1e-6);
+}
+
+TEST(Ftle, DoubleGyreRidgeExceedsBackground) {
+  // The double gyre's FTLE field has a pronounced ridge; max should
+  // dominate the mean — the standard qualitative check.
+  const DoubleGyreField field;
+  FtleParams prm;
+  prm.region = AABB{{0.05, 0.05, 0}, {1.95, 0.95, 0}};
+  prm.region.lo.z = 0.0;
+  prm.region.hi.z = 0.0;
+  prm.nx = 40;
+  prm.ny = 20;
+  prm.nz = 1;
+  prm.horizon = 10.0;
+  prm.integrator.tol = 1e-7;
+  const FtleField f = compute_ftle(field, prm);
+  std::vector<double> sorted = f.values;
+  std::sort(sorted.begin(), sorted.end());
+  const double mx = sorted.back();
+  const double median = sorted[sorted.size() / 2];
+  EXPECT_GT(mx, 0.25);
+  // The LCS ridge is sparse: the max clearly exceeds the median
+  // background stretching level.
+  EXPECT_GT(mx - median, 0.12);
+}
+
+TEST(Ftle, ValidatesLattice) {
+  const SaddleField field;
+  FtleParams prm;
+  prm.region = field.bounds();
+  prm.nx = 1;
+  EXPECT_THROW(compute_ftle(field, prm), std::invalid_argument);
+}
+
+TEST(Ftle, AtAccessorIndexesXFastest) {
+  FtleField f;
+  f.nx = 2;
+  f.ny = 2;
+  f.nz = 1;
+  f.values = {0, 1, 2, 3};
+  EXPECT_EQ(f.at(0, 0, 0), 0);
+  EXPECT_EQ(f.at(1, 0, 0), 1);
+  EXPECT_EQ(f.at(0, 1, 0), 2);
+  EXPECT_EQ(f.at(1, 1, 0), 3);
+}
+
+}  // namespace
+}  // namespace sf

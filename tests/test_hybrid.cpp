@@ -1,0 +1,182 @@
+#include "algorithms/hybrid.hpp"
+
+#include <gtest/gtest.h>
+
+#include "algorithms/driver.hpp"
+#include "test_support.hpp"
+
+namespace sf {
+namespace {
+
+using sf::testing::test_config;
+
+TEST(HybridLayout, MastersPerW) {
+  const HybridLayout l = HybridLayout::make(33, 32);
+  EXPECT_EQ(l.num_masters, 1);
+  EXPECT_EQ(l.num_slaves(), 32);
+
+  const HybridLayout big = HybridLayout::make(66, 32);
+  EXPECT_EQ(big.num_masters, 2);
+  EXPECT_EQ(big.num_slaves(), 64);
+
+  // Even tiny allocations keep at least one master and one slave.
+  const HybridLayout tiny = HybridLayout::make(2, 32);
+  EXPECT_EQ(tiny.num_masters, 1);
+  EXPECT_EQ(tiny.num_slaves(), 1);
+}
+
+TEST(HybridLayout, SlaveGroupsPartition) {
+  const HybridLayout l = HybridLayout::make(40, 8);
+  int covered = 0;
+  for (int m = 0; m < l.num_masters; ++m) {
+    const auto [first, last] = l.slaves_of(m);
+    EXPECT_GE(first, l.num_masters);
+    EXPECT_LE(last, l.num_ranks);
+    for (int s = first; s < last; ++s) {
+      EXPECT_EQ(l.master_of(s), m);
+      ++covered;
+    }
+  }
+  EXPECT_EQ(covered, l.num_slaves());
+}
+
+TEST(HybridLayout, Validation) {
+  EXPECT_THROW(HybridLayout::make(1, 32), std::invalid_argument);
+  EXPECT_THROW(HybridLayout::make(8, 0), std::invalid_argument);
+}
+
+TEST(PartitionForMasters, EqualChunks) {
+  std::vector<Particle> ps(10);
+  for (int i = 0; i < 10; ++i) ps[static_cast<std::size_t>(i)].id = i;
+  const auto parts = partition_for_masters(3, std::move(ps));
+  ASSERT_EQ(parts.size(), 3u);
+  // Balanced contiguous split of 10 over 3: 3 + 3 + 4.
+  EXPECT_EQ(parts[0].size(), 3u);
+  EXPECT_EQ(parts[1].size(), 3u);
+  EXPECT_EQ(parts[2].size(), 4u);
+}
+
+TEST(Hybrid, AllParticlesTerminate) {
+  auto w = sf::testing::rotor_world(2);
+  Rng rng(7);
+  const auto seeds = random_seeds(w.dataset->bounds(), 50, rng);
+  const auto cfg = test_config(Algorithm::kHybridMasterSlave, 6);
+  const RunMetrics m = run_experiment(cfg, w.decomp(), *w.source, seeds);
+  ASSERT_FALSE(m.failed_oom);
+  ASSERT_EQ(m.particles.size(), seeds.size());
+  for (const Particle& p : m.particles) EXPECT_TRUE(is_terminal(p.status));
+}
+
+TEST(Hybrid, MastersDoNotCompute) {
+  auto w = sf::testing::rotor_world(2);
+  Rng rng(9);
+  const auto seeds = random_seeds(w.dataset->bounds(), 30, rng);
+  auto cfg = test_config(Algorithm::kHybridMasterSlave, 6);
+  const HybridLayout layout =
+      HybridLayout::make(6, cfg.hybrid.slaves_per_master);
+  const RunMetrics m = run_experiment(cfg, w.decomp(), *w.source, seeds);
+  ASSERT_FALSE(m.failed_oom);
+  for (int r = 0; r < layout.num_masters; ++r) {
+    EXPECT_EQ(m.ranks[static_cast<std::size_t>(r)].steps, 0u);
+    EXPECT_EQ(m.ranks[static_cast<std::size_t>(r)].blocks_loaded, 0u);
+  }
+  // Masters do communicate.
+  EXPECT_GT(m.ranks[0].messages_sent, 0u);
+}
+
+TEST(Hybrid, WorkSpreadsAcrossSlaves) {
+  auto w = sf::testing::rotor_world(2);
+  Rng rng(13);
+  const auto seeds = random_seeds(w.dataset->bounds(), 80, rng);
+  const auto cfg = test_config(Algorithm::kHybridMasterSlave, 6);
+  const RunMetrics m = run_experiment(cfg, w.decomp(), *w.source, seeds);
+  ASSERT_FALSE(m.failed_oom);
+  int slaves_used = 0;
+  for (std::size_t r = 1; r < m.ranks.size(); ++r) {
+    if (m.ranks[r].steps > 0) ++slaves_used;
+  }
+  EXPECT_GE(slaves_used, 3);
+}
+
+TEST(Hybrid, DenseClusterDoesNotOomWhereStaticDoes) {
+  // The headline adaptive behaviour: the same configuration that kills
+  // Static Allocation (dense seeds on one owner) completes under the
+  // hybrid because the master doles work out in batches of N.
+  auto w = sf::testing::rotor_world(2);
+  Rng rng(5);
+  const auto seeds =
+      cluster_seeds({1.0, 1.0, 1.0}, 0.05, 400, rng, w.dataset->bounds());
+
+  auto cfg = test_config(Algorithm::kStaticAllocation, 6);
+  cfg.runtime.model.particle_memory_bytes = 64 << 10;
+  const RunMetrics st = run_experiment(cfg, w.decomp(), *w.source, seeds);
+  EXPECT_TRUE(st.failed_oom);
+
+  cfg.algorithm = Algorithm::kHybridMasterSlave;
+  // Masters hold the full seed pool; give them room for the pool itself
+  // but far less than static's per-rank blow-up needed.
+  cfg.runtime.model.particle_memory_bytes = 2u << 20;
+  const RunMetrics hy = run_experiment(cfg, w.decomp(), *w.source, seeds);
+  ASSERT_FALSE(hy.failed_oom);
+  EXPECT_EQ(hy.particles.size(), seeds.size());
+}
+
+TEST(Hybrid, MultipleMastersBalanceSeeds) {
+  auto w = sf::testing::rotor_world(2);
+  Rng rng(21);
+  const auto seeds = random_seeds(w.dataset->bounds(), 60, rng);
+  auto cfg = test_config(Algorithm::kHybridMasterSlave, 10);
+  cfg.hybrid.slaves_per_master = 4;  // forces 2 masters
+  const HybridLayout layout = HybridLayout::make(10, 4);
+  ASSERT_EQ(layout.num_masters, 2);
+  const RunMetrics m = run_experiment(cfg, w.decomp(), *w.source, seeds);
+  ASSERT_FALSE(m.failed_oom);
+  EXPECT_EQ(m.particles.size(), seeds.size());
+}
+
+TEST(Hybrid, AssignBatchSizeIsBehaviorPreserving) {
+  // N changes scheduling granularity only: any batch size yields the
+  // same terminated streamlines, bit for bit.
+  auto w = sf::testing::rotor_world(2);
+  Rng rng(31);
+  const auto seeds = random_seeds(w.dataset->bounds(), 100, rng);
+
+  std::vector<Particle> reference;
+  for (const int n : {1, 10, 50}) {
+    auto cfg = test_config(Algorithm::kHybridMasterSlave, 4);
+    cfg.hybrid.assign_batch = n;
+    const RunMetrics m = run_experiment(cfg, w.decomp(), *w.source, seeds);
+    ASSERT_FALSE(m.failed_oom);
+    ASSERT_EQ(m.particles.size(), seeds.size()) << "N=" << n;
+    if (reference.empty()) {
+      reference = m.particles;
+      continue;
+    }
+    for (std::size_t i = 0; i < reference.size(); ++i) {
+      EXPECT_EQ(reference[i].steps, m.particles[i].steps) << "N=" << n;
+      EXPECT_EQ(reference[i].pos.x, m.particles[i].pos.x) << "N=" << n;
+    }
+  }
+}
+
+TEST(Hybrid, TwoRanksMinimumWorks) {
+  auto w = sf::testing::rotor_world(2);
+  Rng rng(41);
+  const auto seeds = random_seeds(w.dataset->bounds(), 10, rng);
+  const auto cfg = test_config(Algorithm::kHybridMasterSlave, 2);
+  const RunMetrics m = run_experiment(cfg, w.decomp(), *w.source, seeds);
+  ASSERT_FALSE(m.failed_oom);
+  EXPECT_EQ(m.particles.size(), 10u);
+}
+
+TEST(Hybrid, EmptySeedSetTerminates) {
+  auto w = sf::testing::rotor_world(2);
+  const auto cfg = test_config(Algorithm::kHybridMasterSlave, 4);
+  const RunMetrics m =
+      run_experiment(cfg, w.decomp(), *w.source, std::span<const Vec3>{});
+  EXPECT_FALSE(m.failed_oom);
+  EXPECT_TRUE(m.particles.empty());
+}
+
+}  // namespace
+}  // namespace sf

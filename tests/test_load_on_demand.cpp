@@ -1,0 +1,125 @@
+#include "algorithms/load_on_demand.hpp"
+
+#include <gtest/gtest.h>
+
+#include "algorithms/driver.hpp"
+#include "test_support.hpp"
+
+namespace sf {
+namespace {
+
+using sf::testing::test_config;
+
+TEST(PartitionEvenly, ChunksAreBalancedAndBlockSorted) {
+  auto w = sf::testing::rotor_world(2);
+  std::vector<Particle> particles;
+  Rng rng(3);
+  const AABB b = w.dataset->bounds();
+  for (int i = 0; i < 103; ++i) {
+    Particle p;
+    p.id = static_cast<std::uint32_t>(i);
+    p.pos = {rng.uniform(b.lo.x, b.hi.x), rng.uniform(b.lo.y, b.hi.y),
+             rng.uniform(b.lo.z, b.hi.z)};
+    particles.push_back(p);
+  }
+  const auto parts =
+      partition_evenly_by_block(4, w.decomp(), std::move(particles));
+  ASSERT_EQ(parts.size(), 4u);
+  std::size_t total = 0;
+  for (const auto& chunk : parts) {
+    EXPECT_GE(chunk.size(), 25u);
+    EXPECT_LE(chunk.size(), 26u);
+    total += chunk.size();
+    // Within a chunk, seeds are grouped (non-decreasing block id).
+    for (std::size_t i = 1; i < chunk.size(); ++i) {
+      EXPECT_LE(w.decomp().block_of(chunk[i - 1].pos),
+                w.decomp().block_of(chunk[i].pos));
+    }
+  }
+  EXPECT_EQ(total, 103u);
+}
+
+TEST(LoadOnDemand, AllParticlesTerminateWithZeroCommunication) {
+  auto w = sf::testing::rotor_world(2);
+  Rng rng(7);
+  const auto seeds = random_seeds(w.dataset->bounds(), 40, rng);
+  const auto cfg = test_config(Algorithm::kLoadOnDemand, 4);
+  const RunMetrics m = run_experiment(cfg, w.decomp(), *w.source, seeds);
+  ASSERT_FALSE(m.failed_oom);
+  ASSERT_EQ(m.particles.size(), seeds.size());
+  for (const Particle& p : m.particles) EXPECT_TRUE(is_terminal(p.status));
+  // §4.2: no communication at all.
+  EXPECT_EQ(m.total_messages(), 0u);
+  EXPECT_DOUBLE_EQ(m.total_comm_time(), 0.0);
+}
+
+TEST(LoadOnDemand, RedundantLoadsAcrossRanks) {
+  // Every rank traces orbits through the same 8 blocks: total loads must
+  // exceed the block count (the algorithm's signature weakness).
+  auto w = sf::testing::rotor_world(2);
+  std::vector<Vec3> seeds;
+  for (int i = 0; i < 8; ++i) {
+    seeds.push_back({1.0 + 0.02 * i, 0.0, 0.1});
+  }
+  auto cfg = test_config(Algorithm::kLoadOnDemand, 4);
+  cfg.limits.max_time = 7.0;  // a full orbit through all quadrants
+  const RunMetrics m = run_experiment(cfg, w.decomp(), *w.source, seeds);
+  ASSERT_FALSE(m.failed_oom);
+  EXPECT_GT(m.total_blocks_loaded(),
+            static_cast<std::uint64_t>(w.decomp().num_blocks()));
+  EXPECT_GT(m.total_io_time(), 0.0);
+}
+
+TEST(LoadOnDemand, TinyCacheForcesReloadsAndLowersEfficiency) {
+  auto w = sf::testing::rotor_world(2);
+  std::vector<Vec3> seeds{{1.0, 0.0, 0.1}};
+  auto big = test_config(Algorithm::kLoadOnDemand, 1);
+  big.runtime.cache_blocks = 16;
+  big.limits.max_time = 13.0;  // two orbits
+  auto small = big;
+  small.runtime.cache_blocks = 1;
+
+  const RunMetrics m_big = run_experiment(big, w.decomp(), *w.source, seeds);
+  const RunMetrics m_small =
+      run_experiment(small, w.decomp(), *w.source, seeds);
+  ASSERT_FALSE(m_big.failed_oom);
+  ASSERT_FALSE(m_small.failed_oom);
+  // With room for the whole orbit the second revolution is free; with a
+  // 1-block cache every crossing reloads.
+  EXPECT_GT(m_small.total_blocks_loaded(), m_big.total_blocks_loaded());
+  EXPECT_LT(m_small.block_efficiency(), m_big.block_efficiency());
+  EXPECT_GT(m_small.total_io_time(), m_big.total_io_time());
+  // Identical trajectories regardless of cache pressure.
+  ASSERT_EQ(m_big.particles.size(), m_small.particles.size());
+  EXPECT_EQ(m_big.particles[0].steps, m_small.particles[0].steps);
+  EXPECT_EQ(m_big.particles[0].pos.x, m_small.particles[0].pos.x);
+}
+
+TEST(LoadOnDemand, RanksFinishIndependently) {
+  // One rank gets a long orbit, others get nothing: the others' programs
+  // finish immediately; the run still completes.
+  auto w = sf::testing::rotor_world(2);
+  const std::vector<Vec3> seeds{{1.0, 0.0, 0.1}};
+  const auto cfg = test_config(Algorithm::kLoadOnDemand, 4);
+  const RunMetrics m = run_experiment(cfg, w.decomp(), *w.source, seeds);
+  ASSERT_FALSE(m.failed_oom);
+  EXPECT_EQ(m.particles.size(), 1u);
+  int ranks_with_work = 0;
+  for (const auto& r : m.ranks) {
+    if (r.steps > 0) ++ranks_with_work;
+  }
+  EXPECT_EQ(ranks_with_work, 1);
+}
+
+TEST(LoadOnDemand, EmptySeedSet) {
+  auto w = sf::testing::rotor_world(2);
+  const auto cfg = test_config(Algorithm::kLoadOnDemand, 3);
+  const RunMetrics m =
+      run_experiment(cfg, w.decomp(), *w.source, std::span<const Vec3>{});
+  EXPECT_FALSE(m.failed_oom);
+  EXPECT_TRUE(m.particles.empty());
+  EXPECT_EQ(m.total_blocks_loaded(), 0u);
+}
+
+}  // namespace
+}  // namespace sf

@@ -1,0 +1,84 @@
+#include "runtime/message.hpp"
+
+#include <gtest/gtest.h>
+
+namespace sf {
+namespace {
+
+Particle particle_with_geometry(std::uint32_t points) {
+  Particle p;
+  p.geometry_points = points;
+  return p;
+}
+
+TEST(Message, ParticleBatchBytesScaleWithGeometry) {
+  Message m;
+  m.payload = ParticleBatch{0, {particle_with_geometry(1000)}};
+  const std::size_t with = message_bytes(m, /*carry_geometry=*/true);
+  const std::size_t without = message_bytes(m, /*carry_geometry=*/false);
+  // Geometry dominates when carried (the §8 observation).
+  EXPECT_GT(with, without + 1000 * sizeof(Vec3) - 1);
+  EXPECT_LT(without, 128u);
+}
+
+TEST(Message, BatchBytesSumOverParticles) {
+  Message one, two;
+  one.payload = ParticleBatch{0, {particle_with_geometry(10)}};
+  two.payload = ParticleBatch{
+      0, {particle_with_geometry(10), particle_with_geometry(10)}};
+  const std::size_t b1 = message_bytes(one, true);
+  const std::size_t b2 = message_bytes(two, true);
+  EXPECT_EQ(b2 - b1, particle_message_bytes(particle_with_geometry(10), true));
+}
+
+TEST(Message, ControlMessagesAreSmall) {
+  for (Message m : {Message{-1, TerminationCount{5}},
+                    Message{-1, DoneSignal{}}, Message{-1, SeedRequest{}}}) {
+    EXPECT_LT(message_bytes(m, true), 64u);
+  }
+}
+
+TEST(Message, StatusBytesScaleWithCensus) {
+  StatusUpdate s;
+  for (BlockId b = 0; b < 100; ++b) s.queued_by_block.emplace_back(b, 1u);
+  Message m;
+  m.payload = s;
+  const std::size_t big = message_bytes(m, true);
+  m.payload = StatusUpdate{};
+  EXPECT_GT(big, message_bytes(m, true) + 700);
+}
+
+TEST(Message, CommandCarriesAssignmentPayload) {
+  Command cmd;
+  cmd.type = Command::Type::kAssign;
+  cmd.particles.push_back(particle_with_geometry(1));
+  Message m;
+  m.payload = std::move(cmd);
+  EXPECT_GT(message_bytes(m, true), 64u);
+}
+
+TEST(Message, SeedTransferNeverChargesGeometry) {
+  SeedTransfer t;
+  t.seeds.push_back(particle_with_geometry(100000));  // absurd, ignored
+  Message m;
+  m.payload = std::move(t);
+  EXPECT_LT(message_bytes(m, true), 256u);
+}
+
+TEST(Message, CommandTypeNames) {
+  EXPECT_STREQ(to_string(Command::Type::kAssign), "assign");
+  EXPECT_STREQ(to_string(Command::Type::kSendForce), "send-force");
+  EXPECT_STREQ(to_string(Command::Type::kSendHint), "send-hint");
+  EXPECT_STREQ(to_string(Command::Type::kLoad), "load");
+  EXPECT_STREQ(to_string(Command::Type::kTerminate), "terminate");
+}
+
+TEST(Particle, MessageBytesFormula) {
+  Particle p;
+  p.geometry_points = 4;
+  EXPECT_EQ(particle_message_bytes(p, false), 64u);
+  EXPECT_EQ(particle_message_bytes(p, true), 64u + 4 * sizeof(Vec3));
+}
+
+}  // namespace
+}  // namespace sf

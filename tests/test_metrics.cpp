@@ -1,0 +1,82 @@
+#include "runtime/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+namespace sf {
+namespace {
+
+RunMetrics two_rank_metrics() {
+  RunMetrics m;
+  m.num_ranks = 2;
+  m.ranks.resize(2);
+  m.ranks[0].io_time = 1.0;
+  m.ranks[0].comm_time = 0.5;
+  m.ranks[0].compute_time = 2.0;
+  m.ranks[0].blocks_loaded = 10;
+  m.ranks[0].blocks_purged = 2;
+  m.ranks[0].bytes_read = 100;
+  m.ranks[0].messages_sent = 3;
+  m.ranks[0].bytes_sent = 300;
+  m.ranks[0].steps = 1000;
+  m.ranks[1].io_time = 0.25;
+  m.ranks[1].blocks_loaded = 6;
+  m.ranks[1].blocks_purged = 0;
+  m.ranks[1].steps = 500;
+  return m;
+}
+
+TEST(RunMetrics, TotalsSumOverRanks) {
+  const RunMetrics m = two_rank_metrics();
+  EXPECT_DOUBLE_EQ(m.total_io_time(), 1.25);
+  EXPECT_DOUBLE_EQ(m.total_comm_time(), 0.5);
+  EXPECT_DOUBLE_EQ(m.total_compute_time(), 2.0);
+  EXPECT_EQ(m.total_blocks_loaded(), 16u);
+  EXPECT_EQ(m.total_blocks_purged(), 2u);
+  EXPECT_EQ(m.total_bytes_read(), 100u);
+  EXPECT_EQ(m.total_messages(), 3u);
+  EXPECT_EQ(m.total_bytes_sent(), 300u);
+  EXPECT_EQ(m.total_steps(), 1500u);
+}
+
+TEST(RunMetrics, BlockEfficiencyEquation2) {
+  const RunMetrics m = two_rank_metrics();
+  // E = (16 - 2) / 16.
+  EXPECT_DOUBLE_EQ(m.block_efficiency(), 14.0 / 16.0);
+}
+
+TEST(RunMetrics, BlockEfficiencyDefinedWithNoLoads) {
+  RunMetrics m;
+  EXPECT_DOUBLE_EQ(m.block_efficiency(), 1.0);
+}
+
+TEST(RunMetrics, UtilizationMeanAndImbalance) {
+  RunMetrics m;
+  m.wall_clock = 10.0;
+  m.ranks.resize(4);
+  m.ranks[0].compute_time = 10.0;  // one rank does everything
+  EXPECT_DOUBLE_EQ(m.mean_utilization(), 0.25);
+  EXPECT_DOUBLE_EQ(m.utilization_imbalance(), 0.75);
+
+  for (auto& r : m.ranks) r.compute_time = 5.0;  // perfectly balanced
+  EXPECT_DOUBLE_EQ(m.mean_utilization(), 0.5);
+  EXPECT_DOUBLE_EQ(m.utilization_imbalance(), 0.0);
+}
+
+TEST(RunMetrics, UtilizationDefinedOnEmptyRun) {
+  RunMetrics m;
+  EXPECT_DOUBLE_EQ(m.mean_utilization(), 0.0);
+  EXPECT_DOUBLE_EQ(m.utilization_imbalance(), 0.0);
+}
+
+TEST(RunMetrics, IdealStaticProfileHasEfficiencyOne) {
+  RunMetrics m;
+  m.ranks.resize(4);
+  for (auto& r : m.ranks) {
+    r.blocks_loaded = 8;
+    r.blocks_purged = 0;
+  }
+  EXPECT_DOUBLE_EQ(m.block_efficiency(), 1.0);
+}
+
+}  // namespace
+}  // namespace sf

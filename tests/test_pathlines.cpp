@@ -1,0 +1,118 @@
+#include "analysis/pathlines.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/analytic_fields.hpp"
+
+namespace sf {
+namespace {
+
+TEST(Pathlines, SteadyFieldPathlineEqualsStreamline) {
+  auto rotor = std::make_shared<RotorField>();
+  const SteadyAsTimeField field(rotor);
+  IntegratorParams prm;
+  prm.tol = 1e-10;
+  const double half_turn = 3.14159265358979323846;
+  const PathlineResult r =
+      trace_pathline(field, {1, 0, 0}, 0.0, half_turn, prm);
+  EXPECT_EQ(r.particle.status, ParticleStatus::kMaxTime);
+  EXPECT_LT(distance(r.particle.pos, {-1, 0, 0}), 1e-5);
+  EXPECT_EQ(r.path.size(), r.times.size());
+  EXPECT_EQ(r.path.front(), Vec3(1, 0, 0));
+}
+
+TEST(Pathlines, BackwardIntegrationInvertsForward) {
+  const DoubleGyreField field;
+  IntegratorParams prm;
+  prm.tol = 1e-10;
+  const Vec3 start{0.7, 0.4, 0.0};
+  const Vec3 fwd = advect(field, start, 0.0, 5.0, prm);
+  const Vec3 back = advect(field, fwd, 5.0, 0.0, prm);
+  EXPECT_LT(distance(back, start), 1e-5);
+}
+
+TEST(Pathlines, UnsteadyFieldDiffersFromFrozenField) {
+  // In the double gyre, a pathline (time-varying) and the streamline of
+  // the t = 0 snapshot diverge — the defining property of unsteadiness.
+  const DoubleGyreField gyre;
+  IntegratorParams prm;
+  prm.tol = 1e-9;
+  const Vec3 seed{1.2, 0.35, 0.0};
+  const Vec3 pathline_end = advect(gyre, seed, 0.0, 6.0, prm);
+
+  // Frozen snapshot at t = 0.
+  class Frozen final : public VectorField {
+   public:
+    explicit Frozen(const DoubleGyreField* f) : f_(f) {}
+    bool sample(const Vec3& p, Vec3& out) const override {
+      return f_->sample(p, 0.0, out);
+    }
+    AABB bounds() const override { return f_->bounds(); }
+    const DoubleGyreField* f_;
+  };
+  const Frozen frozen(&gyre);
+  const SteadyAsTimeField steady(
+      FieldPtr(&frozen, [](const VectorField*) {}));
+  const Vec3 streamline_end = advect(steady, seed, 0.0, 6.0, prm);
+  EXPECT_GT(distance(pathline_end, streamline_end), 1e-3);
+}
+
+TEST(Pathlines, ExitsDomain) {
+  const SteadyAsTimeField field(
+      std::make_shared<UniformField>(Vec3{1, 0, 0},
+                                     AABB{{0, -1, -1}, {1, 1, 1}}));
+  IntegratorParams prm;
+  const PathlineResult r =
+      trace_pathline(field, {0.5, 0, 0}, 0.0, 100.0, prm);
+  EXPECT_EQ(r.particle.status, ParticleStatus::kExitedDomain);
+  EXPECT_GT(r.particle.pos.x, 0.9);
+}
+
+TEST(Pathlines, SeedOutsideDomain) {
+  const SteadyAsTimeField field(std::make_shared<RotorField>());
+  const PathlineResult r =
+      trace_pathline(field, {99, 0, 0}, 0.0, 1.0, IntegratorParams{});
+  EXPECT_EQ(r.particle.status, ParticleStatus::kExitedDomain);
+  EXPECT_EQ(r.path.size(), 1u);
+}
+
+TEST(Pathlines, TimeSliceInterpolationIsLinear) {
+  // Two uniform slices: v = (1,0,0) at t=0 and v = (3,0,0) at t=1.
+  const AABB box{{0, 0, 0}, {10, 1, 1}};
+  auto f0 = std::make_shared<UniformField>(Vec3{1, 0, 0}, box);
+  auto f1 = std::make_shared<UniformField>(Vec3{3, 0, 0}, box);
+  const BlockDecomposition d(box, 2, 1, 1);
+  auto ds0 = std::make_shared<BlockedDataset>(f0, d, 5, 1);
+  auto ds1 = std::make_shared<BlockedDataset>(f1, d, 5, 1);
+  const TimeSliceField field({ds0, ds1}, {0.0, 1.0});
+
+  Vec3 v;
+  ASSERT_TRUE(field.sample({5, 0.5, 0.5}, 0.5, v));
+  EXPECT_NEAR(v.x, 2.0, 1e-9);
+  ASSERT_TRUE(field.sample({5, 0.5, 0.5}, 0.25, v));
+  EXPECT_NEAR(v.x, 1.5, 1e-9);
+  EXPECT_FALSE(field.sample({5, 0.5, 0.5}, 1.5, v));
+  EXPECT_FALSE(field.sample({5, 0.5, 0.5}, -0.5, v));
+
+  // Pathline through the accelerating field: x(t) advances by
+  // integral of (1 + 2t) = t + t^2; from x=1, t:0->1 lands at x=3.
+  IntegratorParams prm;
+  prm.tol = 1e-10;
+  prm.h_max = 0.05;
+  const Vec3 end = advect(field, {1, 0.5, 0.5}, 0.0, 1.0, prm);
+  EXPECT_NEAR(end.x, 3.0, 1e-3);
+}
+
+TEST(Pathlines, TimeSliceValidation) {
+  const AABB box{{0, 0, 0}, {1, 1, 1}};
+  auto f = std::make_shared<UniformField>(Vec3{1, 0, 0}, box);
+  const BlockDecomposition d(box, 1, 1, 1);
+  auto ds = std::make_shared<BlockedDataset>(f, d, 5, 1);
+  EXPECT_THROW(TimeSliceField({ds}, {0.0}), std::invalid_argument);
+  EXPECT_THROW(TimeSliceField({ds, ds}, {1.0, 0.0}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace sf

@@ -1,0 +1,116 @@
+#include "analysis/poincare.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/analytic_fields.hpp"
+
+namespace sf {
+namespace {
+
+TEST(Poincare, RotorCrossesPlaneOncePerTurn) {
+  // Circular orbit of period 2*pi crossing the y = 0 half-plane x > 0
+  // once per revolution, always at the same point.
+  const RotorField field;
+  PoincareParams prm;
+  prm.plane_point = {0, 0, 0};
+  prm.plane_normal = {0, 1, 0};
+  prm.accept = [](const Vec3& p) { return p.x > 0; };
+  prm.max_crossings = 10;
+  prm.limits.max_time = 100.0;
+  prm.integrator.tol = 1e-9;
+
+  const auto hits = poincare_punctures(field, {1, 0, 0.2}, prm);
+  ASSERT_EQ(hits.size(), 10u);
+  for (const Vec3& h : hits) {
+    EXPECT_NEAR(h.x, 1.0, 1e-4);
+    EXPECT_NEAR(h.y, 0.0, 1e-6);
+    EXPECT_NEAR(h.z, 0.2, 1e-6);
+  }
+}
+
+TEST(Poincare, BothDirectionsDoublesCrossings) {
+  const RotorField field;
+  PoincareParams prm;
+  prm.plane_normal = {0, 1, 0};
+  prm.positive_direction_only = false;
+  prm.max_crossings = 8;
+  prm.limits.max_time = 50.0;
+  const auto hits = poincare_punctures(field, {1, 0, 0}, prm);
+  ASSERT_EQ(hits.size(), 8u);
+  // Alternating sides of the circle.
+  EXPECT_NEAR(hits[0].x, -1.0, 1e-3);
+  EXPECT_NEAR(hits[1].x, 1.0, 1e-3);
+}
+
+TEST(Poincare, SeedOutsideDomainYieldsNothing) {
+  const RotorField field;
+  PoincareParams prm;
+  EXPECT_TRUE(poincare_punctures(field, {99, 0, 0}, prm).empty());
+}
+
+TEST(Poincare, UnperturbedTokamakStaysOnFluxSurface) {
+  // Without islands, field lines live on nested flux surfaces: every
+  // puncture of the phi = 0 half-plane lies at (nearly) the same minor
+  // radius.
+  TokamakParams tparams;
+  tparams.island_amplitude = 0.0;
+  const TokamakField field(tparams);
+
+  PoincareParams prm;
+  prm.plane_point = {0, 0, 0};
+  prm.plane_normal = {0, 1, 0};
+  prm.accept = [](const Vec3& p) { return p.x > 0; };
+  prm.max_crossings = 40;
+  prm.limits.max_time = 4000.0;
+  prm.limits.max_steps = 400000;
+  prm.integrator.tol = 1e-9;
+
+  const Vec3 seed{1.2, 0.0, 0.0};  // r = 0.2 surface
+  const auto hits = poincare_punctures(field, seed, prm);
+  ASSERT_GE(hits.size(), 20u);
+  for (const Vec3& h : hits) {
+    const double r = std::hypot(std::hypot(h.x, h.y) - 1.0, h.z);
+    EXPECT_NEAR(r, 0.2, 5e-3) << "puncture off its flux surface at " << h;
+  }
+}
+
+TEST(Poincare, PerturbedTokamakSpreadsPunctures) {
+  // With a resonant perturbation, lines seeded in the island/chaotic
+  // layer wander in minor radius — the §5.2 "streamlines can diverge
+  // strongly" behaviour.
+  TokamakParams tparams;
+  tparams.island_amplitude = 0.08;
+  const TokamakField field(tparams);
+
+  PoincareParams prm;
+  prm.plane_normal = {0, 1, 0};
+  prm.accept = [](const Vec3& p) { return p.x > 0; };
+  prm.max_crossings = 60;
+  prm.limits.max_time = 8000.0;
+  prm.limits.max_steps = 800000;
+
+  const Vec3 seed{1.27, 0.0, 0.0};  // near the resonant surface
+  const auto hits = poincare_punctures(field, seed, prm);
+  ASSERT_GE(hits.size(), 30u);
+  double rmin = 1e300, rmax = -1e300;
+  for (const Vec3& h : hits) {
+    const double r = std::hypot(std::hypot(h.x, h.y) - 1.0, h.z);
+    rmin = std::min(rmin, r);
+    rmax = std::max(rmax, r);
+  }
+  EXPECT_GT(rmax - rmin, 0.01);
+}
+
+TEST(Poincare, RespectsMaxCrossings) {
+  const RotorField field;
+  PoincareParams prm;
+  prm.plane_normal = {0, 1, 0};
+  prm.max_crossings = 3;
+  prm.limits.max_time = 1000.0;
+  EXPECT_EQ(poincare_punctures(field, {1, 0, 0}, prm).size(), 3u);
+}
+
+}  // namespace
+}  // namespace sf

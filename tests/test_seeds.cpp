@@ -1,0 +1,102 @@
+#include "core/seeds.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace sf {
+namespace {
+
+const AABB kBox{{0, 0, 0}, {1, 1, 1}};
+
+TEST(Seeds, UniformGridCountAndContainment) {
+  const auto seeds = uniform_grid_seeds(kBox, 4, 3, 2);
+  EXPECT_EQ(seeds.size(), 24u);
+  for (const Vec3& s : seeds) EXPECT_TRUE(kBox.contains(s));
+}
+
+TEST(Seeds, UniformGridCellCentered) {
+  const auto seeds = uniform_grid_seeds(kBox, 2, 2, 2);
+  // First seed at the centre of the first octant cell.
+  EXPECT_EQ(seeds.front(), Vec3(0.25, 0.25, 0.25));
+  EXPECT_EQ(seeds.back(), Vec3(0.75, 0.75, 0.75));
+}
+
+TEST(Seeds, UniformGridRejectsZeroCounts) {
+  EXPECT_THROW(uniform_grid_seeds(kBox, 0, 1, 1), std::invalid_argument);
+}
+
+TEST(Seeds, RandomSeedsAreInsideAndDeterministic) {
+  Rng r1(5), r2(5);
+  const auto a = random_seeds(kBox, 500, r1);
+  const auto b = random_seeds(kBox, 500, r2);
+  ASSERT_EQ(a.size(), 500u);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_TRUE(kBox.contains(a[i]));
+    EXPECT_EQ(a[i], b[i]);
+  }
+}
+
+TEST(Seeds, ClusterSeedsConcentrateAroundCenter) {
+  Rng rng(11);
+  const Vec3 c{0.5, 0.5, 0.5};
+  const auto seeds = cluster_seeds(c, 0.05, 1000, rng, kBox);
+  ASSERT_EQ(seeds.size(), 1000u);
+  double mean_dist = 0.0;
+  for (const Vec3& s : seeds) {
+    EXPECT_TRUE(kBox.contains(s));
+    mean_dist += distance(s, c);
+  }
+  mean_dist /= 1000.0;
+  // Mean radius of an isotropic 3D gaussian is sigma*sqrt(8/pi) ~ 1.6 s.
+  EXPECT_LT(mean_dist, 0.12);
+}
+
+TEST(Seeds, ClusterSeedsClampedToBox) {
+  Rng rng(13);
+  // Center on a corner: roughly 7/8 of raw draws fall outside and clamp.
+  const auto seeds = cluster_seeds({0, 0, 0}, 0.2, 200, rng, kBox);
+  for (const Vec3& s : seeds) EXPECT_TRUE(kBox.contains(s));
+}
+
+TEST(Seeds, CircleSeedsLieOnCircle) {
+  const Vec3 center{0.5, 0.5, 0.5};
+  const Vec3 normal{1, 0, 0};
+  const auto seeds = circle_seeds(center, normal, 0.2, 64);
+  ASSERT_EQ(seeds.size(), 64u);
+  for (const Vec3& s : seeds) {
+    EXPECT_NEAR(distance(s, center), 0.2, 1e-12);
+    EXPECT_NEAR(dot(s - center, normal), 0.0, 1e-12);
+  }
+}
+
+TEST(Seeds, CircleSeedsDistinct) {
+  const auto seeds = circle_seeds({0, 0, 0}, {0, 0, 1}, 1.0, 8);
+  for (std::size_t i = 1; i < seeds.size(); ++i) {
+    EXPECT_GT(distance(seeds[i], seeds[i - 1]), 0.1);
+  }
+}
+
+TEST(Seeds, CircleSeedsHandleAxisAlignedNormals) {
+  for (const Vec3& n : {Vec3{1, 0, 0}, Vec3{0, 1, 0}, Vec3{0, 0, 1}}) {
+    const auto seeds = circle_seeds({0, 0, 0}, n, 1.0, 16);
+    for (const Vec3& s : seeds) EXPECT_NEAR(norm(s), 1.0, 1e-12);
+  }
+}
+
+TEST(Seeds, LineSeedsEndpoints) {
+  const auto seeds = line_seeds({0, 0, 0}, {1, 2, 3}, 5);
+  ASSERT_EQ(seeds.size(), 5u);
+  EXPECT_EQ(seeds.front(), Vec3(0, 0, 0));
+  EXPECT_EQ(seeds.back(), Vec3(1, 2, 3));
+  EXPECT_EQ(seeds[2], Vec3(0.5, 1, 1.5));
+}
+
+TEST(Seeds, LineSeedsSingleIsMidpoint) {
+  const auto seeds = line_seeds({0, 0, 0}, {2, 0, 0}, 1);
+  ASSERT_EQ(seeds.size(), 1u);
+  EXPECT_EQ(seeds.front(), Vec3(1, 0, 0));
+}
+
+}  // namespace
+}  // namespace sf

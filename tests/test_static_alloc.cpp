@@ -1,0 +1,156 @@
+#include "algorithms/static_alloc.hpp"
+
+#include <gtest/gtest.h>
+
+#include "algorithms/driver.hpp"
+#include "test_support.hpp"
+
+namespace sf {
+namespace {
+
+using sf::testing::test_config;
+
+TEST(ContiguousOwner, RangesPartitionBlocks) {
+  for (const auto& [nb, pr] : {std::pair{512, 64}, std::pair{7, 3},
+                               std::pair{8, 8}, std::pair{5, 8},
+                               std::pair{100, 1}}) {
+    // Every block owned by exactly the rank whose range covers it.
+    for (BlockId b = 0; b < nb; ++b) {
+      const int owner = contiguous_owner(nb, pr, b);
+      ASSERT_GE(owner, 0);
+      ASSERT_LT(owner, pr);
+      const auto [first, last] = contiguous_range(nb, pr, owner);
+      EXPECT_GE(b, first);
+      EXPECT_LT(b, last);
+    }
+    // Ranges cover [0, nb) without overlap.
+    int covered = 0;
+    for (int r = 0; r < pr; ++r) {
+      const auto [first, last] = contiguous_range(nb, pr, r);
+      covered += last - first;
+    }
+    EXPECT_EQ(covered, nb);
+  }
+}
+
+TEST(ContiguousOwner, RejectsBadBlock) {
+  EXPECT_THROW(contiguous_owner(8, 2, -1), std::out_of_range);
+  EXPECT_THROW(contiguous_owner(8, 2, 8), std::out_of_range);
+}
+
+TEST(PartitionByBlockOwner, ParticlesLandOnTheirOwners) {
+  auto w = sf::testing::rotor_world(2);  // 8 blocks
+  std::vector<Particle> particles;
+  Rng rng(3);
+  const AABB b = w.dataset->bounds();
+  for (int i = 0; i < 100; ++i) {
+    Particle p;
+    p.id = static_cast<std::uint32_t>(i);
+    p.pos = {rng.uniform(b.lo.x, b.hi.x), rng.uniform(b.lo.y, b.hi.y),
+             rng.uniform(b.lo.z, b.hi.z)};
+    particles.push_back(p);
+  }
+  const auto parts =
+      partition_by_block_owner(w.decomp(), 4, std::move(particles));
+  ASSERT_EQ(parts.size(), 4u);
+  std::size_t total = 0;
+  for (int r = 0; r < 4; ++r) {
+    for (const Particle& p : parts[static_cast<std::size_t>(r)]) {
+      EXPECT_EQ(contiguous_owner(8, 4, w.decomp().block_of(p.pos)), r);
+    }
+    total += parts[static_cast<std::size_t>(r)].size();
+  }
+  EXPECT_EQ(total, 100u);
+}
+
+TEST(StaticAllocation, AllParticlesTerminate) {
+  auto w = sf::testing::rotor_world(2);
+  Rng rng(7);
+  const auto seeds = random_seeds(w.dataset->bounds(), 40, rng);
+  const auto cfg = test_config(Algorithm::kStaticAllocation, 4);
+  const RunMetrics m = run_experiment(cfg, w.decomp(), *w.source, seeds);
+  ASSERT_FALSE(m.failed_oom);
+  ASSERT_EQ(m.particles.size(), seeds.size());
+  for (const Particle& p : m.particles) {
+    EXPECT_TRUE(is_terminal(p.status));
+  }
+  EXPECT_GT(m.total_steps(), 0u);
+}
+
+TEST(StaticAllocation, EachBlockLoadedAtMostOnceWithAmpleCache) {
+  // The algorithm's signature property: ideal I/O, E = 1.
+  auto w = sf::testing::abc_world(2);
+  Rng rng(9);
+  const auto seeds = random_seeds(w.dataset->bounds(), 60, rng);
+  auto cfg = test_config(Algorithm::kStaticAllocation, 4);
+  cfg.runtime.cache_blocks = 64;  // plenty: no purges possible
+  const RunMetrics m = run_experiment(cfg, w.decomp(), *w.source, seeds);
+  ASSERT_FALSE(m.failed_oom);
+  EXPECT_LE(m.total_blocks_loaded(),
+            static_cast<std::uint64_t>(w.decomp().num_blocks()));
+  EXPECT_EQ(m.total_blocks_purged(), 0u);
+  EXPECT_DOUBLE_EQ(m.block_efficiency(), 1.0);
+}
+
+TEST(StaticAllocation, CommunicatesWhenLinesCrossOwnership) {
+  // Rotor streamlines orbit through all four quadrants: with 4 ranks the
+  // lines must be handed between owners repeatedly.
+  auto w = sf::testing::rotor_world(2);
+  const std::vector<Vec3> seeds{{1.0, 0.1, 0.1}, {-1.0, -0.1, -0.1}};
+  auto cfg = test_config(Algorithm::kStaticAllocation, 4);
+  cfg.limits.max_time = 12.0;  // ~2 revolutions
+  const RunMetrics m = run_experiment(cfg, w.decomp(), *w.source, seeds);
+  ASSERT_FALSE(m.failed_oom);
+  EXPECT_GT(m.total_messages(), 8u);
+  EXPECT_GT(m.total_comm_time(), 0.0);
+}
+
+TEST(StaticAllocation, SingleRankDegeneratesToSerial) {
+  auto w = sf::testing::rotor_world(2);
+  Rng rng(11);
+  const auto seeds = random_seeds(w.dataset->bounds(), 10, rng);
+  const auto cfg = test_config(Algorithm::kStaticAllocation, 1);
+  const RunMetrics m = run_experiment(cfg, w.decomp(), *w.source, seeds);
+  ASSERT_FALSE(m.failed_oom);
+  EXPECT_EQ(m.particles.size(), 10u);
+  // No one to talk to.
+  EXPECT_EQ(m.total_messages(), 0u);
+}
+
+TEST(StaticAllocation, SeedsOutsideDomainAreReported) {
+  auto w = sf::testing::rotor_world(2);
+  const std::vector<Vec3> seeds{{0.5, 0.5, 0.5}, {99, 99, 99}};
+  const auto cfg = test_config(Algorithm::kStaticAllocation, 2);
+  const RunMetrics m = run_experiment(cfg, w.decomp(), *w.source, seeds);
+  ASSERT_EQ(m.particles.size(), 2u);
+  EXPECT_EQ(m.particles[1].status, ParticleStatus::kExitedDomain);
+  EXPECT_EQ(m.particles[1].steps, 0u);
+}
+
+TEST(StaticAllocation, EmptySeedSetTerminatesCleanly) {
+  auto w = sf::testing::rotor_world(2);
+  const auto cfg = test_config(Algorithm::kStaticAllocation, 3);
+  const RunMetrics m =
+      run_experiment(cfg, w.decomp(), *w.source, std::span<const Vec3>{});
+  EXPECT_FALSE(m.failed_oom);
+  EXPECT_TRUE(m.particles.empty());
+}
+
+TEST(StaticAllocation, DenseSeedsOnOneOwnerCanOom) {
+  // The Figure 13 failure: a dense cluster lands on one rank whose
+  // resident particles blow the memory budget.
+  auto w = sf::testing::rotor_world(2);
+  Rng rng(5);
+  const auto seeds =
+      cluster_seeds({1.0, 1.0, 1.0}, 0.05, 400, rng, w.dataset->bounds());
+  auto cfg = test_config(Algorithm::kStaticAllocation, 4);
+  cfg.runtime.model.particle_memory_bytes = 64 << 10;  // tiny budget
+  const RunMetrics m = run_experiment(cfg, w.decomp(), *w.source, seeds);
+  EXPECT_TRUE(m.failed_oom);
+  bool some_rank_oomed = false;
+  for (const auto& r : m.ranks) some_rank_oomed |= r.oom;
+  EXPECT_TRUE(some_rank_oomed);
+}
+
+}  // namespace
+}  // namespace sf

@@ -1,0 +1,110 @@
+#include "analysis/statistics.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/analytic_fields.hpp"
+#include "core/seeds.hpp"
+#include "core/tracer.hpp"
+
+namespace sf {
+namespace {
+
+TEST(Histogram, Validation) {
+  EXPECT_THROW(Histogram(0, 1, 0), std::invalid_argument);
+  EXPECT_THROW(Histogram(1, 1, 4), std::invalid_argument);
+}
+
+TEST(Histogram, BinningAndClamping) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(0.5);    // bin 0
+  h.add(9.99);   // bin 9
+  h.add(-5.0);   // clamps to bin 0
+  h.add(42.0);   // clamps to bin 9
+  EXPECT_EQ(h.count(0), 2u);
+  EXPECT_EQ(h.count(9), 2u);
+  EXPECT_EQ(h.total(), 4u);
+}
+
+TEST(Histogram, QuantilesAreMonotone) {
+  Histogram h(0.0, 100.0, 100);
+  for (int i = 0; i < 100; ++i) h.add(i + 0.5);
+  EXPECT_NEAR(h.quantile(0.5), 50.0, 1.5);
+  EXPECT_NEAR(h.quantile(0.9), 90.0, 1.5);
+  EXPECT_LE(h.quantile(0.1), h.quantile(0.9));
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 0.0);
+}
+
+TEST(Histogram, EmptyQuantileIsLow) {
+  Histogram h(2.0, 4.0, 4);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 2.0);
+}
+
+TEST(Statistics, SummarizeAggregates) {
+  std::vector<Particle> ps(3);
+  ps[0].steps = 10;
+  ps[0].time = 1.0;
+  ps[0].geometry_points = 11;
+  ps[0].status = ParticleStatus::kExitedDomain;
+  ps[1].steps = 20;
+  ps[1].time = 3.0;
+  ps[1].geometry_points = 21;
+  ps[1].status = ParticleStatus::kMaxTime;
+  ps[2].steps = 30;
+  ps[2].time = 2.0;
+  ps[2].geometry_points = 31;
+  ps[2].status = ParticleStatus::kMaxTime;
+
+  const StreamlineStats s = summarize(ps);
+  EXPECT_EQ(s.count, 3u);
+  EXPECT_DOUBLE_EQ(s.mean_steps, 20.0);
+  EXPECT_EQ(s.max_steps, 30u);
+  EXPECT_DOUBLE_EQ(s.mean_time, 2.0);
+  EXPECT_DOUBLE_EQ(s.max_time, 3.0);
+  EXPECT_DOUBLE_EQ(s.mean_geometry_points, 21.0);
+  EXPECT_EQ(s.total_geometry_bytes, 63u * sizeof(Vec3));
+  EXPECT_EQ(s.by_status[static_cast<int>(ParticleStatus::kMaxTime)], 2u);
+  EXPECT_EQ(s.by_status[static_cast<int>(ParticleStatus::kExitedDomain)],
+            1u);
+}
+
+TEST(Statistics, SummarizeEmpty) {
+  const StreamlineStats s = summarize({});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_DOUBLE_EQ(s.mean_steps, 0.0);
+}
+
+TEST(Statistics, PolylineLength) {
+  const std::vector<Vec3> line{{0, 0, 0}, {3, 0, 0}, {3, 4, 0}};
+  EXPECT_DOUBLE_EQ(polyline_length(line), 7.0);
+  EXPECT_DOUBLE_EQ(polyline_length(std::span<const Vec3>{}), 0.0);
+}
+
+TEST(Statistics, LengthHistogramOverTracedLines) {
+  // Circular orbits of radius r have length ~ 2*pi*r per revolution:
+  // seeds at different radii give distinguishable length bins.
+  const RotorField field;
+  IntegratorParams ip;
+  TraceLimits lim;
+  lim.max_time = 6.283185307179586;  // one revolution each
+  lim.max_steps = 100000;
+  const std::vector<Vec3> seeds{{0.5, 0, 0}, {1.0, 0, 0}, {1.5, 0, 0}};
+  PolylineRecorder rec(seeds.size());
+  for (std::size_t i = 0; i < seeds.size(); ++i) {
+    trace_field(field, seeds[i], ip, lim, &rec,
+                static_cast<std::uint32_t>(i));
+  }
+  for (std::size_t i = 0; i < seeds.size(); ++i) {
+    // Polylines are chords of the circle: slightly shorter than the arc.
+    const double arc =
+        6.283185307179586 * (0.5 + 0.5 * static_cast<double>(i));
+    EXPECT_LE(polyline_length(rec.lines()[i]), arc + 1e-9);
+    EXPECT_NEAR(polyline_length(rec.lines()[i]), arc, 0.005 * arc);
+  }
+  const Histogram h = length_histogram(rec.lines(), 8);
+  EXPECT_EQ(h.total(), 3u);
+  // Longest orbit defines the top bin.
+  EXPECT_EQ(h.count(7), 1u);
+}
+
+}  // namespace
+}  // namespace sf

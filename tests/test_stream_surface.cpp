@@ -1,0 +1,123 @@
+#include "analysis/stream_surface.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/analytic_fields.hpp"
+#include "core/seeds.hpp"
+
+namespace sf {
+namespace {
+
+TEST(StreamSurface, UniformFlowSweepsARuledStrip) {
+  const UniformField field({1, 0, 0}, AABB{{0, -2, -2}, {10, 2, 2}});
+  const auto curve = line_seeds({0.1, -1, 0}, {0.1, 1, 0}, 9);
+  StreamSurfaceParams prm;
+  prm.ring_dt = 0.5;
+  prm.max_rings = 4;
+  prm.split_distance = 10.0;  // no refinement
+  const StreamSurface s = compute_stream_surface(field, curve, prm);
+
+  EXPECT_EQ(s.rings, 4u);
+  EXPECT_EQ(s.inserted_streamlines, 0u);
+  // 5 rings of 9 vertices, 4 ribbons of 16 triangles each.
+  EXPECT_EQ(s.vertices.size(), 45u);
+  EXPECT_EQ(s.triangles.size(), 64u);
+  // Every vertex stays at its seed's y/z, advected in x.
+  for (const Vec3& v : s.vertices) {
+    EXPECT_NEAR(v.z, 0.0, 1e-9);
+    EXPECT_GE(v.x, 0.1 - 1e-9);
+    EXPECT_LE(v.x, 0.1 + 4 * 0.5 + 1e-6);
+  }
+}
+
+TEST(StreamSurface, TriangleIndicesAreValid) {
+  const ABCField field;
+  const auto curve = line_seeds({1, 1, 1}, {1, 2, 1}, 6);
+  StreamSurfaceParams prm;
+  prm.ring_dt = 0.1;
+  prm.max_rings = 20;
+  prm.split_distance = 0.3;
+  const StreamSurface s = compute_stream_surface(field, curve, prm);
+  EXPECT_GT(s.triangles.size(), 0u);
+  for (const Triangle& t : s.triangles) {
+    for (const std::uint32_t v : t) {
+      ASSERT_LT(v, s.vertices.size());
+    }
+    // Non-degenerate: three distinct vertices.
+    EXPECT_NE(t[0], t[1]);
+    EXPECT_NE(t[1], t[2]);
+    EXPECT_NE(t[0], t[2]);
+  }
+}
+
+TEST(StreamSurface, DivergingFlowTriggersDynamicInsertion) {
+  // A radially expanding planar flow stretches the front; the surface
+  // must insert new streamlines (the §8 dynamic-seed behaviour).
+  class Diverging final : public VectorField {
+   public:
+    bool sample(const Vec3& p, Vec3& out) const override {
+      if (!bounds().contains(p)) return false;
+      out = {p.x, p.y, 0.0};
+      return true;
+    }
+    AABB bounds() const override { return {{-50, -50, -1}, {50, 50, 1}}; }
+  };
+  const Diverging field;
+  const auto curve = line_seeds({0.5, -0.2, 0}, {0.5, 0.2, 0}, 5);
+  StreamSurfaceParams prm;
+  prm.ring_dt = 0.4;
+  prm.max_rings = 8;
+  prm.split_distance = 0.15;
+  const StreamSurface s = compute_stream_surface(field, curve, prm);
+  EXPECT_GT(s.inserted_streamlines, 0u);
+  EXPECT_GT(s.triangles.size(), 7u * 2u * 4u);  // more than unrefined
+}
+
+TEST(StreamSurface, FrontDiesAtDomainBoundary) {
+  const UniformField field({1, 0, 0}, AABB{{0, -1, -1}, {1, 1, 1}});
+  const auto curve = line_seeds({0.9, -0.5, 0}, {0.9, 0.5, 0}, 5);
+  StreamSurfaceParams prm;
+  prm.ring_dt = 0.5;  // first ring advances past the x = 1 face
+  prm.max_rings = 10;
+  const StreamSurface s = compute_stream_surface(field, curve, prm);
+  // The surface collapses quickly but construction stays well formed.
+  for (const Triangle& t : s.triangles) {
+    for (const std::uint32_t v : t) ASSERT_LT(v, s.vertices.size());
+  }
+  EXPECT_LE(s.rings, 2u);
+}
+
+TEST(StreamSurface, DegenerateInputs) {
+  const UniformField field({1, 0, 0});
+  EXPECT_TRUE(
+      compute_stream_surface(field, std::span<const Vec3>{}, {}).vertices
+          .empty());
+  const std::vector<Vec3> one{{0, 0, 0}};
+  EXPECT_TRUE(compute_stream_surface(field, one, {}).vertices.empty());
+}
+
+TEST(StreamSurface, MaxFrontCapsGrowth) {
+  class Diverging final : public VectorField {
+   public:
+    bool sample(const Vec3& p, Vec3& out) const override {
+      if (!bounds().contains(p)) return false;
+      out = {p.x, p.y, 0.0};
+      return true;
+    }
+    AABB bounds() const override { return {{-50, -50, -1}, {50, 50, 1}}; }
+  };
+  const Diverging field;
+  const auto curve = line_seeds({0.5, -0.2, 0}, {0.5, 0.2, 0}, 5);
+  StreamSurfaceParams prm;
+  prm.ring_dt = 0.4;
+  prm.max_rings = 10;
+  prm.split_distance = 0.01;  // aggressive splitting
+  prm.max_front = 32;
+  const StreamSurface s = compute_stream_surface(field, curve, prm);
+  EXPECT_LE(s.inserted_streamlines, 32u);
+}
+
+}  // namespace
+}  // namespace sf

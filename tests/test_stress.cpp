@@ -1,0 +1,154 @@
+// Stress and failure-injection tests: adversarial cache sizes, extreme
+// heuristic settings, degenerate decompositions, and corrupted inputs.
+// The algorithms must stay live and correct (or fail loudly) in every
+// corner.
+
+#include <gtest/gtest.h>
+
+#include "algorithms/driver.hpp"
+#include "test_support.hpp"
+
+namespace sf {
+namespace {
+
+using sf::testing::test_config;
+
+// Every algorithm must terminate with a single-block cache — maximal
+// thrashing, zero room for a working set.
+class OneBlockCache : public ::testing::TestWithParam<Algorithm> {};
+
+TEST_P(OneBlockCache, CompletesAndMatches) {
+  auto w = sf::testing::rotor_world(2);
+  Rng rng(3);
+  const auto seeds = random_seeds(w.dataset->bounds(), 12, rng);
+  auto cfg = test_config(GetParam(), 4);
+  cfg.runtime.cache_blocks = 1;
+  cfg.limits.max_steps = 300;
+  const RunMetrics m = run_experiment(cfg, w.decomp(), *w.source, seeds);
+  ASSERT_FALSE(m.failed_oom);
+  ASSERT_EQ(m.particles.size(), seeds.size());
+  const auto serial = trace_all(*w.dataset, seeds, cfg.integrator,
+                                cfg.limits);
+  for (std::size_t i = 0; i < seeds.size(); ++i) {
+    EXPECT_EQ(m.particles[i].steps, serial[i].steps) << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Algorithms, OneBlockCache,
+                         ::testing::Values(Algorithm::kStaticAllocation,
+                                           Algorithm::kLoadOnDemand,
+                                           Algorithm::kHybridMasterSlave));
+
+// Hybrid liveness under extreme heuristics.
+struct HybridKnobs {
+  int n, overload, nl, w;
+};
+
+class HybridExtremes : public ::testing::TestWithParam<HybridKnobs> {};
+
+TEST_P(HybridExtremes, StaysLive) {
+  const auto [n, overload, nl, wpm] = GetParam();
+  auto w = sf::testing::rotor_world(2);
+  Rng rng(5);
+  const auto seeds = random_seeds(w.dataset->bounds(), 30, rng);
+  auto cfg = test_config(Algorithm::kHybridMasterSlave, 6);
+  cfg.hybrid.assign_batch = n;
+  cfg.hybrid.overload_factor = overload;
+  cfg.hybrid.load_threshold = nl;
+  cfg.hybrid.slaves_per_master = wpm;
+  cfg.limits.max_steps = 300;
+  const RunMetrics m = run_experiment(cfg, w.decomp(), *w.source, seeds);
+  ASSERT_FALSE(m.failed_oom);
+  EXPECT_EQ(m.particles.size(), seeds.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Knobs, HybridExtremes,
+    ::testing::Values(HybridKnobs{1, 1, 1, 1},     // minimal everything
+                      HybridKnobs{1, 1000, 1, 1},  // no overload limit
+                      HybridKnobs{50, 2, 1000, 2}, // never load, only migrate
+                      HybridKnobs{10, 20, 1, 64},  // load eagerly, one group
+                      HybridKnobs{3, 5, 7, 3}));
+
+TEST(Stress, SingleBlockDecomposition) {
+  // One block, many ranks: all work lands on the block's owner (static)
+  // or gets replicated (others); everything still terminates.
+  auto field = std::make_shared<RotorField>();
+  const BlockDecomposition decomp(field->bounds(), 1, 1, 1);
+  auto ds = std::make_shared<BlockedDataset>(field, decomp, 17, 2);
+  DatasetBlockSource source(ds);
+  Rng rng(7);
+  const auto seeds = random_seeds(ds->bounds(), 20, rng);
+  for (const auto algo :
+       {Algorithm::kStaticAllocation, Algorithm::kLoadOnDemand,
+        Algorithm::kHybridMasterSlave}) {
+    auto cfg = test_config(algo, 5);
+    cfg.limits.max_steps = 200;
+    const RunMetrics m = run_experiment(cfg, decomp, source, seeds);
+    ASSERT_FALSE(m.failed_oom) << to_string(algo);
+    EXPECT_EQ(m.particles.size(), seeds.size()) << to_string(algo);
+  }
+}
+
+TEST(Stress, ManyMoreRanksThanParticles) {
+  auto w = sf::testing::rotor_world(2);
+  const std::vector<Vec3> seeds{{1, 0, 0}, {0.5, 0.5, 0.1}};
+  for (const auto algo :
+       {Algorithm::kStaticAllocation, Algorithm::kLoadOnDemand,
+        Algorithm::kHybridMasterSlave}) {
+    auto cfg = test_config(algo, 24);
+    cfg.limits.max_steps = 200;
+    const RunMetrics m = run_experiment(cfg, w.decomp(), *w.source, seeds);
+    ASSERT_FALSE(m.failed_oom) << to_string(algo);
+    EXPECT_EQ(m.particles.size(), 2u) << to_string(algo);
+  }
+}
+
+TEST(Stress, AllSeedsOutsideDomain) {
+  auto w = sf::testing::rotor_world(2);
+  std::vector<Vec3> seeds(10, Vec3{50, 50, 50});
+  for (const auto algo :
+       {Algorithm::kStaticAllocation, Algorithm::kLoadOnDemand,
+        Algorithm::kHybridMasterSlave}) {
+    const auto cfg = test_config(algo, 4);
+    const RunMetrics m = run_experiment(cfg, w.decomp(), *w.source, seeds);
+    ASSERT_FALSE(m.failed_oom);
+    ASSERT_EQ(m.particles.size(), 10u);
+    for (const Particle& p : m.particles) {
+      EXPECT_EQ(p.status, ParticleStatus::kExitedDomain);
+    }
+    // Nothing was ever loaded or computed.
+    EXPECT_EQ(m.total_blocks_loaded(), 0u);
+    EXPECT_EQ(m.total_steps(), 0u);
+  }
+}
+
+TEST(Stress, ZeroStepBudgetTerminatesImmediately) {
+  auto w = sf::testing::rotor_world(2);
+  Rng rng(11);
+  const auto seeds = random_seeds(w.dataset->bounds(), 8, rng);
+  auto cfg = test_config(Algorithm::kHybridMasterSlave, 4);
+  cfg.limits.max_steps = 0;
+  const RunMetrics m = run_experiment(cfg, w.decomp(), *w.source, seeds);
+  ASSERT_FALSE(m.failed_oom);
+  for (const Particle& p : m.particles) {
+    EXPECT_EQ(p.status, ParticleStatus::kMaxSteps);
+    EXPECT_EQ(p.steps, 0u);
+  }
+}
+
+TEST(Stress, UtilizationReflectsStaticImbalance) {
+  // Dense cluster on one owner: static's busiest rank dwarfs the mean.
+  auto w = sf::testing::rotor_world(2);
+  Rng rng(13);
+  const auto seeds =
+      cluster_seeds({1.0, 1.0, 1.0}, 0.05, 60, rng, w.dataset->bounds());
+  auto cfg = test_config(Algorithm::kStaticAllocation, 8);
+  cfg.limits.max_steps = 500;
+  const RunMetrics st = run_experiment(cfg, w.decomp(), *w.source, seeds);
+  ASSERT_FALSE(st.failed_oom);
+  EXPECT_GT(st.utilization_imbalance(), st.mean_utilization());
+}
+
+}  // namespace
+}  // namespace sf

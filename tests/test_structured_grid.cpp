@@ -1,0 +1,112 @@
+#include "core/structured_grid.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/analytic_fields.hpp"
+#include "core/rng.hpp"
+
+namespace sf {
+namespace {
+
+const AABB kBox{{0, 0, 0}, {1, 1, 1}};
+
+TEST(StructuredGrid, ConstructionValidation) {
+  EXPECT_THROW(StructuredGrid(kBox, 1, 2, 2), std::invalid_argument);
+  EXPECT_THROW(StructuredGrid(AABB{{1, 0, 0}, {0, 1, 1}}, 2, 2, 2),
+               std::invalid_argument);
+  const StructuredGrid g(kBox, 3, 4, 5);
+  EXPECT_EQ(g.num_nodes(), 60u);
+  EXPECT_EQ(g.cell_size(), Vec3(0.5, 1.0 / 3, 0.25));
+}
+
+TEST(StructuredGrid, NodePositions) {
+  const StructuredGrid g(kBox, 2, 2, 2);
+  EXPECT_EQ(g.node_position(0, 0, 0), Vec3(0, 0, 0));
+  EXPECT_EQ(g.node_position(1, 1, 1), Vec3(1, 1, 1));
+}
+
+TEST(StructuredGrid, SampleAtNodesIsExact) {
+  StructuredGrid g(kBox, 4, 4, 4);
+  const UniformField f({2, -1, 3}, kBox);
+  g.sample_from(f);
+  Vec3 v;
+  ASSERT_TRUE(g.sample({0, 0, 0}, v));
+  EXPECT_EQ(v, Vec3(2, -1, 3));
+  ASSERT_TRUE(g.sample({1, 1, 1}, v));
+  EXPECT_EQ(v, Vec3(2, -1, 3));
+}
+
+TEST(StructuredGrid, TrilinearReproducesLinearFieldsExactly) {
+  // Trilinear interpolation is exact for fields linear in each
+  // coordinate; the saddle field is linear.
+  StructuredGrid g(AABB{{-1, -1, -1}, {1, 1, 1}}, 5, 5, 5);
+  const SaddleField f(1.7, AABB{{-1, -1, -1}, {1, 1, 1}});
+  g.sample_from(f);
+  Rng rng(8);
+  for (int i = 0; i < 200; ++i) {
+    const Vec3 p{rng.uniform(-1, 1), rng.uniform(-1, 1), rng.uniform(-1, 1)};
+    Vec3 gi, fi;
+    ASSERT_TRUE(g.sample(p, gi));
+    ASSERT_TRUE(f.sample(p, fi));
+    EXPECT_NEAR(gi.x, fi.x, 1e-12);
+    EXPECT_NEAR(gi.y, fi.y, 1e-12);
+    EXPECT_NEAR(gi.z, fi.z, 1e-12);
+  }
+}
+
+TEST(StructuredGrid, InterpolationErrorShrinksQuadratically) {
+  // For a smooth field the trilinear error is O(h^2): refining the grid
+  // 2x should cut the max error by about 4x.
+  const ABCField f;
+  const AABB box{{1, 1, 1}, {5, 5, 5}};
+  auto max_err = [&](int n) {
+    StructuredGrid g(box, n, n, n);
+    g.sample_from(f);
+    Rng rng(21);
+    double worst = 0.0;
+    for (int i = 0; i < 500; ++i) {
+      const Vec3 p{rng.uniform(1, 5), rng.uniform(1, 5), rng.uniform(1, 5)};
+      Vec3 gi, fi;
+      EXPECT_TRUE(g.sample(p, gi));
+      EXPECT_TRUE(f.sample(p, fi));
+      worst = std::max(worst, norm(gi - fi));
+    }
+    return worst;
+  };
+  const double e16 = max_err(17);
+  const double e32 = max_err(33);
+  EXPECT_LT(e32, e16 / 2.5);  // allow slack off the asymptotic factor 4
+}
+
+TEST(StructuredGrid, SampleFailsOutside) {
+  StructuredGrid g(kBox, 2, 2, 2);
+  Vec3 v;
+  EXPECT_FALSE(g.sample({1.01, 0.5, 0.5}, v));
+  EXPECT_FALSE(g.sample({0.5, -0.01, 0.5}, v));
+}
+
+TEST(StructuredGrid, GhostNodesClampOutsideDomain) {
+  // Grid extends beyond the field's domain: sample_from must clamp, not
+  // leave garbage.
+  const AABB field_box{{0, 0, 0}, {1, 1, 1}};
+  const UniformField f({4, 5, 6}, field_box);
+  StructuredGrid g(field_box.inflated(0.25), 6, 6, 6);
+  g.sample_from(f);
+  Vec3 v;
+  ASSERT_TRUE(g.sample({-0.2, -0.2, -0.2}, v));
+  EXPECT_EQ(v, Vec3(4, 5, 6));
+}
+
+TEST(StructuredGrid, PayloadBytes) {
+  const StructuredGrid g(kBox, 4, 4, 4);
+  EXPECT_EQ(g.payload_bytes(), 64u * sizeof(Vec3));
+}
+
+TEST(StructuredGrid, ImplementsVectorFieldInterface) {
+  StructuredGrid g(kBox, 3, 3, 3);
+  const VectorField& as_field = g;
+  EXPECT_EQ(as_field.bounds(), kBox);
+}
+
+}  // namespace
+}  // namespace sf

@@ -1,0 +1,77 @@
+#pragma once
+
+// Shared builders for algorithm/runtime tests: a small rotor dataset (a
+// flow whose trajectories cross blocks predictably), fast machine models
+// and a default experiment config.
+
+#include <memory>
+
+#include "algorithms/driver.hpp"
+#include "core/analytic_fields.hpp"
+#include "core/dataset.hpp"
+#include "core/seeds.hpp"
+
+namespace sf::testing {
+
+struct TestWorld {
+  FieldPtr field;
+  DatasetPtr dataset;
+  std::unique_ptr<DatasetBlockSource> source;
+
+  const BlockDecomposition& decomp() const {
+    return dataset->decomposition();
+  }
+};
+
+inline TestWorld make_world(FieldPtr field, int blocks_per_axis = 4,
+                            int nodes = 9, int ghost = 2,
+                            std::size_t modelled_block_bytes = 0) {
+  TestWorld w;
+  w.field = field;
+  const BlockDecomposition decomp(field->bounds(), blocks_per_axis,
+                                  blocks_per_axis, blocks_per_axis);
+  w.dataset =
+      std::make_shared<BlockedDataset>(field, decomp, nodes, ghost);
+  w.source = std::make_unique<DatasetBlockSource>(w.dataset,
+                                                  modelled_block_bytes);
+  return w;
+}
+
+inline TestWorld rotor_world(int blocks_per_axis = 4) {
+  return make_world(std::make_shared<RotorField>(), blocks_per_axis);
+}
+
+inline TestWorld abc_world(int blocks_per_axis = 4) {
+  return make_world(std::make_shared<ABCField>(), blocks_per_axis);
+}
+
+// Machine model scaled so tests run instantly but ratios stay sane.
+inline MachineModel test_model() {
+  MachineModel m;
+  m.seconds_per_step = 1e-6;
+  m.io_latency = 1e-3;
+  m.io_bandwidth = 1e9;
+  m.io_channels = 4;
+  m.net_latency = 1e-5;
+  m.net_bandwidth = 1e9;
+  m.msg_overhead = 1e-5;
+  m.pack_bandwidth = 1e9;
+  m.particle_memory_bytes = 1ull << 30;
+  m.particle_overhead_bytes = 1 << 10;
+  return m;
+}
+
+inline ExperimentConfig test_config(Algorithm algo, int ranks) {
+  ExperimentConfig cfg;
+  cfg.algorithm = algo;
+  cfg.runtime.num_ranks = ranks;
+  cfg.runtime.model = test_model();
+  cfg.runtime.cache_blocks = 16;
+  cfg.limits.max_time = 25.0;
+  cfg.limits.max_steps = 4000;
+  cfg.limits.min_speed = 1e-8;
+  cfg.hybrid.slaves_per_master = 8;
+  return cfg;
+}
+
+}  // namespace sf::testing

@@ -1,0 +1,89 @@
+#include "analysis/time_field.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/analytic_fields.hpp"
+
+namespace sf {
+namespace {
+
+TEST(SteadyAsTime, IgnoresTime) {
+  const SteadyAsTimeField f(std::make_shared<UniformField>(Vec3{1, 2, 3}));
+  Vec3 a, b;
+  ASSERT_TRUE(f.sample({0, 0, 0}, -5.0, a));
+  ASSERT_TRUE(f.sample({0, 0, 0}, 1e6, b));
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a, Vec3(1, 2, 3));
+}
+
+TEST(DoubleGyre, DividesAtOscillatingLine) {
+  const DoubleGyreField f;
+  Vec3 v;
+  // At t = 0 the divider is x = 1: pure vertical flow there.
+  ASSERT_TRUE(f.sample({1.0, 0.3, 0.0}, 0.0, v));
+  EXPECT_NEAR(v.x, 0.0, 1e-12);
+  // Velocity vanishes on the boundary walls.
+  ASSERT_TRUE(f.sample({0.0, 0.5, 0.0}, 0.0, v));
+  EXPECT_NEAR(v.x, 0.0, 1e-12);
+  ASSERT_TRUE(f.sample({0.5, 0.0, 0.0}, 0.0, v));
+  EXPECT_NEAR(v.y, 0.0, 1e-12);
+}
+
+TEST(DoubleGyre, TimePeriodicity) {
+  const DoubleGyreField f(0.1, 0.25, 0.62831853071795865);  // period 10
+  Vec3 a, b;
+  ASSERT_TRUE(f.sample({0.7, 0.4, 0.0}, 1.3, a));
+  ASSERT_TRUE(f.sample({0.7, 0.4, 0.0}, 11.3, b));
+  EXPECT_NEAR(a.x, b.x, 1e-12);
+  EXPECT_NEAR(a.y, b.y, 1e-12);
+}
+
+TEST(DoubleGyre, IncompressiblePlanarFlow) {
+  const DoubleGyreField f;
+  const double h = 1e-6;
+  for (const double t : {0.0, 1.7, 4.2}) {
+    const Vec3 p{0.8, 0.6, 0.0};
+    Vec3 xp, xm, yp, ym;
+    ASSERT_TRUE(f.sample(p + Vec3{h, 0, 0}, t, xp));
+    ASSERT_TRUE(f.sample(p - Vec3{h, 0, 0}, t, xm));
+    ASSERT_TRUE(f.sample(p + Vec3{0, h, 0}, t, yp));
+    ASSERT_TRUE(f.sample(p - Vec3{0, h, 0}, t, ym));
+    const double div = (xp.x - xm.x + yp.y - ym.y) / (2 * h);
+    EXPECT_NEAR(div, 0.0, 1e-6);
+  }
+}
+
+TEST(TimeSlice, BoundsComeFromSlices) {
+  const AABB box{{0, 0, 0}, {2, 2, 2}};
+  auto f = std::make_shared<UniformField>(Vec3{1, 0, 0}, box);
+  const BlockDecomposition d(box, 1, 1, 1);
+  auto ds = std::make_shared<BlockedDataset>(f, d, 4, 1);
+  const TimeSliceField field({ds, ds, ds}, {0.0, 1.0, 2.0});
+  EXPECT_EQ(field.bounds(), box);
+  EXPECT_EQ(field.num_slices(), 3u);
+  EXPECT_EQ(field.time_range(), (std::pair{0.0, 2.0}));
+}
+
+TEST(TimeSlice, PicksCorrectBracket) {
+  const AABB box{{0, 0, 0}, {1, 1, 1}};
+  const BlockDecomposition d(box, 1, 1, 1);
+  auto mk = [&](double vx) {
+    return std::make_shared<BlockedDataset>(
+        std::make_shared<UniformField>(Vec3{vx, 0, 0}, box), d, 4, 1);
+  };
+  const TimeSliceField field({mk(1), mk(2), mk(4)}, {0.0, 1.0, 2.0});
+  Vec3 v;
+  ASSERT_TRUE(field.sample({0.5, 0.5, 0.5}, 0.0, v));
+  EXPECT_NEAR(v.x, 1.0, 1e-12);
+  ASSERT_TRUE(field.sample({0.5, 0.5, 0.5}, 1.0, v));
+  EXPECT_NEAR(v.x, 2.0, 1e-12);
+  ASSERT_TRUE(field.sample({0.5, 0.5, 0.5}, 1.5, v));
+  EXPECT_NEAR(v.x, 3.0, 1e-12);
+  ASSERT_TRUE(field.sample({0.5, 0.5, 0.5}, 2.0, v));
+  EXPECT_NEAR(v.x, 4.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace sf

@@ -1,0 +1,117 @@
+#include "runtime/timeline.hpp"
+
+#include <gtest/gtest.h>
+
+#include "algorithms/driver.hpp"
+#include "test_support.hpp"
+
+namespace sf {
+namespace {
+
+TEST(Timeline, RankUtilizationSumsComputeSpans) {
+  Timeline t(2);
+  t.add(0, TimelineSpan::Kind::kCompute, 0.0, 2.0);
+  t.add(0, TimelineSpan::Kind::kCompute, 3.0, 4.0);
+  t.add(0, TimelineSpan::Kind::kIo, 2.0, 3.0);  // I/O is not "busy"
+  t.add(1, TimelineSpan::Kind::kCompute, 0.0, 1.0);
+  const auto u = t.rank_utilization(4.0);
+  ASSERT_EQ(u.size(), 2u);
+  EXPECT_DOUBLE_EQ(u[0], 0.75);
+  EXPECT_DOUBLE_EQ(u[1], 0.25);
+}
+
+TEST(Timeline, UtilizationCurveDistributesSpans) {
+  Timeline t(1);
+  t.add(0, TimelineSpan::Kind::kCompute, 0.0, 5.0);
+  const auto curve = t.utilization_curve(10.0, 10);
+  ASSERT_EQ(curve.size(), 10u);
+  for (int b = 0; b < 5; ++b) EXPECT_DOUBLE_EQ(curve[b], 1.0);
+  for (int b = 5; b < 10; ++b) EXPECT_DOUBLE_EQ(curve[b], 0.0);
+}
+
+TEST(Timeline, CurveHandlesSpansCrossingBins) {
+  Timeline t(2);
+  t.add(0, TimelineSpan::Kind::kCompute, 0.5, 1.5);  // half in each bin
+  const auto curve = t.utilization_curve(2.0, 2);
+  EXPECT_DOUBLE_EQ(curve[0], 0.25);  // 0.5s of 1s bin / 2 ranks
+  EXPECT_DOUBLE_EQ(curve[1], 0.25);
+}
+
+TEST(Timeline, StarvedSeconds) {
+  Timeline t(2);  // total capacity = 2 ranks x 10 s = 20 rank-seconds
+  t.add(0, TimelineSpan::Kind::kCompute, 0.0, 10.0);
+  t.add(1, TimelineSpan::Kind::kIo, 0.0, 5.0);
+  EXPECT_DOUBLE_EQ(t.total_starved_seconds(10.0), 5.0);
+}
+
+TEST(Timeline, DegenerateInputs) {
+  Timeline t(2);
+  EXPECT_TRUE(t.utilization_curve(0.0, 4).size() == 4);
+  EXPECT_DOUBLE_EQ(t.total_starved_seconds(0.0), 0.0);
+  const auto u = t.rank_utilization(0.0);
+  EXPECT_DOUBLE_EQ(u[0], 0.0);
+}
+
+TEST(Timeline, SimRuntimeRecordsWhenEnabled) {
+  auto w = sf::testing::rotor_world(2);
+  Rng rng(3);
+  const auto seeds = random_seeds(w.dataset->bounds(), 20, rng);
+  auto cfg = sf::testing::test_config(Algorithm::kLoadOnDemand, 4);
+  cfg.runtime.record_timeline = true;
+  cfg.limits.max_steps = 300;
+  const RunMetrics m = run_experiment(cfg, w.decomp(), *w.source, seeds);
+  ASSERT_FALSE(m.failed_oom);
+  ASSERT_NE(m.timeline, nullptr);
+  EXPECT_GT(m.timeline->spans().size(), 0u);
+
+  // The timeline's busy accounting must agree with the metrics.
+  const auto u = m.timeline->rank_utilization(m.wall_clock);
+  double busy_from_timeline = 0.0;
+  for (std::size_t r = 0; r < u.size(); ++r) {
+    busy_from_timeline += u[r] * m.wall_clock;
+  }
+  EXPECT_NEAR(busy_from_timeline, m.total_compute_time(),
+              1e-9 * std::max(1.0, m.total_compute_time()));
+
+  // And it is off by default.
+  cfg.runtime.record_timeline = false;
+  const RunMetrics m2 = run_experiment(cfg, w.decomp(), *w.source, seeds);
+  EXPECT_EQ(m2.timeline, nullptr);
+}
+
+TEST(Timeline, StaticImbalanceVisibleInCurve) {
+  // Dense cluster advected through a straight pipe of blocks: under
+  // Static Allocation only the pipe's owners ever work while the other
+  // ranks starve; the hybrid replicates the hot blocks across slaves.
+  auto w = sf::testing::make_world(
+      std::make_shared<UniformField>(Vec3{1, 0, 0},
+                                     AABB{{-1, -1, -1}, {1, 1, 1}}),
+      2);
+  Rng rng(5);
+  const auto seeds =
+      cluster_seeds({-0.9, 0.5, 0.5}, 0.03, 60, rng, w.dataset->bounds());
+
+  auto cfg = sf::testing::test_config(Algorithm::kStaticAllocation, 8);
+  cfg.runtime.record_timeline = true;
+  // Advection-dominated regime (like the paper's runs): imbalance shows
+  // up as wall clock, not as I/O noise.
+  cfg.runtime.model.seconds_per_step = 2e-4;
+  cfg.limits.max_steps = 500;
+  const RunMetrics st = run_experiment(cfg, w.decomp(), *w.source, seeds);
+  ASSERT_FALSE(st.failed_oom);
+  ASSERT_NE(st.timeline, nullptr);
+
+  cfg.algorithm = Algorithm::kHybridMasterSlave;
+  const RunMetrics hy = run_experiment(cfg, w.decomp(), *w.source, seeds);
+  ASSERT_FALSE(hy.failed_oom);
+
+  // The same compute total spread over fewer wall-seconds and more
+  // ranks: hybrid's mean utilization beats static's, and it wastes
+  // fewer rank-seconds starved.
+  EXPECT_GT(hy.mean_utilization(), st.mean_utilization());
+  EXPECT_LT(hy.timeline->total_starved_seconds(hy.wall_clock),
+            st.timeline->total_starved_seconds(st.wall_clock));
+}
+
+}  // namespace
+}  // namespace sf

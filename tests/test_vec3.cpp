@@ -1,0 +1,93 @@
+#include "core/vec3.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace sf {
+namespace {
+
+TEST(Vec3, DefaultIsZero) {
+  Vec3 v;
+  EXPECT_EQ(v.x, 0.0);
+  EXPECT_EQ(v.y, 0.0);
+  EXPECT_EQ(v.z, 0.0);
+}
+
+TEST(Vec3, Arithmetic) {
+  const Vec3 a{1, 2, 3}, b{4, 5, 6};
+  EXPECT_EQ(a + b, Vec3(5, 7, 9));
+  EXPECT_EQ(b - a, Vec3(3, 3, 3));
+  EXPECT_EQ(a * 2.0, Vec3(2, 4, 6));
+  EXPECT_EQ(2.0 * a, Vec3(2, 4, 6));
+  EXPECT_EQ(Vec3(2, 4, 6) / 2.0, Vec3(1, 2, 3));
+  EXPECT_EQ(-a, Vec3(-1, -2, -3));
+}
+
+TEST(Vec3, CompoundAssignment) {
+  Vec3 v{1, 1, 1};
+  v += {1, 2, 3};
+  EXPECT_EQ(v, Vec3(2, 3, 4));
+  v -= {1, 1, 1};
+  EXPECT_EQ(v, Vec3(1, 2, 3));
+  v *= 3.0;
+  EXPECT_EQ(v, Vec3(3, 6, 9));
+  v /= 3.0;
+  EXPECT_EQ(v, Vec3(1, 2, 3));
+}
+
+TEST(Vec3, DotAndCross) {
+  const Vec3 x{1, 0, 0}, y{0, 1, 0}, z{0, 0, 1};
+  EXPECT_EQ(dot(x, y), 0.0);
+  EXPECT_EQ(dot(Vec3(1, 2, 3), Vec3(4, 5, 6)), 32.0);
+  EXPECT_EQ(cross(x, y), z);
+  EXPECT_EQ(cross(y, z), x);
+  EXPECT_EQ(cross(z, x), y);
+  // Anti-commutativity.
+  EXPECT_EQ(cross(y, x), -z);
+}
+
+TEST(Vec3, CrossIsOrthogonal) {
+  const Vec3 a{1.3, -2.7, 0.5}, b{0.2, 4.4, -1.9};
+  const Vec3 c = cross(a, b);
+  EXPECT_NEAR(dot(c, a), 0.0, 1e-12);
+  EXPECT_NEAR(dot(c, b), 0.0, 1e-12);
+}
+
+TEST(Vec3, NormAndNormalize) {
+  EXPECT_DOUBLE_EQ(norm(Vec3(3, 4, 0)), 5.0);
+  EXPECT_DOUBLE_EQ(norm2(Vec3(3, 4, 0)), 25.0);
+  const Vec3 n = normalized(Vec3(0, 0, 7));
+  EXPECT_EQ(n, Vec3(0, 0, 1));
+  // Zero vector normalizes to zero rather than NaN.
+  EXPECT_EQ(normalized(Vec3{}), Vec3{});
+}
+
+TEST(Vec3, Distance) {
+  EXPECT_DOUBLE_EQ(distance(Vec3(1, 1, 1), Vec3(1, 1, 1)), 0.0);
+  EXPECT_DOUBLE_EQ(distance(Vec3(0, 0, 0), Vec3(0, 3, 4)), 5.0);
+}
+
+TEST(Vec3, MinMax) {
+  const Vec3 a{1, 5, 3}, b{2, 4, 3};
+  EXPECT_EQ(min(a, b), Vec3(1, 4, 3));
+  EXPECT_EQ(max(a, b), Vec3(2, 5, 3));
+}
+
+TEST(Vec3, Indexing) {
+  Vec3 v{7, 8, 9};
+  EXPECT_EQ(v[0], 7.0);
+  EXPECT_EQ(v[1], 8.0);
+  EXPECT_EQ(v[2], 9.0);
+  v[1] = -1.0;
+  EXPECT_EQ(v.y, -1.0);
+}
+
+TEST(Vec3, Streaming) {
+  std::ostringstream os;
+  os << Vec3{1, 2, 3};
+  EXPECT_EQ(os.str(), "(1, 2, 3)");
+}
+
+}  // namespace
+}  // namespace sf

@@ -1,0 +1,112 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "core/analytic_fields.hpp"
+#include "io/obj_writer.hpp"
+#include "io/vtk_writer.hpp"
+
+namespace sf {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string slurp(const fs::path& p) {
+  std::ifstream f(p);
+  std::stringstream ss;
+  ss << f.rdbuf();
+  return ss.str();
+}
+
+class WriterTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("sf_io_" + std::to_string(::getpid()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    fs::create_directories(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+  fs::path dir_;
+};
+
+TEST_F(WriterTest, PolylinesHeaderAndCounts) {
+  const std::vector<std::vector<Vec3>> lines{
+      {{0, 0, 0}, {1, 0, 0}, {2, 0, 0}},
+      {{0, 1, 0}, {0, 2, 0}},
+      {{9, 9, 9}},  // too short: skipped
+  };
+  const fs::path p = dir_ / "lines.vtk";
+  write_vtk_polylines(p, lines);
+  const std::string text = slurp(p);
+  EXPECT_NE(text.find("# vtk DataFile Version 3.0"), std::string::npos);
+  EXPECT_NE(text.find("DATASET POLYDATA"), std::string::npos);
+  EXPECT_NE(text.find("POINTS 5 float"), std::string::npos);
+  EXPECT_NE(text.find("LINES 2 7"), std::string::npos);
+  EXPECT_NE(text.find("POINT_DATA 5"), std::string::npos);
+}
+
+TEST_F(WriterTest, PolylinesAllDegenerate) {
+  const fs::path p = dir_ / "empty.vtk";
+  write_vtk_polylines(p, {{}, {{1, 1, 1}}});
+  EXPECT_NE(slurp(p).find("POINTS 0 float"), std::string::npos);
+}
+
+TEST_F(WriterTest, VectorGridDimensionsAndData) {
+  StructuredGrid grid(AABB{{0, 0, 0}, {1, 1, 1}}, 3, 3, 3);
+  grid.sample_from(UniformField({1, 2, 3}, AABB{{0, 0, 0}, {1, 1, 1}}));
+  const fs::path p = dir_ / "grid.vtk";
+  write_vtk_vector_grid(p, grid);
+  const std::string text = slurp(p);
+  EXPECT_NE(text.find("DATASET STRUCTURED_POINTS"), std::string::npos);
+  EXPECT_NE(text.find("DIMENSIONS 3 3 3"), std::string::npos);
+  EXPECT_NE(text.find("VECTORS velocity float"), std::string::npos);
+  EXPECT_NE(text.find("1 2 3"), std::string::npos);
+}
+
+TEST_F(WriterTest, ScalarGridValidatesSize) {
+  const AABB box{{0, 0, 0}, {1, 1, 1}};
+  EXPECT_THROW(
+      write_vtk_scalar_grid(dir_ / "bad.vtk", box, 2, 2, 2, {1.0, 2.0}),
+      std::invalid_argument);
+  std::vector<double> values(8, 0.5);
+  write_vtk_scalar_grid(dir_ / "ok.vtk", box, 2, 2, 2, values, "ftle");
+  const std::string text = slurp(dir_ / "ok.vtk");
+  EXPECT_NE(text.find("SCALARS ftle float 1"), std::string::npos);
+  EXPECT_NE(text.find("POINT_DATA 8"), std::string::npos);
+}
+
+TEST_F(WriterTest, PointsWithScalars) {
+  const std::vector<Vec3> pts{{1, 0, 0}, {0, 1, 0}};
+  write_vtk_points(dir_ / "pts.vtk", pts, {0.5, 0.25});
+  const std::string text = slurp(dir_ / "pts.vtk");
+  EXPECT_NE(text.find("VERTICES 2 4"), std::string::npos);
+  EXPECT_NE(text.find("0.25"), std::string::npos);
+  EXPECT_THROW(write_vtk_points(dir_ / "bad.vtk", pts, {1.0}),
+               std::invalid_argument);
+}
+
+TEST_F(WriterTest, ObjWritesVerticesAndOneBasedFaces) {
+  const std::vector<Vec3> verts{{0, 0, 0}, {1, 0, 0}, {0, 1, 0}};
+  const std::vector<Triangle> tris{{0, 1, 2}};
+  write_obj(dir_ / "tri.obj", verts, tris);
+  const std::string text = slurp(dir_ / "tri.obj");
+  EXPECT_NE(text.find("v 0 0 0"), std::string::npos);
+  EXPECT_NE(text.find("f 1 2 3"), std::string::npos);
+}
+
+TEST_F(WriterTest, ObjValidatesIndices) {
+  EXPECT_THROW(write_obj(dir_ / "bad.obj", {{0, 0, 0}}, {{0, 1, 2}}),
+               std::invalid_argument);
+}
+
+TEST_F(WriterTest, WritersCreateParentDirectories) {
+  const fs::path nested = dir_ / "a" / "b" / "lines.vtk";
+  write_vtk_polylines(nested, {{{0, 0, 0}, {1, 1, 1}}});
+  EXPECT_TRUE(fs::exists(nested));
+}
+
+}  // namespace
+}  // namespace sf

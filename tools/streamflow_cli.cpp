@@ -1,0 +1,312 @@
+// streamflow — command-line front end to the library.
+//
+// Subcommands:
+//   make-dataset  sample an analytic field onto a block store on disk
+//   info          print a block store's manifest and block census
+//   trace         trace streamlines over a block store, write VTK
+//   experiment    run one parallel-algorithm experiment on the simulated
+//                 machine and print its metrics
+//
+// Run `streamflow <subcommand> --help` for the flags of each.
+
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <iostream>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "algorithms/driver.hpp"
+#include "core/analytic_fields.hpp"
+#include "core/seeds.hpp"
+#include "core/tracer.hpp"
+#include "io/block_store.hpp"
+#include "io/csv.hpp"
+#include "io/vtk_writer.hpp"
+
+namespace {
+
+using sf::Vec3;
+
+// ---------------------------------------------------------------------------
+// Tiny flag parser: --key=value pairs plus positional arguments.
+// ---------------------------------------------------------------------------
+
+class Flags {
+ public:
+  Flags(int argc, char** argv, int first) {
+    for (int i = first; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (arg.rfind("--", 0) == 0) {
+        const auto eq = arg.find('=');
+        const std::string key =
+            eq == std::string::npos ? std::string(arg, 2)
+                                    : std::string(arg, 2, eq - 2);
+        std::string value =
+            eq == std::string::npos ? std::string("1")
+                                    : std::string(arg, eq + 1);
+        values_[key] = std::move(value);
+      } else {
+        positional_.push_back(arg);
+      }
+    }
+  }
+
+  std::string get(const std::string& key, const std::string& fallback) const {
+    auto it = values_.find(key);
+    return it == values_.end() ? fallback : it->second;
+  }
+  double get_double(const std::string& key, double fallback) const {
+    auto it = values_.find(key);
+    return it == values_.end() ? fallback : std::atof(it->second.c_str());
+  }
+  long get_long(const std::string& key, long fallback) const {
+    auto it = values_.find(key);
+    return it == values_.end() ? fallback : std::atol(it->second.c_str());
+  }
+  bool has(const std::string& key) const { return values_.count(key) != 0; }
+  const std::vector<std::string>& positional() const { return positional_; }
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+sf::FieldPtr make_field(const std::string& name) {
+  if (name == "supernova") return std::make_shared<sf::SupernovaField>();
+  if (name == "tokamak") return std::make_shared<sf::TokamakField>();
+  if (name == "thermal") {
+    return std::make_shared<sf::ThermalHydraulicsField>();
+  }
+  if (name == "abc") return std::make_shared<sf::ABCField>();
+  if (name == "rotor") return std::make_shared<sf::RotorField>();
+  std::cerr << "unknown field '" << name
+            << "' (expected supernova|tokamak|thermal|abc|rotor)\n";
+  std::exit(2);
+}
+
+std::vector<Vec3> make_seeds(const Flags& flags, const sf::AABB& bounds) {
+  const std::string kind = flags.get("seeds", "random");
+  const auto count = static_cast<std::size_t>(flags.get_long("count", 100));
+  sf::Rng rng(static_cast<std::uint64_t>(flags.get_long("seed", 7)));
+  if (kind == "random") return sf::random_seeds(bounds, count, rng);
+  if (kind == "grid") {
+    const int n = std::max(1, static_cast<int>(std::cbrt(
+                                  static_cast<double>(count))));
+    return sf::uniform_grid_seeds(bounds, n, n, n);
+  }
+  if (kind == "cluster") {
+    const Vec3 c = bounds.center();
+    return sf::cluster_seeds(c, flags.get_double("sigma", 0.1), count, rng,
+                             bounds);
+  }
+  std::cerr << "unknown seeds '" << kind
+            << "' (expected random|grid|cluster)\n";
+  std::exit(2);
+}
+
+// ---------------------------------------------------------------------------
+// Subcommands
+// ---------------------------------------------------------------------------
+
+int cmd_make_dataset(const Flags& flags) {
+  if (flags.has("help")) {
+    std::cout << "streamflow make-dataset --out=DIR [--field=supernova] "
+                 "[--blocks=4] [--nodes=9] [--ghost=2]\n";
+    return 0;
+  }
+  const std::string out = flags.get("out", "");
+  if (out.empty()) {
+    std::cerr << "make-dataset: --out=DIR is required\n";
+    return 2;
+  }
+  const auto field = make_field(flags.get("field", "supernova"));
+  const int blocks = static_cast<int>(flags.get_long("blocks", 4));
+  const int nodes = static_cast<int>(flags.get_long("nodes", 9));
+  const int ghost = static_cast<int>(flags.get_long("ghost", 2));
+
+  const sf::BlockDecomposition decomp(field->bounds(), blocks, blocks,
+                                      blocks);
+  const sf::BlockedDataset dataset(field, decomp, nodes, ghost);
+  sf::BlockStore::write(out, dataset);
+  std::cout << "wrote " << decomp.num_blocks() << " blocks ("
+            << dataset.block_payload_bytes() / 1024 << " KiB each) to "
+            << out << '\n';
+  return 0;
+}
+
+int cmd_info(const Flags& flags) {
+  if (flags.has("help") || flags.positional().empty()) {
+    std::cout << "streamflow info STORE_DIR\n";
+    return flags.has("help") ? 0 : 2;
+  }
+  const sf::BlockStore store(flags.positional()[0]);
+  const auto& d = store.decomposition();
+  std::cout << "block store: " << flags.positional()[0] << '\n'
+            << "  domain:   " << d.domain().lo << " .. " << d.domain().hi
+            << '\n'
+            << "  blocks:   " << d.nbx() << " x " << d.nby() << " x "
+            << d.nbz() << " = " << d.num_blocks() << '\n'
+            << "  nodes:    " << store.nodes_per_axis() << " per axis + "
+            << store.ghost_cells() << " ghost cells\n"
+            << "  block[0]: " << store.block_file_bytes(0) << " bytes on disk\n";
+  return 0;
+}
+
+int cmd_trace(const Flags& flags) {
+  if (flags.has("help")) {
+    std::cout << "streamflow trace --store=DIR | --field=NAME "
+                 "[--seeds=random|grid|cluster] [--count=100] "
+                 "[--max-time=10] [--max-steps=5000] [--tol=1e-6] "
+                 "[--out=lines.vtk]\n";
+    return 0;
+  }
+  if (flags.has("store")) {
+    // The store is pure data (no analytic field to rebuild a
+    // BlockedDataset from), so trace directly over its blocks.
+    const auto store =
+        std::make_shared<sf::BlockStore>(flags.get("store", ""));
+    const auto& d = store->decomposition();
+    std::vector<sf::GridPtr> grids;
+    for (sf::BlockId b = 0; b < d.num_blocks(); ++b) {
+      grids.push_back(store->load_block(b));
+    }
+    sf::IntegratorParams iparams;
+    iparams.tol = flags.get_double("tol", 1e-6);
+    sf::TraceLimits limits;
+    limits.max_time = flags.get_double("max-time", 10.0);
+    limits.max_steps =
+        static_cast<std::uint32_t>(flags.get_long("max-steps", 5000));
+    sf::Tracer t(&d, iparams, limits);
+
+    const auto seeds = make_seeds(flags, d.domain());
+    sf::PolylineRecorder recorder(seeds.size());
+    std::size_t terminated = 0;
+    for (std::size_t i = 0; i < seeds.size(); ++i) {
+      sf::Particle p;
+      p.id = static_cast<std::uint32_t>(i);
+      p.pos = seeds[i];
+      if (d.block_of(p.pos) == sf::kInvalidBlock) continue;
+      const auto out = t.advance(
+          p, [&grids](sf::BlockId b) { return grids[b].get(); }, &recorder);
+      if (is_terminal(out.status)) ++terminated;
+    }
+    const std::string out = flags.get("out", "lines.vtk");
+    sf::write_vtk_polylines(out, recorder.lines());
+    std::cout << "traced " << terminated << "/" << seeds.size()
+              << " streamlines from store -> " << out << '\n';
+    return 0;
+  }
+
+  const auto field = make_field(flags.get("field", "supernova"));
+  const int blocks = static_cast<int>(flags.get_long("blocks", 4));
+  const auto dataset2 = std::make_shared<sf::BlockedDataset>(
+      field, sf::BlockDecomposition(field->bounds(), blocks, blocks, blocks),
+      static_cast<int>(flags.get_long("nodes", 9)),
+      static_cast<int>(flags.get_long("ghost", 2)));
+
+  sf::IntegratorParams iparams;
+  iparams.tol = flags.get_double("tol", 1e-6);
+  sf::TraceLimits limits;
+  limits.max_time = flags.get_double("max-time", 10.0);
+  limits.max_steps =
+      static_cast<std::uint32_t>(flags.get_long("max-steps", 5000));
+
+  const auto seeds = make_seeds(flags, field->bounds());
+  sf::PolylineRecorder recorder(seeds.size());
+  const auto particles =
+      sf::trace_all(*dataset2, seeds, iparams, limits, &recorder);
+  const std::string out = flags.get("out", "lines.vtk");
+  sf::write_vtk_polylines(out, recorder.lines());
+  std::cout << "traced " << particles.size() << " streamlines -> " << out
+            << '\n';
+  return 0;
+}
+
+int cmd_experiment(const Flags& flags) {
+  if (flags.has("help")) {
+    std::cout << "streamflow experiment [--field=supernova] "
+                 "[--algorithm=hybrid|static|lod] [--procs=64] "
+                 "[--blocks=8] [--count=2000] [--seeds=random] "
+                 "[--cache=48] [--block-mb=12] [--max-steps=1500] "
+                 "[--max-time=15] [--no-geometry]\n";
+    return 0;
+  }
+  const auto field = make_field(flags.get("field", "supernova"));
+  const int blocks = static_cast<int>(flags.get_long("blocks", 8));
+  const sf::BlockDecomposition decomp(field->bounds(), blocks, blocks,
+                                      blocks);
+  const auto dataset = std::make_shared<sf::BlockedDataset>(
+      field, decomp, static_cast<int>(flags.get_long("nodes", 9)),
+      static_cast<int>(flags.get_long("ghost", 2)));
+  const sf::DatasetBlockSource source(
+      dataset,
+      static_cast<std::size_t>(flags.get_long("block-mb", 12)) << 20);
+
+  sf::ExperimentConfig cfg;
+  const std::string algo = flags.get("algorithm", "hybrid");
+  if (algo == "hybrid") {
+    cfg.algorithm = sf::Algorithm::kHybridMasterSlave;
+  } else if (algo == "static") {
+    cfg.algorithm = sf::Algorithm::kStaticAllocation;
+  } else if (algo == "lod") {
+    cfg.algorithm = sf::Algorithm::kLoadOnDemand;
+  } else {
+    std::cerr << "unknown algorithm '" << algo << "'\n";
+    return 2;
+  }
+  cfg.runtime.num_ranks = static_cast<int>(flags.get_long("procs", 64));
+  cfg.runtime.model = sf::MachineModel::jaguar_like();
+  cfg.runtime.cache_blocks =
+      static_cast<std::size_t>(flags.get_long("cache", 48));
+  cfg.runtime.carry_geometry = !flags.has("no-geometry");
+  cfg.limits.max_time = flags.get_double("max-time", 15.0);
+  cfg.limits.max_steps =
+      static_cast<std::uint32_t>(flags.get_long("max-steps", 1500));
+
+  const auto seeds = make_seeds(flags, field->bounds());
+  const sf::RunMetrics m = run_experiment(cfg, decomp, source, seeds);
+
+  sf::Table table({"metric", "value"});
+  table.add_row({std::string("status"),
+                 std::string(m.failed_oom ? "OOM" : "ok")});
+  table.add_row({std::string("wall clock [s]"), m.wall_clock});
+  table.add_row({std::string("total I/O time [s]"), m.total_io_time()});
+  table.add_row({std::string("total comm time [s]"), m.total_comm_time()});
+  table.add_row(
+      {std::string("total compute time [s]"), m.total_compute_time()});
+  table.add_row({std::string("block efficiency E"), m.block_efficiency()});
+  table.add_row({std::string("blocks loaded"),
+                 static_cast<long long>(m.total_blocks_loaded())});
+  table.add_row({std::string("blocks purged"),
+                 static_cast<long long>(m.total_blocks_purged())});
+  table.add_row({std::string("messages"),
+                 static_cast<long long>(m.total_messages())});
+  table.add_row({std::string("bytes sent [MB]"),
+                 static_cast<double>(m.total_bytes_sent()) / (1 << 20)});
+  table.add_row({std::string("integration steps"),
+                 static_cast<long long>(m.total_steps())});
+  table.add_row({std::string("streamlines"),
+                 static_cast<long long>(m.particles.size())});
+  table.print(std::cout);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::cout << "usage: streamflow <make-dataset|info|trace|experiment> "
+                 "[flags]\n";
+    return 2;
+  }
+  const std::string cmd = argv[1];
+  const Flags flags(argc, argv, 2);
+  if (cmd == "make-dataset") return cmd_make_dataset(flags);
+  if (cmd == "info") return cmd_info(flags);
+  if (cmd == "trace") return cmd_trace(flags);
+  if (cmd == "experiment") return cmd_experiment(flags);
+  std::cerr << "unknown subcommand '" << cmd << "'\n";
+  return 2;
+}
