@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig_astro.dir/fig_astro.cpp.o"
+  "CMakeFiles/fig_astro.dir/fig_astro.cpp.o.d"
+  "fig_astro"
+  "fig_astro.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_astro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

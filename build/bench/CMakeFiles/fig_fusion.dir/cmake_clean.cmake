@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig_fusion.dir/fig_fusion.cpp.o"
+  "CMakeFiles/fig_fusion.dir/fig_fusion.cpp.o.d"
+  "fig_fusion"
+  "fig_fusion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_fusion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig_thermal.dir/fig_thermal.cpp.o"
+  "CMakeFiles/fig_thermal.dir/fig_thermal.cpp.o.d"
+  "fig_thermal"
+  "fig_thermal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_thermal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pathline_study.dir/pathline_study.cpp.o"
+  "CMakeFiles/pathline_study.dir/pathline_study.cpp.o.d"
+  "pathline_study"
+  "pathline_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pathline_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for pathline_study.
+# This may be replaced when dependencies are built.

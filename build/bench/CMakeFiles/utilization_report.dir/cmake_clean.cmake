@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/utilization_report.dir/utilization_report.cpp.o"
+  "CMakeFiles/utilization_report.dir/utilization_report.cpp.o.d"
+  "utilization_report"
+  "utilization_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/utilization_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

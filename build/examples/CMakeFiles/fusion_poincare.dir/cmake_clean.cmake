@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fusion_poincare.dir/fusion_poincare.cpp.o"
+  "CMakeFiles/fusion_poincare.dir/fusion_poincare.cpp.o.d"
+  "fusion_poincare"
+  "fusion_poincare.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fusion_poincare.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

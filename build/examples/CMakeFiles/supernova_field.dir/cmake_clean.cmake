@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/supernova_field.dir/supernova_field.cpp.o"
+  "CMakeFiles/supernova_field.dir/supernova_field.cpp.o.d"
+  "supernova_field"
+  "supernova_field.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/supernova_field.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

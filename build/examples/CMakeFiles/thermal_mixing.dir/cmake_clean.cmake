@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/thermal_mixing.dir/thermal_mixing.cpp.o"
+  "CMakeFiles/thermal_mixing.dir/thermal_mixing.cpp.o.d"
+  "thermal_mixing"
+  "thermal_mixing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/thermal_mixing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/unsteady_gyre.dir/unsteady_gyre.cpp.o"
+  "CMakeFiles/unsteady_gyre.dir/unsteady_gyre.cpp.o.d"
+  "unsteady_gyre"
+  "unsteady_gyre.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/unsteady_gyre.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

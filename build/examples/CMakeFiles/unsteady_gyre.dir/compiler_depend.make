@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for unsteady_gyre.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for unsteady_gyre.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,51 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/algorithms/driver.cpp" "src/CMakeFiles/streamflow.dir/algorithms/driver.cpp.o" "gcc" "src/CMakeFiles/streamflow.dir/algorithms/driver.cpp.o.d"
+  "/root/repo/src/algorithms/hybrid.cpp" "src/CMakeFiles/streamflow.dir/algorithms/hybrid.cpp.o" "gcc" "src/CMakeFiles/streamflow.dir/algorithms/hybrid.cpp.o.d"
+  "/root/repo/src/algorithms/load_on_demand.cpp" "src/CMakeFiles/streamflow.dir/algorithms/load_on_demand.cpp.o" "gcc" "src/CMakeFiles/streamflow.dir/algorithms/load_on_demand.cpp.o.d"
+  "/root/repo/src/algorithms/routing.cpp" "src/CMakeFiles/streamflow.dir/algorithms/routing.cpp.o" "gcc" "src/CMakeFiles/streamflow.dir/algorithms/routing.cpp.o.d"
+  "/root/repo/src/algorithms/static_alloc.cpp" "src/CMakeFiles/streamflow.dir/algorithms/static_alloc.cpp.o" "gcc" "src/CMakeFiles/streamflow.dir/algorithms/static_alloc.cpp.o.d"
+  "/root/repo/src/analysis/ftle.cpp" "src/CMakeFiles/streamflow.dir/analysis/ftle.cpp.o" "gcc" "src/CMakeFiles/streamflow.dir/analysis/ftle.cpp.o.d"
+  "/root/repo/src/analysis/pathline_lod.cpp" "src/CMakeFiles/streamflow.dir/analysis/pathline_lod.cpp.o" "gcc" "src/CMakeFiles/streamflow.dir/analysis/pathline_lod.cpp.o.d"
+  "/root/repo/src/analysis/pathlines.cpp" "src/CMakeFiles/streamflow.dir/analysis/pathlines.cpp.o" "gcc" "src/CMakeFiles/streamflow.dir/analysis/pathlines.cpp.o.d"
+  "/root/repo/src/analysis/poincare.cpp" "src/CMakeFiles/streamflow.dir/analysis/poincare.cpp.o" "gcc" "src/CMakeFiles/streamflow.dir/analysis/poincare.cpp.o.d"
+  "/root/repo/src/analysis/statistics.cpp" "src/CMakeFiles/streamflow.dir/analysis/statistics.cpp.o" "gcc" "src/CMakeFiles/streamflow.dir/analysis/statistics.cpp.o.d"
+  "/root/repo/src/analysis/stream_surface.cpp" "src/CMakeFiles/streamflow.dir/analysis/stream_surface.cpp.o" "gcc" "src/CMakeFiles/streamflow.dir/analysis/stream_surface.cpp.o.d"
+  "/root/repo/src/analysis/time_field.cpp" "src/CMakeFiles/streamflow.dir/analysis/time_field.cpp.o" "gcc" "src/CMakeFiles/streamflow.dir/analysis/time_field.cpp.o.d"
+  "/root/repo/src/analysis/unsteady_tracer.cpp" "src/CMakeFiles/streamflow.dir/analysis/unsteady_tracer.cpp.o" "gcc" "src/CMakeFiles/streamflow.dir/analysis/unsteady_tracer.cpp.o.d"
+  "/root/repo/src/core/analytic_fields.cpp" "src/CMakeFiles/streamflow.dir/core/analytic_fields.cpp.o" "gcc" "src/CMakeFiles/streamflow.dir/core/analytic_fields.cpp.o.d"
+  "/root/repo/src/core/block_decomposition.cpp" "src/CMakeFiles/streamflow.dir/core/block_decomposition.cpp.o" "gcc" "src/CMakeFiles/streamflow.dir/core/block_decomposition.cpp.o.d"
+  "/root/repo/src/core/dataset.cpp" "src/CMakeFiles/streamflow.dir/core/dataset.cpp.o" "gcc" "src/CMakeFiles/streamflow.dir/core/dataset.cpp.o.d"
+  "/root/repo/src/core/integrator.cpp" "src/CMakeFiles/streamflow.dir/core/integrator.cpp.o" "gcc" "src/CMakeFiles/streamflow.dir/core/integrator.cpp.o.d"
+  "/root/repo/src/core/seeds.cpp" "src/CMakeFiles/streamflow.dir/core/seeds.cpp.o" "gcc" "src/CMakeFiles/streamflow.dir/core/seeds.cpp.o.d"
+  "/root/repo/src/core/structured_grid.cpp" "src/CMakeFiles/streamflow.dir/core/structured_grid.cpp.o" "gcc" "src/CMakeFiles/streamflow.dir/core/structured_grid.cpp.o.d"
+  "/root/repo/src/core/tracer.cpp" "src/CMakeFiles/streamflow.dir/core/tracer.cpp.o" "gcc" "src/CMakeFiles/streamflow.dir/core/tracer.cpp.o.d"
+  "/root/repo/src/io/block_store.cpp" "src/CMakeFiles/streamflow.dir/io/block_store.cpp.o" "gcc" "src/CMakeFiles/streamflow.dir/io/block_store.cpp.o.d"
+  "/root/repo/src/io/csv.cpp" "src/CMakeFiles/streamflow.dir/io/csv.cpp.o" "gcc" "src/CMakeFiles/streamflow.dir/io/csv.cpp.o.d"
+  "/root/repo/src/io/obj_writer.cpp" "src/CMakeFiles/streamflow.dir/io/obj_writer.cpp.o" "gcc" "src/CMakeFiles/streamflow.dir/io/obj_writer.cpp.o.d"
+  "/root/repo/src/io/vtk_writer.cpp" "src/CMakeFiles/streamflow.dir/io/vtk_writer.cpp.o" "gcc" "src/CMakeFiles/streamflow.dir/io/vtk_writer.cpp.o.d"
+  "/root/repo/src/runtime/block_cache.cpp" "src/CMakeFiles/streamflow.dir/runtime/block_cache.cpp.o" "gcc" "src/CMakeFiles/streamflow.dir/runtime/block_cache.cpp.o.d"
+  "/root/repo/src/runtime/message.cpp" "src/CMakeFiles/streamflow.dir/runtime/message.cpp.o" "gcc" "src/CMakeFiles/streamflow.dir/runtime/message.cpp.o.d"
+  "/root/repo/src/runtime/metrics.cpp" "src/CMakeFiles/streamflow.dir/runtime/metrics.cpp.o" "gcc" "src/CMakeFiles/streamflow.dir/runtime/metrics.cpp.o.d"
+  "/root/repo/src/runtime/sim_runtime.cpp" "src/CMakeFiles/streamflow.dir/runtime/sim_runtime.cpp.o" "gcc" "src/CMakeFiles/streamflow.dir/runtime/sim_runtime.cpp.o.d"
+  "/root/repo/src/runtime/thread_runtime.cpp" "src/CMakeFiles/streamflow.dir/runtime/thread_runtime.cpp.o" "gcc" "src/CMakeFiles/streamflow.dir/runtime/thread_runtime.cpp.o.d"
+  "/root/repo/src/runtime/timeline.cpp" "src/CMakeFiles/streamflow.dir/runtime/timeline.cpp.o" "gcc" "src/CMakeFiles/streamflow.dir/runtime/timeline.cpp.o.d"
+  "/root/repo/src/sim/disk.cpp" "src/CMakeFiles/streamflow.dir/sim/disk.cpp.o" "gcc" "src/CMakeFiles/streamflow.dir/sim/disk.cpp.o.d"
+  "/root/repo/src/sim/network.cpp" "src/CMakeFiles/streamflow.dir/sim/network.cpp.o" "gcc" "src/CMakeFiles/streamflow.dir/sim/network.cpp.o.d"
+  "/root/repo/src/sim/sim_engine.cpp" "src/CMakeFiles/streamflow.dir/sim/sim_engine.cpp.o" "gcc" "src/CMakeFiles/streamflow.dir/sim/sim_engine.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,54 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_aabb.cpp" "tests/CMakeFiles/streamflow_tests.dir/test_aabb.cpp.o" "gcc" "tests/CMakeFiles/streamflow_tests.dir/test_aabb.cpp.o.d"
+  "/root/repo/tests/test_analytic_fields.cpp" "tests/CMakeFiles/streamflow_tests.dir/test_analytic_fields.cpp.o" "gcc" "tests/CMakeFiles/streamflow_tests.dir/test_analytic_fields.cpp.o.d"
+  "/root/repo/tests/test_block_cache.cpp" "tests/CMakeFiles/streamflow_tests.dir/test_block_cache.cpp.o" "gcc" "tests/CMakeFiles/streamflow_tests.dir/test_block_cache.cpp.o.d"
+  "/root/repo/tests/test_block_decomposition.cpp" "tests/CMakeFiles/streamflow_tests.dir/test_block_decomposition.cpp.o" "gcc" "tests/CMakeFiles/streamflow_tests.dir/test_block_decomposition.cpp.o.d"
+  "/root/repo/tests/test_block_store.cpp" "tests/CMakeFiles/streamflow_tests.dir/test_block_store.cpp.o" "gcc" "tests/CMakeFiles/streamflow_tests.dir/test_block_store.cpp.o.d"
+  "/root/repo/tests/test_csv.cpp" "tests/CMakeFiles/streamflow_tests.dir/test_csv.cpp.o" "gcc" "tests/CMakeFiles/streamflow_tests.dir/test_csv.cpp.o.d"
+  "/root/repo/tests/test_dataset.cpp" "tests/CMakeFiles/streamflow_tests.dir/test_dataset.cpp.o" "gcc" "tests/CMakeFiles/streamflow_tests.dir/test_dataset.cpp.o.d"
+  "/root/repo/tests/test_disk_network.cpp" "tests/CMakeFiles/streamflow_tests.dir/test_disk_network.cpp.o" "gcc" "tests/CMakeFiles/streamflow_tests.dir/test_disk_network.cpp.o.d"
+  "/root/repo/tests/test_driver_equivalence.cpp" "tests/CMakeFiles/streamflow_tests.dir/test_driver_equivalence.cpp.o" "gcc" "tests/CMakeFiles/streamflow_tests.dir/test_driver_equivalence.cpp.o.d"
+  "/root/repo/tests/test_event_queue.cpp" "tests/CMakeFiles/streamflow_tests.dir/test_event_queue.cpp.o" "gcc" "tests/CMakeFiles/streamflow_tests.dir/test_event_queue.cpp.o.d"
+  "/root/repo/tests/test_experiment_shapes.cpp" "tests/CMakeFiles/streamflow_tests.dir/test_experiment_shapes.cpp.o" "gcc" "tests/CMakeFiles/streamflow_tests.dir/test_experiment_shapes.cpp.o.d"
+  "/root/repo/tests/test_ftle.cpp" "tests/CMakeFiles/streamflow_tests.dir/test_ftle.cpp.o" "gcc" "tests/CMakeFiles/streamflow_tests.dir/test_ftle.cpp.o.d"
+  "/root/repo/tests/test_hybrid.cpp" "tests/CMakeFiles/streamflow_tests.dir/test_hybrid.cpp.o" "gcc" "tests/CMakeFiles/streamflow_tests.dir/test_hybrid.cpp.o.d"
+  "/root/repo/tests/test_integrator.cpp" "tests/CMakeFiles/streamflow_tests.dir/test_integrator.cpp.o" "gcc" "tests/CMakeFiles/streamflow_tests.dir/test_integrator.cpp.o.d"
+  "/root/repo/tests/test_load_on_demand.cpp" "tests/CMakeFiles/streamflow_tests.dir/test_load_on_demand.cpp.o" "gcc" "tests/CMakeFiles/streamflow_tests.dir/test_load_on_demand.cpp.o.d"
+  "/root/repo/tests/test_message.cpp" "tests/CMakeFiles/streamflow_tests.dir/test_message.cpp.o" "gcc" "tests/CMakeFiles/streamflow_tests.dir/test_message.cpp.o.d"
+  "/root/repo/tests/test_metrics.cpp" "tests/CMakeFiles/streamflow_tests.dir/test_metrics.cpp.o" "gcc" "tests/CMakeFiles/streamflow_tests.dir/test_metrics.cpp.o.d"
+  "/root/repo/tests/test_pathlines.cpp" "tests/CMakeFiles/streamflow_tests.dir/test_pathlines.cpp.o" "gcc" "tests/CMakeFiles/streamflow_tests.dir/test_pathlines.cpp.o.d"
+  "/root/repo/tests/test_poincare.cpp" "tests/CMakeFiles/streamflow_tests.dir/test_poincare.cpp.o" "gcc" "tests/CMakeFiles/streamflow_tests.dir/test_poincare.cpp.o.d"
+  "/root/repo/tests/test_rng.cpp" "tests/CMakeFiles/streamflow_tests.dir/test_rng.cpp.o" "gcc" "tests/CMakeFiles/streamflow_tests.dir/test_rng.cpp.o.d"
+  "/root/repo/tests/test_routing.cpp" "tests/CMakeFiles/streamflow_tests.dir/test_routing.cpp.o" "gcc" "tests/CMakeFiles/streamflow_tests.dir/test_routing.cpp.o.d"
+  "/root/repo/tests/test_seeds.cpp" "tests/CMakeFiles/streamflow_tests.dir/test_seeds.cpp.o" "gcc" "tests/CMakeFiles/streamflow_tests.dir/test_seeds.cpp.o.d"
+  "/root/repo/tests/test_sim_runtime.cpp" "tests/CMakeFiles/streamflow_tests.dir/test_sim_runtime.cpp.o" "gcc" "tests/CMakeFiles/streamflow_tests.dir/test_sim_runtime.cpp.o.d"
+  "/root/repo/tests/test_static_alloc.cpp" "tests/CMakeFiles/streamflow_tests.dir/test_static_alloc.cpp.o" "gcc" "tests/CMakeFiles/streamflow_tests.dir/test_static_alloc.cpp.o.d"
+  "/root/repo/tests/test_statistics.cpp" "tests/CMakeFiles/streamflow_tests.dir/test_statistics.cpp.o" "gcc" "tests/CMakeFiles/streamflow_tests.dir/test_statistics.cpp.o.d"
+  "/root/repo/tests/test_stream_surface.cpp" "tests/CMakeFiles/streamflow_tests.dir/test_stream_surface.cpp.o" "gcc" "tests/CMakeFiles/streamflow_tests.dir/test_stream_surface.cpp.o.d"
+  "/root/repo/tests/test_stress.cpp" "tests/CMakeFiles/streamflow_tests.dir/test_stress.cpp.o" "gcc" "tests/CMakeFiles/streamflow_tests.dir/test_stress.cpp.o.d"
+  "/root/repo/tests/test_structured_grid.cpp" "tests/CMakeFiles/streamflow_tests.dir/test_structured_grid.cpp.o" "gcc" "tests/CMakeFiles/streamflow_tests.dir/test_structured_grid.cpp.o.d"
+  "/root/repo/tests/test_thread_runtime.cpp" "tests/CMakeFiles/streamflow_tests.dir/test_thread_runtime.cpp.o" "gcc" "tests/CMakeFiles/streamflow_tests.dir/test_thread_runtime.cpp.o.d"
+  "/root/repo/tests/test_time_field.cpp" "tests/CMakeFiles/streamflow_tests.dir/test_time_field.cpp.o" "gcc" "tests/CMakeFiles/streamflow_tests.dir/test_time_field.cpp.o.d"
+  "/root/repo/tests/test_timeline.cpp" "tests/CMakeFiles/streamflow_tests.dir/test_timeline.cpp.o" "gcc" "tests/CMakeFiles/streamflow_tests.dir/test_timeline.cpp.o.d"
+  "/root/repo/tests/test_tracer.cpp" "tests/CMakeFiles/streamflow_tests.dir/test_tracer.cpp.o" "gcc" "tests/CMakeFiles/streamflow_tests.dir/test_tracer.cpp.o.d"
+  "/root/repo/tests/test_unsteady_parallel.cpp" "tests/CMakeFiles/streamflow_tests.dir/test_unsteady_parallel.cpp.o" "gcc" "tests/CMakeFiles/streamflow_tests.dir/test_unsteady_parallel.cpp.o.d"
+  "/root/repo/tests/test_vec3.cpp" "tests/CMakeFiles/streamflow_tests.dir/test_vec3.cpp.o" "gcc" "tests/CMakeFiles/streamflow_tests.dir/test_vec3.cpp.o.d"
+  "/root/repo/tests/test_writers.cpp" "tests/CMakeFiles/streamflow_tests.dir/test_writers.cpp.o" "gcc" "tests/CMakeFiles/streamflow_tests.dir/test_writers.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/streamflow.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/streamflow_cli.dir/streamflow_cli.cpp.o"
+  "CMakeFiles/streamflow_cli.dir/streamflow_cli.cpp.o.d"
+  "streamflow"
+  "streamflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/streamflow_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
