@@ -1,0 +1,112 @@
+// Fault-tolerance sweep (DESIGN.md §7): for each algorithm, measure the
+// cost of surviving rank crashes as a function of crash frequency (MTBF,
+// expressed relative to the fault-free wall clock T) and checkpoint
+// cadence.  Rows report the slowdown vs. the fault-free baseline, how
+// much work was recovered/redone, and the modelled checkpoint overhead.
+//
+// Flags: the common bench flags (bench_common.hpp); --quick shrinks the
+// seed set and the sweep grid for smoke runs.
+
+#include <memory>
+
+#include "bench_common.hpp"
+#include "core/rng.hpp"
+
+namespace {
+
+using namespace sf;
+using namespace sf::bench;
+
+struct SweepPoint {
+  double mtbf_rel;        // MTBF as a fraction of baseline wall clock
+  double checkpoint_rel;  // checkpoint interval as a fraction of it (0 = off)
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt = parse_options(argc, argv);
+  if (!opt.quick && opt.procs == std::vector<int>{64, 128, 256, 512}) {
+    opt.procs = {64};  // the sweep varies faults, not scale
+  }
+  const int procs = opt.procs.front();
+
+  BenchDataset data = make_bench_dataset(
+      "supernova", std::make_shared<SupernovaField>());
+  Rng seed_rng(2026);
+  const auto seeds = random_seeds(
+      data.field->bounds(),
+      static_cast<std::size_t>(2000 * opt.seeds_scale), seed_rng);
+
+  TraceLimits limits;
+  limits.max_time = 15.0;
+  limits.max_steps = 1500;
+
+  const std::vector<SweepPoint> grid =
+      opt.quick ? std::vector<SweepPoint>{{0.5, 0.0}, {0.5, 0.25}}
+                : std::vector<SweepPoint>{{2.0, 0.0},  {1.0, 0.0},
+                                          {0.5, 0.0},  {2.0, 0.25},
+                                          {1.0, 0.25}, {0.5, 0.25},
+                                          {0.5, 0.1}};
+
+  Table table({"algorithm", "procs", "mtbf_s", "checkpoint_s", "wall_s",
+               "slowdown", "crashes", "recovered_particles", "steps_redone",
+               "recovery_s", "checkpoints", "checkpoint_overhead_s",
+               "status"});
+
+  for (const Algorithm algo : kAllAlgorithms) {
+    ExperimentConfig base;
+    base.algorithm = algo;
+    base.runtime.num_ranks = procs;
+    base.runtime.model = bench_machine(opt.seeds_scale);
+    base.runtime.cache_blocks = opt.cache_blocks;
+    base.limits = limits;
+
+    const RunMetrics clean = run_experiment(
+        base, data.dataset->decomposition(), *data.source, seeds);
+    const double T = clean.wall_clock;
+    table.add_row({std::string(to_string(algo)),
+                   static_cast<long long>(procs), 0.0, 0.0, T, 1.0,
+                   static_cast<long long>(0), static_cast<long long>(0),
+                   static_cast<long long>(0), 0.0, static_cast<long long>(0),
+                   0.0, std::string(clean.failed_oom ? "OOM" : "baseline")});
+    std::cerr << "  baseline: " << to_string(algo) << " T=" << T << "s\n";
+
+    for (const SweepPoint& pt : grid) {
+      ExperimentConfig cfg = base;
+      cfg.runtime.fault.mtbf = pt.mtbf_rel * T;
+      cfg.runtime.fault.max_crashes = 3;
+      cfg.runtime.fault.checkpoint_interval = pt.checkpoint_rel * T;
+
+      const RunMetrics m = run_experiment(
+          cfg, data.dataset->decomposition(), *data.source, seeds);
+      const FaultStats& fs = m.fault;
+      table.add_row(
+          {std::string(to_string(algo)), static_cast<long long>(procs),
+           cfg.runtime.fault.mtbf, cfg.runtime.fault.checkpoint_interval,
+           m.wall_clock, T > 0.0 ? m.wall_clock / T : 0.0,
+           static_cast<long long>(fs.crashes_injected),
+           static_cast<long long>(fs.particles_recovered),
+           static_cast<long long>(fs.steps_redone), fs.time_to_recovery,
+           static_cast<long long>(fs.checkpoints_taken),
+           fs.checkpoint_overhead,
+           std::string(m.failed_oom ? "OOM" : "ok")});
+      std::cerr << "  done: " << to_string(algo)
+                << " mtbf=" << cfg.runtime.fault.mtbf
+                << " ckpt=" << cfg.runtime.fault.checkpoint_interval
+                << " wall=" << m.wall_clock << "s crashes="
+                << fs.crashes_injected << '\n';
+    }
+  }
+
+  std::cout << "\nFault sweep: crash survival cost vs. MTBF and checkpoint "
+               "cadence (P="
+            << procs << ", seeds-scale=" << opt.seeds_scale << ")\n";
+  table.print(std::cout);
+  if (opt.csv_dir) {
+    const std::string path = *opt.csv_dir + "/fault_sweep.csv";
+    table.write_csv(path);
+    std::cout << "csv written to " << path << '\n';
+  }
+  return 0;
+}

@@ -1,9 +1,11 @@
 #include "algorithms/driver.hpp"
 
 #include <algorithm>
+#include <utility>
 
 #include "algorithms/load_on_demand.hpp"
 #include "algorithms/static_alloc.hpp"
+#include "io/checkpoint_io.hpp"
 
 namespace sf {
 
@@ -16,31 +18,85 @@ const char* to_string(Algorithm a) {
   return "unknown";
 }
 
+namespace {
+
+// Any fault feature requested?  If so the whole layer switches on; if not
+// the runtime takes the exact pre-fault code paths (bit-identical runs).
+bool fault_features_requested(const FaultConfig& f,
+                              const std::string& restart_from) {
+  return f.enabled || !restart_from.empty() || f.mtbf > 0.0 ||
+         !f.crashes.empty() || f.disk_fault_rate > 0.0 ||
+         f.disk_stall_rate > 0.0 || f.message_drop_rate > 0.0 ||
+         f.checkpoint_interval > 0.0;
+}
+
+}  // namespace
+
 RunMetrics run_experiment(const ExperimentConfig& config,
                           const BlockDecomposition& decomp,
                           const BlockSource& source,
                           std::span<const Vec3> seeds) {
+  ExperimentConfig cfg = config;  // we finish the fault wiring locally
+  const bool faulty =
+      fault_features_requested(cfg.runtime.fault, cfg.restart_from);
+  cfg.runtime.fault.enabled = faulty;
+
   std::vector<Particle> rejected;
   std::vector<Particle> particles = make_particles(decomp, seeds, rejected);
+
+  // A restart replaces the freshly seeded particles with the checkpoint's
+  // active set; its done list joins the rejected seeds as presettled
+  // results.  Re-advecting a particle from its checkpointed solver state
+  // reproduces the uninterrupted trajectory bit for bit.
+  std::vector<Particle> prior_done;
+  if (!cfg.restart_from.empty()) {
+    const Checkpoint ck = read_checkpoint(cfg.restart_from);
+    particles = ck.active;
+    prior_done = ck.done;
+  }
   const auto total_active = static_cast<std::uint32_t>(particles.size());
-  const int num_ranks = config.runtime.num_ranks;
+  const int num_ranks = cfg.runtime.num_ranks;
 
   ProgramFactory factory;
-  switch (config.algorithm) {
+  switch (cfg.algorithm) {
     case Algorithm::kStaticAllocation:
+      if (faulty) {
+        cfg.runtime.fault.detector = FaultConfig::Detector::kRuntime;
+        cfg.runtime.fault.immune_ranks = {0};  // the termination counter
+      }
       factory = make_static_allocation(
           &decomp,
           partition_by_block_owner(decomp, num_ranks, std::move(particles)),
           total_active);
       break;
     case Algorithm::kLoadOnDemand:
+      if (faulty) {
+        cfg.runtime.fault.detector = FaultConfig::Detector::kRuntime;
+        cfg.runtime.fault.immune_ranks = {0};
+      }
       factory = make_load_on_demand(
           &decomp,
           partition_evenly_by_block(num_ranks, decomp, std::move(particles)));
       break;
     case Algorithm::kHybridMasterSlave: {
       const HybridLayout layout =
-          HybridLayout::make(num_ranks, config.hybrid.slaves_per_master);
+          HybridLayout::make(num_ranks, cfg.hybrid.slaves_per_master);
+      if (faulty) {
+        // Hybrid detects failures in-protocol: slaves heartbeat, the
+        // master declares the silent dead (the sixth rule).  Masters are
+        // the recovery authority and termination counters, so they are
+        // immune to injection.
+        cfg.runtime.fault.detector = FaultConfig::Detector::kProgram;
+        cfg.runtime.fault.immune_ranks.clear();
+        for (int m = 0; m < layout.num_masters; ++m) {
+          cfg.runtime.fault.immune_ranks.push_back(m);
+        }
+        if (cfg.hybrid.heartbeat_period <= 0.0) {
+          cfg.hybrid.heartbeat_period = cfg.runtime.fault.heartbeat_period;
+        }
+        cfg.hybrid.heartbeat_miss_limit =
+            cfg.runtime.fault.heartbeat_miss_limit;
+      }
       // Masters get equal seed shares *grouped by block* (same locality
       // trick as §4.2's seed split): each master group then only touches
       // the blocks its own seeds and their streamlines reach, instead of
@@ -49,18 +105,32 @@ RunMetrics run_experiment(const ExperimentConfig& config,
           &decomp,
           partition_evenly_by_block(layout.num_masters, decomp,
                                     std::move(particles)),
-          total_active, config.hybrid);
+          total_active, cfg.hybrid);
       break;
     }
   }
 
-  SimRuntime runtime(config.runtime, &decomp, &source, config.integrator,
-                     config.limits);
+  if (faulty) {
+    // Already-terminal particles live in the ledger from the start, so
+    // checkpoints and final results are complete across restarts.
+    cfg.runtime.fault.presettled = rejected;
+    cfg.runtime.fault.presettled.insert(cfg.runtime.fault.presettled.end(),
+                                        prior_done.begin(),
+                                        prior_done.end());
+  }
+
+  SimRuntime runtime(cfg.runtime, &decomp, &source, cfg.integrator,
+                     cfg.limits);
   RunMetrics metrics = runtime.run(factory);
 
-  if (!metrics.failed_oom && !rejected.empty()) {
+  if (!faulty) {
+    // The ledger already folds presettled particles into fault-mode
+    // results; here we merge them ourselves.  Failed runs keep their
+    // partial results too — diagnosable is better than empty.
     metrics.particles.insert(metrics.particles.end(), rejected.begin(),
                              rejected.end());
+    metrics.particles.insert(metrics.particles.end(), prior_done.begin(),
+                             prior_done.end());
     std::sort(
         metrics.particles.begin(), metrics.particles.end(),
         [](const Particle& a, const Particle& b) { return a.id < b.id; });

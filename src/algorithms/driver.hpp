@@ -29,11 +29,22 @@ struct ExperimentConfig {
   IntegratorParams integrator{};
   TraceLimits limits{};
   HybridParams hybrid{};
+  // Resume from a checkpoint file written by an earlier faulted run
+  // (--restart-from): the checkpoint's done list is folded into the
+  // results and only its active particles are re-advected, reproducing
+  // the uninterrupted run's final particles exactly.
+  std::string restart_from;
 };
 
 // Run one experiment.  Seeds outside the domain terminate immediately and
 // are folded back into the result.  Throws std::invalid_argument on
 // nonsensical configurations (e.g. hybrid with one rank).
+//
+// When any fault feature is requested (config.runtime.fault fields or
+// restart_from), the driver finishes the fault configuration per
+// algorithm: hybrid switches to heartbeat (in-protocol) failure detection
+// with immune masters; static allocation and load-on-demand use the
+// runtime detector with rank 0 immune.
 RunMetrics run_experiment(const ExperimentConfig& config,
                           const BlockDecomposition& decomp,
                           const BlockSource& source,

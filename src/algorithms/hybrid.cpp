@@ -68,12 +68,29 @@ class HybridSlave final : public RankProgram {
   void start(RankContext& ctx) override {
     // Slaves begin idle; everything arrives from the master.  Do not
     // report yet — the master hands out the initial allocation unasked.
-    (void)ctx;
+    if (params_.heartbeat_period > 0.0) {
+      ctx.set_timer(params_.heartbeat_period);
+    }
+  }
+
+  void on_timer(RankContext& ctx) override {
+    if (finished_) return;
+    // Heartbeat: prove liveness and flush pending termination credits
+    // even while busy; the master declares silent slaves dead.
+    send_status(ctx, workable(ctx));
+    ctx.set_timer(params_.heartbeat_period);
   }
 
   void on_message(RankContext& ctx, Message msg) override {
     if (auto* batch = std::get_if<ParticleBatch>(&msg.payload)) {
       accept_particles(ctx, std::move(batch->particles));
+      try_start(ctx);
+      return;
+    }
+    if (auto* undeliv = std::get_if<Undeliverable>(&msg.payload)) {
+      // A shipment of ours bounced (dropped link or dead receiver): take
+      // the particles back; the next status lets the master re-route.
+      accept_particles(ctx, std::move(undeliv->particles));
       try_start(ctx);
       return;
     }
@@ -137,8 +154,10 @@ class HybridSlave final : public RankProgram {
     Particle p = std::move(*in_flight_);
     in_flight_.reset();
     if (is_terminal(flight_.status)) {
+      // Only first-time terminations count toward the global total; a
+      // re-run duplicate (recovery overlap) must not double-decrement.
+      if (ctx.log_termination(p)) ++terminated_delta_;
       done_.push_back(std::move(p));
-      ++terminated_delta_;
     } else {
       pool_.add(flight_.blocking_block, std::move(p));
     }
@@ -150,6 +169,11 @@ class HybridSlave final : public RankProgram {
 
   void collect_particles(std::vector<Particle>& out) const override {
     out.insert(out.end(), done_.begin(), done_.end());
+  }
+
+  void snapshot_particles(std::vector<Particle>& out) const override {
+    pool_.append_all(out);
+    if (in_flight_.has_value()) out.push_back(*in_flight_);
   }
 
  private:
@@ -284,10 +308,40 @@ class HybridMaster final : public RankProgram {
       if (seeds_.empty()) break;
       assign_seeds(ctx, slave, record);
     }
+
+    if (params_.heartbeat_period > 0.0 && !finished_) {
+      for (const auto& [slave, record] : records_) {
+        last_heard_[slave] = ctx.now();
+      }
+      ctx.set_timer(params_.heartbeat_period);
+    }
+  }
+
+  void on_timer(RankContext& ctx) override {
+    if (finished_) return;
+    // The sixth rule: a slave silent for heartbeat_miss_limit periods is
+    // declared dead and its streamlines are reclaimed and reassigned.
+    // Detection is purely silence-based — no liveness oracle.
+    const double deadline = static_cast<double>(params_.heartbeat_miss_limit) *
+                            params_.heartbeat_period;
+    std::vector<int> missing;
+    for (const auto& [slave, heard_at] : last_heard_) {
+      if (ctx.now() - heard_at > deadline) missing.push_back(slave);
+    }
+    for (const int slave : missing) {
+      declare_dead(ctx, slave);
+      if (finished_) return;  // reclaimed credits may have ended the run
+    }
+    ctx.set_timer(params_.heartbeat_period);
   }
 
   void on_message(RankContext& ctx, Message msg) override {
     if (finished_) return;
+    if (records_.count(msg.from) != 0) last_heard_[msg.from] = ctx.now();
+    if (auto* undeliv = std::get_if<Undeliverable>(&msg.payload)) {
+      reclaim_undelivered(ctx, std::move(*undeliv));
+      return;
+    }
     if (auto* status = std::get_if<StatusUpdate>(&msg.payload)) {
       auto it = records_.find(msg.from);
       if (it == records_.end()) return;
@@ -324,6 +378,11 @@ class HybridMaster final : public RankProgram {
   bool finished() const override { return finished_; }
 
   void collect_particles(std::vector<Particle>&) const override {}
+
+  void snapshot_particles(std::vector<Particle>& out) const override {
+    out.insert(out.end(), initial_seeds_.begin(), initial_seeds_.end());
+    seeds_.append_all(out);
+  }
 
  private:
   struct BlockSet {
@@ -701,6 +760,72 @@ class HybridMaster final : public RankProgram {
     ctx.send(requester, std::move(m));
   }
 
+  // The sixth rule's action: forget everything we believed about the
+  // slave, reclaim its streamlines from the ledger into the seed pool,
+  // re-report termination credits it never delivered, and rebalance.
+  void declare_dead(RankContext& ctx, int slave) {
+    auto it = records_.find(slave);
+    if (it == records_.end()) return;
+    // Purge the record's index entries by applying an empty status, then
+    // drop the record: dead slaves take no further part in any rule.
+    apply_status(slave, it->second, StatusUpdate{});
+    records_.erase(it);
+    last_heard_.erase(slave);
+
+    RecoveredWork work = ctx.recover_rank(slave);
+    for (Particle& p : work.active) {
+      ctx.charge_particle_memory(
+          static_cast<std::int64_t>(particle_message_bytes(p, false)));
+      seeds_.add(decomp_->block_of(p.pos), std::move(p));
+    }
+    if (work.unreported_terminations > 0) {
+      note_terminations(ctx, work.unreported_terminations);
+    }
+    if (finished_) return;
+    assignment_pass(ctx);
+  }
+
+  // A particle-bearing message we sent bounced (dropped link or dead
+  // destination): take the payload back and retry through the normal
+  // machinery.
+  void reclaim_undelivered(RankContext& ctx, Undeliverable u) {
+    if (u.target < layout_.num_masters && u.target != rank_) {
+      // A master-to-master seed transfer bounced.  Masters are immune,
+      // so the link dropped it: just retry the transfer (the requester
+      // is still waiting on its outstanding request).
+      SeedTransfer transfer;
+      transfer.seeds = std::move(u.particles);
+      Message m;
+      m.payload = std::move(transfer);
+      ctx.send(u.target, std::move(m));
+      return;
+    }
+
+    // A seed assignment to a slave failed: un-book the optimistic queue
+    // accounting so the rules do not chase phantom particles.
+    auto it = records_.find(u.target);
+    if (it != records_.end() && u.block != kInvalidBlock) {
+      auto qit = it->second.queued.find(u.block);
+      if (qit != it->second.queued.end()) {
+        const auto n = static_cast<std::uint32_t>(u.particles.size());
+        index_unqueue(u.target, u.block);
+        if (qit->second > n) {
+          qit->second -= n;
+          index_queue(u.target, u.block, qit->second);
+        } else {
+          it->second.queued.erase(qit);
+        }
+      }
+      it->second.outstanding = false;
+    }
+    for (Particle& p : u.particles) {
+      ctx.charge_particle_memory(
+          static_cast<std::int64_t>(particle_message_bytes(p, false)));
+      seeds_.add(decomp_->block_of(p.pos), std::move(p));
+    }
+    assignment_pass(ctx);
+  }
+
   void note_terminations(RankContext& ctx, std::uint32_t n) {
     if (rank_ == 0) {
       total_active_ -= n;
@@ -722,10 +847,15 @@ class HybridMaster final : public RankProgram {
   }
 
   void terminate_group(RankContext& ctx) {
-    for (const auto& [slave, rec] : records_) {
+    // Walk the full layout range, not records_: a slave declared dead was
+    // erased from records_, but if it is somehow still alive it must get
+    // the terminate too or its heartbeats keep the simulation running.
+    const auto [first, last] = layout_.slaves_of(rank_);
+    for (int s = first; s < last; ++s) {
+      if (!ctx.is_alive(s)) continue;
       Command cmd;
       cmd.type = Command::Type::kTerminate;
-      send_command(ctx, slave, std::move(cmd));
+      send_command(ctx, s, std::move(cmd));
     }
     finished_ = true;
   }
@@ -740,6 +870,7 @@ class HybridMaster final : public RankProgram {
 
   ParticlePool seeds_;
   std::map<int, SlaveRecord> records_;
+  std::map<int, double> last_heard_;  // heartbeat bookkeeping (§7)
   // Inverted indexes over the records (see index_* helpers).
   std::map<BlockId, std::set<int>> holders_;
   std::map<BlockId, std::map<int, std::uint32_t>> queued_idx_;

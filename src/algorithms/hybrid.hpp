@@ -33,6 +33,13 @@ struct HybridParams {
   int load_threshold = 40;    // NL: load instead of migrating
   int slaves_per_master = 32; // W
   std::uint64_t rng_seed = 0x1dd51c3ULL;
+  // Fault tolerance (DESIGN.md §7): when heartbeat_period > 0 slaves
+  // report status at least every period and the master declares a slave
+  // dead after heartbeat_miss_limit silent periods, reclaiming its
+  // streamlines (the sixth rule).  0 disables the protocol, keeping
+  // fault-free runs bit-identical to the five-rule master.
+  double heartbeat_period = 0.0;
+  int heartbeat_miss_limit = 3;
 };
 
 // How ranks are split into masters and slaves: masters are ranks

@@ -24,8 +24,19 @@ class LoadOnDemandProgram final : public RankProgram {
     try_start(ctx);
   }
 
-  void on_message(RankContext&, Message) override {
-    // Load On Demand never communicates.
+  void on_message(RankContext& ctx, Message msg) override {
+    // Load On Demand never communicates during normal operation; the only
+    // messages it can receive are recovery hand-offs of a dead rank's
+    // remaining streamlines, which just join the pool.
+    if (auto* batch = std::get_if<ParticleBatch>(&msg.payload)) {
+      for (Particle& p : batch->particles) {
+        ctx.charge_particle_memory(static_cast<std::int64_t>(
+            resident_particle_bytes(p, ctx.model())));
+        pool_.add(decomp_->block_of(p.pos), std::move(p));
+      }
+      if (!pool_.empty()) finished_ = false;  // adopted work re-opens us
+      try_start(ctx);
+    }
   }
 
   void on_block_loaded(RankContext& ctx, BlockId) override {
@@ -37,6 +48,7 @@ class LoadOnDemandProgram final : public RankProgram {
     Particle p = std::move(*in_flight_);
     in_flight_.reset();
     if (is_terminal(flight_.status)) {
+      ctx.log_termination(p);
       done_.push_back(std::move(p));
     } else {
       pool_.add(flight_.blocking_block, std::move(p));
@@ -48,6 +60,12 @@ class LoadOnDemandProgram final : public RankProgram {
 
   void collect_particles(std::vector<Particle>& out) const override {
     out.insert(out.end(), done_.begin(), done_.end());
+  }
+
+  void snapshot_particles(std::vector<Particle>& out) const override {
+    out.insert(out.end(), initial_.begin(), initial_.end());
+    pool_.append_all(out);
+    if (in_flight_.has_value()) out.push_back(*in_flight_);
   }
 
  private:

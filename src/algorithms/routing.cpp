@@ -82,6 +82,12 @@ std::vector<Particle> ParticlePool::drain_block(BlockId b) {
   return out;
 }
 
+void ParticlePool::append_all(std::vector<Particle>& out) const {
+  for (const auto& [block, queue] : by_block_) {
+    out.insert(out.end(), queue.begin(), queue.end());
+  }
+}
+
 std::vector<Particle> make_particles(const BlockDecomposition& decomp,
                                      std::span<const Vec3> seeds,
                                      std::vector<Particle>& rejected) {
@@ -99,6 +105,20 @@ std::vector<Particle> make_particles(const BlockDecomposition& decomp,
     }
   }
   return out;
+}
+
+int next_live_rank(const RankContext& ctx, int after) {
+  const int n = ctx.num_ranks();
+  for (int i = 1; i <= n; ++i) {
+    const int r = (after + i) % n;
+    if (ctx.is_alive(r)) return r;
+  }
+  throw std::logic_error("next_live_rank: no live ranks");
+}
+
+int live_owner(const RankContext& ctx, int num_blocks, BlockId block) {
+  const int owner = contiguous_owner(num_blocks, ctx.num_ranks(), block);
+  return ctx.is_alive(owner) ? owner : next_live_rank(ctx, owner);
 }
 
 AdvanceOutcome advance_and_charge(RankContext& ctx, Particle& particle) {

@@ -64,6 +64,9 @@ class ParticlePool {
   // Remove and return every particle waiting in block `b`.
   std::vector<Particle> drain_block(BlockId b);
 
+  // Copy every waiting particle into `out` (checkpoint snapshots).
+  void append_all(std::vector<Particle>& out) const;
+
  private:
   std::map<BlockId, std::deque<Particle>> by_block_;
   std::size_t total_ = 0;
@@ -80,5 +83,13 @@ std::vector<Particle> make_particles(const BlockDecomposition& decomp,
 // geometry its trajectory grew.  Returns the outcome; the caller charges
 // compute cost via ctx.begin_compute.
 AdvanceOutcome advance_and_charge(RankContext& ctx, Particle& particle);
+
+// First alive rank after `after` in cyclic order (never `after` itself
+// unless it is the only live rank).  Requires at least one alive rank.
+int next_live_rank(const RankContext& ctx, int after);
+
+// contiguous_owner, redirected to the next live rank when the owner is
+// dead (Static Allocation's crash re-routing).
+int live_owner(const RankContext& ctx, int num_blocks, BlockId block);
 
 }  // namespace sf

@@ -34,9 +34,14 @@ class StaticProgram final : public RankProgram {
   void on_message(RankContext& ctx, Message msg) override {
     if (auto* batch = std::get_if<ParticleBatch>(&msg.payload)) {
       for (Particle& p : batch->particles) {
-        ctx.charge_particle_memory(static_cast<std::int64_t>(
-            resident_particle_bytes(p, ctx.model())));
-        pool_.add(decomp_->block_of(p.pos), std::move(p));
+        accept_or_forward(ctx, std::move(p));
+      }
+      try_start(ctx);
+    } else if (auto* undeliv = std::get_if<Undeliverable>(&msg.payload)) {
+      // One of our hand-offs bounced (dropped link or dead owner):
+      // re-route each particle to the block's current live owner.
+      for (Particle& p : undeliv->particles) {
+        accept_or_forward(ctx, std::move(p));
       }
       try_start(ctx);
     } else if (auto* term = std::get_if<TerminationCount>(&msg.payload)) {
@@ -53,12 +58,16 @@ class StaticProgram final : public RankProgram {
     in_flight_.reset();
 
     if (is_terminal(flight_.status)) {
+      // First-time terminations only: a recovery re-run's duplicate must
+      // not decrement the global count twice.
+      const bool first_time = ctx.log_termination(p);
       done_.push_back(std::move(p));
-      note_terminations(ctx, 1);
+      if (first_time) note_terminations(ctx, 1);
     } else {
       const BlockId need = flight_.blocking_block;
-      const int owner =
-          contiguous_owner(decomp_->num_blocks(), num_ranks_, need);
+      // The static block->rank map, redirected past dead ranks: a dead
+      // owner's blocks fall to the next live rank in cyclic order.
+      const int owner = live_owner(ctx, decomp_->num_blocks(), need);
       if (owner == rank_) {
         pool_.add(need, std::move(p));
         if (!ctx.block_resident(need) && !ctx.block_pending(need)) {
@@ -82,7 +91,30 @@ class StaticProgram final : public RankProgram {
     out.insert(out.end(), done_.begin(), done_.end());
   }
 
+  void snapshot_particles(std::vector<Particle>& out) const override {
+    out.insert(out.end(), initial_.begin(), initial_.end());
+    pool_.append_all(out);
+    if (in_flight_.has_value()) out.push_back(*in_flight_);
+  }
+
  private:
+  // Pool an incoming particle if its block is (now) ours, else forward it
+  // to the block's live owner.  Outside fault injection the owner is
+  // always this rank (hand-offs are addressed to the static owner).
+  void accept_or_forward(RankContext& ctx, Particle p) {
+    const BlockId b = decomp_->block_of(p.pos);
+    const int owner = live_owner(ctx, decomp_->num_blocks(), b);
+    if (owner == rank_) {
+      ctx.charge_particle_memory(static_cast<std::int64_t>(
+          resident_particle_bytes(p, ctx.model())));
+      pool_.add(b, std::move(p));
+    } else {
+      Message m;
+      m.payload = ParticleBatch{b, {std::move(p)}};
+      ctx.send(owner, std::move(m));
+    }
+  }
+
   void try_start(RankContext& ctx) {
     if (finished_ || ctx.busy() || in_flight_.has_value()) return;
 
@@ -97,8 +129,8 @@ class StaticProgram final : public RankProgram {
       return;
     }
 
-    // Nothing runnable: fetch every owned block that has waiting work.
-    // (All pool blocks are owned by this rank by construction.)
+    // Nothing runnable: fetch every pooled block that has waiting work
+    // (owned blocks by construction, plus any adopted from a dead rank).
     for (const auto& [block, count] : pool_.census()) {
       if (!ctx.block_resident(block) && !ctx.block_pending(block)) {
         ctx.request_block(block);

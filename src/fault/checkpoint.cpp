@@ -1,0 +1,22 @@
+#include "fault/checkpoint.hpp"
+
+namespace sf {
+
+namespace {
+// id + pos(3 doubles) + time + h + steps + geometry_points + status,
+// matching the on-disk record of io/checkpoint_io.cpp.
+constexpr std::size_t kParticleRecordBytes = 4 + 24 + 8 + 8 + 4 + 4 + 1;
+constexpr std::size_t kHeaderBytes = 8 + 8 + 8 + 8 + 4;  // magic+sizes+time
+}  // namespace
+
+std::size_t checkpoint_bytes(const Checkpoint& ck) {
+  std::size_t n = kHeaderBytes;
+  n += (ck.done.size() + ck.active.size()) * kParticleRecordBytes;
+  n += ck.active_owner.size() * 4;
+  for (const CheckpointRankState& r : ck.ranks) {
+    n += 4 + 1 + 4 + r.resident.size() * 4;
+  }
+  return n;
+}
+
+}  // namespace sf

@@ -1,0 +1,117 @@
+#pragma once
+
+// Configuration and counters for the fault-injection / checkpoint /
+// recovery layer (DESIGN.md §7).
+//
+// The layer is opt-in: with `enabled == false` (the default) the
+// simulated runtime takes exactly the same code paths as a build without
+// it, so fault-free runs stay bit-for-bit identical to the pre-fault
+// behaviour.  When enabled, a deterministic FaultInjector schedules rank
+// crashes (seeded exponential inter-arrivals and/or an explicit event
+// list), flips per-read disk faults/stalls, and drops particle-bearing
+// messages; a ParticleLedger tracks the last safe state of every
+// streamline so crashes are recoverable; and an optional checkpoint chain
+// serializes the ledger at fixed simulated-time intervals.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/particle.hpp"
+
+namespace sf {
+
+// One explicitly scheduled rank crash.
+struct CrashEvent {
+  double time = 0.0;
+  int rank = -1;
+};
+
+struct FaultConfig {
+  // Master switch.  run_experiment turns it on automatically when any
+  // fault feature below is requested.
+  bool enabled = false;
+
+  // Seed for all injector draws (crash schedule, disk faults, drops).
+  std::uint64_t rng_seed = 0xfa017ULL;
+
+  // --- Rank crashes --------------------------------------------------------
+  // Mean time between injected crashes (simulated seconds); 0 disables
+  // random crash injection.  Victims are drawn uniformly among
+  // non-immune ranks, each at most once, capped at max_crashes.
+  double mtbf = 0.0;
+  int max_crashes = 1;
+  // Explicit crash schedule, applied in addition to the MTBF draws (and
+  // not counted against max_crashes).  Immune ranks are filtered out.
+  std::vector<CrashEvent> crashes;
+
+  // --- Transient disk faults ----------------------------------------------
+  // Per-read probability that a block read fails and must be retried.
+  double disk_fault_rate = 0.0;
+  // Per-read probability (when not faulted) that the read stalls for
+  // disk_stall_seconds before completing.
+  double disk_stall_rate = 0.0;
+  double disk_stall_seconds = 0.05;
+  // Capped exponential backoff between retries; after disk_max_retries
+  // failed attempts the reading rank is declared crashed and its
+  // streamlines are re-run elsewhere.
+  double disk_retry_backoff = 0.01;
+  double disk_backoff_cap = 0.5;
+  int disk_max_retries = 8;
+
+  // --- Message drops -------------------------------------------------------
+  // Per-message probability that a particle-bearing message (ParticleBatch,
+  // seed assignments, seed transfers) is dropped by the link.  Dropped
+  // payloads bounce back to the sender as Undeliverable, so streamlines
+  // are never silently lost.  Control traffic (status, commands without
+  // particles, termination counts) rides a reliable transport.
+  double message_drop_rate = 0.0;
+  std::uint64_t max_drops = 1000;  // backstop against drop-rate ~ 1 loops
+
+  // --- Failure detection ---------------------------------------------------
+  enum class Detector : std::uint8_t {
+    kRuntime,  // process-manager style: recovery fires a fixed delay
+               // after the crash (Static Allocation, Load On Demand)
+    kProgram,  // the hybrid master detects missed status heartbeats and
+               // runs recovery itself (the sixth rule)
+  };
+  Detector detector = Detector::kRuntime;
+  double failure_detect_seconds = 0.1;  // kRuntime detection latency
+  double heartbeat_period = 0.05;       // kProgram slave status period
+  int heartbeat_miss_limit = 3;         // silent periods before declared dead
+
+  // --- Checkpointing -------------------------------------------------------
+  // Serialize the particle ledger every `checkpoint_interval` simulated
+  // seconds (0 disables).  When checkpoint_path is non-empty the latest
+  // checkpoint is atomically (re)written there; either way it is returned
+  // in RunMetrics::last_checkpoint.
+  double checkpoint_interval = 0.0;
+  std::string checkpoint_path;
+
+  // Ranks that never crash.  run_experiment sets this to rank 0 (the
+  // termination counter) or, for hybrid, all master ranks.
+  std::vector<int> immune_ranks;
+
+  // Particles already terminal before the run starts: rejected
+  // out-of-domain seeds plus the done-list of a restart checkpoint.
+  // Pre-seeded into the ledger so checkpoints and final results stay
+  // complete across restarts.
+  std::vector<Particle> presettled;
+};
+
+// Recovery counters surfaced through RunMetrics::fault.
+struct FaultStats {
+  std::uint64_t crashes_injected = 0;   // injector-scheduled crashes fired
+  std::uint64_t oom_crashes = 0;        // OOM aborts converted to crashes
+  std::uint64_t crashes_survived = 0;   // crashes recovered from
+  std::uint64_t disk_faults = 0;        // failed block-read attempts
+  std::uint64_t disk_stalls = 0;        // stalled block reads
+  std::uint64_t messages_dropped = 0;   // injected link drops
+  std::uint64_t particles_recovered = 0;  // streamlines reclaimed and re-run
+  std::uint64_t steps_redone = 0;       // integration steps lost to crashes
+  double time_to_recovery = 0.0;        // summed crash -> recovery latency
+  std::uint64_t checkpoints_taken = 0;
+  double checkpoint_overhead = 0.0;     // modelled checkpoint write seconds
+};
+
+}  // namespace sf

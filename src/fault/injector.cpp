@@ -1,0 +1,67 @@
+#include "fault/injector.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+namespace sf {
+
+FaultInjector::FaultInjector(const FaultConfig& config, int num_ranks)
+    : disk_fault_rate_(config.disk_fault_rate),
+      disk_stall_rate_(config.disk_stall_rate),
+      message_drop_rate_(config.message_drop_rate),
+      max_drops_(config.max_drops),
+      disk_rng_(config.rng_seed ^ 0xd15cULL),
+      stall_rng_(config.rng_seed ^ 0x57a11ULL),
+      drop_rng_(config.rng_seed ^ 0xd60bULL) {
+  const std::set<int> immune(config.immune_ranks.begin(),
+                             config.immune_ranks.end());
+
+  for (const CrashEvent& ev : config.crashes) {
+    if (ev.rank < 0 || ev.rank >= num_ranks) continue;
+    if (immune.count(ev.rank) != 0) continue;
+    schedule_.push_back(ev);
+  }
+
+  if (config.mtbf > 0.0 && config.max_crashes > 0) {
+    Rng crash_rng(config.rng_seed ^ 0xc4a5aULL);
+    std::vector<int> eligible;
+    for (int r = 0; r < num_ranks; ++r) {
+      if (immune.count(r) == 0) eligible.push_back(r);
+    }
+    double t = 0.0;
+    for (int i = 0; i < config.max_crashes && !eligible.empty(); ++i) {
+      // Exponential inter-arrival with mean MTBF.
+      t += -config.mtbf * std::log(1.0 - crash_rng.next_double());
+      const std::size_t pick = static_cast<std::size_t>(
+          crash_rng.next_below(eligible.size()));
+      schedule_.push_back({t, eligible[pick]});
+      eligible.erase(eligible.begin() +
+                     static_cast<std::ptrdiff_t>(pick));
+    }
+  }
+
+  std::sort(schedule_.begin(), schedule_.end(),
+            [](const CrashEvent& a, const CrashEvent& b) {
+              return a.time != b.time ? a.time < b.time : a.rank < b.rank;
+            });
+}
+
+bool FaultInjector::draw_disk_fault() {
+  if (disk_fault_rate_ <= 0.0) return false;
+  return disk_rng_.next_double() < disk_fault_rate_;
+}
+
+bool FaultInjector::draw_disk_stall() {
+  if (disk_stall_rate_ <= 0.0) return false;
+  return stall_rng_.next_double() < disk_stall_rate_;
+}
+
+bool FaultInjector::draw_message_drop() {
+  if (message_drop_rate_ <= 0.0 || drops_ >= max_drops_) return false;
+  if (drop_rng_.next_double() >= message_drop_rate_) return false;
+  ++drops_;
+  return true;
+}
+
+}  // namespace sf

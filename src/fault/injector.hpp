@@ -1,0 +1,42 @@
+#pragma once
+
+// Deterministic fault injector.
+//
+// All randomness flows through independent seeded Rng streams (one per
+// fault class), so a fault schedule is a pure function of
+// (FaultConfig::rng_seed, num_ranks) and repeat runs reproduce the same
+// crashes, disk faults and drops event for event.
+
+#include <vector>
+
+#include "core/rng.hpp"
+#include "fault/fault_config.hpp"
+
+namespace sf {
+
+class FaultInjector {
+ public:
+  FaultInjector(const FaultConfig& config, int num_ranks);
+
+  // Crash schedule, sorted by time: explicit events plus exponential
+  // MTBF draws over the non-immune ranks (each rank at most once).
+  const std::vector<CrashEvent>& crash_schedule() const { return schedule_; }
+
+  // Per-attempt draws, consumed in simulation event order.
+  bool draw_disk_fault();
+  bool draw_disk_stall();
+  bool draw_message_drop();
+
+ private:
+  double disk_fault_rate_;
+  double disk_stall_rate_;
+  double message_drop_rate_;
+  std::uint64_t max_drops_;
+  std::vector<CrashEvent> schedule_;
+  Rng disk_rng_;
+  Rng stall_rng_;
+  Rng drop_rng_;
+  std::uint64_t drops_ = 0;
+};
+
+}  // namespace sf

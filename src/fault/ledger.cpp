@@ -1,0 +1,122 @@
+#include "fault/ledger.hpp"
+
+#include <utility>
+
+namespace sf {
+
+void ParticleLedger::init_owned(int rank,
+                                const std::vector<Particle>& particles) {
+  for (const Particle& p : particles) {
+    Entry& e = entries_[p.id];
+    e.state = p;
+    e.owner = rank;
+    if (is_terminal(p.status)) e.terminal = true;
+  }
+}
+
+void ParticleLedger::settle(const std::vector<Particle>& particles) {
+  for (const Particle& p : particles) {
+    Entry& e = entries_[p.id];
+    e.state = p;
+    e.owner = -1;
+    e.terminal = true;
+    e.counted = true;
+  }
+}
+
+void ParticleLedger::on_send(const std::vector<Particle>& particles,
+                             int new_owner) {
+  for (const Particle& p : particles) {
+    Entry& e = entries_[p.id];
+    e.state = p;
+    e.owner = new_owner;
+  }
+}
+
+bool ParticleLedger::on_terminated(int rank, const Particle& p) {
+  Entry& e = entries_[p.id];
+  e.state = p;
+  e.owner = rank;
+  e.terminal = true;
+  if (e.counted) return false;
+  e.counted = true;
+  ++logged_[rank];
+  return true;
+}
+
+void ParticleLedger::on_reported(int rank, std::uint32_t count) {
+  reported_[rank] += count;
+}
+
+void ParticleLedger::refresh(int rank,
+                             const std::vector<Particle>& particles) {
+  for (const Particle& p : particles) {
+    Entry& e = entries_[p.id];
+    e.state = p;
+    e.owner = rank;
+    // A terminal state observed at checkpoint time is safe, but the
+    // termination *credit* stays with on_terminated/recover — refresh
+    // must never touch `counted`, or the owning rank's own report would
+    // double-count.
+    if (is_terminal(p.status)) e.terminal = true;
+  }
+}
+
+RecoveredWork ParticleLedger::recover(int dead_rank, int new_owner) {
+  RecoveredWork work;
+  for (auto& [id, e] : entries_) {
+    if (e.owner != dead_rank) continue;
+    if (e.terminal) {
+      // Terminated on the dead rank but never credited anywhere (e.g.
+      // terminal state reached the ledger only via a checkpoint refresh
+      // and the rank died before reporting): credit it now so the global
+      // count still converges.
+      if (!e.counted) {
+        e.counted = true;
+        ++logged_[dead_rank];
+      }
+      e.owner = -1;
+      continue;
+    }
+    e.owner = new_owner;
+    work.active.push_back(e.state);
+  }
+  const std::int64_t unreported = logged_[dead_rank] - reported_[dead_rank];
+  if (unreported > 0) {
+    work.unreported_terminations = static_cast<std::uint32_t>(unreported);
+    reported_[dead_rank] = logged_[dead_rank];
+  }
+  return work;
+}
+
+std::uint32_t ParticleLedger::steps_of(std::uint32_t id) const {
+  const auto it = entries_.find(id);
+  return it == entries_.end() ? 0u : it->second.state.steps;
+}
+
+std::vector<Particle> ParticleLedger::terminal_particles() const {
+  std::vector<Particle> out;
+  out.reserve(entries_.size());
+  for (const auto& [id, e] : entries_) {
+    if (e.terminal) out.push_back(e.state);
+  }
+  return out;  // map iteration order == sorted by id
+}
+
+Checkpoint ParticleLedger::to_checkpoint(double sim_time,
+                                         int num_ranks) const {
+  Checkpoint ck;
+  ck.sim_time = sim_time;
+  ck.num_ranks = num_ranks;
+  for (const auto& [id, e] : entries_) {
+    if (e.terminal) {
+      ck.done.push_back(e.state);
+    } else {
+      ck.active.push_back(e.state);
+      ck.active_owner.push_back(e.owner);
+    }
+  }
+  return ck;
+}
+
+}  // namespace sf

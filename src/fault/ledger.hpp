@@ -1,0 +1,98 @@
+#pragma once
+
+// Particle ledger: the stable-storage view of every streamline that
+// makes crashes recoverable.
+//
+// The ledger records, per streamline id, the last *safe* solver state —
+// a state that survives the owning rank's crash because it was durably
+// observed somewhere else: the initial seed hand-out, a particle-bearing
+// message on the wire (sender-based message logging), a checkpoint
+// snapshot, or the terminal state flushed at termination.  Re-running a
+// streamline from any safe state reproduces its final particle
+// bit-for-bit (the Tracer's accepted-step sequence depends only on
+// particle state and block data), so recovery costs re-done work but
+// never changes results.
+//
+// Termination counting: the three algorithms drive global termination
+// off counters (rank 0 / master 0).  The ledger tracks, per rank, how
+// many terminations it has credited (`logged_`) versus how many it has
+// reported toward the counter (`reported_`, snooped off StatusUpdate and
+// TerminationCount sends); recover() returns the difference so the
+// recovering rank can re-report terminations the dead rank logged but
+// never delivered.
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "fault/checkpoint.hpp"
+
+namespace sf {
+
+// What a recovery hands back to the recovering rank.
+struct RecoveredWork {
+  // Last safe states of the dead rank's in-progress streamlines,
+  // re-owned to the recoverer.
+  std::vector<Particle> active;
+  // Terminations the dead rank logged but never reported to the global
+  // termination counter.
+  std::uint32_t unreported_terminations = 0;
+};
+
+class ParticleLedger {
+ public:
+  // Register `rank`'s initial particles (owner = rank).
+  void init_owned(int rank, const std::vector<Particle>& particles);
+
+  // Pre-seed particles that are terminal before the run starts (rejected
+  // seeds, a restart checkpoint's done list).  They are marked counted:
+  // they never contribute to the termination count.
+  void settle(const std::vector<Particle>& particles);
+
+  // A particle-bearing message left for `new_owner`: record the shipped
+  // states and transfer ownership.
+  void on_send(const std::vector<Particle>& particles, int new_owner);
+
+  // `rank` terminated `p`.  Returns true when this is the first
+  // termination of the streamline anywhere (credit it toward the global
+  // count); false for duplicates re-run by a redundant recovery.
+  bool on_terminated(int rank, const Particle& p);
+
+  // `rank` pushed `count` termination credits toward the global counter
+  // (snooped off StatusUpdate / TerminationCount sends).
+  void on_reported(int rank, std::uint32_t count);
+
+  // Checkpoint-time refresh: `particles` is everything `rank` currently
+  // holds in memory.  Updates safe states and ownership; never clears a
+  // terminal mark.
+  void refresh(int rank, const std::vector<Particle>& particles);
+
+  // Reclaim the dead rank's streamlines for `new_owner` and settle its
+  // termination accounting.  Idempotent: a second recovery of the same
+  // rank returns nothing.
+  RecoveredWork recover(int dead_rank, int new_owner);
+
+  // Last safe accepted-step count of a streamline (0 if unknown) — used
+  // for the steps_redone diagnostic.
+  std::uint32_t steps_of(std::uint32_t id) const;
+
+  // Final states of all terminated streamlines, sorted by id.
+  std::vector<Particle> terminal_particles() const;
+
+  // Snapshot the ledger (per-rank sections are filled by the runtime).
+  Checkpoint to_checkpoint(double sim_time, int num_ranks) const;
+
+ private:
+  struct Entry {
+    Particle state{};
+    int owner = -1;
+    bool terminal = false;
+    bool counted = false;  // credited toward the global termination count
+  };
+
+  std::map<std::uint32_t, Entry> entries_;
+  std::map<int, std::int64_t> logged_;    // terminations credited per rank
+  std::map<int, std::int64_t> reported_;  // terminations reported per rank
+};
+
+}  // namespace sf

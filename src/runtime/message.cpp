@@ -36,6 +36,9 @@ struct ByteSizer {
     // Seeds have no geometry yet; they are always compact.
     return kEnvelope + particles_bytes(t.seeds, false);
   }
+  std::size_t operator()(const Undeliverable& u) const {
+    return kEnvelope + 8 + particles_bytes(u.particles, carry_geometry);
+  }
 };
 
 }  // namespace

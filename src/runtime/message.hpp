@@ -10,6 +10,10 @@
 //   * TerminationCount   — the global streamline count of §4.1
 //   * DoneSignal         — terminate broadcast
 //   * SeedRequest/SeedTransfer — master <-> master balancing
+//   * Undeliverable      — fault injection: a particle-bearing message
+//                          bounced back to its sender (dropped in flight
+//                          or addressed to a dead rank), so the particles
+//                          are never lost
 //
 // message_bytes() is the serialized size the network model charges; with
 // carry_geometry set (the paper's behaviour) particles pay for their full
@@ -69,10 +73,20 @@ struct SeedTransfer {
   std::vector<Particle> seeds;
 };
 
+// A particle-bearing message that could not be delivered, returned to the
+// sender by the (modeled) reliable transport.  `target` is the rank the
+// original message was addressed to and `block` the residency of the
+// particles, so the sender can re-route.
+struct Undeliverable {
+  int target = -1;
+  BlockId block = kInvalidBlock;
+  std::vector<Particle> particles;
+};
+
 struct Message {
   int from = -1;
   std::variant<ParticleBatch, StatusUpdate, Command, TerminationCount,
-               DoneSignal, SeedRequest, SeedTransfer>
+               DoneSignal, SeedRequest, SeedTransfer, Undeliverable>
       payload;
 };
 

@@ -6,9 +6,12 @@
 
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "core/particle.hpp"
+#include "fault/checkpoint.hpp"
+#include "fault/fault_config.hpp"
 #include "runtime/timeline.hpp"
 
 namespace sf {
@@ -26,16 +29,30 @@ struct RankMetrics {
   std::uint64_t bursts = 0;             // compute bursts executed
   std::size_t peak_particle_bytes = 0;  // high-water resident memory
   bool oom = false;
+  // Fault-injection counters.
+  std::uint64_t disk_retries = 0;       // failed block reads re-submitted
+  std::uint64_t disk_stall_events = 0;  // reads hit by an injected stall
+  double checkpoint_seconds = 0.0;      // modeled checkpoint-write share
+  bool crashed = false;                 // rank was killed by injection
 };
 
 struct RunMetrics {
   double wall_clock = 0.0;
-  bool failed_oom = false;  // run aborted: a rank exceeded its memory
+  bool failed_oom = false;    // run aborted: a rank exceeded its memory
+  bool failed_fault = false;  // fault injection made the run unrecoverable
+  std::string abort_reason;   // human-readable cause when a run failed
   int num_ranks = 0;
   std::vector<RankMetrics> ranks;
   // Final particle states (terminated streamlines), gathered from all
-  // ranks and sorted by id.  Empty when the run failed.
+  // ranks and sorted by id.  On a failed run this holds whatever partial
+  // results the ranks had produced by the abort.
   std::vector<Particle> particles;
+  // Aggregated fault-injection and recovery statistics (all zero when
+  // fault injection is disabled).
+  FaultStats fault;
+  // Last checkpoint taken during the run (fault mode with a checkpoint
+  // interval only); what --checkpoint-out writes and restarts read.
+  std::shared_ptr<const Checkpoint> last_checkpoint;
   // Populated when SimRuntimeConfig::record_timeline is set: per-rank
   // compute/I/O spans for utilization and starvation analysis (§8).
   std::shared_ptr<const Timeline> timeline;

@@ -27,6 +27,7 @@
 #include "core/block_decomposition.hpp"
 #include "core/dataset.hpp"
 #include "core/tracer.hpp"
+#include "fault/ledger.hpp"
 #include "runtime/message.hpp"
 #include "sim/machine_model.hpp"
 
@@ -72,6 +73,35 @@ class RankContext {
   // grow geometry, negative when they leave or terminate).  The runtime
   // aborts the run with OOM when a rank exceeds its budget.
   virtual void charge_particle_memory(std::int64_t delta_bytes) = 0;
+
+  // ---- Fault-tolerance hooks (no-ops outside fault injection) ----
+
+  // Arm a one-shot timer; on_timer() fires after `seconds`.  Used by the
+  // hybrid heartbeat protocol.  Default: never fires.
+  virtual void set_timer(double seconds) { (void)seconds; }
+
+  // Liveness as known to the runtime.  Programs use this to skip dead
+  // peers; outside fault injection every rank is alive.
+  virtual bool is_alive(int target) const {
+    (void)target;
+    return true;
+  }
+
+  // Record a termination in the particle ledger.  Returns true when this
+  // is the streamline's first termination anywhere (credit it toward the
+  // global count), false for a duplicate re-run after a recovery.
+  virtual bool log_termination(const Particle& p) {
+    (void)p;
+    return true;
+  }
+
+  // Reclaim a dead rank's streamlines for this rank (the caller becomes
+  // responsible for advecting them and re-reporting lost termination
+  // credits).  Outside fault injection there is nothing to recover.
+  virtual RecoveredWork recover_rank(int dead_rank) {
+    (void)dead_rank;
+    return {};
+  }
 };
 
 class RankProgram {
@@ -89,6 +119,18 @@ class RankProgram {
 
   // Append this rank's terminated particles (for result gathering).
   virtual void collect_particles(std::vector<Particle>& out) const = 0;
+
+  // ---- Fault-tolerance hooks ----
+
+  // Fires after a set_timer() delay (hybrid heartbeats).
+  virtual void on_timer(RankContext& ctx) { (void)ctx; }
+
+  // Append every in-memory particle (pooled, queued, in flight) for a
+  // checkpoint snapshot.  Terminated particles already flow through
+  // log_termination and need not be included.
+  virtual void snapshot_particles(std::vector<Particle>& out) const {
+    (void)out;
+  }
 };
 
 using ProgramFactory =

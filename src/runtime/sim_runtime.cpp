@@ -1,8 +1,12 @@
 #include "runtime/sim_runtime.hpp"
 
 #include <algorithm>
-#include <set>
+#include <cmath>
 #include <stdexcept>
+#include <string>
+#include <utility>
+
+#include "io/checkpoint_io.hpp"
 
 namespace sf {
 
@@ -40,6 +44,10 @@ class SimRuntime::Context final : public RankContext {
     metrics.messages_sent += 1;
     metrics.bytes_sent += bytes;
     const SimTime arrive = network_->delivery_time(engine_->now(), bytes);
+    if (runtime_->fault_) {
+      runtime_->fault_send(rank_, to, arrive, bytes, std::move(msg));
+      return;
+    }
     Context* dest = runtime_->contexts_[static_cast<std::size_t>(to)].get();
     engine_->schedule_at(arrive, [dest, bytes, m = std::move(msg)]() mutable {
       dest->metrics.comm_time += dest->network_->endpoint_cost(bytes);
@@ -51,29 +59,14 @@ class SimRuntime::Context final : public RankContext {
     if (cache_.contains(id)) {
       // Hit: re-insert touches LRU; notify at the current instant.
       engine_->schedule_at(engine_->now(), [this, id] {
+        if (dead()) return;
         program->on_block_loaded(*this, id);
       });
       return;
     }
     if (pending_.count(id) != 0) return;  // coalesce duplicate requests
     pending_.insert(id);
-
-    const std::size_t bytes = runtime_->source_->block_bytes(id);
-    const SimTime done = disk_->submit_read(engine_->now(), bytes);
-    metrics.io_time += done - engine_->now();
-    metrics.bytes_read += bytes;
-    if (runtime_->timeline_) {
-      runtime_->timeline_->add(rank_, TimelineSpan::Kind::kIo,
-                               engine_->now(), done);
-    }
-    engine_->schedule_at(done, [this, id] {
-      // The real payload is fetched at completion time (memoized inside
-      // the source, so host memory holds each block once).
-      cache_.insert(id, runtime_->source_->load(id));
-      pending_.erase(id);
-      sync_cache_counters();
-      program->on_block_loaded(*this, id);
-    });
+    start_read(id, /*attempt=*/0);
   }
 
   bool block_resident(BlockId id) const override {
@@ -104,6 +97,7 @@ class SimRuntime::Context final : public RankContext {
                                engine_->now(), engine_->now() + seconds);
     }
     engine_->schedule_after(seconds, [this] {
+      if (dead()) return;
       busy_ = false;
       program->on_compute_done(*this);
     });
@@ -121,8 +115,31 @@ class SimRuntime::Context final : public RankContext {
         runtime_->config_.model.particle_memory_bytes) {
       metrics.oom = true;
       throw SimAbort("rank " + std::to_string(rank_) +
-                     " exceeded its particle memory budget");
+                         " exceeded its particle memory budget",
+                     rank_);
     }
+  }
+
+  // --- fault hooks -------------------------------------------------------
+
+  void set_timer(double seconds) override {
+    engine_->schedule_after(seconds, [this] {
+      if (dead()) return;
+      program->on_timer(*this);
+    });
+  }
+
+  bool is_alive(int target) const override {
+    return runtime_->rank_alive(target);
+  }
+
+  bool log_termination(const Particle& p) override {
+    if (!runtime_->fault_) return true;
+    return runtime_->fault_->ledger.on_terminated(rank_, p);
+  }
+
+  RecoveredWork recover_rank(int dead_rank) override {
+    return runtime_->recover_for(rank_, dead_rank);
   }
 
   // --- runtime-side ------------------------------------------------------
@@ -136,6 +153,62 @@ class SimRuntime::Context final : public RankContext {
   RankMetrics metrics;
 
  private:
+  bool dead() const { return !runtime_->rank_alive(rank_); }
+
+  void start_read(BlockId id, int attempt) {
+    const std::size_t bytes = runtime_->source_->block_bytes(id);
+    SimTime done = disk_->submit_read(engine_->now(), bytes);
+    bool faulted = false;
+    if (runtime_->fault_) {
+      FaultState& fs = *runtime_->fault_;
+      if (fs.injector.draw_disk_fault()) {
+        faulted = true;
+        disk_->note_faulted_read();
+        ++fs.stats.disk_faults;
+      } else if (fs.injector.draw_disk_stall()) {
+        done += runtime_->config_.fault.disk_stall_seconds;
+        ++fs.stats.disk_stalls;
+        ++metrics.disk_stall_events;
+      }
+    }
+    metrics.io_time += done - engine_->now();
+    metrics.bytes_read += bytes;
+    if (runtime_->timeline_) {
+      runtime_->timeline_->add(rank_, TimelineSpan::Kind::kIo,
+                               engine_->now(), done);
+    }
+    if (faulted) {
+      // The channel did the work but the payload is garbage: back off and
+      // retry, and give up on the rank after disk_max_retries attempts.
+      engine_->schedule_at(done, [this, id, attempt] {
+        if (dead()) return;
+        if (attempt + 1 > runtime_->config_.fault.disk_max_retries) {
+          runtime_->crash_rank(rank_, /*from_oom=*/false);
+          return;
+        }
+        const double backoff =
+            std::min(runtime_->config_.fault.disk_retry_backoff *
+                         std::ldexp(1.0, attempt),
+                     runtime_->config_.fault.disk_backoff_cap);
+        engine_->schedule_after(backoff, [this, id, attempt] {
+          if (dead()) return;
+          ++metrics.disk_retries;
+          start_read(id, attempt + 1);
+        });
+      });
+      return;
+    }
+    engine_->schedule_at(done, [this, id] {
+      if (dead()) return;
+      // The real payload is fetched at completion time (memoized inside
+      // the source, so host memory holds each block once).
+      cache_.insert(id, runtime_->source_->load(id));
+      pending_.erase(id);
+      sync_cache_counters();
+      program->on_block_loaded(*this, id);
+    });
+  }
+
   SimRuntime* runtime_;
   SimEngine* engine_;
   SharedDisk* disk_;
@@ -166,10 +239,273 @@ SimRuntime::SimRuntime(const SimRuntimeConfig& config,
 
 SimRuntime::~SimRuntime() = default;
 
+bool SimRuntime::rank_alive(int rank) const {
+  return !fault_ || fault_->alive[static_cast<std::size_t>(rank)] != 0;
+}
+
+bool SimRuntime::all_live_finished() const {
+  for (std::size_t r = 0; r < contexts_.size(); ++r) {
+    if (!rank_alive(static_cast<int>(r))) continue;
+    if (!contexts_[r]->program->finished()) return false;
+  }
+  return true;
+}
+
+void SimRuntime::kill_rank(int rank) {
+  FaultState& fs = *fault_;
+  fs.alive[static_cast<std::size_t>(rank)] = 0;
+  fs.crash_time[static_cast<std::size_t>(rank)] = engine_->now();
+  Context* c = contexts_[static_cast<std::size_t>(rank)].get();
+  c->metrics.crashed = true;
+  // Diagnostic: integration work that dies with the rank and will be
+  // re-done from the last safe state.
+  std::vector<Particle> snap;
+  c->program->snapshot_particles(snap);
+  for (const Particle& p : snap) {
+    if (is_terminal(p.status)) continue;
+    const std::uint32_t safe = fs.ledger.steps_of(p.id);
+    if (p.steps > safe) fs.stats.steps_redone += p.steps - safe;
+  }
+}
+
+void SimRuntime::crash_rank(int rank, bool from_oom) {
+  if (!fault_ || !rank_alive(rank)) return;
+  kill_rank(rank);
+  if (from_oom) {
+    ++fault_->stats.oom_crashes;
+  } else {
+    ++fault_->stats.crashes_injected;
+  }
+  if (config_.fault.detector == FaultConfig::Detector::kRuntime) {
+    engine_->schedule_after(config_.fault.failure_detect_seconds,
+                            [this, rank] { runtime_recover(rank); });
+  }
+  // kProgram: the hybrid master notices the missed heartbeats itself.
+}
+
+void SimRuntime::runtime_recover(int dead_rank) {
+  // Successor: the next live rank after the dead one in cyclic order.
+  int succ = -1;
+  const int n = config_.num_ranks;
+  for (int i = 1; i <= n; ++i) {
+    const int r = (dead_rank + i) % n;
+    if (rank_alive(r)) {
+      succ = r;
+      break;
+    }
+  }
+  if (succ < 0) return;  // everything died; the run will just quiesce
+
+  FaultState& fs = *fault_;
+  RecoveredWork work = fs.ledger.recover(dead_rank, succ);
+  ++fs.stats.crashes_survived;
+  fs.stats.particles_recovered += work.active.size();
+  fs.stats.time_to_recovery +=
+      engine_->now() - fs.crash_time[static_cast<std::size_t>(dead_rank)];
+
+  // Termination credits first: if handing the particles over aborts the
+  // run (successor OOM), the global count must already be settled.
+  if (work.unreported_terminations > 0) {
+    Context* zero = contexts_[0].get();
+    Message m;
+    m.from = dead_rank;
+    m.payload = TerminationCount{work.unreported_terminations};
+    zero->program->on_message(*zero, std::move(m));
+  }
+  if (!work.active.empty()) {
+    fs.ledger.on_send(work.active, succ);
+    Context* s = contexts_[static_cast<std::size_t>(succ)].get();
+    Message m;
+    m.from = dead_rank;
+    m.payload = ParticleBatch{kInvalidBlock, std::move(work.active)};
+    s->program->on_message(*s, std::move(m));
+  }
+}
+
+RecoveredWork SimRuntime::recover_for(int recoverer, int dead_rank) {
+  if (!fault_) return {};
+  FaultState& fs = *fault_;
+  if (rank_alive(dead_rank)) {
+    // False positive: the detector declared a live rank dead.  Kill it
+    // for real so the system state matches the detector's view (the
+    // declared-dead rank must not keep computing and double-report).
+    kill_rank(dead_rank);
+    ++fs.stats.crashes_injected;
+  }
+  RecoveredWork work = fs.ledger.recover(dead_rank, recoverer);
+  ++fs.stats.crashes_survived;
+  fs.stats.particles_recovered += work.active.size();
+  fs.stats.time_to_recovery +=
+      engine_->now() - fs.crash_time[static_cast<std::size_t>(dead_rank)];
+  return work;
+}
+
+void SimRuntime::fault_send(int from, int to, SimTime arrive,
+                            std::size_t bytes, Message msg) {
+  FaultState& fs = *fault_;
+
+  // Snoop the payload into the ledger at send time: once a particle is on
+  // the wire its state is considered safely logged at the sender.
+  bool carries_particles = false;
+  if (const auto* b = std::get_if<ParticleBatch>(&msg.payload)) {
+    fs.ledger.on_send(b->particles, to);
+    carries_particles = !b->particles.empty();
+  } else if (const auto* c = std::get_if<Command>(&msg.payload)) {
+    if (!c->particles.empty()) {
+      fs.ledger.on_send(c->particles, to);
+      carries_particles = true;
+    }
+  } else if (const auto* t = std::get_if<SeedTransfer>(&msg.payload)) {
+    fs.ledger.on_send(t->seeds, to);
+    carries_particles = !t->seeds.empty();
+  } else if (const auto* u = std::get_if<Undeliverable>(&msg.payload)) {
+    fs.ledger.on_send(u->particles, to);
+    carries_particles = !u->particles.empty();
+  } else if (const auto* s = std::get_if<StatusUpdate>(&msg.payload)) {
+    if (s->terminated_delta > 0) {
+      fs.ledger.on_reported(from, s->terminated_delta);
+    }
+  } else if (const auto* tc = std::get_if<TerminationCount>(&msg.payload)) {
+    fs.ledger.on_reported(from, tc->count);
+  }
+
+  // Only particle-bearing messages are droppable: the control plane rides
+  // a reliable transport (DESIGN.md §7), and keeping the drop stream off
+  // control traffic keeps fault schedules comparable across algorithms.
+  if (carries_particles && fs.injector.draw_message_drop()) {
+    network_->note_dropped(bytes);
+    ++fs.stats.messages_dropped;
+    engine_->schedule_at(arrive, [this, to, m = std::move(msg)]() mutable {
+      bounce_undeliverable(to, std::move(m));
+    });
+    return;
+  }
+
+  engine_->schedule_at(arrive, [this, to, bytes, m = std::move(msg)]() mutable {
+    deliver(to, bytes, std::move(m));
+  });
+}
+
+void SimRuntime::deliver(int to, std::size_t bytes, Message msg) {
+  if (!rank_alive(to)) {
+    bounce_undeliverable(to, std::move(msg));
+    return;
+  }
+  Context* dest = contexts_[static_cast<std::size_t>(to)].get();
+  dest->metrics.comm_time += network_->endpoint_cost(bytes);
+  dest->program->on_message(*dest, std::move(msg));
+}
+
+void SimRuntime::bounce_undeliverable(int intended, Message msg) {
+  // Extract the particle payload; particle-free messages just vanish
+  // (the control protocols tolerate a dead peer).
+  std::vector<Particle> particles;
+  BlockId block = kInvalidBlock;
+  if (auto* b = std::get_if<ParticleBatch>(&msg.payload)) {
+    particles = std::move(b->particles);
+    block = b->block;
+  } else if (auto* c = std::get_if<Command>(&msg.payload)) {
+    particles = std::move(c->particles);
+    block = c->block;
+  } else if (auto* t = std::get_if<SeedTransfer>(&msg.payload)) {
+    particles = std::move(t->seeds);
+  } else if (auto* u = std::get_if<Undeliverable>(&msg.payload)) {
+    particles = std::move(u->particles);
+    block = u->block;
+  }
+  if (particles.empty()) return;
+
+  // Return to sender; if the sender itself is gone, to the lowest live
+  // rank (rank 0 is immune in every driver configuration).
+  int back = msg.from;
+  if (back < 0 || !rank_alive(back)) {
+    back = -1;
+    for (int r = 0; r < config_.num_ranks; ++r) {
+      if (rank_alive(r)) {
+        back = r;
+        break;
+      }
+    }
+    if (back < 0) return;  // everything died
+  }
+
+  fault_->ledger.on_send(particles, back);
+  Message nm;
+  nm.from = intended;
+  nm.payload = Undeliverable{intended, block, std::move(particles)};
+  const std::size_t nbytes = message_bytes(nm, config_.carry_geometry);
+  const SimTime arrive = network_->delivery_time(engine_->now(), nbytes);
+  engine_->schedule_at(arrive,
+                       [this, back, nbytes, m = std::move(nm)]() mutable {
+                         deliver(back, nbytes, std::move(m));
+                       });
+}
+
+void SimRuntime::checkpoint_tick() {
+  FaultState& fs = *fault_;
+  // Refresh the ledger with every live rank's in-memory particles so the
+  // snapshot reflects "now", not just the last communication.
+  std::vector<Particle> snap;
+  for (int r = 0; r < config_.num_ranks; ++r) {
+    if (!rank_alive(r)) continue;
+    snap.clear();
+    contexts_[static_cast<std::size_t>(r)]->program->snapshot_particles(snap);
+    fs.ledger.refresh(r, snap);
+  }
+
+  auto ck = std::make_shared<Checkpoint>(
+      fs.ledger.to_checkpoint(engine_->now(), config_.num_ranks));
+  for (int r = 0; r < config_.num_ranks; ++r) {
+    CheckpointRankState rs;
+    rs.rank = r;
+    rs.alive = rank_alive(r);
+    if (rs.alive) {
+      rs.resident =
+          contexts_[static_cast<std::size_t>(r)]->resident_blocks();
+    }
+    ck->ranks.push_back(std::move(rs));
+  }
+
+  // Checkpoint cost model: the ledger snapshot is written through the
+  // shared filesystem asynchronously (no rank blocks on it), but the
+  // write burns I/O service time that is attributed evenly to the live
+  // ranks and reported as overhead.
+  const double cost = config_.model.io_service_seconds(checkpoint_bytes(*ck));
+  int live = 0;
+  for (int r = 0; r < config_.num_ranks; ++r) {
+    if (rank_alive(r)) ++live;
+  }
+  if (live > 0) {
+    const double share = cost / live;
+    for (int r = 0; r < config_.num_ranks; ++r) {
+      if (rank_alive(r)) {
+        contexts_[static_cast<std::size_t>(r)]->metrics.checkpoint_seconds +=
+            share;
+      }
+    }
+  }
+  fs.stats.checkpoint_overhead += cost;
+  ++fs.stats.checkpoints_taken;
+  fs.last_checkpoint = ck;
+  if (!config_.fault.checkpoint_path.empty()) {
+    write_checkpoint(config_.fault.checkpoint_path, *ck);
+  }
+}
+
+void SimRuntime::schedule_checkpoint(double at) {
+  engine_->schedule_at(at, [this, at] {
+    if (all_live_finished()) return;  // run is over; let the queue drain
+    checkpoint_tick();
+    schedule_checkpoint(at + config_.fault.checkpoint_interval);
+  });
+}
+
 RunMetrics SimRuntime::run(const ProgramFactory& factory) {
   SimEngine engine;
   SharedDisk disk(config_.model, config_.model.io_channels);
   Network network(config_.model);
+  engine_ = &engine;
+  network_ = &network;
   timeline_ = config_.record_timeline
                   ? std::make_shared<Timeline>(config_.num_ranks)
                   : nullptr;
@@ -182,32 +518,104 @@ RunMetrics SimRuntime::run(const ProgramFactory& factory) {
     contexts_.push_back(std::move(ctx));
   }
 
+  fault_.reset();
+  if (config_.fault.enabled) {
+    fault_ = std::make_unique<FaultState>(config_.fault, config_.num_ranks);
+    fault_->alive.assign(static_cast<std::size_t>(config_.num_ranks), 1);
+    fault_->crash_time.assign(static_cast<std::size_t>(config_.num_ranks),
+                              0.0);
+    fault_->immune.insert(config_.fault.immune_ranks.begin(),
+                          config_.fault.immune_ranks.end());
+    // Seed the ledger: already-terminal particles (rejected seeds, a
+    // restart's done list), then every rank's initial work.
+    fault_->ledger.settle(config_.fault.presettled);
+    std::vector<Particle> snap;
+    for (int r = 0; r < config_.num_ranks; ++r) {
+      snap.clear();
+      contexts_[static_cast<std::size_t>(r)]->program->snapshot_particles(
+          snap);
+      fault_->ledger.init_owned(r, snap);
+    }
+  }
+
   // Kick every program off at t = 0 (in rank order, deterministically).
   for (auto& ctx : contexts_) {
     engine.schedule_at(0.0, [c = ctx.get()] { c->program->start(*c); });
   }
 
-  RunMetrics run_metrics;
-  run_metrics.num_ranks = config_.num_ranks;
-  try {
-    run_metrics.wall_clock = engine.run();
-  } catch (const SimAbort&) {
-    run_metrics.failed_oom = true;
-    run_metrics.wall_clock = engine.now();
+  if (fault_) {
+    for (const CrashEvent& ev : fault_->injector.crash_schedule()) {
+      engine.schedule_at(ev.time, [this, rank = ev.rank] {
+        if (all_live_finished()) return;  // run already over
+        crash_rank(rank, /*from_oom=*/false);
+      });
+    }
+    if (config_.fault.checkpoint_interval > 0.0) {
+      schedule_checkpoint(config_.fault.checkpoint_interval);
+    }
   }
 
+  RunMetrics run_metrics;
+  run_metrics.num_ranks = config_.num_ranks;
+  for (;;) {
+    try {
+      if (!engine.step()) break;
+    } catch (const SimAbort& abort) {
+      // A rank blew its memory budget.  Under fault injection a
+      // non-immune rank's OOM is a recoverable crash; otherwise (or when
+      // the termination-critical rank itself dies) the run fails.
+      const int r = abort.rank;
+      if (fault_ && r >= 0 && rank_alive(r) &&
+          fault_->immune.count(r) == 0) {
+        crash_rank(r, /*from_oom=*/true);
+        continue;
+      }
+      run_metrics.failed_oom = true;
+      run_metrics.failed_fault = fault_ != nullptr;
+      run_metrics.abort_reason = abort.what();
+      break;
+    }
+    if (fault_) {
+      if (all_live_finished()) {
+        if (fault_->done_time < 0.0) fault_->done_time = engine.now();
+      } else {
+        fault_->done_time = -1.0;  // a recovery re-opened some rank
+      }
+    }
+  }
+  run_metrics.wall_clock = (fault_ && fault_->done_time >= 0.0)
+                               ? fault_->done_time
+                               : engine.now();
+
   bool all_finished = true;
-  for (auto& ctx : contexts_) {
+  for (std::size_t r = 0; r < contexts_.size(); ++r) {
+    Context* ctx = contexts_[r].get();
     ctx->sync_cache_counters();
     run_metrics.ranks.push_back(ctx->metrics);
-    if (!ctx->program->finished()) all_finished = false;
-    if (!run_metrics.failed_oom) {
+    if (rank_alive(static_cast<int>(r)) && !ctx->program->finished()) {
+      all_finished = false;
+    }
+    if (!fault_ && !run_metrics.failed_oom) {
       ctx->program->collect_particles(run_metrics.particles);
     }
   }
+  if (!fault_ && run_metrics.failed_oom) {
+    // Partial results: gather whatever each rank had terminated by the
+    // abort so a failed run is still diagnosable.
+    for (auto& ctx : contexts_) {
+      ctx->program->collect_particles(run_metrics.particles);
+    }
+  }
+  if (fault_) {
+    // The ledger is the authoritative result set: it survives crashes
+    // and de-duplicates recovery re-runs.
+    run_metrics.particles = fault_->ledger.terminal_particles();
+    run_metrics.fault = fault_->stats;
+    run_metrics.last_checkpoint = fault_->last_checkpoint;
+  }
   if (!run_metrics.failed_oom && !all_finished) {
-    // The event queue drained but some program still expects work: a
-    // deadlock in the algorithm.  Surface it loudly.
+    // The event queue drained but some live program still expects work: a
+    // deadlock in the algorithm (or an unrecovered fault).  Surface it.
     throw std::logic_error(
         "SimRuntime: simulation quiesced before all ranks finished");
   }
@@ -216,6 +624,8 @@ RunMetrics SimRuntime::run(const ProgramFactory& factory) {
             [](const Particle& a, const Particle& b) { return a.id < b.id; });
   run_metrics.timeline = std::move(timeline_);
   contexts_.clear();
+  engine_ = nullptr;
+  network_ = nullptr;
   return run_metrics;
 }
 

@@ -8,12 +8,25 @@
 // numerical integration, while elapsed time, network transfers, shared-
 // filesystem contention and memory limits are modelled.  Runs are
 // deterministic: same inputs, same metrics, bit for bit.
+//
+// Fault injection (DESIGN.md §7) is layered on top and strictly opt-in:
+// with `fault.enabled == false` every fault hook short-circuits before
+// touching the event queue, so fault-free runs remain bit-identical to
+// the pre-fault runtime.  When enabled, the runtime kills ranks on the
+// injector's schedule, retries faulted block reads with capped
+// exponential backoff, bounces undeliverable particle payloads back to
+// their senders, maintains the particle ledger that makes crashes
+// recoverable, and takes periodic checkpoints of it.
 
 #include <memory>
+#include <set>
 #include <vector>
 
 #include "core/dataset.hpp"
 #include "core/tracer.hpp"
+#include "fault/fault_config.hpp"
+#include "fault/injector.hpp"
+#include "fault/ledger.hpp"
 #include "runtime/block_cache.hpp"
 #include "runtime/metrics.hpp"
 #include "runtime/rank_context.hpp"
@@ -36,6 +49,8 @@ struct SimRuntimeConfig {
   // utilization and starvation analysis (§8).  Off by default: large
   // runs generate millions of spans.
   bool record_timeline = false;
+  // Fault injection, checkpointing and recovery (DESIGN.md §7).
+  FaultConfig fault{};
 };
 
 class SimRuntime {
@@ -52,12 +67,58 @@ class SimRuntime {
  private:
   class Context;
 
+  // All fault-mode state; null when config_.fault.enabled is false, which
+  // is what keeps the disabled path bit-identical.
+  struct FaultState {
+    FaultState(const FaultConfig& config, int num_ranks)
+        : injector(config, num_ranks) {}
+    FaultInjector injector;
+    ParticleLedger ledger;
+    FaultStats stats;
+    std::vector<char> alive;
+    std::vector<double> crash_time;
+    std::set<int> immune;
+    std::shared_ptr<Checkpoint> last_checkpoint;
+    // Simulated time when every live rank finished; the fault-mode wall
+    // clock (trailing injector/checkpoint events do not extend the run).
+    double done_time = -1.0;
+  };
+
+  bool rank_alive(int rank) const;
+  bool all_live_finished() const;
+  // Kill `rank` without touching stats (shared by crash paths).
+  void kill_rank(int rank);
+  // Injected/OOM crash: kill, count, and (kRuntime detector) schedule the
+  // recovery a detection latency later.
+  void crash_rank(int rank, bool from_oom);
+  // kRuntime-detector recovery: re-report the dead rank's lost
+  // termination credits to rank 0, then hand its streamlines to the next
+  // live rank as a ParticleBatch.
+  void runtime_recover(int dead_rank);
+  // kProgram-detector recovery, called by the hybrid master through
+  // RankContext::recover_rank.
+  RecoveredWork recover_for(int recoverer, int dead_rank);
+  // Ledger snooping + drop/dead-rank handling for one sent message.
+  void fault_send(int from, int to, SimTime arrive, std::size_t bytes,
+                  Message msg);
+  // Deliver (or bounce) a message that reached its destination time.
+  void deliver(int to, std::size_t bytes, Message msg);
+  // Return a message's particle payload to a live rank as Undeliverable;
+  // particle-free messages are dropped (the control plane is reliable).
+  void bounce_undeliverable(int intended, Message msg);
+  void checkpoint_tick();
+  void schedule_checkpoint(double at);
+
   SimRuntimeConfig config_;
   const BlockDecomposition* decomp_;
   const BlockSource* source_;
   Tracer tracer_;
   std::vector<std::unique_ptr<Context>> contexts_;
   std::shared_ptr<Timeline> timeline_;
+  std::unique_ptr<FaultState> fault_;
+  // Live only inside run().
+  SimEngine* engine_ = nullptr;
+  Network* network_ = nullptr;
 };
 
 }  // namespace sf

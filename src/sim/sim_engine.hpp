@@ -11,9 +11,12 @@
 namespace sf {
 
 // Thrown inside event handlers to abort the simulated run (e.g. a rank
-// exceeded its memory budget).  Caught by SimRuntime::run.
+// exceeded its memory budget).  Caught by SimRuntime::run, which may turn
+// it into an injected crash of `rank` instead of failing the whole run.
 struct SimAbort : std::runtime_error {
-  explicit SimAbort(const std::string& what) : std::runtime_error(what) {}
+  explicit SimAbort(const std::string& what, int aborting_rank = -1)
+      : std::runtime_error(what), rank(aborting_rank) {}
+  int rank;
 };
 
 class SimEngine {
@@ -30,11 +33,19 @@ class SimEngine {
   // Run until the queue drains; returns the time of the last event.
   // SimAbort propagates to the caller with `now()` at the failure point.
   SimTime run() {
-    while (!queue_.empty()) {
-      now_ = queue_.next_time();
-      queue_.run_next();
+    while (step()) {
     }
     return now_;
+  }
+
+  // Run a single event; returns false once the queue is empty.  Lets a
+  // caller catch SimAbort per event and keep the simulation going (fault
+  // injection turns an OOM abort into a rank crash).
+  bool step() {
+    if (queue_.empty()) return false;
+    now_ = queue_.next_time();
+    queue_.run_next();
+    return true;
   }
 
   std::size_t pending_events() const { return queue_.size(); }

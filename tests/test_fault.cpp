@@ -1,0 +1,416 @@
+// Fault-injection, checkpoint and recovery tests (DESIGN.md §7): the
+// injector is deterministic, checkpoints round-trip bit-for-bit, and all
+// three algorithms survive injected crashes / disk faults / message drops
+// with the *same* final particle set as a fault-free run.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "algorithms/driver.hpp"
+#include "fault/injector.hpp"
+#include "io/checkpoint_io.hpp"
+#include "test_support.hpp"
+
+namespace sf {
+namespace {
+
+using sf::testing::test_config;
+
+void expect_same_particles(const std::vector<Particle>& a,
+                           const std::vector<Particle>& b,
+                           const char* label) {
+  ASSERT_EQ(a.size(), b.size()) << label;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].id, b[i].id) << label << " i=" << i;
+    EXPECT_EQ(a[i].status, b[i].status) << label << " i=" << i;
+    EXPECT_EQ(a[i].steps, b[i].steps) << label << " i=" << i;
+    EXPECT_EQ(a[i].pos.x, b[i].pos.x) << label << " i=" << i;
+    EXPECT_EQ(a[i].pos.y, b[i].pos.y) << label << " i=" << i;
+    EXPECT_EQ(a[i].pos.z, b[i].pos.z) << label << " i=" << i;
+    EXPECT_EQ(a[i].time, b[i].time) << label << " i=" << i;
+  }
+}
+
+std::filesystem::path temp_path(const char* name) {
+  return std::filesystem::temp_directory_path() / name;
+}
+
+// ---------------------------------------------------------------------------
+// FaultInjector
+
+TEST(FaultInjector, ScheduleIsDeterministic) {
+  FaultConfig cfg;
+  cfg.mtbf = 0.5;
+  cfg.max_crashes = 4;
+  cfg.rng_seed = 42;
+  const FaultInjector a(cfg, 16);
+  const FaultInjector b(cfg, 16);
+  ASSERT_EQ(a.crash_schedule().size(), b.crash_schedule().size());
+  ASSERT_LE(a.crash_schedule().size(), 4u);
+  ASSERT_FALSE(a.crash_schedule().empty());
+  for (std::size_t i = 0; i < a.crash_schedule().size(); ++i) {
+    EXPECT_EQ(a.crash_schedule()[i].rank, b.crash_schedule()[i].rank);
+    EXPECT_EQ(a.crash_schedule()[i].time, b.crash_schedule()[i].time);
+    if (i > 0) {
+      EXPECT_GE(a.crash_schedule()[i].time, a.crash_schedule()[i - 1].time);
+    }
+  }
+}
+
+TEST(FaultInjector, ImmuneRanksNeverCrash) {
+  FaultConfig cfg;
+  cfg.mtbf = 0.1;
+  cfg.max_crashes = 100;
+  cfg.immune_ranks = {0, 1};
+  cfg.crashes = {{1.0, 0}, {2.0, 3}, {3.0, 99}};  // 0 immune, 99 oob
+  const FaultInjector inj(cfg, 8);
+  bool saw_explicit = false;
+  for (const CrashEvent& e : inj.crash_schedule()) {
+    EXPECT_NE(e.rank, 0);
+    EXPECT_NE(e.rank, 1);
+    EXPECT_LT(e.rank, 8);
+    EXPECT_GE(e.rank, 0);
+    if (e.rank == 3 && e.time == 2.0) saw_explicit = true;
+  }
+  EXPECT_TRUE(saw_explicit);
+}
+
+TEST(FaultInjector, EachRankCrashesAtMostOnceFromMtbfDraws) {
+  FaultConfig cfg;
+  cfg.mtbf = 0.01;  // would draw far more crashes than ranks
+  cfg.max_crashes = 100;
+  const FaultInjector inj(cfg, 6);
+  std::vector<int> seen;
+  for (const CrashEvent& e : inj.crash_schedule()) {
+    EXPECT_TRUE(std::find(seen.begin(), seen.end(), e.rank) == seen.end())
+        << "rank " << e.rank << " crashed twice";
+    seen.push_back(e.rank);
+  }
+  EXPECT_LE(inj.crash_schedule().size(), 6u);
+}
+
+TEST(FaultInjector, DrawStreamsAreDeterministicAndIndependent) {
+  FaultConfig cfg;
+  cfg.disk_fault_rate = 0.3;
+  cfg.disk_stall_rate = 0.3;
+  cfg.message_drop_rate = 0.3;
+  FaultInjector a(cfg, 4);
+  FaultInjector b(cfg, 4);
+  int faults = 0;
+  for (int i = 0; i < 500; ++i) {
+    const bool fa = a.draw_disk_fault();
+    EXPECT_EQ(fa, b.draw_disk_fault());
+    EXPECT_EQ(a.draw_disk_stall(), b.draw_disk_stall());
+    EXPECT_EQ(a.draw_message_drop(), b.draw_message_drop());
+    faults += fa ? 1 : 0;
+  }
+  EXPECT_GT(faults, 0);
+  EXPECT_LT(faults, 500);
+}
+
+TEST(FaultInjector, MaxDropsCapsMessageDrops) {
+  FaultConfig cfg;
+  cfg.message_drop_rate = 1.0;
+  cfg.max_drops = 5;
+  FaultInjector inj(cfg, 4);
+  int drops = 0;
+  for (int i = 0; i < 100; ++i) drops += inj.draw_message_drop() ? 1 : 0;
+  EXPECT_EQ(drops, 5);
+}
+
+// ---------------------------------------------------------------------------
+// Checkpoint file I/O
+
+Checkpoint sample_checkpoint() {
+  Checkpoint ck;
+  ck.sim_time = 0.1 + 0.2;  // not exactly representable: exercises bit-exact
+  ck.num_ranks = 3;
+  Particle done;
+  done.id = 7;
+  done.pos = {1.0 / 3.0, -2.5e-17, 6.02214076e23};
+  done.time = 4.9999999999999994;
+  done.h = 1e-3;
+  done.steps = 1234;
+  done.geometry_points = 99;
+  done.status = ParticleStatus::kExitedDomain;
+  ck.done.push_back(done);
+  Particle act = done;
+  act.id = 9;
+  act.status = ParticleStatus::kActive;
+  ck.active.push_back(act);
+  ck.active_owner = {2};
+  ck.ranks = {{0, true, {1, 2, 3}}, {1, false, {}}, {2, true, {40}}};
+  return ck;
+}
+
+TEST(CheckpointIo, RoundTripsBitForBit) {
+  const auto path = temp_path("sf_test_roundtrip.sfckpt");
+  const Checkpoint ck = sample_checkpoint();
+  write_checkpoint(path, ck);
+  const Checkpoint rd = read_checkpoint(path);
+  std::filesystem::remove(path);
+
+  EXPECT_EQ(rd.sim_time, ck.sim_time);
+  EXPECT_EQ(rd.num_ranks, ck.num_ranks);
+  expect_same_particles(rd.done, ck.done, "done");
+  expect_same_particles(rd.active, ck.active, "active");
+  ASSERT_EQ(rd.active[0].h, ck.active[0].h);
+  ASSERT_EQ(rd.active[0].geometry_points, ck.active[0].geometry_points);
+  EXPECT_EQ(rd.active_owner, ck.active_owner);
+  ASSERT_EQ(rd.ranks.size(), ck.ranks.size());
+  for (std::size_t i = 0; i < ck.ranks.size(); ++i) {
+    EXPECT_EQ(rd.ranks[i].rank, ck.ranks[i].rank);
+    EXPECT_EQ(rd.ranks[i].alive, ck.ranks[i].alive);
+    EXPECT_EQ(rd.ranks[i].resident, ck.ranks[i].resident);
+  }
+}
+
+TEST(CheckpointIo, RejectsCorruptFiles) {
+  const auto path = temp_path("sf_test_corrupt.sfckpt");
+  write_checkpoint(path, sample_checkpoint());
+  {
+    std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+    f.seekp(40);  // somewhere in the payload
+    const char junk = 0x5a;
+    f.write(&junk, 1);
+  }
+  EXPECT_THROW(read_checkpoint(path), std::runtime_error);
+  std::filesystem::remove(path);
+  EXPECT_THROW(read_checkpoint(path), std::runtime_error);  // missing file
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end recovery, per algorithm
+
+struct FaultWorld {
+  sf::testing::TestWorld w = sf::testing::abc_world(2);
+  std::vector<Vec3> seeds;
+
+  FaultWorld() {
+    Rng rng(321);
+    seeds = random_seeds(w.dataset->bounds(), 40, rng);
+    seeds.push_back({-9, 0, 0});  // rejected seed: exercises presettled
+  }
+
+  ExperimentConfig config(Algorithm algo, int ranks) const {
+    auto cfg = test_config(algo, ranks);
+    cfg.limits.max_steps = 600;
+    cfg.limits.max_time = 10.0;
+    return cfg;
+  }
+
+  RunMetrics run(const ExperimentConfig& cfg) const {
+    return run_experiment(cfg, w.decomp(), *w.source, seeds);
+  }
+};
+
+class CrashRecovery : public ::testing::TestWithParam<Algorithm> {};
+
+// A rank crash halfway through the run must not change the final
+// streamline set: the dead rank's particles are re-run elsewhere from
+// their last safe state, which is bit-identical re-integration.
+TEST_P(CrashRecovery, MidRunCrashKeepsParticlesIdentical) {
+  const Algorithm algo = GetParam();
+  const FaultWorld fw;
+  const int ranks = 9;  // hybrid: 1 master + 8 slaves
+
+  const RunMetrics clean = fw.run(fw.config(algo, ranks));
+  ASSERT_FALSE(clean.failed_oom);
+  ASSERT_GT(clean.wall_clock, 0.0);
+
+  auto cfg = fw.config(algo, ranks);
+  // Rank 5 is a slave under hybrid and a worker under the others; rank 0
+  // is immune everywhere (master / termination counter).
+  cfg.runtime.fault.crashes = {{0.5 * clean.wall_clock, 5}};
+  const RunMetrics m = fw.run(cfg);
+
+  ASSERT_FALSE(m.failed_oom);
+  EXPECT_EQ(m.fault.crashes_injected, 1u);
+  EXPECT_EQ(m.fault.crashes_survived, 1u);
+  EXPECT_GT(m.fault.time_to_recovery, 0.0);
+  EXPECT_TRUE(m.ranks[5].crashed);
+  expect_same_particles(clean.particles, m.particles, "crash-vs-clean");
+  // Recovery costs something (unless the victim was already done).
+  EXPECT_GE(m.wall_clock, clean.wall_clock);
+}
+
+void expect_same_metrics(const RunMetrics& a, const RunMetrics& b,
+                         const char* label) {
+  EXPECT_EQ(a.wall_clock, b.wall_clock) << label;
+  EXPECT_EQ(a.failed_oom, b.failed_oom) << label;
+  EXPECT_EQ(a.total_io_time(), b.total_io_time()) << label;
+  EXPECT_EQ(a.total_comm_time(), b.total_comm_time()) << label;
+  EXPECT_EQ(a.total_compute_time(), b.total_compute_time()) << label;
+  EXPECT_EQ(a.total_messages(), b.total_messages()) << label;
+  EXPECT_EQ(a.total_bytes_sent(), b.total_bytes_sent()) << label;
+  EXPECT_EQ(a.total_steps(), b.total_steps()) << label;
+  EXPECT_EQ(a.fault.crashes_injected, b.fault.crashes_injected) << label;
+  EXPECT_EQ(a.fault.messages_dropped, b.fault.messages_dropped) << label;
+  EXPECT_EQ(a.fault.disk_faults, b.fault.disk_faults) << label;
+  EXPECT_EQ(a.fault.particles_recovered, b.fault.particles_recovered)
+      << label;
+  EXPECT_EQ(a.fault.steps_redone, b.fault.steps_redone) << label;
+  expect_same_particles(a.particles, b.particles, label);
+}
+
+// Repeat runs are bit-for-bit identical — both on the fault-free default
+// path and under an injected fault schedule (seeded draws, DES ordering).
+TEST_P(CrashRecovery, RepeatRunsAreDeterministic) {
+  const Algorithm algo = GetParam();
+  const FaultWorld fw;
+
+  const auto clean_cfg = fw.config(algo, 6);
+  expect_same_metrics(fw.run(clean_cfg), fw.run(clean_cfg), "clean-repeat");
+
+  auto cfg = fw.config(algo, 6);
+  cfg.runtime.fault.mtbf = 0.05;
+  cfg.runtime.fault.max_crashes = 2;
+  cfg.runtime.fault.message_drop_rate = 0.05;
+  expect_same_metrics(fw.run(cfg), fw.run(cfg), "faulted-repeat");
+}
+
+INSTANTIATE_TEST_SUITE_P(AllAlgorithms, CrashRecovery,
+                         ::testing::Values(Algorithm::kStaticAllocation,
+                                           Algorithm::kLoadOnDemand,
+                                           Algorithm::kHybridMasterSlave),
+                         [](const auto& suite_info) {
+                           switch (suite_info.param) {
+                             case Algorithm::kStaticAllocation:
+                               return "Static";
+                             case Algorithm::kLoadOnDemand: return "Lod";
+                             default: return "Hybrid";
+                           }
+                         });
+
+TEST(FaultRecovery, DiskFaultsAreRetriedWithoutChangingResults) {
+  const FaultWorld fw;
+  const RunMetrics clean = fw.run(fw.config(Algorithm::kLoadOnDemand, 6));
+
+  auto cfg = fw.config(Algorithm::kLoadOnDemand, 6);
+  cfg.runtime.fault.disk_fault_rate = 0.2;
+  cfg.runtime.fault.disk_stall_rate = 0.1;
+  const RunMetrics m = fw.run(cfg);
+
+  ASSERT_FALSE(m.failed_oom);
+  EXPECT_GT(m.fault.disk_faults, 0u);
+  std::uint64_t retries = 0;
+  for (const RankMetrics& r : m.ranks) retries += r.disk_retries;
+  EXPECT_EQ(retries, m.fault.disk_faults);
+  expect_same_particles(clean.particles, m.particles, "disk-vs-clean");
+  EXPECT_GT(m.wall_clock, clean.wall_clock);  // retries + stalls cost time
+}
+
+TEST(FaultRecovery, DroppedMessagesBounceAndNoStreamlineIsLost) {
+  const FaultWorld fw;
+  const RunMetrics clean =
+      fw.run(fw.config(Algorithm::kStaticAllocation, 6));
+
+  auto cfg = fw.config(Algorithm::kStaticAllocation, 6);
+  cfg.runtime.fault.message_drop_rate = 0.3;
+  const RunMetrics m = fw.run(cfg);
+
+  ASSERT_FALSE(m.failed_oom);
+  EXPECT_GT(m.fault.messages_dropped, 0u);
+  expect_same_particles(clean.particles, m.particles, "drops-vs-clean");
+}
+
+// ---------------------------------------------------------------------------
+// Checkpoint / restart
+
+class CheckpointRestart : public ::testing::TestWithParam<Algorithm> {};
+
+TEST_P(CheckpointRestart, RestartReproducesUninterruptedRun) {
+  const Algorithm algo = GetParam();
+  const FaultWorld fw;
+  const int ranks = 9;
+
+  const RunMetrics clean = fw.run(fw.config(algo, ranks));
+  ASSERT_FALSE(clean.failed_oom);
+
+  const auto path = temp_path(algo == Algorithm::kStaticAllocation
+                                  ? "sf_test_restart_static.sfckpt"
+                                  : algo == Algorithm::kLoadOnDemand
+                                        ? "sf_test_restart_lod.sfckpt"
+                                        : "sf_test_restart_hybrid.sfckpt");
+  auto cfg = fw.config(algo, ranks);
+  cfg.runtime.fault.checkpoint_interval = 0.4 * clean.wall_clock;
+  cfg.runtime.fault.checkpoint_path = path.string();
+  const RunMetrics ck_run = fw.run(cfg);
+  ASSERT_FALSE(ck_run.failed_oom);
+  ASSERT_GT(ck_run.fault.checkpoints_taken, 0u);
+  ASSERT_NE(ck_run.last_checkpoint, nullptr);
+  expect_same_particles(clean.particles, ck_run.particles,
+                        "checkpointed-vs-clean");
+
+  // The checkpoint file holds a mid-run snapshot: some streamlines done,
+  // some still in flight.  Restarting from it must land on exactly the
+  // uninterrupted final state.
+  auto restart = fw.config(algo, ranks);
+  restart.restart_from = path.string();
+  const RunMetrics resumed = fw.run(restart);
+  std::filesystem::remove(path);
+  ASSERT_FALSE(resumed.failed_oom);
+  expect_same_particles(clean.particles, resumed.particles,
+                        "restart-vs-clean");
+}
+
+INSTANTIATE_TEST_SUITE_P(AlgorithmsWithState, CheckpointRestart,
+                         ::testing::Values(Algorithm::kStaticAllocation,
+                                           Algorithm::kLoadOnDemand,
+                                           Algorithm::kHybridMasterSlave),
+                         [](const auto& suite_info) {
+                           switch (suite_info.param) {
+                             case Algorithm::kStaticAllocation:
+                               return "Static";
+                             case Algorithm::kLoadOnDemand: return "Lod";
+                             default: return "Hybrid";
+                           }
+                         });
+
+// ---------------------------------------------------------------------------
+// OOM handling
+
+TEST(FaultRecovery, OomWithoutFaultLayerKeepsPartialResults) {
+  const FaultWorld fw;
+  auto cfg = fw.config(Algorithm::kStaticAllocation, 4);
+  cfg.runtime.model.particle_memory_bytes = 18 << 10;  // tight: OOM mid-run
+  const RunMetrics m = fw.run(cfg);
+
+  ASSERT_TRUE(m.failed_oom);
+  EXPECT_FALSE(m.failed_fault);  // the fault layer never engaged
+  EXPECT_FALSE(m.abort_reason.empty());
+  // Partial metrics and particles survive the abort (satellite: failed
+  // runs are diagnosable, not empty).
+  EXPECT_GT(m.total_steps(), 0u);
+  EXPECT_LT(m.particles.size(), fw.seeds.size());
+  bool some_oom = false;
+  for (const RankMetrics& r : m.ranks) some_oom |= r.oom;
+  EXPECT_TRUE(some_oom);
+}
+
+TEST(FaultRecovery, OomBecomesARecoverableCrashUnderFaultInjection) {
+  const FaultWorld fw;
+  auto cfg = fw.config(Algorithm::kStaticAllocation, 4);
+  cfg.runtime.model.particle_memory_bytes = 18 << 10;
+  cfg.runtime.fault.enabled = true;
+  const RunMetrics m = fw.run(cfg);
+
+  // The first OOM abort is converted into a rank crash and its work
+  // re-routed.  Whether the run then completes depends on whether the
+  // survivors fit the budget; either way the conversion must be counted.
+  EXPECT_GE(m.fault.oom_crashes, 1u);
+  if (m.failed_oom) {
+    EXPECT_TRUE(m.failed_fault);
+    EXPECT_FALSE(m.abort_reason.empty());
+  } else {
+    const RunMetrics clean = fw.run(fw.config(Algorithm::kStaticAllocation,
+                                              4));
+    expect_same_particles(clean.particles, m.particles, "oom-vs-clean");
+  }
+}
+
+}  // namespace
+}  // namespace sf

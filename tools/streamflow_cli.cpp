@@ -230,7 +230,17 @@ int cmd_experiment(const Flags& flags) {
                  "[--algorithm=hybrid|static|lod] [--procs=64] "
                  "[--blocks=8] [--count=2000] [--seeds=random] "
                  "[--cache=48] [--block-mb=12] [--max-steps=1500] "
-                 "[--max-time=15] [--no-geometry]\n";
+                 "[--max-time=15] [--no-geometry]\n"
+                 "  fault injection / checkpoint / restart:\n"
+                 "    --mtbf=SECONDS          mean time between rank crashes\n"
+                 "    --max-crashes=N         cap on random crashes (default 1)\n"
+                 "    --crash=R@T[,R@T...]    explicit crashes: rank R at time T\n"
+                 "    --disk-fault-rate=P     per-read failure probability\n"
+                 "    --drop-rate=P           particle-message drop probability\n"
+                 "    --checkpoint-interval=S checkpoint every S simulated secs\n"
+                 "    --checkpoint-out=FILE   write the latest checkpoint here\n"
+                 "    --restart-from=FILE     resume from a checkpoint file\n"
+                 "    --fault-seed=N          fault injector RNG seed\n";
     return 0;
   }
   const auto field = make_field(flags.get("field", "supernova"));
@@ -265,12 +275,49 @@ int cmd_experiment(const Flags& flags) {
   cfg.limits.max_steps =
       static_cast<std::uint32_t>(flags.get_long("max-steps", 1500));
 
+  sf::FaultConfig& fc = cfg.runtime.fault;
+  fc.mtbf = flags.get_double("mtbf", 0.0);
+  fc.max_crashes = static_cast<int>(flags.get_long("max-crashes", 1));
+  fc.disk_fault_rate = flags.get_double("disk-fault-rate", 0.0);
+  fc.message_drop_rate = flags.get_double("drop-rate", 0.0);
+  fc.checkpoint_interval = flags.get_double("checkpoint-interval", 0.0);
+  fc.checkpoint_path = flags.get("checkpoint-out", "");
+  fc.rng_seed =
+      static_cast<std::uint64_t>(flags.get_long("fault-seed", 0xfa017LL));
+  cfg.restart_from = flags.get("restart-from", "");
+  // --crash=rank@time[,rank@time...] — deterministic crash schedule.
+  const std::string crash_list = flags.get("crash", "");
+  for (std::size_t at = 0; at < crash_list.size();) {
+    const std::size_t comma = crash_list.find(',', at);
+    const std::string item = crash_list.substr(
+        at, comma == std::string::npos ? std::string::npos : comma - at);
+    const std::size_t sep = item.find('@');
+    try {
+      if (sep == std::string::npos) throw std::invalid_argument(item);
+      fc.crashes.push_back({.time = std::stod(item.substr(sep + 1)),
+                            .rank = std::stoi(item.substr(0, sep))});
+    } catch (const std::exception&) {
+      std::cerr << "bad --crash entry '" << item << "' (want rank@time)\n";
+      return 2;
+    }
+    if (comma == std::string::npos) break;
+    at = comma + 1;
+  }
+
   const auto seeds = make_seeds(flags, field->bounds());
-  const sf::RunMetrics m = run_experiment(cfg, decomp, source, seeds);
+  sf::RunMetrics m;
+  try {
+    m = run_experiment(cfg, decomp, source, seeds);
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << '\n';  // e.g. a bad checkpoint
+    return 1;
+  }
 
   sf::Table table({"metric", "value"});
   table.add_row({std::string("status"),
-                 std::string(m.failed_oom ? "OOM" : "ok")});
+                 std::string(m.failed_oom   ? "OOM"
+                             : m.failed_fault ? "failed"
+                                              : "ok")});
   table.add_row({std::string("wall clock [s]"), m.wall_clock});
   table.add_row({std::string("total I/O time [s]"), m.total_io_time()});
   table.add_row({std::string("total comm time [s]"), m.total_comm_time()});
@@ -289,6 +336,36 @@ int cmd_experiment(const Flags& flags) {
                  static_cast<long long>(m.total_steps())});
   table.add_row({std::string("streamlines"),
                  static_cast<long long>(m.particles.size())});
+  const sf::FaultStats& fs = m.fault;
+  const bool fault_active = fc.mtbf > 0.0 || !fc.crashes.empty() ||
+                            fc.disk_fault_rate > 0.0 ||
+                            fc.message_drop_rate > 0.0 ||
+                            fc.checkpoint_interval > 0.0 ||
+                            !cfg.restart_from.empty();
+  if (fault_active) {
+    table.add_row({std::string("crashes injected"),
+                   static_cast<long long>(fs.crashes_injected)});
+    table.add_row({std::string("crashes survived"),
+                   static_cast<long long>(fs.crashes_survived)});
+    table.add_row({std::string("OOM crashes"),
+                   static_cast<long long>(fs.oom_crashes)});
+    table.add_row({std::string("disk faults"),
+                   static_cast<long long>(fs.disk_faults)});
+    table.add_row({std::string("disk stalls"),
+                   static_cast<long long>(fs.disk_stalls)});
+    table.add_row({std::string("messages dropped"),
+                   static_cast<long long>(fs.messages_dropped)});
+    table.add_row({std::string("particles recovered"),
+                   static_cast<long long>(fs.particles_recovered)});
+    table.add_row({std::string("steps redone"),
+                   static_cast<long long>(fs.steps_redone)});
+    table.add_row({std::string("time to recovery [s]"),
+                   fs.time_to_recovery});
+    table.add_row({std::string("checkpoints taken"),
+                   static_cast<long long>(fs.checkpoints_taken)});
+    table.add_row({std::string("checkpoint overhead [s]"),
+                   fs.checkpoint_overhead});
+  }
   table.print(std::cout);
   return 0;
 }
