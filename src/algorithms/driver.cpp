@@ -1,6 +1,7 @@
 #include "algorithms/driver.hpp"
 
 #include <algorithm>
+#include <stdexcept>
 #include <utility>
 
 #include "algorithms/load_on_demand.hpp"
@@ -30,57 +31,69 @@ bool fault_features_requested(const FaultConfig& f,
          f.checkpoint_interval > 0.0;
 }
 
-}  // namespace
+// Everything both runtimes share: seed rejection, checkpoint restart,
+// algorithm factory construction, per-algorithm fault wiring and the
+// invariant-checker protocol selection.
+struct PreparedRun {
+  ExperimentConfig cfg;
+  ProgramFactory factory;
+  std::vector<Particle> rejected;
+  std::vector<Particle> prior_done;
+  bool faulty = false;
+};
 
-RunMetrics run_experiment(const ExperimentConfig& config,
-                          const BlockDecomposition& decomp,
-                          const BlockSource& source,
-                          std::span<const Vec3> seeds) {
-  ExperimentConfig cfg = config;  // we finish the fault wiring locally
-  const bool faulty =
-      fault_features_requested(cfg.runtime.fault, cfg.restart_from);
+PreparedRun prepare_run(const ExperimentConfig& config,
+                        const BlockDecomposition& decomp,
+                        std::span<const Vec3> seeds) {
+  PreparedRun run;
+  run.cfg = config;  // we finish the fault wiring locally
+  ExperimentConfig& cfg = run.cfg;
+  run.faulty = fault_features_requested(cfg.runtime.fault, cfg.restart_from);
+  const bool faulty = run.faulty;
   cfg.runtime.fault.enabled = faulty;
 
-  std::vector<Particle> rejected;
-  std::vector<Particle> particles = make_particles(decomp, seeds, rejected);
+  std::vector<Particle> particles =
+      make_particles(decomp, seeds, run.rejected);
 
   // A restart replaces the freshly seeded particles with the checkpoint's
   // active set; its done list joins the rejected seeds as presettled
   // results.  Re-advecting a particle from its checkpointed solver state
   // reproduces the uninterrupted trajectory bit for bit.
-  std::vector<Particle> prior_done;
   if (!cfg.restart_from.empty()) {
     const Checkpoint ck = read_checkpoint(cfg.restart_from);
     particles = ck.active;
-    prior_done = ck.done;
+    run.prior_done = ck.done;
   }
   const auto total_active = static_cast<std::uint32_t>(particles.size());
   const int num_ranks = cfg.runtime.num_ranks;
 
-  ProgramFactory factory;
   switch (cfg.algorithm) {
     case Algorithm::kStaticAllocation:
+      cfg.runtime.checked_protocol = CheckedProtocol::kStaticAllocation;
       if (faulty) {
         cfg.runtime.fault.detector = FaultConfig::Detector::kRuntime;
         cfg.runtime.fault.immune_ranks = {0};  // the termination counter
       }
-      factory = make_static_allocation(
+      run.factory = make_static_allocation(
           &decomp,
           partition_by_block_owner(decomp, num_ranks, std::move(particles)),
           total_active);
       break;
     case Algorithm::kLoadOnDemand:
+      cfg.runtime.checked_protocol = CheckedProtocol::kLoadOnDemand;
       if (faulty) {
         cfg.runtime.fault.detector = FaultConfig::Detector::kRuntime;
         cfg.runtime.fault.immune_ranks = {0};
       }
-      factory = make_load_on_demand(
+      run.factory = make_load_on_demand(
           &decomp,
           partition_evenly_by_block(num_ranks, decomp, std::move(particles)));
       break;
     case Algorithm::kHybridMasterSlave: {
       const HybridLayout layout =
           HybridLayout::make(num_ranks, cfg.hybrid.slaves_per_master);
+      cfg.runtime.checked_protocol = CheckedProtocol::kHybrid;
+      cfg.runtime.checker_num_masters = layout.num_masters;
       if (faulty) {
         // Hybrid detects failures in-protocol: slaves heartbeat, the
         // master declares the silent dead (the sixth rule).  Masters are
@@ -101,7 +114,7 @@ RunMetrics run_experiment(const ExperimentConfig& config,
       // trick as §4.2's seed split): each master group then only touches
       // the blocks its own seeds and their streamlines reach, instead of
       // every group re-loading the whole dataset.
-      factory = make_hybrid(
+      run.factory = make_hybrid(
           &decomp,
           partition_evenly_by_block(layout.num_masters, decomp,
                                     std::move(particles)),
@@ -113,28 +126,64 @@ RunMetrics run_experiment(const ExperimentConfig& config,
   if (faulty) {
     // Already-terminal particles live in the ledger from the start, so
     // checkpoints and final results are complete across restarts.
-    cfg.runtime.fault.presettled = rejected;
+    cfg.runtime.fault.presettled = run.rejected;
     cfg.runtime.fault.presettled.insert(cfg.runtime.fault.presettled.end(),
-                                        prior_done.begin(),
-                                        prior_done.end());
+                                        run.prior_done.begin(),
+                                        run.prior_done.end());
   }
+  return run;
+}
 
-  SimRuntime runtime(cfg.runtime, &decomp, &source, cfg.integrator,
-                     cfg.limits);
-  RunMetrics metrics = runtime.run(factory);
+// Fold the presettled particles into a non-fault result set (fault mode
+// lets the ledger do it).  Failed runs keep their partial results too —
+// diagnosable is better than empty.
+void merge_presettled(RunMetrics& metrics, const PreparedRun& run) {
+  if (run.faulty) return;
+  metrics.particles.insert(metrics.particles.end(), run.rejected.begin(),
+                           run.rejected.end());
+  metrics.particles.insert(metrics.particles.end(), run.prior_done.begin(),
+                           run.prior_done.end());
+  std::sort(
+      metrics.particles.begin(), metrics.particles.end(),
+      [](const Particle& a, const Particle& b) { return a.id < b.id; });
+}
 
-  if (!faulty) {
-    // The ledger already folds presettled particles into fault-mode
-    // results; here we merge them ourselves.  Failed runs keep their
-    // partial results too — diagnosable is better than empty.
-    metrics.particles.insert(metrics.particles.end(), rejected.begin(),
-                             rejected.end());
-    metrics.particles.insert(metrics.particles.end(), prior_done.begin(),
-                             prior_done.end());
-    std::sort(
-        metrics.particles.begin(), metrics.particles.end(),
-        [](const Particle& a, const Particle& b) { return a.id < b.id; });
+}  // namespace
+
+RunMetrics run_experiment(const ExperimentConfig& config,
+                          const BlockDecomposition& decomp,
+                          const BlockSource& source,
+                          std::span<const Vec3> seeds) {
+  PreparedRun run = prepare_run(config, decomp, seeds);
+  SimRuntime runtime(run.cfg.runtime, &decomp, &source, run.cfg.integrator,
+                     run.cfg.limits);
+  RunMetrics metrics = runtime.run(run.factory);
+  merge_presettled(metrics, run);
+  return metrics;
+}
+
+RunMetrics run_experiment_threads(const ExperimentConfig& config,
+                                  const BlockDecomposition& decomp,
+                                  const BlockSource& source,
+                                  std::span<const Vec3> seeds) {
+  PreparedRun run = prepare_run(config, decomp, seeds);
+  if (run.faulty) {
+    throw std::invalid_argument(
+        "run_experiment_threads: the thread runtime has no fault plane; "
+        "drop the fault/restart flags or use the simulated runtime");
   }
+  ThreadRuntimeConfig tcfg;
+  tcfg.num_ranks = run.cfg.runtime.num_ranks;
+  tcfg.model = run.cfg.runtime.model;
+  tcfg.cache_blocks = run.cfg.runtime.cache_blocks;
+  tcfg.carry_geometry = run.cfg.runtime.carry_geometry;
+  tcfg.schedule_fuzz_seed = run.cfg.schedule_fuzz_seed;
+  tcfg.checked_protocol = run.cfg.runtime.checked_protocol;
+  tcfg.checker_num_masters = run.cfg.runtime.checker_num_masters;
+  ThreadRuntime runtime(tcfg, &decomp, &source, run.cfg.integrator,
+                        run.cfg.limits);
+  RunMetrics metrics = runtime.run(run.factory);
+  merge_presettled(metrics, run);
   return metrics;
 }
 

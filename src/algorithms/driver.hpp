@@ -12,6 +12,7 @@
 #include "core/tracer.hpp"
 #include "runtime/metrics.hpp"
 #include "runtime/sim_runtime.hpp"
+#include "runtime/thread_runtime.hpp"
 
 namespace sf {
 
@@ -34,6 +35,9 @@ struct ExperimentConfig {
   // results and only its active particles are re-advected, reproducing
   // the uninterrupted run's final particles exactly.
   std::string restart_from;
+  // Schedule-perturbation fuzz seed for run_experiment_threads
+  // (--schedule-fuzz); 0 disables.  Ignored by the simulated runtime.
+  std::uint64_t schedule_fuzz_seed = 0;
 };
 
 // Run one experiment.  Seeds outside the domain terminate immediately and
@@ -49,5 +53,14 @@ RunMetrics run_experiment(const ExperimentConfig& config,
                           const BlockDecomposition& decomp,
                           const BlockSource& source,
                           std::span<const Vec3> seeds);
+
+// Same experiment on the real-thread runtime (one OS thread per rank),
+// with optional schedule-perturbation fuzzing via
+// config.schedule_fuzz_seed.  The thread runtime has no fault plane:
+// any fault/restart request throws std::invalid_argument.
+RunMetrics run_experiment_threads(const ExperimentConfig& config,
+                                  const BlockDecomposition& decomp,
+                                  const BlockSource& source,
+                                  std::span<const Vec3> seeds);
 
 }  // namespace sf

@@ -82,6 +82,11 @@ class HybridSlave final : public RankProgram {
   }
 
   void on_message(RankContext& ctx, Message msg) override {
+    // Slaves are driven purely by Commands and inter-slave batches; the
+    // master-side kinds below never target a slave (shutdown arrives as
+    // Command::kTerminate, not DoneSignal).
+    // protocol-lint: ignores StatusUpdate, TerminationCount, DoneSignal
+    // protocol-lint: ignores SeedRequest, SeedTransfer
     if (auto* batch = std::get_if<ParticleBatch>(&msg.payload)) {
       accept_particles(ctx, std::move(batch->particles));
       try_start(ctx);
@@ -336,6 +341,10 @@ class HybridMaster final : public RankProgram {
   }
 
   void on_message(RankContext& ctx, Message msg) override {
+    // Masters never receive raw particle traffic: slaves ship batches to
+    // each other and report via StatusUpdate, and only masters issue
+    // Commands.
+    // protocol-lint: ignores ParticleBatch, Command
     if (finished_) return;
     if (records_.count(msg.from) != 0) last_heard_[msg.from] = ctx.now();
     if (auto* undeliv = std::get_if<Undeliverable>(&msg.payload)) {

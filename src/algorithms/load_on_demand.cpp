@@ -28,6 +28,9 @@ class LoadOnDemandProgram final : public RankProgram {
     // Load On Demand never communicates during normal operation; the only
     // messages it can receive are recovery hand-offs of a dead rank's
     // remaining streamlines, which just join the pool.
+    // protocol-lint: ignores StatusUpdate, Command, TerminationCount
+    // protocol-lint: ignores DoneSignal, SeedRequest, SeedTransfer
+    // protocol-lint: ignores Undeliverable
     if (auto* batch = std::get_if<ParticleBatch>(&msg.payload)) {
       for (Particle& p : batch->particles) {
         ctx.charge_particle_memory(static_cast<std::int64_t>(

@@ -32,6 +32,10 @@ class StaticProgram final : public RankProgram {
   }
 
   void on_message(RankContext& ctx, Message msg) override {
+    // Static Allocation only trades particles and the §4.1 termination
+    // count; Hybrid-only traffic cannot legally reach it.
+    // protocol-lint: ignores StatusUpdate, Command, SeedRequest
+    // protocol-lint: ignores SeedTransfer
     if (auto* batch = std::get_if<ParticleBatch>(&msg.payload)) {
       for (Particle& p : batch->particles) {
         accept_or_forward(ctx, std::move(p));

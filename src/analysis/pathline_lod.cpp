@@ -31,7 +31,13 @@ class PathlineLodProgram final : public RankProgram {
     try_start(ctx);
   }
 
-  void on_message(RankContext&, Message) override {}
+  void on_message(RankContext&, Message) override {
+    // Pathline Load On Demand is fully communication-free and runs on a
+    // single rank, so no message can legally arrive.
+    // protocol-lint: ignores ParticleBatch, StatusUpdate, Command
+    // protocol-lint: ignores TerminationCount, DoneSignal, SeedRequest
+    // protocol-lint: ignores SeedTransfer, Undeliverable
+  }
 
   void on_block_loaded(RankContext& ctx, BlockId) override {
     if (loads_outstanding_ > 0) --loads_outstanding_;

@@ -1,0 +1,554 @@
+#include "check/invariants.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "algorithms/routing.hpp"
+
+namespace sf {
+
+const char* to_string(ViolationKind k) {
+  switch (k) {
+    case ViolationKind::kConservation: return "conservation";
+    case ViolationKind::kDoubleAssign: return "double-assign";
+    case ViolationKind::kPhantomDelivery: return "phantom-delivery";
+    case ViolationKind::kPhantomTermination: return "phantom-termination";
+    case ViolationKind::kDuplicateTermination:
+      return "duplicate-termination";
+    case ViolationKind::kLostParticle: return "lost-particle";
+    case ViolationKind::kCacheOverflow: return "cache-overflow";
+    case ViolationKind::kCacheMismatch: return "cache-mismatch";
+    case ViolationKind::kIllegalMessage: return "illegal-message";
+    case ViolationKind::kPrematureTermination:
+      return "premature-termination";
+    case ViolationKind::kDoubleTermination: return "double-termination";
+    case ViolationKind::kSendAfterFinish: return "send-after-finish";
+  }
+  return "unknown";
+}
+
+namespace {
+
+std::string format_diag(const InvariantDiagnostic& d) {
+  std::ostringstream os;
+  os << "invariant violation [" << to_string(d.kind) << "] rank " << d.rank
+     << " t=" << d.when;
+  if (d.particle != InvariantDiagnostic::kNoParticle) {
+    os << " particle " << d.particle;
+  }
+  if (d.block != kInvalidBlock) os << " block " << d.block;
+  if (!d.detail.empty()) os << ": " << d.detail;
+  return os.str();
+}
+
+const char* payload_name(const Message& msg) {
+  struct Namer {
+    const char* operator()(const ParticleBatch&) { return "ParticleBatch"; }
+    const char* operator()(const StatusUpdate&) { return "StatusUpdate"; }
+    const char* operator()(const Command&) { return "Command"; }
+    const char* operator()(const TerminationCount&) {
+      return "TerminationCount";
+    }
+    const char* operator()(const DoneSignal&) { return "DoneSignal"; }
+    const char* operator()(const SeedRequest&) { return "SeedRequest"; }
+    const char* operator()(const SeedTransfer&) { return "SeedTransfer"; }
+    const char* operator()(const Undeliverable&) { return "Undeliverable"; }
+  };
+  return std::visit(Namer{}, msg.payload);
+}
+
+// Is the message a terminate broadcast (DoneSignal or Command::kTerminate)?
+bool is_finish_broadcast(const Message& msg) {
+  if (std::holds_alternative<DoneSignal>(msg.payload)) return true;
+  const auto* cmd = std::get_if<Command>(&msg.payload);
+  return cmd != nullptr && cmd->type == Command::Type::kTerminate;
+}
+
+}  // namespace
+
+InvariantViolation::InvariantViolation(InvariantDiagnostic diag)
+    : std::logic_error(format_diag(diag)), diag_(std::move(diag)) {}
+
+InvariantChecker::InvariantChecker(const CheckerConfig& config)
+    : config_(config) {
+  ranks_.resize(static_cast<std::size_t>(std::max(0, config_.num_ranks)));
+}
+
+void InvariantChecker::fail(InvariantDiagnostic diag) const {
+  throw InvariantViolation(std::move(diag));
+}
+
+const std::vector<Particle>* InvariantChecker::payload_particles(
+    const Message& msg) {
+  if (const auto* b = std::get_if<ParticleBatch>(&msg.payload)) {
+    return &b->particles;
+  }
+  if (const auto* c = std::get_if<Command>(&msg.payload)) {
+    return c->particles.empty() ? nullptr : &c->particles;
+  }
+  if (const auto* t = std::get_if<SeedTransfer>(&msg.payload)) {
+    return t->seeds.empty() ? nullptr : &t->seeds;
+  }
+  if (const auto* u = std::get_if<Undeliverable>(&msg.payload)) {
+    return &u->particles;
+  }
+  return nullptr;
+}
+
+// ---------------------------------------------------------------------------
+// Lifecycle
+// ---------------------------------------------------------------------------
+
+void InvariantChecker::on_seeded(int rank,
+                                 const std::vector<Particle>& particles) {
+  std::lock_guard lock(mutex_);
+  for (const Particle& p : particles) {
+    ParticleState& s = particles_[p.id];
+    if (is_terminal(p.status)) {
+      if (!s.done) {
+        s.done = true;
+        ++done_count_;
+      }
+      continue;
+    }
+    s.holders[rank] += 1;
+    ++live_copies_;
+  }
+}
+
+void InvariantChecker::on_presettled(const std::vector<Particle>& particles) {
+  std::lock_guard lock(mutex_);
+  for (const Particle& p : particles) {
+    ParticleState& s = particles_[p.id];
+    if (!s.done) {
+      s.done = true;
+      ++done_count_;
+    }
+  }
+}
+
+void InvariantChecker::on_run_end(bool completed, double now) {
+  std::lock_guard lock(mutex_);
+  audit_locked(now);
+  if (!completed) return;
+  for (const auto& [id, s] : particles_) {
+    if (!s.done) {
+      fail({.kind = ViolationKind::kLostParticle,
+            .rank = -1,
+            .when = now,
+            .particle = id,
+            .detail = "run completed but streamline never terminated"});
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Conservation transitions
+// ---------------------------------------------------------------------------
+
+void InvariantChecker::take_from_holder(int rank, const Particle& p,
+                                        double now, ViolationKind kind) {
+  ParticleState& s = particles_[p.id];
+  auto it = s.holders.find(rank);
+  if (it == s.holders.end() || it->second <= 0) {
+    std::ostringstream os;
+    os << "rank does not hold the particle (holders:";
+    for (const auto& [r, n] : s.holders) os << ' ' << r << 'x' << n;
+    os << ", in-flight " << s.in_flight << ", done "
+       << (s.done ? "yes" : "no") << ")";
+    fail({.kind = kind,
+          .rank = rank,
+          .when = now,
+          .particle = p.id,
+          .detail = os.str()});
+  }
+  if (--it->second == 0) s.holders.erase(it);
+  --live_copies_;
+}
+
+void InvariantChecker::on_send(int from, int to, const Message& msg,
+                               double now) {
+  std::lock_guard lock(mutex_);
+  check_protocol(from, to, msg, now);
+  if (is_finish_broadcast(msg)) note_finish_broadcast(from, to, now);
+
+  const std::vector<Particle>* particles = payload_particles(msg);
+  if (particles == nullptr) return;
+  if (from >= 0 && from < config_.num_ranks &&
+      ranks_[static_cast<std::size_t>(from)].told_to_finish) {
+    fail({.kind = ViolationKind::kSendAfterFinish,
+          .rank = from,
+          .when = now,
+          .particle = particles->empty()
+                          ? InvariantDiagnostic::kNoParticle
+                          : particles->front().id,
+          .detail = std::string(payload_name(msg)) +
+                    " sent after terminate was received"});
+  }
+  for (const Particle& p : *particles) {
+    // The sender must hold the copy it ships: shipping a particle twice
+    // (or one that lives on another rank) is the double-assign bug class.
+    take_from_holder(from, p, now, ViolationKind::kDoubleAssign);
+    ParticleState& s = particles_[p.id];
+    s.in_flight += 1;
+    ++live_copies_;
+  }
+}
+
+void InvariantChecker::on_deliver(int to, const Message& msg, double now) {
+  std::lock_guard lock(mutex_);
+  if (is_finish_broadcast(msg) && to >= 0 && to < config_.num_ranks) {
+    RankState& r = ranks_[static_cast<std::size_t>(to)];
+    if (config_.protocol != CheckedProtocol::kNone && r.told_to_finish) {
+      fail({.kind = ViolationKind::kDoubleTermination,
+            .rank = to,
+            .when = now,
+            .detail = "second terminate broadcast delivered to this rank"});
+    }
+    r.told_to_finish = true;
+  }
+
+  const std::vector<Particle>* particles = payload_particles(msg);
+  if (particles == nullptr) return;
+  for (const Particle& p : *particles) {
+    ParticleState& s = particles_[p.id];
+    if (s.in_flight <= 0) {
+      fail({.kind = ViolationKind::kPhantomDelivery,
+            .rank = to,
+            .when = now,
+            .particle = p.id,
+            .detail = "delivery without a matching in-flight copy"});
+    }
+    s.in_flight -= 1;
+    s.holders[to] += 1;
+    // live_copies_ unchanged: one wire copy became one resident copy.
+    if (!config_.fault_mode && !s.done &&
+        s.in_flight + static_cast<int>(s.holders.size()) != 1) {
+      fail({.kind = ViolationKind::kConservation,
+            .rank = to,
+            .when = now,
+            .particle = p.id,
+            .detail = "particle resident in more than one place"});
+    }
+  }
+}
+
+void InvariantChecker::on_terminated(int rank, const Particle& p,
+                                     bool first_time, double now) {
+  std::lock_guard lock(mutex_);
+  take_from_holder(rank, p, now, ViolationKind::kPhantomTermination);
+  ParticleState& s = particles_[p.id];
+  if (first_time) {
+    if (s.done) {
+      fail({.kind = ViolationKind::kDuplicateTermination,
+            .rank = rank,
+            .when = now,
+            .particle = p.id,
+            .detail = "first-time credit for an already-done streamline"});
+    }
+    s.done = true;
+    ++done_count_;
+  } else {
+    if (!config_.fault_mode) {
+      fail({.kind = ViolationKind::kDuplicateTermination,
+            .rank = rank,
+            .when = now,
+            .particle = p.id,
+            .detail = "duplicate termination outside fault mode"});
+    }
+    if (!s.done) {
+      fail({.kind = ViolationKind::kConservation,
+            .rank = rank,
+            .when = now,
+            .particle = p.id,
+            .detail = "ledger says duplicate but checker never saw the "
+                      "first termination"});
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Fault plane
+// ---------------------------------------------------------------------------
+
+void InvariantChecker::on_crash(int rank, double now) {
+  (void)now;
+  std::lock_guard lock(mutex_);
+  if (rank < 0 || rank >= config_.num_ranks) return;
+  ranks_[static_cast<std::size_t>(rank)].crashed = true;
+  // The rank's resident replicas die with it; they stay reachable through
+  // the ledger until a recovery re-owns them.
+  for (auto& [id, s] : particles_) {
+    auto it = s.holders.find(rank);
+    if (it == s.holders.end()) continue;
+    s.recoverable += it->second;
+    live_copies_ -= static_cast<std::size_t>(it->second);
+    s.holders.erase(it);
+  }
+  // Its cache contents are gone too.
+  ranks_[static_cast<std::size_t>(rank)].lru.clear();
+}
+
+void InvariantChecker::on_recover(int dead_rank, int new_owner,
+                                  const std::vector<Particle>& particles,
+                                  double now) {
+  std::lock_guard lock(mutex_);
+  for (const Particle& p : particles) {
+    ParticleState& s = particles_[p.id];
+    if (s.done) {
+      fail({.kind = ViolationKind::kConservation,
+            .rank = dead_rank,
+            .when = now,
+            .particle = p.id,
+            .detail = "recovery re-activated a terminated streamline"});
+    }
+    if (s.recoverable > 0) s.recoverable -= 1;
+    s.holders[new_owner] += 1;
+    ++live_copies_;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Block-cache coherence
+// ---------------------------------------------------------------------------
+
+void InvariantChecker::on_block_insert(int rank, BlockId id,
+                                       const std::vector<BlockId>& actual,
+                                       double now) {
+  std::lock_guard lock(mutex_);
+  if (rank < 0 || rank >= config_.num_ranks || config_.cache_blocks == 0) {
+    return;
+  }
+  std::list<BlockId>& lru = ranks_[static_cast<std::size_t>(rank)].lru;
+  auto it = std::find(lru.begin(), lru.end(), id);
+  if (it != lru.end()) {
+    lru.splice(lru.begin(), lru, it);  // re-insert of a resident block
+  } else {
+    if (lru.size() >= config_.cache_blocks) lru.pop_back();
+    lru.push_front(id);
+  }
+
+  if (actual.size() > config_.cache_blocks) {
+    fail({.kind = ViolationKind::kCacheOverflow,
+          .rank = rank,
+          .when = now,
+          .block = id,
+          .detail = "resident " + std::to_string(actual.size()) +
+                    " blocks, capacity " +
+                    std::to_string(config_.cache_blocks)});
+  }
+  if (!std::equal(lru.begin(), lru.end(), actual.begin(), actual.end())) {
+    std::ostringstream os;
+    os << "cache residency diverged from the LRU ledger (ledger:";
+    for (BlockId b : lru) os << ' ' << b;
+    os << "; cache:";
+    for (BlockId b : actual) os << ' ' << b;
+    os << ")";
+    fail({.kind = ViolationKind::kCacheMismatch,
+          .rank = rank,
+          .when = now,
+          .block = id,
+          .detail = os.str()});
+  }
+}
+
+void InvariantChecker::on_block_touch(int rank, BlockId id) {
+  std::lock_guard lock(mutex_);
+  if (rank < 0 || rank >= config_.num_ranks) return;
+  std::list<BlockId>& lru = ranks_[static_cast<std::size_t>(rank)].lru;
+  auto it = std::find(lru.begin(), lru.end(), id);
+  if (it != lru.end()) lru.splice(lru.begin(), lru, it);
+}
+
+// ---------------------------------------------------------------------------
+// Protocol legality
+// ---------------------------------------------------------------------------
+
+void InvariantChecker::note_finish_broadcast(int from, int to, double now) {
+  (void)from;
+  if (config_.protocol == CheckedProtocol::kNone) return;
+  if (to < 0 || to >= config_.num_ranks) return;
+  RankState& r = ranks_[static_cast<std::size_t>(to)];
+  if (r.finish_sent) {
+    fail({.kind = ViolationKind::kDoubleTermination,
+          .rank = to,
+          .when = now,
+          .detail = "terminate broadcast sent twice to this rank"});
+  }
+  r.finish_sent = true;
+  // Single-fire AND only at global completion: the checker's own done
+  // count must already equal the seeded count.
+  if (done_count_ != particles_.size()) {
+    fail({.kind = ViolationKind::kPrematureTermination,
+          .rank = to,
+          .when = now,
+          .detail = "terminate broadcast with " +
+                    std::to_string(particles_.size() - done_count_) +
+                    " streamlines undone"});
+  }
+}
+
+void InvariantChecker::check_protocol(int from, int to, const Message& msg,
+                                      double now) {
+  const auto illegal = [&](const char* why) {
+    fail({.kind = ViolationKind::kIllegalMessage,
+          .rank = from,
+          .when = now,
+          .detail = std::string(payload_name(msg)) + " " +
+                    std::to_string(from) + " -> " + std::to_string(to) +
+                    ": " + why});
+  };
+
+  // Undeliverable frames are minted by the runtime's reliable-transport
+  // model, never by a program.
+  if (std::holds_alternative<Undeliverable>(msg.payload)) {
+    illegal("only the runtime may emit Undeliverable bounces");
+  }
+
+  switch (config_.protocol) {
+    case CheckedProtocol::kNone:
+      return;
+
+    case CheckedProtocol::kLoadOnDemand:
+      // §4.2: pure data parallelism — ranks never communicate.  Even
+      // under fault injection the recovery hand-off bypasses the send
+      // plane, so any program-issued message is a bug.
+      illegal("load-on-demand ranks never send messages");
+      return;
+
+    case CheckedProtocol::kStaticAllocation: {
+      if (const auto* b = std::get_if<ParticleBatch>(&msg.payload)) {
+        // §4.1 routing: hand-offs go to the block's static owner.  Under
+        // fault injection ownership is redirected past dead ranks, so
+        // the exact-owner check only binds in fault-free runs.
+        if (!config_.fault_mode && b->block != kInvalidBlock &&
+            config_.num_blocks > 0) {
+          const int owner =
+              contiguous_owner(config_.num_blocks, config_.num_ranks,
+                               b->block);
+          if (owner != to) illegal("batch routed to a non-owner rank");
+        }
+        return;
+      }
+      if (std::holds_alternative<TerminationCount>(msg.payload)) {
+        if (to != 0) illegal("termination counts aggregate on rank 0");
+        return;
+      }
+      if (std::holds_alternative<DoneSignal>(msg.payload)) {
+        if (from != 0) illegal("only rank 0 broadcasts the done signal");
+        return;
+      }
+      illegal("payload kind is not part of the static-allocation protocol");
+      return;
+    }
+
+    case CheckedProtocol::kHybrid: {
+      const int nm = config_.num_masters;
+      const auto is_master = [nm](int r) { return r >= 0 && r < nm; };
+      // Mirror of HybridLayout's balanced contiguous split.
+      const auto master_of = [this, nm](int slave) {
+        const std::int64_t ns = config_.num_ranks - nm;
+        const std::int64_t s = slave - nm;
+        return static_cast<int>(((s + 1) * nm - 1) / ns);
+      };
+      if (std::holds_alternative<StatusUpdate>(msg.payload)) {
+        if (is_master(from)) illegal("masters do not send status updates");
+        if (to != master_of(from)) {
+          illegal("status update addressed to a foreign master");
+        }
+        return;
+      }
+      if (std::holds_alternative<Command>(msg.payload)) {
+        if (!is_master(from)) illegal("only masters issue commands");
+        if (is_master(to)) illegal("commands go to slaves");
+        if (master_of(to) != from) {
+          illegal("command addressed to another master's slave");
+        }
+        return;
+      }
+      if (std::holds_alternative<ParticleBatch>(msg.payload)) {
+        // Send_force / Send_hint shipments travel slave-to-slave.
+        if (is_master(from) || is_master(to)) {
+          illegal("particle batches travel between slaves");
+        }
+        return;
+      }
+      if (std::holds_alternative<TerminationCount>(msg.payload)) {
+        if (!is_master(from) || to != 0) {
+          illegal("termination counts flow master -> master 0");
+        }
+        return;
+      }
+      if (std::holds_alternative<DoneSignal>(msg.payload)) {
+        if (from != 0 || !is_master(to)) {
+          illegal("done signal flows master 0 -> masters");
+        }
+        return;
+      }
+      if (std::holds_alternative<SeedRequest>(msg.payload) ||
+          std::holds_alternative<SeedTransfer>(msg.payload)) {
+        if (!is_master(from) || !is_master(to)) {
+          illegal("seed balancing is master-to-master traffic");
+        }
+        return;
+      }
+      return;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Audit
+// ---------------------------------------------------------------------------
+
+void InvariantChecker::audit_locked(double now) const {
+  for (const auto& [id, s] : particles_) {
+    int holders = s.in_flight;
+    for (const auto& [rank, n] : s.holders) holders += n;
+    if (s.done) continue;
+    if (config_.fault_mode) {
+      if (holders + s.recoverable < 1) {
+        fail({.kind = ViolationKind::kConservation,
+              .rank = -1,
+              .when = now,
+              .particle = id,
+              .detail = "undone streamline with no live or recoverable "
+                        "copy"});
+      }
+    } else if (holders != 1) {
+      fail({.kind = ViolationKind::kConservation,
+            .rank = -1,
+            .when = now,
+            .particle = id,
+            .detail = "undone streamline held " + std::to_string(holders) +
+                      " times (want exactly 1)"});
+    }
+  }
+}
+
+void InvariantChecker::audit(double now) const {
+  std::lock_guard lock(mutex_);
+  audit_locked(now);
+}
+
+std::size_t InvariantChecker::seeded() const {
+  std::lock_guard lock(mutex_);
+  return particles_.size();
+}
+
+std::size_t InvariantChecker::done() const {
+  std::lock_guard lock(mutex_);
+  return done_count_;
+}
+
+std::unique_ptr<InvariantChecker> make_invariant_checker(
+    const CheckerConfig& config) {
+#if SF_CHECK_INVARIANTS
+  return std::make_unique<InvariantChecker>(config);
+#else
+  (void)config;
+  return nullptr;
+#endif
+}
+
+}  // namespace sf

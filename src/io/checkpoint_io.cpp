@@ -179,6 +179,11 @@ Checkpoint read_checkpoint(const std::filesystem::path& path) {
   if (!f) {
     throw std::runtime_error("checkpoint: truncated file " + path.string());
   }
+  if (f.peek() != std::ifstream::traits_type::eof()) {
+    // Bytes after the declared payload: appended garbage or a mangled
+    // header length.  Either way the file is not what was written.
+    throw std::runtime_error("checkpoint: trailing bytes in " + path.string());
+  }
   if (fnv1a(payload.data(), payload.size()) != h.payload_checksum) {
     throw std::runtime_error("checkpoint: checksum mismatch in " +
                              path.string());

@@ -38,6 +38,8 @@ class SimRuntime::Context final : public RankContext {
 
   void send(int to, Message msg) override {
     msg.from = rank_;
+    SF_INVARIANT_HOOK(runtime_->checker_,
+                      on_send(rank_, to, msg, engine_->now()));
     const std::size_t bytes =
         message_bytes(msg, runtime_->config_.carry_geometry);
     metrics.comm_time += network_->endpoint_cost(bytes);
@@ -51,6 +53,8 @@ class SimRuntime::Context final : public RankContext {
     Context* dest = runtime_->contexts_[static_cast<std::size_t>(to)].get();
     engine_->schedule_at(arrive, [dest, bytes, m = std::move(msg)]() mutable {
       dest->metrics.comm_time += dest->network_->endpoint_cost(bytes);
+      SF_INVARIANT_HOOK(dest->runtime_->checker_,
+                        on_deliver(dest->rank_, m, dest->engine_->now()));
       dest->program->on_message(*dest, std::move(m));
     });
   }
@@ -81,7 +85,12 @@ class SimRuntime::Context final : public RankContext {
   }
 
   const StructuredGrid* block(BlockId id) override {
-    return cache_.find(id);
+    const StructuredGrid* grid = cache_.find(id);
+    if (grid != nullptr) {
+      // find() moved the block to the front of the LRU; mirror it.
+      SF_INVARIANT_HOOK(runtime_->checker_, on_block_touch(rank_, id));
+    }
+    return grid;
   }
 
   void begin_compute(double seconds, std::uint64_t steps) override {
@@ -134,8 +143,12 @@ class SimRuntime::Context final : public RankContext {
   }
 
   bool log_termination(const Particle& p) override {
-    if (!runtime_->fault_) return true;
-    return runtime_->fault_->ledger.on_terminated(rank_, p);
+    const bool first =
+        !runtime_->fault_ ||
+        runtime_->fault_->ledger.on_terminated(rank_, p);
+    SF_INVARIANT_HOOK(runtime_->checker_,
+                      on_terminated(rank_, p, first, engine_->now()));
+    return first;
   }
 
   RecoveredWork recover_rank(int dead_rank) override {
@@ -203,6 +216,9 @@ class SimRuntime::Context final : public RankContext {
       // The real payload is fetched at completion time (memoized inside
       // the source, so host memory holds each block once).
       cache_.insert(id, runtime_->source_->load(id));
+      SF_INVARIANT_HOOK(
+          runtime_->checker_,
+          on_block_insert(rank_, id, cache_.resident(), engine_->now()));
       pending_.erase(id);
       sync_cache_counters();
       program->on_block_loaded(*this, id);
@@ -252,6 +268,7 @@ bool SimRuntime::all_live_finished() const {
 }
 
 void SimRuntime::kill_rank(int rank) {
+  SF_INVARIANT_HOOK(checker_, on_crash(rank, engine_->now()));
   FaultState& fs = *fault_;
   fs.alive[static_cast<std::size_t>(rank)] = 0;
   fs.crash_time[static_cast<std::size_t>(rank)] = engine_->now();
@@ -314,6 +331,10 @@ void SimRuntime::runtime_recover(int dead_rank) {
   }
   if (!work.active.empty()) {
     fs.ledger.on_send(work.active, succ);
+    // Direct hand-off past the message plane: the checker sees it as a
+    // recovery re-owning, not a send/deliver pair.
+    SF_INVARIANT_HOOK(
+        checker_, on_recover(dead_rank, succ, work.active, engine_->now()));
     Context* s = contexts_[static_cast<std::size_t>(succ)].get();
     Message m;
     m.from = dead_rank;
@@ -337,6 +358,9 @@ RecoveredWork SimRuntime::recover_for(int recoverer, int dead_rank) {
   fs.stats.particles_recovered += work.active.size();
   fs.stats.time_to_recovery +=
       engine_->now() - fs.crash_time[static_cast<std::size_t>(dead_rank)];
+  SF_INVARIANT_HOOK(
+      checker_,
+      on_recover(dead_rank, recoverer, work.active, engine_->now()));
   return work;
 }
 
@@ -393,6 +417,7 @@ void SimRuntime::deliver(int to, std::size_t bytes, Message msg) {
   }
   Context* dest = contexts_[static_cast<std::size_t>(to)].get();
   dest->metrics.comm_time += network_->endpoint_cost(bytes);
+  SF_INVARIANT_HOOK(checker_, on_deliver(to, msg, engine_->now()));
   dest->program->on_message(*dest, std::move(msg));
 }
 
@@ -487,6 +512,9 @@ void SimRuntime::checkpoint_tick() {
   fs.stats.checkpoint_overhead += cost;
   ++fs.stats.checkpoints_taken;
   fs.last_checkpoint = ck;
+  // A checkpoint is a global consistency point: every seeded streamline
+  // must still be done or reachable.
+  SF_INVARIANT_HOOK(checker_, audit(engine_->now()));
   if (!config_.fault.checkpoint_path.empty()) {
     write_checkpoint(config_.fault.checkpoint_path, *ck);
   }
@@ -516,6 +544,24 @@ RunMetrics SimRuntime::run(const ProgramFactory& factory) {
     auto ctx = std::make_unique<Context>(this, &engine, &disk, &network, r);
     ctx->program = factory(r, config_.num_ranks);
     contexts_.push_back(std::move(ctx));
+  }
+
+  checker_ = make_invariant_checker(
+      {.protocol = config_.checked_protocol,
+       .num_ranks = config_.num_ranks,
+       .num_masters = config_.checker_num_masters,
+       .num_blocks = decomp_->num_blocks(),
+       .cache_blocks = config_.cache_blocks,
+       .fault_mode = config_.fault.enabled});
+  if (checker_) {
+    std::vector<Particle> snap;
+    for (int r = 0; r < config_.num_ranks; ++r) {
+      snap.clear();
+      contexts_[static_cast<std::size_t>(r)]->program->snapshot_particles(
+          snap);
+      checker_->on_seeded(r, snap);
+    }
+    checker_->on_presettled(config_.fault.presettled);
   }
 
   fault_.reset();
@@ -619,6 +665,9 @@ RunMetrics SimRuntime::run(const ProgramFactory& factory) {
     throw std::logic_error(
         "SimRuntime: simulation quiesced before all ranks finished");
   }
+  SF_INVARIANT_HOOK(checker_,
+                    on_run_end(!run_metrics.failed_oom, engine.now()));
+  checker_.reset();
 
   std::sort(run_metrics.particles.begin(), run_metrics.particles.end(),
             [](const Particle& a, const Particle& b) { return a.id < b.id; });

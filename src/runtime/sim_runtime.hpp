@@ -22,6 +22,7 @@
 #include <set>
 #include <vector>
 
+#include "check/invariants.hpp"
 #include "core/dataset.hpp"
 #include "core/tracer.hpp"
 #include "fault/fault_config.hpp"
@@ -51,6 +52,13 @@ struct SimRuntimeConfig {
   bool record_timeline = false;
   // Fault injection, checkpointing and recovery (DESIGN.md §7).
   FaultConfig fault{};
+  // Which protocol's legality rules the invariant checker enforces
+  // (DESIGN.md §8).  kNone still checks conservation, cache coherence
+  // and termination accounting.  Only meaningful in builds with
+  // SF_CHECK_INVARIANTS; Release runs ignore it entirely.
+  CheckedProtocol checked_protocol = CheckedProtocol::kNone;
+  // Hybrid layout input for the protocol model (ranks [0, n) are masters).
+  int checker_num_masters = 0;
 };
 
 class SimRuntime {
@@ -116,6 +124,8 @@ class SimRuntime {
   std::vector<std::unique_ptr<Context>> contexts_;
   std::shared_ptr<Timeline> timeline_;
   std::unique_ptr<FaultState> fault_;
+  // Live only inside run(); null when compiled out (Release).
+  std::unique_ptr<InvariantChecker> checker_;
   // Live only inside run().
   SimEngine* engine_ = nullptr;
   Network* network_ = nullptr;

@@ -4,12 +4,15 @@
 #include <chrono>
 #include <condition_variable>
 #include <deque>
+#include <exception>
 #include <mutex>
 #include <set>
 #include <stdexcept>
 #include <thread>
+#include <utility>
 #include <variant>
 
+#include "core/rng.hpp"
 #include "runtime/block_cache.hpp"
 
 namespace sf {
@@ -31,7 +34,14 @@ class ThreadRuntime::Context final : public RankContext {
         rank_(rank),
         epoch_(epoch),
         abort_(abort),
-        cache_(runtime->config_.cache_blocks) {}
+        cache_(runtime->config_.cache_blocks),
+        fuzz_enabled_(runtime->config_.schedule_fuzz_seed != 0) {
+    // Derive a distinct per-rank stream from the shared fuzz seed.
+    std::uint64_t sm = runtime->config_.schedule_fuzz_seed +
+                       0x9e3779b97f4a7c15ULL * static_cast<std::uint64_t>(
+                                                  rank + 1);
+    fuzz_ = Rng(splitmix64(sm));
+  }
 
   // --- RankContext -------------------------------------------------------
 
@@ -49,6 +59,9 @@ class ThreadRuntime::Context final : public RankContext {
 
   void send(int to, Message msg) override {
     msg.from = rank_;
+    SF_INVARIANT_HOOK(runtime_->checker_,
+                      on_send(rank_, to, msg, seconds_since(epoch_)));
+    maybe_perturb();
     const std::size_t bytes =
         message_bytes(msg, runtime_->config_.carry_geometry);
     const auto t0 = std::chrono::steady_clock::now();
@@ -66,6 +79,7 @@ class ThreadRuntime::Context final : public RankContext {
     }
     if (pending_.count(id) != 0) return;
     pending_.insert(id);
+    maybe_perturb();
     // Real synchronous read; completion is delivered through the local
     // event queue so the program still sees it asynchronously.
     const auto t0 = std::chrono::steady_clock::now();
@@ -73,6 +87,10 @@ class ThreadRuntime::Context final : public RankContext {
     metrics.io_time += seconds_since(t0);
     metrics.bytes_read += runtime_->source_->block_bytes(id);
     cache_.insert(id, std::move(grid));
+    SF_INVARIANT_HOOK(runtime_->checker_,
+                      on_block_insert(rank_, id, cache_.resident(),
+                                      seconds_since(epoch_)));
+    maybe_perturb();
     pending_.erase(id);
     local_.push_back(id);
   }
@@ -86,7 +104,22 @@ class ThreadRuntime::Context final : public RankContext {
   std::vector<BlockId> resident_blocks() const override {
     return cache_.resident();
   }
-  const StructuredGrid* block(BlockId id) override { return cache_.find(id); }
+  const StructuredGrid* block(BlockId id) override {
+    const StructuredGrid* grid = cache_.find(id);
+    if (grid != nullptr) {
+      // find() moved the block to the front of the LRU; mirror it.
+      SF_INVARIANT_HOOK(runtime_->checker_, on_block_touch(rank_, id));
+    }
+    return grid;
+  }
+
+  bool log_termination(const Particle& p) override {
+    // No fault plane on the thread runtime yet: always a first-time credit.
+    SF_INVARIANT_HOOK(
+        runtime_->checker_,
+        on_terminated(rank_, p, /*first_time=*/true, seconds_since(epoch_)));
+    return true;
+  }
 
   void begin_compute(double seconds, std::uint64_t steps) override {
     // The real work already happened inside the handler; record it and
@@ -115,6 +148,7 @@ class ThreadRuntime::Context final : public RankContext {
 
   // --- thread driver -------------------------------------------------------
 
+  // Called from the sender's thread; must not touch this rank's Rng.
   void deliver(Message msg) {
     {
       std::lock_guard lock(mailbox_mutex_);
@@ -136,11 +170,18 @@ class ThreadRuntime::Context final : public RankContext {
         Message msg = std::move(mailbox_.front());
         mailbox_.pop_front();
         lock.unlock();
+        maybe_perturb();
+        SF_INVARIANT_HOOK(runtime_->checker_,
+                          on_deliver(rank_, msg, seconds_since(epoch_)));
         program->on_message(*this, std::move(msg));
         drain_local();
       }
     } catch (const ThreadAbort&) {
       // OOM: abort_ is set; all threads wind down.
+    } catch (...) {
+      // Anything else (an InvariantViolation, a program bug) must reach
+      // the caller, not std::terminate: park it and stop every thread.
+      runtime_->note_failure(std::current_exception());
     }
     metrics.blocks_loaded = cache_.loads();
     metrics.blocks_purged = cache_.purges();
@@ -165,6 +206,9 @@ class ThreadRuntime::Context final : public RankContext {
           msg = std::move(mailbox_.front());
           mailbox_.pop_front();
         }
+        maybe_perturb();
+        SF_INVARIANT_HOOK(runtime_->checker_,
+                          on_deliver(rank_, msg, seconds_since(epoch_)));
         program->on_message(*this, std::move(msg));
       }
       if (local_.empty()) break;
@@ -178,11 +222,27 @@ class ThreadRuntime::Context final : public RankContext {
     }
   }
 
+  // Seeded schedule perturbation: nudge the OS scheduler at the points
+  // where rank threads interact (mailboxes, the shared block source) so
+  // TSan runs explore many interleavings instead of one.
+  void maybe_perturb() {
+    if (!fuzz_enabled_) return;
+    const std::uint64_t draw = fuzz_.next_below(16);
+    if (draw == 0) {
+      std::this_thread::sleep_for(
+          std::chrono::microseconds(fuzz_.next_below(200)));
+    } else if (draw < 8) {
+      std::this_thread::yield();
+    }
+  }
+
   ThreadRuntime* runtime_;
   int rank_;
   std::chrono::steady_clock::time_point epoch_;
   std::atomic<bool>* abort_;
   BlockCache cache_;
+  bool fuzz_enabled_;
+  Rng fuzz_;
   std::set<BlockId> pending_;
   std::deque<LocalEvent> local_;
   std::int64_t particle_bytes_ = 0;
@@ -211,9 +271,19 @@ ThreadRuntime::ThreadRuntime(const ThreadRuntimeConfig& config,
 
 ThreadRuntime::~ThreadRuntime() = default;
 
+void ThreadRuntime::note_failure(std::exception_ptr error) {
+  {
+    std::lock_guard lock(failure_mutex_);
+    if (!failure_) failure_ = std::move(error);
+  }
+  abort_flag_->store(true);
+}
+
 RunMetrics ThreadRuntime::run(const ProgramFactory& factory) {
   const auto epoch = std::chrono::steady_clock::now();
   std::atomic<bool> abort{false};
+  abort_flag_ = &abort;
+  failure_ = nullptr;
 
   contexts_.clear();
   for (int r = 0; r < config_.num_ranks; ++r) {
@@ -222,17 +292,42 @@ RunMetrics ThreadRuntime::run(const ProgramFactory& factory) {
     contexts_.back()->program = factory(r, config_.num_ranks);
   }
 
+  checker_ = make_invariant_checker(
+      {.protocol = config_.checked_protocol,
+       .num_ranks = config_.num_ranks,
+       .num_masters = config_.checker_num_masters,
+       .num_blocks = decomp_->num_blocks(),
+       .cache_blocks = config_.cache_blocks,
+       .fault_mode = false});
+  if (checker_) {
+    std::vector<Particle> snap;
+    for (int r = 0; r < config_.num_ranks; ++r) {
+      snap.clear();
+      contexts_[static_cast<std::size_t>(r)]->program->snapshot_particles(
+          snap);
+      checker_->on_seeded(r, snap);
+    }
+  }
+
   std::vector<std::thread> threads;
   threads.reserve(contexts_.size());
   for (auto& ctx : contexts_) {
     threads.emplace_back([c = ctx.get()] { c->thread_main(); });
   }
   for (std::thread& t : threads) t.join();
+  abort_flag_ = nullptr;
+  if (failure_) {
+    checker_.reset();
+    std::rethrow_exception(std::exchange(failure_, nullptr));
+  }
 
   RunMetrics run_metrics;
   run_metrics.num_ranks = config_.num_ranks;
   run_metrics.wall_clock = seconds_since(epoch);
   run_metrics.failed_oom = abort.load();
+  SF_INVARIANT_HOOK(checker_, on_run_end(!run_metrics.failed_oom,
+                                         run_metrics.wall_clock));
+  checker_.reset();
   for (auto& ctx : contexts_) {
     run_metrics.ranks.push_back(ctx->metrics);
     if (!run_metrics.failed_oom) {

@@ -9,8 +9,12 @@
 // real multi-core node.  Timing metrics are measured wall-clock seconds;
 // for scaling *studies* use SimRuntime, which models a large machine.
 
+#include <atomic>
+#include <exception>
 #include <memory>
+#include <mutex>
 
+#include "check/invariants.hpp"
 #include "core/dataset.hpp"
 #include "core/tracer.hpp"
 #include "runtime/metrics.hpp"
@@ -23,6 +27,15 @@ struct ThreadRuntimeConfig {
   MachineModel model{};  // memory budgets + per-particle overheads
   std::size_t cache_blocks = 32;
   bool carry_geometry = true;
+  // Schedule-perturbation fuzzing (DESIGN.md §8): when non-zero, every
+  // rank thread injects seeded random yields/short sleeps at mailbox and
+  // cache boundaries so sanitizer runs explore diverse interleavings.
+  // 0 disables (the default); results are unaffected either way.
+  std::uint64_t schedule_fuzz_seed = 0;
+  // Invariant-checker protocol rules (DESIGN.md §8); kNone still checks
+  // conservation, cache coherence and termination accounting.
+  CheckedProtocol checked_protocol = CheckedProtocol::kNone;
+  int checker_num_masters = 0;
 };
 
 class ThreadRuntime {
@@ -37,11 +50,20 @@ class ThreadRuntime {
  private:
   class Context;
 
+  // First exception a rank thread died on; rethrown from run().
+  void note_failure(std::exception_ptr error);
+
   ThreadRuntimeConfig config_;
   const BlockDecomposition* decomp_;
   const BlockSource* source_;
   Tracer tracer_;
   std::vector<std::unique_ptr<Context>> contexts_;
+  // Live only inside run(); null when compiled out (Release).  The
+  // checker serializes internally, so all rank threads share it.
+  std::unique_ptr<InvariantChecker> checker_;
+  std::mutex failure_mutex_;
+  std::exception_ptr failure_;
+  std::atomic<bool>* abort_flag_ = nullptr;  // run()'s abort, for failures
 };
 
 }  // namespace sf

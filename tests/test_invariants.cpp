@@ -1,0 +1,330 @@
+// Tests for the runtime invariant checker (src/check/, DESIGN.md §8).
+//
+// Each test seeds a deliberate protocol violation — a double-assigned
+// particle, a streamline dropped on the floor, an over-full cache, a
+// phantom termination, an illegal message — and asserts the checker
+// flags it with the right structured diagnostic.  The malicious
+// RankPrograms run under the real SimRuntime so the production hook
+// sites, not a mock, are what catch them.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "check/invariants.hpp"
+#include "runtime/sim_runtime.hpp"
+#include "test_support.hpp"
+
+namespace sf {
+namespace {
+
+#if !SF_CHECK_INVARIANTS
+
+TEST(InvariantChecker, CompiledOut) {
+  // Release builds: the factory returns null and the hooks vanish.
+  EXPECT_EQ(make_invariant_checker({}), nullptr);
+  GTEST_SKIP() << "invariant checker compiled out (SF_CHECK_INVARIANTS=0)";
+}
+
+#else  // SF_CHECK_INVARIANTS
+
+Particle live_particle(std::uint32_t id) {
+  Particle p;
+  p.id = id;
+  p.pos = {0.1, 0.1, 0.1};
+  return p;
+}
+
+// Run `fn`, require an InvariantViolation, and hand back its diagnostic.
+template <typename Fn>
+InvariantDiagnostic expect_violation(Fn&& fn) {
+  try {
+    fn();
+  } catch (const InvariantViolation& v) {
+    return v.diag();
+  }
+  ADD_FAILURE() << "expected an InvariantViolation";
+  return {};
+}
+
+// A rank program that misbehaves on demand.  Every instance starts
+// holding `pool` and finishes immediately after committing its sin.
+class EvilProgram final : public RankProgram {
+ public:
+  enum class Sin {
+    kNone,            // hold the pool, terminate it properly
+    kDoubleSend,      // ship the same particles twice
+    kDropParticles,   // discard the pool without terminating it
+    kPhantomTerminate,  // credit a termination for a particle never held
+    kSend,            // send the pool to rank (rank+1) once
+  };
+
+  EvilProgram(Sin sin, std::vector<Particle> pool)
+      : sin_(sin), pool_(std::move(pool)) {}
+
+  void start(RankContext& ctx) override {
+    switch (sin_) {
+      case Sin::kNone:
+        terminate_pool(ctx);
+        break;
+      case Sin::kDoubleSend: {
+        for (int repeat = 0; repeat < 2; ++repeat) {
+          Message m;
+          m.payload = ParticleBatch{kInvalidBlock, pool_};
+          ctx.send((ctx.rank() + 1) % ctx.num_ranks(), std::move(m));
+        }
+        pool_.clear();
+        break;
+      }
+      case Sin::kDropParticles:
+        pool_.clear();
+        break;
+      case Sin::kPhantomTerminate: {
+        Particle ghost = live_particle(9999);
+        ghost.status = ParticleStatus::kMaxSteps;
+        ctx.log_termination(ghost);
+        break;
+      }
+      case Sin::kSend: {
+        Message m;
+        m.payload = ParticleBatch{kInvalidBlock, std::move(pool_)};
+        pool_.clear();
+        ctx.send((ctx.rank() + 1) % ctx.num_ranks(), std::move(m));
+        break;
+      }
+    }
+    finished_ = true;
+  }
+
+  void on_message(RankContext& ctx, Message msg) override {
+    // Accept hand-offs and settle them so clean configurations conserve.
+    if (auto* b = std::get_if<ParticleBatch>(&msg.payload)) {
+      pool_ = std::move(b->particles);
+      terminate_pool(ctx);
+    }
+  }
+  void on_block_loaded(RankContext&, BlockId) override {}
+  void on_compute_done(RankContext&) override {}
+  bool finished() const override { return finished_; }
+  void collect_particles(std::vector<Particle>& out) const override {
+    out.insert(out.end(), done_.begin(), done_.end());
+  }
+  void snapshot_particles(std::vector<Particle>& out) const override {
+    out.insert(out.end(), pool_.begin(), pool_.end());
+  }
+
+ private:
+  void terminate_pool(RankContext& ctx) {
+    for (Particle& p : pool_) {
+      p.status = ParticleStatus::kMaxSteps;
+      ctx.log_termination(p);
+      done_.push_back(p);
+    }
+    pool_.clear();
+  }
+
+  Sin sin_;
+  std::vector<Particle> pool_;
+  std::vector<Particle> done_;
+  bool finished_ = false;
+};
+
+// Rank 0 commits `sin` while holding one particle; every other rank is a
+// well-behaved receiver.
+RunMetrics run_evil(EvilProgram::Sin sin,
+                    CheckedProtocol protocol = CheckedProtocol::kNone) {
+  testing::TestWorld world = testing::rotor_world(2);
+  SimRuntimeConfig cfg;
+  cfg.num_ranks = 2;
+  cfg.model = testing::test_model();
+  cfg.cache_blocks = 4;
+  cfg.checked_protocol = protocol;
+  SimRuntime runtime(cfg, &world.decomp(), world.source.get(), {}, {});
+  return runtime.run([sin](int rank, int) -> std::unique_ptr<RankProgram> {
+    std::vector<Particle> pool;
+    if (rank == 0) pool.push_back(live_particle(7));
+    return std::make_unique<EvilProgram>(
+        rank == 0 ? sin : EvilProgram::Sin::kNone, std::move(pool));
+  });
+}
+
+TEST(InvariantChecker, CleanRunPasses) {
+  const RunMetrics m = run_evil(EvilProgram::Sin::kNone);
+  ASSERT_EQ(m.particles.size(), 1u);
+  EXPECT_EQ(m.particles[0].id, 7u);
+}
+
+TEST(InvariantChecker, HandOffPasses) {
+  // A legal send/deliver/terminate chain conserves and completes.
+  const RunMetrics m = run_evil(EvilProgram::Sin::kSend);
+  ASSERT_EQ(m.particles.size(), 1u);
+}
+
+TEST(InvariantChecker, DoubleAssignDetected) {
+  const InvariantDiagnostic diag = expect_violation(
+      [] { run_evil(EvilProgram::Sin::kDoubleSend); });
+  EXPECT_EQ(diag.kind, ViolationKind::kDoubleAssign);
+  EXPECT_EQ(diag.rank, 0);
+  EXPECT_EQ(diag.particle, 7u);
+}
+
+TEST(InvariantChecker, LostParticleDetected) {
+  const InvariantDiagnostic diag = expect_violation(
+      [] { run_evil(EvilProgram::Sin::kDropParticles); });
+  EXPECT_EQ(diag.kind, ViolationKind::kLostParticle);
+  EXPECT_EQ(diag.particle, 7u);
+}
+
+TEST(InvariantChecker, PhantomTerminationDetected) {
+  const InvariantDiagnostic diag = expect_violation(
+      [] { run_evil(EvilProgram::Sin::kPhantomTerminate); });
+  EXPECT_EQ(diag.kind, ViolationKind::kPhantomTermination);
+  EXPECT_EQ(diag.rank, 0);
+  EXPECT_EQ(diag.particle, 9999u);
+}
+
+TEST(InvariantChecker, LoadOnDemandSilenceEnforced) {
+  // Under the load-on-demand protocol ranks never communicate; any send
+  // is illegal no matter the payload.
+  const InvariantDiagnostic diag = expect_violation([] {
+    run_evil(EvilProgram::Sin::kSend, CheckedProtocol::kLoadOnDemand);
+  });
+  EXPECT_EQ(diag.kind, ViolationKind::kIllegalMessage);
+  EXPECT_EQ(diag.rank, 0);
+}
+
+TEST(InvariantChecker, DiagnosticNamesRankTimeAndParticle) {
+  try {
+    run_evil(EvilProgram::Sin::kDoubleSend);
+    FAIL() << "expected an InvariantViolation";
+  } catch (const InvariantViolation& v) {
+    const std::string what = v.what();
+    EXPECT_NE(what.find("double-assign"), std::string::npos) << what;
+    EXPECT_NE(what.find("rank 0"), std::string::npos) << what;
+    EXPECT_NE(what.find("t="), std::string::npos) << what;
+    EXPECT_NE(what.find("particle 7"), std::string::npos) << what;
+  }
+}
+
+// --- direct checker-model tests (no runtime) -----------------------------
+
+CheckerConfig direct_config(std::size_t cache_blocks) {
+  CheckerConfig cfg;
+  cfg.num_ranks = 2;
+  cfg.cache_blocks = cache_blocks;
+  return cfg;
+}
+
+TEST(InvariantChecker, CacheOverflowDetected) {
+  InvariantChecker ck(direct_config(2));
+  ck.on_block_insert(0, 1, {1}, 0.0);
+  ck.on_block_insert(0, 2, {2, 1}, 0.1);
+  // A buggy cache that fails to evict: three resident with capacity 2.
+  const InvariantDiagnostic diag = expect_violation(
+      [&] { ck.on_block_insert(0, 3, {3, 2, 1}, 0.2); });
+  EXPECT_EQ(diag.kind, ViolationKind::kCacheOverflow);
+  EXPECT_EQ(diag.rank, 0);
+  EXPECT_EQ(diag.block, 3);
+}
+
+TEST(InvariantChecker, CacheMismatchDetected) {
+  InvariantChecker ck(direct_config(2));
+  ck.on_block_insert(0, 1, {1}, 0.0);
+  ck.on_block_insert(0, 2, {2, 1}, 0.1);
+  // Eviction happened but in FIFO order, not LRU: block 1 was touched so
+  // block 2 should have been the victim.
+  ck.on_block_touch(0, 1);
+  const InvariantDiagnostic diag = expect_violation(
+      [&] { ck.on_block_insert(0, 3, {3, 2}, 0.2); });
+  EXPECT_EQ(diag.kind, ViolationKind::kCacheMismatch);
+}
+
+TEST(InvariantChecker, LruModelAcceptsCorrectCache) {
+  // Mirror of BlockCache semantics: insert/touch/evict in LRU order.
+  InvariantChecker ck(direct_config(2));
+  ck.on_block_insert(0, 1, {1}, 0.0);
+  ck.on_block_insert(0, 2, {2, 1}, 0.1);
+  ck.on_block_touch(0, 1);                  // 1 becomes MRU
+  ck.on_block_insert(0, 3, {3, 1}, 0.2);    // evicts 2
+  ck.on_block_insert(0, 1, {1, 3}, 0.3);    // re-insert touches only
+}
+
+TEST(InvariantChecker, PrematureTerminationDetected) {
+  CheckerConfig cfg = direct_config(4);
+  cfg.protocol = CheckedProtocol::kStaticAllocation;
+  InvariantChecker ck(cfg);
+  ck.on_seeded(1, {live_particle(1)});
+  Message done;
+  done.from = 0;
+  done.payload = DoneSignal{};
+  const InvariantDiagnostic diag = expect_violation(
+      [&] { ck.on_send(0, 1, done, 1.0); });
+  EXPECT_EQ(diag.kind, ViolationKind::kPrematureTermination);
+}
+
+TEST(InvariantChecker, SecondTerminateBroadcastDetected) {
+  CheckerConfig cfg = direct_config(4);
+  cfg.protocol = CheckedProtocol::kStaticAllocation;
+  InvariantChecker ck(cfg);
+  Particle p = live_particle(1);
+  ck.on_seeded(1, {p});
+  p.status = ParticleStatus::kMaxTime;
+  ck.on_terminated(1, p, /*first_time=*/true, 0.5);
+  Message done;
+  done.from = 0;
+  done.payload = DoneSignal{};
+  ck.on_send(0, 1, done, 1.0);
+  const InvariantDiagnostic diag = expect_violation(
+      [&] { ck.on_send(0, 1, done, 2.0); });
+  EXPECT_EQ(diag.kind, ViolationKind::kDoubleTermination);
+  EXPECT_EQ(diag.rank, 1);
+}
+
+TEST(InvariantChecker, HybridRoutingRulesEnforced) {
+  CheckerConfig cfg = direct_config(4);
+  cfg.protocol = CheckedProtocol::kHybrid;
+  cfg.num_ranks = 4;
+  cfg.num_masters = 1;  // rank 0 master, ranks 1-3 slaves
+  InvariantChecker ck(cfg);
+
+  Message status;
+  status.from = 1;
+  status.payload = StatusUpdate{};
+  ck.on_send(1, 0, status, 0.1);  // slave -> its master: legal
+
+  Message sideways = status;
+  sideways.from = 2;
+  const InvariantDiagnostic diag = expect_violation(
+      [&] { ck.on_send(2, 1, sideways, 0.2); });
+  EXPECT_EQ(diag.kind, ViolationKind::kIllegalMessage);
+
+  Message cmd;
+  cmd.from = 1;
+  Command load;
+  load.type = Command::Type::kLoad;
+  load.block = 0;
+  cmd.payload = load;
+  const InvariantDiagnostic diag2 = expect_violation(
+      [&] { ck.on_send(1, 2, cmd, 0.3); });
+  EXPECT_EQ(diag2.kind, ViolationKind::kIllegalMessage);
+}
+
+TEST(InvariantChecker, DuplicateTerminationOutsideFaultModeDetected) {
+  InvariantChecker ck(direct_config(4));
+  Particle p = live_particle(3);
+  ck.on_seeded(0, {p});
+  ck.on_seeded(1, {p});  // two copies of one id (already suspect)
+  p.status = ParticleStatus::kMaxTime;
+  ck.on_terminated(0, p, /*first_time=*/true, 0.5);
+  const InvariantDiagnostic diag = expect_violation(
+      [&] { ck.on_terminated(1, p, /*first_time=*/true, 0.6); });
+  EXPECT_EQ(diag.kind, ViolationKind::kDuplicateTermination);
+}
+
+#endif  // SF_CHECK_INVARIANTS
+
+}  // namespace
+}  // namespace sf

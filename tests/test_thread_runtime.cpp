@@ -29,7 +29,8 @@ TraceLimits limits() {
 std::vector<Particle> run_threads(Algorithm algo, int ranks,
                                   const sf::testing::TestWorld& w,
                                   const std::vector<Vec3>& seeds,
-                                  const BlockSource& source) {
+                                  const BlockSource& source,
+                                  std::uint64_t fuzz_seed = 0) {
   std::vector<Particle> rejected;
   std::vector<Particle> particles =
       make_particles(w.decomp(), seeds, rejected);
@@ -60,8 +61,9 @@ std::vector<Particle> run_threads(Algorithm algo, int ranks,
     }
   }
 
-  ThreadRuntime rt(thread_config(ranks), &w.decomp(), &source, iparams(),
-                   limits());
+  ThreadRuntimeConfig cfg = thread_config(ranks);
+  cfg.schedule_fuzz_seed = fuzz_seed;
+  ThreadRuntime rt(cfg, &w.decomp(), &source, iparams(), limits());
   RunMetrics m = rt.run(factory);
   EXPECT_FALSE(m.failed_oom);
   m.particles.insert(m.particles.end(), rejected.begin(), rejected.end());
@@ -136,6 +138,37 @@ TEST(ThreadRuntime, RealDiskIoEndToEnd) {
     EXPECT_EQ(from_disk[i].steps, serial[i].steps);
   }
   fs::remove_all(dir);
+}
+
+// The schedule-perturbation harness injects randomized yields and short
+// sleeps at every mailbox and cache boundary.  Whatever interleaving that
+// produces, the results must still match the serial tracer exactly — any
+// divergence means an order-dependence bug in the protocol.
+TEST(ThreadRuntime, ScheduleFuzzMatchesSerialAcrossSeeds) {
+  auto w = sf::testing::rotor_world(2);
+  Rng rng(13);
+  const auto seeds = random_seeds(w.dataset->bounds(), 14, rng);
+  const auto serial = trace_all(*w.dataset, seeds, iparams(), limits());
+  const Algorithm algos[] = {Algorithm::kStaticAllocation,
+                             Algorithm::kLoadOnDemand,
+                             Algorithm::kHybridMasterSlave};
+  for (const Algorithm algo : algos) {
+    for (std::uint64_t fuzz : {1ULL, 71ULL, 4242ULL}) {
+      const auto threads = run_threads(algo, 4, w, seeds, *w.source, fuzz);
+      ASSERT_EQ(threads.size(), serial.size());
+      for (std::size_t i = 0; i < threads.size(); ++i) {
+        EXPECT_EQ(threads[i].status, serial[i].status)
+            << "algo " << static_cast<int>(algo) << " fuzz " << fuzz
+            << " particle " << i;
+        EXPECT_EQ(threads[i].steps, serial[i].steps)
+            << "algo " << static_cast<int>(algo) << " fuzz " << fuzz
+            << " particle " << i;
+        EXPECT_EQ(threads[i].pos.x, serial[i].pos.x)
+            << "algo " << static_cast<int>(algo) << " fuzz " << fuzz
+            << " particle " << i;
+      }
+    }
+  }
 }
 
 TEST(ThreadRuntime, Validation) {

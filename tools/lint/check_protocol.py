@@ -1,0 +1,255 @@
+#!/usr/bin/env python3
+"""Protocol lint for streamflow.
+
+Static checks that clang-tidy cannot express, run in CI next to it:
+
+1. Message-dispatch completeness.  The alternatives of the Message payload
+   variant are parsed out of src/runtime/message.hpp.  Every on_message()
+   *definition* in src/ must either mention each alternative (via
+   std::get_if<X> / std::holds_alternative<X>) or carry an explicit waiver
+   comment inside the function body:
+
+       // protocol-lint: ignores StatusUpdate, Command
+
+   Waivers are per-function and name the kinds that rank deliberately
+   drops, so adding a ninth message kind fails the lint everywhere until
+   each dispatcher either handles it or documents why it will not.
+
+2. Command::Type switch exhaustiveness.  Any switch whose body contains
+   `case Command::Type::k...` labels must cover every enumerator or have
+   a default: label.
+
+3. No naked new / delete in src/ (RAII only; `= delete` declarations and
+   comments/strings are excluded).
+
+4. No unseeded / wall-clock RNG in src/: std::rand, srand, random_device,
+   default-constructed std::mt19937 and friends.  All randomness must go
+   through sf::Rng with an explicit seed so runs are reproducible.
+
+Exit status 0 when clean, 1 with one line per finding otherwise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import re
+import sys
+
+FINDINGS: list[str] = []
+
+
+def report(path: pathlib.Path, line: int, msg: str) -> None:
+    FINDINGS.append(f"{path}:{line}: {msg}")
+
+
+def strip_comments_and_strings(text: str) -> str:
+    """Blank out comments and string/char literals with spaces.
+
+    Length-preserving (newlines kept), so an offset into the result is the
+    same offset into the original text.  Good enough for lint purposes;
+    does not handle raw strings with custom delimiters (none in this
+    codebase).
+    """
+    out = list(text)
+
+    def blank(lo: int, hi: int) -> None:
+        for j in range(lo, min(hi, len(out))):
+            if out[j] != "\n":
+                out[j] = " "
+
+    i, n = 0, len(text)
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if c == "/" and nxt == "/":
+            start = i
+            while i < n and text[i] != "\n":
+                i += 1
+            blank(start, i)
+        elif c == "/" and nxt == "*":
+            start = i
+            i += 2
+            while i + 1 < n and not (text[i] == "*" and text[i + 1] == "/"):
+                i += 1
+            i += 2
+            blank(start, i)
+        elif c in "\"'":
+            quote = c
+            start = i
+            i += 1
+            while i < n and text[i] != quote:
+                if text[i] == "\\":
+                    i += 1
+                i += 1
+            i += 1
+            blank(start + 1, i - 1)
+        else:
+            i += 1
+    return "".join(out)
+
+
+def match_brace(text: str, open_idx: int) -> int:
+    """Index one past the brace that closes text[open_idx] == '{'."""
+    depth = 0
+    for i in range(open_idx, len(text)):
+        if text[i] == "{":
+            depth += 1
+        elif text[i] == "}":
+            depth -= 1
+            if depth == 0:
+                return i + 1
+    return len(text)
+
+
+def line_of(text: str, idx: int) -> int:
+    return text.count("\n", 0, idx) + 1
+
+
+def parse_message_alternatives(message_hpp: str) -> list[str]:
+    clean = strip_comments_and_strings(message_hpp)
+    m = re.search(r"std::variant<([^;]*?)>\s*\n?\s*payload\s*;", clean,
+                  re.DOTALL)
+    if not m:
+        sys.exit("check_protocol: cannot find Message payload variant in "
+                 "message.hpp")
+    names = [a.strip() for a in m.group(1).split(",")]
+    if not all(re.fullmatch(r"\w+", a) for a in names):
+        sys.exit(f"check_protocol: unparsable variant alternatives: {names}")
+    return names
+
+
+def parse_command_enumerators(message_hpp: str) -> list[str]:
+    clean = strip_comments_and_strings(message_hpp)
+    m = re.search(r"enum\s+class\s+Type\s*:[^{]*\{([^}]*)\}", clean)
+    if not m:
+        sys.exit("check_protocol: cannot find Command::Type enum in "
+                 "message.hpp")
+    return re.findall(r"\bk\w+", m.group(1))
+
+
+def check_dispatch(path: pathlib.Path, raw: str, clean: str,
+                   alternatives: list[str]) -> int:
+    """Returns the number of on_message definitions found in this file."""
+    count = 0
+    for m in re.finditer(r"\bon_message\s*\(", clean):
+        close = clean.find(")", m.end())
+        if close < 0:
+            continue
+        after = clean[close + 1:close + 120]
+        brace_rel = re.match(r"[\s\w]*\{", after)
+        if not brace_rel:  # pure-virtual declaration or call site
+            continue
+        body_open = close + 1 + brace_rel.end() - 1
+        body_end = match_brace(clean, body_open)
+        body = clean[body_open:body_end]
+        # Waivers live in comments (blanked in `clean`), so read them from
+        # the raw text of the same region — strip is length-preserving.
+        raw_body = raw[body_open:body_end]
+        waived: set[str] = set()
+        for w in re.finditer(r"protocol-lint:\s*ignores[ \t]+([^\n]*)",
+                             raw_body):
+            waived.update(x for x in re.split(r"[,\s]+", w.group(1)) if x)
+        count += 1
+        for alt in alternatives:
+            handled = re.search(
+                r"(?:get_if|holds_alternative)\s*<\s*" + alt + r"\s*>", body)
+            if not handled and alt not in waived:
+                report(path, line_of(clean, m.start()),
+                       f"on_message neither handles nor waives message kind "
+                       f"'{alt}' (add std::get_if<{alt}> handling or a "
+                       f"'// protocol-lint: ignores {alt}' comment)")
+        for extra in waived - set(alternatives):
+            report(path, line_of(clean, m.start()),
+                   f"protocol-lint waiver names unknown message kind "
+                   f"'{extra}'")
+    return count
+
+
+def check_command_switches(path: pathlib.Path, clean: str,
+                           enumerators: list[str]) -> None:
+    for m in re.finditer(r"\bswitch\s*\(", clean):
+        open_idx = clean.find("{", m.end())
+        if open_idx < 0:
+            continue
+        body = clean[open_idx:match_brace(clean, open_idx)]
+        if "Command::Type::" not in body:
+            continue
+        if re.search(r"\bdefault\s*:", body):
+            continue
+        covered = set(re.findall(r"case\s+Command::Type::(k\w+)", body))
+        for missing in [e for e in enumerators if e not in covered]:
+            report(path, line_of(clean, m.start()),
+                   f"switch on Command::Type misses case {missing} and has "
+                   f"no default")
+
+
+def check_naked_new_delete(path: pathlib.Path, clean: str) -> None:
+    for m in re.finditer(r"\bnew\b(?!\s*\()", clean):
+        report(path, line_of(clean, m.start()),
+               "naked 'new' (use std::make_unique / containers)")
+    for m in re.finditer(r"\bdelete\b(?:\s*\[\s*\])?", clean):
+        before = clean[:m.start()].rstrip()
+        if before.endswith("="):  # deleted special member function
+            continue
+        if before.endswith("operator"):
+            continue
+        report(path, line_of(clean, m.start()),
+               "naked 'delete' (use RAII ownership)")
+
+
+RNG_PATTERNS = [
+    (re.compile(r"\bstd\s*::\s*rand\b|(?<![\w:])rand\s*\("),
+     "std::rand is unseeded/global; use sf::Rng with an explicit seed"),
+    (re.compile(r"\bsrand\s*\("),
+     "srand hides the seed in global state; pass a seed to sf::Rng"),
+    (re.compile(r"\brandom_device\b"),
+     "std::random_device is nondeterministic; thread an explicit seed"),
+    (re.compile(r"\b(mt19937(_64)?|default_random_engine|minstd_rand0?)\b"),
+     "std library engines are banned in src/; use sf::Rng (explicit seed)"),
+]
+
+
+def check_rng(path: pathlib.Path, clean: str) -> None:
+    for pattern, why in RNG_PATTERNS:
+        for m in pattern.finditer(clean):
+            report(path, line_of(clean, m.start()), why)
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--root", type=pathlib.Path,
+                    default=pathlib.Path(__file__).resolve().parents[2],
+                    help="repository root (default: two levels up)")
+    args = ap.parse_args()
+
+    src = args.root / "src"
+    message_hpp = (src / "runtime" / "message.hpp").read_text()
+    alternatives = parse_message_alternatives(message_hpp)
+    enumerators = parse_command_enumerators(message_hpp)
+
+    dispatchers = 0
+    for path in sorted(src.rglob("*.[ch]pp")):
+        raw = path.read_text()
+        clean = strip_comments_and_strings(raw)
+        rel = path.relative_to(args.root)
+        dispatchers += check_dispatch(rel, raw, clean, alternatives)
+        check_command_switches(rel, clean, enumerators)
+        check_naked_new_delete(rel, clean)
+        check_rng(rel, clean)
+
+    if dispatchers == 0:
+        FINDINGS.append("check_protocol: found no on_message definitions — "
+                        "the dispatch scan is broken")
+
+    for f in FINDINGS:
+        print(f)
+    print(f"check_protocol: {dispatchers} dispatchers, "
+          f"{len(alternatives)} message kinds, "
+          f"{len(enumerators)} command types, "
+          f"{len(FINDINGS)} problem(s)")
+    return 1 if FINDINGS else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

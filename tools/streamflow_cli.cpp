@@ -231,6 +231,12 @@ int cmd_experiment(const Flags& flags) {
                  "[--blocks=8] [--count=2000] [--seeds=random] "
                  "[--cache=48] [--block-mb=12] [--max-steps=1500] "
                  "[--max-time=15] [--no-geometry]\n"
+                 "  runtime selection:\n"
+                 "    --runtime=sim|threads   simulated machine (default) or\n"
+                 "                            one OS thread per rank\n"
+                 "    --schedule-fuzz=SEED    threads only: seeded random\n"
+                 "                            yields/sleeps at mailbox and\n"
+                 "                            cache boundaries (0 = off)\n"
                  "  fault injection / checkpoint / restart:\n"
                  "    --mtbf=SECONDS          mean time between rank crashes\n"
                  "    --max-crashes=N         cap on random crashes (default 1)\n"
@@ -304,10 +310,21 @@ int cmd_experiment(const Flags& flags) {
     at = comma + 1;
   }
 
+  cfg.schedule_fuzz_seed =
+      static_cast<std::uint64_t>(flags.get_long("schedule-fuzz", 0));
+  const std::string runtime_kind = flags.get("runtime", "sim");
+  if (runtime_kind != "sim" && runtime_kind != "threads") {
+    std::cerr << "unknown runtime '" << runtime_kind
+              << "' (expected sim|threads)\n";
+    return 2;
+  }
+
   const auto seeds = make_seeds(flags, field->bounds());
   sf::RunMetrics m;
   try {
-    m = run_experiment(cfg, decomp, source, seeds);
+    m = runtime_kind == "threads"
+            ? run_experiment_threads(cfg, decomp, source, seeds)
+            : run_experiment(cfg, decomp, source, seeds);
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << '\n';  // e.g. a bad checkpoint
     return 1;
