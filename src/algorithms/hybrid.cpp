@@ -156,15 +156,20 @@ class HybridSlave final : public RankProgram {
   }
 
   void on_compute_done(RankContext& ctx) override {
-    Particle p = std::move(*in_flight_);
-    in_flight_.reset();
-    if (is_terminal(flight_.status)) {
-      // Only first-time terminations count toward the global total; a
-      // re-run duplicate (recovery overlap) must not double-decrement.
-      if (ctx.log_termination(p)) ++terminated_delta_;
-      done_.push_back(std::move(p));
-    } else {
-      pool_.add(flight_.blocking_block, std::move(p));
+    std::vector<Particle> batch = std::move(in_flight_);
+    in_flight_.clear();
+    std::vector<AdvanceOutcome> outcomes = std::move(flights_);
+    flights_.clear();
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      Particle& p = batch[i];
+      if (is_terminal(outcomes[i].status)) {
+        // Only first-time terminations count toward the global total; a
+        // re-run duplicate (recovery overlap) must not double-decrement.
+        if (ctx.log_termination(p)) ++terminated_delta_;
+        done_.push_back(std::move(p));
+      } else {
+        pool_.add(outcomes[i].blocking_block, std::move(p));
+      }
     }
     reported_ = false;
     try_start(ctx);
@@ -178,7 +183,7 @@ class HybridSlave final : public RankProgram {
 
   void snapshot_particles(std::vector<Particle>& out) const override {
     pool_.append_all(out);
-    if (in_flight_.has_value()) out.push_back(*in_flight_);
+    out.insert(out.end(), in_flight_.begin(), in_flight_.end());
   }
 
  private:
@@ -236,19 +241,25 @@ class HybridSlave final : public RankProgram {
   }
 
   void try_start(RankContext& ctx) {
-    if (finished_ || ctx.busy() || in_flight_.has_value()) return;
+    if (finished_ || ctx.busy() || !in_flight_.empty()) return;
 
     const BlockId runnable = pool_.first_block_where(
         [&ctx](BlockId id) { return ctx.block_resident(id); });
     if (runnable != kInvalidBlock) {
-      // Latency hiding (§4.3): report *before* advancing the last
-      // workable streamline so the master's reply overlaps the burst.
-      if (!reported_ && workable(ctx) == 1) send_status(ctx, 0);
-      in_flight_ = *pool_.take_from(runnable);
-      flight_ = advance_and_charge(ctx, *in_flight_);
-      ctx.begin_compute(
-          static_cast<double>(flight_.steps) * ctx.model().seconds_per_step,
-          flight_.steps);
+      // Latency hiding (§4.3): report *before* a burst that will drain
+      // the last workable streamlines so the master's reply overlaps it.
+      // The burst takes runnable's whole queue, so that is the case when
+      // nothing else is workable.
+      const auto draining =
+          static_cast<std::uint32_t>(pool_.count_in(runnable));
+      if (!reported_ && workable(ctx) == draining) send_status(ctx, 0);
+      // Advance the whole block queue in one burst (§9 batching).
+      in_flight_ = pool_.drain_block(runnable);
+      BatchAdvanceResult r = advance_block_and_charge(ctx, in_flight_);
+      flights_ = std::move(r.outcomes);
+      ctx.begin_compute(static_cast<double>(r.total_steps) *
+                            ctx.model().seconds_per_step,
+                        r.total_steps);
       return;
     }
 
@@ -265,8 +276,8 @@ class HybridSlave final : public RankProgram {
 
   ParticlePool pool_;
   std::vector<Particle> done_;
-  std::optional<Particle> in_flight_;
-  AdvanceOutcome flight_{};
+  std::vector<Particle> in_flight_;      // the burst being computed
+  std::vector<AdvanceOutcome> flights_;  // outcome per in_flight_[i]
   std::uint32_t terminated_delta_ = 0;
   int pending_loads_ = 0;
   bool reported_ = false;

@@ -2,7 +2,7 @@
 
 #include <algorithm>
 #include <memory>
-#include <optional>
+#include <utility>
 
 namespace sf {
 
@@ -48,13 +48,18 @@ class LoadOnDemandProgram final : public RankProgram {
   }
 
   void on_compute_done(RankContext& ctx) override {
-    Particle p = std::move(*in_flight_);
-    in_flight_.reset();
-    if (is_terminal(flight_.status)) {
-      ctx.log_termination(p);
-      done_.push_back(std::move(p));
-    } else {
-      pool_.add(flight_.blocking_block, std::move(p));
+    std::vector<Particle> batch = std::move(in_flight_);
+    in_flight_.clear();
+    std::vector<AdvanceOutcome> outcomes = std::move(flights_);
+    flights_.clear();
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      Particle& p = batch[i];
+      if (is_terminal(outcomes[i].status)) {
+        ctx.log_termination(p);
+        done_.push_back(std::move(p));
+      } else {
+        pool_.add(outcomes[i].blocking_block, std::move(p));
+      }
     }
     try_start(ctx);
   }
@@ -68,12 +73,12 @@ class LoadOnDemandProgram final : public RankProgram {
   void snapshot_particles(std::vector<Particle>& out) const override {
     out.insert(out.end(), initial_.begin(), initial_.end());
     pool_.append_all(out);
-    if (in_flight_.has_value()) out.push_back(*in_flight_);
+    out.insert(out.end(), in_flight_.begin(), in_flight_.end());
   }
 
  private:
   void try_start(RankContext& ctx) {
-    if (finished_ || ctx.busy() || in_flight_.has_value()) return;
+    if (finished_ || ctx.busy() || !in_flight_.empty()) return;
 
     if (pool_.empty()) {
       // All of this rank's streamlines have terminated; it is done,
@@ -85,11 +90,13 @@ class LoadOnDemandProgram final : public RankProgram {
     const BlockId runnable = pool_.first_block_where(
         [&ctx](BlockId id) { return ctx.block_resident(id); });
     if (runnable != kInvalidBlock) {
-      in_flight_ = *pool_.take_from(runnable);
-      flight_ = advance_and_charge(ctx, *in_flight_);
-      ctx.begin_compute(
-          static_cast<double>(flight_.steps) * ctx.model().seconds_per_step,
-          flight_.steps);
+      // Advance the whole block queue in one burst (§9 batching).
+      in_flight_ = pool_.drain_block(runnable);
+      BatchAdvanceResult r = advance_block_and_charge(ctx, in_flight_);
+      flights_ = std::move(r.outcomes);
+      ctx.begin_compute(static_cast<double>(r.total_steps) *
+                            ctx.model().seconds_per_step,
+                        r.total_steps);
       return;
     }
 
@@ -108,8 +115,8 @@ class LoadOnDemandProgram final : public RankProgram {
   std::vector<Particle> initial_;
   ParticlePool pool_;
   std::vector<Particle> done_;
-  std::optional<Particle> in_flight_;
-  AdvanceOutcome flight_{};
+  std::vector<Particle> in_flight_;      // the burst being computed
+  std::vector<AdvanceOutcome> flights_;  // outcome per in_flight_[i]
   int loads_outstanding_ = 0;
   bool finished_ = false;
 };

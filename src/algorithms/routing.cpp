@@ -133,4 +133,24 @@ AdvanceOutcome advance_and_charge(RankContext& ctx, Particle& particle) {
   return outcome;
 }
 
+BatchAdvanceResult advance_block_and_charge(RankContext& ctx,
+                                            std::span<Particle> batch) {
+  std::int64_t points_before = 0;
+  for (const Particle& p : batch) points_before += p.geometry_points;
+
+  BatchAdvanceResult r;
+  r.outcomes = ctx.tracer().advance_batch(
+      batch, [&ctx](BlockId id) { return ctx.block(id); });
+
+  std::int64_t points_after = 0;
+  for (const Particle& p : batch) points_after += p.geometry_points;
+  const std::int64_t grown = points_after - points_before;
+  if (grown != 0) {
+    ctx.charge_particle_memory(grown *
+                               static_cast<std::int64_t>(sizeof(Vec3)));
+  }
+  for (const AdvanceOutcome& o : r.outcomes) r.total_steps += o.steps;
+  return r;
+}
+
 }  // namespace sf

@@ -84,6 +84,17 @@ std::vector<Particle> make_particles(const BlockDecomposition& decomp,
 // compute cost via ctx.begin_compute.
 AdvanceOutcome advance_and_charge(RankContext& ctx, Particle& particle);
 
+// Batched form: advance every particle of one block's pool queue in a
+// single burst through Tracer::advance_batch (shared block/cell cursor),
+// charging the summed geometry growth.  outcome[i] matches batch[i];
+// total_steps sums the accepted steps for ctx.begin_compute.
+struct BatchAdvanceResult {
+  std::vector<AdvanceOutcome> outcomes;
+  std::uint64_t total_steps = 0;
+};
+BatchAdvanceResult advance_block_and_charge(RankContext& ctx,
+                                            std::span<Particle> batch);
+
 // First alive rank after `after` in cyclic order (never `after` itself
 // unless it is the only live rank).  Requires at least one alive rank.
 int next_live_rank(const RankContext& ctx, int after);

@@ -1,7 +1,8 @@
 #include "algorithms/static_alloc.hpp"
 
+#include <map>
 #include <memory>
-#include <optional>
+#include <utility>
 
 namespace sf {
 
@@ -58,17 +59,26 @@ class StaticProgram final : public RankProgram {
   void on_block_loaded(RankContext& ctx, BlockId) override { try_start(ctx); }
 
   void on_compute_done(RankContext& ctx) override {
-    Particle p = std::move(*in_flight_);
-    in_flight_.reset();
+    std::vector<Particle> batch = std::move(in_flight_);
+    in_flight_.clear();
+    std::vector<AdvanceOutcome> outcomes = std::move(flights_);
+    flights_.clear();
 
-    if (is_terminal(flight_.status)) {
-      // First-time terminations only: a recovery re-run's duplicate must
-      // not decrement the global count twice.
-      const bool first_time = ctx.log_termination(p);
-      done_.push_back(std::move(p));
-      if (first_time) note_terminations(ctx, 1);
-    } else {
-      const BlockId need = flight_.blocking_block;
+    // Group hand-offs by (owner, block) so one burst produces one
+    // ParticleBatch per destination instead of one per streamline.
+    std::map<std::pair<int, BlockId>, std::vector<Particle>> forwards;
+    std::uint32_t new_terminations = 0;
+
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      Particle& p = batch[i];
+      if (is_terminal(outcomes[i].status)) {
+        // First-time terminations only: a recovery re-run's duplicate
+        // must not decrement the global count twice.
+        if (ctx.log_termination(p)) ++new_terminations;
+        done_.push_back(std::move(p));
+        continue;
+      }
+      const BlockId need = outcomes[i].blocking_block;
       // The static block->rank map, redirected past dead ranks: a dead
       // owner's blocks fall to the next live rank in cyclic order.
       const int owner = live_owner(ctx, decomp_->num_blocks(), need);
@@ -81,11 +91,16 @@ class StaticProgram final : public RankProgram {
         // Communicate the streamline to the block's owner (§4.1).
         ctx.charge_particle_memory(-static_cast<std::int64_t>(
             resident_particle_bytes(p, ctx.model())));
-        Message m;
-        m.payload = ParticleBatch{need, {std::move(p)}};
-        ctx.send(owner, std::move(m));
+        forwards[{owner, need}].push_back(std::move(p));
       }
     }
+
+    for (auto& [dest, particles] : forwards) {
+      Message m;
+      m.payload = ParticleBatch{dest.second, std::move(particles)};
+      ctx.send(dest.first, std::move(m));
+    }
+    if (new_terminations > 0) note_terminations(ctx, new_terminations);
     try_start(ctx);
   }
 
@@ -98,7 +113,7 @@ class StaticProgram final : public RankProgram {
   void snapshot_particles(std::vector<Particle>& out) const override {
     out.insert(out.end(), initial_.begin(), initial_.end());
     pool_.append_all(out);
-    if (in_flight_.has_value()) out.push_back(*in_flight_);
+    out.insert(out.end(), in_flight_.begin(), in_flight_.end());
   }
 
  private:
@@ -120,16 +135,18 @@ class StaticProgram final : public RankProgram {
   }
 
   void try_start(RankContext& ctx) {
-    if (finished_ || ctx.busy() || in_flight_.has_value()) return;
+    if (finished_ || ctx.busy() || !in_flight_.empty()) return;
 
     const BlockId runnable = pool_.first_block_where(
         [&ctx](BlockId id) { return ctx.block_resident(id); });
     if (runnable != kInvalidBlock) {
-      in_flight_ = *pool_.take_from(runnable);
-      flight_ = advance_and_charge(ctx, *in_flight_);
-      ctx.begin_compute(
-          static_cast<double>(flight_.steps) * ctx.model().seconds_per_step,
-          flight_.steps);
+      // Advance the whole block queue in one burst (§9 batching).
+      in_flight_ = pool_.drain_block(runnable);
+      BatchAdvanceResult r = advance_block_and_charge(ctx, in_flight_);
+      flights_ = std::move(r.outcomes);
+      ctx.begin_compute(static_cast<double>(r.total_steps) *
+                            ctx.model().seconds_per_step,
+                        r.total_steps);
       return;
     }
 
@@ -171,8 +188,8 @@ class StaticProgram final : public RankProgram {
 
   ParticlePool pool_;
   std::vector<Particle> done_;
-  std::optional<Particle> in_flight_;
-  AdvanceOutcome flight_{};
+  std::vector<Particle> in_flight_;          // the burst being computed
+  std::vector<AdvanceOutcome> flights_;      // outcome per in_flight_[i]
   bool finished_ = false;
 };
 

@@ -16,6 +16,7 @@ BlockDecomposition::BlockDecomposition(const AABB& domain, int nbx, int nby,
   }
   const Vec3 e = domain_.extent();
   bsize_ = {e.x / nbx_, e.y / nby_, e.z / nbz_};
+  inv_bsize_ = {1.0 / bsize_.x, 1.0 / bsize_.y, 1.0 / bsize_.z};
 }
 
 BlockCoords BlockDecomposition::coords_of(BlockId id) const {
@@ -40,21 +41,6 @@ AABB BlockDecomposition::ghost_bounds(BlockId id, int nodes_per_axis,
   const Vec3 cell{bsize_.x / cells, bsize_.y / cells, bsize_.z / cells};
   const Vec3 margin = cell * static_cast<double>(ghost_cells);
   return {core.lo - margin, core.hi + margin};
-}
-
-BlockId BlockDecomposition::block_of(const Vec3& p) const {
-  if (!domain_.contains(p)) return kInvalidBlock;
-  auto axis = [](double v, double lo, double size, int n) {
-    int i = static_cast<int>((v - lo) / size);
-    if (i >= n) i = n - 1;  // high domain face belongs to the last block
-    if (i < 0) i = 0;       // guards against -0.0 style rounding
-    return i;
-  };
-  BlockCoords c;
-  c.i = axis(p.x, domain_.lo.x, bsize_.x, nbx_);
-  c.j = axis(p.y, domain_.lo.y, bsize_.y, nby_);
-  c.k = axis(p.z, domain_.lo.z, bsize_.z, nbz_);
-  return id_of(c);
 }
 
 std::vector<BlockId> BlockDecomposition::face_neighbors(BlockId id) const {

@@ -50,8 +50,20 @@ class BlockDecomposition {
 
   // Unique owner of `p`, or kInvalidBlock if p is outside the domain.
   // Ownership intervals are closed below and open above, except the last
-  // block per axis which also owns the domain's high face.
-  BlockId block_of(const Vec3& p) const;
+  // block per axis which also owns the domain's high face.  Inline (and
+  // divide-free, via the precomputed reciprocal block size) because the
+  // advection fast path re-derives ownership every accepted step: a raw
+  // AABB test against the current block is cheaper still, but its
+  // rounding can disagree with this index arithmetic in the last ulp at
+  // shared faces, and every path must agree on ownership bit-for-bit.
+  BlockId block_of(const Vec3& p) const {
+    if (!domain_.contains(p)) return kInvalidBlock;
+    BlockCoords c;
+    c.i = axis_cell(p.x, domain_.lo.x, inv_bsize_.x, nbx_);
+    c.j = axis_cell(p.y, domain_.lo.y, inv_bsize_.y, nby_);
+    c.k = axis_cell(p.z, domain_.lo.z, inv_bsize_.z, nbz_);
+    return id_of(c);
+  }
 
   // Face-adjacent neighbours (up to 6).
   std::vector<BlockId> face_neighbors(BlockId id) const;
@@ -61,9 +73,17 @@ class BlockDecomposition {
   std::vector<BlockId> blocks_intersecting(const AABB& box) const;
 
  private:
+  static int axis_cell(double v, double lo, double inv_size, int n) {
+    int i = static_cast<int>((v - lo) * inv_size);
+    if (i >= n) i = n - 1;  // high domain face belongs to the last block
+    if (i < 0) i = 0;       // guards against -0.0 style rounding
+    return i;
+  }
+
   AABB domain_;
   int nbx_, nby_, nbz_;
-  Vec3 bsize_;  // extent of one block
+  Vec3 bsize_;      // extent of one block
+  Vec3 inv_bsize_;  // its reciprocal (block_of runs per accepted step)
 };
 
 }  // namespace sf

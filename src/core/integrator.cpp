@@ -1,118 +1,20 @@
 #include "core/integrator.hpp"
 
-#include <algorithm>
-#include <cmath>
-
 namespace sf {
-
-namespace {
-
-// Dormand–Prince 5(4) coefficients (Prince & Dormand 1981, the DOPRI5
-// tableau).  b gives the 5th-order solution, e = b - b4 the embedded
-// error estimator.
-constexpr double kC[7] = {0.0, 1.0 / 5, 3.0 / 10, 4.0 / 5, 8.0 / 9, 1.0, 1.0};
-
-constexpr double kA[7][6] = {
-    {},
-    {1.0 / 5},
-    {3.0 / 40, 9.0 / 40},
-    {44.0 / 45, -56.0 / 15, 32.0 / 9},
-    {19372.0 / 6561, -25360.0 / 2187, 64448.0 / 6561, -212.0 / 729},
-    {9017.0 / 3168, -355.0 / 33, 46732.0 / 5247, 49.0 / 176,
-     -5103.0 / 18656},
-    {35.0 / 384, 0.0, 500.0 / 1113, 125.0 / 192, -2187.0 / 6784, 11.0 / 84},
-};
-
-constexpr double kB5[7] = {35.0 / 384,      0.0,          500.0 / 1113,
-                           125.0 / 192,     -2187.0 / 6784, 11.0 / 84,
-                           0.0};
-
-// b5 - b4: error-estimator weights.
-constexpr double kE[7] = {71.0 / 57600,    0.0,           -71.0 / 16695,
-                          71.0 / 1920,     -17253.0 / 339200, 22.0 / 525,
-                          -1.0 / 40};
-
-constexpr double kShrink = 0.5;   // factor applied on sample failure
-constexpr double kSafety = 0.9;
-constexpr double kMinScale = 0.2;
-constexpr double kMaxScale = 5.0;
-
-}  // namespace
-
-namespace {
-
-// Shared adaptive-step body; Sampler is bool(const Vec3&, double, Vec3&).
-template <typename Sampler>
-StepResult dopri5_step_impl(const Sampler& sample, const Vec3& p, double t,
-                            double h, const IntegratorParams& params) {
-  StepResult r;
-  h = std::clamp(h, params.h_min, params.h_max);
-
-  for (;;) {
-    Vec3 k[7];
-    bool sample_ok = true;
-    for (int s = 0; s < 7 && sample_ok; ++s) {
-      Vec3 ps = p;
-      for (int j = 0; j < s; ++j) ps += k[j] * (h * kA[s][j]);
-      ++r.n_evals;
-      sample_ok = sample(ps, t + kC[s] * h, k[s]);
-    }
-
-    if (!sample_ok) {
-      // A stage left the data; shrink and retry, fail below h_min.
-      if (h <= params.h_min * (1.0 + 1e-12)) {
-        r.status = StepStatus::kSampleFailed;
-        r.h_next = h;
-        return r;
-      }
-      h = std::max(h * kShrink, params.h_min);
-      continue;
-    }
-
-    Vec3 p_new = p;
-    Vec3 err{};
-    for (int s = 0; s < 7; ++s) {
-      p_new += k[s] * (h * kB5[s]);
-      err += k[s] * (h * kE[s]);
-    }
-
-    // Scaled RMS error against tol * (1 + |p|) per component.
-    double sum = 0.0;
-    for (int c = 0; c < 3; ++c) {
-      const double scale =
-          params.tol * (1.0 + std::max(std::abs(p[c]), std::abs(p_new[c])));
-      const double q = err[c] / scale;
-      sum += q * q;
-    }
-    const double enorm = std::sqrt(sum / 3.0);
-
-    if (enorm <= 1.0 || h <= params.h_min * (1.0 + 1e-12)) {
-      // Accept (steps at h_min are always accepted to guarantee progress).
-      r.status = StepStatus::kOk;
-      r.p = p_new;
-      r.t = t + h;
-      r.h_used = h;
-      const double scale =
-          enorm > 0.0
-              ? std::clamp(kSafety * std::pow(enorm, -0.2), kMinScale,
-                           kMaxScale)
-              : kMaxScale;
-      r.h_next = std::clamp(h * scale, params.h_min, params.h_max);
-      return r;
-    }
-
-    // Reject: shrink per the controller and retry.
-    const double scale =
-        std::clamp(kSafety * std::pow(enorm, -0.2), kMinScale, 1.0);
-    h = std::max(h * scale, params.h_min);
-  }
-}
-
-}  // namespace
 
 StepResult dopri5_step(const VectorField& field, const Vec3& p, double t,
                        double h, const IntegratorParams& params) {
-  return dopri5_step_impl(
+  return integrator_detail::dopri5_step_impl_fast(
+      [&field](const Vec3& ps, double, Vec3& out) {
+        return field.sample(ps, out);
+      },
+      p, t, h, params);
+}
+
+StepResult dopri5_step_reference(const VectorField& field, const Vec3& p,
+                                 double t, double h,
+                                 const IntegratorParams& params) {
+  return integrator_detail::dopri5_step_impl(
       [&field](const Vec3& ps, double, Vec3& out) {
         return field.sample(ps, out);
       },
@@ -121,26 +23,16 @@ StepResult dopri5_step(const VectorField& field, const Vec3& p, double t,
 
 StepResult dopri5_step(const UnsteadySampleFn& f, const Vec3& p, double t,
                        double h, const IntegratorParams& params) {
-  return dopri5_step_impl(f, p, t, h, params);
+  return integrator_detail::dopri5_step_impl_fast(f, p, t, h, params);
 }
 
 StepResult rk4_step(const VectorField& field, const Vec3& p, double t,
                     double h) {
-  StepResult r;
-  Vec3 k1, k2, k3, k4;
-  r.n_evals = 4;
-  if (!field.sample(p, k1) || !field.sample(p + k1 * (h / 2), k2) ||
-      !field.sample(p + k2 * (h / 2), k3) || !field.sample(p + k3 * h, k4)) {
-    r.status = StepStatus::kSampleFailed;
-    r.h_next = h;
-    return r;
-  }
-  r.status = StepStatus::kOk;
-  r.p = p + (k1 + 2.0 * k2 + 2.0 * k3 + k4) * (h / 6.0);
-  r.t = t + h;
-  r.h_used = h;
-  r.h_next = h;
-  return r;
+  return integrator_detail::rk4_step_impl(
+      [&field](const Vec3& ps, double, Vec3& out) {
+        return field.sample(ps, out);
+      },
+      p, t, h);
 }
 
 }  // namespace sf

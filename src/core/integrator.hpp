@@ -6,12 +6,22 @@
 // pair with adaptive step-size control (the scheme the paper uses, citing
 // Prince & Dormand 1981).  A fixed-step classic RK4 is provided as a
 // baseline and for convergence tests.
+//
+// The step bodies are templates over a sampler callable (see
+// integrator_detail below) so the advection fast path can instantiate
+// them against a non-virtual GridSampler cursor; the VectorField
+// overloads wrap the same bodies around a virtual sample() call and are
+// bit-identical in arithmetic.
 
+#include <algorithm>
+#include <cmath>
 #include <functional>
 
 #include "core/field.hpp"
 
 namespace sf {
+
+class GridSampler;
 
 struct IntegratorParams {
   double h_init = 1e-2;  // first trial step for fresh particles
@@ -35,7 +45,262 @@ struct StepResult {
   double h_used = 0.0;  // the accepted step size
   double h_next = 0.0;  // controller's suggestion for the next step
   int n_evals = 0;      // field evaluations spent (incl. rejected tries)
+  // DOPRI5 is FSAL (first-same-as-last): the 7th stage of an accepted
+  // step is evaluated exactly at the accepted point, i.e. at the next
+  // step's first-stage position.  The fast body hands it back here so
+  // the tracer can reuse it (valid only while sampling the same grid).
+  Vec3 k_last{};
+  bool has_k_last = false;
 };
+
+namespace integrator_detail {
+
+// Dormand–Prince 5(4) coefficients (Prince & Dormand 1981, the DOPRI5
+// tableau).  b gives the 5th-order solution, e = b - b4 the embedded
+// error estimator.
+inline constexpr double kC[7] = {0.0,     1.0 / 5, 3.0 / 10, 4.0 / 5,
+                                 8.0 / 9, 1.0,     1.0};
+
+inline constexpr double kA[7][6] = {
+    {},
+    {1.0 / 5},
+    {3.0 / 40, 9.0 / 40},
+    {44.0 / 45, -56.0 / 15, 32.0 / 9},
+    {19372.0 / 6561, -25360.0 / 2187, 64448.0 / 6561, -212.0 / 729},
+    {9017.0 / 3168, -355.0 / 33, 46732.0 / 5247, 49.0 / 176,
+     -5103.0 / 18656},
+    {35.0 / 384, 0.0, 500.0 / 1113, 125.0 / 192, -2187.0 / 6784, 11.0 / 84},
+};
+
+inline constexpr double kB5[7] = {35.0 / 384,      0.0,          500.0 / 1113,
+                                  125.0 / 192,     -2187.0 / 6784, 11.0 / 84,
+                                  0.0};
+
+// b5 - b4: error-estimator weights.
+inline constexpr double kE[7] = {71.0 / 57600,    0.0,           -71.0 / 16695,
+                                 71.0 / 1920,     -17253.0 / 339200, 22.0 / 525,
+                                 -1.0 / 40};
+
+inline constexpr double kShrink = 0.5;  // factor applied on sample failure
+inline constexpr double kSafety = 0.9;
+inline constexpr double kMinScale = 0.2;
+inline constexpr double kMaxScale = 5.0;
+
+// Historical adaptive-step body; Sampler is bool(const Vec3&, double,
+// Vec3&).  The triangular stage loop below is the kernel as it shipped
+// before the fast advection core: kept verbatim as the oracle for the
+// golden bit-identity test and as the performance baseline behind
+// dopri5_step_reference / Tracer::advance_reference.  Production
+// overloads use dopri5_step_impl_fast instead.
+template <typename Sampler>
+StepResult dopri5_step_impl(Sampler&& sample, const Vec3& p, double t,
+                            double h, const IntegratorParams& params) {
+  StepResult r;
+  h = std::clamp(h, params.h_min, params.h_max);
+
+  for (;;) {
+    Vec3 k[7];
+    bool sample_ok = true;
+    for (int s = 0; s < 7 && sample_ok; ++s) {
+      Vec3 ps = p;
+      for (int j = 0; j < s; ++j) ps += k[j] * (h * kA[s][j]);
+      ++r.n_evals;
+      sample_ok = sample(ps, t + kC[s] * h, k[s]);
+    }
+
+    if (!sample_ok) {
+      // A stage left the data; shrink and retry, fail below h_min.
+      if (h <= params.h_min * (1.0 + 1e-12)) {
+        r.status = StepStatus::kSampleFailed;
+        r.h_next = h;
+        return r;
+      }
+      h = std::max(h * kShrink, params.h_min);
+      continue;
+    }
+
+    Vec3 p_new = p;
+    Vec3 err{};
+    for (int s = 0; s < 7; ++s) {
+      p_new += k[s] * (h * kB5[s]);
+      err += k[s] * (h * kE[s]);
+    }
+
+    // Scaled RMS error against tol * (1 + |p|) per component.
+    double sum = 0.0;
+    for (int c = 0; c < 3; ++c) {
+      const double scale =
+          params.tol * (1.0 + std::max(std::abs(p[c]), std::abs(p_new[c])));
+      const double q = err[c] / scale;
+      sum += q * q;
+    }
+    const double enorm = std::sqrt(sum / 3.0);
+
+    if (enorm <= 1.0 || h <= params.h_min * (1.0 + 1e-12)) {
+      // Accept (steps at h_min are always accepted to guarantee progress).
+      r.status = StepStatus::kOk;
+      r.p = p_new;
+      r.t = t + h;
+      r.h_used = h;
+      const double scale =
+          enorm > 0.0
+              ? std::clamp(kSafety * std::pow(enorm, -0.2), kMinScale,
+                           kMaxScale)
+              : kMaxScale;
+      r.h_next = std::clamp(h * scale, params.h_min, params.h_max);
+      return r;
+    }
+
+    // Reject: shrink per the controller and retry.
+    const double scale =
+        std::clamp(kSafety * std::pow(enorm, -0.2), kMinScale, 1.0);
+    h = std::max(h * scale, params.h_min);
+  }
+}
+
+// The same step with the stage positions hand-unrolled.  Arithmetic is
+// IDENTICAL to dopri5_step_impl — each stage position is the same
+// left-associated sum p + k[0]*(h*a0) + k[1]*(h*a1) + ... that the
+// triangular `ps += ...` loop produces, in the same term order — so the
+// results are bit-identical (the golden test enforces it).  What changes
+// is codegen: with the loop structure gone the optimizer keeps the k[]
+// stages in registers instead of re-walking an indexed triangular loop,
+// which roughly halves the non-sampling cost per step.
+// `k0_pre`, when non-null, is the field value at (p, t) — the caller
+// already sampled it (the tracer's stagnation check does).  The sampler
+// is deterministic, so reusing it instead of re-evaluating stage one is
+// bit-identical; it is also reused across shrink-retries, which
+// re-sample an unchanged position in the reference body.  n_evals then
+// counts only the evaluations actually performed.
+template <typename Sampler>
+StepResult dopri5_step_impl_fast(Sampler&& sample, const Vec3& p, double t,
+                                 double h, const IntegratorParams& params,
+                                 const Vec3* k0_pre = nullptr) {
+  StepResult r;
+  h = std::clamp(h, params.h_min, params.h_max);
+
+  for (;;) {
+    Vec3 k0, k1, k2, k3, k4, k5, k6;
+    bool ok = true;
+    if (k0_pre != nullptr) {
+      k0 = *k0_pre;
+    } else {
+      ++r.n_evals;
+      ok = sample(p, t + kC[0] * h, k0);
+    }
+    if (ok) {
+      const Vec3 ps = p + k0 * (h * kA[1][0]);
+      ++r.n_evals;
+      ok = sample(ps, t + kC[1] * h, k1);
+    }
+    if (ok) {
+      const Vec3 ps = p + k0 * (h * kA[2][0]) + k1 * (h * kA[2][1]);
+      ++r.n_evals;
+      ok = sample(ps, t + kC[2] * h, k2);
+    }
+    if (ok) {
+      const Vec3 ps = p + k0 * (h * kA[3][0]) + k1 * (h * kA[3][1]) +
+                      k2 * (h * kA[3][2]);
+      ++r.n_evals;
+      ok = sample(ps, t + kC[3] * h, k3);
+    }
+    if (ok) {
+      const Vec3 ps = p + k0 * (h * kA[4][0]) + k1 * (h * kA[4][1]) +
+                      k2 * (h * kA[4][2]) + k3 * (h * kA[4][3]);
+      ++r.n_evals;
+      ok = sample(ps, t + kC[4] * h, k4);
+    }
+    if (ok) {
+      const Vec3 ps = p + k0 * (h * kA[5][0]) + k1 * (h * kA[5][1]) +
+                      k2 * (h * kA[5][2]) + k3 * (h * kA[5][3]) +
+                      k4 * (h * kA[5][4]);
+      ++r.n_evals;
+      ok = sample(ps, t + kC[5] * h, k5);
+    }
+    if (ok) {
+      const Vec3 ps = p + k0 * (h * kA[6][0]) + k1 * (h * kA[6][1]) +
+                      k2 * (h * kA[6][2]) + k3 * (h * kA[6][3]) +
+                      k4 * (h * kA[6][4]) + k5 * (h * kA[6][5]);
+      ++r.n_evals;
+      ok = sample(ps, t + kC[6] * h, k6);
+    }
+
+    if (!ok) {
+      if (h <= params.h_min * (1.0 + 1e-12)) {
+        r.status = StepStatus::kSampleFailed;
+        r.h_next = h;
+        return r;
+      }
+      h = std::max(h * kShrink, params.h_min);
+      continue;
+    }
+
+    // Solution and error estimate, in the reference accumulation order
+    // (zero-weight terms included: dropping `+ k * 0.0` could flip the
+    // sign of a zero).
+    const Vec3 p_new = p + k0 * (h * kB5[0]) + k1 * (h * kB5[1]) +
+                       k2 * (h * kB5[2]) + k3 * (h * kB5[3]) +
+                       k4 * (h * kB5[4]) + k5 * (h * kB5[5]) +
+                       k6 * (h * kB5[6]);
+    const Vec3 err = Vec3{} + k0 * (h * kE[0]) + k1 * (h * kE[1]) +
+                     k2 * (h * kE[2]) + k3 * (h * kE[3]) +
+                     k4 * (h * kE[4]) + k5 * (h * kE[5]) + k6 * (h * kE[6]);
+
+    double sum = 0.0;
+    for (int c = 0; c < 3; ++c) {
+      const double scale =
+          params.tol * (1.0 + std::max(std::abs(p[c]), std::abs(p_new[c])));
+      const double q = err[c] / scale;
+      sum += q * q;
+    }
+    const double enorm = std::sqrt(sum / 3.0);
+
+    if (enorm <= 1.0 || h <= params.h_min * (1.0 + 1e-12)) {
+      r.status = StepStatus::kOk;
+      r.p = p_new;
+      r.t = t + h;
+      r.h_used = h;
+      r.k_last = k6;  // FSAL: sampled at (p_new, t + h)
+      r.has_k_last = true;
+      const double scale =
+          enorm > 0.0
+              ? std::clamp(kSafety * std::pow(enorm, -0.2), kMinScale,
+                           kMaxScale)
+              : kMaxScale;
+      r.h_next = std::clamp(h * scale, params.h_min, params.h_max);
+      return r;
+    }
+
+    const double scale =
+        std::clamp(kSafety * std::pow(enorm, -0.2), kMinScale, 1.0);
+    h = std::max(h * scale, params.h_min);
+  }
+}
+
+// Shared classic RK4 body (no error control; h_next == h).  The stage
+// arithmetic matches the historical VectorField overload exactly.
+template <typename Sampler>
+StepResult rk4_step_impl(Sampler&& sample, const Vec3& p, double t,
+                         double h) {
+  StepResult r;
+  Vec3 k1, k2, k3, k4;
+  r.n_evals = 4;
+  if (!sample(p, t, k1) || !sample(p + k1 * (h / 2), t + h / 2, k2) ||
+      !sample(p + k2 * (h / 2), t + h / 2, k3) ||
+      !sample(p + k3 * h, t + h, k4)) {
+    r.status = StepStatus::kSampleFailed;
+    r.h_next = h;
+    return r;
+  }
+  r.status = StepStatus::kOk;
+  r.p = p + (k1 + 2.0 * k2 + 2.0 * k3 + k4) * (h / 6.0);
+  r.t = t + h;
+  r.h_used = h;
+  r.h_next = h;
+  return r;
+}
+
+}  // namespace integrator_detail
 
 // Take one *accepted* adaptive DoPri5(4) step from (p, t) with trial step
 // size h.  Rejected trials (error too large, or a stage sampling outside
@@ -43,6 +308,14 @@ struct StepResult {
 // fails once h would drop below h_min.
 StepResult dopri5_step(const VectorField& field, const Vec3& p, double t,
                        double h, const IntegratorParams& params);
+
+// The historical kernel (triangular stage loop, virtual dispatch per
+// stage), bit-identical in results to dopri5_step but without its
+// codegen improvements.  Baseline for bench/advect_throughput and the
+// step behind Tracer::advance_reference.
+StepResult dopri5_step_reference(const VectorField& field, const Vec3& p,
+                                 double t, double h,
+                                 const IntegratorParams& params);
 
 // Time-varying right-hand side: v = f(p, t), false outside the domain.
 using UnsteadySampleFn =
@@ -53,8 +326,20 @@ using UnsteadySampleFn =
 StepResult dopri5_step(const UnsteadySampleFn& f, const Vec3& p, double t,
                        double h, const IntegratorParams& params);
 
+// Fast path: the same step against a non-virtual grid cursor.  The
+// cursor keeps its cell cache warm across the 7 stages (and across the
+// consecutive steps of a trace); results are bit-identical to the
+// VectorField overload on the cursor's grid.  Defined inline in
+// grid_sampler.hpp so it folds into the tracer's advance loop.
+StepResult dopri5_step(GridSampler& sampler, const Vec3& p, double t,
+                       double h, const IntegratorParams& params);
+
 // One classic fixed-step RK4 step (no error control; h_next == h).
 StepResult rk4_step(const VectorField& field, const Vec3& p, double t,
                     double h);
+
+// RK4 against the non-virtual cursor; bit-identical to the VectorField
+// overload on the cursor's grid.  Defined inline in grid_sampler.hpp.
+StepResult rk4_step(GridSampler& sampler, const Vec3& p, double t, double h);
 
 }  // namespace sf

@@ -16,7 +16,11 @@ StructuredGrid::StructuredGrid(const AABB& bounds, int nx, int ny, int nz)
   }
   const Vec3 e = bounds_.extent();
   cell_ = {e.x / (nx_ - 1), e.y / (ny_ - 1), e.z / (nz_ - 1)};
-  data_.resize(static_cast<std::size_t>(nx_) * ny_ * nz_);
+  inv_cell_ = {1.0 / cell_.x, 1.0 / cell_.y, 1.0 / cell_.z};
+  const std::size_t n = static_cast<std::size_t>(nx_) * ny_ * nz_;
+  xs_.resize(n);
+  ys_.resize(n);
+  zs_.resize(n);
 }
 
 Vec3 StructuredGrid::node_position(int i, int j, int k) const {
@@ -36,7 +40,7 @@ void StructuredGrid::sample_from(const VectorField& field) {
           // still interpolate sensibly.
           field.sample(domain.clamp(p), v);
         }
-        at(i, j, k) = v;
+        set_node(i, j, k, v);
       }
     }
   }
@@ -45,42 +49,50 @@ void StructuredGrid::sample_from(const VectorField& field) {
 bool StructuredGrid::sample(const Vec3& p, Vec3& out) const {
   if (!bounds_.contains(p)) return false;
 
-  // Continuous cell coordinates.
-  double fx = (p.x - bounds_.lo.x) / cell_.x;
-  double fy = (p.y - bounds_.lo.y) / cell_.y;
-  double fz = (p.z - bounds_.lo.z) / cell_.z;
+  const grid_detail::CellCoords cc =
+      grid_detail::locate_cell(p, bounds_.lo, inv_cell_, nx_, ny_, nz_);
 
-  int i = static_cast<int>(fx);
-  int j = static_cast<int>(fy);
-  int k = static_cast<int>(fz);
-  // Points exactly on the high face land in the last cell.
-  if (i >= nx_ - 1) i = nx_ - 2;
-  if (j >= ny_ - 1) j = ny_ - 2;
-  if (k >= nz_ - 1) k = nz_ - 2;
-
-  const double tx = fx - i;
-  const double ty = fy - j;
-  const double tz = fz - k;
-
-  const Vec3& c000 = at(i, j, k);
-  const Vec3& c100 = at(i + 1, j, k);
-  const Vec3& c010 = at(i, j + 1, k);
-  const Vec3& c110 = at(i + 1, j + 1, k);
-  const Vec3& c001 = at(i, j, k + 1);
-  const Vec3& c101 = at(i + 1, j, k + 1);
-  const Vec3& c011 = at(i, j + 1, k + 1);
-  const Vec3& c111 = at(i + 1, j + 1, k + 1);
-
-  const Vec3 c00 = c000 * (1 - tx) + c100 * tx;
-  const Vec3 c10 = c010 * (1 - tx) + c110 * tx;
-  const Vec3 c01 = c001 * (1 - tx) + c101 * tx;
-  const Vec3 c11 = c011 * (1 - tx) + c111 * tx;
-
-  const Vec3 c0 = c00 * (1 - ty) + c10 * ty;
-  const Vec3 c1 = c01 * (1 - ty) + c11 * ty;
-
-  out = c0 * (1 - tz) + c1 * tz;
+  // Gather the cell's 8 corners per component, x-fastest order.
+  const std::size_t base = index(cc.i, cc.j, cc.k);
+  const std::size_t rowy = static_cast<std::size_t>(nx_);
+  const std::size_t rowz = static_cast<std::size_t>(nx_) * ny_;
+  const std::size_t n[8] = {base,
+                            base + 1,
+                            base + rowy,
+                            base + rowy + 1,
+                            base + rowz,
+                            base + rowz + 1,
+                            base + rowz + rowy,
+                            base + rowz + rowy + 1};
+  double cx[8], cy[8], cz[8];
+  for (int c = 0; c < 8; ++c) {
+    cx[c] = xs_[n[c]];
+    cy[c] = ys_[n[c]];
+    cz[c] = zs_[n[c]];
+  }
+  out.x = grid_detail::trilinear(cx, cc.tx, cc.ty, cc.tz);
+  out.y = grid_detail::trilinear(cy, cc.tx, cc.ty, cc.tz);
+  out.z = grid_detail::trilinear(cz, cc.tx, cc.ty, cc.tz);
   return true;
+}
+
+std::vector<Vec3> StructuredGrid::data() const {
+  std::vector<Vec3> nodes(xs_.size());
+  for (std::size_t n = 0; n < nodes.size(); ++n) {
+    nodes[n] = {xs_[n], ys_[n], zs_[n]};
+  }
+  return nodes;
+}
+
+void StructuredGrid::set_data(const std::vector<Vec3>& nodes) {
+  if (nodes.size() != xs_.size()) {
+    throw std::invalid_argument("StructuredGrid::set_data: size mismatch");
+  }
+  for (std::size_t n = 0; n < nodes.size(); ++n) {
+    xs_[n] = nodes[n].x;
+    ys_[n] = nodes[n].y;
+    zs_[n] = nodes[n].z;
+  }
 }
 
 }  // namespace sf

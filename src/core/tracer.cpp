@@ -1,6 +1,8 @@
 #include "core/tracer.hpp"
 
 #include <cmath>
+#include <cstdint>
+#include <vector>
 
 namespace sf {
 
@@ -16,8 +18,14 @@ const char* to_string(ParticleStatus s) {
   return "unknown";
 }
 
-AdvanceOutcome Tracer::advance(Particle& particle, const BlockAccessFn& blocks,
-                               TraceRecorder* recorder) const {
+// ---------------------------------------------------------------------------
+// Fast path: block cursor + cell cursor, non-virtual sampling.
+// ---------------------------------------------------------------------------
+
+AdvanceOutcome Tracer::advance_with_cursor(Particle& particle,
+                                           const BlockAccessFn& blocks,
+                                           TraceRecorder* recorder,
+                                           Cursor& cur) const {
   AdvanceOutcome out;
   if (is_terminal(particle.status)) {
     out.status = particle.status;
@@ -25,6 +33,232 @@ AdvanceOutcome Tracer::advance(Particle& particle, const BlockAccessFn& blocks,
   }
 
   if (particle.steps == 0 && recorder != nullptr) {
+    recorder->reserve_hint(static_cast<std::size_t>(limits_.max_steps) + 1);
+    recorder->record(particle, particle.pos);  // seed vertex
+  }
+  if (particle.h <= 0.0) particle.h = iparams_.h_init;
+
+  // FSAL carry: the velocity at particle.pos, left over from the
+  // previous accepted step's 7th stage (DOPRI5 evaluates it exactly at
+  // the accepted point).  Valid only while the cursor's grid is the one
+  // it was sampled from.
+  Vec3 carried{};
+  bool has_carried = false;
+
+  for (;;) {
+    // Budget checks first so hand-offs can't dodge them.
+    if (particle.time >= limits_.max_time) {
+      particle.status = ParticleStatus::kMaxTime;
+      break;
+    }
+    if (particle.steps >= limits_.max_steps) {
+      particle.status = ParticleStatus::kMaxSteps;
+      break;
+    }
+
+    // Ownership check against the cursor.  block_of is inline index
+    // arithmetic on the precomputed reciprocal block size, so the
+    // per-step cost is a handful of multiplies; only a block *change*
+    // pays the BlockAccessFn (hash lookup + LRU touch).  Skipped
+    // lookups cannot change LRU order: re-touching the front entry is
+    // order-idempotent.
+    const BlockId owner = decomp_->block_of(particle.pos);
+    if (owner == kInvalidBlock) {
+      particle.status = ParticleStatus::kExitedDomain;
+      break;
+    }
+
+    if (owner != cur.id || cur.grid == nullptr) {
+      const StructuredGrid* grid = blocks(owner);
+      if (grid == nullptr) {
+        // Edge of the available data: the caller must fetch `owner` (or
+        // hand the particle to whoever has it).
+        out.blocking_block = owner;
+        out.status = ParticleStatus::kActive;
+        return out;
+      }
+      cur.id = owner;
+      cur.grid = grid;
+      cur.sampler.reset(grid);
+      has_carried = false;  // sampled from the previous block's grid
+    }
+
+    // Stagnation check at the current position: the carried FSAL value
+    // is this exact sample (same grid, same position, deterministic
+    // sampler), so re-evaluating would return the same bits.
+    Vec3 v{};
+    if (has_carried) {
+      v = carried;
+    } else {
+      ++out.evals;
+      if (!cur.sampler.sample(particle.pos, v)) {
+        // The owner grid must cover its own core extent; failure here is
+        // a dataset construction bug, not a flow condition.
+        particle.status = ParticleStatus::kError;
+        break;
+      }
+    }
+    if (norm(v) < limits_.min_speed) {
+      particle.status = ParticleStatus::kStagnant;
+      break;
+    }
+
+    // Cap the trial step so the remaining time budget is never overshot
+    // by more than one step.
+    double h = particle.h;
+    const double remaining = limits_.max_time - particle.time;
+    if (h > remaining) h = std::max(remaining, iparams_.h_min);
+
+    // `v` is the field at particle.pos — reuse it as stage one instead of
+    // re-sampling the same position (bit-identical; the sampler is
+    // deterministic).
+    const StepResult step =
+        dopri5_step(cur.sampler, v, particle.pos, particle.time, h, iparams_);
+    out.evals += static_cast<std::uint64_t>(step.n_evals);
+
+    if (step.status == StepStatus::kSampleFailed) {
+      // Even the smallest step sampled outside the block's ghost region.
+      // Boundary-block grids extend (clamped) beyond the global domain,
+      // so this only happens at the very rim of the data; classify by
+      // whether a nudge along the flow leaves the domain.
+      const Vec3 probe = particle.pos + normalized(v) * (iparams_.h_min * 10);
+      particle.status = decomp_->block_of(probe) == kInvalidBlock
+                            ? ParticleStatus::kExitedDomain
+                            : ParticleStatus::kError;
+      break;
+    }
+
+    particle.pos = step.p;
+    particle.time = step.t;
+    particle.h = step.h_next;
+    particle.steps += 1;
+    particle.geometry_points += 1;
+    out.steps += 1;
+    carried = step.k_last;
+    has_carried = step.has_k_last;
+    if (recorder != nullptr) recorder->record(particle, particle.pos);
+  }
+
+  out.status = particle.status;
+  return out;
+}
+
+AdvanceOutcome Tracer::advance(Particle& particle, const BlockAccessFn& blocks,
+                               TraceRecorder* recorder) const {
+  Cursor cur;
+  return advance_with_cursor(particle, blocks, recorder, cur);
+}
+
+std::vector<AdvanceOutcome> Tracer::advance_batch(
+    std::span<Particle> batch, const BlockAccessFn& blocks,
+    TraceRecorder* recorder) const {
+  std::vector<AdvanceOutcome> out(batch.size());
+  // Per-block rounds: each round picks the block owning the most pending
+  // particles and advances all of them through it while its node data is
+  // cache-hot, pausing each at the block boundary.  The boundary is
+  // exactly where the cell cursor and the FSAL carry invalidate anyway,
+  // so per-particle results — trajectory, step count, even evaluation
+  // count — are identical to advancing the particle alone (DESIGN.md
+  // §5.1).  What changes is data traffic: one-particle-at-a-time
+  // advancement streams every block it crosses through the cache once
+  // per crossing; the cohort pays each block load once per round.
+  std::vector<std::size_t> pending;
+  pending.reserve(batch.size());
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    if (is_terminal(batch[i].status)) {
+      out[i].status = batch[i].status;
+    } else {
+      pending.push_back(i);
+    }
+  }
+
+  // Flat per-block census, reused across rounds (block ids are dense).
+  std::vector<std::uint32_t> population(
+      static_cast<std::size_t>(decomp_->num_blocks()), 0);
+  std::vector<BlockId> owner_of(batch.size(), kInvalidBlock);
+
+  Cursor cur;
+  while (!pending.empty()) {
+    // Census of pending particles per owner block.
+    std::vector<BlockId> touched;
+    touched.reserve(pending.size());
+    for (const std::size_t i : pending) {
+      const BlockId b = decomp_->block_of(batch[i].pos);
+      owner_of[i] = b;
+      if (b != kInvalidBlock) {
+        if (population[static_cast<std::size_t>(b)]++ == 0) {
+          touched.push_back(b);
+        }
+      }
+    }
+
+    // Focus on the most populated accessible block.
+    BlockId focus = kInvalidBlock;
+    std::uint32_t best = 0;
+    for (const BlockId b : touched) {
+      const std::uint32_t n = population[static_cast<std::size_t>(b)];
+      if (n > best && blocks(b) != nullptr) {
+        focus = b;
+        best = n;
+      }
+    }
+    for (const BlockId b : touched) population[static_cast<std::size_t>(b)] = 0;
+
+    if (focus == kInvalidBlock) {
+      // No pending particle's block is available.  Run each through the
+      // unrestricted advance so domain exits terminate and the rest
+      // report their blocking block, exactly as advance() would.
+      for (const std::size_t i : pending) {
+        const AdvanceOutcome o =
+            advance_with_cursor(batch[i], blocks, recorder, cur);
+        out[i].steps += o.steps;
+        out[i].evals += o.evals;
+        out[i].status = o.status;
+        out[i].blocking_block = o.blocking_block;
+      }
+      break;
+    }
+
+    // This round only the focus block is on the table: its residents
+    // advance until they leave it (or finish); everyone else waits.
+    const BlockAccessFn focus_only = [&blocks, focus](BlockId id) {
+      return id == focus ? blocks(id) : nullptr;
+    };
+    std::vector<std::size_t> next;
+    next.reserve(pending.size());
+    for (const std::size_t i : pending) {
+      if (owner_of[i] != focus) {
+        next.push_back(i);
+        continue;
+      }
+      const AdvanceOutcome o =
+          advance_with_cursor(batch[i], focus_only, recorder, cur);
+      out[i].steps += o.steps;
+      out[i].evals += o.evals;
+      out[i].status = o.status;
+      out[i].blocking_block = o.blocking_block;
+      if (!is_terminal(batch[i].status)) next.push_back(i);
+    }
+    pending = std::move(next);
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Reference path (historical implementation, see header).
+// ---------------------------------------------------------------------------
+
+AdvanceOutcome Tracer::advance_reference(Particle& particle,
+                                         const BlockAccessFn& blocks,
+                                         TraceRecorder* recorder) const {
+  AdvanceOutcome out;
+  if (is_terminal(particle.status)) {
+    out.status = particle.status;
+    return out;
+  }
+
+  if (particle.steps == 0 && recorder != nullptr) {
+    recorder->reserve_hint(static_cast<std::size_t>(limits_.max_steps) + 1);
     recorder->record(particle, particle.pos);  // seed vertex
   }
   if (particle.h <= 0.0) particle.h = iparams_.h_init;
@@ -75,8 +309,8 @@ AdvanceOutcome Tracer::advance(Particle& particle, const BlockAccessFn& blocks,
     const double remaining = limits_.max_time - particle.time;
     if (h > remaining) h = std::max(remaining, iparams_.h_min);
 
-    const StepResult step = dopri5_step(*grid, particle.pos, particle.time,
-                                        h, iparams_);
+    const StepResult step = dopri5_step_reference(*grid, particle.pos,
+                                                  particle.time, h, iparams_);
     out.evals += static_cast<std::uint64_t>(step.n_evals);
 
     if (step.status == StepStatus::kSampleFailed) {
@@ -104,6 +338,10 @@ AdvanceOutcome Tracer::advance(Particle& particle, const BlockAccessFn& blocks,
   return out;
 }
 
+// ---------------------------------------------------------------------------
+// Serial entry points
+// ---------------------------------------------------------------------------
+
 std::vector<Particle> trace_all(const BlockedDataset& dataset,
                                 std::span<const Vec3> seeds,
                                 const IntegratorParams& iparams,
@@ -127,10 +365,16 @@ std::vector<Particle> trace_all(const BlockedDataset& dataset,
     particles[i].pos = seeds[i];
     if (decomp.block_of(seeds[i]) == kInvalidBlock) {
       particles[i].status = ParticleStatus::kExitedDomain;
-      continue;
     }
-    tracer.advance(particles[i], access, recorder);
   }
+
+  // One cohort: advance_batch schedules the work block by block, so
+  // seeds sharing blocks (at the start or anywhere downstream) are
+  // advanced while the block's data is hot.  Every block is accessible
+  // here, so the batch runs each particle to a terminal state, and
+  // per-particle results are independent of the schedule (DESIGN.md
+  // §5.1).
+  tracer.advance_batch(particles, access, recorder);
   return particles;
 }
 
@@ -147,7 +391,10 @@ Particle trace_field(const VectorField& field, const Vec3& seed,
     particle.status = ParticleStatus::kExitedDomain;
     return particle;
   }
-  if (recorder != nullptr) recorder->record(particle, particle.pos);
+  if (recorder != nullptr) {
+    recorder->reserve_hint(static_cast<std::size_t>(limits.max_steps) + 1);
+    recorder->record(particle, particle.pos);
+  }
 
   for (;;) {
     if (particle.time >= limits.max_time) {

@@ -2,14 +2,25 @@
 
 // Streamline advancement.
 //
-// Tracer::advance is the single inner loop shared by every algorithm and
-// runtime: it advances one particle through whatever blocks the caller
-// has available and stops either at a terminal condition or at the edge
-// of the available data (reporting which block is needed next).  Because
-// each position samples only its *owning* block's grid, the accepted-step
-// sequence is identical regardless of which rank runs it or which other
-// blocks happen to be loaded — see DESIGN.md §5.1.
+// Tracer::advance_batch is the single inner loop shared by every
+// algorithm and runtime: it advances all particles resident in one block
+// through whatever blocks the caller has available and stops each either
+// at a terminal condition or at the edge of the available data
+// (reporting which block is needed next).  Because each position samples
+// only its *owning* block's grid, the accepted-step sequence is
+// identical regardless of which rank runs it, which other blocks happen
+// to be loaded, or how particles are grouped into batches — see
+// DESIGN.md §5.1 and §9.
+//
+// Two implementations exist on purpose:
+//  - the fast path (advance / advance_batch) keeps a block cursor and a
+//    GridSampler cell cursor, skipping the BlockAccessFn lookup while
+//    the owning block is unchanged and virtual dispatch always;
+//  - advance_reference is the historical per-step virtual-dispatch loop,
+//    kept verbatim as the oracle for the bit-identity golden test
+//    (tests/test_fast_path.cpp) and as the bench baseline.
 
+#include <algorithm>
 #include <cstdint>
 #include <functional>
 #include <span>
@@ -17,6 +28,7 @@
 
 #include "core/block_decomposition.hpp"
 #include "core/dataset.hpp"
+#include "core/grid_sampler.hpp"
 #include "core/integrator.hpp"
 #include "core/particle.hpp"
 
@@ -35,6 +47,10 @@ class TraceRecorder {
   // Called once when a particle starts (with its seed position) and after
   // every accepted step.
   virtual void record(const Particle& particle, const Vec3& position) = 0;
+  // Capacity hint, called before a particle's seed vertex is recorded:
+  // the tracer's accepted-step budget bounds how many points the line
+  // can grow.  Default: ignore.
+  virtual void reserve_hint(std::size_t /*max_points*/) {}
 };
 
 // Stores full polylines per particle id.
@@ -44,18 +60,33 @@ class PolylineRecorder final : public TraceRecorder {
       : lines_(num_particles) {}
 
   void record(const Particle& particle, const Vec3& position) override {
-    lines_[particle.id].push_back(position);
+    std::vector<Vec3>& line = lines_[particle.id];
+    if (line.size() == 1 && line.capacity() < hint_) {
+      // First accepted step: the line is live, so pre-size it.  Waiting
+      // for the second vertex keeps dead-on-arrival seeds at one point.
+      line.reserve(hint_);
+    }
+    line.push_back(position);
+  }
+
+  void reserve_hint(std::size_t max_points) override {
+    hint_ = std::min(max_points, kReserveCap);
   }
 
   const std::vector<std::vector<Vec3>>& lines() const { return lines_; }
 
  private:
+  // Cap the per-line reservation: long-budget runs (max_steps = 10^4+)
+  // would otherwise commit the full worst case up front for every seed.
+  static constexpr std::size_t kReserveCap = 4096;
+
   std::vector<std::vector<Vec3>> lines_;
+  std::size_t hint_ = 0;
 };
 
 // Returns the grid for a block if the caller currently has it, nullptr
 // otherwise.  The returned pointer must stay valid for the duration of
-// the advance() call.
+// the advance() / advance_batch() call.
 using BlockAccessFn = std::function<const StructuredGrid*(BlockId)>;
 
 struct AdvanceOutcome {
@@ -78,11 +109,42 @@ class Tracer {
   const TraceLimits& limits() const { return limits_; }
 
   // Advance `particle` while its owning block is available via `blocks`.
-  // Updates the particle in place; returns what happened.
+  // Updates the particle in place; returns what happened.  Fast path.
   AdvanceOutcome advance(Particle& particle, const BlockAccessFn& blocks,
                          TraceRecorder* recorder = nullptr) const;
 
+  // Advance every particle in `batch` (all resident in one block, per
+  // the rank programs' per-block pools) sharing one block/cell cursor,
+  // so the common case — the whole batch circulating inside the same
+  // block — touches the cache lookup once.  outcome[i] corresponds to
+  // batch[i].
+  std::vector<AdvanceOutcome> advance_batch(
+      std::span<Particle> batch, const BlockAccessFn& blocks,
+      TraceRecorder* recorder = nullptr) const;
+
+  // The historical implementation: virtual VectorField::sample per
+  // stage, BlockAccessFn lookup per step.  Oracle for the golden
+  // bit-identity test and baseline for bench/advect_throughput.  Do not
+  // "optimize" this — its value is being the unchanged reference.
+  AdvanceOutcome advance_reference(Particle& particle,
+                                   const BlockAccessFn& blocks,
+                                   TraceRecorder* recorder = nullptr) const;
+
  private:
+  // Block cursor: the block the previous step's position resided in,
+  // with its grid and warm cell cursor.  Valid only within one
+  // advance/advance_batch call (block pointers may dangle afterwards).
+  struct Cursor {
+    BlockId id = kInvalidBlock;
+    const StructuredGrid* grid = nullptr;
+    GridSampler sampler;
+  };
+
+  AdvanceOutcome advance_with_cursor(Particle& particle,
+                                     const BlockAccessFn& blocks,
+                                     TraceRecorder* recorder,
+                                     Cursor& cur) const;
+
   const BlockDecomposition* decomp_;
   IntegratorParams iparams_;
   TraceLimits limits_;
@@ -93,6 +155,8 @@ class Tracer {
 // ---------------------------------------------------------------------------
 
 // Trace all seeds over a fully accessible blocked dataset, serially.
+// Seeds are grouped by their starting block and advanced with
+// Tracer::advance_batch.
 std::vector<Particle> trace_all(const BlockedDataset& dataset,
                                 std::span<const Vec3> seeds,
                                 const IntegratorParams& iparams,

@@ -68,8 +68,10 @@ void BlockStore::write(const std::filesystem::path& dir,
     h.nx = grid->nx();
     h.ny = grid->ny();
     h.nz = grid->nz();
-    h.payload_checksum =
-        fnv1a(grid->data().data(), grid->payload_bytes());
+    // On-disk payload stays the AoS node order; data() snapshots the SoA
+    // component arrays into exactly that layout.
+    const std::vector<Vec3> nodes = grid->data();
+    h.payload_checksum = fnv1a(nodes.data(), grid->payload_bytes());
 
     std::ofstream f(dir / ("block_" + std::to_string(id) + ".blk"),
                     std::ios::binary);
@@ -78,7 +80,7 @@ void BlockStore::write(const std::filesystem::path& dir,
                                std::to_string(id));
     }
     f.write(reinterpret_cast<const char*>(&h), sizeof(h));
-    f.write(reinterpret_cast<const char*>(grid->data().data()),
+    f.write(reinterpret_cast<const char*>(nodes.data()),
             static_cast<std::streamsize>(grid->payload_bytes()));
   }
 }
@@ -136,17 +138,18 @@ GridPtr BlockStore::load_block(BlockId id) const {
   auto grid = std::make_shared<StructuredGrid>(
       AABB{{h.lo[0], h.lo[1], h.lo[2]}, {h.hi[0], h.hi[1], h.hi[2]}}, h.nx,
       h.ny, h.nz);
-  f.read(reinterpret_cast<char*>(grid->data().data()),
+  std::vector<Vec3> nodes(grid->num_nodes());
+  f.read(reinterpret_cast<char*>(nodes.data()),
          static_cast<std::streamsize>(grid->payload_bytes()));
   if (!f) {
     throw std::runtime_error("BlockStore: truncated block " +
                              block_path(id).string());
   }
-  if (fnv1a(grid->data().data(), grid->payload_bytes()) !=
-      h.payload_checksum) {
+  if (fnv1a(nodes.data(), grid->payload_bytes()) != h.payload_checksum) {
     throw std::runtime_error("BlockStore: checksum mismatch in " +
                              block_path(id).string());
   }
+  grid->set_data(nodes);
   return grid;
 }
 

@@ -18,20 +18,24 @@ const StructuredGrid* BlockCache::find(BlockId id) {
 }
 
 void BlockCache::insert(BlockId id, GridPtr grid) {
-  auto it = map_.find(id);
-  if (it != map_.end()) {
+  // One probe resolves both "already resident" and the insertion slot.
+  auto [it, inserted] = map_.try_emplace(id);
+  if (!inserted) {
     touch(it->second.pos);
     return;
   }
-  if (map_.size() >= capacity_) {
+  lru_.push_front(id);
+  it->second = Entry{std::move(grid), lru_.begin()};
+  ++loads_;
+  // Evict after inserting: the newcomer sits at the LRU front, so the
+  // victim (back) is the same entry the evict-first ordering chose.
+  if (map_.size() > capacity_) {
     const BlockId victim = lru_.back();
     lru_.pop_back();
     map_.erase(victim);
     ++purges_;
   }
-  lru_.push_front(id);
-  map_.emplace(id, Entry{std::move(grid), lru_.begin()});
-  ++loads_;
+  check_counters();
 }
 
 void BlockCache::erase(BlockId id) {
@@ -39,6 +43,8 @@ void BlockCache::erase(BlockId id) {
   if (it == map_.end()) return;
   lru_.erase(it->second.pos);
   map_.erase(it);
+  ++erased_;
+  check_counters();
 }
 
 std::vector<BlockId> BlockCache::resident() const {

@@ -8,6 +8,7 @@
 // its load/purge counters feed the paper's block-efficiency metric
 // E = (B_loaded - B_purged) / B_loaded.
 
+#include <cassert>
 #include <cstdint>
 #include <list>
 #include <unordered_map>
@@ -34,6 +35,8 @@ class BlockCache {
   // Insert a freshly loaded block as most-recently used, evicting the
   // least-recently used entry if at capacity.  Counts one load (and one
   // purge per eviction).  Re-inserting a resident block just touches it.
+  // Single hash probe: insertion and the residency check share one
+  // try_emplace instead of find()-then-emplace().
   void insert(BlockId id, GridPtr grid);
 
   // Drop a block explicitly (not counted as a purge; used by tests).
@@ -50,6 +53,12 @@ class BlockCache {
     lru_.splice(lru_.begin(), lru_, it);
   }
 
+  // Counter audit: every load is still resident, purged, or explicitly
+  // erased — the E-metric E = (loads - purges) / loads depends on it.
+  void check_counters() const {
+    assert(loads_ == purges_ + erased_ + map_.size());
+  }
+
   std::size_t capacity_;
   std::list<BlockId> lru_;  // front = most recent
   struct Entry {
@@ -59,6 +68,7 @@ class BlockCache {
   std::unordered_map<BlockId, Entry> map_;
   std::uint64_t loads_ = 0;
   std::uint64_t purges_ = 0;
+  std::uint64_t erased_ = 0;  // explicit erase(), not counted as purge
 };
 
 }  // namespace sf

@@ -158,8 +158,13 @@ TEST(ExperimentShapes, GeometryStrippingCutsCommBytes) {
   const RunMetrics s = run_experiment(without, w.decomp(), *w.source, seeds);
   ASSERT_FALSE(g.failed_oom);
   ASSERT_FALSE(s.failed_oom);
-  // Identical schedule (same messages), far fewer bytes.
-  EXPECT_EQ(g.total_messages(), s.total_messages());
+  // Far fewer bytes for nearly the same message traffic.  Counts are not
+  // exactly equal: bursts advance a whole block queue and group their
+  // hand-offs per destination, so transfer times (which geometry bytes
+  // change) shift which particles share a burst and thus a batch.
+  EXPECT_NEAR(static_cast<double>(g.total_messages()),
+              static_cast<double>(s.total_messages()),
+              0.05 * static_cast<double>(s.total_messages()));
   EXPECT_GT(g.total_bytes_sent(), 3.0 * s.total_bytes_sent());
   // And identical results, of course.
   ASSERT_EQ(g.particles.size(), s.particles.size());

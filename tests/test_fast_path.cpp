@@ -1,0 +1,214 @@
+// Golden bit-identity tests for the fast advection core.
+//
+// The fast path (GridSampler cell cursor, hand-unrolled DOPRI5 body,
+// stage-one reuse, FSAL carry, per-block batching) is a pure codegen /
+// scheduling change: every floating-point operation runs in the same
+// order as the historical kernel.  These tests hold it to that claim
+// with EXPECT_EQ on doubles — zero tolerance — across every analytic
+// field, both integrators, and all three tracer entry points.
+//
+// Evaluation counts are deliberately NOT compared: the fast path
+// legitimately performs fewer field evaluations (it reuses the
+// stagnation-check sample as stage one and carries the FSAL stage
+// across steps), which changes n_evals without changing any sampled
+// value.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "core/analytic_fields.hpp"
+#include "core/dataset.hpp"
+#include "core/grid_sampler.hpp"
+#include "core/integrator.hpp"
+#include "core/structured_grid.hpp"
+#include "core/tracer.hpp"
+
+namespace sf {
+namespace {
+
+struct NamedField {
+  const char* name;
+  std::shared_ptr<VectorField> field;
+};
+
+std::vector<NamedField> all_fields() {
+  return {
+      {"uniform", std::make_shared<UniformField>()},
+      {"rotor", std::make_shared<RotorField>()},
+      {"saddle", std::make_shared<SaddleField>()},
+      {"abc", std::make_shared<ABCField>()},
+      {"hill", std::make_shared<HillVortexField>()},
+      {"supernova", std::make_shared<SupernovaField>()},
+      {"tokamak", std::make_shared<TokamakField>()},
+      {"thermal", std::make_shared<ThermalHydraulicsField>()},
+  };
+}
+
+// Deterministic seed spread: fractional positions of the box, away from
+// the exact faces so every integrator has room for at least one stage.
+std::vector<Vec3> spread_seeds(const AABB& box) {
+  const double fr[9][3] = {{0.50, 0.50, 0.50}, {0.25, 0.50, 0.50},
+                           {0.75, 0.40, 0.60}, {0.40, 0.25, 0.70},
+                           {0.60, 0.75, 0.30}, {0.30, 0.60, 0.25},
+                           {0.70, 0.30, 0.75}, {0.45, 0.65, 0.55},
+                           {0.15, 0.85, 0.45}};
+  std::vector<Vec3> seeds;
+  const Vec3 e = box.extent();
+  for (const auto& f : fr) {
+    seeds.push_back({box.lo.x + f[0] * e.x, box.lo.y + f[1] * e.y,
+                     box.lo.z + f[2] * e.z});
+  }
+  return seeds;
+}
+
+#define EXPECT_SAME_STEP(fast, ref)        \
+  do {                                     \
+    EXPECT_EQ((fast).status, (ref).status);\
+    EXPECT_EQ((fast).p.x, (ref).p.x);      \
+    EXPECT_EQ((fast).p.y, (ref).p.y);      \
+    EXPECT_EQ((fast).p.z, (ref).p.z);      \
+    EXPECT_EQ((fast).t, (ref).t);          \
+    EXPECT_EQ((fast).h_used, (ref).h_used);\
+    EXPECT_EQ((fast).h_next, (ref).h_next);\
+  } while (0)
+
+// Single DOPRI5 steps: cursor overload vs the historical kernel, and
+// the stage-one-pre-supplied overload vs both.
+TEST(FastPath, Dopri5StepBitIdenticalOnAllFields) {
+  const IntegratorParams params;
+  for (const NamedField& nf : all_fields()) {
+    SCOPED_TRACE(nf.name);
+    StructuredGrid grid(nf.field->bounds(), 25, 25, 25);
+    grid.sample_from(*nf.field);
+    GridSampler sampler(grid);
+    for (const Vec3& seed : spread_seeds(grid.bounds())) {
+      for (const double h : {1e-3, 1e-2, 0.1}) {
+        const StepResult ref =
+            dopri5_step_reference(grid, seed, 0.0, h, params);
+        const StepResult fast = dopri5_step(sampler, seed, 0.0, h, params);
+        EXPECT_SAME_STEP(fast, ref);
+
+        // Stage-one reuse: hand the sampler's own value at the seed in.
+        Vec3 v{};
+        if (sampler.sample(seed, v)) {
+          const StepResult pre =
+              dopri5_step(sampler, v, seed, 0.0, h, params);
+          EXPECT_SAME_STEP(pre, ref);
+        }
+      }
+    }
+  }
+}
+
+// Single RK4 steps: cursor overload vs the virtual-dispatch overload.
+TEST(FastPath, Rk4StepBitIdenticalOnAllFields) {
+  for (const NamedField& nf : all_fields()) {
+    SCOPED_TRACE(nf.name);
+    StructuredGrid grid(nf.field->bounds(), 25, 25, 25);
+    grid.sample_from(*nf.field);
+    GridSampler sampler(grid);
+    for (const Vec3& seed : spread_seeds(grid.bounds())) {
+      for (const double h : {1e-3, 1e-2, 0.1}) {
+        const StepResult ref = rk4_step(grid, seed, 0.0, h);
+        const StepResult fast = rk4_step(sampler, seed, 0.0, h);
+        EXPECT_SAME_STEP(fast, ref);
+      }
+    }
+  }
+}
+
+void expect_same_particle(const Particle& fast, const Particle& ref) {
+  EXPECT_EQ(fast.status, ref.status);
+  EXPECT_EQ(fast.steps, ref.steps);
+  EXPECT_EQ(fast.pos.x, ref.pos.x);
+  EXPECT_EQ(fast.pos.y, ref.pos.y);
+  EXPECT_EQ(fast.pos.z, ref.pos.z);
+  EXPECT_EQ(fast.time, ref.time);
+  EXPECT_EQ(fast.h, ref.h);
+}
+
+// Whole trajectories: Tracer::advance (block cursor + cell cursor +
+// FSAL carry) and Tracer::advance_batch (per-block rounds) against
+// Tracer::advance_reference, on a multi-block dataset so trajectories
+// cross block boundaries and invalidate the cursor along the way.
+TEST(FastPath, TracerAdvanceBitIdenticalOnAllFields) {
+  TraceLimits limits;
+  limits.max_steps = 400;
+  const IntegratorParams iparams;
+  for (const NamedField& nf : all_fields()) {
+    SCOPED_TRACE(nf.name);
+    const BlockDecomposition decomp(nf.field->bounds(), 3, 3, 3);
+    auto dataset =
+        std::make_shared<BlockedDataset>(nf.field, decomp, 13, 2);
+    std::vector<GridPtr> slots(
+        static_cast<std::size_t>(dataset->num_blocks()));
+    const BlockAccessFn access = [&](BlockId id) -> const StructuredGrid* {
+      GridPtr& slot = slots[static_cast<std::size_t>(id)];
+      if (!slot) slot = dataset->block(id);
+      return slot.get();
+    };
+    const Tracer tracer(&decomp, iparams, limits);
+
+    const std::vector<Vec3> seeds = spread_seeds(nf.field->bounds());
+    std::vector<Particle> ref(seeds.size()), fast(seeds.size()),
+        batch(seeds.size());
+    for (std::size_t i = 0; i < seeds.size(); ++i) {
+      ref[i].id = fast[i].id = batch[i].id =
+          static_cast<std::uint32_t>(i);
+      ref[i].pos = fast[i].pos = batch[i].pos = seeds[i];
+    }
+
+    for (std::size_t i = 0; i < seeds.size(); ++i) {
+      tracer.advance_reference(ref[i], access);
+      tracer.advance(fast[i], access);
+      SCOPED_TRACE(i);
+      expect_same_particle(fast[i], ref[i]);
+    }
+
+    tracer.advance_batch(batch, access);
+    for (std::size_t i = 0; i < seeds.size(); ++i) {
+      SCOPED_TRACE(i);
+      expect_same_particle(batch[i], ref[i]);
+    }
+  }
+}
+
+// The per-block batch schedule must not depend on input order: reversing
+// the cohort changes the rounds but not any particle's result.
+TEST(FastPath, BatchScheduleIndependentOfOrder) {
+  auto field = std::make_shared<TokamakField>();
+  const BlockDecomposition decomp(field->bounds(), 3, 3, 3);
+  auto dataset = std::make_shared<BlockedDataset>(field, decomp, 13, 2);
+  std::vector<GridPtr> slots(
+      static_cast<std::size_t>(dataset->num_blocks()));
+  const BlockAccessFn access = [&](BlockId id) -> const StructuredGrid* {
+    GridPtr& slot = slots[static_cast<std::size_t>(id)];
+    if (!slot) slot = dataset->block(id);
+    return slot.get();
+  };
+  TraceLimits limits;
+  limits.max_steps = 300;
+  const Tracer tracer(&decomp, IntegratorParams{}, limits);
+
+  const std::vector<Vec3> seeds = spread_seeds(field->bounds());
+  std::vector<Particle> fwd(seeds.size()), rev(seeds.size());
+  for (std::size_t i = 0; i < seeds.size(); ++i) {
+    fwd[i].id = static_cast<std::uint32_t>(i);
+    fwd[i].pos = seeds[i];
+    const std::size_t j = seeds.size() - 1 - i;
+    rev[i].id = static_cast<std::uint32_t>(j);
+    rev[i].pos = seeds[j];
+  }
+  tracer.advance_batch(fwd, access);
+  tracer.advance_batch(rev, access);
+  for (std::size_t i = 0; i < seeds.size(); ++i) {
+    SCOPED_TRACE(i);
+    expect_same_particle(rev[seeds.size() - 1 - i], fwd[i]);
+  }
+}
+
+}  // namespace
+}  // namespace sf

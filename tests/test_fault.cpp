@@ -376,7 +376,7 @@ INSTANTIATE_TEST_SUITE_P(AlgorithmsWithState, CheckpointRestart,
 TEST(FaultRecovery, OomWithoutFaultLayerKeepsPartialResults) {
   const FaultWorld fw;
   auto cfg = fw.config(Algorithm::kStaticAllocation, 4);
-  cfg.runtime.model.particle_memory_bytes = 18 << 10;  // tight: OOM mid-run
+  cfg.runtime.model.particle_memory_bytes = 16 << 10;  // tight: OOM mid-run
   const RunMetrics m = fw.run(cfg);
 
   ASSERT_TRUE(m.failed_oom);
@@ -394,7 +394,7 @@ TEST(FaultRecovery, OomWithoutFaultLayerKeepsPartialResults) {
 TEST(FaultRecovery, OomBecomesARecoverableCrashUnderFaultInjection) {
   const FaultWorld fw;
   auto cfg = fw.config(Algorithm::kStaticAllocation, 4);
-  cfg.runtime.model.particle_memory_bytes = 18 << 10;
+  cfg.runtime.model.particle_memory_bytes = 16 << 10;
   cfg.runtime.fault.enabled = true;
   const RunMetrics m = fw.run(cfg);
 

@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""Diff two BENCH_advect.json runs and flag throughput regressions.
+
+Usage:
+    tools/bench/compare.py BASELINE.json CURRENT.json [--threshold=0.10]
+                           [--warn-only]
+
+Matches results by (kernel, seeding, cache), prints a ratio table, and exits
+non-zero if any current rate falls more than --threshold (default 10%)
+below the baseline.  --warn-only reports but always exits 0 — the CI
+smoke job uses it because shared-runner timing is too noisy to gate on.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    with open(path) as f:
+        doc = json.load(f)
+    out = {}
+    for r in doc.get("results", []):
+        # Older runs predate the cache-regime axis; treat them as the
+        # all-blocks-resident regime so baselines stay comparable.
+        out[(r["kernel"], r["seeding"], r.get("cache", "resident"))] = r
+    if not out:
+        sys.exit(f"{path}: no results")
+    return out
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("baseline")
+    ap.add_argument("current")
+    ap.add_argument("--threshold", type=float, default=0.10,
+                    help="max allowed fractional slowdown (default 0.10)")
+    ap.add_argument("--warn-only", action="store_true",
+                    help="report regressions but exit 0")
+    args = ap.parse_args()
+
+    base = load(args.baseline)
+    cur = load(args.current)
+
+    header = (f"{'cache':12} {'seeding':8} {'kernel':10} "
+              f"{'baseline':>14} {'current':>14} {'ratio':>7}")
+    print(header)
+    print("-" * len(header))
+    regressions = []
+    for key in sorted(base):
+        b = base[key]["particle_steps_per_sec"]
+        c_entry = cur.get(key)
+        if c_entry is None:
+            regressions.append(f"{key}: missing from current run")
+            continue
+        c = c_entry["particle_steps_per_sec"]
+        ratio = c / b
+        flag = ""
+        if ratio < 1.0 - args.threshold:
+            flag = "  <-- REGRESSION"
+            regressions.append(
+                f"{key[2]}/{key[1]}/{key[0]}: {c:.3g} vs baseline {b:.3g} "
+                f"({(1.0 - ratio) * 100:.1f}% slower)")
+        print(f"{key[2]:12} {key[1]:8} {key[0]:10} "
+              f"{b:14.4g} {c:14.4g} {ratio:7.3f}{flag}")
+    for key in sorted(set(cur) - set(base)):
+        print(f"{key[2]:12} {key[1]:8} {key[0]:10} {'(new)':>14} "
+              f"{cur[key]['particle_steps_per_sec']:14.4g}")
+
+    if regressions:
+        print(f"\n{len(regressions)} regression(s) beyond "
+              f"{args.threshold * 100:.0f}%:", file=sys.stderr)
+        for r in regressions:
+            print(f"  {r}", file=sys.stderr)
+        if not args.warn_only:
+            sys.exit(1)
+        print("(--warn-only: not failing)", file=sys.stderr)
+    else:
+        print("\nno regressions beyond "
+              f"{args.threshold * 100:.0f}% threshold")
+
+
+if __name__ == "__main__":
+    main()
