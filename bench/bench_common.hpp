@@ -122,8 +122,9 @@ inline void run_figure_set(const Options& opt, const BenchDataset& data,
                            const TraceLimits& limits,
                            const std::string& figure_note) {
   Table table({"dataset", "seeding", "algorithm", "procs", "wall_s",
-               "io_total_s", "comm_total_s", "block_E", "blocks_loaded",
-               "blocks_purged", "messages", "sent_MB", "status"});
+               "io_total_s", "stall_s", "comm_total_s", "block_E",
+               "hit_rate", "blocks_loaded", "blocks_purged", "messages",
+               "sent_MB", "status"});
 
   for (const Scenario& scenario : scenarios) {
     for (const Algorithm algo : kAllAlgorithms) {
@@ -143,7 +144,8 @@ inline void run_figure_set(const Options& opt, const BenchDataset& data,
             {data.name, scenario.seeding, std::string(to_string(algo)),
              static_cast<long long>(procs),
              m.failed_oom ? -1.0 : m.wall_clock, m.total_io_time(),
-             m.total_comm_time(), m.block_efficiency(),
+             m.total_stall_time(), m.total_comm_time(),
+             m.block_efficiency(), m.cache_hit_rate(),
              static_cast<long long>(m.total_blocks_loaded()),
              static_cast<long long>(m.total_blocks_purged()),
              static_cast<long long>(m.total_messages()),

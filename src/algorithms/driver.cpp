@@ -180,6 +180,7 @@ RunMetrics run_experiment_threads(const ExperimentConfig& config,
   tcfg.schedule_fuzz_seed = run.cfg.schedule_fuzz_seed;
   tcfg.checked_protocol = run.cfg.runtime.checked_protocol;
   tcfg.checker_num_masters = run.cfg.runtime.checker_num_masters;
+  tcfg.async_io = run.cfg.runtime.async_io;
   ThreadRuntime runtime(tcfg, &decomp, &source, run.cfg.integrator,
                         run.cfg.limits);
   RunMetrics metrics = runtime.run(run.factory);

@@ -255,11 +255,26 @@ class HybridSlave final : public RankProgram {
       if (!reported_ && workable(ctx) == draining) send_status(ctx, 0);
       // Advance the whole block queue in one burst (§9 batching).
       in_flight_ = pool_.drain_block(runnable);
+      // A slave's useful horizon is one Load round: a deep speculative
+      // pipeline claims blocks the master never schedules here and
+      // perturbs its Load/Send decisions more than it hides latency,
+      // so the slave pipeline stays shallow regardless of the
+      // configured depth.
+      const int lookahead = std::min(4, ctx.prefetch_capacity());
       BatchAdvanceResult r = advance_block_and_charge(ctx, in_flight_);
       flights_ = std::move(r.outcomes);
       ctx.begin_compute(static_cast<double>(r.total_steps) *
                             ctx.model().seconds_per_step,
                         r.total_steps);
+      // Overlap: background-read where this burst is headed (its
+      // outcomes name the blocks exactly), then the densest blocked
+      // queues, so the master's next kLoad (or our own wait for it)
+      // finds the grid already staged — the Load rule becomes a
+      // non-blocking claim.  No streamline lookahead here: the master
+      // schedules this rank's loads, so two-ahead speculation only
+      // claims blocks it never sends us to.
+      prefetch_blocking_targets(ctx, flights_, runnable, lookahead);
+      prefetch_densest(ctx, pool_, runnable, lookahead);
       return;
     }
 

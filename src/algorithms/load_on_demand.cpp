@@ -92,11 +92,27 @@ class LoadOnDemandProgram final : public RankProgram {
     if (runnable != kInvalidBlock) {
       // Advance the whole block queue in one burst (§9 batching).
       in_flight_ = pool_.drain_block(runnable);
+      const int lookahead = ctx.prefetch_capacity();
+      std::vector<Vec3> starts;
+      if (lookahead > 0) {
+        starts.reserve(in_flight_.size());
+        for (const Particle& p : in_flight_) starts.push_back(p.pos);
+      }
       BatchAdvanceResult r = advance_block_and_charge(ctx, in_flight_);
       flights_ = std::move(r.outcomes);
       ctx.begin_compute(static_cast<double>(r.total_steps) *
                             ctx.model().seconds_per_step,
                         r.total_steps);
+      // Overlap: while this burst integrates, background-read the blocks
+      // it is about to stop for (the outcomes name them exactly), then
+      // the blocks those streamlines point at one block further on —
+      // a short burst gives the one-ahead read no time to finish, the
+      // two-ahead hint absorbs that — then fill any leftover depth with
+      // the pooled runners-up.
+      prefetch_blocking_targets(ctx, flights_, runnable, lookahead);
+      prefetch_streamline_lookahead(ctx, *decomp_, in_flight_, starts,
+                                    flights_, runnable, lookahead);
+      prefetch_densest(ctx, pool_, runnable, lookahead);
       return;
     }
 
@@ -107,6 +123,8 @@ class LoadOnDemandProgram final : public RankProgram {
       if (next != kInvalidBlock && !ctx.block_pending(next)) {
         ++loads_outstanding_;
         ctx.request_block(next);
+        // Overlap the demand read with hints for the runners-up.
+        prefetch_densest(ctx, pool_, next, ctx.prefetch_capacity());
       }
     }
   }

@@ -1,5 +1,7 @@
 #include "algorithms/routing.hpp"
 
+#include <algorithm>
+#include <cmath>
 #include <stdexcept>
 
 namespace sf {
@@ -107,6 +109,85 @@ std::vector<Particle> make_particles(const BlockDecomposition& decomp,
   return out;
 }
 
+namespace {
+
+// Shared tail of every predictor: hint the ranked candidates (count
+// descending, id ascending) that are not already resident, pending, or
+// the excluded focus block.  prefetch_block is a no-op when async I/O
+// is off, so the synchronous demand path is untouched.
+void issue_ranked_hints(RankContext& ctx,
+                        std::vector<std::pair<BlockId, std::uint32_t>> ranked,
+                        BlockId exclude, int max_hints) {
+  std::sort(ranked.begin(), ranked.end(),
+            [](const auto& a, const auto& b) {
+              if (a.second != b.second) return a.second > b.second;
+              return a.first < b.first;
+            });
+  int hinted = 0;
+  for (const auto& [block, count] : ranked) {
+    if (block == exclude || ctx.block_resident(block) ||
+        ctx.block_pending(block)) {
+      continue;
+    }
+    ctx.prefetch_block(block);
+    if (++hinted >= max_hints) break;
+  }
+}
+
+}  // namespace
+
+void prefetch_densest(RankContext& ctx, const ParticlePool& pool,
+                      BlockId exclude, int max_hints) {
+  if (max_hints <= 0) return;
+  issue_ranked_hints(ctx, pool.census(), exclude, max_hints);
+}
+
+void prefetch_blocking_targets(RankContext& ctx,
+                               std::span<const AdvanceOutcome> outcomes,
+                               BlockId exclude, int max_hints) {
+  if (max_hints <= 0) return;
+  std::map<BlockId, std::uint32_t> census;
+  for (const AdvanceOutcome& o : outcomes) {
+    if (o.status == ParticleStatus::kActive &&
+        o.blocking_block != kInvalidBlock) {
+      ++census[o.blocking_block];
+    }
+  }
+  issue_ranked_hints(ctx, {census.begin(), census.end()}, exclude, max_hints);
+}
+
+void prefetch_streamline_lookahead(RankContext& ctx,
+                                   const BlockDecomposition& decomp,
+                                   std::span<const Particle> batch,
+                                   std::span<const Vec3> start_positions,
+                                   std::span<const AdvanceOutcome> outcomes,
+                                   BlockId exclude, int max_hints) {
+  if (max_hints <= 0) return;
+  const AABB& dom = decomp.domain();
+  const Vec3 bsize{(dom.hi.x - dom.lo.x) / decomp.nbx(),
+                   (dom.hi.y - dom.lo.y) / decomp.nby(),
+                   (dom.hi.z - dom.lo.z) / decomp.nbz()};
+  // Far enough past the blocking block's near face to land inside the
+  // neighbour, short enough not to skip it.
+  const double probe = 0.75 * std::min({bsize.x, bsize.y, bsize.z});
+  std::map<BlockId, std::uint32_t> census;
+  for (std::size_t i = 0; i < outcomes.size(); ++i) {
+    const AdvanceOutcome& o = outcomes[i];
+    if (o.status != ParticleStatus::kActive ||
+        o.blocking_block == kInvalidBlock) {
+      continue;
+    }
+    const Vec3 dir = batch[i].pos - start_positions[i];
+    const double len =
+        std::sqrt(dir.x * dir.x + dir.y * dir.y + dir.z * dir.z);
+    if (len <= 0.0) continue;
+    const BlockId next = decomp.block_of(batch[i].pos + dir * (probe / len));
+    if (next == kInvalidBlock || next == o.blocking_block) continue;
+    ++census[next];
+  }
+  issue_ranked_hints(ctx, {census.begin(), census.end()}, exclude, max_hints);
+}
+
 int next_live_rank(const RankContext& ctx, int after) {
   const int n = ctx.num_ranks();
   for (int i = 1; i <= n; ++i) {
@@ -139,8 +220,14 @@ BatchAdvanceResult advance_block_and_charge(RankContext& ctx,
   for (const Particle& p : batch) points_before += p.geometry_points;
 
   BatchAdvanceResult r;
+  // The focus block of each batch round is pinned in the rank's cache so
+  // async load completions landing between rounds can't evict it from
+  // under the tracer's cursor (no-ops on contexts without a cache).
+  const BlockPinHooks pins{
+      [&ctx](BlockId id) { ctx.pin_block(id); },
+      [&ctx](BlockId id) { ctx.unpin_block(id); }};
   r.outcomes = ctx.tracer().advance_batch(
-      batch, [&ctx](BlockId id) { return ctx.block(id); });
+      batch, [&ctx](BlockId id) { return ctx.block(id); }, nullptr, &pins);
 
   std::int64_t points_after = 0;
   for (const Particle& p : batch) points_after += p.geometry_points;

@@ -95,6 +95,43 @@ struct BatchAdvanceResult {
 BatchAdvanceResult advance_block_and_charge(RankContext& ctx,
                                             std::span<Particle> batch);
 
+// Prefetch predictor shared by the three algorithms (DESIGN.md §10):
+// hint the runtime at the pooled blocks most likely to be demanded next
+// — the ones with the most waiting streamlines that are not yet
+// resident or pending, skipping `exclude` (the block being demanded or
+// integrated right now).  Issues at most `max_hints` hints in a
+// deterministic order (count descending, id ascending).  A no-op when
+// the runtime's async I/O is off, so the synchronous demand path and
+// its accounting are untouched.
+void prefetch_densest(RankContext& ctx, const ParticlePool& pool,
+                      BlockId exclude, int max_hints);
+
+// Prefetch predictor for a burst in flight: the pool census cannot see
+// the particles being integrated right now, but their advance outcomes
+// name the exact blocks they stopped for.  Hint those (count
+// descending, id ascending) — for a dense cohort marching through the
+// dataset together this is the whole next working set.  Same no-op
+// guarantees as prefetch_densest.
+void prefetch_blocking_targets(RankContext& ctx,
+                               std::span<const AdvanceOutcome> outcomes,
+                               BlockId exclude, int max_hints);
+
+// Second-order predictor: the blocking-target hints only look one burst
+// ahead, and a short burst leaves the background read no time to finish
+// before the demand lands (a partial overlap).  Extrapolate each still-
+// active particle past its blocking block along its direction of travel
+// over the burst — the block a streamline *points at* — so the block
+// demanded two bursts from now is already staged when its turn comes.
+// `start_positions[i]` is batch[i]'s position before the burst;
+// outcomes[i] matches batch[i].  Same no-op guarantees as
+// prefetch_densest.
+void prefetch_streamline_lookahead(RankContext& ctx,
+                                   const BlockDecomposition& decomp,
+                                   std::span<const Particle> batch,
+                                   std::span<const Vec3> start_positions,
+                                   std::span<const AdvanceOutcome> outcomes,
+                                   BlockId exclude, int max_hints);
+
 // First alive rank after `after` in cyclic order (never `after` itself
 // unless it is the only live rank).  Requires at least one alive rank.
 int next_live_rank(const RankContext& ctx, int after);

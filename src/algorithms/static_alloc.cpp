@@ -147,6 +147,13 @@ class StaticProgram final : public RankProgram {
       ctx.begin_compute(static_cast<double>(r.total_steps) *
                             ctx.model().seconds_per_step,
                         r.total_steps);
+      // Overlap: hand-offs that arrived during earlier bursts pooled
+      // under not-yet-resident owned blocks; read them in the background
+      // while this burst integrates.  Shallow regardless of the
+      // configured depth — this rank only ever reads its own contiguous
+      // range, so a deep speculative pipeline just churns staging.
+      prefetch_densest(ctx, pool_, runnable,
+                       std::min(4, ctx.prefetch_capacity()));
       return;
     }
 

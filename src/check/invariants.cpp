@@ -23,6 +23,9 @@ const char* to_string(ViolationKind k) {
       return "premature-termination";
     case ViolationKind::kDoubleTermination: return "double-termination";
     case ViolationKind::kSendAfterFinish: return "send-after-finish";
+    case ViolationKind::kPinnedPurge: return "pinned-purge";
+    case ViolationKind::kPrefetchState: return "prefetch-state";
+    case ViolationKind::kUnresolvedPrefetch: return "unresolved-prefetch";
   }
   return "unknown";
 }
@@ -131,6 +134,17 @@ void InvariantChecker::on_run_end(bool completed, double now) {
   std::lock_guard lock(mutex_);
   audit_locked(now);
   if (!completed) return;
+  for (std::size_t r = 0; r < ranks_.size(); ++r) {
+    const RankState& rs = ranks_[r];
+    if (rs.crashed || rs.prefetches.empty()) continue;
+    fail({.kind = ViolationKind::kUnresolvedPrefetch,
+          .rank = static_cast<int>(r),
+          .when = now,
+          .block = rs.prefetches.begin()->first,
+          .detail = std::to_string(rs.prefetches.size()) +
+                    " prefetch(es) neither claimed, discarded nor "
+                    "cancelled by run end"});
+  }
   for (const auto& [id, s] : particles_) {
     if (!s.done) {
       fail({.kind = ViolationKind::kLostParticle,
@@ -285,8 +299,11 @@ void InvariantChecker::on_crash(int rank, double now) {
     live_copies_ -= static_cast<std::size_t>(it->second);
     s.holders.erase(it);
   }
-  // Its cache contents are gone too.
+  // Its cache contents are gone too, and its prefetch obligations die
+  // with it (an in-flight completion for a dead rank is discarded).
   ranks_[static_cast<std::size_t>(rank)].lru.clear();
+  ranks_[static_cast<std::size_t>(rank)].pins.clear();
+  ranks_[static_cast<std::size_t>(rank)].prefetches.clear();
 }
 
 void InvariantChecker::on_recover(int dead_rank, int new_owner,
@@ -312,6 +329,69 @@ void InvariantChecker::on_recover(int dead_rank, int new_owner,
 // Block-cache coherence
 // ---------------------------------------------------------------------------
 
+void InvariantChecker::replay_eviction_and_compare(
+    int rank, RankState& rs, BlockId id, const std::vector<BlockId>& actual,
+    double now, const char* what) {
+  // Same policy as BlockCache::evict_to_capacity: walk from the LRU end
+  // skipping pinned ids; stop when at capacity or only pins remain.
+  auto victim = rs.lru.rbegin();
+  while (rs.lru.size() > config_.cache_blocks && victim != rs.lru.rend()) {
+    if (rs.pins.count(*victim) != 0) {
+      ++victim;
+      continue;
+    }
+    victim = std::make_reverse_iterator(rs.lru.erase(std::next(victim).base()));
+  }
+
+  if (actual.size() > config_.cache_blocks) {
+    // Overflow is legal only while every modelled entry is pinned (the
+    // all-pinned corner of BlockCache::insert); anything else means the
+    // cache kept an evictable block past capacity.
+    bool all_pinned = true;
+    for (BlockId b : rs.lru) {
+      if (rs.pins.count(b) == 0) {
+        all_pinned = false;
+        break;
+      }
+    }
+    if (rs.lru.size() <= config_.cache_blocks || !all_pinned) {
+      fail({.kind = ViolationKind::kCacheOverflow,
+            .rank = rank,
+            .when = now,
+            .block = id,
+            .detail = std::string(what) + ": resident " +
+                      std::to_string(actual.size()) + " blocks, capacity " +
+                      std::to_string(config_.cache_blocks)});
+    }
+  }
+  for (const auto& [b, n] : rs.pins) {
+    const bool modelled =
+        std::find(rs.lru.begin(), rs.lru.end(), b) != rs.lru.end();
+    const bool present =
+        std::find(actual.begin(), actual.end(), b) != actual.end();
+    if (modelled && !present) {
+      fail({.kind = ViolationKind::kPinnedPurge,
+            .rank = rank,
+            .when = now,
+            .block = b,
+            .detail = std::string(what) + ": pinned block left the cache"});
+    }
+  }
+  if (!std::equal(rs.lru.begin(), rs.lru.end(), actual.begin(),
+                  actual.end())) {
+    std::ostringstream os;
+    os << what << ": cache residency diverged from the LRU ledger (ledger:";
+    for (BlockId b : rs.lru) os << ' ' << b;
+    os << "; cache:";
+    for (BlockId b : actual) os << ' ' << b;
+    os << ")";
+    fail({.kind = ViolationKind::kCacheMismatch,
+          .rank = rank,
+          .when = now,
+          .detail = os.str()});
+  }
+}
+
 void InvariantChecker::on_block_insert(int rank, BlockId id,
                                        const std::vector<BlockId>& actual,
                                        double now) {
@@ -319,37 +399,14 @@ void InvariantChecker::on_block_insert(int rank, BlockId id,
   if (rank < 0 || rank >= config_.num_ranks || config_.cache_blocks == 0) {
     return;
   }
-  std::list<BlockId>& lru = ranks_[static_cast<std::size_t>(rank)].lru;
-  auto it = std::find(lru.begin(), lru.end(), id);
-  if (it != lru.end()) {
-    lru.splice(lru.begin(), lru, it);  // re-insert of a resident block
+  RankState& rs = ranks_[static_cast<std::size_t>(rank)];
+  auto it = std::find(rs.lru.begin(), rs.lru.end(), id);
+  if (it != rs.lru.end()) {
+    rs.lru.splice(rs.lru.begin(), rs.lru, it);  // re-insert touches
   } else {
-    if (lru.size() >= config_.cache_blocks) lru.pop_back();
-    lru.push_front(id);
+    rs.lru.push_front(id);
   }
-
-  if (actual.size() > config_.cache_blocks) {
-    fail({.kind = ViolationKind::kCacheOverflow,
-          .rank = rank,
-          .when = now,
-          .block = id,
-          .detail = "resident " + std::to_string(actual.size()) +
-                    " blocks, capacity " +
-                    std::to_string(config_.cache_blocks)});
-  }
-  if (!std::equal(lru.begin(), lru.end(), actual.begin(), actual.end())) {
-    std::ostringstream os;
-    os << "cache residency diverged from the LRU ledger (ledger:";
-    for (BlockId b : lru) os << ' ' << b;
-    os << "; cache:";
-    for (BlockId b : actual) os << ' ' << b;
-    os << ")";
-    fail({.kind = ViolationKind::kCacheMismatch,
-          .rank = rank,
-          .when = now,
-          .block = id,
-          .detail = os.str()});
-  }
+  replay_eviction_and_compare(rank, rs, id, actual, now, "insert");
 }
 
 void InvariantChecker::on_block_touch(int rank, BlockId id) {
@@ -358,6 +415,102 @@ void InvariantChecker::on_block_touch(int rank, BlockId id) {
   std::list<BlockId>& lru = ranks_[static_cast<std::size_t>(rank)].lru;
   auto it = std::find(lru.begin(), lru.end(), id);
   if (it != lru.end()) lru.splice(lru.begin(), lru, it);
+}
+
+void InvariantChecker::on_block_pin(int rank, BlockId id) {
+  std::lock_guard lock(mutex_);
+  if (rank < 0 || rank >= config_.num_ranks || config_.cache_blocks == 0) {
+    return;
+  }
+  ++ranks_[static_cast<std::size_t>(rank)].pins[id];
+}
+
+void InvariantChecker::on_block_unpin(int rank, BlockId id,
+                                      const std::vector<BlockId>& actual,
+                                      double now) {
+  std::lock_guard lock(mutex_);
+  if (rank < 0 || rank >= config_.num_ranks || config_.cache_blocks == 0) {
+    return;
+  }
+  RankState& rs = ranks_[static_cast<std::size_t>(rank)];
+  auto it = rs.pins.find(id);
+  if (it == rs.pins.end()) {
+    fail({.kind = ViolationKind::kCacheMismatch,
+          .rank = rank,
+          .when = now,
+          .block = id,
+          .detail = "unpin without a matching pin"});
+  }
+  if (--it->second == 0) rs.pins.erase(it);
+  // The unpin may run the cache's deferred eviction; replay it.
+  replay_eviction_and_compare(rank, rs, id, actual, now, "unpin");
+}
+
+// ---------------------------------------------------------------------------
+// Async prefetch state machine
+// ---------------------------------------------------------------------------
+
+void InvariantChecker::on_prefetch_issued(int rank, BlockId id, double now) {
+  std::lock_guard lock(mutex_);
+  if (rank < 0 || rank >= config_.num_ranks) return;
+  RankState& rs = ranks_[static_cast<std::size_t>(rank)];
+  if (rs.prefetches.count(id) != 0) {
+    fail({.kind = ViolationKind::kPrefetchState,
+          .rank = rank,
+          .when = now,
+          .block = id,
+          .detail = "prefetch issued while one is already outstanding"});
+  }
+  if (std::find(rs.lru.begin(), rs.lru.end(), id) != rs.lru.end()) {
+    fail({.kind = ViolationKind::kPrefetchState,
+          .rank = rank,
+          .when = now,
+          .block = id,
+          .detail = "prefetch issued for an already-resident block"});
+  }
+  rs.prefetches[id] = 'i';
+}
+
+void InvariantChecker::on_prefetch_staged(int rank, BlockId id, double now) {
+  std::lock_guard lock(mutex_);
+  if (rank < 0 || rank >= config_.num_ranks) return;
+  RankState& rs = ranks_[static_cast<std::size_t>(rank)];
+  auto it = rs.prefetches.find(id);
+  if (it == rs.prefetches.end() || it->second != 'i') {
+    fail({.kind = ViolationKind::kPrefetchState,
+          .rank = rank,
+          .when = now,
+          .block = id,
+          .detail = "staged a prefetch that was not in flight"});
+  }
+  it->second = 's';
+}
+
+void InvariantChecker::on_prefetch_claimed(int rank, BlockId id, double now) {
+  std::lock_guard lock(mutex_);
+  if (rank < 0 || rank >= config_.num_ranks) return;
+  RankState& rs = ranks_[static_cast<std::size_t>(rank)];
+  if (rs.prefetches.erase(id) == 0) {
+    fail({.kind = ViolationKind::kPrefetchState,
+          .rank = rank,
+          .when = now,
+          .block = id,
+          .detail = "claimed a prefetch that was never issued"});
+  }
+}
+
+void InvariantChecker::on_prefetch_cancelled(int rank, BlockId id,
+                                             double now) {
+  std::lock_guard lock(mutex_);
+  if (rank < 0 || rank >= config_.num_ranks) return;
+  RankState& rs = ranks_[static_cast<std::size_t>(rank)];
+  if (rs.prefetches.erase(id) == 0) {
+    fail({.kind = ViolationKind::kPrefetchState,
+          .rank = rank,
+          .when = now,
+          .block = id,
+          .detail = "cancelled a prefetch that was never issued"});
+  }
 }
 
 // ---------------------------------------------------------------------------

@@ -90,6 +90,10 @@ enum class ViolationKind : std::uint8_t {
   kPrematureTermination,  // terminate broadcast while streamlines undone
   kDoubleTermination,   // a second terminate broadcast to the same rank
   kSendAfterFinish,     // particle-bearing send after terminate received
+  kPinnedPurge,         // a pinned block left the cache
+  kPrefetchState,       // illegal prefetch transition (issue/stage/claim)
+  kUnresolvedPrefetch,  // run ended with a prefetch neither claimed,
+                        // discarded nor cancelled
 };
 
 const char* to_string(ViolationKind k);
@@ -158,6 +162,26 @@ class InvariantChecker {
                        const std::vector<BlockId>& actual, double now);
   // A resident block was looked up (touches LRU recency).
   void on_block_touch(int rank, BlockId id);
+  // Pin/unpin replay: the model's eviction skips pinned ids, and a
+  // cache that exceeds capacity while an unpinned victim exists — or
+  // that drops a pinned block — is a violation.  `actual` is the
+  // resident list after the unpin (whose deferred eviction may purge).
+  void on_block_pin(int rank, BlockId id);
+  void on_block_unpin(int rank, BlockId id,
+                      const std::vector<BlockId>& actual, double now);
+
+  // --- async prefetch state machine ----------------------------------------
+
+  // A prefetch may be: issued -> staged -> claimed (promoted into the
+  // cache by a demand) or discarded; issued -> claimed directly (a
+  // demand piggybacked on the in-flight read); or issued/staged ->
+  // cancelled (abandoned, failed, evicted from staging, or rank
+  // termination/crash).  Every issued prefetch must leave the state
+  // machine by run end.
+  void on_prefetch_issued(int rank, BlockId id, double now);
+  void on_prefetch_staged(int rank, BlockId id, double now);
+  void on_prefetch_claimed(int rank, BlockId id, double now);
+  void on_prefetch_cancelled(int rank, BlockId id, double now);
 
   // --- audit --------------------------------------------------------------
 
@@ -182,6 +206,10 @@ class InvariantChecker {
     bool told_to_finish = false;  // received DoneSignal / kTerminate
     // Independent LRU model: front = most recently used.
     std::list<BlockId> lru;
+    // Pin intent (id -> nested count), mirroring BlockCache::pin.
+    std::map<BlockId, int> pins;
+    // Prefetch state machine: issued-but-not-yet-staged and staged sets.
+    std::map<BlockId, char> prefetches;  // 'i' in flight, 's' staged
   };
 
   [[noreturn]] void fail(InvariantDiagnostic diag) const;
@@ -189,6 +217,11 @@ class InvariantChecker {
   void take_from_holder(int rank, const Particle& p, double now,
                         ViolationKind kind);
   void note_finish_broadcast(int from, int to, double now);
+  // Replay the cache's pinned-aware eviction on the model LRU, then
+  // compare against `actual`.
+  void replay_eviction_and_compare(int rank, RankState& rs, BlockId id,
+                                   const std::vector<BlockId>& actual,
+                                   double now, const char* what);
   // The particle payload of a message (empty for pure control traffic).
   static const std::vector<Particle>* payload_particles(const Message& msg);
   void audit_locked(double now) const;

@@ -151,7 +151,7 @@ AdvanceOutcome Tracer::advance(Particle& particle, const BlockAccessFn& blocks,
 
 std::vector<AdvanceOutcome> Tracer::advance_batch(
     std::span<Particle> batch, const BlockAccessFn& blocks,
-    TraceRecorder* recorder) const {
+    TraceRecorder* recorder, const BlockPinHooks* pins) const {
   std::vector<AdvanceOutcome> out(batch.size());
   // Per-block rounds: each round picks the block owning the most pending
   // particles and advances all of them through it while its node data is
@@ -178,6 +178,12 @@ std::vector<AdvanceOutcome> Tracer::advance_batch(
   std::vector<BlockId> owner_of(batch.size(), kInvalidBlock);
 
   Cursor cur;
+  // The pinned focus.  The pin is taken when a block becomes the round
+  // focus and moves only when the focus changes, so the grid the shared
+  // cursor is bound to can never be evicted under it — neither by an
+  // access fn that loads into a tiny LRU during the availability probes
+  // below, nor by async completions inserting blocks between rounds.
+  BlockId pinned_focus = kInvalidBlock;
   while (!pending.empty()) {
     // Census of pending particles per owner block.
     std::vector<BlockId> touched;
@@ -219,6 +225,16 @@ std::vector<AdvanceOutcome> Tracer::advance_batch(
       break;
     }
 
+    if (pins != nullptr && focus != pinned_focus) {
+      if (pins->pin) pins->pin(focus);
+      if (pinned_focus != kInvalidBlock && pins->unpin) {
+        pins->unpin(pinned_focus);
+      }
+      pinned_focus = focus;
+      // The cursor's grid was only guaranteed alive by the old pin.
+      if (cur.id != focus) cur = Cursor{};
+    }
+
     // This round only the focus block is on the table: its residents
     // advance until they leave it (or finish); everyone else waits.
     const BlockAccessFn focus_only = [&blocks, focus](BlockId id) {
@@ -240,6 +256,9 @@ std::vector<AdvanceOutcome> Tracer::advance_batch(
       if (!is_terminal(batch[i].status)) next.push_back(i);
     }
     pending = std::move(next);
+  }
+  if (pins != nullptr && pinned_focus != kInvalidBlock && pins->unpin) {
+    pins->unpin(pinned_focus);
   }
   return out;
 }

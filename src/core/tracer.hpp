@@ -89,6 +89,17 @@ class PolylineRecorder final : public TraceRecorder {
 // the advance() / advance_batch() call.
 using BlockAccessFn = std::function<const StructuredGrid*(BlockId)>;
 
+// Optional eviction guards for advance_batch.  When the BlockAccessFn
+// is backed by an LRU cache that can evict concurrently with the round
+// (async completions inserting blocks) or at tiny capacities, the batch
+// pins its focus block for the duration of each round so the grid the
+// shared cursor holds cannot be purged mid-round.  Both hooks must
+// tolerate any BlockId, resident or not.
+struct BlockPinHooks {
+  std::function<void(BlockId)> pin;
+  std::function<void(BlockId)> unpin;
+};
+
 struct AdvanceOutcome {
   // Terminal status, or kActive if the particle stopped because it needs
   // a block that is not available.
@@ -120,7 +131,8 @@ class Tracer {
   // batch[i].
   std::vector<AdvanceOutcome> advance_batch(
       std::span<Particle> batch, const BlockAccessFn& blocks,
-      TraceRecorder* recorder = nullptr) const;
+      TraceRecorder* recorder = nullptr,
+      const BlockPinHooks* pins = nullptr) const;
 
   // The historical implementation: virtual VectorField::sample per
   // stage, BlockAccessFn lookup per step.  Oracle for the golden

@@ -1,0 +1,217 @@
+#include "io/async_loader.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <chrono>
+#include <cmath>
+#include <stdexcept>
+
+namespace sf {
+
+const char* to_string(LoadState s) {
+  switch (s) {
+    case LoadState::kQueued: return "queued";
+    case LoadState::kLoading: return "loading";
+    case LoadState::kReady: return "ready";
+    case LoadState::kCancelled: return "cancelled";
+    case LoadState::kFailed: return "failed";
+  }
+  return "unknown";
+}
+
+namespace {
+
+void sleep_seconds(double s) {
+  if (s <= 0.0) return;
+  std::this_thread::sleep_for(std::chrono::duration<double>(s));
+}
+
+void erase_from(std::deque<BlockId>& q, BlockId id) {
+  q.erase(std::remove(q.begin(), q.end(), id), q.end());
+}
+
+}  // namespace
+
+AsyncBlockLoader::AsyncBlockLoader(const BlockSource* source, Config cfg)
+    : source_(source), cfg_(cfg) {
+  const int n = std::max(1, cfg_.workers);
+  workers_.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { worker_main(); });
+  }
+}
+
+AsyncBlockLoader::~AsyncBlockLoader() {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    stop_ = true;
+    // Cancel everything still queued; entries being read resolve
+    // normally before their worker exits.
+    while (!demand_q_.empty() || !prefetch_q_.empty()) {
+      const BlockId id =
+          demand_q_.empty() ? prefetch_q_.front() : demand_q_.front();
+      erase_from(demand_q_, id);
+      erase_from(prefetch_q_, id);
+      ++cancelled_;
+      resolve(lock, id, nullptr, nullptr, LoadState::kCancelled);
+      // resolve() dropped the lock to fire completions.
+      lock.lock();
+    }
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+std::shared_future<GridPtr> AsyncBlockLoader::request(BlockId id, bool demand,
+                                                      Completion done) {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (stop_) {
+    throw std::logic_error("AsyncBlockLoader: request after shutdown");
+  }
+  auto [it, inserted] = entries_.try_emplace(id);
+  Entry& e = it->second;
+  if (!inserted) {
+    ++coalesced_;
+    if (done) e.completions.push_back(std::move(done));
+    if (demand && !e.demand) {
+      // Promote a queued prefetch: a particle faulted on it for real.
+      e.demand = true;
+      if (e.state == LoadState::kQueued) {
+        erase_from(prefetch_q_, id);
+        demand_q_.push_back(id);
+      }
+    }
+    return e.future;
+  }
+  ++submitted_;
+  e.demand = demand;
+  e.future = e.promise.get_future().share();
+  if (done) e.completions.push_back(std::move(done));
+  (demand ? demand_q_ : prefetch_q_).push_back(id);
+  auto fut = e.future;
+  lock.unlock();
+  cv_.notify_one();
+  return fut;
+}
+
+bool AsyncBlockLoader::cancel(BlockId id) {
+  std::unique_lock<std::mutex> lock(mu_);
+  auto it = entries_.find(id);
+  if (it == entries_.end() || it->second.state != LoadState::kQueued) {
+    return false;
+  }
+  erase_from(demand_q_, id);
+  erase_from(prefetch_q_, id);
+  ++cancelled_;
+  resolve(lock, id, nullptr, nullptr, LoadState::kCancelled);
+  return true;
+}
+
+void AsyncBlockLoader::set_fault_hook(FaultHook hook) {
+  std::lock_guard<std::mutex> lock(mu_);
+  fault_hook_ = std::move(hook);
+}
+
+void AsyncBlockLoader::set_stall_hook(StallHook hook) {
+  std::lock_guard<std::mutex> lock(mu_);
+  stall_hook_ = std::move(hook);
+}
+
+#define SF_LOADER_COUNTER(name)                  \
+  std::uint64_t AsyncBlockLoader::name() const { \
+    std::lock_guard<std::mutex> lock(mu_);       \
+    return name##_;                              \
+  }
+SF_LOADER_COUNTER(submitted)
+SF_LOADER_COUNTER(coalesced)
+SF_LOADER_COUNTER(completed)
+SF_LOADER_COUNTER(cancelled)
+SF_LOADER_COUNTER(failed)
+SF_LOADER_COUNTER(retries)
+#undef SF_LOADER_COUNTER
+
+bool AsyncBlockLoader::pop_next(std::unique_lock<std::mutex>& lock,
+                                BlockId& id) {
+  cv_.wait(lock, [this] {
+    return stop_ || !demand_q_.empty() || !prefetch_q_.empty();
+  });
+  if (demand_q_.empty() && prefetch_q_.empty()) return false;  // stopping
+  auto& q = demand_q_.empty() ? prefetch_q_ : demand_q_;
+  id = q.front();
+  q.pop_front();
+  return true;
+}
+
+void AsyncBlockLoader::resolve(std::unique_lock<std::mutex>& lock, BlockId id,
+                               GridPtr grid, std::exception_ptr error,
+                               LoadState final_state) {
+  auto it = entries_.find(id);
+  assert(it != entries_.end());
+  it->second.state = final_state;
+  std::vector<Completion> completions = std::move(it->second.completions);
+  std::promise<GridPtr> promise = std::move(it->second.promise);
+  entries_.erase(it);
+  if (error != nullptr) {
+    promise.set_exception(error);
+  } else {
+    promise.set_value(grid);
+  }
+  // Fire completions outside the lock: they may re-enter request().
+  lock.unlock();
+  for (auto& c : completions) c(id, grid, error);
+}
+
+void AsyncBlockLoader::worker_main() {
+  for (;;) {
+    std::unique_lock<std::mutex> lock(mu_);
+    BlockId id = kInvalidBlock;
+    if (!pop_next(lock, id)) return;
+    auto eit = entries_.find(id);
+    assert(eit != entries_.end());
+    eit->second.state = LoadState::kLoading;
+    FaultHook fault = fault_hook_;
+    StallHook stall = stall_hook_;
+    lock.unlock();
+
+    GridPtr grid;
+    std::exception_ptr error;
+    int attempts_retried = 0;
+    for (int attempt = 0;; ++attempt) {
+      if (stall) sleep_seconds(stall(id, attempt));
+      bool faulted = fault && fault(id, attempt);
+      error = nullptr;
+      if (!faulted) {
+        try {
+          grid = source_->load(id);
+        } catch (...) {
+          error = std::current_exception();
+          faulted = true;
+        }
+      }
+      if (!faulted) break;
+      if (error == nullptr) {
+        error = std::make_exception_ptr(
+            std::runtime_error("injected disk fault"));
+      }
+      if (attempt >= cfg_.max_retries) break;
+      ++attempts_retried;
+      // Same deterministic capped exponential backoff as the simulated
+      // disk's retry path.
+      sleep_seconds(std::min(cfg_.retry_backoff * std::ldexp(1.0, attempt),
+                             cfg_.backoff_cap));
+    }
+
+    lock.lock();
+    retries_ += static_cast<std::uint64_t>(attempts_retried);
+    if (error != nullptr) {
+      ++failed_;
+      resolve(lock, id, nullptr, error, LoadState::kFailed);
+    } else {
+      ++completed_;
+      resolve(lock, id, std::move(grid), nullptr, LoadState::kReady);
+    }
+    // resolve() released the lock.
+  }
+}
+
+}  // namespace sf

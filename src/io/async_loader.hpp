@@ -1,0 +1,152 @@
+#pragma once
+
+// Asynchronous block loader: a small worker pool that services block
+// reads in the background so the compute path can overlap integration
+// with I/O (DESIGN.md §10).
+//
+// The loader sits between a rank's demand/prefetch logic and the
+// blocking BlockSource::load.  Concurrent requests for the same block
+// coalesce onto one read; demand requests jump the queue ahead of
+// prefetches; queued requests can be cancelled before a worker picks
+// them up.  Completions are delivered two ways — a shared_future for
+// callers that want to wait, and an optional callback (invoked on the
+// worker thread) for runtimes that marshal completions back onto the
+// rank thread themselves.
+//
+// Faults: an injectable per-attempt fault hook models disk read errors
+// on the loader threads.  Failed attempts retry with the same
+// deterministic capped exponential backoff as the simulated disk
+// (min(retry_backoff * 2^attempt, backoff_cap)); when retries are
+// exhausted the error surfaces through the future/callback as an
+// exception_ptr.  An injectable stall hook adds per-attempt latency
+// (a stall is slowness, not failure — it never consumes a retry, even
+// when it exceeds the backoff cap).
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/dataset.hpp"
+
+namespace sf {
+
+// Lifecycle of one coalesced request.  tools/lint/check_protocol.py
+// parses this enum and requires every switch over it to be exhaustive,
+// like Command::Type.
+enum class LoadState : std::uint8_t {
+  kQueued,     // accepted, waiting for a worker
+  kLoading,    // a worker is reading it (no longer cancellable)
+  kReady,      // payload delivered, future resolved
+  kCancelled,  // cancelled while queued; future resolves to nullptr
+  kFailed,     // retries exhausted; future rethrows
+};
+
+const char* to_string(LoadState s);
+
+// Shared async-I/O knobs.  Both runtimes embed one of these in their
+// config; `enabled == false` (the default) keeps the synchronous
+// behaviour bit-identical to the pre-async code.
+struct AsyncIoConfig {
+  bool enabled = false;
+  int workers = 2;              // loader threads (ThreadRuntime only)
+  std::size_t staging_blocks = 4;  // staged prefetched grids per rank
+  int prefetch_depth = 2;       // in-flight prefetches per rank
+};
+
+class AsyncBlockLoader {
+ public:
+  struct Config {
+    int workers = 2;
+    int max_retries = 0;        // extra attempts after a failed read
+    double retry_backoff = 0.0;  // seconds, doubled per attempt
+    double backoff_cap = 0.0;    // upper bound on one backoff sleep
+  };
+
+  // (block, grid-or-null, error-or-null); exactly one of grid/error is
+  // set on completion, both are null on cancellation.  Runs on a worker
+  // thread (or on the caller's thread for cancellations).
+  using Completion =
+      std::function<void(BlockId, GridPtr, std::exception_ptr)>;
+  // Return true to fail this attempt.  Runs on the worker thread.
+  using FaultHook = std::function<bool(BlockId, int attempt)>;
+  // Extra seconds of latency for this attempt.  Runs on the worker.
+  using StallHook = std::function<double(BlockId, int attempt)>;
+
+  AsyncBlockLoader(const BlockSource* source, Config cfg);
+  ~AsyncBlockLoader();  // cancels queued work, then joins the workers
+
+  AsyncBlockLoader(const AsyncBlockLoader&) = delete;
+  AsyncBlockLoader& operator=(const AsyncBlockLoader&) = delete;
+
+  // Enqueue a read.  A request for a block already queued or loading
+  // coalesces: the completion joins the existing entry and the same
+  // future is returned.  `demand` requests are serviced before
+  // prefetches and promote an already-queued prefetch to the demand
+  // queue.  The future resolves to the grid, to nullptr if cancelled,
+  // or rethrows the load error.
+  std::shared_future<GridPtr> request(BlockId id, bool demand,
+                                      Completion done = nullptr);
+
+  // Cancel a request that is still queued.  Returns true if it was
+  // cancelled (completions fire with nullptr grid and nullptr error);
+  // false if it already started loading or was never requested.
+  bool cancel(BlockId id);
+
+  // Test/fault-injection hooks; set before issuing requests.
+  void set_fault_hook(FaultHook hook);
+  void set_stall_hook(StallHook hook);
+
+  std::uint64_t submitted() const;  // requests that created an entry
+  std::uint64_t coalesced() const;  // requests that joined an entry
+  std::uint64_t completed() const;
+  std::uint64_t cancelled() const;
+  std::uint64_t failed() const;
+  std::uint64_t retries() const;
+
+ private:
+  struct Entry {
+    LoadState state = LoadState::kQueued;
+    bool demand = false;
+    std::promise<GridPtr> promise;
+    std::shared_future<GridPtr> future;
+    std::vector<Completion> completions;
+  };
+
+  void worker_main();
+  // Pops the next block to read (demand queue first).  Returns false
+  // when stopping and both queues are empty.
+  bool pop_next(std::unique_lock<std::mutex>& lock, BlockId& id);
+  void resolve(std::unique_lock<std::mutex>& lock, BlockId id,
+               GridPtr grid, std::exception_ptr error, LoadState final_state);
+
+  const BlockSource* source_;
+  Config cfg_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  std::deque<BlockId> demand_q_;
+  std::deque<BlockId> prefetch_q_;
+  std::map<BlockId, Entry> entries_;
+  FaultHook fault_hook_;
+  StallHook stall_hook_;
+
+  std::uint64_t submitted_ = 0;
+  std::uint64_t coalesced_ = 0;
+  std::uint64_t completed_ = 0;
+  std::uint64_t cancelled_ = 0;
+  std::uint64_t failed_ = 0;
+  std::uint64_t retries_ = 0;
+
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace sf

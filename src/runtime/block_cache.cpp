@@ -12,9 +12,28 @@ BlockCache::BlockCache(std::size_t capacity) : capacity_(capacity) {
 
 const StructuredGrid* BlockCache::find(BlockId id) {
   auto it = map_.find(id);
-  if (it == map_.end()) return nullptr;
+  if (it == map_.end()) {
+    ++misses_;
+    return nullptr;
+  }
+  ++hits_;
   touch(it->second.pos);
   return it->second.grid.get();
+}
+
+void BlockCache::evict_to_capacity() {
+  // Scan from the LRU end toward the front, skipping pinned entries.
+  auto victim = lru_.rbegin();
+  while (map_.size() > capacity_ && victim != lru_.rend()) {
+    if (pins_.count(*victim) != 0) {
+      ++victim;
+      continue;
+    }
+    map_.erase(*victim);
+    // base() points one past the reverse iterator, i.e. at the victim.
+    victim = std::make_reverse_iterator(lru_.erase(std::next(victim).base()));
+    ++purges_;
+  }
 }
 
 void BlockCache::insert(BlockId id, GridPtr grid) {
@@ -29,14 +48,26 @@ void BlockCache::insert(BlockId id, GridPtr grid) {
   ++loads_;
   // Evict after inserting: the newcomer sits at the LRU front, so the
   // victim (back) is the same entry the evict-first ordering chose.
-  if (map_.size() > capacity_) {
-    const BlockId victim = lru_.back();
-    lru_.pop_back();
-    map_.erase(victim);
-    ++purges_;
-  }
+  evict_to_capacity();
   check_counters();
 }
+
+void BlockCache::pin(BlockId id) { ++pins_[id]; }
+
+void BlockCache::unpin(BlockId id) {
+  auto it = pins_.find(id);
+  assert(it != pins_.end());
+  if (it == pins_.end()) return;
+  if (--it->second == 0) pins_.erase(it);
+  // Deferred eviction: an all-pinned overflow (see insert()) drains as
+  // soon as a pin is released.
+  if (map_.size() > capacity_) {
+    evict_to_capacity();
+    check_counters();
+  }
+}
+
+bool BlockCache::pinned(BlockId id) const { return pins_.count(id) != 0; }
 
 void BlockCache::erase(BlockId id) {
   auto it = map_.find(id);

@@ -26,18 +26,36 @@ class BlockCache {
   std::size_t capacity() const { return capacity_; }
   std::size_t size() const { return map_.size(); }
 
-  // Look up a block and mark it most-recently used.
+  // Look up a block and mark it most-recently used.  Counts one hit or
+  // one miss; the hit rate hits/(hits+misses) rides next to the
+  // E-metric in the per-run metrics.
   const StructuredGrid* find(BlockId id);
 
-  // Look up without touching LRU order.
+  // Look up without touching LRU order (and without counting a hit).
   bool contains(BlockId id) const { return map_.count(id) != 0; }
 
   // Insert a freshly loaded block as most-recently used, evicting the
-  // least-recently used entry if at capacity.  Counts one load (and one
-  // purge per eviction).  Re-inserting a resident block just touches it.
-  // Single hash probe: insertion and the residency check share one
-  // try_emplace instead of find()-then-emplace().
+  // least-recently used *unpinned* entry if at capacity.  Counts one
+  // load (and one purge per eviction).  Re-inserting a resident block
+  // just touches it.  Single hash probe: insertion and the residency
+  // check share one try_emplace instead of find()-then-emplace().
+  //
+  // If every resident entry is pinned the cache overflows temporarily:
+  // the newcomer stays and the deferred eviction happens on the next
+  // unpin().  The invariant checker replays the same policy.
   void insert(BlockId id, GridPtr grid);
+
+  // Pin a block: it cannot be evicted until the matching unpin().  Pins
+  // nest (focus-of-round and prefetch-target pins can overlap), and pin
+  // intent is independent of residency: pinning before the insert lands
+  // protects an in-flight load's target from day one.
+  void pin(BlockId id);
+
+  // Drop one pin; when the cache is over capacity (all-pinned overflow,
+  // see insert()) the deferred eviction runs here.
+  void unpin(BlockId id);
+
+  bool pinned(BlockId id) const;
 
   // Drop a block explicitly (not counted as a purge; used by tests).
   void erase(BlockId id);
@@ -47,11 +65,17 @@ class BlockCache {
 
   std::uint64_t loads() const { return loads_; }
   std::uint64_t purges() const { return purges_; }
+  std::uint64_t hits() const { return hits_; }
+  std::uint64_t misses() const { return misses_; }
 
  private:
   void touch(std::list<BlockId>::iterator it) {
     lru_.splice(lru_.begin(), lru_, it);
   }
+
+  // Evict least-recently-used unpinned entries until the size fits the
+  // capacity or only pinned entries remain.
+  void evict_to_capacity();
 
   // Counter audit: every load is still resident, purged, or explicitly
   // erased — the E-metric E = (loads - purges) / loads depends on it.
@@ -66,9 +90,12 @@ class BlockCache {
     std::list<BlockId>::iterator pos;
   };
   std::unordered_map<BlockId, Entry> map_;
+  std::unordered_map<BlockId, int> pins_;  // id -> nested pin count
   std::uint64_t loads_ = 0;
   std::uint64_t purges_ = 0;
   std::uint64_t erased_ = 0;  // explicit erase(), not counted as purge
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
 };
 
 }  // namespace sf

@@ -48,11 +48,50 @@ std::uint64_t RunMetrics::total_steps() const {
       ranks, [](const RankMetrics& r) { return r.steps; });
 }
 
+std::uint64_t RunMetrics::total_cache_hits() const {
+  return accumulate_ranks<std::uint64_t>(
+      ranks, [](const RankMetrics& r) { return r.cache_hits; });
+}
+std::uint64_t RunMetrics::total_cache_misses() const {
+  return accumulate_ranks<std::uint64_t>(
+      ranks, [](const RankMetrics& r) { return r.cache_misses; });
+}
+std::uint64_t RunMetrics::total_prefetches_issued() const {
+  return accumulate_ranks<std::uint64_t>(
+      ranks, [](const RankMetrics& r) { return r.prefetches_issued; });
+}
+std::uint64_t RunMetrics::total_prefetch_hits() const {
+  return accumulate_ranks<std::uint64_t>(
+      ranks, [](const RankMetrics& r) { return r.prefetch_hits; });
+}
+std::uint64_t RunMetrics::total_prefetches_wasted() const {
+  return accumulate_ranks<std::uint64_t>(
+      ranks, [](const RankMetrics& r) { return r.prefetches_wasted; });
+}
+double RunMetrics::total_stall_time() const {
+  return accumulate_ranks<double>(
+      ranks, [](const RankMetrics& r) { return r.stall_time; });
+}
+
 double RunMetrics::block_efficiency() const {
   const std::uint64_t loaded = total_blocks_loaded();
   if (loaded == 0) return 1.0;
   const std::uint64_t purged = total_blocks_purged();
   return static_cast<double>(loaded - purged) / static_cast<double>(loaded);
+}
+
+double RunMetrics::cache_hit_rate() const {
+  const std::uint64_t hits = total_cache_hits();
+  const std::uint64_t misses = total_cache_misses();
+  if (hits + misses == 0) return 1.0;
+  return static_cast<double>(hits) / static_cast<double>(hits + misses);
+}
+
+double RunMetrics::prefetch_accuracy() const {
+  const std::uint64_t issued = total_prefetches_issued();
+  if (issued == 0) return 0.0;
+  return static_cast<double>(total_prefetch_hits()) /
+         static_cast<double>(issued);
 }
 
 double RunMetrics::mean_utilization() const {

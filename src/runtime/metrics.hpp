@@ -34,6 +34,13 @@ struct RankMetrics {
   std::uint64_t disk_stall_events = 0;  // reads hit by an injected stall
   double checkpoint_seconds = 0.0;      // modeled checkpoint-write share
   bool crashed = false;                 // rank was killed by injection
+  // Async block I/O (cache counters are live in sync runs too).
+  std::uint64_t cache_hits = 0;    // BlockCache::find hits
+  std::uint64_t cache_misses = 0;  // BlockCache::find misses
+  std::uint64_t prefetches_issued = 0;
+  std::uint64_t prefetch_hits = 0;      // demands served from staging
+  std::uint64_t prefetches_wasted = 0;  // staged-unclaimed/failed/dropped
+  double stall_time = 0.0;  // seconds blocked on demand block reads
 };
 
 struct RunMetrics {
@@ -66,10 +73,24 @@ struct RunMetrics {
   std::uint64_t total_messages() const;
   std::uint64_t total_bytes_sent() const;
   std::uint64_t total_steps() const;
+  std::uint64_t total_cache_hits() const;
+  std::uint64_t total_cache_misses() const;
+  std::uint64_t total_prefetches_issued() const;
+  std::uint64_t total_prefetch_hits() const;
+  std::uint64_t total_prefetches_wasted() const;
+  double total_stall_time() const;
 
   // E = (B_loaded - B_purged) / B_loaded, eq. (2).  Defined as 1 when no
   // blocks were loaded.
   double block_efficiency() const;
+
+  // Cache hit rate hits / (hits + misses); 1 when the cache was never
+  // consulted (mirrors block_efficiency's empty-run convention).
+  double cache_hit_rate() const;
+
+  // Fraction of issued prefetches a later demand actually claimed; 0
+  // when none were issued (a sync run prefetches nothing).
+  double prefetch_accuracy() const;
 
   // Mean fraction of the run each rank spent advecting particles —
   // the processor-utilization view of load balance (§8 names processor

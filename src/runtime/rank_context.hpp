@@ -52,6 +52,29 @@ class RankContext {
   // it is resident (a cache hit fires immediately, at zero I/O cost).
   virtual void request_block(BlockId id) = 0;
 
+  // Hint that `id` will likely be needed soon.  When the runtime runs
+  // with async I/O enabled it fetches the block in the background into
+  // a bounded staging area; the block only enters the LRU cache — and
+  // only counts as a load — when a later request_block() claims it
+  // (then at zero stall).  Never fires on_block_loaded by itself, never
+  // blocks, and is a silent no-op when async I/O is off, when the block
+  // is already resident/pending/staged, or when staging is full.  So
+  // algorithms may call it speculatively without bookkeeping.
+  virtual void prefetch_block(BlockId id) { (void)id; }
+
+  // How many prefetches this rank may usefully have in flight: the
+  // configured depth under async I/O, 0 when async I/O is off.  Lets
+  // algorithms size a hint batch (and skip building one entirely on
+  // synchronous runs) without knowing the runtime's config.
+  virtual int prefetch_capacity() const { return 0; }
+
+  // Pin/unpin a cache block against eviction (nested).  Used via
+  // Tracer's BlockPinHooks to keep the focused block of a batch round
+  // resident; pin intent survives non-residency (see BlockCache::pin).
+  // Default no-op keeps test fakes and simple contexts trivial.
+  virtual void pin_block(BlockId id) { (void)id; }
+  virtual void unpin_block(BlockId id) { (void)id; }
+
   virtual bool block_resident(BlockId id) const = 0;
   virtual bool block_pending(BlockId id) const = 0;
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <map>
 #include <stdexcept>
 #include <string>
 #include <utility>
@@ -69,8 +70,79 @@ class SimRuntime::Context final : public RankContext {
       return;
     }
     if (pending_.count(id) != 0) return;  // coalesce duplicate requests
+    // Async staging: a prefetched block is promoted into the cache at
+    // the moment of demand — this is when the load "happens" for LRU
+    // order and E-metric purposes, so the accounting stays identical to
+    // the sync path (and the stall is zero).  Both branches are
+    // unreachable with async I/O off.
+    auto st = staged_.find(id);
+    if (st != staged_.end()) {
+      ++metrics.prefetch_hits;
+      GridPtr grid = std::move(st->second);
+      staged_.erase(st);
+      staged_order_.erase(
+          std::remove(staged_order_.begin(), staged_order_.end(), id),
+          staged_order_.end());
+      SF_INVARIANT_HOOK(runtime_->checker_,
+                        on_prefetch_claimed(rank_, id, engine_->now()));
+      cache_.insert(id, std::move(grid));
+      SF_INVARIANT_HOOK(
+          runtime_->checker_,
+          on_block_insert(rank_, id, cache_.resident(), engine_->now()));
+      sync_cache_counters();
+      engine_->schedule_at(engine_->now(), [this, id] {
+        if (dead()) return;
+        program->on_block_loaded(*this, id);
+      });
+      return;
+    }
+    if (prefetch_inflight_.count(id) != 0) {
+      // Demand overtook an in-flight prefetch: piggyback on its read.
+      // The completion finishes this request; the rank only stalls for
+      // the remaining read time (a partial overlap still beats a cold
+      // read).
+      pending_.insert(id);
+      demand_since_[id] = engine_->now();
+      return;
+    }
     pending_.insert(id);
     start_read(id, /*attempt=*/0);
+  }
+
+  void prefetch_block(BlockId id) override {
+    const AsyncIoConfig& aio = runtime_->config_.async_io;
+    if (!aio.enabled) return;
+    if (cache_.contains(id) || pending_.count(id) != 0 ||
+        staged_.count(id) != 0 || prefetch_inflight_.count(id) != 0) {
+      return;
+    }
+    if (prefetch_inflight_.size() >=
+        static_cast<std::size_t>(std::max(1, aio.prefetch_depth))) {
+      return;  // depth-limited; dropping a hint is always legal
+    }
+    prefetch_inflight_.insert(id);
+    ++metrics.prefetches_issued;
+    SF_INVARIANT_HOOK(runtime_->checker_,
+                      on_prefetch_issued(rank_, id, engine_->now()));
+    start_prefetch_read(id, /*attempt=*/0);
+  }
+
+  int prefetch_capacity() const override {
+    const AsyncIoConfig& aio = runtime_->config_.async_io;
+    return aio.enabled ? std::max(1, aio.prefetch_depth) : 0;
+  }
+
+  void pin_block(BlockId id) override {
+    cache_.pin(id);
+    SF_INVARIANT_HOOK(runtime_->checker_, on_block_pin(rank_, id));
+  }
+
+  void unpin_block(BlockId id) override {
+    cache_.unpin(id);  // may run the deferred eviction
+    sync_cache_counters();
+    SF_INVARIANT_HOOK(
+        runtime_->checker_,
+        on_block_unpin(rank_, id, cache_.resident(), engine_->now()));
   }
 
   bool block_resident(BlockId id) const override {
@@ -160,6 +232,29 @@ class SimRuntime::Context final : public RankContext {
   void sync_cache_counters() {
     metrics.blocks_loaded = cache_.loads();
     metrics.blocks_purged = cache_.purges();
+    metrics.cache_hits = cache_.hits();
+    metrics.cache_misses = cache_.misses();
+  }
+
+  // Discard whatever the prefetch pipeline still holds (staged grids a
+  // demand never claimed, in-flight reads of an aborted run) so every
+  // issued prefetch is resolved before the run ends.  Called by run()
+  // for live ranks only: a crashed rank's obligations were already
+  // cleared by the checker's on_crash.
+  void resolve_outstanding_prefetches() {
+    for (const BlockId id : staged_order_) {
+      ++metrics.prefetches_wasted;
+      SF_INVARIANT_HOOK(runtime_->checker_,
+                        on_prefetch_cancelled(rank_, id, engine_->now()));
+    }
+    staged_.clear();
+    staged_order_.clear();
+    for (const BlockId id : prefetch_inflight_) {
+      ++metrics.prefetches_wasted;
+      SF_INVARIANT_HOOK(runtime_->checker_,
+                        on_prefetch_cancelled(rank_, id, engine_->now()));
+    }
+    prefetch_inflight_.clear();
   }
 
   std::unique_ptr<RankProgram> program;
@@ -185,6 +280,7 @@ class SimRuntime::Context final : public RankContext {
       }
     }
     metrics.io_time += done - engine_->now();
+    metrics.stall_time += done - engine_->now();
     metrics.bytes_read += bytes;
     if (runtime_->timeline_) {
       runtime_->timeline_->add(rank_, TimelineSpan::Kind::kIo,
@@ -225,6 +321,100 @@ class SimRuntime::Context final : public RankContext {
     });
   }
 
+  // A background read modeling ThreadRuntime's loader pool: it burns
+  // disk channel time but charges the rank no io/stall time — the rank
+  // keeps computing.  Faults and stalls draw from the same injector
+  // streams with the same capped-backoff retry ladder as demand reads;
+  // a pure prefetch whose retries are exhausted is abandoned (a later
+  // demand re-reads cold), but one a demand already piggybacked on
+  // crashes the rank exactly like a failed demand load.
+  void start_prefetch_read(BlockId id, int attempt) {
+    const std::size_t bytes = runtime_->source_->block_bytes(id);
+    SimTime done = disk_->submit_read(engine_->now(), bytes);
+    bool faulted = false;
+    if (runtime_->fault_) {
+      FaultState& fs = *runtime_->fault_;
+      if (fs.injector.draw_disk_fault()) {
+        faulted = true;
+        disk_->note_faulted_read();
+        ++fs.stats.disk_faults;
+      } else if (fs.injector.draw_disk_stall()) {
+        done += runtime_->config_.fault.disk_stall_seconds;
+        ++fs.stats.disk_stalls;
+        ++metrics.disk_stall_events;
+      }
+    }
+    metrics.bytes_read += bytes;
+    if (faulted) {
+      engine_->schedule_at(done, [this, id, attempt] {
+        if (dead()) return;
+        if (attempt + 1 > runtime_->config_.fault.disk_max_retries) {
+          if (pending_.count(id) != 0) {
+            runtime_->crash_rank(rank_, /*from_oom=*/false);
+            return;
+          }
+          prefetch_inflight_.erase(id);
+          ++metrics.prefetches_wasted;
+          SF_INVARIANT_HOOK(
+              runtime_->checker_,
+              on_prefetch_cancelled(rank_, id, engine_->now()));
+          return;
+        }
+        const double backoff =
+            std::min(runtime_->config_.fault.disk_retry_backoff *
+                         std::ldexp(1.0, attempt),
+                     runtime_->config_.fault.disk_backoff_cap);
+        engine_->schedule_after(backoff, [this, id, attempt] {
+          if (dead()) return;
+          ++metrics.disk_retries;
+          start_prefetch_read(id, attempt + 1);
+        });
+      });
+      return;
+    }
+    engine_->schedule_at(done, [this, id] {
+      if (dead()) return;
+      prefetch_inflight_.erase(id);
+      if (pending_.count(id) != 0) {
+        // A demand piggybacked on this read: complete it now.  The rank
+        // stalled from the demand until this instant.
+        ++metrics.prefetch_hits;
+        const double waited = engine_->now() - demand_since_[id];
+        demand_since_.erase(id);
+        metrics.io_time += waited;
+        metrics.stall_time += waited;
+        SF_INVARIANT_HOOK(runtime_->checker_,
+                          on_prefetch_claimed(rank_, id, engine_->now()));
+        cache_.insert(id, runtime_->source_->load(id));
+        SF_INVARIANT_HOOK(
+            runtime_->checker_,
+            on_block_insert(rank_, id, cache_.resident(), engine_->now()));
+        pending_.erase(id);
+        sync_cache_counters();
+        program->on_block_loaded(*this, id);
+        return;
+      }
+      // Stage it: the grid waits outside the cache until a demand
+      // claims it.  The staging area is bounded; the oldest staged
+      // grid is discarded (a wasted prefetch).
+      staged_[id] = runtime_->source_->load(id);
+      staged_order_.push_back(id);
+      SF_INVARIANT_HOOK(runtime_->checker_,
+                        on_prefetch_staged(rank_, id, engine_->now()));
+      const std::size_t cap = std::max<std::size_t>(
+          1, runtime_->config_.async_io.staging_blocks);
+      while (staged_.size() > cap) {
+        const BlockId oldest = staged_order_.front();
+        staged_order_.erase(staged_order_.begin());
+        staged_.erase(oldest);
+        ++metrics.prefetches_wasted;
+        SF_INVARIANT_HOOK(
+            runtime_->checker_,
+            on_prefetch_cancelled(rank_, oldest, engine_->now()));
+      }
+    });
+  }
+
   SimRuntime* runtime_;
   SimEngine* engine_;
   SharedDisk* disk_;
@@ -232,6 +422,11 @@ class SimRuntime::Context final : public RankContext {
   int rank_;
   BlockCache cache_;
   std::set<BlockId> pending_;
+  // Async-I/O state (all empty when config_.async_io.enabled is false).
+  std::set<BlockId> prefetch_inflight_;
+  std::map<BlockId, GridPtr> staged_;      // arrived, not yet claimed
+  std::vector<BlockId> staged_order_;      // oldest first (bounded)
+  std::map<BlockId, double> demand_since_;  // piggybacked demand times
   bool busy_ = false;
   std::int64_t particle_bytes_ = 0;
 };
@@ -636,6 +831,9 @@ RunMetrics SimRuntime::run(const ProgramFactory& factory) {
   bool all_finished = true;
   for (std::size_t r = 0; r < contexts_.size(); ++r) {
     Context* ctx = contexts_[r].get();
+    if (rank_alive(static_cast<int>(r))) {
+      ctx->resolve_outstanding_prefetches();
+    }
     ctx->sync_cache_counters();
     run_metrics.ranks.push_back(ctx->metrics);
     if (rank_alive(static_cast<int>(r)) && !ctx->program->finished()) {

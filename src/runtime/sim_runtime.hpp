@@ -28,6 +28,7 @@
 #include "fault/fault_config.hpp"
 #include "fault/injector.hpp"
 #include "fault/ledger.hpp"
+#include "io/async_loader.hpp"
 #include "runtime/block_cache.hpp"
 #include "runtime/metrics.hpp"
 #include "runtime/rank_context.hpp"
@@ -59,6 +60,13 @@ struct SimRuntimeConfig {
   CheckedProtocol checked_protocol = CheckedProtocol::kNone;
   // Hybrid layout input for the protocol model (ranks [0, n) are masters).
   int checker_num_masters = 0;
+  // Asynchronous block I/O (DESIGN.md §10).  Off by default: the
+  // synchronous path stays bit-identical to the pre-async runtime.
+  // When enabled, prefetch_block() overlaps modeled reads with compute;
+  // prefetched grids wait in a staging area and only enter the LRU
+  // cache (and the load count) when a demand claims them, so the
+  // trajectory and load/purge accounting match the sync path exactly.
+  AsyncIoConfig async_io{};
 };
 
 class SimRuntime {

@@ -1,16 +1,20 @@
 #include "runtime/thread_runtime.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <deque>
 #include <exception>
+#include <future>
+#include <map>
 #include <mutex>
 #include <set>
 #include <stdexcept>
 #include <thread>
 #include <utility>
 #include <variant>
+#include <vector>
 
 #include "core/rng.hpp"
 #include "runtime/block_cache.hpp"
@@ -78,13 +82,59 @@ class ThreadRuntime::Context final : public RankContext {
       return;
     }
     if (pending_.count(id) != 0) return;
+    // Async staging: a prefetched grid is promoted into the cache at the
+    // moment of demand — that is when the load "happens" for LRU order
+    // and E-metric purposes, so accounting matches the sync path and
+    // the stall is zero.  Unreachable with async I/O off.
+    if (claim_staged(id)) {
+      local_.push_back(id);
+      return;
+    }
+    auto inflight = prefetch_inflight_.find(id);
+    if (inflight != prefetch_inflight_.end()) {
+      // Demand overtook an in-flight prefetch: promote it to the demand
+      // queue and wait out the remaining read (a partial overlap still
+      // beats a cold read).
+      runtime_->loader_->request(id, /*demand=*/true);
+      const auto t0 = std::chrono::steady_clock::now();
+      GridPtr grid;
+      try {
+        grid = inflight->second.get();
+      } catch (...) {
+        grid = nullptr;  // exhausted retries: fall back to a cold read
+      }
+      prefetch_inflight_.erase(inflight);
+      const double waited = seconds_since(t0);
+      metrics.io_time += waited;
+      metrics.stall_time += waited;
+      if (grid != nullptr) {
+        ++metrics.prefetch_hits;
+        SF_INVARIANT_HOOK(
+            runtime_->checker_,
+            on_prefetch_claimed(rank_, id, seconds_since(epoch_)));
+        cache_.insert(id, std::move(grid));
+        SF_INVARIANT_HOOK(runtime_->checker_,
+                          on_block_insert(rank_, id, cache_.resident(),
+                                          seconds_since(epoch_)));
+        local_.push_back(id);
+        return;
+      }
+      // The read was cancelled or failed while we waited; the hint is
+      // dead — do the demand read synchronously like any other miss.
+      ++metrics.prefetches_wasted;
+      SF_INVARIANT_HOOK(
+          runtime_->checker_,
+          on_prefetch_cancelled(rank_, id, seconds_since(epoch_)));
+    }
     pending_.insert(id);
     maybe_perturb();
     // Real synchronous read; completion is delivered through the local
     // event queue so the program still sees it asynchronously.
     const auto t0 = std::chrono::steady_clock::now();
     GridPtr grid = runtime_->source_->load(id);
-    metrics.io_time += seconds_since(t0);
+    const double waited = seconds_since(t0);
+    metrics.io_time += waited;
+    metrics.stall_time += waited;
     metrics.bytes_read += runtime_->source_->block_bytes(id);
     cache_.insert(id, std::move(grid));
     SF_INVARIANT_HOOK(runtime_->checker_,
@@ -93,6 +143,42 @@ class ThreadRuntime::Context final : public RankContext {
     maybe_perturb();
     pending_.erase(id);
     local_.push_back(id);
+  }
+
+  void prefetch_block(BlockId id) override {
+    AsyncBlockLoader* loader = runtime_->loader_.get();
+    if (loader == nullptr) return;  // async I/O off
+    if (cache_.contains(id) || pending_.count(id) != 0 ||
+        staged_.count(id) != 0 || prefetch_inflight_.count(id) != 0) {
+      return;
+    }
+    const AsyncIoConfig& aio = runtime_->config_.async_io;
+    if (prefetch_inflight_.size() >=
+        static_cast<std::size_t>(std::max(1, aio.prefetch_depth))) {
+      return;  // depth-limited; dropping a hint is always legal
+    }
+    ++metrics.prefetches_issued;
+    SF_INVARIANT_HOOK(runtime_->checker_,
+                      on_prefetch_issued(rank_, id, seconds_since(epoch_)));
+    prefetch_inflight_[id] = loader->request(id, /*demand=*/false);
+    maybe_perturb();
+  }
+
+  int prefetch_capacity() const override {
+    const AsyncIoConfig& aio = runtime_->config_.async_io;
+    return aio.enabled ? std::max(1, aio.prefetch_depth) : 0;
+  }
+
+  void pin_block(BlockId id) override {
+    cache_.pin(id);
+    SF_INVARIANT_HOOK(runtime_->checker_, on_block_pin(rank_, id));
+  }
+
+  void unpin_block(BlockId id) override {
+    cache_.unpin(id);  // may run the deferred eviction
+    SF_INVARIANT_HOOK(runtime_->checker_,
+                      on_block_unpin(rank_, id, cache_.resident(),
+                                     seconds_since(epoch_)));
   }
 
   bool block_resident(BlockId id) const override {
@@ -162,6 +248,7 @@ class ThreadRuntime::Context final : public RankContext {
       program->start(*this);
       drain_local();
       while (!program->finished() && !abort_->load()) {
+        poll_arrivals();
         std::unique_lock lock(mailbox_mutex_);
         mailbox_cv_.wait_for(lock, std::chrono::milliseconds(20), [this] {
           return !mailbox_.empty() || abort_->load();
@@ -176,6 +263,11 @@ class ThreadRuntime::Context final : public RankContext {
         program->on_message(*this, std::move(msg));
         drain_local();
       }
+      // Every issued prefetch must be resolved before the run ends:
+      // discard staged grids nobody claimed and cancel what is still in
+      // flight (best effort — a read a worker already started just
+      // completes into the void).
+      resolve_outstanding_prefetches();
     } catch (const ThreadAbort&) {
       // OOM: abort_ is set; all threads wind down.
     } catch (...) {
@@ -185,6 +277,8 @@ class ThreadRuntime::Context final : public RankContext {
     }
     metrics.blocks_loaded = cache_.loads();
     metrics.blocks_purged = cache_.purges();
+    metrics.cache_hits = cache_.hits();
+    metrics.cache_misses = cache_.misses();
   }
 
   std::unique_ptr<RankProgram> program;
@@ -194,7 +288,91 @@ class ThreadRuntime::Context final : public RankContext {
   struct ComputeDone {};
   using LocalEvent = std::variant<BlockId, ComputeDone>;
 
+  // Promote a staged prefetched grid into the cache (the demand claim).
+  bool claim_staged(BlockId id) {
+    auto it = staged_.find(id);
+    if (it == staged_.end()) return false;
+    ++metrics.prefetch_hits;
+    GridPtr grid = std::move(it->second);
+    staged_.erase(it);
+    staged_order_.erase(
+        std::remove(staged_order_.begin(), staged_order_.end(), id),
+        staged_order_.end());
+    SF_INVARIANT_HOOK(runtime_->checker_,
+                      on_prefetch_claimed(rank_, id, seconds_since(epoch_)));
+    cache_.insert(id, std::move(grid));
+    SF_INVARIANT_HOOK(runtime_->checker_,
+                      on_block_insert(rank_, id, cache_.resident(),
+                                      seconds_since(epoch_)));
+    return true;
+  }
+
+  // Move finished background reads into the staging area.  Futures are
+  // polled from the rank thread only, so the cache, the staging store
+  // and the checker hooks never race.
+  void poll_arrivals() {
+    for (auto it = prefetch_inflight_.begin();
+         it != prefetch_inflight_.end();) {
+      if (it->second.wait_for(std::chrono::seconds(0)) !=
+          std::future_status::ready) {
+        ++it;
+        continue;
+      }
+      const BlockId id = it->first;
+      GridPtr grid;
+      try {
+        grid = it->second.get();
+      } catch (...) {
+        grid = nullptr;  // exhausted retries: abandon the hint
+      }
+      it = prefetch_inflight_.erase(it);
+      if (grid == nullptr || cache_.contains(id)) {
+        ++metrics.prefetches_wasted;
+        SF_INVARIANT_HOOK(
+            runtime_->checker_,
+            on_prefetch_cancelled(rank_, id, seconds_since(epoch_)));
+        continue;
+      }
+      staged_[id] = std::move(grid);
+      staged_order_.push_back(id);
+      SF_INVARIANT_HOOK(
+          runtime_->checker_,
+          on_prefetch_staged(rank_, id, seconds_since(epoch_)));
+      const std::size_t cap = std::max<std::size_t>(
+          1, runtime_->config_.async_io.staging_blocks);
+      while (staged_.size() > cap) {
+        const BlockId oldest = staged_order_.front();
+        staged_order_.erase(staged_order_.begin());
+        staged_.erase(oldest);
+        ++metrics.prefetches_wasted;
+        SF_INVARIANT_HOOK(
+            runtime_->checker_,
+            on_prefetch_cancelled(rank_, oldest, seconds_since(epoch_)));
+      }
+    }
+  }
+
+  void resolve_outstanding_prefetches() {
+    for (const BlockId id : staged_order_) {
+      ++metrics.prefetches_wasted;
+      SF_INVARIANT_HOOK(
+          runtime_->checker_,
+          on_prefetch_cancelled(rank_, id, seconds_since(epoch_)));
+    }
+    staged_.clear();
+    staged_order_.clear();
+    for (const auto& [id, fut] : prefetch_inflight_) {
+      runtime_->loader_->cancel(id);
+      ++metrics.prefetches_wasted;
+      SF_INVARIANT_HOOK(
+          runtime_->checker_,
+          on_prefetch_cancelled(rank_, id, seconds_since(epoch_)));
+    }
+    prefetch_inflight_.clear();
+  }
+
   void drain_local() {
+    poll_arrivals();
     while (!local_.empty() && !abort_->load()) {
       // Drain the mailbox between local events so commands interleave
       // with compute, like they do under the simulator.
@@ -244,6 +422,11 @@ class ThreadRuntime::Context final : public RankContext {
   bool fuzz_enabled_;
   Rng fuzz_;
   std::set<BlockId> pending_;
+  // Async-I/O state, touched only from this rank's thread (all empty
+  // when async I/O is off).
+  std::map<BlockId, std::shared_future<GridPtr>> prefetch_inflight_;
+  std::map<BlockId, GridPtr> staged_;   // arrived, not yet claimed
+  std::vector<BlockId> staged_order_;   // oldest first (bounded)
   std::deque<LocalEvent> local_;
   std::int64_t particle_bytes_ = 0;
 
@@ -285,6 +468,13 @@ RunMetrics ThreadRuntime::run(const ProgramFactory& factory) {
   abort_flag_ = &abort;
   failure_ = nullptr;
 
+  loader_.reset();
+  if (config_.async_io.enabled) {
+    AsyncBlockLoader::Config lcfg;
+    lcfg.workers = config_.async_io.workers;
+    loader_ = std::make_unique<AsyncBlockLoader>(source_, lcfg);
+  }
+
   contexts_.clear();
   for (int r = 0; r < config_.num_ranks; ++r) {
     contexts_.push_back(
@@ -315,6 +505,7 @@ RunMetrics ThreadRuntime::run(const ProgramFactory& factory) {
     threads.emplace_back([c = ctx.get()] { c->thread_main(); });
   }
   for (std::thread& t : threads) t.join();
+  loader_.reset();  // cancels leftover queued reads, joins the workers
   abort_flag_ = nullptr;
   if (failure_) {
     checker_.reset();

@@ -17,6 +17,7 @@
 #include "check/invariants.hpp"
 #include "core/dataset.hpp"
 #include "core/tracer.hpp"
+#include "io/async_loader.hpp"
 #include "runtime/metrics.hpp"
 #include "runtime/rank_context.hpp"
 
@@ -36,6 +37,13 @@ struct ThreadRuntimeConfig {
   // conservation, cache coherence and termination accounting.
   CheckedProtocol checked_protocol = CheckedProtocol::kNone;
   int checker_num_masters = 0;
+  // Asynchronous block I/O (DESIGN.md §10).  When enabled, one shared
+  // AsyncBlockLoader serves prefetch hints from every rank; reads for
+  // the same block are coalesced across ranks.  Completions are polled
+  // from the rank thread's event loop, so all cache mutation stays on
+  // the owning thread.  Off by default: request_block stays a plain
+  // synchronous read.
+  AsyncIoConfig async_io{};
 };
 
 class ThreadRuntime {
@@ -58,6 +66,8 @@ class ThreadRuntime {
   const BlockSource* source_;
   Tracer tracer_;
   std::vector<std::unique_ptr<Context>> contexts_;
+  // Live only inside run(), and only when config_.async_io.enabled.
+  std::unique_ptr<AsyncBlockLoader> loader_;
   // Live only inside run(); null when compiled out (Release).  The
   // checker serializes internally, so all rank threads share it.
   std::unique_ptr<InvariantChecker> checker_;

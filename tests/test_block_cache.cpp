@@ -70,6 +70,74 @@ TEST(BlockCache, EraseIsNotAPurge) {
   cache.erase(99);  // erasing a missing block is a no-op
 }
 
+TEST(BlockCache, HitMissCounters) {
+  BlockCache cache(2);
+  EXPECT_EQ(cache.find(1), nullptr);  // miss
+  cache.insert(1, dummy_grid());
+  cache.find(1);  // hit
+  cache.find(1);  // hit
+  cache.find(2);  // miss
+  EXPECT_EQ(cache.hits(), 2u);
+  EXPECT_EQ(cache.misses(), 2u);
+}
+
+TEST(BlockCache, PinnedBlockSkippedByEviction) {
+  BlockCache cache(2);
+  cache.insert(1, dummy_grid());
+  cache.insert(2, dummy_grid());  // LRU order: [2, 1]
+  cache.pin(1);
+  cache.insert(3, dummy_grid());  // 1 is LRU-most but pinned: evicts 2
+  EXPECT_TRUE(cache.contains(1));
+  EXPECT_FALSE(cache.contains(2));
+  EXPECT_TRUE(cache.contains(3));
+  EXPECT_EQ(cache.purges(), 1u);
+}
+
+TEST(BlockCache, AllPinnedOverflowDrainsOnUnpin) {
+  BlockCache cache(1);
+  cache.insert(1, dummy_grid());
+  cache.pin(1);
+  cache.pin(2);  // before the insert: protects the in-flight target
+  cache.insert(2, dummy_grid());
+  // Every resident block is pinned: the cache overflows temporarily.
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_TRUE(cache.contains(1));
+  EXPECT_TRUE(cache.contains(2));
+  cache.unpin(1);  // deferred eviction reclaims the overflow
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_FALSE(cache.contains(1));
+  EXPECT_TRUE(cache.contains(2));
+  EXPECT_EQ(cache.purges(), 1u);
+}
+
+TEST(BlockCache, PinIntentSurvivesNonResidency) {
+  BlockCache cache(2);
+  cache.pin(7);  // not resident yet: the intent is recorded anyway
+  EXPECT_TRUE(cache.pinned(7));
+  cache.insert(7, dummy_grid());
+  cache.insert(1, dummy_grid());  // [1, 7]
+  cache.insert(2, dummy_grid());  // 7 pinned: evicts 1
+  EXPECT_TRUE(cache.contains(7));
+  EXPECT_FALSE(cache.contains(1));
+  cache.unpin(7);
+  EXPECT_FALSE(cache.pinned(7));
+}
+
+TEST(BlockCache, NestedPinsReleaseOnLastUnpin) {
+  BlockCache cache(1);
+  cache.insert(1, dummy_grid());
+  cache.pin(1);
+  cache.pin(1);
+  cache.insert(2, dummy_grid());  // overflow: 1 is pinned, 2 unpinned...
+  // ...so the eviction walk reclaims 2 itself (the only unpinned entry).
+  EXPECT_TRUE(cache.contains(1));
+  EXPECT_FALSE(cache.contains(2));
+  cache.unpin(1);
+  EXPECT_TRUE(cache.pinned(1));  // one pin still held
+  cache.unpin(1);
+  EXPECT_FALSE(cache.pinned(1));
+}
+
 // Property: under arbitrary access patterns the cache never exceeds
 // capacity and loads - purges == resident.
 class CacheCapacity : public ::testing::TestWithParam<std::size_t> {};

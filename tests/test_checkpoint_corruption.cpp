@@ -51,7 +51,13 @@ Checkpoint sample_checkpoint() {
 class CheckpointCorruptionTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    dir_ = fs::temp_directory_path() / "sf_ckpt_corruption_test";
+    // Unique per test: ctest runs the fixture's tests as separate
+    // processes in parallel, and a shared directory lets one test's
+    // TearDown remove another's checkpoint mid-read.
+    const auto* info =
+        ::testing::UnitTest::GetInstance()->current_test_info();
+    dir_ = fs::temp_directory_path() /
+           (std::string("sf_ckpt_corruption_") + info->name());
     fs::create_directories(dir_);
     path_ = dir_ / "ck.bin";
     write_checkpoint(path_, sample_checkpoint());

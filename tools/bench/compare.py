@@ -1,32 +1,56 @@
 #!/usr/bin/env python3
-"""Diff two BENCH_advect.json runs and flag throughput regressions.
+"""Diff two bench JSON runs and flag regressions.
 
 Usage:
     tools/bench/compare.py BASELINE.json CURRENT.json [--threshold=0.10]
-                           [--warn-only]
+                           [--warn-only] [--fail-on-regression]
 
-Matches results by (kernel, seeding, cache), prints a ratio table, and exits
-non-zero if any current rate falls more than --threshold (default 10%)
-below the baseline.  --warn-only reports but always exits 0 — the CI
-smoke job uses it because shared-runner timing is too noisy to gate on.
+Supports both bench schemas, selected by the "bench" field in the JSON:
+
+  advect_throughput  keyed (kernel, seeding, cache); compares
+                     particle_steps_per_sec, higher is better.
+  io_overlap         keyed (algorithm, seeding, cache, mode); compares
+                     wall_s, lower is better.
+
+Prints a ratio table and exits non-zero if any current value regresses
+more than --threshold (default 10%) past the baseline.  --warn-only
+reports but always exits 0 — the CI smoke job uses it because
+shared-runner timing is too noisy to gate on.  --fail-on-regression
+forces the non-zero exit even when --warn-only is also given (for
+deterministic benches, like the simulated io_overlap run, that CAN be
+gated on).
 """
 
 import argparse
 import json
 import sys
 
+# bench name -> (key fields, metric field, higher is better)
+SCHEMAS = {
+    "advect_throughput": (("kernel", "seeding", "cache"),
+                          "particle_steps_per_sec", True),
+    "io_overlap": (("algorithm", "seeding", "cache", "mode"),
+                   "wall_s", False),
+}
+
 
 def load(path):
     with open(path) as f:
         doc = json.load(f)
+    bench = doc.get("bench", "advect_throughput")
+    if bench not in SCHEMAS:
+        sys.exit(f"{path}: unknown bench kind {bench!r}")
+    key_fields, metric, _ = SCHEMAS[bench]
     out = {}
     for r in doc.get("results", []):
-        # Older runs predate the cache-regime axis; treat them as the
-        # all-blocks-resident regime so baselines stay comparable.
-        out[(r["kernel"], r["seeding"], r.get("cache", "resident"))] = r
+        # Older advect runs predate the cache-regime axis; treat them as
+        # the all-blocks-resident regime so baselines stay comparable.
+        key = tuple(r.get(f, "resident" if f == "cache" else None)
+                    for f in key_fields)
+        out[key] = r[metric]
     if not out:
         sys.exit(f"{path}: no results")
-    return out
+    return bench, out
 
 
 def main():
@@ -34,45 +58,53 @@ def main():
     ap.add_argument("baseline")
     ap.add_argument("current")
     ap.add_argument("--threshold", type=float, default=0.10,
-                    help="max allowed fractional slowdown (default 0.10)")
+                    help="max allowed fractional regression (default 0.10)")
     ap.add_argument("--warn-only", action="store_true",
                     help="report regressions but exit 0")
+    ap.add_argument("--fail-on-regression", action="store_true",
+                    help="exit non-zero on regression even with --warn-only")
     args = ap.parse_args()
 
-    base = load(args.baseline)
-    cur = load(args.current)
+    base_bench, base = load(args.baseline)
+    cur_bench, cur = load(args.current)
+    if base_bench != cur_bench:
+        sys.exit(f"bench kinds differ: baseline is {base_bench}, "
+                 f"current is {cur_bench}")
+    key_fields, metric, higher_better = SCHEMAS[base_bench]
 
-    header = (f"{'cache':12} {'seeding':8} {'kernel':10} "
-              f"{'baseline':>14} {'current':>14} {'ratio':>7}")
+    key_width = max(len("/".join(k)) for k in list(base) + list(cur))
+    header = (f"{'case':{key_width}} {'base ' + metric:>18} "
+              f"{'current':>14} {'ratio':>7}")
     print(header)
     print("-" * len(header))
     regressions = []
     for key in sorted(base):
-        b = base[key]["particle_steps_per_sec"]
-        c_entry = cur.get(key)
-        if c_entry is None:
-            regressions.append(f"{key}: missing from current run")
+        b = base[key]
+        name = "/".join(key)
+        if key not in cur:
+            regressions.append(f"{name}: missing from current run")
             continue
-        c = c_entry["particle_steps_per_sec"]
+        c = cur[key]
         ratio = c / b
+        bad = (ratio < 1.0 - args.threshold if higher_better
+               else ratio > 1.0 + args.threshold)
         flag = ""
-        if ratio < 1.0 - args.threshold:
+        if bad:
             flag = "  <-- REGRESSION"
+            worse = (1.0 - ratio if higher_better else ratio - 1.0) * 100
             regressions.append(
-                f"{key[2]}/{key[1]}/{key[0]}: {c:.3g} vs baseline {b:.3g} "
-                f"({(1.0 - ratio) * 100:.1f}% slower)")
-        print(f"{key[2]:12} {key[1]:8} {key[0]:10} "
-              f"{b:14.4g} {c:14.4g} {ratio:7.3f}{flag}")
+                f"{name}: {metric} {c:.4g} vs baseline {b:.4g} "
+                f"({worse:.1f}% worse)")
+        print(f"{name:{key_width}} {b:18.4g} {c:14.4g} {ratio:7.3f}{flag}")
     for key in sorted(set(cur) - set(base)):
-        print(f"{key[2]:12} {key[1]:8} {key[0]:10} {'(new)':>14} "
-              f"{cur[key]['particle_steps_per_sec']:14.4g}")
+        print(f"{'/'.join(key):{key_width}} {'(new)':>18} {cur[key]:14.4g}")
 
     if regressions:
         print(f"\n{len(regressions)} regression(s) beyond "
               f"{args.threshold * 100:.0f}%:", file=sys.stderr)
         for r in regressions:
             print(f"  {r}", file=sys.stderr)
-        if not args.warn_only:
+        if args.fail_on_regression or not args.warn_only:
             sys.exit(1)
         print("(--warn-only: not failing)", file=sys.stderr)
     else:

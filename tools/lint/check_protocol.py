@@ -128,6 +128,15 @@ def parse_command_enumerators(message_hpp: str) -> list[str]:
     return re.findall(r"\bk\w+", m.group(1))
 
 
+def parse_load_states(async_loader_hpp: str) -> list[str]:
+    clean = strip_comments_and_strings(async_loader_hpp)
+    m = re.search(r"enum\s+class\s+LoadState\s*:[^{]*\{([^}]*)\}", clean)
+    if not m:
+        sys.exit("check_protocol: cannot find LoadState enum in "
+                 "async_loader.hpp")
+    return re.findall(r"\bk\w+", m.group(1))
+
+
 def check_dispatch(path: pathlib.Path, raw: str, clean: str,
                    alternatives: list[str]) -> int:
     """Returns the number of on_message definitions found in this file."""
@@ -184,6 +193,28 @@ def check_command_switches(path: pathlib.Path, clean: str,
                    f"no default")
 
 
+def check_load_state_switches(path: pathlib.Path, clean: str,
+                              states: list[str]) -> None:
+    # The async loader's request lifecycle is a state machine; a switch
+    # that silently skips a LoadState is how a kCancelled or kFailed
+    # request leaks out of the accounting.  Same completeness rule as
+    # Command::Type: cover every enumerator or carry a default.
+    for m in re.finditer(r"\bswitch\s*\(", clean):
+        open_idx = clean.find("{", m.end())
+        if open_idx < 0:
+            continue
+        body = clean[open_idx:match_brace(clean, open_idx)]
+        if "LoadState::" not in body:
+            continue
+        if re.search(r"\bdefault\s*:", body):
+            continue
+        covered = set(re.findall(r"case\s+LoadState::(k\w+)", body))
+        for missing in [s for s in states if s not in covered]:
+            report(path, line_of(clean, m.start()),
+                   f"switch on LoadState misses case {missing} and has "
+                   f"no default")
+
+
 def check_naked_new_delete(path: pathlib.Path, clean: str) -> None:
     for m in re.finditer(r"\bnew\b(?!\s*\()", clean):
         report(path, line_of(clean, m.start()),
@@ -227,6 +258,8 @@ def main() -> int:
     message_hpp = (src / "runtime" / "message.hpp").read_text()
     alternatives = parse_message_alternatives(message_hpp)
     enumerators = parse_command_enumerators(message_hpp)
+    load_states = parse_load_states(
+        (src / "io" / "async_loader.hpp").read_text())
 
     dispatchers = 0
     for path in sorted(src.rglob("*.[ch]pp")):
@@ -235,6 +268,7 @@ def main() -> int:
         rel = path.relative_to(args.root)
         dispatchers += check_dispatch(rel, raw, clean, alternatives)
         check_command_switches(rel, clean, enumerators)
+        check_load_state_switches(rel, clean, load_states)
         check_naked_new_delete(rel, clean)
         check_rng(rel, clean)
 
@@ -247,6 +281,7 @@ def main() -> int:
     print(f"check_protocol: {dispatchers} dispatchers, "
           f"{len(alternatives)} message kinds, "
           f"{len(enumerators)} command types, "
+          f"{len(load_states)} load states, "
           f"{len(FINDINGS)} problem(s)")
     return 1 if FINDINGS else 0
 

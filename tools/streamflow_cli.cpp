@@ -234,6 +234,11 @@ int cmd_experiment(const Flags& flags) {
                  "  runtime selection:\n"
                  "    --runtime=sim|threads   simulated machine (default) or\n"
                  "                            one OS thread per rank\n"
+                 "  asynchronous block I/O (DESIGN.md §10):\n"
+                 "    --async-io              overlap block reads with compute\n"
+                 "    --io-workers=N          loader threads (threads runtime)\n"
+                 "    --prefetch-depth=N      in-flight prefetches per rank\n"
+                 "    --staging=N             staged prefetched grids per rank\n"
                  "    --schedule-fuzz=SEED    threads only: seeded random\n"
                  "                            yields/sleeps at mailbox and\n"
                  "                            cache boundaries (0 = off)\n"
@@ -277,6 +282,13 @@ int cmd_experiment(const Flags& flags) {
   cfg.runtime.cache_blocks =
       static_cast<std::size_t>(flags.get_long("cache", 48));
   cfg.runtime.carry_geometry = !flags.has("no-geometry");
+  cfg.runtime.async_io.enabled = flags.has("async-io");
+  cfg.runtime.async_io.workers =
+      static_cast<int>(flags.get_long("io-workers", 2));
+  cfg.runtime.async_io.prefetch_depth =
+      static_cast<int>(flags.get_long("prefetch-depth", 2));
+  cfg.runtime.async_io.staging_blocks =
+      static_cast<std::size_t>(flags.get_long("staging", 4));
   cfg.limits.max_time = flags.get_double("max-time", 15.0);
   cfg.limits.max_steps =
       static_cast<std::uint32_t>(flags.get_long("max-steps", 1500));
@@ -341,10 +353,21 @@ int cmd_experiment(const Flags& flags) {
   table.add_row(
       {std::string("total compute time [s]"), m.total_compute_time()});
   table.add_row({std::string("block efficiency E"), m.block_efficiency()});
+  table.add_row({std::string("cache hit rate"), m.cache_hit_rate()});
+  table.add_row({std::string("total stall time [s]"), m.total_stall_time()});
   table.add_row({std::string("blocks loaded"),
                  static_cast<long long>(m.total_blocks_loaded())});
   table.add_row({std::string("blocks purged"),
                  static_cast<long long>(m.total_blocks_purged())});
+  if (cfg.runtime.async_io.enabled) {
+    table.add_row({std::string("prefetches issued"),
+                   static_cast<long long>(m.total_prefetches_issued())});
+    table.add_row({std::string("prefetch hits"),
+                   static_cast<long long>(m.total_prefetch_hits())});
+    table.add_row({std::string("prefetches wasted"),
+                   static_cast<long long>(m.total_prefetches_wasted())});
+    table.add_row({std::string("prefetch accuracy"), m.prefetch_accuracy()});
+  }
   table.add_row({std::string("messages"),
                  static_cast<long long>(m.total_messages())});
   table.add_row({std::string("bytes sent [MB]"),
