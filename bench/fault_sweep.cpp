@@ -7,6 +7,7 @@
 // Flags: the common bench flags (bench_common.hpp); --quick shrinks the
 // seed set and the sweep grid for smoke runs.
 
+#include <map>
 #include <memory>
 
 #include "bench_common.hpp"
@@ -53,6 +54,7 @@ int main(int argc, char** argv) {
                "slowdown", "crashes", "recovered_particles", "steps_redone",
                "recovery_s", "checkpoints", "checkpoint_overhead_s",
                "status"});
+  std::map<Algorithm, double> baseline_wall;
 
   for (const Algorithm algo : kAllAlgorithms) {
     ExperimentConfig base;
@@ -65,6 +67,7 @@ int main(int argc, char** argv) {
     const RunMetrics clean = run_experiment(
         base, data.dataset->decomposition(), *data.source, seeds);
     const double T = clean.wall_clock;
+    baseline_wall[algo] = T;
     table.add_row({std::string(to_string(algo)),
                    static_cast<long long>(procs), 0.0, 0.0, T, 1.0,
                    static_cast<long long>(0), static_cast<long long>(0),
@@ -99,14 +102,73 @@ int main(int argc, char** argv) {
     }
   }
 
+  // Coordinator-failure sweep (DESIGN.md §11): kill rank 0 — the hybrid
+  // master under hybrid, the termination counter under the other two —
+  // mid-run, and compare against a run that shields it through the
+  // immune_ranks carve-out (the pre-failover behaviour).  Columns report
+  // the failure-detection latency, the crash-to-recovery wall time, and
+  // the wall-clock overhead of actually surviving the death.
+  Table coord({"algorithm", "procs", "victim", "crash_s", "wall_s",
+               "immune_wall_s", "overhead_vs_immune", "detect_latency_s",
+               "recovery_wall_s", "recovered_particles", "status"});
+  for (const Algorithm algo : kAllAlgorithms) {
+    ExperimentConfig base;
+    base.algorithm = algo;
+    base.runtime.num_ranks = procs;
+    base.runtime.model = bench_machine(opt.seeds_scale);
+    base.runtime.cache_blocks = opt.cache_blocks;
+    base.limits = limits;
+    const double crash_at = 0.4 * baseline_wall[algo];
+
+    ExperimentConfig shield = base;
+    shield.runtime.fault.crashes = {{crash_at, 0}};
+    shield.runtime.fault.immune_ranks = {0};  // carve-out filters the crash
+    const RunMetrics immune = run_experiment(
+        shield, data.dataset->decomposition(), *data.source, seeds);
+
+    ExperimentConfig cfg = base;
+    cfg.runtime.fault.crashes = {{crash_at, 0}};
+    const RunMetrics m = run_experiment(
+        cfg, data.dataset->decomposition(), *data.source, seeds);
+    const FaultStats& fs = m.fault;
+    double detect = -1.0, recover = -1.0;
+    for (const CrashRecord& rec : fs.crash_records) {
+      if (rec.rank != 0) continue;
+      if (rec.detect_time >= 0.0) detect = rec.detect_time - rec.crash_time;
+      if (rec.recover_time >= 0.0) {
+        recover = rec.recover_time - rec.crash_time;
+      }
+    }
+    coord.add_row(
+        {std::string(to_string(algo)), static_cast<long long>(procs),
+         std::string(algo == Algorithm::kHybridMasterSlave ? "master"
+                                                           : "counter"),
+         crash_at, m.wall_clock, immune.wall_clock,
+         immune.wall_clock > 0.0 ? m.wall_clock / immune.wall_clock : 0.0,
+         detect, recover, static_cast<long long>(fs.particles_recovered),
+         std::string(m.failed_oom      ? "OOM"
+                     : m.failed_fault  ? "fault"
+                                       : "ok")});
+    std::cerr << "  coordinator crash: " << to_string(algo)
+              << " detect=" << detect << "s recover=" << recover
+              << "s wall=" << m.wall_clock << "s\n";
+  }
+
   std::cout << "\nFault sweep: crash survival cost vs. MTBF and checkpoint "
                "cadence (P="
             << procs << ", seeds-scale=" << opt.seeds_scale << ")\n";
   table.print(std::cout);
+  std::cout << "\nCoordinator failure: master / termination-counter death "
+               "vs. immune baseline\n";
+  coord.print(std::cout);
   if (opt.csv_dir) {
     const std::string path = *opt.csv_dir + "/fault_sweep.csv";
     table.write_csv(path);
     std::cout << "csv written to " << path << '\n';
+    const std::string coord_path =
+        *opt.csv_dir + "/fault_sweep_coordinator.csv";
+    coord.write_csv(coord_path);
+    std::cout << "csv written to " << coord_path << '\n';
   }
   return 0;
 }

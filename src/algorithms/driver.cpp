@@ -55,12 +55,33 @@ PreparedRun prepare_run(const ExperimentConfig& config,
   std::vector<Particle> particles =
       make_particles(decomp, seeds, run.rejected);
 
+  // Topology stamp: written into every checkpoint, validated on restart.
+  cfg.runtime.fault.algorithm_tag = static_cast<std::uint8_t>(cfg.algorithm);
+  cfg.runtime.fault.dataset_hash = dataset_topology_hash(decomp);
+
   // A restart replaces the freshly seeded particles with the checkpoint's
   // active set; its done list joins the rejected seeds as presettled
   // results.  Re-advecting a particle from its checkpointed solver state
   // reproduces the uninterrupted trajectory bit for bit.
   if (!cfg.restart_from.empty()) {
     const Checkpoint ck = read_checkpoint(cfg.restart_from);
+    if (ck.num_ranks != cfg.runtime.num_ranks) {
+      throw std::invalid_argument(
+          "--restart-from: checkpoint was written by a " +
+          std::to_string(ck.num_ranks) + "-rank run, but this run has " +
+          std::to_string(cfg.runtime.num_ranks) + " ranks");
+    }
+    if (ck.algorithm != static_cast<std::uint8_t>(cfg.algorithm)) {
+      throw std::invalid_argument(
+          std::string("--restart-from: checkpoint was written by a ") +
+          to_string(static_cast<Algorithm>(ck.algorithm)) +
+          " run, but this run uses " + to_string(cfg.algorithm));
+    }
+    if (ck.dataset_hash != cfg.runtime.fault.dataset_hash) {
+      throw std::invalid_argument(
+          "--restart-from: checkpoint was written against a different "
+          "dataset decomposition (topology hash mismatch)");
+    }
     particles = ck.active;
     run.prior_done = ck.done;
   }
@@ -71,8 +92,9 @@ PreparedRun prepare_run(const ExperimentConfig& config,
     case Algorithm::kStaticAllocation:
       cfg.runtime.checked_protocol = CheckedProtocol::kStaticAllocation;
       if (faulty) {
+        // No immune ranks: the termination counter migrates to the lowest
+        // live rank when rank 0 dies (survivable accounting, §11).
         cfg.runtime.fault.detector = FaultConfig::Detector::kRuntime;
-        cfg.runtime.fault.immune_ranks = {0};  // the termination counter
       }
       run.factory = make_static_allocation(
           &decomp,
@@ -83,7 +105,6 @@ PreparedRun prepare_run(const ExperimentConfig& config,
       cfg.runtime.checked_protocol = CheckedProtocol::kLoadOnDemand;
       if (faulty) {
         cfg.runtime.fault.detector = FaultConfig::Detector::kRuntime;
-        cfg.runtime.fault.immune_ranks = {0};
       }
       run.factory = make_load_on_demand(
           &decomp,
@@ -95,15 +116,14 @@ PreparedRun prepare_run(const ExperimentConfig& config,
       cfg.runtime.checked_protocol = CheckedProtocol::kHybrid;
       cfg.runtime.checker_num_masters = layout.num_masters;
       if (faulty) {
-        // Hybrid detects failures in-protocol: slaves heartbeat, the
-        // master declares the silent dead (the sixth rule).  Masters are
-        // the recovery authority and termination counters, so they are
-        // immune to injection.
+        // Hybrid detects failures in-protocol, both ways: slaves
+        // heartbeat status and the master declares the silent dead (the
+        // sixth rule); masters beacon and orphaned slaves re-home to a
+        // successor when their master goes silent (§11 failover).  No
+        // rank is immune — a dead master's scheduling state is
+        // reconstructed from re-reports and the particle ledger.
         cfg.runtime.fault.detector = FaultConfig::Detector::kProgram;
-        cfg.runtime.fault.immune_ranks.clear();
-        for (int m = 0; m < layout.num_masters; ++m) {
-          cfg.runtime.fault.immune_ranks.push_back(m);
-        }
+        cfg.hybrid.failover = true;
         if (cfg.hybrid.heartbeat_period <= 0.0) {
           cfg.hybrid.heartbeat_period = cfg.runtime.fault.heartbeat_period;
         }

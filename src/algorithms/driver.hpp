@@ -47,8 +47,10 @@ struct ExperimentConfig {
 // When any fault feature is requested (config.runtime.fault fields or
 // restart_from), the driver finishes the fault configuration per
 // algorithm: hybrid switches to heartbeat (in-protocol) failure detection
-// with immune masters; static allocation and load-on-demand use the
-// runtime detector with rank 0 immune.
+// with master failover; static allocation and load-on-demand use the
+// runtime detector.  No rank is immune — coordinator death (a hybrid
+// master, the termination counter) is survivable (DESIGN.md §11);
+// immune_ranks stays empty unless the caller opts in.
 RunMetrics run_experiment(const ExperimentConfig& config,
                           const BlockDecomposition& decomp,
                           const BlockSource& source,

@@ -55,281 +55,61 @@ std::size_t particles_resident_bytes(const std::vector<Particle>& ps,
   return n;
 }
 
+// The failover successor: the lowest live original master, or — when every
+// master is dead — the lowest live slave rank, which promotes itself.
+// Every rank computes this from the layout and the runtime's liveness view,
+// so the role migrates without any election traffic.  The successor is
+// also the acting termination counter.
+int successor_rank(const RankContext& ctx, const HybridLayout& layout) {
+  for (int m = 0; m < layout.num_masters; ++m) {
+    if (ctx.is_alive(m)) return m;
+  }
+  for (int r = layout.num_masters; r < layout.num_ranks; ++r) {
+    if (ctx.is_alive(r)) return r;
+  }
+  return 0;
+}
+
 // ---------------------------------------------------------------------------
-// Slave
+// Master scheduling core
 // ---------------------------------------------------------------------------
 
-class HybridSlave final : public RankProgram {
+// The whole master-side state machine — the five balancing rules, the
+// sixth (declare-dead) rule, master-to-master seed balancing, and the
+// survivable termination board — extracted from the master *program* so a
+// slave promoted by failover runs the identical logic.  Hosted by
+// HybridMaster from the start of a run, or by HybridSlave from the moment
+// it promotes itself (DESIGN.md §11).
+class MasterCore {
  public:
-  HybridSlave(const BlockDecomposition* decomp, int rank, int master,
-              HybridParams params)
-      : decomp_(decomp), rank_(rank), master_(master), params_(params) {}
-
-  void start(RankContext& ctx) override {
-    // Slaves begin idle; everything arrives from the master.  Do not
-    // report yet — the master hands out the initial allocation unasked.
-    if (params_.heartbeat_period > 0.0) {
-      ctx.set_timer(params_.heartbeat_period);
-    }
-  }
-
-  void on_timer(RankContext& ctx) override {
-    if (finished_) return;
-    // Heartbeat: prove liveness and flush pending termination credits
-    // even while busy; the master declares silent slaves dead.
-    send_status(ctx, workable(ctx));
-    ctx.set_timer(params_.heartbeat_period);
-  }
-
-  void on_message(RankContext& ctx, Message msg) override {
-    // Slaves are driven purely by Commands and inter-slave batches; the
-    // master-side kinds below never target a slave (shutdown arrives as
-    // Command::kTerminate, not DoneSignal).
-    // protocol-lint: ignores StatusUpdate, TerminationCount, DoneSignal
-    // protocol-lint: ignores SeedRequest, SeedTransfer
-    if (auto* batch = std::get_if<ParticleBatch>(&msg.payload)) {
-      accept_particles(ctx, std::move(batch->particles));
-      try_start(ctx);
-      return;
-    }
-    if (auto* undeliv = std::get_if<Undeliverable>(&msg.payload)) {
-      // A shipment of ours bounced (dropped link or dead receiver): take
-      // the particles back; the next status lets the master re-route.
-      accept_particles(ctx, std::move(undeliv->particles));
-      try_start(ctx);
-      return;
-    }
-    auto* cmd = std::get_if<Command>(&msg.payload);
-    if (cmd == nullptr) return;
-
-    switch (cmd->type) {
-      case Command::Type::kAssign: {
-        // Assign_loaded / Assign_unloaded: integrate these seeds; load
-        // their blocks if we do not have them.
-        std::set<BlockId> blocks;
-        for (const Particle& p : cmd->particles) {
-          blocks.insert(decomp_->block_of(p.pos));
-        }
-        accept_particles(ctx, std::move(cmd->particles));
-        for (const BlockId b : blocks) {
-          request_if_needed(ctx, b);
-        }
-        try_start(ctx);
-        break;
-      }
-      case Command::Type::kLoad:
-        request_if_needed(ctx, cmd->block);
-        try_start(ctx);
-        break;
-      case Command::Type::kSendForce: {
-        // Mandatory migration of our particles in `block` to `target`.
-        std::vector<Particle> moving = pool_.drain_block(cmd->block);
-        ship_particles(ctx, cmd->target, cmd->block, std::move(moving));
-        reported_ = false;
-        try_start(ctx);
-        break;
-      }
-      case Command::Type::kSendHint: {
-        // Optional: offload particles waiting in *unloaded* hint blocks.
-        // If none are appropriate, ignore the hint (the autonomy rule).
-        for (const BlockId b : cmd->hint_blocks) {
-          if (ctx.block_resident(b) || ctx.block_pending(b)) continue;
-          std::vector<Particle> moving = pool_.drain_block(b);
-          if (!moving.empty()) {
-            ship_particles(ctx, cmd->target, b, std::move(moving));
-            reported_ = false;
-          }
-        }
-        try_start(ctx);
-        break;
-      }
-      case Command::Type::kTerminate:
-        finished_ = true;
-        break;
-    }
-  }
-
-  void on_block_loaded(RankContext& ctx, BlockId) override {
-    if (pending_loads_ > 0) --pending_loads_;
-    reported_ = false;
-    try_start(ctx);
-  }
-
-  void on_compute_done(RankContext& ctx) override {
-    std::vector<Particle> batch = std::move(in_flight_);
-    in_flight_.clear();
-    std::vector<AdvanceOutcome> outcomes = std::move(flights_);
-    flights_.clear();
-    for (std::size_t i = 0; i < batch.size(); ++i) {
-      Particle& p = batch[i];
-      if (is_terminal(outcomes[i].status)) {
-        // Only first-time terminations count toward the global total; a
-        // re-run duplicate (recovery overlap) must not double-decrement.
-        if (ctx.log_termination(p)) ++terminated_delta_;
-        done_.push_back(std::move(p));
-      } else {
-        pool_.add(outcomes[i].blocking_block, std::move(p));
-      }
-    }
-    reported_ = false;
-    try_start(ctx);
-  }
-
-  bool finished() const override { return finished_; }
-
-  void collect_particles(std::vector<Particle>& out) const override {
-    out.insert(out.end(), done_.begin(), done_.end());
-  }
-
-  void snapshot_particles(std::vector<Particle>& out) const override {
-    pool_.append_all(out);
-    out.insert(out.end(), in_flight_.begin(), in_flight_.end());
-  }
-
- private:
-  std::uint32_t workable(RankContext& ctx) const {
-    std::uint32_t n = 0;
-    for (const auto& [block, count] : pool_.census()) {
-      if (ctx.block_resident(block)) n += count;
-    }
-    return n;
-  }
-
-  void accept_particles(RankContext& ctx, std::vector<Particle> particles) {
-    for (Particle& p : particles) {
-      ctx.charge_particle_memory(static_cast<std::int64_t>(
-          resident_particle_bytes(p, ctx.model())));
-      pool_.add(decomp_->block_of(p.pos), std::move(p));
-    }
-    reported_ = false;
-  }
-
-  void ship_particles(RankContext& ctx, int target, BlockId block,
-                      std::vector<Particle> particles) {
-    if (particles.empty()) return;
-    ctx.charge_particle_memory(-static_cast<std::int64_t>(
-        particles_resident_bytes(particles, ctx.model())));
-    Message m;
-    m.payload = ParticleBatch{block, std::move(particles)};
-    ctx.send(target, std::move(m));
-  }
-
-  void request_if_needed(RankContext& ctx, BlockId b) {
-    if (b == kInvalidBlock || ctx.block_resident(b) || ctx.block_pending(b)) {
-      return;
-    }
-    ++pending_loads_;
-    ctx.request_block(b);
-  }
-
-  void send_status(RankContext& ctx, std::uint32_t workable_now) {
-    StatusUpdate s;
-    for (const auto& [block, count] : pool_.census()) {
-      s.queued_by_block.emplace_back(block, count);
-    }
-    s.loaded = ctx.resident_blocks();
-    for (const auto& [block, count] : pool_.census()) {
-      if (ctx.block_pending(block)) s.loading.push_back(block);
-    }
-    s.workable = workable_now;
-    s.terminated_delta = terminated_delta_;
-    terminated_delta_ = 0;
-    Message m;
-    m.payload = std::move(s);
-    ctx.send(master_, std::move(m));
-    reported_ = true;
-  }
-
-  void try_start(RankContext& ctx) {
-    if (finished_ || ctx.busy() || !in_flight_.empty()) return;
-
-    const BlockId runnable = pool_.first_block_where(
-        [&ctx](BlockId id) { return ctx.block_resident(id); });
-    if (runnable != kInvalidBlock) {
-      // Latency hiding (§4.3): report *before* a burst that will drain
-      // the last workable streamlines so the master's reply overlaps it.
-      // The burst takes runnable's whole queue, so that is the case when
-      // nothing else is workable.
-      const auto draining =
-          static_cast<std::uint32_t>(pool_.count_in(runnable));
-      if (!reported_ && workable(ctx) == draining) send_status(ctx, 0);
-      // Advance the whole block queue in one burst (§9 batching).
-      in_flight_ = pool_.drain_block(runnable);
-      // A slave's useful horizon is one Load round: a deep speculative
-      // pipeline claims blocks the master never schedules here and
-      // perturbs its Load/Send decisions more than it hides latency,
-      // so the slave pipeline stays shallow regardless of the
-      // configured depth.
-      const int lookahead = std::min(4, ctx.prefetch_capacity());
-      BatchAdvanceResult r = advance_block_and_charge(ctx, in_flight_);
-      flights_ = std::move(r.outcomes);
-      ctx.begin_compute(static_cast<double>(r.total_steps) *
-                            ctx.model().seconds_per_step,
-                        r.total_steps);
-      // Overlap: background-read where this burst is headed (its
-      // outcomes name the blocks exactly), then the densest blocked
-      // queues, so the master's next kLoad (or our own wait for it)
-      // finds the grid already staged — the Load rule becomes a
-      // non-blocking claim.  No streamline lookahead here: the master
-      // schedules this rank's loads, so two-ahead speculation only
-      // claims blocks it never sends us to.
-      prefetch_blocking_targets(ctx, flights_, runnable, lookahead);
-      prefetch_densest(ctx, pool_, runnable, lookahead);
-      return;
-    }
-
-    if (pending_loads_ > 0) return;  // work arrives when the load lands
-
-    // Out of work: tell the master (once per state change).
-    if (!reported_) send_status(ctx, 0);
-  }
-
-  const BlockDecomposition* decomp_;
-  int rank_;
-  int master_;
-  HybridParams params_;
-
-  ParticlePool pool_;
-  std::vector<Particle> done_;
-  std::vector<Particle> in_flight_;      // the burst being computed
-  std::vector<AdvanceOutcome> flights_;  // outcome per in_flight_[i]
-  std::uint32_t terminated_delta_ = 0;
-  int pending_loads_ = 0;
-  bool reported_ = false;
-  bool finished_ = false;
-};
-
-// ---------------------------------------------------------------------------
-// Master
-// ---------------------------------------------------------------------------
-
-class HybridMaster final : public RankProgram {
- public:
-  HybridMaster(const BlockDecomposition* decomp, int rank,
-               HybridLayout layout, HybridParams params,
-               std::vector<Particle> seeds, std::uint32_t total_active)
+  MasterCore(const BlockDecomposition* decomp, int self, HybridLayout layout,
+             HybridParams params, std::uint32_t total_active)
       : decomp_(decomp),
-        rank_(rank),
+        self_(self),
         layout_(layout),
         params_(params),
-        initial_seeds_(std::move(seeds)),
         total_active_(total_active),
-        rng_(params.rng_seed + static_cast<std::uint64_t>(rank)) {}
+        rng_(params.rng_seed + static_cast<std::uint64_t>(self)) {}
 
-  void start(RankContext& ctx) override {
-    const auto [first, last] = layout_.slaves_of(rank_);
+  bool finished() const { return finished_; }
+
+  // No live slave registered: a promoted host must integrate the seed
+  // pool itself or the run would stall.
+  bool solo() const { return records_.empty(); }
+
+  void start_as_master(RankContext& ctx, std::vector<Particle> seeds) {
+    const auto [first, last] = layout_.slaves_of(self_);
     for (int s = first; s < last; ++s) records_[s] = SlaveRecord{};
 
-    for (Particle& p : initial_seeds_) {
+    for (Particle& p : seeds) {
       // Pooled seeds are bare seed points, not active streamline
       // objects: charge them at solver-state size.
       ctx.charge_particle_memory(
           static_cast<std::int64_t>(particle_message_bytes(p, false)));
       seeds_.add(decomp_->block_of(p.pos), std::move(p));
     }
-    initial_seeds_.clear();
 
-    if (rank_ == 0 && total_active_ == 0) {
+    if (total_active_ == 0 && successor_rank(ctx, layout_) == self_) {
       finish_everyone(ctx);
       return;
     }
@@ -344,78 +124,221 @@ class HybridMaster final : public RankProgram {
       for (const auto& [slave, record] : records_) {
         last_heard_[slave] = ctx.now();
       }
-      ctx.set_timer(params_.heartbeat_period);
     }
   }
 
-  void on_timer(RankContext& ctx) override {
+  // Promotion entry point: adopt every dead coordinator's group — ledger
+  // recovery of the dead ranks plus registration of the survivors, whose
+  // re-reported statuses rebuild the scheduling state.
+  void start_as_successor(RankContext& ctx) {
+    for (int m = 0; m < layout_.num_masters; ++m) {
+      if (!ctx.is_alive(m)) adopt_coordinator(ctx, m);
+    }
+    publish_totals(ctx);
+    if (!finished_) assignment_pass(ctx);
+  }
+
+  void tick(RankContext& ctx) {
     if (finished_) return;
     // The sixth rule: a slave silent for heartbeat_miss_limit periods is
     // declared dead and its streamlines are reclaimed and reassigned.
     // Detection is purely silence-based — no liveness oracle.
-    const double deadline = static_cast<double>(params_.heartbeat_miss_limit) *
-                            params_.heartbeat_period;
     std::vector<int> missing;
     for (const auto& [slave, heard_at] : last_heard_) {
-      if (ctx.now() - heard_at > deadline) missing.push_back(slave);
+      if (ctx.now() - heard_at > deadline()) missing.push_back(slave);
     }
     for (const int slave : missing) {
       declare_dead(ctx, slave);
       if (finished_) return;  // reclaimed credits may have ended the run
     }
-    ctx.set_timer(params_.heartbeat_period);
+
+    if (!params_.failover) return;
+
+    // Successor duty: absorb groups whose dead master has no survivor
+    // left to re-home (dead promoted coordinators are reached through
+    // their own group's dead-slave recovery).
+    if (successor_rank(ctx, layout_) == self_) {
+      for (int m = 0; m < layout_.num_masters; ++m) {
+        if (m == self_ || ctx.is_alive(m)) continue;
+        adopt_coordinator(ctx, m);
+        if (finished_) return;
+      }
+    }
+    // Un-wedge master-to-master balancing if the donor died mid-request.
+    if (seed_request_outstanding_ && !ctx.is_alive(seed_request_target_)) {
+      seed_request_outstanding_ = false;
+      dry_masters_.insert(seed_request_target_);
+    }
+    // Liveness beacons: slaves track the last time they heard us; silence
+    // past their miss limit is what triggers their re-homing.
+    for (const auto& [slave, rec] : records_) {
+      if (!ctx.is_alive(slave)) continue;
+      Message m;
+      m.payload = MasterBeacon{};
+      ctx.send(slave, std::move(m));
+    }
+    publish_totals(ctx);  // re-report the board if the counter moved
+    if (finished_) return;
+    assignment_pass(ctx);  // adopted seeds may be waiting for takers
   }
 
-  void on_message(RankContext& ctx, Message msg) override {
-    // Masters never receive raw particle traffic: slaves ship batches to
-    // each other and report via StatusUpdate, and only masters issue
-    // Commands.
-    // protocol-lint: ignores ParticleBatch, Command
-    if (finished_) return;
-    if (records_.count(msg.from) != 0) last_heard_[msg.from] = ctx.now();
-    if (auto* undeliv = std::get_if<Undeliverable>(&msg.payload)) {
-      reclaim_undelivered(ctx, std::move(*undeliv));
+  void on_status(RankContext& ctx, int from, StatusUpdate status) {
+    if (finished_) {
+      if (params_.failover) {
+        // A re-home that arrived after the run ended: answer with the
+        // terminate the orphan missed so it can quiesce.
+        Command cmd;
+        cmd.type = Command::Type::kTerminate;
+        send_command(ctx, from, std::move(cmd));
+      }
       return;
     }
-    if (auto* status = std::get_if<StatusUpdate>(&msg.payload)) {
-      auto it = records_.find(msg.from);
-      if (it == records_.end()) return;
-      apply_status(msg.from, it->second, *status);
-      if (status->terminated_delta > 0) {
-        note_terminations(ctx, status->terminated_delta);
+    if (params_.failover && records_.count(from) == 0) {
+      // A re-homing orphan: adopt its dead coordinator's group first,
+      // then the orphan itself.
+      if (status.orphaned_from >= 0) {
+        adopt_coordinator(ctx, status.orphaned_from);
       }
-      if (finished_) return;  // terminations may have ended the run
-      assignment_pass(ctx);
-    } else if (auto* term = std::get_if<TerminationCount>(&msg.payload)) {
-      note_terminations(ctx, term->count);
-    } else if (std::holds_alternative<SeedRequest>(msg.payload)) {
-      respond_seed_request(ctx, msg.from);
-    } else if (auto* transfer = std::get_if<SeedTransfer>(&msg.payload)) {
-      seed_request_outstanding_ = false;
-      if (transfer->seeds.empty()) {
-        dry_masters_.insert(msg.from);
-      } else {
-        for (Particle& p : transfer->seeds) {
-          ctx.charge_particle_memory(
-              static_cast<std::int64_t>(particle_message_bytes(p, false)));
-          seeds_.add(decomp_->block_of(p.pos), std::move(p));
-        }
-      }
-      assignment_pass(ctx);
-    } else if (std::holds_alternative<DoneSignal>(msg.payload)) {
-      terminate_group(ctx);
+      register_slave(ctx, from);
+      if (finished_) return;  // adoption credits may have ended the run
     }
+    auto it = records_.find(from);
+    if (it == records_.end()) return;
+    last_heard_[from] = ctx.now();
+    apply_status(from, it->second, status);
+    merge_total(from, status.terminated_total);
+    publish_totals(ctx);
+    if (finished_) return;  // terminations may have ended the run
+    assignment_pass(ctx);
   }
 
-  void on_block_loaded(RankContext&, BlockId) override {}
-  void on_compute_done(RankContext&) override {}
+  void on_termination_count(
+      RankContext& ctx,
+      const std::vector<std::pair<int, std::uint32_t>>& totals) {
+    if (finished_) return;
+    for (const auto& [rank, total] : totals) merge_total(rank, total);
+    publish_totals(ctx);
+  }
 
-  bool finished() const override { return finished_; }
+  // The promoted host's own advection credits flow straight into the
+  // board instead of through a StatusUpdate to itself.
+  void note_local_terminations(RankContext& ctx, int rank,
+                               std::uint32_t total) {
+    if (finished_) return;
+    merge_total(rank, total);
+    publish_totals(ctx);
+  }
 
-  void collect_particles(std::vector<Particle>&) const override {}
+  void on_seed_request(RankContext& ctx, int requester) {
+    if (finished_) return;
+    SeedTransfer transfer;
+    // Donate up to 4N seeds, whole blocks at a time, if we can spare them.
+    const std::size_t spare_floor =
+        static_cast<std::size_t>(params_.assign_batch) * records_.size();
+    std::size_t donated = 0;
+    const std::size_t donate_cap =
+        static_cast<std::size_t>(4 * params_.assign_batch);
+    while (seeds_.size() > spare_floor && donated < donate_cap) {
+      const BlockId b = seeds_.densest_block();
+      if (b == kInvalidBlock) break;
+      auto p = seeds_.take_from(b);
+      if (!p) break;
+      ctx.charge_particle_memory(
+          -static_cast<std::int64_t>(particle_message_bytes(*p, false)));
+      transfer.seeds.push_back(std::move(*p));
+      ++donated;
+    }
+    Message m;
+    m.payload = std::move(transfer);
+    ctx.send(requester, std::move(m));
+  }
 
-  void snapshot_particles(std::vector<Particle>& out) const override {
-    out.insert(out.end(), initial_seeds_.begin(), initial_seeds_.end());
+  void on_seed_transfer(RankContext& ctx, int from, SeedTransfer transfer) {
+    if (finished_) return;
+    seed_request_outstanding_ = false;
+    if (transfer.seeds.empty()) {
+      dry_masters_.insert(from);
+    } else {
+      for (Particle& p : transfer.seeds) {
+        ctx.charge_particle_memory(
+            static_cast<std::int64_t>(particle_message_bytes(p, false)));
+        seeds_.add(decomp_->block_of(p.pos), std::move(p));
+      }
+    }
+    assignment_pass(ctx);
+  }
+
+  void on_done_signal(RankContext& ctx) {
+    if (finished_) return;
+    terminate_group(ctx);
+  }
+
+  // A particle-bearing message we sent bounced (dropped link or dead
+  // destination): take the payload back and retry through the normal
+  // machinery.
+  void reclaim_undelivered(RankContext& ctx, Undeliverable u) {
+    if (finished_) return;
+    if (u.target >= 0 && u.target < layout_.num_masters &&
+        u.target != self_ && ctx.is_alive(u.target)) {
+      // A master-to-master seed transfer bounced off a live peer: the
+      // link dropped it, so just retry the transfer (the requester is
+      // still waiting on its outstanding request).  A dead peer's seeds
+      // fall through to the generic reclaim below instead.
+      SeedTransfer transfer;
+      transfer.seeds = std::move(u.particles);
+      Message m;
+      m.payload = std::move(transfer);
+      ctx.send(u.target, std::move(m));
+      return;
+    }
+
+    // A seed assignment to a slave failed: un-book the optimistic queue
+    // accounting so the rules do not chase phantom particles.
+    auto it = records_.find(u.target);
+    if (it != records_.end() && u.block != kInvalidBlock) {
+      auto qit = it->second.queued.find(u.block);
+      if (qit != it->second.queued.end()) {
+        const auto n = static_cast<std::uint32_t>(u.particles.size());
+        index_unqueue(u.target, u.block);
+        if (qit->second > n) {
+          qit->second -= n;
+          index_queue(u.target, u.block, qit->second);
+        } else {
+          it->second.queued.erase(qit);
+        }
+      }
+      it->second.outstanding = false;
+    }
+    for (Particle& p : u.particles) {
+      ctx.charge_particle_memory(
+          static_cast<std::int64_t>(particle_message_bytes(p, false)));
+      seeds_.add(decomp_->block_of(p.pos), std::move(p));
+    }
+    assignment_pass(ctx);
+  }
+
+  // Hand the whole seed pool to a solo host for direct integration.
+  std::vector<Particle> drain_seeds(RankContext& ctx) {
+    std::vector<Particle> out;
+    while (!seeds_.empty()) {
+      const BlockId b = seeds_.densest_block();
+      if (b == kInvalidBlock) break;
+      std::vector<Particle> batch = seeds_.drain_block(b);
+      ctx.charge_particle_memory(-static_cast<std::int64_t>(
+          [&] {
+            std::size_t n = 0;
+            for (const Particle& p : batch) {
+              n += particle_message_bytes(p, false);
+            }
+            return n;
+          }()));
+      out.insert(out.end(), std::make_move_iterator(batch.begin()),
+                 std::make_move_iterator(batch.end()));
+    }
+    return out;
+  }
+
+  void snapshot_seeds(std::vector<Particle>& out) const {
     seeds_.append_all(out);
   }
 
@@ -439,6 +362,11 @@ class HybridMaster final : public RankProgram {
     bool needs_work = false;
     bool hint_requested = false;  // a Send_hint on its behalf is pending
   };
+
+  double deadline() const {
+    return static_cast<double>(params_.heartbeat_miss_limit) *
+           params_.heartbeat_period;
+  }
 
   // --- index maintenance ---------------------------------------------------
   // Two inverted indexes keep the rule passes O(own state) instead of
@@ -760,44 +688,69 @@ class HybridMaster final : public RankProgram {
       }
       if (starving) {
         for (int m = 0; m < layout_.num_masters; ++m) {
-          const int candidate = (rank_ + 1 + m) % layout_.num_masters;
-          if (candidate == rank_ || dry_masters_.count(candidate)) continue;
+          const int candidate = (self_ + 1 + m) % layout_.num_masters;
+          if (candidate == self_ || dry_masters_.count(candidate)) continue;
+          if (!ctx.is_alive(candidate)) continue;  // failover reclaims it
           Message msg;
           msg.payload = SeedRequest{};
           ctx.send(candidate, std::move(msg));
           seed_request_outstanding_ = true;
+          seed_request_target_ = candidate;
           break;
         }
       }
     }
   }
 
-  void respond_seed_request(RankContext& ctx, int requester) {
-    SeedTransfer transfer;
-    // Donate up to 4N seeds, whole blocks at a time, if we can spare them.
-    const std::size_t spare_floor =
-        static_cast<std::size_t>(params_.assign_batch) * records_.size();
-    std::size_t donated = 0;
-    const std::size_t donate_cap =
-        static_cast<std::size_t>(4 * params_.assign_batch);
-    while (seeds_.size() > spare_floor && donated < donate_cap) {
-      const BlockId b = seeds_.densest_block();
-      if (b == kInvalidBlock) break;
-      auto p = seeds_.take_from(b);
-      if (!p) break;
-      ctx.charge_particle_memory(
-          -static_cast<std::int64_t>(particle_message_bytes(*p, false)));
-      transfer.seeds.push_back(std::move(*p));
-      ++donated;
+  // --- failover ------------------------------------------------------------
+
+  void register_slave(RankContext& ctx, int slave) {
+    if (records_.count(slave) != 0) return;
+    records_[slave] = SlaveRecord{};
+    // Adopted slaves get one extra detection window before the sixth rule
+    // may declare them: their own re-home detection runs on the same
+    // silence clock as ours, so a fresh adoptee may legitimately report
+    // up to a full deadline late.
+    last_heard_[slave] = ctx.now() + deadline();
+  }
+
+  // Absorb a dead coordinator: its unassigned seed pool and termination
+  // total come out of the particle ledger; the survivors of its group are
+  // registered (their re-reports arrive within a heartbeat), and its dead
+  // slaves are recovered too so no credit or streamline is orphaned by a
+  // chain of deaths.
+  void adopt_coordinator(RankContext& ctx, int dead) {
+    if (ctx.is_alive(dead)) return;
+    if (!recovered_coords_.insert(dead).second) return;
+    absorb_recovered(ctx, dead);
+    if (dead < layout_.num_masters) {
+      const auto [first, last] = layout_.slaves_of(dead);
+      for (int s = first; s < last; ++s) {
+        if (s == self_) continue;
+        if (ctx.is_alive(s)) {
+          register_slave(ctx, s);
+        } else if (recovered_coords_.insert(s).second) {
+          absorb_recovered(ctx, s);
+        }
+      }
     }
-    Message m;
-    m.payload = std::move(transfer);
-    ctx.send(requester, std::move(m));
+    publish_totals(ctx);
+  }
+
+  void absorb_recovered(RankContext& ctx, int dead) {
+    RecoveredWork work = ctx.recover_rank(dead);
+    for (Particle& p : work.active) {
+      ctx.charge_particle_memory(
+          static_cast<std::int64_t>(particle_message_bytes(p, false)));
+      seeds_.add(decomp_->block_of(p.pos), std::move(p));
+    }
+    merge_total(dead, work.terminated_total);
   }
 
   // The sixth rule's action: forget everything we believed about the
   // slave, reclaim its streamlines from the ledger into the seed pool,
-  // re-report termination credits it never delivered, and rebalance.
+  // fold its ledger-logged termination total into the board, and
+  // rebalance.
   void declare_dead(RankContext& ctx, int slave) {
     auto it = records_.find(slave);
     if (it == records_.end()) return;
@@ -807,87 +760,86 @@ class HybridMaster final : public RankProgram {
     records_.erase(it);
     last_heard_.erase(slave);
 
-    RecoveredWork work = ctx.recover_rank(slave);
-    for (Particle& p : work.active) {
-      ctx.charge_particle_memory(
-          static_cast<std::int64_t>(particle_message_bytes(p, false)));
-      seeds_.add(decomp_->block_of(p.pos), std::move(p));
-    }
-    if (work.unreported_terminations > 0) {
-      note_terminations(ctx, work.unreported_terminations);
-    }
+    recovered_coords_.insert(slave);
+    absorb_recovered(ctx, slave);
+    publish_totals(ctx);
     if (finished_) return;
     assignment_pass(ctx);
   }
 
-  // A particle-bearing message we sent bounced (dropped link or dead
-  // destination): take the payload back and retry through the normal
-  // machinery.
-  void reclaim_undelivered(RankContext& ctx, Undeliverable u) {
-    if (u.target < layout_.num_masters && u.target != rank_) {
-      // A master-to-master seed transfer bounced.  Masters are immune,
-      // so the link dropped it: just retry the transfer (the requester
-      // is still waiting on its outstanding request).
-      SeedTransfer transfer;
-      transfer.seeds = std::move(u.particles);
-      Message m;
-      m.payload = std::move(transfer);
-      ctx.send(u.target, std::move(m));
-      return;
-    }
+  // --- termination board ---------------------------------------------------
 
-    // A seed assignment to a slave failed: un-book the optimistic queue
-    // accounting so the rules do not chase phantom particles.
-    auto it = records_.find(u.target);
-    if (it != records_.end() && u.block != kInvalidBlock) {
-      auto qit = it->second.queued.find(u.block);
-      if (qit != it->second.queued.end()) {
-        const auto n = static_cast<std::uint32_t>(u.particles.size());
-        index_unqueue(u.target, u.block);
-        if (qit->second > n) {
-          qit->second -= n;
-          index_queue(u.target, u.block, qit->second);
-        } else {
-          it->second.queued.erase(qit);
-        }
-      }
-      it->second.outstanding = false;
-    }
-    for (Particle& p : u.particles) {
-      ctx.charge_particle_memory(
-          static_cast<std::int64_t>(particle_message_bytes(p, false)));
-      seeds_.add(decomp_->block_of(p.pos), std::move(p));
-    }
-    assignment_pass(ctx);
+  void merge_total(int rank, std::uint32_t total) {
+    if (total == 0) return;
+    auto& hw = totals_[rank];
+    if (total <= hw) return;
+    hw = total;
+    totals_dirty_ = true;
   }
 
-  void note_terminations(RankContext& ctx, std::uint32_t n) {
-    if (rank_ == 0) {
-      total_active_ -= n;
-      if (total_active_ == 0) finish_everyone(ctx);
-    } else {
-      Message m;
-      m.payload = TerminationCount{n};
-      ctx.send(0, std::move(m));
+  // Push the per-rank high-water board to the acting counter (or, when we
+  // are the counter, check for completion).  Re-publishing the *full*
+  // board — not deltas — is what lets a counter successor reconstruct the
+  // count after the old counter died with reports it never broadcast.
+  void publish_totals(RankContext& ctx) {
+    if (finished_) return;
+    const int counter = successor_rank(ctx, layout_);
+    if (counter == self_) {
+      last_published_counter_ = counter;
+      totals_dirty_ = false;
+      maybe_finish(ctx);
+      return;
     }
+    if (!totals_dirty_ && counter == last_published_counter_) return;
+    TerminationCount tc;
+    for (const auto& [rank, total] : totals_) {
+      if (total > 0) tc.totals.emplace_back(rank, total);
+    }
+    if (tc.totals.empty()) return;
+    Message m;
+    m.payload = std::move(tc);
+    ctx.send(counter, std::move(m));
+    totals_dirty_ = false;
+    last_published_counter_ = counter;
+  }
+
+  void maybe_finish(RankContext& ctx) {
+    std::uint64_t done = 0;
+    for (const auto& [rank, total] : totals_) done += total;
+    if (done >= total_active_) finish_everyone(ctx);
   }
 
   void finish_everyone(RankContext& ctx) {
-    for (int m = 1; m < layout_.num_masters; ++m) {
+    for (int m = 0; m < layout_.num_masters; ++m) {
+      if (m == self_ || !ctx.is_alive(m)) continue;
       Message msg;
       msg.payload = DoneSignal{};
       ctx.send(m, std::move(msg));
+    }
+    if (params_.failover) {
+      // A master can die with its DoneSignal still in flight; its orphans
+      // would then re-home to a coordinator that already finished.  The
+      // counter closes that window by terminating every live slave
+      // directly (duplicate kTerminates are idempotent).
+      for (int s = layout_.num_masters; s < layout_.num_ranks; ++s) {
+        if (s == self_ || !ctx.is_alive(s)) continue;
+        Command cmd;
+        cmd.type = Command::Type::kTerminate;
+        send_command(ctx, s, std::move(cmd));
+      }
+      finished_ = true;
+      return;
     }
     terminate_group(ctx);
   }
 
   void terminate_group(RankContext& ctx) {
-    // Walk the full layout range, not records_: a slave declared dead was
-    // erased from records_, but if it is somehow still alive it must get
-    // the terminate too or its heartbeats keep the simulation running.
-    const auto [first, last] = layout_.slaves_of(rank_);
-    for (int s = first; s < last; ++s) {
-      if (!ctx.is_alive(s)) continue;
+    // Every live slave this coordinator is responsible for: the layout
+    // group (including slaves erased from records_ by a false-positive
+    // declare-dead), plus anyone adopted through failover.
+    for (int s = layout_.num_masters; s < layout_.num_ranks; ++s) {
+      if (s == self_ || !ctx.is_alive(s)) continue;
+      if (records_.count(s) == 0 && !coordinates(ctx, s)) continue;
       Command cmd;
       cmd.type = Command::Type::kTerminate;
       send_command(ctx, s, std::move(cmd));
@@ -895,12 +847,17 @@ class HybridMaster final : public RankProgram {
     finished_ = true;
   }
 
+  bool coordinates(const RankContext& ctx, int slave) const {
+    const int m = layout_.master_of(slave);
+    if (ctx.is_alive(m)) return m == self_;
+    return successor_rank(ctx, layout_) == self_;
+  }
+
   const BlockDecomposition* decomp_;
-  int rank_;
+  int self_;
   HybridLayout layout_;
   HybridParams params_;
-  std::vector<Particle> initial_seeds_;
-  std::uint32_t total_active_;  // meaningful on master 0 only
+  std::uint32_t total_active_;  // global streamline count
   Rng rng_;
 
   ParticlePool seeds_;
@@ -911,7 +868,464 @@ class HybridMaster final : public RankProgram {
   std::map<BlockId, std::map<int, std::uint32_t>> queued_idx_;
   std::set<int> dry_masters_;
   bool seed_request_outstanding_ = false;
+  int seed_request_target_ = -1;
+  // Survivable termination accounting (§11): per-rank cumulative
+  // high-water marks, max-merged from statuses, peer boards, and ledger
+  // recoveries; global done = sum of the board.
+  std::map<int, std::uint32_t> totals_;
+  bool totals_dirty_ = false;
+  int last_published_counter_ = -1;
+  // Dead coordinators (and dead slaves) whose ledger state was already
+  // absorbed; keeps adoption idempotent across re-homing bursts.
+  std::set<int> recovered_coords_;
   bool finished_ = false;
+};
+
+// ---------------------------------------------------------------------------
+// Slave
+// ---------------------------------------------------------------------------
+
+class HybridSlave final : public RankProgram {
+ public:
+  HybridSlave(const BlockDecomposition* decomp, int rank, HybridLayout layout,
+              HybridParams params, std::uint32_t total_active)
+      : decomp_(decomp),
+        rank_(rank),
+        layout_(layout),
+        params_(params),
+        total_active_(total_active),
+        master_(layout.master_of(rank)),
+        coord_(master_) {}
+
+  void start(RankContext& ctx) override {
+    // Slaves begin idle; everything arrives from the master.  Do not
+    // report yet — the master hands out the initial allocation unasked.
+    master_heard_ = ctx.now();
+    if (params_.heartbeat_period > 0.0) {
+      ctx.set_timer(params_.heartbeat_period);
+    }
+  }
+
+  void on_timer(RankContext& ctx) override {
+    if (finished_) return;
+    if (core_) {
+      core_->tick(ctx);
+      core_post(ctx);
+    } else {
+      maybe_failover(ctx);
+      if (!core_ && !finished_) {
+        // Heartbeat: prove liveness and report the cumulative termination
+        // total even while busy; the coordinator declares silent slaves
+        // dead.
+        send_status(ctx, workable(ctx));
+      }
+    }
+    if (!finished_) ctx.set_timer(params_.heartbeat_period);
+  }
+
+  void on_message(RankContext& ctx, Message msg) override {
+    // ControlAck is consumed by the runtime's transport layer and never
+    // reaches a program.
+    // protocol-lint: ignores ControlAck
+    if (auto* batch = std::get_if<ParticleBatch>(&msg.payload)) {
+      accept_particles(ctx, std::move(batch->particles));
+      try_start(ctx);
+      return;
+    }
+    if (auto* undeliv = std::get_if<Undeliverable>(&msg.payload)) {
+      // A shipment bounced (dropped link or dead receiver): take the
+      // particles back.  A plain worker re-pools them for re-routing; an
+      // acting master reclaims them through its scheduling machinery.
+      if (core_) {
+        core_->reclaim_undelivered(ctx, std::move(*undeliv));
+        core_post(ctx);
+      } else {
+        accept_particles(ctx, std::move(undeliv->particles));
+        try_start(ctx);
+      }
+      return;
+    }
+    if (std::holds_alternative<MasterBeacon>(msg.payload)) {
+      master_heard_ = ctx.now();
+      // A beacon from a master we do not report to, while ours is dead,
+      // is a takeover announcement: the sender adopted our group.  Re-home
+      // now instead of waiting out the silence deadline — without this the
+      // new coordinator's beacons would keep resetting the silence clock
+      // while our reports still went to the corpse, and the adopter would
+      // eventually declare *us* dead for never reporting.
+      if (params_.failover && msg.from != coord_ && !ctx.is_alive(coord_)) {
+        coord_ = msg.from;
+      }
+      return;
+    }
+    if (auto* cmd = std::get_if<Command>(&msg.payload)) {
+      master_heard_ = ctx.now();
+      on_command(ctx, std::move(*cmd));
+      return;
+    }
+
+    // Coordinator-side traffic (statuses, boards, seed balancing, done):
+    // only meaningful once this slave is the failover successor.  A peer
+    // that computed us as successor may deliver before our own silence
+    // detection fires — promote on demand; the liveness view makes this
+    // safe (successor == self implies every master is already dead).
+    if (!core_ && params_.failover && !finished_ &&
+        successor_rank(ctx, layout_) == rank_) {
+      promote(ctx);
+    }
+    if (!core_ || finished_) return;
+    if (auto* status = std::get_if<StatusUpdate>(&msg.payload)) {
+      core_->on_status(ctx, msg.from, std::move(*status));
+    } else if (auto* term = std::get_if<TerminationCount>(&msg.payload)) {
+      core_->on_termination_count(ctx, term->totals);
+    } else if (std::holds_alternative<SeedRequest>(msg.payload)) {
+      core_->on_seed_request(ctx, msg.from);
+    } else if (auto* transfer = std::get_if<SeedTransfer>(&msg.payload)) {
+      core_->on_seed_transfer(ctx, msg.from, std::move(*transfer));
+    } else if (std::holds_alternative<DoneSignal>(msg.payload)) {
+      core_->on_done_signal(ctx);
+    }
+    core_post(ctx);
+  }
+
+  void on_block_loaded(RankContext& ctx, BlockId) override {
+    if (pending_loads_ > 0) --pending_loads_;
+    reported_ = false;
+    try_start(ctx);
+  }
+
+  void on_compute_done(RankContext& ctx) override {
+    std::vector<Particle> batch = std::move(in_flight_);
+    in_flight_.clear();
+    std::vector<AdvanceOutcome> outcomes = std::move(flights_);
+    flights_.clear();
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      Particle& p = batch[i];
+      if (is_terminal(outcomes[i].status)) {
+        // Only first-time terminations count toward the global total; a
+        // re-run duplicate (recovery overlap) must not double-count.
+        if (ctx.log_termination(p)) ++terminated_total_;
+        done_.push_back(std::move(p));
+      } else {
+        pool_.add(outcomes[i].blocking_block, std::move(p));
+      }
+    }
+    reported_ = false;
+    if (core_) {
+      core_->note_local_terminations(ctx, rank_, terminated_total_);
+      core_post(ctx);
+      return;
+    }
+    try_start(ctx);
+  }
+
+  bool finished() const override { return finished_; }
+
+  void collect_particles(std::vector<Particle>& out) const override {
+    out.insert(out.end(), done_.begin(), done_.end());
+  }
+
+  void snapshot_particles(std::vector<Particle>& out) const override {
+    pool_.append_all(out);
+    out.insert(out.end(), in_flight_.begin(), in_flight_.end());
+    if (core_) core_->snapshot_seeds(out);
+  }
+
+ private:
+  void on_command(RankContext& ctx, Command cmd) {
+    switch (cmd.type) {
+      case Command::Type::kAssign: {
+        // Assign_loaded / Assign_unloaded: integrate these seeds; load
+        // their blocks if we do not have them.
+        std::set<BlockId> blocks;
+        for (const Particle& p : cmd.particles) {
+          blocks.insert(decomp_->block_of(p.pos));
+        }
+        accept_particles(ctx, std::move(cmd.particles));
+        for (const BlockId b : blocks) {
+          request_if_needed(ctx, b);
+        }
+        try_start(ctx);
+        break;
+      }
+      case Command::Type::kLoad:
+        request_if_needed(ctx, cmd.block);
+        try_start(ctx);
+        break;
+      case Command::Type::kSendForce: {
+        // Mandatory migration of our particles in `block` to `target`.
+        std::vector<Particle> moving = pool_.drain_block(cmd.block);
+        ship_particles(ctx, cmd.target, cmd.block, std::move(moving));
+        reported_ = false;
+        try_start(ctx);
+        break;
+      }
+      case Command::Type::kSendHint: {
+        // Optional: offload particles waiting in *unloaded* hint blocks.
+        // If none are appropriate, ignore the hint (the autonomy rule).
+        for (const BlockId b : cmd.hint_blocks) {
+          if (ctx.block_resident(b) || ctx.block_pending(b)) continue;
+          std::vector<Particle> moving = pool_.drain_block(b);
+          if (!moving.empty()) {
+            ship_particles(ctx, cmd.target, b, std::move(moving));
+            reported_ = false;
+          }
+        }
+        try_start(ctx);
+        break;
+      }
+      case Command::Type::kTerminate:
+        finished_ = true;
+        break;
+    }
+  }
+
+  // Silence-based master failure detection (§11): beacons and commands
+  // refresh master_heard_; a coordinator silent past the miss limit whose
+  // death the runtime confirms triggers re-homing — to the successor, or
+  // to ourselves by promotion when no master survives.  The liveness
+  // confirmation is what prevents a lossy-link silence from electing two
+  // acting masters.
+  void maybe_failover(RankContext& ctx) {
+    if (!params_.failover || params_.heartbeat_period <= 0.0) return;
+    const double deadline =
+        static_cast<double>(params_.heartbeat_miss_limit) *
+        params_.heartbeat_period;
+    if (ctx.now() - master_heard_ <= deadline) return;  // not silent yet
+    if (ctx.is_alive(coord_)) return;  // silent but alive: keep waiting
+    const int succ = successor_rank(ctx, layout_);
+    if (succ == rank_) {
+      promote(ctx);
+      return;
+    }
+    const int orphaned = coord_;
+    coord_ = succ;
+    master_heard_ = ctx.now();  // restart the clock on the successor
+    send_status(ctx, workable(ctx), orphaned);
+  }
+
+  // Become the acting master: instantiate the identical scheduling core a
+  // real master runs, adopt every dead coordinator's ledger state, and
+  // keep advecting our own pool alongside (the core never schedules us).
+  void promote(RankContext& ctx) {
+    core_.emplace(decomp_, rank_, layout_, params_, total_active_);
+    core_->start_as_successor(ctx);
+    core_->note_local_terminations(ctx, rank_, terminated_total_);
+    core_post(ctx);
+  }
+
+  // After any core interaction: propagate its finish, and in solo mode
+  // (no live slave left to command) integrate the seed pool ourselves.
+  void core_post(RankContext& ctx) {
+    if (!core_) return;
+    if (core_->finished()) {
+      finished_ = true;
+      return;
+    }
+    if (core_->solo()) {
+      std::vector<Particle> adopted = core_->drain_seeds(ctx);
+      if (!adopted.empty()) accept_particles(ctx, std::move(adopted));
+    }
+    try_start(ctx);
+  }
+
+  std::uint32_t workable(RankContext& ctx) const {
+    std::uint32_t n = 0;
+    for (const auto& [block, count] : pool_.census()) {
+      if (ctx.block_resident(block)) n += count;
+    }
+    return n;
+  }
+
+  void accept_particles(RankContext& ctx, std::vector<Particle> particles) {
+    for (Particle& p : particles) {
+      ctx.charge_particle_memory(static_cast<std::int64_t>(
+          resident_particle_bytes(p, ctx.model())));
+      pool_.add(decomp_->block_of(p.pos), std::move(p));
+    }
+    reported_ = false;
+  }
+
+  void ship_particles(RankContext& ctx, int target, BlockId block,
+                      std::vector<Particle> particles) {
+    if (particles.empty()) return;
+    ctx.charge_particle_memory(-static_cast<std::int64_t>(
+        particles_resident_bytes(particles, ctx.model())));
+    Message m;
+    m.payload = ParticleBatch{block, std::move(particles)};
+    ctx.send(target, std::move(m));
+  }
+
+  void request_if_needed(RankContext& ctx, BlockId b) {
+    if (b == kInvalidBlock || ctx.block_resident(b) || ctx.block_pending(b)) {
+      return;
+    }
+    ++pending_loads_;
+    ctx.request_block(b);
+  }
+
+  void send_status(RankContext& ctx, std::uint32_t workable_now,
+                   int orphaned_from = -1) {
+    StatusUpdate s;
+    for (const auto& [block, count] : pool_.census()) {
+      s.queued_by_block.emplace_back(block, count);
+    }
+    s.loaded = ctx.resident_blocks();
+    for (const auto& [block, count] : pool_.census()) {
+      if (ctx.block_pending(block)) s.loading.push_back(block);
+    }
+    s.workable = workable_now;
+    s.terminated_total = terminated_total_;
+    s.orphaned_from = orphaned_from;
+    Message m;
+    m.payload = std::move(s);
+    ctx.send(coord_, std::move(m));
+    reported_ = true;
+  }
+
+  void try_start(RankContext& ctx) {
+    if (finished_ || ctx.busy() || !in_flight_.empty()) return;
+
+    const BlockId runnable = pool_.first_block_where(
+        [&ctx](BlockId id) { return ctx.block_resident(id); });
+    if (runnable != kInvalidBlock) {
+      // Latency hiding (§4.3): report *before* a burst that will drain
+      // the last workable streamlines so the master's reply overlaps it.
+      // The burst takes runnable's whole queue, so that is the case when
+      // nothing else is workable.
+      const auto draining =
+          static_cast<std::uint32_t>(pool_.count_in(runnable));
+      if (!core_ && !reported_ && workable(ctx) == draining) {
+        send_status(ctx, 0);
+      }
+      // Advance the whole block queue in one burst (§9 batching).
+      in_flight_ = pool_.drain_block(runnable);
+      // A slave's useful horizon is one Load round: a deep speculative
+      // pipeline claims blocks the master never schedules here and
+      // perturbs its Load/Send decisions more than it hides latency,
+      // so the slave pipeline stays shallow regardless of the
+      // configured depth.
+      const int lookahead = std::min(4, ctx.prefetch_capacity());
+      BatchAdvanceResult r = advance_block_and_charge(ctx, in_flight_);
+      flights_ = std::move(r.outcomes);
+      ctx.begin_compute(static_cast<double>(r.total_steps) *
+                            ctx.model().seconds_per_step,
+                        r.total_steps);
+      // Overlap: background-read where this burst is headed (its
+      // outcomes name the blocks exactly), then the densest blocked
+      // queues, so the master's next kLoad (or our own wait for it)
+      // finds the grid already staged — the Load rule becomes a
+      // non-blocking claim.  No streamline lookahead here: the master
+      // schedules this rank's loads, so two-ahead speculation only
+      // claims blocks it never sends us to.
+      prefetch_blocking_targets(ctx, flights_, runnable, lookahead);
+      prefetch_densest(ctx, pool_, runnable, lookahead);
+      return;
+    }
+
+    if (pending_loads_ > 0) return;  // work arrives when the load lands
+
+    if (core_) {
+      // Acting master: nobody commands our loads, so self-serve the
+      // densest pooled block, Load-On-Demand style.
+      const BlockId next = pool_.densest_block();
+      if (next != kInvalidBlock && !ctx.block_pending(next)) {
+        ++pending_loads_;
+        ctx.request_block(next);
+      }
+      return;
+    }
+
+    // Out of work: tell the master (once per state change).
+    if (!reported_) send_status(ctx, 0);
+  }
+
+  const BlockDecomposition* decomp_;
+  int rank_;
+  HybridLayout layout_;
+  HybridParams params_;
+  std::uint32_t total_active_;  // global streamline count
+  int master_;                  // the layout's master for this slave
+  int coord_;                   // current coordinator (re-homed on failover)
+
+  ParticlePool pool_;
+  std::vector<Particle> done_;
+  std::vector<Particle> in_flight_;      // the burst being computed
+  std::vector<AdvanceOutcome> flights_;  // outcome per in_flight_[i]
+  std::uint32_t terminated_total_ = 0;   // cumulative first-time credits
+  double master_heard_ = 0.0;            // last beacon/command time
+  int pending_loads_ = 0;
+  bool reported_ = false;
+  bool finished_ = false;
+  // Engaged on promotion: this slave is now the acting master.
+  std::optional<MasterCore> core_;
+};
+
+// ---------------------------------------------------------------------------
+// Master
+// ---------------------------------------------------------------------------
+
+class HybridMaster final : public RankProgram {
+ public:
+  HybridMaster(const BlockDecomposition* decomp, int rank,
+               HybridLayout layout, HybridParams params,
+               std::vector<Particle> seeds, std::uint32_t total_active)
+      : core_(decomp, rank, layout, params, total_active),
+        params_(params),
+        initial_seeds_(std::move(seeds)) {}
+
+  void start(RankContext& ctx) override {
+    core_.start_as_master(ctx, std::move(initial_seeds_));
+    initial_seeds_.clear();
+    if (params_.heartbeat_period > 0.0 && !core_.finished()) {
+      ctx.set_timer(params_.heartbeat_period);
+    }
+  }
+
+  void on_timer(RankContext& ctx) override {
+    if (core_.finished()) return;
+    core_.tick(ctx);
+    if (!core_.finished()) ctx.set_timer(params_.heartbeat_period);
+  }
+
+  void on_message(RankContext& ctx, Message msg) override {
+    // Masters never receive raw particle traffic: slaves ship batches to
+    // each other and report via StatusUpdate, and only masters issue
+    // Commands.  Beacons flow master -> slave, and ControlAck is consumed
+    // by the runtime's transport layer.
+    // protocol-lint: ignores ParticleBatch, Command, MasterBeacon
+    // protocol-lint: ignores ControlAck
+    if (auto* undeliv = std::get_if<Undeliverable>(&msg.payload)) {
+      core_.reclaim_undelivered(ctx, std::move(*undeliv));
+    } else if (auto* status = std::get_if<StatusUpdate>(&msg.payload)) {
+      core_.on_status(ctx, msg.from, std::move(*status));
+    } else if (auto* term = std::get_if<TerminationCount>(&msg.payload)) {
+      core_.on_termination_count(ctx, term->totals);
+    } else if (std::holds_alternative<SeedRequest>(msg.payload)) {
+      core_.on_seed_request(ctx, msg.from);
+    } else if (auto* transfer = std::get_if<SeedTransfer>(&msg.payload)) {
+      core_.on_seed_transfer(ctx, msg.from, std::move(*transfer));
+    } else if (std::holds_alternative<DoneSignal>(msg.payload)) {
+      core_.on_done_signal(ctx);
+    }
+  }
+
+  void on_block_loaded(RankContext&, BlockId) override {}
+  void on_compute_done(RankContext&) override {}
+
+  bool finished() const override { return core_.finished(); }
+
+  void collect_particles(std::vector<Particle>&) const override {}
+
+  void snapshot_particles(std::vector<Particle>& out) const override {
+    out.insert(out.end(), initial_seeds_.begin(), initial_seeds_.end());
+    core_.snapshot_seeds(out);
+  }
+
+ private:
+  MasterCore core_;
+  HybridParams params_;
+  std::vector<Particle> initial_seeds_;
 };
 
 }  // namespace
@@ -949,8 +1363,8 @@ ProgramFactory make_hybrid(const BlockDecomposition* decomp,
           std::move((*shared)[static_cast<std::size_t>(rank)]),
           total_active);
     }
-    return std::make_unique<HybridSlave>(decomp, rank,
-                                         layout.master_of(rank), params);
+    return std::make_unique<HybridSlave>(decomp, rank, layout, params,
+                                         total_active);
   };
 }
 

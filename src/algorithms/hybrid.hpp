@@ -17,8 +17,16 @@
 //
 // with heuristics N = 10 (assignment granularity), NO = 20 N (overload
 // limit), NL = 40 (load-rather-than-send threshold), W = 32.  Multiple
-// masters balance seeds among themselves; master 0 aggregates the global
-// termination count.
+// masters balance seeds among themselves; the acting counter (the lowest
+// live master, master 0 in fault-free runs) aggregates the global
+// termination count from per-rank cumulative totals.
+//
+// With `failover` enabled (fault runs, DESIGN.md §11) coordinator death
+// is recoverable: masters beacon their group, slaves that observe a
+// silent dead master re-home to a successor — the lowest live master, or
+// the lowest live slave promoting itself when no master survives — and
+// the successor rebuilds scheduling state from re-reported statuses plus
+// the particle ledger, so no streamline is lost.
 
 #include <cstdint>
 
@@ -40,6 +48,12 @@ struct HybridParams {
   // fault-free runs bit-identical to the five-rule master.
   double heartbeat_period = 0.0;
   int heartbeat_miss_limit = 3;
+  // Coordinator fault tolerance (DESIGN.md §11): masters beacon their
+  // slaves each heartbeat period, orphaned slaves re-home to a successor
+  // (or promote themselves), and the counter terminates stragglers
+  // directly.  Set by the driver on fault runs; off keeps the fault-free
+  // message sequence unchanged.
+  bool failover = false;
 };
 
 // How ranks are split into masters and slaves: masters are ranks

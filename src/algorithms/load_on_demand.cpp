@@ -27,19 +27,26 @@ class LoadOnDemandProgram final : public RankProgram {
   void on_message(RankContext& ctx, Message msg) override {
     // Load On Demand never communicates during normal operation; the only
     // messages it can receive are recovery hand-offs of a dead rank's
-    // remaining streamlines, which just join the pool.
+    // remaining streamlines, which just join the pool.  An Undeliverable
+    // is one of those hand-offs bounced off a rank that died before
+    // delivery: adopt its particles the same way so none are lost.
     // protocol-lint: ignores StatusUpdate, Command, TerminationCount
     // protocol-lint: ignores DoneSignal, SeedRequest, SeedTransfer
-    // protocol-lint: ignores Undeliverable
+    // protocol-lint: ignores MasterBeacon, ControlAck
+    std::vector<Particle>* adopted = nullptr;
     if (auto* batch = std::get_if<ParticleBatch>(&msg.payload)) {
-      for (Particle& p : batch->particles) {
-        ctx.charge_particle_memory(static_cast<std::int64_t>(
-            resident_particle_bytes(p, ctx.model())));
-        pool_.add(decomp_->block_of(p.pos), std::move(p));
-      }
-      if (!pool_.empty()) finished_ = false;  // adopted work re-opens us
-      try_start(ctx);
+      adopted = &batch->particles;
+    } else if (auto* undeliv = std::get_if<Undeliverable>(&msg.payload)) {
+      adopted = &undeliv->particles;
     }
+    if (adopted == nullptr) return;
+    for (Particle& p : *adopted) {
+      ctx.charge_particle_memory(static_cast<std::int64_t>(
+          resident_particle_bytes(p, ctx.model())));
+      pool_.add(decomp_->block_of(p.pos), std::move(p));
+    }
+    if (!pool_.empty()) finished_ = false;  // adopted work re-opens us
+    try_start(ctx);
   }
 
   void on_block_loaded(RankContext& ctx, BlockId) override {

@@ -25,7 +25,7 @@ class StaticProgram final : public RankProgram {
       pool_.add(decomp_->block_of(p.pos), std::move(p));
     }
     initial_.clear();
-    if (rank_ == 0 && total_active_ == 0) {
+    if (total_active_ == 0 && rank_ == counter_rank(ctx)) {
       broadcast_done(ctx);
       return;
     }
@@ -34,9 +34,10 @@ class StaticProgram final : public RankProgram {
 
   void on_message(RankContext& ctx, Message msg) override {
     // Static Allocation only trades particles and the §4.1 termination
-    // count; Hybrid-only traffic cannot legally reach it.
+    // count; Hybrid-only traffic cannot legally reach it, and ControlAck
+    // is consumed by the control transport before program dispatch.
     // protocol-lint: ignores StatusUpdate, Command, SeedRequest
-    // protocol-lint: ignores SeedTransfer
+    // protocol-lint: ignores SeedTransfer, MasterBeacon, ControlAck
     if (auto* batch = std::get_if<ParticleBatch>(&msg.payload)) {
       for (Particle& p : batch->particles) {
         accept_or_forward(ctx, std::move(p));
@@ -50,7 +51,9 @@ class StaticProgram final : public RankProgram {
       }
       try_start(ctx);
     } else if (auto* term = std::get_if<TerminationCount>(&msg.payload)) {
-      note_terminations(ctx, term->count);
+      // A worker's cumulative report, or the runtime's full-ledger
+      // recount delivered to us as the new acting counter after a crash.
+      merge_board(ctx, term->totals);
     } else if (std::holds_alternative<DoneSignal>(msg.payload)) {
       finished_ = true;
     }
@@ -166,20 +169,55 @@ class StaticProgram final : public RankProgram {
     }
   }
 
-  void note_terminations(RankContext& ctx, std::uint32_t n) {
-    if (rank_ == 0) {
-      total_active_ -= n;
-      if (total_active_ == 0) broadcast_done(ctx);
-    } else {
-      Message m;
-      m.payload = TerminationCount{n};
-      ctx.send(0, std::move(m));
+  // The acting termination counter is the lowest live rank.  Every rank
+  // computes it the same way, so when rank 0 dies the counter role (and
+  // every subsequent report) migrates to the next survivor without an
+  // election; the runtime seeds the successor's board with a full ledger
+  // recount so reports already absorbed by the dead counter are not lost.
+  int counter_rank(RankContext& ctx) const {
+    for (int r = 0; r < num_ranks_; ++r) {
+      if (ctx.is_alive(r)) return r;
     }
+    return 0;
+  }
+
+  void note_terminations(RankContext& ctx, std::uint32_t n) {
+    my_total_ += n;
+    if (board_[rank_] < my_total_) board_[rank_] = my_total_;
+    const int counter = counter_rank(ctx);
+    if (counter == rank_) {
+      maybe_finish(ctx);
+      return;
+    }
+    // Report the cumulative total, not a delta: max-merge on the counter
+    // makes duplicated or re-ordered reports (at-least-once control
+    // delivery, post-crash re-reports) harmless.
+    Message m;
+    m.payload = TerminationCount{{{rank_, my_total_}}};
+    ctx.send(counter, std::move(m));
+  }
+
+  // Max-merge per-rank cumulative totals into the board; when this rank
+  // is the acting counter and every streamline is accounted for, finish.
+  void merge_board(RankContext& ctx,
+                   const std::vector<std::pair<int, std::uint32_t>>& totals) {
+    for (const auto& [r, total] : totals) {
+      auto& hw = board_[r];
+      if (total > hw) hw = total;
+    }
+    maybe_finish(ctx);
+  }
+
+  void maybe_finish(RankContext& ctx) {
+    if (finished_ || rank_ != counter_rank(ctx)) return;
+    std::uint64_t done = 0;
+    for (const auto& [r, total] : board_) done += total;
+    if (done >= total_active_) broadcast_done(ctx);
   }
 
   void broadcast_done(RankContext& ctx) {
     for (int r = 0; r < num_ranks_; ++r) {
-      if (r == rank_) continue;
+      if (r == rank_ || !ctx.is_alive(r)) continue;
       Message m;
       m.payload = DoneSignal{};
       ctx.send(r, std::move(m));
@@ -191,7 +229,11 @@ class StaticProgram final : public RankProgram {
   int rank_;
   int num_ranks_;
   std::vector<Particle> initial_;
-  std::uint32_t total_active_;  // meaningful on rank 0 only
+  std::uint32_t total_active_;  // global streamline count (every rank)
+  std::uint32_t my_total_ = 0;  // cumulative first-time terminations here
+  // Per-rank cumulative high-water marks; authoritative on the acting
+  // counter, where global done = sum of the board.
+  std::map<int, std::uint32_t> board_;
 
   ParticlePool pool_;
   std::vector<Particle> done_;

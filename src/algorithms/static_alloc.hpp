@@ -5,8 +5,11 @@
 // Blocks are statically assigned in contiguous 1/n slices.  Each
 // streamline is integrated until it leaves the blocks owned by its
 // current processor, then communicated to the owner of the block it
-// entered.  A globally communicated streamline count (aggregated at rank
-// 0) detects termination; rank 0 then broadcasts a done signal.
+// entered.  A globally communicated streamline count detects
+// termination: each rank reports its cumulative terminated total to the
+// acting counter — the lowest live rank, so the role survives rank-0
+// death — which max-merges the reports and broadcasts a done signal once
+// every streamline is accounted for.
 //
 // Strengths: minimal I/O (each block read at most once by its owner).
 // Weaknesses: load imbalance and heavy communication when streamlines

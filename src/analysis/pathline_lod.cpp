@@ -37,6 +37,7 @@ class PathlineLodProgram final : public RankProgram {
     // protocol-lint: ignores ParticleBatch, StatusUpdate, Command
     // protocol-lint: ignores TerminationCount, DoneSignal, SeedRequest
     // protocol-lint: ignores SeedTransfer, Undeliverable
+    // protocol-lint: ignores MasterBeacon, ControlAck
   }
 
   void on_block_loaded(RankContext& ctx, BlockId) override {

@@ -26,6 +26,7 @@ const char* to_string(ViolationKind k) {
     case ViolationKind::kPinnedPurge: return "pinned-purge";
     case ViolationKind::kPrefetchState: return "prefetch-state";
     case ViolationKind::kUnresolvedPrefetch: return "unresolved-prefetch";
+    case ViolationKind::kDedupRegression: return "dedup-regression";
   }
   return "unknown";
 }
@@ -56,6 +57,8 @@ const char* payload_name(const Message& msg) {
     const char* operator()(const SeedRequest&) { return "SeedRequest"; }
     const char* operator()(const SeedTransfer&) { return "SeedTransfer"; }
     const char* operator()(const Undeliverable&) { return "Undeliverable"; }
+    const char* operator()(const MasterBeacon&) { return "MasterBeacon"; }
+    const char* operator()(const ControlAck&) { return "ControlAck"; }
   };
   return std::visit(Namer{}, msg.payload);
 }
@@ -213,7 +216,11 @@ void InvariantChecker::on_deliver(int to, const Message& msg, double now) {
   std::lock_guard lock(mutex_);
   if (is_finish_broadcast(msg) && to >= 0 && to < config_.num_ranks) {
     RankState& r = ranks_[static_cast<std::size_t>(to)];
-    if (config_.protocol != CheckedProtocol::kNone && r.told_to_finish) {
+    // Fault mode tolerates duplicate terminates: under coordinator
+    // failover a late re-home can be answered with a kTerminate the
+    // sweep already sent, and receivers are idempotent by contract.
+    if (config_.protocol != CheckedProtocol::kNone && r.told_to_finish &&
+        !config_.fault_mode) {
       fail({.kind = ViolationKind::kDoubleTermination,
             .rank = to,
             .when = now,
@@ -322,6 +329,28 @@ void InvariantChecker::on_recover(int dead_rank, int new_owner,
     if (s.recoverable > 0) s.recoverable -= 1;
     s.holders[new_owner] += 1;
     ++live_copies_;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Reliable control transport
+// ---------------------------------------------------------------------------
+
+void InvariantChecker::on_dedup_window(int from, int to,
+                                       std::uint32_t low_water, double now) {
+  std::lock_guard lock(mutex_);
+  auto [it, inserted] = dedup_low_.try_emplace({from, to}, low_water);
+  if (!inserted) {
+    if (low_water < it->second) {
+      fail({.kind = ViolationKind::kDedupRegression,
+            .rank = to,
+            .when = now,
+            .detail = "control link " + std::to_string(from) + " -> " +
+                      std::to_string(to) + " low-water moved back from " +
+                      std::to_string(it->second) + " to " +
+                      std::to_string(low_water)});
+    }
+    it->second = low_water;
   }
 }
 
@@ -522,7 +551,7 @@ void InvariantChecker::note_finish_broadcast(int from, int to, double now) {
   if (config_.protocol == CheckedProtocol::kNone) return;
   if (to < 0 || to >= config_.num_ranks) return;
   RankState& r = ranks_[static_cast<std::size_t>(to)];
-  if (r.finish_sent) {
+  if (r.finish_sent && !config_.fault_mode) {
     fail({.kind = ViolationKind::kDoubleTermination,
           .rank = to,
           .when = now,
@@ -541,6 +570,18 @@ void InvariantChecker::note_finish_broadcast(int from, int to, double now) {
   }
 }
 
+int InvariantChecker::acting_counter() const {
+  const int nm =
+      config_.protocol == CheckedProtocol::kHybrid ? config_.num_masters : 0;
+  for (int r = 0; r < nm; ++r) {
+    if (!ranks_[static_cast<std::size_t>(r)].crashed) return r;
+  }
+  for (int r = nm; r < config_.num_ranks; ++r) {
+    if (!ranks_[static_cast<std::size_t>(r)].crashed) return r;
+  }
+  return 0;
+}
+
 void InvariantChecker::check_protocol(int from, int to, const Message& msg,
                                       double now) {
   const auto illegal = [&](const char* why) {
@@ -552,10 +593,13 @@ void InvariantChecker::check_protocol(int from, int to, const Message& msg,
                     ": " + why});
   };
 
-  // Undeliverable frames are minted by the runtime's reliable-transport
-  // model, never by a program.
+  // Undeliverable frames and control acks are minted by the runtime's
+  // reliable-transport model, never by a program.
   if (std::holds_alternative<Undeliverable>(msg.payload)) {
     illegal("only the runtime may emit Undeliverable bounces");
+  }
+  if (std::holds_alternative<ControlAck>(msg.payload)) {
+    illegal("only the runtime transport may emit control acks");
   }
 
   switch (config_.protocol) {
@@ -584,11 +628,19 @@ void InvariantChecker::check_protocol(int from, int to, const Message& msg,
         return;
       }
       if (std::holds_alternative<TerminationCount>(msg.payload)) {
-        if (to != 0) illegal("termination counts aggregate on rank 0");
+        // §4.1 aggregates on rank 0; under fault injection the counter
+        // role migrates to the lowest live rank (§11).
+        const int counter = config_.fault_mode ? acting_counter() : 0;
+        if (to != counter) {
+          illegal("termination counts aggregate on the acting counter");
+        }
         return;
       }
       if (std::holds_alternative<DoneSignal>(msg.payload)) {
-        if (from != 0) illegal("only rank 0 broadcasts the done signal");
+        const int counter = config_.fault_mode ? acting_counter() : 0;
+        if (from != counter) {
+          illegal("only the acting counter broadcasts the done signal");
+        }
         return;
       }
       illegal("payload kind is not part of the static-allocation protocol");
@@ -604,17 +656,24 @@ void InvariantChecker::check_protocol(int from, int to, const Message& msg,
         const std::int64_t s = slave - nm;
         return static_cast<int>(((s + 1) * nm - 1) / ns);
       };
+      // Fault mode admits the §11 failover edges: an orphaned slave may
+      // report to any acting coordinator, a promoted slave (the acting
+      // counter once every master is dead) issues commands and beacons,
+      // and board publishes follow the migrating counter.
       if (std::holds_alternative<StatusUpdate>(msg.payload)) {
         if (is_master(from)) illegal("masters do not send status updates");
-        if (to != master_of(from)) {
+        if (!config_.fault_mode && to != master_of(from)) {
           illegal("status update addressed to a foreign master");
         }
         return;
       }
       if (std::holds_alternative<Command>(msg.payload)) {
-        if (!is_master(from)) illegal("only masters issue commands");
+        if (!is_master(from) &&
+            !(config_.fault_mode && from == acting_counter())) {
+          illegal("only masters (or the promoted successor) issue commands");
+        }
         if (is_master(to)) illegal("commands go to slaves");
-        if (master_of(to) != from) {
+        if (!config_.fault_mode && master_of(to) != from) {
           illegal("command addressed to another master's slave");
         }
         return;
@@ -627,14 +686,16 @@ void InvariantChecker::check_protocol(int from, int to, const Message& msg,
         return;
       }
       if (std::holds_alternative<TerminationCount>(msg.payload)) {
-        if (!is_master(from) || to != 0) {
-          illegal("termination counts flow master -> master 0");
+        const int counter = config_.fault_mode ? acting_counter() : 0;
+        if (!is_master(from) || to != counter) {
+          illegal("termination counts flow master -> acting counter");
         }
         return;
       }
       if (std::holds_alternative<DoneSignal>(msg.payload)) {
-        if (from != 0 || !is_master(to)) {
-          illegal("done signal flows master 0 -> masters");
+        const int counter = config_.fault_mode ? acting_counter() : 0;
+        if (from != counter || !is_master(to)) {
+          illegal("done signal flows acting counter -> masters");
         }
         return;
       }
@@ -642,6 +703,16 @@ void InvariantChecker::check_protocol(int from, int to, const Message& msg,
           std::holds_alternative<SeedTransfer>(msg.payload)) {
         if (!is_master(from) || !is_master(to)) {
           illegal("seed balancing is master-to-master traffic");
+        }
+        return;
+      }
+      if (std::holds_alternative<MasterBeacon>(msg.payload)) {
+        if (!config_.fault_mode) {
+          illegal("beacons only exist under fault injection");
+        }
+        if (!(is_master(from) || from == acting_counter()) ||
+            is_master(to)) {
+          illegal("beacons flow acting coordinator -> slave");
         }
         return;
       }

@@ -94,6 +94,7 @@ enum class ViolationKind : std::uint8_t {
   kPrefetchState,       // illegal prefetch transition (issue/stage/claim)
   kUnresolvedPrefetch,  // run ended with a prefetch neither claimed,
                         // discarded nor cancelled
+  kDedupRegression,     // a control link's dedup low-water mark moved back
 };
 
 const char* to_string(ViolationKind k);
@@ -153,6 +154,14 @@ class InvariantChecker {
   void on_crash(int rank, double now);
   void on_recover(int dead_rank, int new_owner,
                   const std::vector<Particle>& particles, double now);
+
+  // --- reliable control transport ------------------------------------------
+
+  // The receiver-side dedup window of one control link advanced (or at
+  // least compacted).  The low-water mark must never move backwards: a
+  // regression would re-open the window to sequence numbers already
+  // delivered, breaking exactly-once dispatch.
+  void on_dedup_window(int from, int to, std::uint32_t low_water, double now);
 
   // --- block-cache coherence ----------------------------------------------
 
@@ -214,6 +223,10 @@ class InvariantChecker {
 
   [[noreturn]] void fail(InvariantDiagnostic diag) const;
   void check_protocol(int from, int to, const Message& msg, double now);
+  // The acting termination counter / failover successor under the current
+  // crash set: lowest live rank (static), lowest live master else lowest
+  // live slave (hybrid).  Mirrors the programs' successor_rank formula.
+  int acting_counter() const;
   void take_from_holder(int rank, const Particle& p, double now,
                         ViolationKind kind);
   void note_finish_broadcast(int from, int to, double now);
@@ -230,6 +243,8 @@ class InvariantChecker {
   mutable std::mutex mutex_;  // ThreadRuntime hooks race; SimRuntime won't
   std::map<std::uint32_t, ParticleState> particles_;
   std::vector<RankState> ranks_;
+  // Per-(from,to) control-link dedup low-water marks (monotonicity).
+  std::map<std::pair<int, int>, std::uint32_t> dedup_low_;
   std::size_t done_count_ = 0;
   std::size_t live_copies_ = 0;  // holders + in_flight over all particles
 };

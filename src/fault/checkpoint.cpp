@@ -1,13 +1,45 @@
 #include "fault/checkpoint.hpp"
 
+#include <cstring>
+
 namespace sf {
 
 namespace {
 // id + pos(3 doubles) + time + h + steps + geometry_points + status,
 // matching the on-disk record of io/checkpoint_io.cpp.
 constexpr std::size_t kParticleRecordBytes = 4 + 24 + 8 + 8 + 4 + 4 + 1;
-constexpr std::size_t kHeaderBytes = 8 + 8 + 8 + 8 + 4;  // magic+sizes+time
+// magic+sizes+time, plus the v2 topology stamp (algorithm + dataset hash).
+constexpr std::size_t kHeaderBytes = 8 + 8 + 8 + 8 + 4 + 1 + 8;
+
+void mix(std::uint64_t& h, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (i * 8)) & 0xffu;
+    h *= 1099511628211ULL;  // FNV-1a
+  }
+}
+
+std::uint64_t bits_of(double d) {
+  std::uint64_t u = 0;
+  static_assert(sizeof(u) == sizeof(d));
+  std::memcpy(&u, &d, sizeof(u));
+  return u;
+}
 }  // namespace
+
+std::uint64_t dataset_topology_hash(const BlockDecomposition& decomp) {
+  std::uint64_t h = 1469598103934665603ULL;
+  mix(h, static_cast<std::uint64_t>(decomp.nbx()));
+  mix(h, static_cast<std::uint64_t>(decomp.nby()));
+  mix(h, static_cast<std::uint64_t>(decomp.nbz()));
+  const AABB& d = decomp.domain();
+  mix(h, bits_of(d.lo.x));
+  mix(h, bits_of(d.lo.y));
+  mix(h, bits_of(d.lo.z));
+  mix(h, bits_of(d.hi.x));
+  mix(h, bits_of(d.hi.y));
+  mix(h, bits_of(d.hi.z));
+  return h;
+}
 
 std::size_t checkpoint_bytes(const Checkpoint& ck) {
   std::size_t n = kHeaderBytes;

@@ -25,11 +25,22 @@ struct CheckpointRankState {
 struct Checkpoint {
   double sim_time = 0.0;
   int num_ranks = 0;
+  // Run-topology stamp (format v2): the algorithm that wrote the
+  // checkpoint and a hash of the dataset's block decomposition.  Restarts
+  // validate all three topology fields and refuse a mismatch — resuming a
+  // static run's checkpoint under hybrid, or on a different dataset,
+  // would silently mis-own every particle.
+  std::uint8_t algorithm = 0;
+  std::uint64_t dataset_hash = 0;
   std::vector<Particle> done;     // terminal streamlines, sorted by id
   std::vector<Particle> active;   // in-progress solver states, sorted by id
   std::vector<int> active_owner;  // rank owning active[i] at snapshot time
   std::vector<CheckpointRankState> ranks;
 };
+
+// Stable hash of a dataset's block topology, stamped into checkpoints and
+// compared on restart.
+std::uint64_t dataset_topology_hash(const BlockDecomposition& decomp);
 
 // Serialized size (what the checkpoint-write cost model charges).
 std::size_t checkpoint_bytes(const Checkpoint& ck);

@@ -60,13 +60,25 @@ struct FaultConfig {
   int disk_max_retries = 8;
 
   // --- Message drops -------------------------------------------------------
-  // Per-message probability that a particle-bearing message (ParticleBatch,
-  // seed assignments, seed transfers) is dropped by the link.  Dropped
-  // payloads bounce back to the sender as Undeliverable, so streamlines
-  // are never silently lost.  Control traffic (status, commands without
-  // particles, termination counts) rides a reliable transport.
+  // Per-message probability that the link drops a message.  Particle-
+  // bearing payloads (ParticleBatch, seed assignments, seed transfers)
+  // bounce back to the sender as Undeliverable, so streamlines are never
+  // silently lost.  Control traffic (status, particle-free commands,
+  // termination counts, beacons) is sequenced: the sender keeps a pending
+  // copy and retransmits with capped exponential backoff until acked, and
+  // the receiver dedups on sequence number, so programs see at-least-once
+  // delivery collapsed back to exactly-once.
   double message_drop_rate = 0.0;
   std::uint64_t max_drops = 1000;  // backstop against drop-rate ~ 1 loops
+
+  // --- Control-transport retransmission ------------------------------------
+  // Initial retransmit timeout for an unacked sequenced control message,
+  // doubling per attempt up to control_rto_cap.  After control_max_retries
+  // unacked attempts the peer is presumed dead and the message abandoned
+  // (its content is recovered through the failover path instead).
+  double control_rto = 0.02;
+  double control_rto_cap = 0.32;
+  int control_max_retries = 10;
 
   // --- Failure detection ---------------------------------------------------
   enum class Detector : std::uint8_t {
@@ -80,6 +92,14 @@ struct FaultConfig {
   double heartbeat_period = 0.05;       // kProgram slave status period
   int heartbeat_miss_limit = 3;         // silent periods before declared dead
 
+  // --- Run topology stamp --------------------------------------------------
+  // Stamped into every checkpoint (format v2) and validated on
+  // --restart-from: resuming with a different algorithm, rank count, or
+  // dataset decomposition is a hard error, not silent misbehavior.
+  // prepare_run fills both fields.
+  std::uint8_t algorithm_tag = 0;
+  std::uint64_t dataset_hash = 0;
+
   // --- Checkpointing -------------------------------------------------------
   // Serialize the particle ledger every `checkpoint_interval` simulated
   // seconds (0 disables).  When checkpoint_path is non-empty the latest
@@ -88,8 +108,10 @@ struct FaultConfig {
   double checkpoint_interval = 0.0;
   std::string checkpoint_path;
 
-  // Ranks that never crash.  run_experiment sets this to rank 0 (the
-  // termination counter) or, for hybrid, all master ranks.
+  // Ranks that never crash.  Empty by default: since coordinator failover
+  // landed, the injector may target any rank — the termination counter and
+  // the hybrid masters included.  Kept as an explicit knob for experiments
+  // that want to shield specific ranks.
   std::vector<int> immune_ranks;
 
   // Particles already terminal before the run starts: rejected
@@ -97,6 +119,17 @@ struct FaultConfig {
   // Pre-seeded into the ledger so checkpoints and final results stay
   // complete across restarts.
   std::vector<Particle> presettled;
+};
+
+// Per-crash timeline, surfaced through FaultStats::crash_records so the
+// fault benches read detection/recovery latency directly instead of
+// re-deriving it from event timelines.  detect_time/recover_time stay
+// negative while the crash is still undetected/unrecovered.
+struct CrashRecord {
+  int rank = -1;
+  double crash_time = 0.0;
+  double detect_time = -1.0;   // when a survivor first declared the rank dead
+  double recover_time = -1.0;  // when its work had been re-owned
 };
 
 // Recovery counters surfaced through RunMetrics::fault.
@@ -107,11 +140,14 @@ struct FaultStats {
   std::uint64_t disk_faults = 0;        // failed block-read attempts
   std::uint64_t disk_stalls = 0;        // stalled block reads
   std::uint64_t messages_dropped = 0;   // injected link drops
+  std::uint64_t control_retransmits = 0;  // sequenced control resends
+  std::uint64_t control_duplicates = 0;   // deduped at-least-once arrivals
   std::uint64_t particles_recovered = 0;  // streamlines reclaimed and re-run
   std::uint64_t steps_redone = 0;       // integration steps lost to crashes
   double time_to_recovery = 0.0;        // summed crash -> recovery latency
   std::uint64_t checkpoints_taken = 0;
   double checkpoint_overhead = 0.0;     // modelled checkpoint write seconds
+  std::vector<CrashRecord> crash_records;  // per-crash timeline
 };
 
 }  // namespace sf

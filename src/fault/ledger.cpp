@@ -44,8 +44,21 @@ bool ParticleLedger::on_terminated(int rank, const Particle& p) {
   return true;
 }
 
-void ParticleLedger::on_reported(int rank, std::uint32_t count) {
-  reported_[rank] += count;
+std::uint32_t ParticleLedger::logged_total(int rank) const {
+  const auto it = logged_.find(rank);
+  return it == logged_.end() ? 0u : static_cast<std::uint32_t>(it->second);
+}
+
+std::vector<std::pair<int, std::uint32_t>> ParticleLedger::logged_totals()
+    const {
+  std::vector<std::pair<int, std::uint32_t>> out;
+  out.reserve(logged_.size());
+  for (const auto& [rank, total] : logged_) {
+    if (total > 0) {
+      out.emplace_back(rank, static_cast<std::uint32_t>(total));
+    }
+  }
+  return out;  // map iteration order == sorted by rank
 }
 
 void ParticleLedger::refresh(int rank,
@@ -81,11 +94,7 @@ RecoveredWork ParticleLedger::recover(int dead_rank, int new_owner) {
     e.owner = new_owner;
     work.active.push_back(e.state);
   }
-  const std::int64_t unreported = logged_[dead_rank] - reported_[dead_rank];
-  if (unreported > 0) {
-    work.unreported_terminations = static_cast<std::uint32_t>(unreported);
-    reported_[dead_rank] = logged_[dead_rank];
-  }
+  work.terminated_total = logged_total(dead_rank);
   return work;
 }
 

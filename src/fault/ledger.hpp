@@ -13,16 +13,17 @@
 // particle state and block data), so recovery costs re-done work but
 // never changes results.
 //
-// Termination counting: the three algorithms drive global termination
-// off counters (rank 0 / master 0).  The ledger tracks, per rank, how
-// many terminations it has credited (`logged_`) versus how many it has
-// reported toward the counter (`reported_`, snooped off StatusUpdate and
-// TerminationCount sends); recover() returns the difference so the
-// recovering rank can re-report terminations the dead rank logged but
-// never delivered.
+// Termination counting: the algorithms drive global termination off a
+// per-rank high-water board of *cumulative* termination totals.  The
+// ledger tracks each rank's cumulative credited total (`logged_`);
+// recover() hands the dead rank's total to the recoverer, who re-reports
+// it toward whichever rank currently acts as the counter.  Because totals
+// are cumulative and the counter max-merges them, re-reports, duplicates
+// and reordering are all idempotent — no delta reconciliation needed.
 
 #include <cstdint>
 #include <map>
+#include <utility>
 #include <vector>
 
 #include "fault/checkpoint.hpp"
@@ -34,9 +35,10 @@ struct RecoveredWork {
   // Last safe states of the dead rank's in-progress streamlines,
   // re-owned to the recoverer.
   std::vector<Particle> active;
-  // Terminations the dead rank logged but never reported to the global
-  // termination counter.
-  std::uint32_t unreported_terminations = 0;
+  // The dead rank's cumulative termination total.  The recoverer
+  // re-reports it as a (rank, total) entry; the counter's max-merge makes
+  // the re-report idempotent no matter how much of it already arrived.
+  std::uint32_t terminated_total = 0;
 };
 
 class ParticleLedger {
@@ -58,18 +60,22 @@ class ParticleLedger {
   // count); false for duplicates re-run by a redundant recovery.
   bool on_terminated(int rank, const Particle& p);
 
-  // `rank` pushed `count` termination credits toward the global counter
-  // (snooped off StatusUpdate / TerminationCount sends).
-  void on_reported(int rank, std::uint32_t count);
+  // `rank`'s cumulative credited termination total.
+  std::uint32_t logged_total(int rank) const;
+
+  // Every rank's cumulative total, as (rank, total) pairs sorted by rank
+  // — the authoritative recount a newly adopted termination counter
+  // max-merges into its board.
+  std::vector<std::pair<int, std::uint32_t>> logged_totals() const;
 
   // Checkpoint-time refresh: `particles` is everything `rank` currently
   // holds in memory.  Updates safe states and ownership; never clears a
   // terminal mark.
   void refresh(int rank, const std::vector<Particle>& particles);
 
-  // Reclaim the dead rank's streamlines for `new_owner` and settle its
-  // termination accounting.  Idempotent: a second recovery of the same
-  // rank returns nothing.
+  // Reclaim the dead rank's streamlines for `new_owner`.  Idempotent: a
+  // second recovery of the same rank returns no particles (the cumulative
+  // total is returned every time; max-merging makes that harmless).
   RecoveredWork recover(int dead_rank, int new_owner);
 
   // Last safe accepted-step count of a streamline (0 if unknown) — used
@@ -91,8 +97,7 @@ class ParticleLedger {
   };
 
   std::map<std::uint32_t, Entry> entries_;
-  std::map<int, std::int64_t> logged_;    // terminations credited per rank
-  std::map<int, std::int64_t> reported_;  // terminations reported per rank
+  std::map<int, std::int64_t> logged_;  // cumulative terminations per rank
 };
 
 }  // namespace sf

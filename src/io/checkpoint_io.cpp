@@ -10,7 +10,9 @@ namespace sf {
 
 namespace {
 
-constexpr char kMagic[8] = {'S', 'F', 'C', 'K', 'P', 'T', '1', '\n'};
+// Format v2 added the run-topology stamp (algorithm tag + dataset hash)
+// after num_ranks; v1 files are rejected with a clear error.
+constexpr char kMagic[8] = {'S', 'F', 'C', 'K', 'P', 'T', '2', '\n'};
 
 std::uint64_t fnv1a(const void* data, std::size_t bytes) {
   const auto* p = static_cast<const unsigned char*>(data);
@@ -125,6 +127,8 @@ void write_checkpoint(const std::filesystem::path& path,
   Writer w;
   w.f64(ck.sim_time);
   w.i32(ck.num_ranks);
+  w.u8(ck.algorithm);
+  w.u64(ck.dataset_hash);
   w.u64(ck.done.size());
   for (const Particle& p : ck.done) w.particle(p);
   w.u64(ck.active.size());
@@ -172,6 +176,11 @@ Checkpoint read_checkpoint(const std::filesystem::path& path) {
   CheckpointHeader h{};
   f.read(reinterpret_cast<char*>(&h), sizeof(h));
   if (!f || !std::equal(std::begin(kMagic), std::end(kMagic), h.magic)) {
+    if (f && std::memcmp(h.magic, "SFCKPT", 6) == 0) {
+      throw std::runtime_error(
+          "checkpoint: " + path.string() +
+          " uses an unsupported format version (expected SFCKPT2)");
+    }
     throw std::runtime_error("checkpoint: bad magic in " + path.string());
   }
   std::vector<char> payload(h.payload_bytes);
@@ -193,6 +202,8 @@ Checkpoint read_checkpoint(const std::filesystem::path& path) {
   Checkpoint ck;
   ck.sim_time = r.f64();
   ck.num_ranks = r.i32();
+  ck.algorithm = r.u8();
+  ck.dataset_hash = r.u64();
   const std::uint64_t ndone = r.u64();
   ck.done.reserve(ndone);
   for (std::uint64_t i = 0; i < ndone; ++i) ck.done.push_back(r.particle());

@@ -27,10 +27,12 @@ struct ByteSizer {
     return kEnvelope + 16 + particles_bytes(c.particles, carry_geometry) +
            c.hint_blocks.size() * 4;
   }
-  std::size_t operator()(const TerminationCount&) const {
-    return kEnvelope + 4;
+  std::size_t operator()(const TerminationCount& t) const {
+    return kEnvelope + t.totals.size() * 8;
   }
   std::size_t operator()(const DoneSignal&) const { return kEnvelope; }
+  std::size_t operator()(const MasterBeacon&) const { return kEnvelope; }
+  std::size_t operator()(const ControlAck&) const { return kEnvelope + 4; }
   std::size_t operator()(const SeedRequest&) const { return kEnvelope; }
   std::size_t operator()(const SeedTransfer& t) const {
     // Seeds have no geometry yet; they are always compact.

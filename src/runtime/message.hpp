@@ -14,6 +14,11 @@
 //                          bounced back to its sender (dropped in flight
 //                          or addressed to a dead rank), so the particles
 //                          are never lost
+//   * MasterBeacon       — master -> slave liveness beacon; silence beyond
+//                          the miss limit triggers master failover
+//   * ControlAck         — transport-level acknowledgement of a sequenced
+//                          control message; consumed by the runtime's
+//                          retransmit layer, never seen by programs
 //
 // message_bytes() is the serialized size the network model charges; with
 // carry_geometry set (the paper's behaviour) particles pay for their full
@@ -43,7 +48,15 @@ struct StatusUpdate {
   std::vector<BlockId> loaded;   // blocks resident in the slave's cache
   std::vector<BlockId> loading;  // block loads in flight
   std::uint32_t workable = 0;    // particles advanceable right now
-  std::uint32_t terminated_delta = 0;  // terminations since last status
+  // Cumulative count of streamlines this rank has terminated since the
+  // start of the run.  Cumulative (not a delta) so a re-reported or
+  // duplicated status merges idempotently: the receiver keeps a per-rank
+  // high-water mark instead of summing deltas.
+  std::uint32_t terminated_total = 0;
+  // When >= 0, this status re-homes the slave to a successor after its
+  // master at rank `orphaned_from` went silent; the successor adopts the
+  // slave and recovers the dead master's state on first sight.
+  int orphaned_from = -1;
 };
 
 struct Command {
@@ -62,10 +75,27 @@ struct Command {
 };
 
 struct TerminationCount {
-  std::uint32_t count = 0;
+  // Cumulative per-origin-rank termination totals (§4.1's global count,
+  // made crash- and duplicate-survivable).  The counter rank max-merges
+  // every entry into a per-rank high-water board, so duplicates,
+  // reordering and post-failover re-reports are all no-ops; the global
+  // done count is the sum of the board.
+  std::vector<std::pair<int, std::uint32_t>> totals;
 };
 
 struct DoneSignal {};
+
+// Periodic master -> slave liveness beacon.  Slaves track the last time
+// they heard their master (any Command or beacon); silence longer than
+// heartbeat_miss_limit periods triggers failover to a successor.
+struct MasterBeacon {};
+
+// Transport-level acknowledgement of a sequenced control message.  Emitted
+// by the receiving rank's transport, consumed by the sending rank's
+// transport (cancels the pending retransmit); programs never see it.
+struct ControlAck {
+  std::uint32_t seq = 0;
+};
 
 struct SeedRequest {};
 
@@ -86,8 +116,13 @@ struct Undeliverable {
 struct Message {
   int from = -1;
   std::variant<ParticleBatch, StatusUpdate, Command, TerminationCount,
-               DoneSignal, SeedRequest, SeedTransfer, Undeliverable>
+               DoneSignal, SeedRequest, SeedTransfer, Undeliverable,
+               MasterBeacon, ControlAck>
       payload;
+  // Sequence number stamped by the sender's control transport on sequenced
+  // control messages (0 = unsequenced).  Receivers dedup on it, so
+  // at-least-once retransmission never double-delivers to a program.
+  std::uint32_t ctrl_seq = 0;
 };
 
 // Serialized size used by the cost model.

@@ -467,6 +467,8 @@ void SimRuntime::kill_rank(int rank) {
   FaultState& fs = *fault_;
   fs.alive[static_cast<std::size_t>(rank)] = 0;
   fs.crash_time[static_cast<std::size_t>(rank)] = engine_->now();
+  fs.stats.crash_records.push_back(
+      {.rank = rank, .crash_time = engine_->now()});
   Context* c = contexts_[static_cast<std::size_t>(rank)].get();
   c->metrics.crashed = true;
   // Diagnostic: integration work that dies with the rank and will be
@@ -495,6 +497,21 @@ void SimRuntime::crash_rank(int rank, bool from_oom) {
   // kProgram: the hybrid master notices the missed heartbeats itself.
 }
 
+CrashRecord* SimRuntime::crash_record_of(int rank) {
+  auto& records = fault_->stats.crash_records;
+  for (auto it = records.rbegin(); it != records.rend(); ++it) {
+    if (it->rank == rank) return &*it;
+  }
+  return nullptr;
+}
+
+void SimRuntime::note_detected_recovered(int dead_rank) {
+  if (CrashRecord* rec = crash_record_of(dead_rank)) {
+    if (rec->detect_time < 0.0) rec->detect_time = engine_->now();
+    if (rec->recover_time < 0.0) rec->recover_time = engine_->now();
+  }
+}
+
 void SimRuntime::runtime_recover(int dead_rank) {
   // Successor: the next live rank after the dead one in cyclic order.
   int succ = -1;
@@ -514,15 +531,27 @@ void SimRuntime::runtime_recover(int dead_rank) {
   fs.stats.particles_recovered += work.active.size();
   fs.stats.time_to_recovery +=
       engine_->now() - fs.crash_time[static_cast<std::size_t>(dead_rank)];
+  note_detected_recovered(dead_rank);
 
-  // Termination credits first: if handing the particles over aborts the
-  // run (successor OOM), the global count must already be settled.
-  if (work.unreported_terminations > 0) {
-    Context* zero = contexts_[0].get();
+  // Termination accounting first: if handing the particles over aborts
+  // the run (successor OOM), the global count must already be settled.
+  // The ledger's per-rank recount goes to the lowest live rank — the
+  // acting counter.  When the dead rank *was* the counter, this is the
+  // wake-up that seeds the successor's high-water board; max-merging
+  // makes it a no-op in every other case beyond the dead rank's entry.
+  {
+    int counter = -1;
+    for (int r = 0; r < n; ++r) {
+      if (rank_alive(r)) {
+        counter = r;
+        break;
+      }
+    }
+    Context* c = contexts_[static_cast<std::size_t>(counter)].get();
     Message m;
     m.from = dead_rank;
-    m.payload = TerminationCount{work.unreported_terminations};
-    zero->program->on_message(*zero, std::move(m));
+    m.payload = TerminationCount{fs.ledger.logged_totals()};
+    c->program->on_message(*c, std::move(m));
   }
   if (!work.active.empty()) {
     fs.ledger.on_send(work.active, succ);
@@ -553,6 +582,7 @@ RecoveredWork SimRuntime::recover_for(int recoverer, int dead_rank) {
   fs.stats.particles_recovered += work.active.size();
   fs.stats.time_to_recovery +=
       engine_->now() - fs.crash_time[static_cast<std::size_t>(dead_rank)];
+  note_detected_recovered(dead_rank);
   SF_INVARIANT_HOOK(
       checker_,
       on_recover(dead_rank, recoverer, work.active, engine_->now()));
@@ -580,18 +610,19 @@ void SimRuntime::fault_send(int from, int to, SimTime arrive,
   } else if (const auto* u = std::get_if<Undeliverable>(&msg.payload)) {
     fs.ledger.on_send(u->particles, to);
     carries_particles = !u->particles.empty();
-  } else if (const auto* s = std::get_if<StatusUpdate>(&msg.payload)) {
-    if (s->terminated_delta > 0) {
-      fs.ledger.on_reported(from, s->terminated_delta);
-    }
-  } else if (const auto* tc = std::get_if<TerminationCount>(&msg.payload)) {
-    fs.ledger.on_reported(from, tc->count);
   }
 
-  // Only particle-bearing messages are droppable: the control plane rides
-  // a reliable transport (DESIGN.md §7), and keeping the drop stream off
-  // control traffic keeps fault schedules comparable across algorithms.
-  if (carries_particles && fs.injector.draw_message_drop()) {
+  // Particle-bearing messages keep the drop -> Undeliverable-bounce
+  // semantics: the payload must not be duplicated, so the sender is told
+  // and re-routes.  Everything else is control traffic and goes through
+  // the sequenced at-least-once transport below — same lossy link, but
+  // retransmit-repaired and receiver-deduped.
+  if (!carries_particles) {
+    control_send(from, to, arrive, bytes, std::move(msg));
+    return;
+  }
+
+  if (fs.injector.draw_message_drop()) {
     network_->note_dropped(bytes);
     ++fs.stats.messages_dropped;
     engine_->schedule_at(arrive, [this, to, m = std::move(msg)]() mutable {
@@ -602,6 +633,125 @@ void SimRuntime::fault_send(int from, int to, SimTime arrive,
 
   engine_->schedule_at(arrive, [this, to, bytes, m = std::move(msg)]() mutable {
     deliver(to, bytes, std::move(m));
+  });
+}
+
+void SimRuntime::control_send(int from, int to, SimTime arrive,
+                              std::size_t bytes, Message msg) {
+  FaultState& fs = *fault_;
+  const LinkKey link{from, to};
+  const std::uint32_t seq = ++fs.ctrl_next_seq[link];
+  msg.ctrl_seq = seq;
+  PendingControl& pc = fs.ctrl_pending[link][seq];
+  pc.bytes = bytes;
+  pc.msg = std::move(msg);
+  pc.rto = config_.fault.control_rto;
+  transmit_control(from, to, seq, arrive);
+}
+
+void SimRuntime::transmit_control(int from, int to, std::uint32_t seq,
+                                  SimTime arrive) {
+  FaultState& fs = *fault_;
+  const LinkKey link{from, to};
+  auto lit = fs.ctrl_pending.find(link);
+  if (lit == fs.ctrl_pending.end()) return;
+  auto pit = lit->second.find(seq);
+  if (pit == lit->second.end()) return;  // acked meanwhile
+  PendingControl& pc = pit->second;
+
+  if (fs.injector.draw_message_drop()) {
+    network_->note_dropped(pc.bytes);
+    ++fs.stats.messages_dropped;
+  } else {
+    engine_->schedule_at(
+        arrive, [this, from, to, bytes = pc.bytes, m = pc.msg]() mutable {
+          if (!fault_) return;
+          deliver_control(from, to, bytes, std::move(m));
+        });
+  }
+
+  // Arm the retransmit check whether or not this attempt was dropped; an
+  // arriving ack clears the pending entry and turns the check into a
+  // no-op.
+  const double rto = pc.rto;
+  engine_->schedule_at(arrive + rto, [this, from, to, seq] {
+    if (!fault_) return;
+    auto lit2 = fault_->ctrl_pending.find(LinkKey{from, to});
+    if (lit2 == fault_->ctrl_pending.end()) return;
+    auto pit2 = lit2->second.find(seq);
+    if (pit2 == lit2->second.end()) return;  // acked
+    // Abandon when the peer is dead (failover recovers the content), the
+    // sender itself died, or the run is over — this is what lets a lossy
+    // run quiesce instead of retransmitting forever.
+    if (!rank_alive(to) || !rank_alive(from) || all_live_finished() ||
+        pit2->second.attempts >= config_.fault.control_max_retries) {
+      lit2->second.erase(pit2);
+      return;
+    }
+    PendingControl& p = pit2->second;
+    ++p.attempts;
+    p.rto = std::min(p.rto * 2.0, config_.fault.control_rto_cap);
+    ++fault_->stats.control_retransmits;
+    Context* sender = contexts_[static_cast<std::size_t>(from)].get();
+    sender->metrics.comm_time += network_->endpoint_cost(p.bytes);
+    sender->metrics.messages_sent += 1;
+    sender->metrics.bytes_sent += p.bytes;
+    transmit_control(from, to, seq,
+                     network_->delivery_time(engine_->now(), p.bytes));
+  });
+}
+
+void SimRuntime::deliver_control(int from, int to, std::size_t bytes,
+                                 Message msg) {
+  FaultState& fs = *fault_;
+  if (!rank_alive(to)) return;  // sender's retransmit check will give up
+  // Ack every arrival, duplicates included: the ack for the first copy
+  // may itself have been dropped, and re-acking is what stops the
+  // retransmit stream.
+  send_control_ack(to, from, msg.ctrl_seq);
+  if (all_live_finished()) return;  // late retransmit after the run ended
+  DedupWindow& win = fs.ctrl_dedup[LinkKey{from, to}];
+  const std::uint32_t seq = msg.ctrl_seq;
+  if (seq <= win.low_water || win.seen.count(seq) != 0) {
+    ++fs.stats.control_duplicates;
+    return;
+  }
+  win.seen.insert(seq);
+  while (win.seen.count(win.low_water + 1) != 0) {
+    win.seen.erase(win.low_water + 1);
+    ++win.low_water;
+  }
+  SF_INVARIANT_HOOK(checker_,
+                    on_dedup_window(from, to, win.low_water, engine_->now()));
+  Context* dest = contexts_[static_cast<std::size_t>(to)].get();
+  dest->metrics.comm_time += network_->endpoint_cost(bytes);
+  SF_INVARIANT_HOOK(checker_, on_deliver(to, msg, engine_->now()));
+  dest->program->on_message(*dest, std::move(msg));
+}
+
+void SimRuntime::send_control_ack(int acker, int sender, std::uint32_t seq) {
+  FaultState& fs = *fault_;
+  Message ack;
+  ack.from = acker;
+  ack.payload = ControlAck{seq};
+  const std::size_t bytes = message_bytes(ack, config_.carry_geometry);
+  Context* a = contexts_[static_cast<std::size_t>(acker)].get();
+  a->metrics.comm_time += network_->endpoint_cost(bytes);
+  a->metrics.messages_sent += 1;
+  a->metrics.bytes_sent += bytes;
+  // Acks draw from the same lossy link but are never retransmitted: a
+  // lost ack just provokes one more (deduped) retransmit of the data.
+  if (fs.injector.draw_message_drop()) {
+    network_->note_dropped(bytes);
+    ++fs.stats.messages_dropped;
+    return;
+  }
+  const SimTime arrive = network_->delivery_time(engine_->now(), bytes);
+  engine_->schedule_at(arrive, [this, acker, sender, seq] {
+    if (!fault_) return;
+    auto lit = fault_->ctrl_pending.find(LinkKey{sender, acker});
+    if (lit == fault_->ctrl_pending.end()) return;
+    lit->second.erase(seq);
   });
 }
 
@@ -617,8 +767,10 @@ void SimRuntime::deliver(int to, std::size_t bytes, Message msg) {
 }
 
 void SimRuntime::bounce_undeliverable(int intended, Message msg) {
-  // Extract the particle payload; particle-free messages just vanish
-  // (the control protocols tolerate a dead peer).
+  // Extract the particle payload; particle-free messages just vanish —
+  // control traffic reaching a dead rank is abandoned by the sender's
+  // retransmit check, and anything the dead rank knew is reconstructed
+  // through the failover recount.
   std::vector<Particle> particles;
   BlockId block = kInvalidBlock;
   if (auto* b = std::get_if<ParticleBatch>(&msg.payload)) {
@@ -636,7 +788,8 @@ void SimRuntime::bounce_undeliverable(int intended, Message msg) {
   if (particles.empty()) return;
 
   // Return to sender; if the sender itself is gone, to the lowest live
-  // rank (rank 0 is immune in every driver configuration).
+  // rank — every program treats an Undeliverable it did not originate as
+  // adopted work.
   int back = msg.from;
   if (back < 0 || !rank_alive(back)) {
     back = -1;
@@ -675,6 +828,8 @@ void SimRuntime::checkpoint_tick() {
 
   auto ck = std::make_shared<Checkpoint>(
       fs.ledger.to_checkpoint(engine_->now(), config_.num_ranks));
+  ck->algorithm = config_.fault.algorithm_tag;
+  ck->dataset_hash = config_.fault.dataset_hash;
   for (int r = 0; r < config_.num_ranks; ++r) {
     CheckpointRankState rs;
     rs.rank = r;
@@ -802,9 +957,9 @@ RunMetrics SimRuntime::run(const ProgramFactory& factory) {
     try {
       if (!engine.step()) break;
     } catch (const SimAbort& abort) {
-      // A rank blew its memory budget.  Under fault injection a
-      // non-immune rank's OOM is a recoverable crash; otherwise (or when
-      // the termination-critical rank itself dies) the run fails.
+      // A rank blew its memory budget.  Under fault injection any rank's
+      // OOM is a recoverable crash (coordinators included, since
+      // failover); only an explicitly immune rank still fails the run.
       const int r = abort.rank;
       if (fault_ && r >= 0 && rank_alive(r) &&
           fault_->immune.count(r) == 0) {
@@ -827,6 +982,22 @@ RunMetrics SimRuntime::run(const ProgramFactory& factory) {
   run_metrics.wall_clock = (fault_ && fault_->done_time >= 0.0)
                                ? fault_->done_time
                                : engine.now();
+
+  // With no immune ranks a crash (or OOM) cascade can kill every rank;
+  // the vacuous "all live ranks finished" must then read as a failed
+  // fault run, not a completed one — there is nobody left to finish the
+  // remaining streamlines.
+  bool any_alive = fault_ == nullptr;
+  if (fault_) {
+    for (int r = 0; r < config_.num_ranks; ++r) {
+      if (rank_alive(r)) any_alive = true;
+    }
+    if (!any_alive) {
+      run_metrics.failed_fault = true;
+      if (fault_->stats.oom_crashes > 0) run_metrics.failed_oom = true;
+      run_metrics.abort_reason = "fault injection: every rank crashed";
+    }
+  }
 
   bool all_finished = true;
   for (std::size_t r = 0; r < contexts_.size(); ++r) {
@@ -863,8 +1034,9 @@ RunMetrics SimRuntime::run(const ProgramFactory& factory) {
     throw std::logic_error(
         "SimRuntime: simulation quiesced before all ranks finished");
   }
-  SF_INVARIANT_HOOK(checker_,
-                    on_run_end(!run_metrics.failed_oom, engine.now()));
+  SF_INVARIANT_HOOK(
+      checker_,
+      on_run_end(!run_metrics.failed_oom && any_alive, engine.now()));
   checker_.reset();
 
   std::sort(run_metrics.particles.begin(), run_metrics.particles.end(),

@@ -18,8 +18,11 @@
 // their senders, maintains the particle ledger that makes crashes
 // recoverable, and takes periodic checkpoints of it.
 
+#include <cstdint>
+#include <map>
 #include <memory>
 #include <set>
+#include <utility>
 #include <vector>
 
 #include "check/invariants.hpp"
@@ -83,6 +86,26 @@ class SimRuntime {
  private:
   class Context;
 
+  // One unacked sequenced control message, kept by the sender's transport
+  // for retransmission.
+  struct PendingControl {
+    std::size_t bytes = 0;
+    Message msg;
+    int attempts = 0;  // retransmissions so far (first send not counted)
+    double rto = 0.0;  // current backoff, doubling up to control_rto_cap
+  };
+
+  // Receiver-side dedup window for one directed link.  `low_water` is the
+  // highest seq below which everything has been delivered; `seen` holds
+  // the delivered seqs above it.  low_water only ever advances, which the
+  // invariant checker audits (a regressing window would re-deliver).
+  struct DedupWindow {
+    std::uint32_t low_water = 0;
+    std::set<std::uint32_t> seen;
+  };
+
+  using LinkKey = std::pair<int, int>;  // (from, to)
+
   // All fault-mode state; null when config_.fault.enabled is false, which
   // is what keeps the disabled path bit-identical.
   struct FaultState {
@@ -98,6 +121,12 @@ class SimRuntime {
     // Simulated time when every live rank finished; the fault-mode wall
     // clock (trailing injector/checkpoint events do not extend the run).
     double done_time = -1.0;
+    // Reliable control transport (DESIGN.md §11): per-link sender
+    // sequence counters, pending unacked messages, and receiver dedup
+    // windows.
+    std::map<LinkKey, std::uint32_t> ctrl_next_seq;
+    std::map<LinkKey, std::map<std::uint32_t, PendingControl>> ctrl_pending;
+    std::map<LinkKey, DedupWindow> ctrl_dedup;
   };
 
   bool rank_alive(int rank) const;
@@ -107,20 +136,37 @@ class SimRuntime {
   // Injected/OOM crash: kill, count, and (kRuntime detector) schedule the
   // recovery a detection latency later.
   void crash_rank(int rank, bool from_oom);
-  // kRuntime-detector recovery: re-report the dead rank's lost
-  // termination credits to rank 0, then hand its streamlines to the next
-  // live rank as a ParticleBatch.
+  // kRuntime-detector recovery: deliver the ledger's termination recount
+  // to the lowest live rank (the acting counter — which is how a counter
+  // successor seeds its board), then hand the dead rank's streamlines to
+  // the next live rank as a ParticleBatch.
   void runtime_recover(int dead_rank);
   // kProgram-detector recovery, called by the hybrid master through
   // RankContext::recover_rank.
   RecoveredWork recover_for(int recoverer, int dead_rank);
+  // Bookkeeping for the per-crash timeline (satellite of DESIGN.md §11).
+  CrashRecord* crash_record_of(int rank);
+  void note_detected_recovered(int dead_rank);
   // Ledger snooping + drop/dead-rank handling for one sent message.
   void fault_send(int from, int to, SimTime arrive, std::size_t bytes,
                   Message msg);
+  // Sequenced at-least-once control path: assign a seq, keep a pending
+  // copy, transmit, and arm the retransmit timer.
+  void control_send(int from, int to, SimTime arrive, std::size_t bytes,
+                    Message msg);
+  // One transmission attempt of a pending control message + its
+  // retransmit check.
+  void transmit_control(int from, int to, std::uint32_t seq, SimTime arrive);
+  // Receiver side: ack, dedup, and deliver first arrivals to the program.
+  void deliver_control(int from, int to, std::size_t bytes, Message msg);
+  // Transport-level ack back to the sender (droppable, never retried —
+  // a lost ack just provokes a deduped retransmit).
+  void send_control_ack(int acker, int sender, std::uint32_t seq);
   // Deliver (or bounce) a message that reached its destination time.
   void deliver(int to, std::size_t bytes, Message msg);
   // Return a message's particle payload to a live rank as Undeliverable;
-  // particle-free messages are dropped (the control plane is reliable).
+  // particle-free payloads vanish (their loss is repaired by the control
+  // transport's retransmits or by the failover recount).
   void bounce_undeliverable(int intended, Message msg);
   void checkpoint_tick();
   void schedule_checkpoint(double at);

@@ -32,10 +32,23 @@ TEST(Message, BatchBytesSumOverParticles) {
 }
 
 TEST(Message, ControlMessagesAreSmall) {
-  for (Message m : {Message{-1, TerminationCount{5}},
-                    Message{-1, DoneSignal{}}, Message{-1, SeedRequest{}}}) {
+  for (Message m : {Message{-1, TerminationCount{{{0, 5u}}}},
+                    Message{-1, DoneSignal{}}, Message{-1, SeedRequest{}},
+                    Message{-1, MasterBeacon{}}, Message{-1, ControlAck{7}}}) {
     EXPECT_LT(message_bytes(m, true), 64u);
   }
+}
+
+TEST(Message, TerminationBoardBytesScaleWithEntries) {
+  TerminationCount tc;
+  for (int r = 0; r < 32; ++r) {
+    tc.totals.emplace_back(r, static_cast<std::uint32_t>(r + 1));
+  }
+  Message m;
+  m.payload = std::move(tc);
+  const std::size_t big = message_bytes(m, true);
+  m.payload = TerminationCount{};
+  EXPECT_GE(big, message_bytes(m, true) + 32 * 8);
 }
 
 TEST(Message, StatusBytesScaleWithCensus) {

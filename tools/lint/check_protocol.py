@@ -26,6 +26,13 @@ Static checks that clang-tidy cannot express, run in CI next to it:
    default-constructed std::mt19937 and friends.  All randomness must go
    through sf::Rng with an explicit seed so runs are reproducible.
 
+5. Payload-kind side-table completeness.  Every variant alternative must
+   have an operator()(const X&) in message.cpp's ByteSizer (the network
+   cost model) and in invariants.cpp's payload Namer (checker
+   diagnostics).  Adding a message kind — the failover control plane
+   added MasterBeacon and ControlAck — without costing and naming it
+   fails the lint, not the first faulted run.
+
 Exit status 0 when clean, 1 with one line per finding otherwise.
 """
 
@@ -247,6 +254,17 @@ def check_rng(path: pathlib.Path, clean: str) -> None:
             report(path, line_of(clean, m.start()), why)
 
 
+def check_payload_side_table(path: pathlib.Path, clean: str,
+                             alternatives: list[str], table: str) -> None:
+    """Every payload kind needs an operator()(const X&) overload here."""
+    for alt in alternatives:
+        if not re.search(r"operator\s*\(\s*\)\s*\(\s*const\s+" + alt + r"\s*&",
+                         clean):
+            report(path, 1,
+                   f"{table} has no operator()(const {alt}&) overload — "
+                   f"every Message payload kind must be covered")
+
+
 def main() -> int:
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("--root", type=pathlib.Path,
@@ -271,6 +289,13 @@ def main() -> int:
         check_load_state_switches(rel, clean, load_states)
         check_naked_new_delete(rel, clean)
         check_rng(rel, clean)
+
+    for rel_path, table in [
+        (pathlib.Path("src/runtime/message.cpp"), "ByteSizer"),
+        (pathlib.Path("src/check/invariants.cpp"), "payload Namer"),
+    ]:
+        clean = strip_comments_and_strings((args.root / rel_path).read_text())
+        check_payload_side_table(rel_path, clean, alternatives, table)
 
     if dispatchers == 0:
         FINDINGS.append("check_protocol: found no on_message definitions — "

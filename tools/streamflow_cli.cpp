@@ -395,12 +395,28 @@ int cmd_experiment(const Flags& flags) {
                    static_cast<long long>(fs.disk_stalls)});
     table.add_row({std::string("messages dropped"),
                    static_cast<long long>(fs.messages_dropped)});
+    table.add_row({std::string("control retransmits"),
+                   static_cast<long long>(fs.control_retransmits)});
+    table.add_row({std::string("control duplicates deduped"),
+                   static_cast<long long>(fs.control_duplicates)});
     table.add_row({std::string("particles recovered"),
                    static_cast<long long>(fs.particles_recovered)});
     table.add_row({std::string("steps redone"),
                    static_cast<long long>(fs.steps_redone)});
     table.add_row({std::string("time to recovery [s]"),
                    fs.time_to_recovery});
+    // Per-crash timeline: how long the survivors took to notice each
+    // death (detection latency) and to re-own its work (recovery wall).
+    for (const sf::CrashRecord& rec : fs.crash_records) {
+      const std::string who = "crash rank " + std::to_string(rec.rank);
+      table.add_row({who + " detect latency [s]",
+                     rec.detect_time < 0.0 ? -1.0
+                                           : rec.detect_time - rec.crash_time});
+      table.add_row({who + " recovery wall [s]",
+                     rec.recover_time < 0.0
+                         ? -1.0
+                         : rec.recover_time - rec.crash_time});
+    }
     table.add_row({std::string("checkpoints taken"),
                    static_cast<long long>(fs.checkpoints_taken)});
     table.add_row({std::string("checkpoint overhead [s]"),
