@@ -55,6 +55,21 @@ PreparedRun prepare_run(const ExperimentConfig& config,
   std::vector<Particle> particles =
       make_particles(decomp, seeds, run.rejected);
 
+  // Multi-query runs (src/service) tag each particle with its owning
+  // query.  Rejected seeds are tagged too, so per-query accounting stays
+  // complete.  Particle ids are the seed indices, which is what lets the
+  // tag survive the partition shuffles below.
+  if (!cfg.seed_queries.empty()) {
+    if (cfg.seed_queries.size() != seeds.size()) {
+      throw std::invalid_argument(
+          "seed_queries must match the seed count (" +
+          std::to_string(cfg.seed_queries.size()) + " tags for " +
+          std::to_string(seeds.size()) + " seeds)");
+    }
+    for (Particle& p : particles) p.query = cfg.seed_queries[p.id];
+    for (Particle& p : run.rejected) p.query = cfg.seed_queries[p.id];
+  }
+
   // Topology stamp: written into every checkpoint, validated on restart.
   cfg.runtime.fault.algorithm_tag = static_cast<std::uint8_t>(cfg.algorithm);
   cfg.runtime.fault.dataset_hash = dataset_topology_hash(decomp);
@@ -201,6 +216,18 @@ RunMetrics run_experiment_threads(const ExperimentConfig& config,
   tcfg.checked_protocol = run.cfg.runtime.checked_protocol;
   tcfg.checker_num_masters = run.cfg.runtime.checker_num_masters;
   tcfg.async_io = run.cfg.runtime.async_io;
+  tcfg.shared_blocks = run.cfg.runtime.shared_blocks;
+  // The thread runtime has no deterministic mid-run instant, so it only
+  // honors cancellations that take effect at the epoch boundary; a timed
+  // cancel is a configuration error here, not a silent approximation.
+  for (const QueryCancelAt& c : run.cfg.runtime.cancels) {
+    if (c.at > 0.0) {
+      throw std::invalid_argument(
+          "run_experiment_threads: timed query cancels are a SimRuntime "
+          "feature; the thread runtime applies cancels at epoch start");
+    }
+    tcfg.cancelled_queries.push_back(c.query);
+  }
   ThreadRuntime runtime(tcfg, &decomp, &source, run.cfg.integrator,
                         run.cfg.limits);
   RunMetrics metrics = runtime.run(run.factory);

@@ -4,8 +4,10 @@
 // dataset + seed set over the simulated machine, returning the metrics
 // the paper's figures plot.
 
+#include <cstdint>
 #include <span>
 #include <string>
+#include <vector>
 
 #include "algorithms/hybrid.hpp"
 #include "core/dataset.hpp"
@@ -38,6 +40,10 @@ struct ExperimentConfig {
   // Schedule-perturbation fuzz seed for run_experiment_threads
   // (--schedule-fuzz); 0 disables.  Ignored by the simulated runtime.
   std::uint64_t schedule_fuzz_seed = 0;
+  // Owning query per seed (src/service): seed_queries[i] tags the particle
+  // made from seeds[i].  Empty for standalone runs (every particle keeps
+  // query 0).  When non-empty the size must match the seed count.
+  std::vector<std::uint32_t> seed_queries;
 };
 
 // Run one experiment.  Seeds outside the domain terminate immediately and

@@ -927,6 +927,8 @@ class HybridSlave final : public RankProgram {
     // ControlAck is consumed by the runtime's transport layer and never
     // reaches a program.
     // protocol-lint: ignores ControlAck
+    // protocol-lint: ignores QuerySubmit, QueryCancel, QueryResult
+    // protocol-lint: ignores QueryDone
     if (auto* batch = std::get_if<ParticleBatch>(&msg.payload)) {
       accept_particles(ctx, std::move(batch->particles));
       try_start(ctx);
@@ -1295,6 +1297,8 @@ class HybridMaster final : public RankProgram {
     // by the runtime's transport layer.
     // protocol-lint: ignores ParticleBatch, Command, MasterBeacon
     // protocol-lint: ignores ControlAck
+    // protocol-lint: ignores QuerySubmit, QueryCancel, QueryResult
+    // protocol-lint: ignores QueryDone
     if (auto* undeliv = std::get_if<Undeliverable>(&msg.payload)) {
       core_.reclaim_undelivered(ctx, std::move(*undeliv));
     } else if (auto* status = std::get_if<StatusUpdate>(&msg.payload)) {

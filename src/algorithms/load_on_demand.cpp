@@ -33,6 +33,8 @@ class LoadOnDemandProgram final : public RankProgram {
     // protocol-lint: ignores StatusUpdate, Command, TerminationCount
     // protocol-lint: ignores DoneSignal, SeedRequest, SeedTransfer
     // protocol-lint: ignores MasterBeacon, ControlAck
+    // protocol-lint: ignores QuerySubmit, QueryCancel, QueryResult
+    // protocol-lint: ignores QueryDone
     std::vector<Particle>* adopted = nullptr;
     if (auto* batch = std::get_if<ParticleBatch>(&msg.payload)) {
       adopted = &batch->particles;

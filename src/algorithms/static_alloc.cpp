@@ -38,6 +38,8 @@ class StaticProgram final : public RankProgram {
     // is consumed by the control transport before program dispatch.
     // protocol-lint: ignores StatusUpdate, Command, SeedRequest
     // protocol-lint: ignores SeedTransfer, MasterBeacon, ControlAck
+    // protocol-lint: ignores QuerySubmit, QueryCancel, QueryResult
+    // protocol-lint: ignores QueryDone
     if (auto* batch = std::get_if<ParticleBatch>(&msg.payload)) {
       for (Particle& p : batch->particles) {
         accept_or_forward(ctx, std::move(p));

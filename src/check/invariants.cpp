@@ -27,6 +27,9 @@ const char* to_string(ViolationKind k) {
     case ViolationKind::kPrefetchState: return "prefetch-state";
     case ViolationKind::kUnresolvedPrefetch: return "unresolved-prefetch";
     case ViolationKind::kDedupRegression: return "dedup-regression";
+    case ViolationKind::kQueryDoneDouble: return "query-done-double";
+    case ViolationKind::kQueryDonePremature: return "query-done-premature";
+    case ViolationKind::kQueryDoneMissing: return "query-done-missing";
   }
   return "unknown";
 }
@@ -59,6 +62,10 @@ const char* payload_name(const Message& msg) {
     const char* operator()(const Undeliverable&) { return "Undeliverable"; }
     const char* operator()(const MasterBeacon&) { return "MasterBeacon"; }
     const char* operator()(const ControlAck&) { return "ControlAck"; }
+    const char* operator()(const QuerySubmit&) { return "QuerySubmit"; }
+    const char* operator()(const QueryCancel&) { return "QueryCancel"; }
+    const char* operator()(const QueryResult&) { return "QueryResult"; }
+    const char* operator()(const QueryDone&) { return "QueryDone"; }
   };
   return std::visit(Namer{}, msg.payload);
 }
@@ -109,6 +116,7 @@ void InvariantChecker::on_seeded(int rank,
                                  const std::vector<Particle>& particles) {
   std::lock_guard lock(mutex_);
   for (const Particle& p : particles) {
+    const bool fresh = particles_.count(p.id) == 0;
     ParticleState& s = particles_[p.id];
     if (is_terminal(p.status)) {
       if (!s.done) {
@@ -116,6 +124,13 @@ void InvariantChecker::on_seeded(int rank,
         ++done_count_;
       }
       continue;
+    }
+    if (fresh) {
+      // Per-query account: only live seeds count, and only once per
+      // streamline (restart re-seeding of a known particle is not a new
+      // obligation).
+      s.query = p.query;
+      ++queries_[p.query].seeded;
     }
     s.holders[rank] += 1;
     ++live_copies_;
@@ -155,6 +170,19 @@ void InvariantChecker::on_run_end(bool completed, double now) {
             .when = now,
             .particle = id,
             .detail = "run completed but streamline never terminated"});
+    }
+  }
+  if (config_.track_queries) {
+    for (const auto& [query, q] : queries_) {
+      if (q.seeded > 0 && !q.fired) {
+        fail({.kind = ViolationKind::kQueryDoneMissing,
+              .rank = -1,
+              .when = now,
+              .detail = "run completed but query " + std::to_string(query) +
+                        " never fired query-done (" +
+                        std::to_string(q.done) + "/" +
+                        std::to_string(q.seeded) + " streamlines done)"});
+      }
     }
   }
 }
@@ -269,6 +297,7 @@ void InvariantChecker::on_terminated(int rank, const Particle& p,
     }
     s.done = true;
     ++done_count_;
+    ++queries_[s.query].done;
   } else {
     if (!config_.fault_mode) {
       fail({.kind = ViolationKind::kDuplicateTermination,
@@ -286,6 +315,31 @@ void InvariantChecker::on_terminated(int rank, const Particle& p,
                       "first termination"});
     }
   }
+}
+
+// ---------------------------------------------------------------------------
+// Query plane
+// ---------------------------------------------------------------------------
+
+void InvariantChecker::on_query_done(std::uint32_t query, double now) {
+  std::lock_guard lock(mutex_);
+  QueryAccount& q = queries_[query];
+  if (q.fired) {
+    fail({.kind = ViolationKind::kQueryDoneDouble,
+          .rank = -1,
+          .when = now,
+          .detail = "query " + std::to_string(query) +
+                    " fired query-done twice"});
+  }
+  if (q.done < q.seeded) {
+    fail({.kind = ViolationKind::kQueryDonePremature,
+          .rank = -1,
+          .when = now,
+          .detail = "query " + std::to_string(query) + " fired with " +
+                    std::to_string(q.seeded - q.done) +
+                    " streamlines undone"});
+  }
+  q.fired = true;
 }
 
 // ---------------------------------------------------------------------------
@@ -601,6 +655,14 @@ void InvariantChecker::check_protocol(int from, int to, const Message& msg,
   if (std::holds_alternative<ControlAck>(msg.payload)) {
     illegal("only the runtime transport may emit control acks");
   }
+  // Service control-plane kinds live between the service frontend and its
+  // clients; no rank program or runtime ever puts one on a rank link.
+  if (std::holds_alternative<QuerySubmit>(msg.payload) ||
+      std::holds_alternative<QueryCancel>(msg.payload) ||
+      std::holds_alternative<QueryResult>(msg.payload) ||
+      std::holds_alternative<QueryDone>(msg.payload)) {
+    illegal("service control-plane kinds never travel on rank links");
+  }
 
   switch (config_.protocol) {
     case CheckedProtocol::kNone:
@@ -746,6 +808,19 @@ void InvariantChecker::audit_locked(double now) const {
             .particle = id,
             .detail = "undone streamline held " + std::to_string(holders) +
                       " times (want exactly 1)"});
+    }
+  }
+  // Per-query conservation: the done count can never exceed the seeded
+  // count, and a query that fired query-done must stay fully drained.
+  for (const auto& [query, q] : queries_) {
+    if (q.done > q.seeded || (q.fired && q.done != q.seeded)) {
+      fail({.kind = ViolationKind::kConservation,
+            .rank = -1,
+            .when = now,
+            .detail = "query " + std::to_string(query) + " accounts " +
+                      std::to_string(q.done) + " done of " +
+                      std::to_string(q.seeded) + " seeded (fired: " +
+                      (q.fired ? "yes" : "no") + ")"});
     }
   }
 }

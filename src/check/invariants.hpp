@@ -74,6 +74,11 @@ struct CheckerConfig {
   // and conservation tracks "at least one safe copy" instead of
   // "exactly one copy".
   bool fault_mode = false;
+  // Per-query accounting on: the runtime fires on_query_done exactly when
+  // a query's last seeded streamline terminates, and the checker enforces
+  // single-fire, non-premature, non-missing completion per query.  Off
+  // for checkers driven directly by tests that predate query tracking.
+  bool track_queries = false;
 };
 
 // What went wrong, in machine-readable form.
@@ -95,6 +100,9 @@ enum class ViolationKind : std::uint8_t {
   kUnresolvedPrefetch,  // run ended with a prefetch neither claimed,
                         // discarded nor cancelled
   kDedupRegression,     // a control link's dedup low-water mark moved back
+  kQueryDoneDouble,     // a second query-done fire for the same query
+  kQueryDonePremature,  // query-done fired with seeded streamlines undone
+  kQueryDoneMissing,    // run completed without a query-done fire
 };
 
 const char* to_string(ViolationKind k);
@@ -148,6 +156,13 @@ class InvariantChecker {
   // `first_time` is the ledger's verdict (always true outside fault mode).
   void on_terminated(int rank, const Particle& p, bool first_time,
                      double now);
+
+  // --- query plane ---------------------------------------------------------
+
+  // The runtime believes `query`'s last seeded streamline just terminated.
+  // Cross-checked against the checker's own per-query seeded/done counts:
+  // a double fire or a fire with undone streamlines is a violation.
+  void on_query_done(std::uint32_t query, double now);
 
   // --- fault plane --------------------------------------------------------
 
@@ -207,6 +222,14 @@ class InvariantChecker {
     int in_flight = 0;           // copies on the wire
     int recoverable = 0;         // copies lost to a crash, ledger-restorable
     bool done = false;           // first termination credited
+    std::uint32_t query = 0;     // owning query, recorded at seeding
+  };
+
+  // Per-query termination accounting (multi-query service runs).
+  struct QueryAccount {
+    std::size_t seeded = 0;  // live streamlines seeded under this query
+    std::size_t done = 0;    // first-time terminations credited
+    bool fired = false;      // on_query_done observed
   };
 
   struct RankState {
@@ -245,6 +268,7 @@ class InvariantChecker {
   std::vector<RankState> ranks_;
   // Per-(from,to) control-link dedup low-water marks (monotonicity).
   std::map<std::pair<int, int>, std::uint32_t> dedup_low_;
+  std::map<std::uint32_t, QueryAccount> queries_;
   std::size_t done_count_ = 0;
   std::size_t live_copies_ = 0;  // holders + in_flight over all particles
 };

@@ -21,6 +21,7 @@ enum class ParticleStatus : std::uint8_t {
   kMaxSteps = 3,      // reached the step budget
   kStagnant = 4,      // |v| below the stagnation threshold
   kError = 5,         // integrator could not proceed (should not happen)
+  kCancelled = 6,     // query cancelled by the service; drained in place
 };
 
 constexpr bool is_terminal(ParticleStatus s) {
@@ -41,6 +42,10 @@ struct Particle {
   // Trajectory vertices recorded so far (including the seed).  Determines
   // the geometry payload when the particle is communicated.
   std::uint32_t geometry_points = 1;
+  // Owning query in a multi-query service run (0 for standalone runs).
+  // Travels with the particle so results, faults and termination
+  // accounting stay per-query no matter which rank finishes the line.
+  std::uint32_t query = 0;
   ParticleStatus status = ParticleStatus::kActive;
 };
 

@@ -14,6 +14,7 @@ const char* to_string(ParticleStatus s) {
     case ParticleStatus::kMaxSteps: return "max-steps";
     case ParticleStatus::kStagnant: return "stagnant";
     case ParticleStatus::kError: return "error";
+    case ParticleStatus::kCancelled: return "cancelled";
   }
   return "unknown";
 }
@@ -28,6 +29,15 @@ AdvanceOutcome Tracer::advance_with_cursor(Particle& particle,
                                            Cursor& cur) const {
   AdvanceOutcome out;
   if (is_terminal(particle.status)) {
+    out.status = particle.status;
+    return out;
+  }
+  // Cancelled-query drain: terminate in place, before the seed vertex or
+  // any integration step, so the particle flows through the normal
+  // termination bookkeeping without touching the numerics of its
+  // batch-mates.
+  if (cancels_ != nullptr && cancels_->contains(particle.query)) {
+    particle.status = ParticleStatus::kCancelled;
     out.status = particle.status;
     return out;
   }

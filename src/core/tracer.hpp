@@ -21,8 +21,10 @@
 //    (tests/test_fast_path.cpp) and as the bench baseline.
 
 #include <algorithm>
+#include <atomic>
 #include <cstdint>
 #include <functional>
+#include <mutex>
 #include <span>
 #include <vector>
 
@@ -100,6 +102,45 @@ struct BlockPinHooks {
   std::function<void(BlockId)> unpin;
 };
 
+// Set of cancelled query ids, shared between the service control plane
+// and the tracer's inner loop.  A particle whose query is in the set
+// terminates as kCancelled at its next advance — before any integration
+// step, so cancellation can never perturb the accepted-step sequence of
+// particles from *other* queries (the schedule-independence argument of
+// DESIGN.md §5.1 makes the drain bit-safe).  The empty-set fast path is
+// one relaxed atomic load, so standalone runs pay nothing measurable.
+class QueryCancelSet {
+ public:
+  void cancel(std::uint32_t query) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (std::find(set_.begin(), set_.end(), query) == set_.end()) {
+      set_.push_back(query);
+    }
+    count_.store(set_.size(), std::memory_order_release);
+  }
+
+  void clear() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    set_.clear();
+    count_.store(0, std::memory_order_release);
+  }
+
+  bool contains(std::uint32_t query) const {
+    if (count_.load(std::memory_order_acquire) == 0) return false;
+    std::lock_guard<std::mutex> lock(mutex_);
+    return std::find(set_.begin(), set_.end(), query) != set_.end();
+  }
+
+  bool empty() const {
+    return count_.load(std::memory_order_acquire) == 0;
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::atomic<std::size_t> count_{0};
+  std::vector<std::uint32_t> set_;
+};
+
 struct AdvanceOutcome {
   // Terminal status, or kActive if the particle stopped because it needs
   // a block that is not available.
@@ -118,6 +159,12 @@ class Tracer {
 
   const IntegratorParams& integrator_params() const { return iparams_; }
   const TraceLimits& limits() const { return limits_; }
+
+  // Install (or remove, with nullptr) the cancelled-query set consulted
+  // by the fast path.  Not owned; must outlive the advance calls.  The
+  // reference loop deliberately ignores it — cancellation is a service
+  // feature, the oracle stays frozen.
+  void set_cancel_set(const QueryCancelSet* cancels) { cancels_ = cancels; }
 
   // Advance `particle` while its owning block is available via `blocks`.
   // Updates the particle in place; returns what happened.  Fast path.
@@ -160,6 +207,7 @@ class Tracer {
   const BlockDecomposition* decomp_;
   IntegratorParams iparams_;
   TraceLimits limits_;
+  const QueryCancelSet* cancels_ = nullptr;
 };
 
 // ---------------------------------------------------------------------------

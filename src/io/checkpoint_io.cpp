@@ -11,8 +11,9 @@ namespace sf {
 namespace {
 
 // Format v2 added the run-topology stamp (algorithm tag + dataset hash)
-// after num_ranks; v1 files are rejected with a clear error.
-constexpr char kMagic[8] = {'S', 'F', 'C', 'K', 'P', 'T', '2', '\n'};
+// after num_ranks; v3 added the owning-query tag to every particle
+// record (src/service).  Older files are rejected with a clear error.
+constexpr char kMagic[8] = {'S', 'F', 'C', 'K', 'P', 'T', '3', '\n'};
 
 std::uint64_t fnv1a(const void* data, std::size_t bytes) {
   const auto* p = static_cast<const unsigned char*>(data);
@@ -47,6 +48,7 @@ class Writer {
     f64(p.h);
     u32(p.steps);
     u32(p.geometry_points);
+    u32(p.query);
     u8(static_cast<std::uint8_t>(p.status));
   }
 
@@ -101,6 +103,7 @@ class Reader {
     p.h = f64();
     p.steps = u32();
     p.geometry_points = u32();
+    p.query = u32();
     p.status = static_cast<ParticleStatus>(u8());
     return p;
   }
@@ -179,7 +182,7 @@ Checkpoint read_checkpoint(const std::filesystem::path& path) {
     if (f && std::memcmp(h.magic, "SFCKPT", 6) == 0) {
       throw std::runtime_error(
           "checkpoint: " + path.string() +
-          " uses an unsupported format version (expected SFCKPT2)");
+          " uses an unsupported format version (expected SFCKPT3)");
     }
     throw std::runtime_error("checkpoint: bad magic in " + path.string());
   }

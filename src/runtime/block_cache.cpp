@@ -78,8 +78,61 @@ void BlockCache::erase(BlockId id) {
   check_counters();
 }
 
+void BlockCache::adopt(BlockId id, GridPtr grid) {
+  auto [it, inserted] = map_.try_emplace(id);
+  if (!inserted) {
+    touch(it->second.pos);
+    return;
+  }
+  lru_.push_front(id);
+  it->second = Entry{std::move(grid), lru_.begin()};
+  ++adopted_;
+  evict_to_capacity();
+  check_counters();
+}
+
 std::vector<BlockId> BlockCache::resident() const {
   return {lru_.begin(), lru_.end()};
+}
+
+std::vector<std::pair<BlockId, GridPtr>> BlockCache::export_resident() const {
+  std::vector<std::pair<BlockId, GridPtr>> out;
+  out.reserve(map_.size());
+  for (BlockId id : lru_) out.emplace_back(id, map_.at(id).grid);
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// SharedBlockPool
+// ---------------------------------------------------------------------------
+
+const std::vector<std::pair<BlockId, GridPtr>> SharedBlockPool::kEmpty;
+
+void SharedBlockPool::capture(int rank, const BlockCache& cache) {
+  if (rank < 0) return;
+  if (ranks_.size() <= static_cast<std::size_t>(rank)) {
+    ranks_.resize(static_cast<std::size_t>(rank) + 1);
+  }
+  ranks_[static_cast<std::size_t>(rank)] = cache.export_resident();
+}
+
+void SharedBlockPool::drop(int rank) {
+  if (rank < 0 || static_cast<std::size_t>(rank) >= ranks_.size()) return;
+  ranks_[static_cast<std::size_t>(rank)].clear();
+}
+
+const std::vector<std::pair<BlockId, GridPtr>>& SharedBlockPool::blocks(
+    int rank) const {
+  if (rank < 0 || static_cast<std::size_t>(rank) >= ranks_.size()) {
+    return kEmpty;
+  }
+  return ranks_[static_cast<std::size_t>(rank)];
+}
+
+std::size_t SharedBlockPool::total_blocks() const {
+  std::size_t n = 0;
+  for (const auto& r : ranks_) n += r.size();
+  return n;
 }
 
 }  // namespace sf

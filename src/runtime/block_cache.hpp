@@ -12,6 +12,7 @@
 #include <cstdint>
 #include <list>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "core/dataset.hpp"
@@ -60,11 +61,22 @@ class BlockCache {
   // Drop a block explicitly (not counted as a purge; used by tests).
   void erase(BlockId id);
 
+  // Insert a block inherited from another run's cache (cross-query warm
+  // start).  Identical LRU behaviour to insert(), but counted as an
+  // adoption instead of a load: the E-metric and hit rate measure what
+  // *this* run pulled off disk, and a warm start did no I/O.
+  void adopt(BlockId id, GridPtr grid);
+
   // Resident block ids, most-recently used first.
   std::vector<BlockId> resident() const;
 
+  // Resident blocks with their grids, most-recently used first — what a
+  // SharedBlockPool captures at run end.
+  std::vector<std::pair<BlockId, GridPtr>> export_resident() const;
+
   std::uint64_t loads() const { return loads_; }
   std::uint64_t purges() const { return purges_; }
+  std::uint64_t adopted() const { return adopted_; }
   std::uint64_t hits() const { return hits_; }
   std::uint64_t misses() const { return misses_; }
 
@@ -77,10 +89,11 @@ class BlockCache {
   // capacity or only pinned entries remain.
   void evict_to_capacity();
 
-  // Counter audit: every load is still resident, purged, or explicitly
-  // erased — the E-metric E = (loads - purges) / loads depends on it.
+  // Counter audit: every load or adoption is still resident, purged, or
+  // explicitly erased — the E-metric E = (loads - purges) / loads
+  // depends on it.
   void check_counters() const {
-    assert(loads_ == purges_ + erased_ + map_.size());
+    assert(loads_ + adopted_ == purges_ + erased_ + map_.size());
   }
 
   std::size_t capacity_;
@@ -93,9 +106,34 @@ class BlockCache {
   std::unordered_map<BlockId, int> pins_;  // id -> nested pin count
   std::uint64_t loads_ = 0;
   std::uint64_t purges_ = 0;
-  std::uint64_t erased_ = 0;  // explicit erase(), not counted as purge
+  std::uint64_t erased_ = 0;   // explicit erase(), not counted as purge
+  std::uint64_t adopted_ = 0;  // warm-start inserts (cross-query sharing)
   std::uint64_t hits_ = 0;
   std::uint64_t misses_ = 0;
+};
+
+// Cross-query block residency, carried between runs by the streamline
+// service: at run end each rank's resident blocks (with their grids and
+// LRU order) are captured here; at the next run start they are adopted
+// back into the fresh per-rank caches, so overlapping queries hit each
+// other's blocks instead of re-reading them from disk.  Epochs run
+// sequentially, so the pool needs no locking.
+class SharedBlockPool {
+ public:
+  // Replace `rank`'s captured residency with the cache's current one.
+  void capture(int rank, const BlockCache& cache);
+
+  // Forget `rank`'s captured blocks (the rank crashed; its memory died).
+  void drop(int rank);
+
+  // Captured blocks for `rank`, MRU first (empty if none captured).
+  const std::vector<std::pair<BlockId, GridPtr>>& blocks(int rank) const;
+
+  std::size_t total_blocks() const;
+
+ private:
+  std::vector<std::vector<std::pair<BlockId, GridPtr>>> ranks_;
+  static const std::vector<std::pair<BlockId, GridPtr>> kEmpty;
 };
 
 }  // namespace sf

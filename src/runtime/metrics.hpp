@@ -41,6 +41,20 @@ struct RankMetrics {
   std::uint64_t prefetch_hits = 0;      // demands served from staging
   std::uint64_t prefetches_wasted = 0;  // staged-unclaimed/failed/dropped
   double stall_time = 0.0;  // seconds blocked on demand block reads
+  // Blocks inherited warm from a previous run's cache (service sharing).
+  std::uint64_t blocks_adopted = 0;
+
+  // Merge another run's counters into this rank's (service accumulation).
+  void accumulate(const RankMetrics& other);
+};
+
+// Per-query completion record produced by the runtimes: the runtime clock
+// when the query's last seeded streamline terminated, plus how many
+// streamlines it covered.  The service turns these into latency samples.
+struct QueryCompletion {
+  std::uint32_t query = 0;
+  double done_time = 0.0;
+  std::uint32_t particles = 0;
 };
 
 struct RunMetrics {
@@ -63,6 +77,9 @@ struct RunMetrics {
   // Populated when SimRuntimeConfig::record_timeline is set: per-rank
   // compute/I/O spans for utilization and starvation analysis (§8).
   std::shared_ptr<const Timeline> timeline;
+  // Per-query completion times (runtime clock), sorted by query id.
+  // Empty for runs that seeded no live particles.
+  std::vector<QueryCompletion> query_completions;
 
   double total_io_time() const;
   double total_comm_time() const;
@@ -100,6 +117,19 @@ struct RunMetrics {
   // Utilization of the busiest rank minus the mean: a large spread means
   // a few ranks did all the work (Static Allocation's failure mode).
   double utilization_imbalance() const;
+
+  // --- service accumulation (per-query vs. cumulative reporting) ---------
+
+  // Fold one epoch's metrics into this cumulative record: wall clocks and
+  // rank counters add, particle results and query completions append.
+  // Each epoch's counters start from zero (fresh runtime contexts), so
+  // cumulative = sum of epochs with no double-counting.  The latest
+  // epoch's fault stats, checkpoint and timeline pointers are kept;
+  // failure flags OR together.
+  void accumulate(const RunMetrics& epoch);
+
+  // Back to a default-constructed record (a service's counter reset).
+  void reset();
 };
 
 }  // namespace sf

@@ -220,6 +220,7 @@ class SimRuntime::Context final : public RankContext {
         runtime_->fault_->ledger.on_terminated(rank_, p);
     SF_INVARIANT_HOOK(runtime_->checker_,
                       on_terminated(rank_, p, first, engine_->now()));
+    if (first) runtime_->note_query_termination(p);
     return first;
   }
 
@@ -234,6 +235,25 @@ class SimRuntime::Context final : public RankContext {
     metrics.blocks_purged = cache_.purges();
     metrics.cache_hits = cache_.hits();
     metrics.cache_misses = cache_.misses();
+    metrics.blocks_adopted = cache_.adopted();
+  }
+
+  const BlockCache& cache() const { return cache_; }
+
+  // Warm start from a previous run's captured residency (cross-query
+  // sharing).  `blocks` is MRU first; adopting LRU-last -> MRU-first
+  // rebuilds the same recency order, and each adoption replays through
+  // the checker's LRU model so coherence checks keep holding.
+  void adopt_shared(const std::vector<std::pair<BlockId, GridPtr>>& blocks) {
+    const std::size_t n = std::min(blocks.size(), cache_.capacity());
+    for (std::size_t i = n; i-- > 0;) {
+      cache_.adopt(blocks[i].first, blocks[i].second);
+      SF_INVARIANT_HOOK(
+          runtime_->checker_,
+          on_block_insert(rank_, blocks[i].first, cache_.resident(),
+                          engine_->now()));
+    }
+    sync_cache_counters();
   }
 
   // Discard whatever the prefetch pipeline still holds (staged grids a
@@ -878,6 +898,18 @@ void SimRuntime::schedule_checkpoint(double at) {
   });
 }
 
+void SimRuntime::note_query_termination(const Particle& p) {
+  auto it = query_remaining_.find(p.query);
+  // Unknown queries (particles terminated by a test program that never
+  // snapshot them) and already-complete queries are not obligations.
+  if (it == query_remaining_.end() || it->second == 0) return;
+  if (--it->second == 0) {
+    completions_.push_back(QueryCompletion{
+        p.query, engine_->now(), query_total_[p.query]});
+    SF_INVARIANT_HOOK(checker_, on_query_done(p.query, engine_->now()));
+  }
+}
+
 RunMetrics SimRuntime::run(const ProgramFactory& factory) {
   SimEngine engine;
   SharedDisk disk(config_.model, config_.model.io_channels);
@@ -902,7 +934,8 @@ RunMetrics SimRuntime::run(const ProgramFactory& factory) {
        .num_masters = config_.checker_num_masters,
        .num_blocks = decomp_->num_blocks(),
        .cache_blocks = config_.cache_blocks,
-       .fault_mode = config_.fault.enabled});
+       .fault_mode = config_.fault.enabled,
+       .track_queries = true});
   if (checker_) {
     std::vector<Particle> snap;
     for (int r = 0; r < config_.num_ranks; ++r) {
@@ -912,6 +945,45 @@ RunMetrics SimRuntime::run(const ProgramFactory& factory) {
       checker_->on_seeded(r, snap);
     }
     checker_->on_presettled(config_.fault.presettled);
+  }
+
+  // Cross-query warm start: adopt the pool's captured residency before
+  // any program runs, so the first demands of an overlapping query hit.
+  if (config_.shared_blocks != nullptr) {
+    for (int r = 0; r < config_.num_ranks; ++r) {
+      contexts_[static_cast<std::size_t>(r)]->adopt_shared(
+          config_.shared_blocks->blocks(r));
+    }
+  }
+
+  // Per-query completion accounting, from the same seeding snapshots the
+  // checker and ledger see (deduped by particle id: at t = 0 each live
+  // streamline has exactly one owner).
+  query_remaining_.clear();
+  query_total_.clear();
+  completions_.clear();
+  {
+    std::vector<Particle> snap;
+    std::set<std::uint32_t> seen;
+    for (int r = 0; r < config_.num_ranks; ++r) {
+      snap.clear();
+      contexts_[static_cast<std::size_t>(r)]->program->snapshot_particles(
+          snap);
+      for (const Particle& p : snap) {
+        if (is_terminal(p.status)) continue;
+        if (!seen.insert(p.id).second) continue;
+        ++query_remaining_[p.query];
+      }
+    }
+    query_total_ = query_remaining_;
+  }
+
+  // Query cancellation plumbing: the tracer consults the cancel set at
+  // every advance; scheduled cancel events populate it mid-run.
+  cancel_set_.clear();
+  tracer_.set_cancel_set(&cancel_set_);
+  for (const QueryCancelAt& c : config_.cancels) {
+    engine.schedule_at(c.at, [this, q = c.query] { cancel_set_.cancel(q); });
   }
 
   fault_.reset();
@@ -1039,8 +1111,27 @@ RunMetrics SimRuntime::run(const ProgramFactory& factory) {
       on_run_end(!run_metrics.failed_oom && any_alive, engine.now()));
   checker_.reset();
 
+  // Capture cross-query residency for the next epoch; a dead rank's
+  // memory died with it.
+  if (config_.shared_blocks != nullptr) {
+    for (int r = 0; r < config_.num_ranks; ++r) {
+      if (rank_alive(r)) {
+        config_.shared_blocks->capture(
+            r, contexts_[static_cast<std::size_t>(r)]->cache());
+      } else {
+        config_.shared_blocks->drop(r);
+      }
+    }
+  }
+
   std::sort(run_metrics.particles.begin(), run_metrics.particles.end(),
             [](const Particle& a, const Particle& b) { return a.id < b.id; });
+  std::sort(completions_.begin(), completions_.end(),
+            [](const QueryCompletion& a, const QueryCompletion& b) {
+              return a.query < b.query;
+            });
+  run_metrics.query_completions = std::move(completions_);
+  completions_.clear();
   run_metrics.timeline = std::move(timeline_);
   contexts_.clear();
   engine_ = nullptr;

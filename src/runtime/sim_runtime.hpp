@@ -41,6 +41,14 @@
 
 namespace sf {
 
+// A timed query cancellation (service control plane): at simulated time
+// `at`, every still-active particle of `query` terminates as kCancelled
+// at its next advance.
+struct QueryCancelAt {
+  std::uint32_t query = 0;
+  double at = 0.0;
+};
+
 struct SimRuntimeConfig {
   int num_ranks = 4;
   MachineModel model{};
@@ -70,6 +78,13 @@ struct SimRuntimeConfig {
   // cache (and the load count) when a demand claims them, so the
   // trajectory and load/purge accounting match the sync path exactly.
   AsyncIoConfig async_io{};
+  // Cross-query cache sharing (src/service).  Non-owning; nullptr for
+  // standalone runs.  At run start each rank adopts the pool's captured
+  // blocks into its fresh LRU (counted as adoptions, not loads); at run
+  // end the surviving ranks' residency is captured back.
+  SharedBlockPool* shared_blocks = nullptr;
+  // Timed query cancellations, applied through the tracer's cancel set.
+  std::vector<QueryCancelAt> cancels;
 };
 
 class SimRuntime {
@@ -170,11 +185,23 @@ class SimRuntime {
   void bounce_undeliverable(int intended, Message msg);
   void checkpoint_tick();
   void schedule_checkpoint(double at);
+  // Per-query completion tracking: called on every first-time termination;
+  // fires the completion record (and checker hook) when the query's last
+  // seeded streamline terminates.
+  void note_query_termination(const Particle& p);
 
   SimRuntimeConfig config_;
   const BlockDecomposition* decomp_;
   const BlockSource* source_;
   Tracer tracer_;
+  // Cancelled-query set consulted by the tracer's fast path; populated by
+  // the scheduled QueryCancelAt events.
+  QueryCancelSet cancel_set_;
+  // Per-query live-streamline counts (from the seeding snapshots) and the
+  // completion records they produce.
+  std::map<std::uint32_t, std::uint32_t> query_remaining_;
+  std::map<std::uint32_t, std::uint32_t> query_total_;
+  std::vector<QueryCompletion> completions_;
   std::vector<std::unique_ptr<Context>> contexts_;
   std::shared_ptr<Timeline> timeline_;
   std::unique_ptr<FaultState> fault_;

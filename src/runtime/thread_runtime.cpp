@@ -204,6 +204,7 @@ class ThreadRuntime::Context final : public RankContext {
     SF_INVARIANT_HOOK(
         runtime_->checker_,
         on_terminated(rank_, p, /*first_time=*/true, seconds_since(epoch_)));
+    runtime_->note_query_termination(p, seconds_since(epoch_));
     return true;
   }
 
@@ -279,6 +280,24 @@ class ThreadRuntime::Context final : public RankContext {
     metrics.blocks_purged = cache_.purges();
     metrics.cache_hits = cache_.hits();
     metrics.cache_misses = cache_.misses();
+    metrics.blocks_adopted = cache_.adopted();
+  }
+
+  const BlockCache& cache() const { return cache_; }
+
+  // Warm start from a previous run's captured residency (cross-query
+  // sharing).  Runs on the main thread before the rank threads launch,
+  // so no locking; `blocks` is MRU first, adopted LRU-last -> MRU-first
+  // to rebuild the same recency order under the checker's LRU model.
+  void adopt_shared(const std::vector<std::pair<BlockId, GridPtr>>& blocks) {
+    const std::size_t n = std::min(blocks.size(), cache_.capacity());
+    for (std::size_t i = n; i-- > 0;) {
+      cache_.adopt(blocks[i].first, blocks[i].second);
+      SF_INVARIANT_HOOK(runtime_->checker_,
+                        on_block_insert(rank_, blocks[i].first,
+                                        cache_.resident(), 0.0));
+    }
+    metrics.blocks_adopted = cache_.adopted();
   }
 
   std::unique_ptr<RankProgram> program;
@@ -462,6 +481,26 @@ void ThreadRuntime::note_failure(std::exception_ptr error) {
   abort_flag_->store(true);
 }
 
+void ThreadRuntime::note_query_termination(const Particle& p, double now) {
+  std::uint32_t fire_query = 0;
+  std::uint32_t fire_particles = 0;
+  bool fire = false;
+  {
+    std::lock_guard lock(query_mutex_);
+    auto it = query_remaining_.find(p.query);
+    if (it == query_remaining_.end() || it->second == 0) return;
+    if (--it->second == 0) {
+      fire = true;
+      fire_query = p.query;
+      fire_particles = query_total_[p.query];
+      completions_.push_back(QueryCompletion{p.query, now, fire_particles});
+    }
+  }
+  if (fire) {
+    SF_INVARIANT_HOOK(checker_, on_query_done(fire_query, now));
+  }
+}
+
 RunMetrics ThreadRuntime::run(const ProgramFactory& factory) {
   const auto epoch = std::chrono::steady_clock::now();
   std::atomic<bool> abort{false};
@@ -488,7 +527,8 @@ RunMetrics ThreadRuntime::run(const ProgramFactory& factory) {
        .num_masters = config_.checker_num_masters,
        .num_blocks = decomp_->num_blocks(),
        .cache_blocks = config_.cache_blocks,
-       .fault_mode = false});
+       .fault_mode = false,
+       .track_queries = true});
   if (checker_) {
     std::vector<Particle> snap;
     for (int r = 0; r < config_.num_ranks; ++r) {
@@ -498,6 +538,39 @@ RunMetrics ThreadRuntime::run(const ProgramFactory& factory) {
       checker_->on_seeded(r, snap);
     }
   }
+
+  // Cross-query warm start, on the main thread before any rank runs.
+  if (config_.shared_blocks != nullptr) {
+    for (int r = 0; r < config_.num_ranks; ++r) {
+      contexts_[static_cast<std::size_t>(r)]->adopt_shared(
+          config_.shared_blocks->blocks(r));
+    }
+  }
+
+  // Per-query completion accounting from the seeding snapshots (deduped
+  // by particle id), plus the epoch-boundary cancellation set.
+  {
+    std::lock_guard lock(query_mutex_);
+    query_remaining_.clear();
+    query_total_.clear();
+    completions_.clear();
+    std::vector<Particle> snap;
+    std::set<std::uint32_t> seen;
+    for (int r = 0; r < config_.num_ranks; ++r) {
+      snap.clear();
+      contexts_[static_cast<std::size_t>(r)]->program->snapshot_particles(
+          snap);
+      for (const Particle& p : snap) {
+        if (is_terminal(p.status)) continue;
+        if (!seen.insert(p.id).second) continue;
+        ++query_remaining_[p.query];
+      }
+    }
+    query_total_ = query_remaining_;
+  }
+  cancel_set_.clear();
+  for (std::uint32_t q : config_.cancelled_queries) cancel_set_.cancel(q);
+  tracer_.set_cancel_set(&cancel_set_);
 
   std::vector<std::thread> threads;
   threads.reserve(contexts_.size());
@@ -525,8 +598,25 @@ RunMetrics ThreadRuntime::run(const ProgramFactory& factory) {
       ctx->program->collect_particles(run_metrics.particles);
     }
   }
+  // Capture cross-query residency for the next epoch (threads joined, so
+  // the caches are quiescent).
+  if (config_.shared_blocks != nullptr) {
+    for (int r = 0; r < config_.num_ranks; ++r) {
+      config_.shared_blocks->capture(
+          r, contexts_[static_cast<std::size_t>(r)]->cache());
+    }
+  }
   std::sort(run_metrics.particles.begin(), run_metrics.particles.end(),
             [](const Particle& a, const Particle& b) { return a.id < b.id; });
+  {
+    std::lock_guard lock(query_mutex_);
+    std::sort(completions_.begin(), completions_.end(),
+              [](const QueryCompletion& a, const QueryCompletion& b) {
+                return a.query < b.query;
+              });
+    run_metrics.query_completions = std::move(completions_);
+    completions_.clear();
+  }
   contexts_.clear();
   return run_metrics;
 }

@@ -10,14 +10,18 @@
 // for scaling *studies* use SimRuntime, which models a large machine.
 
 #include <atomic>
+#include <cstdint>
 #include <exception>
+#include <map>
 #include <memory>
 #include <mutex>
+#include <vector>
 
 #include "check/invariants.hpp"
 #include "core/dataset.hpp"
 #include "core/tracer.hpp"
 #include "io/async_loader.hpp"
+#include "runtime/block_cache.hpp"
 #include "runtime/metrics.hpp"
 #include "runtime/rank_context.hpp"
 
@@ -44,6 +48,15 @@ struct ThreadRuntimeConfig {
   // the owning thread.  Off by default: request_block stays a plain
   // synchronous read.
   AsyncIoConfig async_io{};
+  // Cross-query cache sharing (src/service).  Non-owning; nullptr for
+  // standalone runs.  Adopted into each rank's cache before the threads
+  // start, captured back after they join.
+  SharedBlockPool* shared_blocks = nullptr;
+  // Queries cancelled before the run starts: their particles terminate
+  // as kCancelled at first advance.  Real threads have no deterministic
+  // mid-run instant, so the thread runtime applies cancellations only at
+  // epoch boundaries (timed mid-flight cancels are a SimRuntime feature).
+  std::vector<std::uint32_t> cancelled_queries;
 };
 
 class ThreadRuntime {
@@ -60,11 +73,19 @@ class ThreadRuntime {
 
   // First exception a rank thread died on; rethrown from run().
   void note_failure(std::exception_ptr error);
+  // Per-query completion tracking; called from rank threads on every
+  // termination, serialized by query_mutex_.
+  void note_query_termination(const Particle& p, double now);
 
   ThreadRuntimeConfig config_;
   const BlockDecomposition* decomp_;
   const BlockSource* source_;
   Tracer tracer_;
+  QueryCancelSet cancel_set_;
+  std::mutex query_mutex_;
+  std::map<std::uint32_t, std::uint32_t> query_remaining_;
+  std::map<std::uint32_t, std::uint32_t> query_total_;
+  std::vector<QueryCompletion> completions_;
   std::vector<std::unique_ptr<Context>> contexts_;
   // Live only inside run(), and only when config_.async_io.enabled.
   std::unique_ptr<AsyncBlockLoader> loader_;

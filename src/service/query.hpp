@@ -1,0 +1,69 @@
+#pragma once
+
+// Query-plane value types for the streamline service (DESIGN.md §12).
+//
+// A query is one independent streamline request: a set of seed points to
+// advect to termination.  The service assigns each submission a QueryId,
+// tags every particle it creates with it (Particle::query), and tracks
+// the query through the lifecycle below.  QueryId 0 is reserved for
+// standalone (non-service) runs so their particles are distinguishable
+// from any service query.
+
+#include <cstdint>
+#include <vector>
+
+#include "core/particle.hpp"
+#include "core/vec3.hpp"
+
+namespace sf {
+
+using QueryId = std::uint32_t;
+
+// Lifecycle: kQueued -> kRunning -> kDone, with two exits: kCancelled
+// (while queued, or mid-flight through the tracer's cancel set) and
+// kRejected (admission control refused the submission outright).
+enum class QueryState {
+  kQueued,
+  kRunning,
+  kDone,
+  kCancelled,
+  kRejected,
+};
+
+const char* to_string(QueryState s);
+
+// One submitted query, as the queue holds it.
+struct StreamlineQuery {
+  QueryId id = 0;
+  std::vector<Vec3> seeds;
+  double arrival = 0.0;  // service-clock submission time
+};
+
+// Everything the service remembers about a query, for results and for the
+// latency/fairness metrics in bench/service_load.
+struct QueryRecord {
+  QueryId query = 0;
+  QueryState state = QueryState::kQueued;
+  std::size_t num_seeds = 0;
+  double submit_time = 0.0;
+  double admit_time = -1.0;   // -1 until admitted
+  double done_time = -1.0;    // -1 until every particle terminated
+  double cancel_time = -1.0;  // -1 unless cancelled
+  // Terminated particles, ids renumbered to the query's own seed indices
+  // (0..num_seeds-1) so the result is directly comparable to a standalone
+  // run of the same seeds.
+  std::vector<Particle> particles;
+
+  // Queue wait: submission to admission (or to cancellation while queued).
+  double queue_wait() const {
+    if (admit_time >= 0.0) return admit_time - submit_time;
+    if (cancel_time >= 0.0) return cancel_time - submit_time;
+    return 0.0;
+  }
+  // End-to-end latency: submission to last particle termination.
+  double latency() const {
+    return done_time >= 0.0 ? done_time - submit_time : -1.0;
+  }
+};
+
+}  // namespace sf

@@ -1,0 +1,40 @@
+#include "service/query_queue.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+namespace sf {
+
+bool QueryQueue::submit(StreamlineQuery q) {
+  if (queue_.size() >= max_depth_) return false;
+  queue_.push_back(std::move(q));
+  return true;
+}
+
+bool QueryQueue::cancel(QueryId id) {
+  const auto it = std::find_if(
+      queue_.begin(), queue_.end(),
+      [id](const StreamlineQuery& q) { return q.id == id; });
+  if (it == queue_.end()) return false;
+  queue_.erase(it);
+  return true;
+}
+
+std::vector<StreamlineQuery> QueryQueue::admit(std::size_t max_queries) {
+  std::vector<StreamlineQuery> batch;
+  while (!queue_.empty() && batch.size() < max_queries) {
+    batch.push_back(std::move(queue_.front()));
+    queue_.pop_front();
+  }
+  return batch;
+}
+
+double PoissonArrivals::next() {
+  // Exponential inter-arrival: -ln(1-u)/rate, with log1p for precision
+  // near u = 0.  next_double() is in [0,1) so the argument stays > 0.
+  t_ += -std::log1p(-rng_.next_double()) / rate_;
+  return t_;
+}
+
+}  // namespace sf

@@ -1,0 +1,62 @@
+#pragma once
+
+// Admission queue + arrival process for the streamline service
+// (DESIGN.md §12).
+//
+// QueryQueue is a bounded FIFO: submissions past max_depth are rejected
+// up front (admission control), and a queued query can still be cancelled
+// before it is admitted.  PoissonArrivals generates the deterministic
+// seeded arrival process the service's simulation mode replays: same
+// rate + seed, same arrival instants, bit for bit.
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "core/rng.hpp"
+#include "service/query.hpp"
+
+namespace sf {
+
+class QueryQueue {
+ public:
+  explicit QueryQueue(std::size_t max_depth) : max_depth_(max_depth) {}
+
+  // Enqueue; false means the queue is at max_depth and the query is
+  // rejected (the caller records kRejected — the query never enters).
+  bool submit(StreamlineQuery q);
+
+  // Remove a still-queued query.  False if it is not in the queue
+  // (already admitted, finished, or never accepted).
+  bool cancel(QueryId id);
+
+  // Pop up to max_queries oldest entries, FIFO.
+  std::vector<StreamlineQuery> admit(std::size_t max_queries);
+
+  std::size_t depth() const { return queue_.size(); }
+  bool empty() const { return queue_.empty(); }
+
+ private:
+  std::size_t max_depth_;
+  std::deque<StreamlineQuery> queue_;
+};
+
+// Deterministic Poisson process: exponential inter-arrival times with the
+// given rate (queries per unit time), drawn from sf::Rng so a (rate,
+// seed) pair always replays the identical arrival sequence.
+class PoissonArrivals {
+ public:
+  PoissonArrivals(double rate, std::uint64_t seed)
+      : rate_(rate), rng_(seed) {}
+
+  // Next arrival instant; strictly increasing.
+  double next();
+
+ private:
+  double rate_;
+  double t_ = 0.0;
+  Rng rng_;
+};
+
+}  // namespace sf

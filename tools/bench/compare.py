@@ -5,32 +5,38 @@ Usage:
     tools/bench/compare.py BASELINE.json CURRENT.json [--threshold=0.10]
                            [--warn-only] [--fail-on-regression]
 
-Supports both bench schemas, selected by the "bench" field in the JSON:
+Supports the bench schemas below, selected by the "bench" field in the
+JSON.  A schema is a case key plus one or more gated metrics, each with
+its own improvement direction:
 
   advect_throughput  keyed (kernel, seeding, cache); compares
                      particle_steps_per_sec, higher is better.
   io_overlap         keyed (algorithm, seeding, cache, mode); compares
                      wall_s, lower is better.
+  service_load       keyed (scenario, cache); compares p99_latency_s
+                     (lower is better) and hit_rate (higher is better).
 
-Prints a ratio table and exits non-zero if any current value regresses
-more than --threshold (default 10%) past the baseline.  --warn-only
-reports but always exits 0 — the CI smoke job uses it because
-shared-runner timing is too noisy to gate on.  --fail-on-regression
-forces the non-zero exit even when --warn-only is also given (for
-deterministic benches, like the simulated io_overlap run, that CAN be
-gated on).
+Prints a ratio table (one row per case and metric) and exits non-zero if
+any current value regresses more than --threshold (default 10%) past the
+baseline.  --warn-only reports but always exits 0 — the CI smoke job
+uses it because shared-runner timing is too noisy to gate on.
+--fail-on-regression forces the non-zero exit even when --warn-only is
+also given (for deterministic benches, like the simulated io_overlap and
+service_load runs, that CAN be gated on).
 """
 
 import argparse
 import json
 import sys
 
-# bench name -> (key fields, metric field, higher is better)
+# bench name -> (key fields, [(metric field, higher is better), ...])
 SCHEMAS = {
     "advect_throughput": (("kernel", "seeding", "cache"),
-                          "particle_steps_per_sec", True),
+                          [("particle_steps_per_sec", True)]),
     "io_overlap": (("algorithm", "seeding", "cache", "mode"),
-                   "wall_s", False),
+                   [("wall_s", False)]),
+    "service_load": (("scenario", "cache"),
+                     [("p99_latency_s", False), ("hit_rate", True)]),
 }
 
 
@@ -40,14 +46,14 @@ def load(path):
     bench = doc.get("bench", "advect_throughput")
     if bench not in SCHEMAS:
         sys.exit(f"{path}: unknown bench kind {bench!r}")
-    key_fields, metric, _ = SCHEMAS[bench]
+    key_fields, metrics, = SCHEMAS[bench]
     out = {}
     for r in doc.get("results", []):
         # Older advect runs predate the cache-regime axis; treat them as
         # the all-blocks-resident regime so baselines stay comparable.
         key = tuple(r.get(f, "resident" if f == "cache" else None)
                     for f in key_fields)
-        out[key] = r[metric]
+        out[key] = {metric: r[metric] for metric, _ in metrics}
     if not out:
         sys.exit(f"{path}: no results")
     return bench, out
@@ -70,34 +76,39 @@ def main():
     if base_bench != cur_bench:
         sys.exit(f"bench kinds differ: baseline is {base_bench}, "
                  f"current is {cur_bench}")
-    key_fields, metric, higher_better = SCHEMAS[base_bench]
+    _, metrics = SCHEMAS[base_bench]
 
     key_width = max(len("/".join(k)) for k in list(base) + list(cur))
-    header = (f"{'case':{key_width}} {'base ' + metric:>18} "
-              f"{'current':>14} {'ratio':>7}")
+    metric_width = max(len(m) for m, _ in metrics)
+    header = (f"{'case':{key_width}} {'metric':{metric_width}} "
+              f"{'baseline':>14} {'current':>14} {'ratio':>7}")
     print(header)
     print("-" * len(header))
     regressions = []
     for key in sorted(base):
-        b = base[key]
         name = "/".join(key)
         if key not in cur:
             regressions.append(f"{name}: missing from current run")
             continue
-        c = cur[key]
-        ratio = c / b
-        bad = (ratio < 1.0 - args.threshold if higher_better
-               else ratio > 1.0 + args.threshold)
-        flag = ""
-        if bad:
-            flag = "  <-- REGRESSION"
-            worse = (1.0 - ratio if higher_better else ratio - 1.0) * 100
-            regressions.append(
-                f"{name}: {metric} {c:.4g} vs baseline {b:.4g} "
-                f"({worse:.1f}% worse)")
-        print(f"{name:{key_width}} {b:18.4g} {c:14.4g} {ratio:7.3f}{flag}")
+        for metric, higher_better in metrics:
+            b = base[key][metric]
+            c = cur[key][metric]
+            ratio = c / b if b != 0 else float("inf")
+            bad = (ratio < 1.0 - args.threshold if higher_better
+                   else ratio > 1.0 + args.threshold)
+            flag = ""
+            if bad:
+                flag = "  <-- REGRESSION"
+                worse = (1.0 - ratio if higher_better else ratio - 1.0) * 100
+                regressions.append(
+                    f"{name}: {metric} {c:.4g} vs baseline {b:.4g} "
+                    f"({worse:.1f}% worse)")
+            print(f"{name:{key_width}} {metric:{metric_width}} "
+                  f"{b:14.4g} {c:14.4g} {ratio:7.3f}{flag}")
     for key in sorted(set(cur) - set(base)):
-        print(f"{'/'.join(key):{key_width}} {'(new)':>18} {cur[key]:14.4g}")
+        for metric, _ in metrics:
+            print(f"{'/'.join(key):{key_width}} {metric:{metric_width}} "
+                  f"{'(new)':>14} {cur[key][metric]:14.4g}")
 
     if regressions:
         print(f"\n{len(regressions)} regression(s) beyond "
