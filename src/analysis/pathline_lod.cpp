@@ -48,6 +48,9 @@ class PathlineLodProgram final : public RankProgram {
   }
 
   void on_compute_done(RankContext& ctx) override {
+    // NOLINTNEXTLINE(bugprone-unchecked-optional-access): the runtime
+    // only fires on_compute_done for a compute slot this program filled
+    // in try_start, which engages in_flight_ first.
     Particle p = std::move(*in_flight_);
     in_flight_.reset();
     if (is_terminal(flight_.status)) {

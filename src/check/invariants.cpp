@@ -114,7 +114,7 @@ const std::vector<Particle>* InvariantChecker::payload_particles(
 
 void InvariantChecker::on_seeded(int rank,
                                  const std::vector<Particle>& particles) {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   for (const Particle& p : particles) {
     const bool fresh = particles_.count(p.id) == 0;
     ParticleState& s = particles_[p.id];
@@ -138,7 +138,7 @@ void InvariantChecker::on_seeded(int rank,
 }
 
 void InvariantChecker::on_presettled(const std::vector<Particle>& particles) {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   for (const Particle& p : particles) {
     ParticleState& s = particles_[p.id];
     if (!s.done) {
@@ -149,7 +149,7 @@ void InvariantChecker::on_presettled(const std::vector<Particle>& particles) {
 }
 
 void InvariantChecker::on_run_end(bool completed, double now) {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   audit_locked(now);
   if (!completed) return;
   for (std::size_t r = 0; r < ranks_.size(); ++r) {
@@ -213,7 +213,7 @@ void InvariantChecker::take_from_holder(int rank, const Particle& p,
 
 void InvariantChecker::on_send(int from, int to, const Message& msg,
                                double now) {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   check_protocol(from, to, msg, now);
   if (is_finish_broadcast(msg)) note_finish_broadcast(from, to, now);
 
@@ -241,7 +241,7 @@ void InvariantChecker::on_send(int from, int to, const Message& msg,
 }
 
 void InvariantChecker::on_deliver(int to, const Message& msg, double now) {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   if (is_finish_broadcast(msg) && to >= 0 && to < config_.num_ranks) {
     RankState& r = ranks_[static_cast<std::size_t>(to)];
     // Fault mode tolerates duplicate terminates: under coordinator
@@ -284,7 +284,7 @@ void InvariantChecker::on_deliver(int to, const Message& msg, double now) {
 
 void InvariantChecker::on_terminated(int rank, const Particle& p,
                                      bool first_time, double now) {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   take_from_holder(rank, p, now, ViolationKind::kPhantomTermination);
   ParticleState& s = particles_[p.id];
   if (first_time) {
@@ -322,7 +322,7 @@ void InvariantChecker::on_terminated(int rank, const Particle& p,
 // ---------------------------------------------------------------------------
 
 void InvariantChecker::on_query_done(std::uint32_t query, double now) {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   QueryAccount& q = queries_[query];
   if (q.fired) {
     fail({.kind = ViolationKind::kQueryDoneDouble,
@@ -348,7 +348,7 @@ void InvariantChecker::on_query_done(std::uint32_t query, double now) {
 
 void InvariantChecker::on_crash(int rank, double now) {
   (void)now;
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   if (rank < 0 || rank >= config_.num_ranks) return;
   ranks_[static_cast<std::size_t>(rank)].crashed = true;
   // The rank's resident replicas die with it; they stay reachable through
@@ -370,7 +370,7 @@ void InvariantChecker::on_crash(int rank, double now) {
 void InvariantChecker::on_recover(int dead_rank, int new_owner,
                                   const std::vector<Particle>& particles,
                                   double now) {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   for (const Particle& p : particles) {
     ParticleState& s = particles_[p.id];
     if (s.done) {
@@ -392,7 +392,7 @@ void InvariantChecker::on_recover(int dead_rank, int new_owner,
 
 void InvariantChecker::on_dedup_window(int from, int to,
                                        std::uint32_t low_water, double now) {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   auto [it, inserted] = dedup_low_.try_emplace({from, to}, low_water);
   if (!inserted) {
     if (low_water < it->second) {
@@ -478,7 +478,7 @@ void InvariantChecker::replay_eviction_and_compare(
 void InvariantChecker::on_block_insert(int rank, BlockId id,
                                        const std::vector<BlockId>& actual,
                                        double now) {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   if (rank < 0 || rank >= config_.num_ranks || config_.cache_blocks == 0) {
     return;
   }
@@ -493,7 +493,7 @@ void InvariantChecker::on_block_insert(int rank, BlockId id,
 }
 
 void InvariantChecker::on_block_touch(int rank, BlockId id) {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   if (rank < 0 || rank >= config_.num_ranks) return;
   std::list<BlockId>& lru = ranks_[static_cast<std::size_t>(rank)].lru;
   auto it = std::find(lru.begin(), lru.end(), id);
@@ -501,7 +501,7 @@ void InvariantChecker::on_block_touch(int rank, BlockId id) {
 }
 
 void InvariantChecker::on_block_pin(int rank, BlockId id) {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   if (rank < 0 || rank >= config_.num_ranks || config_.cache_blocks == 0) {
     return;
   }
@@ -511,7 +511,7 @@ void InvariantChecker::on_block_pin(int rank, BlockId id) {
 void InvariantChecker::on_block_unpin(int rank, BlockId id,
                                       const std::vector<BlockId>& actual,
                                       double now) {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   if (rank < 0 || rank >= config_.num_ranks || config_.cache_blocks == 0) {
     return;
   }
@@ -534,7 +534,7 @@ void InvariantChecker::on_block_unpin(int rank, BlockId id,
 // ---------------------------------------------------------------------------
 
 void InvariantChecker::on_prefetch_issued(int rank, BlockId id, double now) {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   if (rank < 0 || rank >= config_.num_ranks) return;
   RankState& rs = ranks_[static_cast<std::size_t>(rank)];
   if (rs.prefetches.count(id) != 0) {
@@ -555,7 +555,7 @@ void InvariantChecker::on_prefetch_issued(int rank, BlockId id, double now) {
 }
 
 void InvariantChecker::on_prefetch_staged(int rank, BlockId id, double now) {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   if (rank < 0 || rank >= config_.num_ranks) return;
   RankState& rs = ranks_[static_cast<std::size_t>(rank)];
   auto it = rs.prefetches.find(id);
@@ -570,7 +570,7 @@ void InvariantChecker::on_prefetch_staged(int rank, BlockId id, double now) {
 }
 
 void InvariantChecker::on_prefetch_claimed(int rank, BlockId id, double now) {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   if (rank < 0 || rank >= config_.num_ranks) return;
   RankState& rs = ranks_[static_cast<std::size_t>(rank)];
   if (rs.prefetches.erase(id) == 0) {
@@ -584,7 +584,7 @@ void InvariantChecker::on_prefetch_claimed(int rank, BlockId id, double now) {
 
 void InvariantChecker::on_prefetch_cancelled(int rank, BlockId id,
                                              double now) {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   if (rank < 0 || rank >= config_.num_ranks) return;
   RankState& rs = ranks_[static_cast<std::size_t>(rank)];
   if (rs.prefetches.erase(id) == 0) {
@@ -826,17 +826,17 @@ void InvariantChecker::audit_locked(double now) const {
 }
 
 void InvariantChecker::audit(double now) const {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   audit_locked(now);
 }
 
 std::size_t InvariantChecker::seeded() const {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   return particles_.size();
 }
 
 std::size_t InvariantChecker::done() const {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   return done_count_;
 }
 

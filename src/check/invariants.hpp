@@ -40,13 +40,13 @@
 #include <list>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <stdexcept>
 #include <string>
 #include <vector>
 
 #include "core/block_decomposition.hpp"
 #include "core/particle.hpp"
+#include "core/thread_annotations.hpp"
 #include "runtime/message.hpp"
 
 namespace sf {
@@ -135,40 +135,44 @@ class InvariantChecker {
   // --- lifecycle ---------------------------------------------------------
 
   // Rank `rank` starts the run holding `particles` (initial seeds).
-  void on_seeded(int rank, const std::vector<Particle>& particles);
+  void on_seeded(int rank, const std::vector<Particle>& particles)
+      SF_EXCLUDES(mutex_);
 
   // Particles terminal before the run starts (rejected seeds, a restart
   // checkpoint's done list): done, owned by nobody.
-  void on_presettled(const std::vector<Particle>& particles);
+  void on_presettled(const std::vector<Particle>& particles)
+      SF_EXCLUDES(mutex_);
 
   // Run over.  `completed` is false for aborted runs (OOM, unrecoverable
   // fault), where partial state is expected and only consistency — not
   // completeness — is checked.
-  void on_run_end(bool completed, double now);
+  void on_run_end(bool completed, double now) SF_EXCLUDES(mutex_);
 
   // --- message plane ------------------------------------------------------
 
-  void on_send(int from, int to, const Message& msg, double now);
-  void on_deliver(int to, const Message& msg, double now);
+  void on_send(int from, int to, const Message& msg, double now)
+      SF_EXCLUDES(mutex_);
+  void on_deliver(int to, const Message& msg, double now) SF_EXCLUDES(mutex_);
 
   // --- particle lifecycle -------------------------------------------------
 
   // `first_time` is the ledger's verdict (always true outside fault mode).
   void on_terminated(int rank, const Particle& p, bool first_time,
-                     double now);
+                     double now) SF_EXCLUDES(mutex_);
 
   // --- query plane ---------------------------------------------------------
 
   // The runtime believes `query`'s last seeded streamline just terminated.
   // Cross-checked against the checker's own per-query seeded/done counts:
   // a double fire or a fire with undone streamlines is a violation.
-  void on_query_done(std::uint32_t query, double now);
+  void on_query_done(std::uint32_t query, double now) SF_EXCLUDES(mutex_);
 
   // --- fault plane --------------------------------------------------------
 
-  void on_crash(int rank, double now);
+  void on_crash(int rank, double now) SF_EXCLUDES(mutex_);
   void on_recover(int dead_rank, int new_owner,
-                  const std::vector<Particle>& particles, double now);
+                  const std::vector<Particle>& particles, double now)
+      SF_EXCLUDES(mutex_);
 
   // --- reliable control transport ------------------------------------------
 
@@ -176,23 +180,26 @@ class InvariantChecker {
   // least compacted).  The low-water mark must never move backwards: a
   // regression would re-open the window to sequence numbers already
   // delivered, breaking exactly-once dispatch.
-  void on_dedup_window(int from, int to, std::uint32_t low_water, double now);
+  void on_dedup_window(int from, int to, std::uint32_t low_water, double now)
+      SF_EXCLUDES(mutex_);
 
   // --- block-cache coherence ----------------------------------------------
 
   // A block became resident on `rank`; `actual` is the cache's full
   // resident list (MRU first) after the insert.
   void on_block_insert(int rank, BlockId id,
-                       const std::vector<BlockId>& actual, double now);
+                       const std::vector<BlockId>& actual, double now)
+      SF_EXCLUDES(mutex_);
   // A resident block was looked up (touches LRU recency).
-  void on_block_touch(int rank, BlockId id);
+  void on_block_touch(int rank, BlockId id) SF_EXCLUDES(mutex_);
   // Pin/unpin replay: the model's eviction skips pinned ids, and a
   // cache that exceeds capacity while an unpinned victim exists — or
   // that drops a pinned block — is a violation.  `actual` is the
   // resident list after the unpin (whose deferred eviction may purge).
-  void on_block_pin(int rank, BlockId id);
+  void on_block_pin(int rank, BlockId id) SF_EXCLUDES(mutex_);
   void on_block_unpin(int rank, BlockId id,
-                      const std::vector<BlockId>& actual, double now);
+                      const std::vector<BlockId>& actual, double now)
+      SF_EXCLUDES(mutex_);
 
   // --- async prefetch state machine ----------------------------------------
 
@@ -202,19 +209,21 @@ class InvariantChecker {
   // cancelled (abandoned, failed, evicted from staging, or rank
   // termination/crash).  Every issued prefetch must leave the state
   // machine by run end.
-  void on_prefetch_issued(int rank, BlockId id, double now);
-  void on_prefetch_staged(int rank, BlockId id, double now);
-  void on_prefetch_claimed(int rank, BlockId id, double now);
-  void on_prefetch_cancelled(int rank, BlockId id, double now);
+  void on_prefetch_issued(int rank, BlockId id, double now) SF_EXCLUDES(mutex_);
+  void on_prefetch_staged(int rank, BlockId id, double now) SF_EXCLUDES(mutex_);
+  void on_prefetch_claimed(int rank, BlockId id, double now)
+      SF_EXCLUDES(mutex_);
+  void on_prefetch_cancelled(int rank, BlockId id, double now)
+      SF_EXCLUDES(mutex_);
 
   // --- audit --------------------------------------------------------------
 
   // Full conservation sweep: every seeded streamline done or reachable.
   // Cheap enough to run at checkpoint ticks; on_run_end runs it too.
-  void audit(double now) const;
+  void audit(double now) const SF_EXCLUDES(mutex_);
 
-  std::size_t seeded() const;
-  std::size_t done() const;
+  std::size_t seeded() const SF_EXCLUDES(mutex_);
+  std::size_t done() const SF_EXCLUDES(mutex_);
 
  private:
   struct ParticleState {
@@ -244,33 +253,41 @@ class InvariantChecker {
     std::map<BlockId, char> prefetches;  // 'i' in flight, 's' staged
   };
 
-  [[noreturn]] void fail(InvariantDiagnostic diag) const;
-  void check_protocol(int from, int to, const Message& msg, double now);
+  [[noreturn]] void fail(InvariantDiagnostic diag) const SF_REQUIRES(mutex_);
+  void check_protocol(int from, int to, const Message& msg, double now)
+      SF_REQUIRES(mutex_);
   // The acting termination counter / failover successor under the current
   // crash set: lowest live rank (static), lowest live master else lowest
   // live slave (hybrid).  Mirrors the programs' successor_rank formula.
-  int acting_counter() const;
+  int acting_counter() const SF_REQUIRES(mutex_);
   void take_from_holder(int rank, const Particle& p, double now,
-                        ViolationKind kind);
-  void note_finish_broadcast(int from, int to, double now);
+                        ViolationKind kind) SF_REQUIRES(mutex_);
+  void note_finish_broadcast(int from, int to, double now)
+      SF_REQUIRES(mutex_);
   // Replay the cache's pinned-aware eviction on the model LRU, then
   // compare against `actual`.
   void replay_eviction_and_compare(int rank, RankState& rs, BlockId id,
                                    const std::vector<BlockId>& actual,
-                                   double now, const char* what);
+                                   double now, const char* what)
+      SF_REQUIRES(mutex_);
   // The particle payload of a message (empty for pure control traffic).
   static const std::vector<Particle>* payload_particles(const Message& msg);
-  void audit_locked(double now) const;
+  void audit_locked(double now) const SF_REQUIRES(mutex_);
 
   CheckerConfig config_;
-  mutable std::mutex mutex_;  // ThreadRuntime hooks race; SimRuntime won't
-  std::map<std::uint32_t, ParticleState> particles_;
-  std::vector<RankState> ranks_;
+  // ThreadRuntime hooks race; SimRuntime won't.  Last in the lock order
+  // (LockRank::kChecker): every hook is called with no other sf::Mutex
+  // held, so a hook can never deadlock against the runtime's own locks.
+  mutable Mutex mutex_{LockRank::kChecker};
+  std::map<std::uint32_t, ParticleState> particles_ SF_GUARDED_BY(mutex_);
+  std::vector<RankState> ranks_ SF_GUARDED_BY(mutex_);
   // Per-(from,to) control-link dedup low-water marks (monotonicity).
-  std::map<std::pair<int, int>, std::uint32_t> dedup_low_;
-  std::map<std::uint32_t, QueryAccount> queries_;
-  std::size_t done_count_ = 0;
-  std::size_t live_copies_ = 0;  // holders + in_flight over all particles
+  std::map<std::pair<int, int>, std::uint32_t> dedup_low_
+      SF_GUARDED_BY(mutex_);
+  std::map<std::uint32_t, QueryAccount> queries_ SF_GUARDED_BY(mutex_);
+  std::size_t done_count_ SF_GUARDED_BY(mutex_) = 0;
+  // Holders + in_flight over all particles.
+  std::size_t live_copies_ SF_GUARDED_BY(mutex_) = 0;
 };
 
 // Factory used by the runtimes: returns a live checker when the build

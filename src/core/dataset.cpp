@@ -25,7 +25,7 @@ GridPtr BlockedDataset::block(BlockId id) const {
   if (id < 0 || id >= decomp_.num_blocks()) {
     throw std::out_of_range("BlockedDataset::block: bad block id");
   }
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   GridPtr& slot = blocks_[static_cast<std::size_t>(id)];
   if (!slot) {
     const AABB box = decomp_.ghost_bounds(id, nodes_per_axis_, ghost_cells_);

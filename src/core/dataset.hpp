@@ -9,12 +9,12 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <vector>
 
 #include "core/block_decomposition.hpp"
 #include "core/field.hpp"
 #include "core/structured_grid.hpp"
+#include "core/thread_annotations.hpp"
 
 namespace sf {
 
@@ -35,7 +35,7 @@ class BlockedDataset final : public VectorField {
   int num_blocks() const { return decomp_.num_blocks(); }
 
   // The grid for one block (built on first use; thread safe).
-  GridPtr block(BlockId id) const;
+  GridPtr block(BlockId id) const SF_EXCLUDES(mutex_);
 
   // Actual in-memory payload of one block's grid.
   std::size_t block_payload_bytes() const;
@@ -55,8 +55,10 @@ class BlockedDataset final : public VectorField {
   BlockDecomposition decomp_;
   int nodes_per_axis_;
   int ghost_cells_;
-  mutable std::mutex mutex_;
-  mutable std::vector<GridPtr> blocks_;
+  // Guards only the lazy memoization; loader worker threads and rank
+  // threads all reach block() concurrently through BlockSource::load.
+  mutable Mutex mutex_{LockRank::kDataset};
+  mutable std::vector<GridPtr> blocks_ SF_GUARDED_BY(mutex_);
 };
 
 using DatasetPtr = std::shared_ptr<const BlockedDataset>;

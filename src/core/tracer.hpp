@@ -24,7 +24,6 @@
 #include <atomic>
 #include <cstdint>
 #include <functional>
-#include <mutex>
 #include <span>
 #include <vector>
 
@@ -33,6 +32,7 @@
 #include "core/grid_sampler.hpp"
 #include "core/integrator.hpp"
 #include "core/particle.hpp"
+#include "core/thread_annotations.hpp"
 
 namespace sf {
 
@@ -111,23 +111,23 @@ struct BlockPinHooks {
 // one relaxed atomic load, so standalone runs pay nothing measurable.
 class QueryCancelSet {
  public:
-  void cancel(std::uint32_t query) {
-    std::lock_guard<std::mutex> lock(mutex_);
+  void cancel(std::uint32_t query) SF_EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
     if (std::find(set_.begin(), set_.end(), query) == set_.end()) {
       set_.push_back(query);
     }
     count_.store(set_.size(), std::memory_order_release);
   }
 
-  void clear() {
-    std::lock_guard<std::mutex> lock(mutex_);
+  void clear() SF_EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
     set_.clear();
     count_.store(0, std::memory_order_release);
   }
 
-  bool contains(std::uint32_t query) const {
+  bool contains(std::uint32_t query) const SF_EXCLUDES(mutex_) {
     if (count_.load(std::memory_order_acquire) == 0) return false;
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     return std::find(set_.begin(), set_.end(), query) != set_.end();
   }
 
@@ -136,9 +136,12 @@ class QueryCancelSet {
   }
 
  private:
-  mutable std::mutex mutex_;
+  // First in the lock order (LockRank::kCancelSet): contains() is called
+  // from the tracer's inner loop, potentially while a runtime board lock
+  // is NOT held; nothing is ever acquired under it.
+  mutable Mutex mutex_{LockRank::kCancelSet};
   std::atomic<std::size_t> count_{0};
-  std::vector<std::uint32_t> set_;
+  std::vector<std::uint32_t> set_ SF_GUARDED_BY(mutex_);
 };
 
 struct AdvanceOutcome {

@@ -5,6 +5,7 @@
 #include <chrono>
 #include <cmath>
 #include <stdexcept>
+#include <utility>
 
 namespace sf {
 
@@ -42,21 +43,24 @@ AsyncBlockLoader::AsyncBlockLoader(const BlockSource* source, Config cfg)
 }
 
 AsyncBlockLoader::~AsyncBlockLoader() {
+  // Drain every still-queued request under the lock, then fire the
+  // cancellations outside it; entries being read resolve normally
+  // before their worker exits.
+  std::vector<std::pair<BlockId, Settled>> drained;
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     stop_ = true;
-    // Cancel everything still queued; entries being read resolve
-    // normally before their worker exits.
     while (!demand_q_.empty() || !prefetch_q_.empty()) {
       const BlockId id =
           demand_q_.empty() ? prefetch_q_.front() : demand_q_.front();
       erase_from(demand_q_, id);
       erase_from(prefetch_q_, id);
       ++cancelled_;
-      resolve(lock, id, nullptr, nullptr, LoadState::kCancelled);
-      // resolve() dropped the lock to fire completions.
-      lock.lock();
+      drained.emplace_back(id, take_settled(id, LoadState::kCancelled));
     }
+  }
+  for (auto& [id, settled] : drained) {
+    settle(std::move(settled), id, nullptr, nullptr);
   }
   cv_.notify_all();
   for (auto& w : workers_) w.join();
@@ -64,62 +68,68 @@ AsyncBlockLoader::~AsyncBlockLoader() {
 
 std::shared_future<GridPtr> AsyncBlockLoader::request(BlockId id, bool demand,
                                                       Completion done) {
-  std::unique_lock<std::mutex> lock(mu_);
-  if (stop_) {
-    throw std::logic_error("AsyncBlockLoader: request after shutdown");
-  }
-  auto [it, inserted] = entries_.try_emplace(id);
-  Entry& e = it->second;
-  if (!inserted) {
-    ++coalesced_;
-    if (done) e.completions.push_back(std::move(done));
-    if (demand && !e.demand) {
-      // Promote a queued prefetch: a particle faulted on it for real.
-      e.demand = true;
-      if (e.state == LoadState::kQueued) {
-        erase_from(prefetch_q_, id);
-        demand_q_.push_back(id);
-      }
+  std::shared_future<GridPtr> fut;
+  {
+    MutexLock lock(mu_);
+    if (stop_) {
+      throw std::logic_error("AsyncBlockLoader: request after shutdown");
     }
-    return e.future;
+    auto [it, inserted] = entries_.try_emplace(id);
+    Entry& e = it->second;
+    if (!inserted) {
+      ++coalesced_;
+      if (done) e.completions.push_back(std::move(done));
+      if (demand && !e.demand) {
+        // Promote a queued prefetch: a particle faulted on it for real.
+        e.demand = true;
+        if (e.state == LoadState::kQueued) {
+          erase_from(prefetch_q_, id);
+          demand_q_.push_back(id);
+        }
+      }
+      return e.future;
+    }
+    ++submitted_;
+    e.demand = demand;
+    e.future = e.promise.get_future().share();
+    if (done) e.completions.push_back(std::move(done));
+    (demand ? demand_q_ : prefetch_q_).push_back(id);
+    fut = e.future;
   }
-  ++submitted_;
-  e.demand = demand;
-  e.future = e.promise.get_future().share();
-  if (done) e.completions.push_back(std::move(done));
-  (demand ? demand_q_ : prefetch_q_).push_back(id);
-  auto fut = e.future;
-  lock.unlock();
   cv_.notify_one();
   return fut;
 }
 
 bool AsyncBlockLoader::cancel(BlockId id) {
-  std::unique_lock<std::mutex> lock(mu_);
-  auto it = entries_.find(id);
-  if (it == entries_.end() || it->second.state != LoadState::kQueued) {
-    return false;
+  Settled settled;
+  {
+    MutexLock lock(mu_);
+    auto it = entries_.find(id);
+    if (it == entries_.end() || it->second.state != LoadState::kQueued) {
+      return false;
+    }
+    erase_from(demand_q_, id);
+    erase_from(prefetch_q_, id);
+    ++cancelled_;
+    settled = take_settled(id, LoadState::kCancelled);
   }
-  erase_from(demand_q_, id);
-  erase_from(prefetch_q_, id);
-  ++cancelled_;
-  resolve(lock, id, nullptr, nullptr, LoadState::kCancelled);
+  settle(std::move(settled), id, nullptr, nullptr);
   return true;
 }
 
 void AsyncBlockLoader::set_fault_hook(FaultHook hook) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   fault_hook_ = std::move(hook);
 }
 
 void AsyncBlockLoader::set_stall_hook(StallHook hook) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   stall_hook_ = std::move(hook);
 }
 
 #define SF_LOADER_COUNTER(name)                  \
   std::uint64_t AsyncBlockLoader::name() const { \
-    std::lock_guard<std::mutex> lock(mu_);       \
+    MutexLock lock(mu_);                         \
     return name##_;                              \
   }
 SF_LOADER_COUNTER(submitted)
@@ -130,11 +140,10 @@ SF_LOADER_COUNTER(failed)
 SF_LOADER_COUNTER(retries)
 #undef SF_LOADER_COUNTER
 
-bool AsyncBlockLoader::pop_next(std::unique_lock<std::mutex>& lock,
-                                BlockId& id) {
-  cv_.wait(lock, [this] {
-    return stop_ || !demand_q_.empty() || !prefetch_q_.empty();
-  });
+bool AsyncBlockLoader::pop_next(BlockId& id) {
+  while (!stop_ && demand_q_.empty() && prefetch_q_.empty()) {
+    cv_.wait(mu_);
+  }
   if (demand_q_.empty() && prefetch_q_.empty()) return false;  // stopping
   auto& q = demand_q_.empty() ? prefetch_q_ : demand_q_;
   id = q.front();
@@ -142,37 +151,44 @@ bool AsyncBlockLoader::pop_next(std::unique_lock<std::mutex>& lock,
   return true;
 }
 
-void AsyncBlockLoader::resolve(std::unique_lock<std::mutex>& lock, BlockId id,
-                               GridPtr grid, std::exception_ptr error,
-                               LoadState final_state) {
+AsyncBlockLoader::Settled AsyncBlockLoader::take_settled(
+    BlockId id, LoadState final_state) {
   auto it = entries_.find(id);
   assert(it != entries_.end());
   it->second.state = final_state;
-  std::vector<Completion> completions = std::move(it->second.completions);
-  std::promise<GridPtr> promise = std::move(it->second.promise);
+  Settled settled{std::move(it->second.promise),
+                  std::move(it->second.completions)};
   entries_.erase(it);
+  return settled;
+}
+
+void AsyncBlockLoader::settle(Settled settled, BlockId id, GridPtr grid,
+                              std::exception_ptr error) {
   if (error != nullptr) {
-    promise.set_exception(error);
+    settled.promise.set_exception(error);
   } else {
-    promise.set_value(grid);
+    settled.promise.set_value(grid);
   }
-  // Fire completions outside the lock: they may re-enter request().
-  lock.unlock();
-  for (auto& c : completions) c(id, grid, error);
+  for (auto& c : settled.completions) c(id, grid, error);
 }
 
 void AsyncBlockLoader::worker_main() {
   for (;;) {
-    std::unique_lock<std::mutex> lock(mu_);
     BlockId id = kInvalidBlock;
-    if (!pop_next(lock, id)) return;
-    auto eit = entries_.find(id);
-    assert(eit != entries_.end());
-    eit->second.state = LoadState::kLoading;
-    FaultHook fault = fault_hook_;
-    StallHook stall = stall_hook_;
-    lock.unlock();
+    FaultHook fault;
+    StallHook stall;
+    {
+      MutexLock lock(mu_);
+      if (!pop_next(id)) return;
+      auto eit = entries_.find(id);
+      assert(eit != entries_.end());
+      eit->second.state = LoadState::kLoading;
+      fault = fault_hook_;
+      stall = stall_hook_;
+    }
 
+    // The read itself runs unlocked: other workers keep draining the
+    // queues and ranks keep submitting while this block is on the disk.
     GridPtr grid;
     std::exception_ptr error;
     int attempts_retried = 0;
@@ -201,16 +217,19 @@ void AsyncBlockLoader::worker_main() {
                              cfg_.backoff_cap));
     }
 
-    lock.lock();
-    retries_ += static_cast<std::uint64_t>(attempts_retried);
-    if (error != nullptr) {
-      ++failed_;
-      resolve(lock, id, nullptr, error, LoadState::kFailed);
-    } else {
-      ++completed_;
-      resolve(lock, id, std::move(grid), nullptr, LoadState::kReady);
+    Settled settled;
+    {
+      MutexLock lock(mu_);
+      retries_ += static_cast<std::uint64_t>(attempts_retried);
+      if (error != nullptr) {
+        ++failed_;
+        settled = take_settled(id, LoadState::kFailed);
+      } else {
+        ++completed_;
+        settled = take_settled(id, LoadState::kReady);
+      }
     }
-    // resolve() released the lock.
+    settle(std::move(settled), id, error != nullptr ? nullptr : grid, error);
   }
 }
 

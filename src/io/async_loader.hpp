@@ -13,6 +13,14 @@
 // worker thread) for runtimes that marshal completions back onto the
 // rank thread themselves.
 //
+// Locking: one mutex (mu_, LockRank::kLoader) guards the queues, the
+// LoadState map and the counters.  Completions and promises are always
+// settled *outside* the lock — they may block a waiter awake or re-enter
+// request()/cancel() — so an entry is first taken out of the map under
+// the lock (take_settled) and fired after release (settle).  The
+// thread-safety analysis enforces the split: Entry state is guarded,
+// settle() takes no capability.
+//
 // Faults: an injectable per-attempt fault hook models disk read errors
 // on the loader threads.  Failed attempts retry with the same
 // deterministic capped exponential backoff as the simulated disk
@@ -22,7 +30,6 @@
 // (a stall is slowness, not failure — it never consumes a retry, even
 // when it exceeds the backoff cap).
 
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <exception>
@@ -30,11 +37,11 @@
 #include <future>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "core/dataset.hpp"
+#include "core/thread_annotations.hpp"
 
 namespace sf {
 
@@ -72,7 +79,9 @@ class AsyncBlockLoader {
 
   // (block, grid-or-null, error-or-null); exactly one of grid/error is
   // set on completion, both are null on cancellation.  Runs on a worker
-  // thread (or on the caller's thread for cancellations).
+  // thread (or on the caller's thread for cancellations), always with
+  // mu_ released — re-entering request()/cancel() from a completion is
+  // legal.
   using Completion =
       std::function<void(BlockId, GridPtr, std::exception_ptr)>;
   // Return true to fail this attempt.  Runs on the worker thread.
@@ -93,23 +102,24 @@ class AsyncBlockLoader {
   // queue.  The future resolves to the grid, to nullptr if cancelled,
   // or rethrows the load error.
   std::shared_future<GridPtr> request(BlockId id, bool demand,
-                                      Completion done = nullptr);
+                                      Completion done = nullptr)
+      SF_EXCLUDES(mu_);
 
   // Cancel a request that is still queued.  Returns true if it was
   // cancelled (completions fire with nullptr grid and nullptr error);
   // false if it already started loading or was never requested.
-  bool cancel(BlockId id);
+  bool cancel(BlockId id) SF_EXCLUDES(mu_);
 
   // Test/fault-injection hooks; set before issuing requests.
-  void set_fault_hook(FaultHook hook);
-  void set_stall_hook(StallHook hook);
+  void set_fault_hook(FaultHook hook) SF_EXCLUDES(mu_);
+  void set_stall_hook(StallHook hook) SF_EXCLUDES(mu_);
 
-  std::uint64_t submitted() const;  // requests that created an entry
-  std::uint64_t coalesced() const;  // requests that joined an entry
-  std::uint64_t completed() const;
-  std::uint64_t cancelled() const;
-  std::uint64_t failed() const;
-  std::uint64_t retries() const;
+  std::uint64_t submitted() const SF_EXCLUDES(mu_);  // created an entry
+  std::uint64_t coalesced() const SF_EXCLUDES(mu_);  // joined an entry
+  std::uint64_t completed() const SF_EXCLUDES(mu_);
+  std::uint64_t cancelled() const SF_EXCLUDES(mu_);
+  std::uint64_t failed() const SF_EXCLUDES(mu_);
+  std::uint64_t retries() const SF_EXCLUDES(mu_);
 
  private:
   struct Entry {
@@ -120,33 +130,44 @@ class AsyncBlockLoader {
     std::vector<Completion> completions;
   };
 
+  // The parts of a finished entry that must be fired with mu_ released.
+  struct Settled {
+    std::promise<GridPtr> promise;
+    std::vector<Completion> completions;
+  };
+
   void worker_main();
-  // Pops the next block to read (demand queue first).  Returns false
-  // when stopping and both queues are empty.
-  bool pop_next(std::unique_lock<std::mutex>& lock, BlockId& id);
-  void resolve(std::unique_lock<std::mutex>& lock, BlockId id,
-               GridPtr grid, std::exception_ptr error, LoadState final_state);
+  // Blocks until there is a block to read (demand queue first).  Returns
+  // false when stopping and both queues are empty.
+  bool pop_next(BlockId& id) SF_REQUIRES(mu_);
+  // Record the terminal LoadState and take the entry's promise +
+  // completions out of the map; the caller settles them after release.
+  Settled take_settled(BlockId id, LoadState final_state) SF_REQUIRES(mu_);
+  // Resolve the future and fire the completions.  Never called (and by
+  // construction uncallable) with mu_ held.
+  static void settle(Settled settled, BlockId id, GridPtr grid,
+                     std::exception_ptr error);
 
   const BlockSource* source_;
   Config cfg_;
 
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  bool stop_ = false;
-  std::deque<BlockId> demand_q_;
-  std::deque<BlockId> prefetch_q_;
-  std::map<BlockId, Entry> entries_;
-  FaultHook fault_hook_;
-  StallHook stall_hook_;
+  mutable Mutex mu_{LockRank::kLoader};
+  CondVar cv_;
+  bool stop_ SF_GUARDED_BY(mu_) = false;
+  std::deque<BlockId> demand_q_ SF_GUARDED_BY(mu_);
+  std::deque<BlockId> prefetch_q_ SF_GUARDED_BY(mu_);
+  std::map<BlockId, Entry> entries_ SF_GUARDED_BY(mu_);
+  FaultHook fault_hook_ SF_GUARDED_BY(mu_);
+  StallHook stall_hook_ SF_GUARDED_BY(mu_);
 
-  std::uint64_t submitted_ = 0;
-  std::uint64_t coalesced_ = 0;
-  std::uint64_t completed_ = 0;
-  std::uint64_t cancelled_ = 0;
-  std::uint64_t failed_ = 0;
-  std::uint64_t retries_ = 0;
+  std::uint64_t submitted_ SF_GUARDED_BY(mu_) = 0;
+  std::uint64_t coalesced_ SF_GUARDED_BY(mu_) = 0;
+  std::uint64_t completed_ SF_GUARDED_BY(mu_) = 0;
+  std::uint64_t cancelled_ SF_GUARDED_BY(mu_) = 0;
+  std::uint64_t failed_ SF_GUARDED_BY(mu_) = 0;
+  std::uint64_t retries_ SF_GUARDED_BY(mu_) = 0;
 
-  std::vector<std::thread> workers_;
+  std::vector<std::thread> workers_;  // written in the ctor only
 };
 
 }  // namespace sf

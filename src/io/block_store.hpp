@@ -28,10 +28,17 @@ class BlockStore {
   // Open an existing store; throws on missing/corrupt manifest.
   explicit BlockStore(std::filesystem::path dir);
 
-  const BlockDecomposition& decomposition() const { return *decomp_; }
+  const BlockDecomposition& decomposition() const {
+    // NOLINTNEXTLINE(bugprone-unchecked-optional-access): every ctor
+    // either engages decomp_ or throws, so it is never nullopt here.
+    return *decomp_;
+  }
   int nodes_per_axis() const { return nodes_per_axis_; }
   int ghost_cells() const { return ghost_cells_; }
-  int num_blocks() const { return decomp_->num_blocks(); }
+  int num_blocks() const {
+    // NOLINTNEXTLINE(bugprone-unchecked-optional-access): see above.
+    return decomp_->num_blocks();
+  }
 
   // Read one block from disk.  Verifies the payload checksum; throws on
   // corruption or missing file.

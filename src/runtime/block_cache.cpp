@@ -11,6 +11,7 @@ BlockCache::BlockCache(std::size_t capacity) : capacity_(capacity) {
 }
 
 const StructuredGrid* BlockCache::find(BlockId id) {
+  serial_.assert_held();
   auto it = map_.find(id);
   if (it == map_.end()) {
     ++misses_;
@@ -37,6 +38,7 @@ void BlockCache::evict_to_capacity() {
 }
 
 void BlockCache::insert(BlockId id, GridPtr grid) {
+  serial_.assert_held();
   // One probe resolves both "already resident" and the insertion slot.
   auto [it, inserted] = map_.try_emplace(id);
   if (!inserted) {
@@ -52,9 +54,13 @@ void BlockCache::insert(BlockId id, GridPtr grid) {
   check_counters();
 }
 
-void BlockCache::pin(BlockId id) { ++pins_[id]; }
+void BlockCache::pin(BlockId id) {
+  serial_.assert_held();
+  ++pins_[id];
+}
 
 void BlockCache::unpin(BlockId id) {
+  serial_.assert_held();
   auto it = pins_.find(id);
   assert(it != pins_.end());
   if (it == pins_.end()) return;
@@ -67,9 +73,13 @@ void BlockCache::unpin(BlockId id) {
   }
 }
 
-bool BlockCache::pinned(BlockId id) const { return pins_.count(id) != 0; }
+bool BlockCache::pinned(BlockId id) const {
+  serial_.assert_held();
+  return pins_.count(id) != 0;
+}
 
 void BlockCache::erase(BlockId id) {
+  serial_.assert_held();
   auto it = map_.find(id);
   if (it == map_.end()) return;
   lru_.erase(it->second.pos);
@@ -79,6 +89,7 @@ void BlockCache::erase(BlockId id) {
 }
 
 void BlockCache::adopt(BlockId id, GridPtr grid) {
+  serial_.assert_held();
   auto [it, inserted] = map_.try_emplace(id);
   if (!inserted) {
     touch(it->second.pos);
@@ -92,10 +103,12 @@ void BlockCache::adopt(BlockId id, GridPtr grid) {
 }
 
 std::vector<BlockId> BlockCache::resident() const {
+  serial_.assert_held();
   return {lru_.begin(), lru_.end()};
 }
 
 std::vector<std::pair<BlockId, GridPtr>> BlockCache::export_resident() const {
+  serial_.assert_held();
   std::vector<std::pair<BlockId, GridPtr>> out;
   out.reserve(map_.size());
   for (BlockId id : lru_) out.emplace_back(id, map_.at(id).grid);
@@ -109,6 +122,7 @@ std::vector<std::pair<BlockId, GridPtr>> BlockCache::export_resident() const {
 const std::vector<std::pair<BlockId, GridPtr>> SharedBlockPool::kEmpty;
 
 void SharedBlockPool::capture(int rank, const BlockCache& cache) {
+  serial_.assert_held();
   if (rank < 0) return;
   if (ranks_.size() <= static_cast<std::size_t>(rank)) {
     ranks_.resize(static_cast<std::size_t>(rank) + 1);
@@ -117,12 +131,14 @@ void SharedBlockPool::capture(int rank, const BlockCache& cache) {
 }
 
 void SharedBlockPool::drop(int rank) {
+  serial_.assert_held();
   if (rank < 0 || static_cast<std::size_t>(rank) >= ranks_.size()) return;
   ranks_[static_cast<std::size_t>(rank)].clear();
 }
 
 const std::vector<std::pair<BlockId, GridPtr>>& SharedBlockPool::blocks(
     int rank) const {
+  serial_.assert_held();
   if (rank < 0 || static_cast<std::size_t>(rank) >= ranks_.size()) {
     return kEmpty;
   }
@@ -130,6 +146,7 @@ const std::vector<std::pair<BlockId, GridPtr>>& SharedBlockPool::blocks(
 }
 
 std::size_t SharedBlockPool::total_blocks() const {
+  serial_.assert_held();
   std::size_t n = 0;
   for (const auto& r : ranks_) n += r.size();
   return n;

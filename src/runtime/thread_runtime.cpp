@@ -3,12 +3,10 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <deque>
 #include <exception>
 #include <future>
 #include <map>
-#include <mutex>
 #include <set>
 #include <stdexcept>
 #include <thread>
@@ -17,6 +15,7 @@
 #include <vector>
 
 #include "core/rng.hpp"
+#include "core/thread_annotations.hpp"
 #include "runtime/block_cache.hpp"
 
 namespace sf {
@@ -236,9 +235,9 @@ class ThreadRuntime::Context final : public RankContext {
   // --- thread driver -------------------------------------------------------
 
   // Called from the sender's thread; must not touch this rank's Rng.
-  void deliver(Message msg) {
+  void deliver(Message msg) SF_EXCLUDES(mailbox_mutex_) {
     {
-      std::lock_guard lock(mailbox_mutex_);
+      MutexLock lock(mailbox_mutex_);
       mailbox_.push_back(std::move(msg));
     }
     mailbox_cv_.notify_one();
@@ -250,14 +249,22 @@ class ThreadRuntime::Context final : public RankContext {
       drain_local();
       while (!program->finished() && !abort_->load()) {
         poll_arrivals();
-        std::unique_lock lock(mailbox_mutex_);
-        mailbox_cv_.wait_for(lock, std::chrono::milliseconds(20), [this] {
-          return !mailbox_.empty() || abort_->load();
-        });
-        if (mailbox_.empty()) continue;
-        Message msg = std::move(mailbox_.front());
-        mailbox_.pop_front();
-        lock.unlock();
+        Message msg;
+        bool have = false;
+        {
+          MutexLock lock(mailbox_mutex_);
+          if (mailbox_.empty() && !abort_->load()) {
+            // A spurious wake just re-enters the outer poll loop.
+            mailbox_cv_.wait_for(mailbox_mutex_,
+                                 std::chrono::milliseconds(20));
+          }
+          if (!mailbox_.empty()) {
+            msg = std::move(mailbox_.front());
+            mailbox_.pop_front();
+            have = true;
+          }
+        }
+        if (!have) continue;
         maybe_perturb();
         SF_INVARIANT_HOOK(runtime_->checker_,
                           on_deliver(rank_, msg, seconds_since(epoch_)));
@@ -398,7 +405,7 @@ class ThreadRuntime::Context final : public RankContext {
       for (;;) {
         Message msg;
         {
-          std::lock_guard lock(mailbox_mutex_);
+          MutexLock lock(mailbox_mutex_);
           if (mailbox_.empty()) break;
           msg = std::move(mailbox_.front());
           mailbox_.pop_front();
@@ -449,9 +456,9 @@ class ThreadRuntime::Context final : public RankContext {
   std::deque<LocalEvent> local_;
   std::int64_t particle_bytes_ = 0;
 
-  std::mutex mailbox_mutex_;
-  std::condition_variable mailbox_cv_;
-  std::deque<Message> mailbox_;
+  Mutex mailbox_mutex_{LockRank::kMailbox};
+  CondVar mailbox_cv_;
+  std::deque<Message> mailbox_ SF_GUARDED_BY(mailbox_mutex_);
 };
 
 ThreadRuntime::ThreadRuntime(const ThreadRuntimeConfig& config,
@@ -475,7 +482,7 @@ ThreadRuntime::~ThreadRuntime() = default;
 
 void ThreadRuntime::note_failure(std::exception_ptr error) {
   {
-    std::lock_guard lock(failure_mutex_);
+    MutexLock lock(failure_mutex_);
     if (!failure_) failure_ = std::move(error);
   }
   abort_flag_->store(true);
@@ -486,7 +493,7 @@ void ThreadRuntime::note_query_termination(const Particle& p, double now) {
   std::uint32_t fire_particles = 0;
   bool fire = false;
   {
-    std::lock_guard lock(query_mutex_);
+    MutexLock lock(query_mutex_);
     auto it = query_remaining_.find(p.query);
     if (it == query_remaining_.end() || it->second == 0) return;
     if (--it->second == 0) {
@@ -550,7 +557,7 @@ RunMetrics ThreadRuntime::run(const ProgramFactory& factory) {
   // Per-query completion accounting from the seeding snapshots (deduped
   // by particle id), plus the epoch-boundary cancellation set.
   {
-    std::lock_guard lock(query_mutex_);
+    MutexLock lock(query_mutex_);
     query_remaining_.clear();
     query_total_.clear();
     completions_.clear();
@@ -580,9 +587,16 @@ RunMetrics ThreadRuntime::run(const ProgramFactory& factory) {
   for (std::thread& t : threads) t.join();
   loader_.reset();  // cancels leftover queued reads, joins the workers
   abort_flag_ = nullptr;
-  if (failure_) {
+  std::exception_ptr failure;
+  {
+    // The rank threads are joined, but the annotation discipline holds
+    // unconditionally: the board is only ever read under its mutex.
+    MutexLock lock(failure_mutex_);
+    failure = std::exchange(failure_, nullptr);
+  }
+  if (failure) {
     checker_.reset();
-    std::rethrow_exception(std::exchange(failure_, nullptr));
+    std::rethrow_exception(failure);
   }
 
   RunMetrics run_metrics;
@@ -609,7 +623,7 @@ RunMetrics ThreadRuntime::run(const ProgramFactory& factory) {
   std::sort(run_metrics.particles.begin(), run_metrics.particles.end(),
             [](const Particle& a, const Particle& b) { return a.id < b.id; });
   {
-    std::lock_guard lock(query_mutex_);
+    MutexLock lock(query_mutex_);
     std::sort(completions_.begin(), completions_.end(),
               [](const QueryCompletion& a, const QueryCompletion& b) {
                 return a.query < b.query;

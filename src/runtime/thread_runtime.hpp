@@ -14,11 +14,11 @@
 #include <exception>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <vector>
 
 #include "check/invariants.hpp"
 #include "core/dataset.hpp"
+#include "core/thread_annotations.hpp"
 #include "core/tracer.hpp"
 #include "io/async_loader.hpp"
 #include "runtime/block_cache.hpp"
@@ -72,29 +72,40 @@ class ThreadRuntime {
   class Context;
 
   // First exception a rank thread died on; rethrown from run().
-  void note_failure(std::exception_ptr error);
+  void note_failure(std::exception_ptr error) SF_EXCLUDES(failure_mutex_);
   // Per-query completion tracking; called from rank threads on every
-  // termination, serialized by query_mutex_.
-  void note_query_termination(const Particle& p, double now);
+  // termination, serialized by query_mutex_.  The checker hook fires
+  // after the lock is released (checker last in the lock order).
+  void note_query_termination(const Particle& p, double now)
+      SF_EXCLUDES(query_mutex_);
 
   ThreadRuntimeConfig config_;
   const BlockDecomposition* decomp_;
   const BlockSource* source_;
+  // Shared read-only by every rank thread during run(); the embedded
+  // QueryCancelSet is the only mutable member and locks internally.
   Tracer tracer_;
   QueryCancelSet cancel_set_;
-  std::mutex query_mutex_;
-  std::map<std::uint32_t, std::uint32_t> query_remaining_;
-  std::map<std::uint32_t, std::uint32_t> query_total_;
-  std::vector<QueryCompletion> completions_;
+  // Per-query termination board: decremented by every rank thread, so
+  // the last terminator of a query fires its completion exactly once.
+  Mutex query_mutex_{LockRank::kQueryBoard};
+  std::map<std::uint32_t, std::uint32_t> query_remaining_
+      SF_GUARDED_BY(query_mutex_);
+  std::map<std::uint32_t, std::uint32_t> query_total_
+      SF_GUARDED_BY(query_mutex_);
+  std::vector<QueryCompletion> completions_ SF_GUARDED_BY(query_mutex_);
   std::vector<std::unique_ptr<Context>> contexts_;
   // Live only inside run(), and only when config_.async_io.enabled.
   std::unique_ptr<AsyncBlockLoader> loader_;
   // Live only inside run(); null when compiled out (Release).  The
   // checker serializes internally, so all rank threads share it.
   std::unique_ptr<InvariantChecker> checker_;
-  std::mutex failure_mutex_;
-  std::exception_ptr failure_;
-  std::atomic<bool>* abort_flag_ = nullptr;  // run()'s abort, for failures
+  Mutex failure_mutex_{LockRank::kFailureBoard};
+  std::exception_ptr failure_ SF_GUARDED_BY(failure_mutex_);
+  // Written by run() on the main thread strictly before the rank
+  // threads launch and after they join; rank threads only load/store
+  // through the pointee atomic.
+  std::atomic<bool>* abort_flag_ = nullptr;
 };
 
 }  // namespace sf

@@ -7,12 +7,14 @@
 namespace sf {
 
 bool QueryQueue::submit(StreamlineQuery q) {
+  serial_.assert_held();
   if (queue_.size() >= max_depth_) return false;
   queue_.push_back(std::move(q));
   return true;
 }
 
 bool QueryQueue::cancel(QueryId id) {
+  serial_.assert_held();
   const auto it = std::find_if(
       queue_.begin(), queue_.end(),
       [id](const StreamlineQuery& q) { return q.id == id; });
@@ -22,6 +24,7 @@ bool QueryQueue::cancel(QueryId id) {
 }
 
 std::vector<StreamlineQuery> QueryQueue::admit(std::size_t max_queries) {
+  serial_.assert_held();
   std::vector<StreamlineQuery> batch;
   while (!queue_.empty() && batch.size() < max_queries) {
     batch.push_back(std::move(queue_.front()));

@@ -15,10 +15,15 @@
 #include <vector>
 
 #include "core/rng.hpp"
+#include "core/thread_annotations.hpp"
 #include "service/query.hpp"
 
 namespace sf {
 
+// Thread-confined: the control plane mutates the queue strictly between
+// epochs, never concurrently with rank threads.  The ThreadChecker
+// capability encodes that contract for the thread-safety analysis
+// (see BlockCache for the pattern).
 class QueryQueue {
  public:
   explicit QueryQueue(std::size_t max_depth) : max_depth_(max_depth) {}
@@ -34,12 +39,19 @@ class QueryQueue {
   // Pop up to max_queries oldest entries, FIFO.
   std::vector<StreamlineQuery> admit(std::size_t max_queries);
 
-  std::size_t depth() const { return queue_.size(); }
-  bool empty() const { return queue_.empty(); }
+  std::size_t depth() const {
+    serial_.assert_held();
+    return queue_.size();
+  }
+  bool empty() const {
+    serial_.assert_held();
+    return queue_.empty();
+  }
 
  private:
+  mutable ThreadChecker serial_;
   std::size_t max_depth_;
-  std::deque<StreamlineQuery> queue_;
+  std::deque<StreamlineQuery> queue_ SF_GUARDED_BY(serial_);
 };
 
 // Deterministic Poisson process: exponential inter-arrival times with the

@@ -1,0 +1,29 @@
+// Lint fixture (never compiled): two mutexes acquired in both orders.
+// Thread 1 runs lock_ab() while thread 2 runs lock_ba() -> deadlock.
+// check_lock_order.py must report both the rank inversion (`order`) and
+// the acquisition cycle (`cycle`).
+
+#include "core/thread_annotations.hpp"
+
+namespace sf {
+
+class TwoBoards {
+ public:
+  void lock_ab() SF_REQUIRES(a_) {
+    MutexLock lock(b_);  // a (20) then b (40): rank-legal edge a -> b
+    ++guarded_b_;
+  }
+
+  void lock_ba() SF_REQUIRES(b_) {
+    MutexLock lock(a_);  // BAD: b (40) then a (20) — inversion + cycle
+    ++guarded_a_;
+  }
+
+ private:
+  Mutex a_{LockRank::kQueryBoard};
+  Mutex b_{LockRank::kMailbox};
+  int guarded_a_ SF_GUARDED_BY(a_) = 0;
+  int guarded_b_ SF_GUARDED_BY(b_) = 0;
+};
+
+}  // namespace sf

@@ -1,0 +1,22 @@
+// Lint fixture (never compiled): an sf::Mutex that no annotation refers
+// to.  The lock exists but the analysis has no idea what it protects, so
+// unguarded access to `count_` compiles silently — check_lock_order.py's
+// `missing-guard` rule.
+
+#include "core/thread_annotations.hpp"
+
+namespace sf {
+
+class Counter {
+ public:
+  void bump() {
+    MutexLock lock(mu_);
+    ++count_;
+  }
+
+ private:
+  Mutex mu_{LockRank::kLoader};  // BAD: nothing is SF_GUARDED_BY(mu_)
+  int count_ = 0;
+};
+
+}  // namespace sf

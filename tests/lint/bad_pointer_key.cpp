@@ -1,0 +1,24 @@
+// Lint fixture (never compiled): pointer values used as identity.  An
+// ordered container keyed on addresses iterates in allocation order,
+// %p prints ASLR-randomized values, and uintptr_t casts bake addresses
+// into data — check_determinism.py's `address-identity` rule.
+
+#include <cstdint>
+#include <cstdio>
+#include <map>
+
+struct Block {
+  int id;
+};
+
+struct Owners {
+  std::map<const Block*, int> by_block_;  // BAD: pointer-keyed ordering
+
+  void dump(const Block* b) {
+    std::printf("block at %p\n", static_cast<const void*>(b));  // BAD
+  }
+
+  std::uint64_t key(const Block* b) {
+    return reinterpret_cast<std::uintptr_t>(b);  // BAD: address as id
+  }
+};

@@ -1,0 +1,15 @@
+// Lint fixture (never compiled): raw std::mutex.  Invisible to both the
+// thread-safety analysis and the Debug rank checker — check_lock_order.py's
+// `raw-mutex` rule.
+
+#include <mutex>
+
+struct Tally {
+  std::mutex mu_;  // BAD: raw mutex
+  int count_ = 0;
+
+  void bump() {
+    std::lock_guard<std::mutex> lock(mu_);  // BAD: raw scoped lock
+    ++count_;
+  }
+};

@@ -1,0 +1,22 @@
+// Lint fixture (never compiled): iterating an unordered_map straight
+// into message emission.  Hash order is unspecified, so the receiver
+// sees a different message sequence per run — exactly the class of bug
+// check_determinism.py's `unordered-iteration` rule exists to catch.
+
+#include <cstdint>
+#include <unordered_map>
+
+struct Mailbox {
+  void send(int to, std::uint32_t seq);
+};
+
+struct Router {
+  std::unordered_map<int, std::uint32_t> pending_;
+  Mailbox* mail_ = nullptr;
+
+  void flush() {
+    for (const auto& [rank, seq] : pending_) {  // BAD: hash order
+      mail_->send(rank, seq);
+    }
+  }
+};

@@ -1,0 +1,22 @@
+// Lint fixture (never compiled): an sf::Mutex without a LockRank.  It
+// opts out of the runtime acquisition-order check, so a deadlocking
+// nesting through it goes unnoticed until it hangs —
+// check_lock_order.py's `unranked-mutex` rule.
+
+#include "core/thread_annotations.hpp"
+
+namespace sf {
+
+class Board {
+ public:
+  void post() {
+    MutexLock lock(mu_);
+    ++posts_;
+  }
+
+ private:
+  Mutex mu_;  // BAD: no explicit LockRank
+  int posts_ SF_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace sf

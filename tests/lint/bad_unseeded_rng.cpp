@@ -1,0 +1,12 @@
+// Lint fixture (never compiled): nondeterministic randomness.  A
+// default-constructed engine or random_device makes every run unique —
+// check_determinism.py's `unseeded-rng` rule.
+
+#include <cstdlib>
+#include <random>
+
+int roll() {
+  std::random_device rd;   // BAD: nondeterministic
+  std::mt19937 gen(rd());  // BAD: std engine, entropy-seeded
+  return static_cast<int>(gen() % 6u) + std::rand() % 6;  // BAD: rand
+}

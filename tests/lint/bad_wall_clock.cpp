@@ -1,0 +1,15 @@
+// Lint fixture (never compiled): wall-clock reads.  Run timestamps
+// differ per execution, so anything derived from them breaks replay —
+// check_determinism.py's `wall-clock` rule.
+
+#include <chrono>
+#include <ctime>
+
+double stamp_now() {
+  const auto wall = std::chrono::system_clock::now();  // BAD: wall clock
+  return std::chrono::duration<double>(wall.time_since_epoch()).count();
+}
+
+long stamp_legacy() {
+  return static_cast<long>(time(nullptr));  // BAD: wall clock
+}

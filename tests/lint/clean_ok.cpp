@@ -1,0 +1,59 @@
+// Lint fixture (never compiled): the clean counterpart.  Uses the
+// deterministic / annotated alternatives for every pattern the bad_*
+// fixtures seed, plus one deliberately waived finding per lint to prove
+// the per-site waiver syntax suppresses exactly its rule.
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <mutex>
+
+#include "core/thread_annotations.hpp"
+
+namespace sf {
+
+struct Mail {
+  void send(int to, std::uint32_t seq);
+};
+
+class CleanBoard {
+ public:
+  void post(int rank, std::uint32_t seq) SF_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    pending_[rank] = seq;
+  }
+
+  void flush(Mail& mail) SF_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    for (const auto& [rank, seq] : pending_) {  // ordered map: fine
+      mail.send(rank, seq);
+    }
+    pending_.clear();
+  }
+
+ private:
+  Mutex mu_{LockRank::kMailbox};
+  std::map<int, std::uint32_t> pending_ SF_GUARDED_BY(mu_);
+};
+
+// steady_clock durations are allowed: monotonic, used only for
+// wall-time *measurement* (metrics), never for decisions.
+inline double measure_seconds(const std::chrono::steady_clock::time_point a,
+                              const std::chrono::steady_clock::time_point b) {
+  return std::chrono::duration<double>(b - a).count();
+}
+
+// Waived sites: each waiver names exactly the rule it suppresses, with
+// the justification on the same line (DESIGN.md §13 waiver policy).
+
+// Interop shim for a third-party callback API that hands us a bare
+// std::mutex; never used for streamflow state.
+// lock-order-lint: ignores raw-mutex
+using ExternalMutexRef = std::mutex&;
+
+inline long waived_epoch() {
+  // Report-header timestamp only; never feeds computation or ordering.
+  return static_cast<long>(time(nullptr));  // determinism-lint: ignores wall-clock
+}
+
+}  // namespace sf

@@ -250,6 +250,48 @@ TEST(AsyncBlockLoader, CancelQueuedResolvesNullButLoadingIsUncancellable) {
   EXPECT_EQ(loader.cancelled(), 1u);
 }
 
+// Regression for the take_settled()/settle() split (async_loader.hpp's
+// locking contract, DESIGN.md §13): completions fire with mu_ released,
+// so a callback may re-enter the loader.  Before the lock-scope
+// refactor a completion that called request() or cancel() would
+// self-deadlock on the non-recursive mutex — this test would hang (and
+// in Debug the lock-rank registry would abort on the same-rank
+// reacquisition).
+TEST(AsyncBlockLoader, CompletionMayReenterRequestAndCancel) {
+  auto w = sf::testing::rotor_world(2);
+  CountingSource source(w.source.get());
+  AsyncBlockLoader::Config cfg;
+  cfg.workers = 1;
+  AsyncBlockLoader loader(&source, cfg);
+
+  WorkerGate gate;
+  loader.set_stall_hook(gate.hook());
+
+  // Block 0's completion — on the worker thread — cancels the still
+  // queued block 2 and chains a request for block 1.
+  std::promise<std::shared_future<GridPtr>> chained;
+  std::atomic<bool> cancel_ok{false};
+  auto f0 = loader.request(0, true,
+                           [&](BlockId, GridPtr g, std::exception_ptr) {
+                             EXPECT_NE(g, nullptr);
+                             cancel_ok = loader.cancel(2);
+                             chained.set_value(loader.request(1, true));
+                           });
+  gate.wait_entered();                 // 0 holds the only worker...
+  auto f2 = loader.request(2, false);  // ...so 2 waits in the queue
+  gate.release.set_value();
+
+  ASSERT_NE(f0.get(), nullptr);
+  auto f1 = chained.get_future().get();
+  ASSERT_NE(f1.get(), nullptr);  // the re-entrant request was serviced
+  EXPECT_TRUE(cancel_ok);        // the re-entrant cancel caught 2 queued
+  EXPECT_EQ(f2.get(), nullptr);
+  EXPECT_EQ(source.count(1), 1);
+  EXPECT_EQ(source.count(2), 0);
+  EXPECT_EQ(loader.completed(), 2u);
+  EXPECT_EQ(loader.cancelled(), 1u);
+}
+
 // ---------------------------------------------------------------------------
 // Simulated runtime: async must be invisible in the results
 // ---------------------------------------------------------------------------

@@ -22,23 +22,25 @@ Static checks that clang-tidy cannot express, run in CI next to it:
 3. No naked new / delete in src/ (RAII only; `= delete` declarations and
    comments/strings are excluded).
 
-4. No unseeded / wall-clock RNG in src/: std::rand, srand, random_device,
-   default-constructed std::mt19937 and friends.  All randomness must go
-   through sf::Rng with an explicit seed so runs are reproducible.
-
-5. Payload-kind side-table completeness.  Every variant alternative must
+4. Payload-kind side-table completeness.  Every variant alternative must
    have an operator()(const X&) in message.cpp's ByteSizer (the network
    cost model) and in invariants.cpp's payload Namer (checker
    diagnostics).  Adding a message kind — the failover control plane
    added MasterBeacon and ControlAck — without costing and naming it
    fails the lint, not the first faulted run.
 
-6. Service control-plane coverage.  The streamline service owns every
+5. Service control-plane coverage.  The streamline service owns every
    Query*-prefixed message kind (QuerySubmit, QueryCancel, QueryResult,
    QueryDone); each must be constructed somewhere under src/service/, so
    a service kind cannot be declared in the variant yet never journalled
    — and conversely a Query* kind constructed outside src/service/ is a
    layering violation (ranks never exchange query control traffic).
+
+Randomness hygiene (unseeded RNG / wall-clock engines) lives in
+check_determinism.py, next to the other sources of nondeterminism.
+
+Translation units come from build*/compile_commands.json when present
+(headers are always globbed); see lintutil.source_files.
 
 Exit status 0 when clean, 1 with one line per finding otherwise.
 """
@@ -50,74 +52,14 @@ import pathlib
 import re
 import sys
 
+from lintutil import (line_of, match_brace, source_files,
+                      strip_comments_and_strings)
+
 FINDINGS: list[str] = []
 
 
 def report(path: pathlib.Path, line: int, msg: str) -> None:
     FINDINGS.append(f"{path}:{line}: {msg}")
-
-
-def strip_comments_and_strings(text: str) -> str:
-    """Blank out comments and string/char literals with spaces.
-
-    Length-preserving (newlines kept), so an offset into the result is the
-    same offset into the original text.  Good enough for lint purposes;
-    does not handle raw strings with custom delimiters (none in this
-    codebase).
-    """
-    out = list(text)
-
-    def blank(lo: int, hi: int) -> None:
-        for j in range(lo, min(hi, len(out))):
-            if out[j] != "\n":
-                out[j] = " "
-
-    i, n = 0, len(text)
-    while i < n:
-        c = text[i]
-        nxt = text[i + 1] if i + 1 < n else ""
-        if c == "/" and nxt == "/":
-            start = i
-            while i < n and text[i] != "\n":
-                i += 1
-            blank(start, i)
-        elif c == "/" and nxt == "*":
-            start = i
-            i += 2
-            while i + 1 < n and not (text[i] == "*" and text[i + 1] == "/"):
-                i += 1
-            i += 2
-            blank(start, i)
-        elif c in "\"'":
-            quote = c
-            start = i
-            i += 1
-            while i < n and text[i] != quote:
-                if text[i] == "\\":
-                    i += 1
-                i += 1
-            i += 1
-            blank(start + 1, i - 1)
-        else:
-            i += 1
-    return "".join(out)
-
-
-def match_brace(text: str, open_idx: int) -> int:
-    """Index one past the brace that closes text[open_idx] == '{'."""
-    depth = 0
-    for i in range(open_idx, len(text)):
-        if text[i] == "{":
-            depth += 1
-        elif text[i] == "}":
-            depth -= 1
-            if depth == 0:
-                return i + 1
-    return len(text)
-
-
-def line_of(text: str, idx: int) -> int:
-    return text.count("\n", 0, idx) + 1
 
 
 def parse_message_alternatives(message_hpp: str) -> list[str]:
@@ -243,24 +185,6 @@ def check_naked_new_delete(path: pathlib.Path, clean: str) -> None:
                "naked 'delete' (use RAII ownership)")
 
 
-RNG_PATTERNS = [
-    (re.compile(r"\bstd\s*::\s*rand\b|(?<![\w:])rand\s*\("),
-     "std::rand is unseeded/global; use sf::Rng with an explicit seed"),
-    (re.compile(r"\bsrand\s*\("),
-     "srand hides the seed in global state; pass a seed to sf::Rng"),
-    (re.compile(r"\brandom_device\b"),
-     "std::random_device is nondeterministic; thread an explicit seed"),
-    (re.compile(r"\b(mt19937(_64)?|default_random_engine|minstd_rand0?)\b"),
-     "std library engines are banned in src/; use sf::Rng (explicit seed)"),
-]
-
-
-def check_rng(path: pathlib.Path, clean: str) -> None:
-    for pattern, why in RNG_PATTERNS:
-        for m in pattern.finditer(clean):
-            report(path, line_of(clean, m.start()), why)
-
-
 def check_payload_side_table(path: pathlib.Path, clean: str,
                              alternatives: list[str], table: str) -> None:
     """Every payload kind needs an operator()(const X&) overload here."""
@@ -272,24 +196,23 @@ def check_payload_side_table(path: pathlib.Path, clean: str,
                    f"every Message payload kind must be covered")
 
 
-def check_service_kinds(src: pathlib.Path, root: pathlib.Path,
+def check_service_kinds(files: list[pathlib.Path], root: pathlib.Path,
                         alternatives: list[str]) -> None:
     """Query* payload kinds belong to the service layer, both ways."""
     service_kinds = [a for a in alternatives if a.startswith("Query")]
     if not service_kinds:
         return
-    service_dir = src / "service"
+    service_dir = root / "src" / "service"
     service_text = "".join(
         strip_comments_and_strings(p.read_text())
-        for p in sorted(service_dir.rglob("*.[ch]pp"))) \
-        if service_dir.is_dir() else ""
+        for p in files if service_dir in p.parents)
     for kind in service_kinds:
         if not re.search(r"\b" + kind + r"\s*\{", service_text):
             report(pathlib.Path("src/service"), 1,
                    f"service message kind '{kind}' is never constructed "
                    f"under src/service/ — journal it or drop it from the "
                    f"Message variant")
-    for path in sorted(src.rglob("*.[ch]pp")):
+    for path in files:
         if service_dir in path.parents:
             continue
         if path.name in ("message.hpp", "message.cpp", "invariants.cpp"):
@@ -317,8 +240,9 @@ def main() -> int:
     load_states = parse_load_states(
         (src / "io" / "async_loader.hpp").read_text())
 
+    files = source_files(args.root)
     dispatchers = 0
-    for path in sorted(src.rglob("*.[ch]pp")):
+    for path in files:
         raw = path.read_text()
         clean = strip_comments_and_strings(raw)
         rel = path.relative_to(args.root)
@@ -326,7 +250,6 @@ def main() -> int:
         check_command_switches(rel, clean, enumerators)
         check_load_state_switches(rel, clean, load_states)
         check_naked_new_delete(rel, clean)
-        check_rng(rel, clean)
 
     for rel_path, table in [
         (pathlib.Path("src/runtime/message.cpp"), "ByteSizer"),
@@ -335,7 +258,7 @@ def main() -> int:
         clean = strip_comments_and_strings((args.root / rel_path).read_text())
         check_payload_side_table(rel_path, clean, alternatives, table)
 
-    check_service_kinds(src, args.root, alternatives)
+    check_service_kinds(files, args.root, alternatives)
 
     if dispatchers == 0:
         FINDINGS.append("check_protocol: found no on_message definitions — "

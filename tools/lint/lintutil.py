@@ -1,0 +1,154 @@
+"""Shared plumbing for the streamflow lint scripts.
+
+check_protocol.py, check_lock_order.py and check_determinism.py all walk
+the same C++ sources with the same comment-stripper; this module keeps
+one copy of that machinery:
+
+ - strip_comments_and_strings / match_brace / line_of: the lightweight
+   length-preserving C++ scanners,
+ - source_files: the shared file loader — the .cpp list comes from the
+   compilation database (build/compile_commands.json) when one exists,
+   so generated or excluded sources cannot drift out of lint coverage,
+   with a plain rglob fallback for a fresh checkout,
+ - parse_waivers / is_waived: the per-site waiver comment syntax shared
+   by every lint (`// <tool>-lint: ignores <rule>[, <rule>...]`, on the
+   offending line or the line directly above it).
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import re
+
+
+def strip_comments_and_strings(text: str) -> str:
+    """Blank out comments and string/char literals with spaces.
+
+    Length-preserving (newlines kept), so an offset into the result is the
+    same offset into the original text.  Good enough for lint purposes;
+    does not handle raw strings with custom delimiters (none in this
+    codebase).
+    """
+    out = list(text)
+
+    def blank(lo: int, hi: int) -> None:
+        for j in range(lo, min(hi, len(out))):
+            if out[j] != "\n":
+                out[j] = " "
+
+    i, n = 0, len(text)
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if c == "/" and nxt == "/":
+            start = i
+            while i < n and text[i] != "\n":
+                i += 1
+            blank(start, i)
+        elif c == "/" and nxt == "*":
+            start = i
+            i += 2
+            while i + 1 < n and not (text[i] == "*" and text[i + 1] == "/"):
+                i += 1
+            i += 2
+            blank(start, i)
+        elif c in "\"'":
+            quote = c
+            start = i
+            i += 1
+            while i < n and text[i] != quote:
+                if text[i] == "\\":
+                    i += 1
+                i += 1
+            i += 1
+            blank(start + 1, i - 1)
+        else:
+            i += 1
+    return "".join(out)
+
+
+def match_brace(text: str, open_idx: int) -> int:
+    """Index one past the brace that closes text[open_idx] == '{'."""
+    depth = 0
+    for i in range(open_idx, len(text)):
+        if text[i] == "{":
+            depth += 1
+        elif text[i] == "}":
+            depth -= 1
+            if depth == 0:
+                return i + 1
+    return len(text)
+
+
+def line_of(text: str, idx: int) -> int:
+    return text.count("\n", 0, idx) + 1
+
+
+def compile_commands_sources(root: pathlib.Path) -> set[pathlib.Path] | None:
+    """The src/ .cpp files listed in a compilation database, or None.
+
+    Looks for build*/compile_commands.json and a root-level copy; the
+    first parsable database containing src/ entries wins.
+    """
+    src = (root / "src").resolve()
+    candidates = sorted(root.glob("build*/compile_commands.json"))
+    candidates.append(root / "compile_commands.json")
+    for cand in candidates:
+        if not cand.is_file():
+            continue
+        try:
+            entries = json.loads(cand.read_text())
+        except ValueError:
+            continue
+        found: set[pathlib.Path] = set()
+        for entry in entries:
+            f = pathlib.Path(entry.get("file", ""))
+            if not f.is_absolute():
+                f = pathlib.Path(entry.get("directory", ".")) / f
+            try:
+                f = f.resolve()
+            except OSError:
+                continue
+            if src in f.parents and f.suffix == ".cpp" and f.is_file():
+                found.add(f)
+        if found:
+            return found
+    return None
+
+
+def source_files(root: pathlib.Path) -> list[pathlib.Path]:
+    """Every lintable source under root/src, sorted.
+
+    Translation units come from the compilation database when one exists
+    (so the lints see exactly what the compiler sees); headers are not in
+    the database and are always globbed.  Without a database — fresh
+    checkout, no configure yet — everything is globbed.
+    """
+    src = root / "src"
+    cpps = compile_commands_sources(root)
+    if cpps is None:
+        cpps = set(src.rglob("*.cpp"))
+    return sorted(cpps | set(src.rglob("*.hpp")))
+
+
+def parse_waivers(raw: str, tool: str) -> dict[int, set[str]]:
+    """Per-line waiver comments for one lint tool.
+
+    `// <tool>-lint: ignores rule-a, rule-b` maps that line number to the
+    named rules.  Matches anywhere in the line, so both trailing comments
+    and whole-line comments work.
+    """
+    waived: dict[int, set[str]] = {}
+    pattern = re.compile(re.escape(tool) + r"-lint:\s*ignores[ \t]+(.+)")
+    for lineno, line in enumerate(raw.splitlines(), start=1):
+        m = pattern.search(line)
+        if m:
+            rules = {x for x in re.split(r"[,\s]+", m.group(1)) if x}
+            waived.setdefault(lineno, set()).update(rules)
+    return waived
+
+
+def is_waived(waivers: dict[int, set[str]], line: int, rule: str) -> bool:
+    """A finding is waived by a comment on its line or the line above."""
+    return any(rule in waivers.get(ln, set()) for ln in (line, line - 1))

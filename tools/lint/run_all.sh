@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# Run every streamflow lint in one shot — the entry point both CI jobs
+# and developers use, so the two can never drift apart:
+#
+#   tools/lint/run_all.sh [build-dir]
+#
+# Runs the three python lints (protocol, lock-order, determinism), their
+# fixture self-test, and — when run-clang-tidy and a compile database
+# are available — clang-tidy over src/.  The python lints read the
+# translation-unit list from <build-dir>/compile_commands.json when
+# present and fall back to globbing src/ otherwise, so the script works
+# on a fresh checkout too.  Exit 0 iff everything passed.
+
+set -u
+root="$(cd "$(dirname "$0")/../.." && pwd)"
+build="${1:-$root/build}"
+fail=0
+
+for lint in check_protocol check_lock_order check_determinism; do
+  echo "== $lint =="
+  python3 "$root/tools/lint/$lint.py" --root "$root" || fail=1
+done
+
+echo "== lint fixture self-test =="
+python3 "$root/tests/lint/test_lints.py" || fail=1
+
+if command -v run-clang-tidy >/dev/null 2>&1 \
+    && [ -f "$build/compile_commands.json" ]; then
+  echo "== clang-tidy =="
+  run-clang-tidy -quiet -p "$build" "$root/src/.*" || fail=1
+else
+  echo "== clang-tidy skipped (need run-clang-tidy on PATH and" \
+       "$build/compile_commands.json) =="
+fi
+
+exit $fail
