@@ -6,7 +6,13 @@
 //               per stage, BlockAccessFn lookup per accepted step
 //   cursor    : Tracer::advance — block cursor + GridSampler cell cursor
 //   batched   : Tracer::advance_batch — per-block rounds over the whole
-//               cohort, sharing one cursor per round
+//               cohort, sharing one cursor per round (scalar kernel
+//               forced, so it stays the like-for-like baseline)
+//   simd      : the same advance_batch with the 4-wide AVX2 DOPRI5
+//               kernel forced (bit-identical trajectories; DESIGN.md
+//               §14) — emitted when the host supports it, or always
+//               under --kernel=simd, where a host without AVX2 must
+//               fall back to scalar without crashing
 // under sparse (ring) and dense (clustered) seeding, in two block-cache
 // regimes:
 //   resident    : every block preloaded in an LRU cache large enough to
@@ -25,6 +31,11 @@
 // Flags:
 //   --min-time=S   minimum measured seconds per cell (default 1.0)
 //   --out=PATH     output JSON path (default BENCH_advect.json)
+//   --kernel=K     auto | scalar | simd — whether the simd cells are
+//                  emitted (auto: only when the host has AVX2; simd:
+//                  always, exercising the scalar fallback; scalar:
+//                  never).  The reference/cursor/batched cells are
+//                  always scalar.
 //   --quick        smoke preset: --min-time=0.1 and a 2-rep floor
 //
 // Cells are measured in interleaved round-robin reps so every kernel
@@ -58,6 +69,7 @@ struct Options {
   double min_time = 1.0;
   std::uint64_t min_reps = 3;
   std::string out = "BENCH_advect.json";
+  std::string kernel = "auto";
   double tol = 1e-6;
   int nodes = 17;
 };
@@ -70,6 +82,14 @@ Options parse_options(int argc, char** argv) {
       opt.min_time = std::atof(arg.substr(11).c_str());
     } else if (arg.rfind("--out=", 0) == 0) {
       opt.out = arg.substr(6);
+    } else if (arg.rfind("--kernel=", 0) == 0) {
+      opt.kernel = arg.substr(9);
+      if (opt.kernel != "auto" && opt.kernel != "scalar" &&
+          opt.kernel != "simd") {
+        std::cerr << "bad --kernel (want auto|scalar|simd): " << opt.kernel
+                  << '\n';
+        std::exit(2);
+      }
     } else if (arg.rfind("--tol=", 0) == 0) {
       opt.tol = std::atof(arg.substr(6).c_str());
     } else if (arg.rfind("--nodes=", 0) == 0) {
@@ -105,6 +125,9 @@ struct Result {
   // is the least-perturbed estimate; the aggregate totals are kept in
   // the JSON for inspection.
   double best_rate = 0.0;
+  // simd rows are host-dependent: compare.py treats them as optional so
+  // a baseline recorded on an AVX2 host doesn't fail on one without.
+  bool optional = false;
   double rate() const { return best_rate; }
 };
 
@@ -209,8 +232,23 @@ int main(int argc, char** argv) {
   // would put a single reference rep into the tens of seconds.
   sf::TraceLimits constrained_limits = resident_limits;
   constrained_limits.max_steps = 500;
-  const sf::Tracer tracer_resident(&decomp, iparams, resident_limits);
-  const sf::Tracer tracer_constrained(&decomp, iparams, constrained_limits);
+  // The batched cell forces the scalar kernel so it stays the explicit
+  // baseline; the simd cell forces the AVX2 kernel on a twin tracer.
+  // When --kernel=simd is given on a host without AVX2 the forced
+  // tracer must silently run scalar (the dispatch fallback) — the cell
+  // is still emitted, tagged simd_active=false, so CI can assert the
+  // flag never crashes anywhere.
+  sf::Tracer tracer_resident(&decomp, iparams, resident_limits);
+  sf::Tracer tracer_constrained(&decomp, iparams, constrained_limits);
+  tracer_resident.set_kernel(sf::AdvectionKernel::kScalar);
+  tracer_constrained.set_kernel(sf::AdvectionKernel::kScalar);
+  const bool simd_cells =
+      opt.kernel == "simd" ||
+      (opt.kernel == "auto" && sf::simd_kernel_available());
+  sf::Tracer tracer_resident_simd(&decomp, iparams, resident_limits);
+  sf::Tracer tracer_constrained_simd(&decomp, iparams, constrained_limits);
+  tracer_resident_simd.set_kernel(sf::AdvectionKernel::kSimd);
+  tracer_constrained_simd.set_kernel(sf::AdvectionKernel::kSimd);
 
   sf::Rng rng(7);
   const double r0 = field->params().major_radius;
@@ -226,13 +264,15 @@ int main(int argc, char** argv) {
   struct Regime {
     const char* name;
     const sf::Tracer* tracer;
+    const sf::Tracer* simd_tracer;
     const sf::BlockAccessFn* access;
     const std::uint64_t* loads;
   };
   const Regime regimes[] = {
-      {"resident", &tracer_resident, &access_resident, nullptr},
-      {"constrained", &tracer_constrained, &access_constrained,
-       &constrained_loads},
+      {"resident", &tracer_resident, &tracer_resident_simd, &access_resident,
+       nullptr},
+      {"constrained", &tracer_constrained, &tracer_constrained_simd,
+       &access_constrained, &constrained_loads},
   };
 
   std::vector<Cell> cells;
@@ -261,6 +301,13 @@ int main(int argc, char** argv) {
       add("batched", [&tracer, &access](std::vector<sf::Particle>& ps) {
         tracer.advance_batch(ps, access);
       });
+      if (simd_cells) {
+        const sf::Tracer& simd_tracer = *regime.simd_tracer;
+        add("simd", [&simd_tracer, &access](std::vector<sf::Particle>& ps) {
+          simd_tracer.advance_batch(ps, access);
+        });
+        cells.back().r.optional = true;
+      }
     }
   }
 
@@ -292,6 +339,10 @@ int main(int argc, char** argv) {
   }
   out << "{\n"
       << "  \"bench\": \"advect_throughput\",\n"
+      << "  \"kernel_mode\": \"" << opt.kernel << "\",\n"
+      << "  \"simd_active\": " << (sf::simd_kernel_available() ? "true"
+                                                               : "false")
+      << ",\n"
       << "  \"field\": \"tokamak\",\n"
       << "  \"blocks\": [4, 4, 4],\n"
       << "  \"nodes_per_axis\": " << opt.nodes << ",\n"
@@ -311,8 +362,12 @@ int main(int argc, char** argv) {
         << ", \"block_loads\": " << r.block_loads
         << ", \"seconds\": " << r.seconds
         << ", \"particle_steps_per_sec\": " << r.rate()
-        << ", \"speedup_vs_reference\": " << speedup << "}"
-        << (i + 1 < results.size() ? "," : "") << '\n';
+        << ", \"speedup_vs_reference\": " << speedup;
+    if (r.optional) {
+      out << ", \"optional\": true, \"simd_active\": "
+          << (sf::simd_kernel_available() ? "true" : "false");
+    }
+    out << "}" << (i + 1 < results.size() ? "," : "") << '\n';
     std::cout << r.cache << '\t' << r.seeding << '\t' << r.kernel << '\t'
               << r.rate() << " steps/s\t" << r.block_loads << " loads\t("
               << speedup << "x reference)\n";

@@ -1,0 +1,535 @@
+// AVX2 4-lane DOPRI5 focus-round kernel.  See integrator_simd.hpp for
+// the contract and DESIGN.md §14 for the bit-identity argument.
+//
+// This TU is compiled with `-mavx2 -mno-fma -ffp-contract=off` (and
+// SF_SIMD_AVX2) when the compiler supports AVX2: the vector add / mul /
+// div / sqrt / compare instructions are IEEE-754 correctly rounded per
+// lane, so an elementwise transcription of the scalar operation
+// sequence yields the scalar bits; disabling FMA and contraction keeps
+// the compiler from fusing the mul+add chains into a differently
+// rounded form.  Nothing outside this TU executes AVX2 instructions, so
+// the rest of the library stays runnable on baseline x86-64 and the
+// runtime dispatch in sf::simd_kernel_available() (tracer.cpp) is the
+// only gate needed.
+
+#include "core/integrator_simd.hpp"
+
+#if defined(SF_SIMD_AVX2)
+
+#include <immintrin.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+
+namespace sf::simd {
+namespace {
+
+using integrator_detail::kA;
+using integrator_detail::kB5;
+using integrator_detail::kE;
+using integrator_detail::kMaxScale;
+using integrator_detail::kMinScale;
+using integrator_detail::kSafety;
+using integrator_detail::kShrink;
+
+constexpr int kLanes = 4;
+
+// Focus-grid parameters hoisted once per round: every lane samples the
+// same grid, so bounds, reciprocal cell size and extents are uniform
+// (broadcast), and only the 8-corner gathers are per lane.
+struct GridUniforms {
+  AABB bounds{};
+  Vec3 inv_cell{};
+  int nx = 0, ny = 0, nz = 0;
+  const double* xs = nullptr;
+  const double* ys = nullptr;
+  const double* zs = nullptr;
+  __m256d lox, loy, loz, hix, hiy, hiz;
+  __m256d invx, invy, invz;
+  __m128i imax, jmax, kmax;  // nx-2 / ny-2 / nz-2, the locate clamp
+};
+
+GridUniforms make_uniforms(const StructuredGrid& grid) {
+  GridUniforms g;
+  g.bounds = grid.bounds();
+  g.inv_cell = grid.inv_cell_size();
+  g.nx = grid.nx();
+  g.ny = grid.ny();
+  g.nz = grid.nz();
+  g.xs = grid.comp_x();
+  g.ys = grid.comp_y();
+  g.zs = grid.comp_z();
+  g.lox = _mm256_set1_pd(g.bounds.lo.x);
+  g.loy = _mm256_set1_pd(g.bounds.lo.y);
+  g.loz = _mm256_set1_pd(g.bounds.lo.z);
+  g.hix = _mm256_set1_pd(g.bounds.hi.x);
+  g.hiy = _mm256_set1_pd(g.bounds.hi.y);
+  g.hiz = _mm256_set1_pd(g.bounds.hi.z);
+  g.invx = _mm256_set1_pd(g.inv_cell.x);
+  g.invy = _mm256_set1_pd(g.inv_cell.y);
+  g.invz = _mm256_set1_pd(g.inv_cell.z);
+  g.imax = _mm_set1_epi32(g.nx - 2);
+  g.jmax = _mm_set1_epi32(g.ny - 2);
+  g.kmax = _mm_set1_epi32(g.nz - 2);
+  return g;
+}
+
+// Per-lane solver state, lane-minor so one aligned load picks up all
+// four lanes of a quantity.  Each lane owns an independent particle
+// mid-step plus a private cell cursor (anchor + 8 corners per
+// component, corner-major).  Private cursors refill more often than the
+// scalar round's shared cursor would, but refills are loads, not
+// evaluations — results and eval counts are unaffected.
+struct CohortState {
+  alignas(32) double px[kLanes];
+  alignas(32) double py[kLanes];
+  alignas(32) double pz[kLanes];
+  alignas(32) double t[kLanes];
+  alignas(32) double h[kLanes];
+  alignas(32) double k0x[kLanes];
+  alignas(32) double k0y[kLanes];
+  alignas(32) double k0z[kLanes];
+  alignas(32) double cxc[8][kLanes];
+  alignas(32) double cyc[8][kLanes];
+  alignas(32) double czc[8][kLanes];
+  int ci[kLanes] = {-1, -1, -1, -1};
+  int cj[kLanes] = {-1, -1, -1, -1};
+  int ck[kLanes] = {-1, -1, -1, -1};
+  std::size_t slot[kLanes] = {};   // index into batch / out
+  bool stepping[kLanes] = {};      // lane holds a live mid-step particle
+};
+
+// Gather one cell's 24 corner values into the lane's cursor columns.
+// Index arithmetic mirrors StructuredGrid::index and
+// GridSampler::refill exactly.
+void refill_lane(CohortState& st, const GridUniforms& g, int lane, int i,
+                 int j, int k) {
+  const std::size_t base = static_cast<std::size_t>(k) * g.nx * g.ny +
+                           static_cast<std::size_t>(j) * g.nx +
+                           static_cast<std::size_t>(i);
+  const std::size_t rowy = static_cast<std::size_t>(g.nx);
+  const std::size_t rowz = static_cast<std::size_t>(g.nx) * g.ny;
+  const std::size_t n[8] = {base,
+                            base + 1,
+                            base + rowy,
+                            base + rowy + 1,
+                            base + rowz,
+                            base + rowz + 1,
+                            base + rowz + rowy,
+                            base + rowz + rowy + 1};
+  for (int c = 0; c < 8; ++c) {
+    st.cxc[c][lane] = g.xs[n[c]];
+    st.cyc[c][lane] = g.ys[n[c]];
+    st.czc[c][lane] = g.zs[n[c]];
+  }
+  st.ci[lane] = i;
+  st.cj[lane] = j;
+  st.ck[lane] = k;
+}
+
+// grid_detail::trilinear across lanes: same products, same sums, same
+// association, elementwise per lane.
+inline __m256d trilinear_lanes(const double c[8][kLanes], __m256d tx,
+                               __m256d ty, __m256d tz) {
+  const __m256d one = _mm256_set1_pd(1.0);
+  const __m256d sx = _mm256_sub_pd(one, tx);
+  const __m256d c00 = _mm256_add_pd(_mm256_mul_pd(_mm256_load_pd(c[0]), sx),
+                                    _mm256_mul_pd(_mm256_load_pd(c[1]), tx));
+  const __m256d c10 = _mm256_add_pd(_mm256_mul_pd(_mm256_load_pd(c[2]), sx),
+                                    _mm256_mul_pd(_mm256_load_pd(c[3]), tx));
+  const __m256d c01 = _mm256_add_pd(_mm256_mul_pd(_mm256_load_pd(c[4]), sx),
+                                    _mm256_mul_pd(_mm256_load_pd(c[5]), tx));
+  const __m256d c11 = _mm256_add_pd(_mm256_mul_pd(_mm256_load_pd(c[6]), sx),
+                                    _mm256_mul_pd(_mm256_load_pd(c[7]), tx));
+  const __m256d sy = _mm256_sub_pd(one, ty);
+  const __m256d c0 =
+      _mm256_add_pd(_mm256_mul_pd(c00, sy), _mm256_mul_pd(c10, ty));
+  const __m256d c1 =
+      _mm256_add_pd(_mm256_mul_pd(c01, sy), _mm256_mul_pd(c11, ty));
+  const __m256d sz = _mm256_sub_pd(one, tz);
+  return _mm256_add_pd(_mm256_mul_pd(c0, sz), _mm256_mul_pd(c1, tz));
+}
+
+// Same blend for one lane's columns — the scalar mirror used by the
+// stage-one/stagnation sample.  Textually grid_detail::trilinear with a
+// lane-strided gather.
+inline double trilinear_lane(const double c[8][kLanes], int lane, double tx,
+                             double ty, double tz) {
+  const double sx = 1.0 - tx;
+  const double c00 = c[0][lane] * sx + c[1][lane] * tx;
+  const double c10 = c[2][lane] * sx + c[3][lane] * tx;
+  const double c01 = c[4][lane] * sx + c[5][lane] * tx;
+  const double c11 = c[6][lane] * sx + c[7][lane] * tx;
+  const double sy = 1.0 - ty;
+  const double c0 = c00 * sy + c10 * ty;
+  const double c1 = c01 * sy + c11 * ty;
+  return c0 * (1.0 - tz) + c1 * tz;
+}
+
+// Scalar GridSampler::sample against one lane's cursor (bounds check,
+// locate through the shared grid_detail kernel, refill on anchor
+// change, blend).  Bit-identical to the vector path below because the
+// locate arithmetic is the same ops in the same order.
+bool sample_lane(CohortState& st, const GridUniforms& g, int lane,
+                 const Vec3& p, Vec3& out_v) {
+  if (!g.bounds.contains(p)) return false;
+  const grid_detail::CellCoords cc = grid_detail::locate_cell(
+      p, g.bounds.lo, g.inv_cell, g.nx, g.ny, g.nz);
+  if (cc.i != st.ci[lane] || cc.j != st.cj[lane] || cc.k != st.ck[lane]) {
+    refill_lane(st, g, lane, cc.i, cc.j, cc.k);
+  }
+  out_v.x = trilinear_lane(st.cxc, lane, cc.tx, cc.ty, cc.tz);
+  out_v.y = trilinear_lane(st.cyc, lane, cc.tx, cc.ty, cc.tz);
+  out_v.z = trilinear_lane(st.czc, lane, cc.tx, cc.ty, cc.tz);
+  return true;
+}
+
+// Vectorized GridSampler::sample: bounds predicate and locate are
+// elementwise across lanes, the per-lane anchor check / corner gather
+// is scalar, the blend is vector again.  `attempt` is the bitmask of
+// lanes attempting this stage; returns the subset whose position is in
+// bounds (others' outputs are garbage and must be masked by the
+// caller).  Lanes outside `attempt` may hold arbitrary positions — they
+// reach the arithmetic (well-defined, possibly NaN) but never the
+// memory gathers.
+int sample_lanes(CohortState& st, const GridUniforms& g, __m256d psx,
+                 __m256d psy, __m256d psz, int attempt, __m256d& outx,
+                 __m256d& outy, __m256d& outz) {
+  // AABB::contains per lane: >= lo && <= hi per axis, ordered compares
+  // so NaN fails exactly as in the scalar predicate.
+  __m256d in = _mm256_and_pd(_mm256_cmp_pd(psx, g.lox, _CMP_GE_OQ),
+                             _mm256_cmp_pd(psx, g.hix, _CMP_LE_OQ));
+  in = _mm256_and_pd(in, _mm256_cmp_pd(psy, g.loy, _CMP_GE_OQ));
+  in = _mm256_and_pd(in, _mm256_cmp_pd(psy, g.hiy, _CMP_LE_OQ));
+  in = _mm256_and_pd(in, _mm256_cmp_pd(psz, g.loz, _CMP_GE_OQ));
+  in = _mm256_and_pd(in, _mm256_cmp_pd(psz, g.hiz, _CMP_LE_OQ));
+  const int ok = attempt & _mm256_movemask_pd(in);
+  if (ok == 0) return 0;
+
+  // grid_detail::locate_cell per lane: fx = (p - lo) * inv_cell,
+  // i = trunc(fx) (cvttpd == the scalar int cast for in-range values),
+  // i = min(i, n - 2) (== the scalar `if (i >= n-1) i = n-2` since
+  // in-bounds fx is never negative), t = fx - double(i).  Every op is
+  // exact or correctly rounded elementwise, so in-bounds lanes get the
+  // scalar bits.
+  const __m256d fx = _mm256_mul_pd(_mm256_sub_pd(psx, g.lox), g.invx);
+  const __m256d fy = _mm256_mul_pd(_mm256_sub_pd(psy, g.loy), g.invy);
+  const __m256d fz = _mm256_mul_pd(_mm256_sub_pd(psz, g.loz), g.invz);
+  const __m128i i4 = _mm_min_epi32(_mm256_cvttpd_epi32(fx), g.imax);
+  const __m128i j4 = _mm_min_epi32(_mm256_cvttpd_epi32(fy), g.jmax);
+  const __m128i k4 = _mm_min_epi32(_mm256_cvttpd_epi32(fz), g.kmax);
+  const __m256d tx = _mm256_sub_pd(fx, _mm256_cvtepi32_pd(i4));
+  const __m256d ty = _mm256_sub_pd(fy, _mm256_cvtepi32_pd(j4));
+  const __m256d tz = _mm256_sub_pd(fz, _mm256_cvtepi32_pd(k4));
+
+  alignas(16) int is[kLanes], js[kLanes], ks[kLanes];
+  _mm_store_si128(reinterpret_cast<__m128i*>(is), i4);
+  _mm_store_si128(reinterpret_cast<__m128i*>(js), j4);
+  _mm_store_si128(reinterpret_cast<__m128i*>(ks), k4);
+  for (int l = 0; l < kLanes; ++l) {
+    if (!(ok & (1 << l))) continue;  // masked lanes: no gather, no OOB
+    if (is[l] != st.ci[l] || js[l] != st.cj[l] || ks[l] != st.ck[l]) {
+      refill_lane(st, g, l, is[l], js[l], ks[l]);
+    }
+  }
+  outx = trilinear_lanes(st.cxc, tx, ty, tz);
+  outy = trilinear_lanes(st.cyc, tx, ty, tz);
+  outz = trilinear_lanes(st.czc, tx, ty, tz);
+  return ok;
+}
+
+// acc + k * (h * a): the stage-sum term exactly as the scalar body
+// writes it — coefficient times h first, then the k product, then the
+// left-associated add.
+inline __m256d axpy(__m256d acc, __m256d k, __m256d hv, double a) {
+  return _mm256_add_pd(acc,
+                       _mm256_mul_pd(k, _mm256_mul_pd(hv, _mm256_set1_pd(a))));
+}
+
+struct StageRegs {
+  __m256d x, y, z;
+};
+
+void lane_begin_step(CohortState& st, int lane, const Vec3* carried,
+                     std::span<Particle> batch, std::span<AdvanceOutcome> out,
+                     const FocusCohortArgs& args, const GridUniforms& g);
+
+// Load the next cohort particle into `lane`: the per-advance preamble
+// of Tracer::advance_with_cursor (terminal guard, cancel drain, seed
+// record, h init) followed by the first step's preamble.  Leaves the
+// lane stepping, or the particle retired/paused with the lane empty.
+void lane_load(CohortState& st, int lane, std::size_t slot,
+               std::span<Particle> batch, std::span<AdvanceOutcome> out,
+               const FocusCohortArgs& args, const GridUniforms& g) {
+  Particle& p = batch[slot];
+  AdvanceOutcome& o = out[slot];
+  if (is_terminal(p.status)) {
+    o.status = p.status;
+    o.blocking_block = kInvalidBlock;
+    return;
+  }
+  // Cancelled-query drain: terminate in place before the seed vertex or
+  // any integration step (same ordering as the scalar path).
+  if (args.cancels != nullptr && args.cancels->contains(p.query)) {
+    p.status = ParticleStatus::kCancelled;
+    o.status = p.status;
+    o.blocking_block = kInvalidBlock;
+    return;
+  }
+  if (p.steps == 0 && args.recorder != nullptr) {
+    args.recorder->reserve_hint(
+        static_cast<std::size_t>(args.limits->max_steps) + 1);
+    args.recorder->record(p, p.pos);  // seed vertex
+  }
+  if (p.h <= 0.0) p.h = args.iparams->h_init;
+  st.slot[lane] = slot;
+  // Fresh cursor per particle: the shared scalar cursor may carry a
+  // warm cell between particles, but refills are not evaluations, so
+  // forcing one here changes nothing observable.
+  st.ci[lane] = st.cj[lane] = st.ck[lane] = -1;
+  lane_begin_step(st, lane, nullptr, batch, out, args, g);
+}
+
+// The per-step preamble of the scalar loop: budgets, ownership,
+// stage-one value (FSAL carry or a counted sample), stagnation, trial
+// step-size capping and the dopri5 entry clamp.  Leaves the lane
+// stepping with (p, t, h, k0) staged, or retires/pauses the particle.
+void lane_begin_step(CohortState& st, int lane, const Vec3* carried,
+                     std::span<Particle> batch, std::span<AdvanceOutcome> out,
+                     const FocusCohortArgs& args, const GridUniforms& g) {
+  Particle& p = batch[st.slot[lane]];
+  AdvanceOutcome& o = out[st.slot[lane]];
+  const auto retire = [&](ParticleStatus s) {
+    p.status = s;
+    o.status = s;
+    o.blocking_block = kInvalidBlock;
+  };
+  // Budget checks first so hand-offs can't dodge them.
+  if (p.time >= args.limits->max_time) {
+    retire(ParticleStatus::kMaxTime);
+    return;
+  }
+  if (p.steps >= args.limits->max_steps) {
+    retire(ParticleStatus::kMaxSteps);
+    return;
+  }
+  const BlockId owner = args.decomp->block_of(p.pos);
+  if (owner == kInvalidBlock) {
+    retire(ParticleStatus::kExitedDomain);
+    return;
+  }
+  if (owner != args.focus) {
+    // Focus-round boundary: pause exactly as the scalar round's
+    // focus-only access fn would (blocks(owner) == nullptr there).
+    o.status = ParticleStatus::kActive;
+    o.blocking_block = owner;
+    return;
+  }
+  // Stage-one value: the carried FSAL sample is the field at p.pos on
+  // this same grid, so reusing it is bit-identical to re-evaluating.
+  Vec3 v{};
+  if (carried != nullptr) {
+    v = *carried;
+  } else {
+    ++o.evals;
+    if (!sample_lane(st, g, lane, p.pos, v)) {
+      // The owner grid must cover its own core extent; failure here is
+      // a dataset construction bug, not a flow condition.
+      retire(ParticleStatus::kError);
+      return;
+    }
+  }
+  if (norm(v) < args.limits->min_speed) {
+    retire(ParticleStatus::kStagnant);
+    return;
+  }
+  // Cap the trial step so the remaining time budget is never overshot
+  // by more than one step, then the dopri5_step entry clamp.
+  double h = p.h;
+  const double remaining = args.limits->max_time - p.time;
+  if (h > remaining) h = std::max(remaining, args.iparams->h_min);
+  h = std::clamp(h, args.iparams->h_min, args.iparams->h_max);
+
+  st.px[lane] = p.pos.x;
+  st.py[lane] = p.pos.y;
+  st.pz[lane] = p.pos.z;
+  st.t[lane] = p.time;
+  st.h[lane] = h;
+  st.k0x[lane] = v.x;
+  st.k0y[lane] = v.y;
+  st.k0z[lane] = v.z;
+  st.stepping[lane] = true;
+}
+
+// One DOPRI5 *trial* for every stepping lane: stages 1..6 vectorized
+// (stage 0 is the pre-supplied k0 — never sampled, never counted, as in
+// dopri5_step_impl_fast with k0_pre), then the per-lane accept / reject
+// / sample-failure epilogue.  Lanes mix freely: one may accept its
+// first trial while a neighbour is on its third rejection — each lane's
+// operation sequence is still exactly the scalar retry loop's.
+void run_trial(CohortState& st, int active, std::span<Particle> batch,
+               std::span<AdvanceOutcome> out, const FocusCohortArgs& args,
+               const GridUniforms& g) {
+  const __m256d px = _mm256_load_pd(st.px);
+  const __m256d py = _mm256_load_pd(st.py);
+  const __m256d pz = _mm256_load_pd(st.pz);
+  const __m256d hv = _mm256_load_pd(st.h);
+
+  StageRegs k[7] = {};
+  k[0] = {_mm256_load_pd(st.k0x), _mm256_load_pd(st.k0y),
+          _mm256_load_pd(st.k0z)};
+
+  int ok = active;
+  for (int s = 1; s <= 6 && ok != 0; ++s) {
+    // Stage position: the same left-associated p + Σ k_j * (h * a_sj)
+    // the unrolled scalar body computes (a sequential loop over j emits
+    // the identical op sequence per lane).
+    __m256d sx = px, sy = py, sz = pz;
+    for (int j = 0; j < s; ++j) {
+      sx = axpy(sx, k[j].x, hv, kA[s][j]);
+      sy = axpy(sy, k[j].y, hv, kA[s][j]);
+      sz = axpy(sz, k[j].z, hv, kA[s][j]);
+    }
+    // ++n_evals per attempted stage, before the sample — lanes that
+    // failed an earlier stage attempt nothing further (short-circuit).
+    for (int l = 0; l < kLanes; ++l) {
+      if (ok & (1 << l)) ++out[st.slot[l]].evals;
+    }
+    ok = sample_lanes(st, g, sx, sy, sz, ok, k[s].x, k[s].y, k[s].z);
+  }
+
+  // Solution and error estimate in the reference accumulation order
+  // (zero-weight terms included; err starts from an explicit zero).
+  // Garbage in failed lanes is discarded below.
+  __m256d pnx = px, pny = py, pnz = pz;
+  __m256d ex = _mm256_setzero_pd();
+  __m256d ey = _mm256_setzero_pd();
+  __m256d ez = _mm256_setzero_pd();
+  for (int s = 0; s < 7; ++s) {
+    pnx = axpy(pnx, k[s].x, hv, kB5[s]);
+    pny = axpy(pny, k[s].y, hv, kB5[s]);
+    pnz = axpy(pnz, k[s].z, hv, kB5[s]);
+    ex = axpy(ex, k[s].x, hv, kE[s]);
+    ey = axpy(ey, k[s].y, hv, kE[s]);
+    ez = axpy(ez, k[s].z, hv, kE[s]);
+  }
+  alignas(32) double pn[3][kLanes], er[3][kLanes], k6[3][kLanes];
+  _mm256_store_pd(pn[0], pnx);
+  _mm256_store_pd(pn[1], pny);
+  _mm256_store_pd(pn[2], pnz);
+  _mm256_store_pd(er[0], ex);
+  _mm256_store_pd(er[1], ey);
+  _mm256_store_pd(er[2], ez);
+  _mm256_store_pd(k6[0], k[6].x);
+  _mm256_store_pd(k6[1], k[6].y);
+  _mm256_store_pd(k6[2], k[6].z);
+
+  const IntegratorParams& ip = *args.iparams;
+  for (int lane = 0; lane < kLanes; ++lane) {
+    if (!(active & (1 << lane))) continue;
+    Particle& p = batch[st.slot[lane]];
+    AdvanceOutcome& o = out[st.slot[lane]];
+    const double h = st.h[lane];
+
+    if (!(ok & (1 << lane))) {
+      // A stage left the data; shrink and retry, fail below h_min.
+      if (h <= ip.h_min * (1.0 + 1e-12)) {
+        // kSampleFailed: classify by whether a nudge along the flow
+        // leaves the domain (v is k0, the field at p.pos).
+        const Vec3 v{st.k0x[lane], st.k0y[lane], st.k0z[lane]};
+        const Vec3 probe = p.pos + normalized(v) * (ip.h_min * 10);
+        p.status = args.decomp->block_of(probe) == kInvalidBlock
+                       ? ParticleStatus::kExitedDomain
+                       : ParticleStatus::kError;
+        o.status = p.status;
+        o.blocking_block = kInvalidBlock;
+        st.stepping[lane] = false;
+      } else {
+        st.h[lane] = std::max(h * kShrink, ip.h_min);
+      }
+      continue;
+    }
+
+    // Scaled RMS error against tol * (1 + |p|) per component.
+    const double p_old[3] = {st.px[lane], st.py[lane], st.pz[lane]};
+    double sum = 0.0;
+    for (int c = 0; c < 3; ++c) {
+      const double scale =
+          ip.tol * (1.0 + std::max(std::abs(p_old[c]), std::abs(pn[c][lane])));
+      const double q = er[c][lane] / scale;
+      sum += q * q;
+    }
+    const double enorm = std::sqrt(sum / 3.0);
+
+    if (enorm <= 1.0 || h <= ip.h_min * (1.0 + 1e-12)) {
+      // Accept (steps at h_min are always accepted to guarantee
+      // progress) and immediately run the next step's preamble so the
+      // lane rejoins the next trial.
+      const double scale =
+          enorm > 0.0 ? std::clamp(kSafety * std::pow(enorm, -0.2), kMinScale,
+                                   kMaxScale)
+                      : kMaxScale;
+      const double h_next = std::clamp(h * scale, ip.h_min, ip.h_max);
+      p.pos = Vec3{pn[0][lane], pn[1][lane], pn[2][lane]};
+      p.time = st.t[lane] + h;
+      p.h = h_next;
+      p.steps += 1;
+      p.geometry_points += 1;
+      o.steps += 1;
+      if (args.recorder != nullptr) args.recorder->record(p, p.pos);
+      const Vec3 carried{k6[0][lane], k6[1][lane], k6[2][lane]};  // FSAL
+      st.stepping[lane] = false;
+      lane_begin_step(st, lane, &carried, batch, out, args, g);
+    } else {
+      // Reject: shrink per the controller and retry.
+      const double scale =
+          std::clamp(kSafety * std::pow(enorm, -0.2), kMinScale, 1.0);
+      st.h[lane] = std::max(h * scale, ip.h_min);
+    }
+  }
+}
+
+}  // namespace
+
+void advance_focus_cohort_avx2(std::span<Particle> batch,
+                               std::span<const std::size_t> cohort,
+                               std::span<AdvanceOutcome> out,
+                               const FocusCohortArgs& args) {
+  const GridUniforms g = make_uniforms(*args.grid);
+  CohortState st{};
+  std::size_t next_in = 0;
+  for (;;) {
+    int active = 0;
+    for (int lane = 0; lane < kLanes; ++lane) {
+      while (!st.stepping[lane] && next_in < cohort.size()) {
+        lane_load(st, lane, cohort[next_in++], batch, out, args, g);
+      }
+      if (st.stepping[lane]) active |= 1 << lane;
+    }
+    if (active == 0) break;
+    run_trial(st, active, batch, out, args, g);
+  }
+}
+
+}  // namespace sf::simd
+
+#else  // !SF_SIMD_AVX2: stub so the library links on any toolchain.
+
+#include <cstdlib>
+
+namespace sf::simd {
+
+void advance_focus_cohort_avx2(std::span<Particle>,
+                               std::span<const std::size_t>,
+                               std::span<AdvanceOutcome>,
+                               const FocusCohortArgs&) {
+  // Unreachable by construction: dispatch guards every call on
+  // sf::simd_kernel_available(), which is false whenever this stub is
+  // the definition that got compiled in.
+  std::abort();
+}
+
+}  // namespace sf::simd
+
+#endif  // SF_SIMD_AVX2

@@ -4,7 +4,23 @@
 #include <cstdint>
 #include <vector>
 
+#include "core/integrator_simd.hpp"
+
 namespace sf {
+
+bool simd_kernel_available() {
+  // SF_SIMD_AVX2 says the AVX2 kernel TU was compiled (see
+  // src/CMakeLists.txt); the CPUID probe says this machine can run it.
+  // This TU is built without -mavx2 so the probe itself is safe on any
+  // x86-64 — only integrator_simd.cpp contains AVX2 instructions, and
+  // it is entered only behind this check.
+#if defined(SF_SIMD_AVX2) && defined(__x86_64__)
+  static const bool ok = __builtin_cpu_supports("avx2");
+  return ok;
+#else
+  return false;
+#endif
+}
 
 const char* to_string(ParticleStatus s) {
   switch (s) {
@@ -243,6 +259,42 @@ std::vector<AdvanceOutcome> Tracer::advance_batch(
       pinned_focus = focus;
       // The cursor's grid was only guaranteed alive by the old pin.
       if (cur.id != focus) cur = Cursor{};
+    }
+
+    // SIMD dispatch (DESIGN.md §14): run the focus cohort through the
+    // AVX2 4-lane kernel when forced, or automatically when the cohort
+    // is wide enough to fill lanes.  The kernel is bit-identical per
+    // particle to the scalar round below — trajectories, statuses, step
+    // and eval counts — so this is purely a throughput decision.
+    const bool use_simd =
+        (kernel_ == AdvectionKernel::kSimd ||
+         (kernel_ == AdvectionKernel::kAuto && best >= simd::kMinAutoCohort)) &&
+        simd_kernel_available();
+    if (use_simd) {
+      // blocks(focus) was non-null during the probe above and the pin
+      // (when present) keeps it alive; re-fetch defensively anyway.
+      if (const StructuredGrid* fgrid = blocks(focus)) {
+        std::vector<std::size_t> cohort;
+        cohort.reserve(best);
+        for (const std::size_t i : pending) {
+          if (owner_of[i] == focus) cohort.push_back(i);
+        }
+        const simd::FocusCohortArgs fargs{decomp_,  focus,    fgrid,   &iparams_,
+                                          &limits_, cancels_, recorder};
+        simd::advance_focus_cohort_avx2(batch, cohort, out, fargs);
+        // Rebuild pending in the same order the scalar round would:
+        // non-focus particles and still-active focus particles keep
+        // their relative positions.
+        std::vector<std::size_t> keep;
+        keep.reserve(pending.size());
+        for (const std::size_t i : pending) {
+          if (owner_of[i] != focus || !is_terminal(batch[i].status)) {
+            keep.push_back(i);
+          }
+        }
+        pending = std::move(keep);
+        continue;
+      }
     }
 
     // This round only the focus block is on the table: its residents

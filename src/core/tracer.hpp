@@ -116,22 +116,31 @@ class QueryCancelSet {
     if (std::find(set_.begin(), set_.end(), query) == set_.end()) {
       set_.push_back(query);
     }
+    // lockfree-lint: spsc — release store under the mutex pairs with the
+    // acquire load in contains(): the set_ append above happens-before
+    // any reader that observes the nonzero count.
     count_.store(set_.size(), std::memory_order_release);
   }
 
   void clear() SF_EXCLUDES(mutex_) {
     MutexLock lock(mutex_);
     set_.clear();
+    // lockfree-lint: spsc — release store, same pairing as cancel(): the
+    // clear happens-before a reader observing the zero count.
     count_.store(0, std::memory_order_release);
   }
 
   bool contains(std::uint32_t query) const SF_EXCLUDES(mutex_) {
+    // lockfree-lint: spsc — acquire fast path pairs with the release
+    // store in cancel(): a nonzero count happens-after the append it
+    // counts, and the locked re-read below decides membership.
     if (count_.load(std::memory_order_acquire) == 0) return false;
     MutexLock lock(mutex_);
     return std::find(set_.begin(), set_.end(), query) != set_.end();
   }
 
   bool empty() const {
+    // lockfree-lint: spsc — acquire load, same pairing as contains().
     return count_.load(std::memory_order_acquire) == 0;
   }
 
@@ -154,6 +163,20 @@ struct AdvanceOutcome {
   std::uint64_t evals = 0;   // field evaluations in this call
 };
 
+// Inner-loop kernel selection for Tracer::advance_batch (DESIGN.md §14).
+// kSimd runs the focus-block cohort through the AVX2 4-lane DOPRI5
+// kernel (src/core/integrator_simd.hpp), which is bit-identical per
+// particle to the scalar fast path — trajectories, statuses, step AND
+// evaluation counts — so the choice is purely a throughput knob.
+// kAuto picks SIMD when the host supports it and the cohort is wide
+// enough to pay for lane setup; kSimd forces it wherever the hardware
+// allows (still scalar on non-AVX2 hosts: forcing must not crash).
+enum class AdvectionKernel : std::uint8_t { kAuto = 0, kScalar = 1, kSimd = 2 };
+
+// True when the SIMD kernel is compiled in and the CPU reports AVX2.
+// Defined in integrator_simd.cpp (runtime CPUID dispatch).
+bool simd_kernel_available();
+
 class Tracer {
  public:
   Tracer(const BlockDecomposition* decomp, const IntegratorParams& iparams,
@@ -168,6 +191,11 @@ class Tracer {
   // reference loop deliberately ignores it — cancellation is a service
   // feature, the oracle stays frozen.
   void set_cancel_set(const QueryCancelSet* cancels) { cancels_ = cancels; }
+
+  // advance_batch kernel choice (see AdvectionKernel).  Safe to flip at
+  // any quiescent point: the SIMD path is bit-identical per particle.
+  void set_kernel(AdvectionKernel kernel) { kernel_ = kernel; }
+  AdvectionKernel kernel() const { return kernel_; }
 
   // Advance `particle` while its owning block is available via `blocks`.
   // Updates the particle in place; returns what happened.  Fast path.
@@ -211,6 +239,7 @@ class Tracer {
   IntegratorParams iparams_;
   TraceLimits limits_;
   const QueryCancelSet* cancels_ = nullptr;
+  AdvectionKernel kernel_ = AdvectionKernel::kAuto;
 };
 
 // ---------------------------------------------------------------------------

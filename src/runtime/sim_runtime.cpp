@@ -837,8 +837,9 @@ void SimRuntime::bounce_undeliverable(int intended, Message msg) {
 void SimRuntime::checkpoint_tick() {
   FaultState& fs = *fault_;
   // Refresh the ledger with every live rank's in-memory particles so the
-  // snapshot reflects "now", not just the last communication.
-  std::vector<Particle> snap;
+  // snapshot reflects "now", not just the last communication.  The
+  // scratch vector is a member: its capacity survives across ticks.
+  std::vector<Particle>& snap = snapshot_scratch_;
   for (int r = 0; r < config_.num_ranks; ++r) {
     if (!rank_alive(r)) continue;
     snap.clear();
@@ -850,6 +851,7 @@ void SimRuntime::checkpoint_tick() {
       fs.ledger.to_checkpoint(engine_->now(), config_.num_ranks));
   ck->algorithm = config_.fault.algorithm_tag;
   ck->dataset_hash = config_.fault.dataset_hash;
+  ck->ranks.reserve(static_cast<std::size_t>(config_.num_ranks));
   for (int r = 0; r < config_.num_ranks; ++r) {
     CheckpointRankState rs;
     rs.rank = r;
@@ -912,6 +914,10 @@ void SimRuntime::note_query_termination(const Particle& p) {
 
 RunMetrics SimRuntime::run(const ProgramFactory& factory) {
   SimEngine engine;
+  // Pre-size the event heap: steady state carries a handful of in-flight
+  // events per rank (messages, disk completions, ticks); reserving here
+  // means schedule() never reallocates mid-run until an unusual burst.
+  engine.reserve_events(64 + 16 * static_cast<std::size_t>(config_.num_ranks));
   SharedDisk disk(config_.model, config_.model.io_channels);
   Network network(config_.model);
   engine_ = &engine;
@@ -976,6 +982,8 @@ RunMetrics SimRuntime::run(const ProgramFactory& factory) {
       }
     }
     query_total_ = query_remaining_;
+    // One completion record per query, known up front.
+    completions_.reserve(query_total_.size());
   }
 
   // Query cancellation plumbing: the tracer consults the cancel set at

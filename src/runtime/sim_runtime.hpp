@@ -203,6 +203,10 @@ class SimRuntime {
   std::map<std::uint32_t, std::uint32_t> query_total_;
   std::vector<QueryCompletion> completions_;
   std::vector<std::unique_ptr<Context>> contexts_;
+  // Scratch for the periodic checkpoint tick's per-rank particle
+  // snapshots: reused across ticks so steady-state checkpointing does
+  // not reallocate (mirrors the mailbox data plane's fixed-slot rings).
+  std::vector<Particle> snapshot_scratch_;
   std::shared_ptr<Timeline> timeline_;
   std::unique_ptr<FaultState> fault_;
   // Live only inside run(); null when compiled out (Release).

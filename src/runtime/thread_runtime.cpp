@@ -17,6 +17,7 @@
 #include "core/rng.hpp"
 #include "core/thread_annotations.hpp"
 #include "runtime/block_cache.hpp"
+#include "runtime/spsc_ring.hpp"
 
 namespace sf {
 
@@ -44,6 +45,16 @@ class ThreadRuntime::Context final : public RankContext {
                        0x9e3779b97f4a7c15ULL * static_cast<std::uint64_t>(
                                                   rank + 1);
     fuzz_ = Rng(splitmix64(sm));
+    // One SPSC lane per sender (including self-sends): each lane has
+    // exactly one producer (the sender's thread) and one consumer (this
+    // thread), which is the whole SPSC contract.  Slots are constructed
+    // here, once — steady-state delivery allocates nothing.
+    const int n = runtime->config_.num_ranks;
+    inboxes_.reserve(static_cast<std::size_t>(n));
+    for (int s = 0; s < n; ++s) {
+      inboxes_.push_back(std::make_unique<SpscChannel<Message>>(
+          runtime->config_.mailbox_ring_slots));
+    }
   }
 
   // --- RankContext -------------------------------------------------------
@@ -235,12 +246,13 @@ class ThreadRuntime::Context final : public RankContext {
   // --- thread driver -------------------------------------------------------
 
   // Called from the sender's thread; must not touch this rank's Rng.
-  void deliver(Message msg) SF_EXCLUDES(mailbox_mutex_) {
-    {
-      MutexLock lock(mailbox_mutex_);
-      mailbox_.push_back(std::move(msg));
-    }
-    mailbox_cv_.notify_one();
+  // Lock-free in the steady state: a ring push plus the parking-lot
+  // fence.  msg.from selects the SPSC lane, so the single-producer
+  // contract is exactly "each rank sets from = its own rank", which
+  // send() enforces.
+  void deliver(Message msg) {
+    inboxes_[static_cast<std::size_t>(msg.from)]->push(std::move(msg));
+    parking_.unpark();
   }
 
   void thread_main() {
@@ -250,19 +262,15 @@ class ThreadRuntime::Context final : public RankContext {
       while (!program->finished() && !abort_->load()) {
         poll_arrivals();
         Message msg;
-        bool have = false;
-        {
-          MutexLock lock(mailbox_mutex_);
-          if (mailbox_.empty() && !abort_->load()) {
-            // A spurious wake just re-enters the outer poll loop.
-            mailbox_cv_.wait_for(mailbox_mutex_,
-                                 std::chrono::milliseconds(20));
-          }
-          if (!mailbox_.empty()) {
-            msg = std::move(mailbox_.front());
-            mailbox_.pop_front();
-            have = true;
-          }
+        bool have = pop_mailbox(msg);
+        if (!have && !abort_->load()) {
+          // Announce, re-check every lane, then sleep (bounded: the
+          // timeout doubles as the abort-flag poll interval, exactly
+          // like the old cond-var wait).  A spurious or stale wake just
+          // re-enters the outer poll loop.
+          parking_.park([this] { return mailbox_nonempty(); },
+                        std::chrono::milliseconds(20));
+          have = pop_mailbox(msg);
         }
         if (!have) continue;
         maybe_perturb();
@@ -404,12 +412,7 @@ class ThreadRuntime::Context final : public RankContext {
       // with compute, like they do under the simulator.
       for (;;) {
         Message msg;
-        {
-          MutexLock lock(mailbox_mutex_);
-          if (mailbox_.empty()) break;
-          msg = std::move(mailbox_.front());
-          mailbox_.pop_front();
-        }
+        if (!pop_mailbox(msg)) break;
         maybe_perturb();
         SF_INVARIANT_HOOK(runtime_->checker_,
                           on_deliver(rank_, msg, seconds_since(epoch_)));
@@ -424,6 +427,29 @@ class ThreadRuntime::Context final : public RankContext {
         program->on_block_loaded(*this, std::get<BlockId>(ev));
       }
     }
+  }
+
+  // Pop the next message off any inbox lane, round-robin across senders
+  // so one chatty peer cannot starve the others.  Consumer-thread only
+  // (this rank's thread), like every SpscChannel::pop.
+  bool pop_mailbox(Message& out) {
+    const std::size_t n = inboxes_.size();
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::size_t lane = (next_lane_ + i) % n;
+      if (inboxes_[lane]->pop(out)) {
+        next_lane_ = (lane + 1) % n;
+        return true;
+      }
+    }
+    return false;
+  }
+
+  // Parking predicate: any lane with a (possibly) pending message.
+  bool mailbox_nonempty() const {
+    for (const auto& lane : inboxes_) {
+      if (!lane->empty()) return true;
+    }
+    return false;
   }
 
   // Seeded schedule perturbation: nudge the OS scheduler at the points
@@ -456,9 +482,13 @@ class ThreadRuntime::Context final : public RankContext {
   std::deque<LocalEvent> local_;
   std::int64_t particle_bytes_ = 0;
 
-  Mutex mailbox_mutex_{LockRank::kMailbox};
-  CondVar mailbox_cv_;
-  std::deque<Message> mailbox_ SF_GUARDED_BY(mailbox_mutex_);
+  // Lock-free mailbox (DESIGN.md §14): one SPSC lane per sender, an
+  // eventcount to sleep on, and a round-robin drain cursor (owned by
+  // this rank's thread).  unique_ptr because channels hold atomics and
+  // never move once threads are live.
+  std::vector<std::unique_ptr<SpscChannel<Message>>> inboxes_;
+  ParkingLot parking_;
+  std::size_t next_lane_ = 0;
 };
 
 ThreadRuntime::ThreadRuntime(const ThreadRuntimeConfig& config,

@@ -4,10 +4,17 @@
 //
 // Events fire in (time, insertion-sequence) order, so simultaneous events
 // run in the order they were scheduled and repeated runs are bit-identical.
+//
+// Backed by an explicit vector heap (std::push_heap/pop_heap) rather than
+// std::priority_queue so the storage can be reserved up front and reused
+// across the whole run — SimRuntime schedules one event per message and
+// per disk completion, and the heap's capacity high-water mark is reached
+// once and never reallocated again.
 
+#include <algorithm>
 #include <cstdint>
 #include <functional>
-#include <queue>
+#include <utility>
 #include <vector>
 
 namespace sf {
@@ -18,18 +25,23 @@ class EventQueue {
  public:
   using Handler = std::function<void()>;
 
+  void reserve(std::size_t events) { heap_.reserve(events); }
+
   void schedule(SimTime time, Handler fn) {
-    heap_.push(Event{time, next_seq_++, std::move(fn)});
+    heap_.push_back(Event{time, next_seq_++, std::move(fn)});
+    std::push_heap(heap_.begin(), heap_.end(), Later{});
   }
 
   bool empty() const { return heap_.empty(); }
   std::size_t size() const { return heap_.size(); }
-  SimTime next_time() const { return heap_.top().time; }
+  SimTime next_time() const { return heap_.front().time; }
 
   // Pop and run the earliest event; returns its time.
   SimTime run_next() {
-    Event ev = std::move(const_cast<Event&>(heap_.top()));
-    heap_.pop();
+    std::pop_heap(heap_.begin(), heap_.end(), Later{});
+    Event ev = std::move(heap_.back());
+    heap_.pop_back();  // keeps capacity: the slot is reused by the next
+                       // schedule() with no allocation
     ev.fn();
     return ev.time;
   }
@@ -47,7 +59,7 @@ class EventQueue {
     }
   };
 
-  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  std::vector<Event> heap_;
   std::uint64_t next_seq_ = 0;
 };
 

@@ -23,6 +23,10 @@ class SimEngine {
  public:
   SimTime now() const { return now_; }
 
+  // Pre-size the event heap (SimRuntime calls this with an estimate from
+  // the rank count so steady-state scheduling never reallocates).
+  void reserve_events(std::size_t events) { queue_.reserve(events); }
+
   void schedule_at(SimTime t, EventQueue::Handler fn) {
     queue_.schedule(t, std::move(fn));
   }

@@ -1,0 +1,25 @@
+// Lint fixture (never compiled): explicit atomic orderings without the
+// `// lockfree-lint: spsc` marker-and-rationale discipline — both sites
+// trip check_lock_order.py's `raw-atomic` rule.
+
+#include <atomic>
+
+struct Flag {
+  std::atomic<bool> ready_{false};
+
+  void publish() {
+    // BAD: explicit ordering, no lockfree-lint marker anywhere near.
+    ready_.store(true, std::memory_order_release);
+  }
+
+  bool poll() const {
+    // lockfree-lint: spsc — reads the flag.
+    // BAD: the marker above states no happens-before argument.
+    return ready_.load(std::memory_order_acquire);
+  }
+
+  void fence() {
+    // BAD: bare fence, no marker.
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+  }
+};

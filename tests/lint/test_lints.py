@@ -28,11 +28,14 @@ CASES = [
     ("check_determinism.py", "bad_pointer_key.cpp", 1, ["address-identity"]),
     ("check_determinism.py", "bad_unseeded_rng.cpp", 1, ["unseeded-rng"]),
     ("check_determinism.py", "clean_ok.cpp", 0, []),
+    ("check_determinism.py", "clean_simd_kernel.cpp", 0, []),
     ("check_lock_order.py", "bad_lock_cycle.cpp", 1, ["order", "cycle"]),
     ("check_lock_order.py", "bad_missing_guard.cpp", 1, ["missing-guard"]),
     ("check_lock_order.py", "bad_raw_mutex.cpp", 1, ["raw-mutex"]),
+    ("check_lock_order.py", "bad_raw_atomic.cpp", 1, ["raw-atomic"]),
     ("check_lock_order.py", "bad_unranked_mutex.cpp", 1, ["unranked-mutex"]),
     ("check_lock_order.py", "clean_ok.cpp", 0, []),
+    ("check_lock_order.py", "clean_simd_kernel.cpp", 0, []),
 ]
 
 

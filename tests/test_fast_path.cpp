@@ -210,5 +210,151 @@ TEST(FastPath, BatchScheduleIndependentOfOrder) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// SIMD kernel (integrator_simd.cpp): forced-kernel golden tests.
+//
+// Unlike the fast-vs-reference comparisons above, scalar-vs-simd is held
+// to FULL equality — including evaluation counts: both run the identical
+// stage-one-reuse/FSAL algorithm, so n_evals must match exactly, and a
+// mismatch would mean a lane attempted a different stage sequence.
+// ---------------------------------------------------------------------------
+
+// Recorded geometry per particle id, for polyline comparison.
+std::vector<std::vector<Vec3>> traced_lines(
+    const Tracer& tracer, std::span<Particle> particles,
+    const BlockAccessFn& access, std::vector<AdvanceOutcome>& outcomes) {
+  PolylineRecorder rec(particles.size());
+  outcomes = tracer.advance_batch(particles, access, &rec);
+  return rec.lines();
+}
+
+TEST(FastPath, SimdBatchBitIdenticalOnAllFields) {
+  if (!simd_kernel_available()) {
+    GTEST_SKIP() << "AVX2 kernel not available on this host";
+  }
+  TraceLimits limits;
+  limits.max_steps = 400;
+  const IntegratorParams iparams;
+  for (const NamedField& nf : all_fields()) {
+    SCOPED_TRACE(nf.name);
+    const BlockDecomposition decomp(nf.field->bounds(), 3, 3, 3);
+    auto dataset = std::make_shared<BlockedDataset>(nf.field, decomp, 13, 2);
+    std::vector<GridPtr> slots(
+        static_cast<std::size_t>(dataset->num_blocks()));
+    const BlockAccessFn access = [&](BlockId id) -> const StructuredGrid* {
+      GridPtr& slot = slots[static_cast<std::size_t>(id)];
+      if (!slot) slot = dataset->block(id);
+      return slot.get();
+    };
+    Tracer scalar_tracer(&decomp, iparams, limits);
+    scalar_tracer.set_kernel(AdvectionKernel::kScalar);
+    Tracer simd_tracer(&decomp, iparams, limits);
+    simd_tracer.set_kernel(AdvectionKernel::kSimd);
+
+    const std::vector<Vec3> seeds = spread_seeds(nf.field->bounds());
+    std::vector<Particle> sp(seeds.size()), vp(seeds.size());
+    for (std::size_t i = 0; i < seeds.size(); ++i) {
+      sp[i].id = vp[i].id = static_cast<std::uint32_t>(i);
+      sp[i].pos = vp[i].pos = seeds[i];
+    }
+
+    std::vector<AdvanceOutcome> so, vo;
+    const auto scalar_lines = traced_lines(scalar_tracer, sp, access, so);
+    const auto simd_lines = traced_lines(simd_tracer, vp, access, vo);
+
+    for (std::size_t i = 0; i < seeds.size(); ++i) {
+      SCOPED_TRACE(i);
+      expect_same_particle(vp[i], sp[i]);
+      EXPECT_EQ(vp[i].geometry_points, sp[i].geometry_points);
+      EXPECT_EQ(vo[i].status, so[i].status);
+      EXPECT_EQ(vo[i].blocking_block, so[i].blocking_block);
+      EXPECT_EQ(vo[i].steps, so[i].steps);
+      EXPECT_EQ(vo[i].evals, so[i].evals) << "lane attempted a different "
+                                             "stage sequence";
+      ASSERT_EQ(simd_lines[i].size(), scalar_lines[i].size());
+      for (std::size_t v = 0; v < simd_lines[i].size(); ++v) {
+        EXPECT_EQ(simd_lines[i][v].x, scalar_lines[i][v].x);
+        EXPECT_EQ(simd_lines[i][v].y, scalar_lines[i][v].y);
+        EXPECT_EQ(simd_lines[i][v].z, scalar_lines[i][v].z);
+      }
+    }
+  }
+}
+
+// Partial lane groups: cohorts of 1..3 force masked lanes through the
+// whole trial loop (no fourth particle to load), and cohorts of 5
+// exercise lane refill mid-round.  Forced kSimd runs them regardless of
+// the kAuto width threshold.
+TEST(FastPath, SimdPartialCohortsMatchScalar) {
+  if (!simd_kernel_available()) {
+    GTEST_SKIP() << "AVX2 kernel not available on this host";
+  }
+  auto field = std::make_shared<ABCField>();
+  const BlockDecomposition decomp(field->bounds(), 2, 2, 2);
+  auto dataset = std::make_shared<BlockedDataset>(field, decomp, 13, 2);
+  std::vector<GridPtr> slots(static_cast<std::size_t>(dataset->num_blocks()));
+  const BlockAccessFn access = [&](BlockId id) -> const StructuredGrid* {
+    GridPtr& slot = slots[static_cast<std::size_t>(id)];
+    if (!slot) slot = dataset->block(id);
+    return slot.get();
+  };
+  TraceLimits limits;
+  limits.max_steps = 200;
+  Tracer scalar_tracer(&decomp, IntegratorParams{}, limits);
+  scalar_tracer.set_kernel(AdvectionKernel::kScalar);
+  Tracer simd_tracer(&decomp, IntegratorParams{}, limits);
+  simd_tracer.set_kernel(AdvectionKernel::kSimd);
+
+  const std::vector<Vec3> all_seeds = spread_seeds(field->bounds());
+  for (const std::size_t n : {std::size_t{1}, std::size_t{2}, std::size_t{3},
+                              std::size_t{5}, std::size_t{9}}) {
+    SCOPED_TRACE(n);
+    std::vector<Particle> sp(n), vp(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      sp[i].id = vp[i].id = static_cast<std::uint32_t>(i);
+      sp[i].pos = vp[i].pos = all_seeds[i % all_seeds.size()];
+    }
+    const auto so = scalar_tracer.advance_batch(sp, access);
+    const auto vo = simd_tracer.advance_batch(vp, access);
+    for (std::size_t i = 0; i < n; ++i) {
+      SCOPED_TRACE(i);
+      expect_same_particle(vp[i], sp[i]);
+      EXPECT_EQ(vo[i].evals, so[i].evals);
+      EXPECT_EQ(vo[i].steps, so[i].steps);
+    }
+  }
+}
+
+// Forcing kSimd must never crash, even where the AVX2 kernel is absent
+// or the host lacks the instructions: dispatch degrades to scalar.
+TEST(FastPath, ForcedSimdFallsBackWithoutAvx2) {
+  auto field = std::make_shared<RotorField>();
+  const BlockDecomposition decomp(field->bounds(), 2, 2, 2);
+  auto dataset = std::make_shared<BlockedDataset>(field, decomp, 13, 2);
+  std::vector<GridPtr> slots(static_cast<std::size_t>(dataset->num_blocks()));
+  const BlockAccessFn access = [&](BlockId id) -> const StructuredGrid* {
+    GridPtr& slot = slots[static_cast<std::size_t>(id)];
+    if (!slot) slot = dataset->block(id);
+    return slot.get();
+  };
+  TraceLimits limits;
+  limits.max_steps = 100;
+  Tracer tracer(&decomp, IntegratorParams{}, limits);
+  tracer.set_kernel(AdvectionKernel::kSimd);
+  EXPECT_EQ(tracer.kernel(), AdvectionKernel::kSimd);
+
+  std::vector<Particle> particles(4);
+  const std::vector<Vec3> seeds = spread_seeds(field->bounds());
+  for (std::size_t i = 0; i < particles.size(); ++i) {
+    particles[i].id = static_cast<std::uint32_t>(i);
+    particles[i].pos = seeds[i];
+  }
+  const auto outcomes = tracer.advance_batch(particles, access);
+  for (const Particle& p : particles) {
+    EXPECT_TRUE(is_terminal(p.status));
+  }
+  EXPECT_EQ(outcomes.size(), particles.size());
+}
+
 }  // namespace
 }  // namespace sf

@@ -1,0 +1,233 @@
+// Lock-free mailbox data plane (runtime/spsc_ring.hpp): ring
+// wrap-around, full-ring backpressure into the overflow queue, FIFO
+// preservation across overflow transitions, parked-consumer wakeups,
+// and concurrent drain-while-fill stress.  This file lives in the
+// `thread` suite so the TSan CI job runs every test here under
+// ThreadSanitizer — the concurrency tests are the race-cleanliness
+// proof for the acquire/release ring protocol.
+
+#include "runtime/spsc_ring.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "algorithms/load_on_demand.hpp"
+#include "algorithms/routing.hpp"
+#include "core/tracer.hpp"
+#include "runtime/thread_runtime.hpp"
+#include "test_support.hpp"
+
+namespace sf {
+namespace {
+
+TEST(SpscRing, CapacityRoundsUpToPowerOfTwo) {
+  EXPECT_EQ(SpscRing<int>(1).capacity(), 1u);
+  EXPECT_EQ(SpscRing<int>(2).capacity(), 2u);
+  EXPECT_EQ(SpscRing<int>(5).capacity(), 8u);
+  EXPECT_EQ(SpscRing<int>(64).capacity(), 64u);
+  EXPECT_EQ(SpscRing<int>(65).capacity(), 128u);
+}
+
+TEST(SpscRing, WrapAroundPreservesFifo) {
+  // Monotonic indices map to slots by masking: push/pop far past the
+  // capacity so head/tail wrap the slot array many times.
+  SpscRing<int> ring(8);
+  int next_out = 0;
+  for (int i = 0; i < 10000; ++i) {
+    ASSERT_TRUE(ring.try_push(int{i}));
+    if (i % 3 == 2) {  // drain in bursts so occupancy varies
+      for (int d = 0; d < 3; ++d) {
+        int v = -1;
+        ASSERT_TRUE(ring.try_pop(v));
+        EXPECT_EQ(v, next_out++);
+      }
+    }
+  }
+  int v = -1;
+  while (ring.try_pop(v)) EXPECT_EQ(v, next_out++);
+  EXPECT_EQ(next_out, 10000);
+  EXPECT_TRUE(ring.empty());
+}
+
+TEST(SpscRing, FullRingRejectsWithoutConsuming) {
+  SpscRing<int> ring(4);
+  for (int i = 0; i < 4; ++i) ASSERT_TRUE(ring.try_push(int{i}));
+  EXPECT_FALSE(ring.try_push(99));
+  int v = -1;
+  ASSERT_TRUE(ring.try_pop(v));
+  EXPECT_EQ(v, 0);
+  EXPECT_TRUE(ring.try_push(4));  // freed slot is usable again
+  for (int want = 1; want <= 4; ++want) {
+    ASSERT_TRUE(ring.try_pop(v));
+    EXPECT_EQ(v, want);
+  }
+  EXPECT_FALSE(ring.try_pop(v));
+}
+
+TEST(SpscChannel, OverflowNeverBlocksNeverDropsKeepsFifo) {
+  // Push far past the ring capacity: the channel must accept everything
+  // (never block, never drop) and pop must return the exact sequence.
+  SpscChannel<int> ch(4);
+  for (int i = 0; i < 1000; ++i) ch.push(int{i});
+  EXPECT_FALSE(ch.empty());
+  int v = -1;
+  for (int want = 0; want < 1000; ++want) {
+    ASSERT_TRUE(ch.pop(v));
+    EXPECT_EQ(v, want);
+  }
+  EXPECT_FALSE(ch.pop(v));
+  EXPECT_TRUE(ch.empty());
+}
+
+TEST(SpscChannel, FifoSurvivesRepeatedOverflowTransitions) {
+  // Interleave bursts (forcing overflow mode) with partial drains
+  // (clearing it): order must hold across every mode transition.
+  SpscChannel<int> ch(2);
+  int pushed = 0, popped = 0;
+  for (int round = 0; round < 200; ++round) {
+    for (int b = 0; b < 7; ++b) ch.push(int{pushed++});  // spills
+    int v = -1;
+    for (int d = 0; d < 5; ++d) {
+      ASSERT_TRUE(ch.pop(v));
+      EXPECT_EQ(v, popped++);
+    }
+  }
+  int v = -1;
+  while (ch.pop(v)) EXPECT_EQ(v, popped++);
+  EXPECT_EQ(popped, pushed);
+  EXPECT_TRUE(ch.empty());
+}
+
+// One producer fills (through overflow churn), one consumer drains with
+// eventcount parking — the steady-state shape of a ThreadRuntime rank
+// pair.  Exactly-once in-order delivery must hold under TSan.
+TEST(SpscChannelThread, ConcurrentDrainWhileFillStress) {
+  constexpr int kMessages = 200000;
+  SpscChannel<int> ch(8);  // small ring: overflow engages under bursts
+  ParkingLot parking;
+  std::thread producer([&] {
+    for (int i = 0; i < kMessages; ++i) {
+      ch.push(int{i});
+      parking.unpark();
+    }
+  });
+  int want = 0;
+  while (want < kMessages) {
+    int v = -1;
+    if (ch.pop(v)) {
+      ASSERT_EQ(v, want);
+      ++want;
+      continue;
+    }
+    parking.park([&] { return !ch.empty(); },
+                 std::chrono::milliseconds(20));
+  }
+  producer.join();
+  int v = -1;
+  EXPECT_FALSE(ch.pop(v));
+}
+
+// The runtime's full lane matrix in miniature: several producers, one
+// consumer, one channel per (producer, consumer) pair, round-robin
+// drain.  Per-lane FIFO and exactly-once delivery across lanes.
+TEST(SpscChannelThread, MultiLaneRoundRobinExactlyOnce) {
+  constexpr int kProducers = 4;
+  constexpr int kPerProducer = 50000;
+  std::vector<std::unique_ptr<SpscChannel<std::uint64_t>>> lanes;
+  for (int p = 0; p < kProducers; ++p) {
+    lanes.push_back(std::make_unique<SpscChannel<std::uint64_t>>(4));
+  }
+  ParkingLot parking;
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        // Tag: producer in the high bits, sequence in the low.
+        lanes[p]->push((std::uint64_t{static_cast<std::uint32_t>(p)} << 32) |
+                       static_cast<std::uint32_t>(i));
+        parking.unpark();
+      }
+    });
+  }
+  std::vector<std::uint32_t> next_seq(kProducers, 0);
+  int total = 0;
+  std::size_t lane = 0;
+  while (total < kProducers * kPerProducer) {
+    bool got = false;
+    for (int scan = 0; scan < kProducers; ++scan) {
+      std::uint64_t v = 0;
+      if (lanes[lane]->pop(v)) {
+        const auto p = static_cast<int>(v >> 32);
+        const auto seq = static_cast<std::uint32_t>(v);
+        ASSERT_EQ(p, static_cast<int>(lane));
+        ASSERT_EQ(seq, next_seq[p]++);  // per-lane FIFO
+        ++total;
+        got = true;
+      }
+      lane = (lane + 1) % kProducers;
+      if (got) break;
+    }
+    if (!got) {
+      parking.park(
+          [&] {
+            for (const auto& l : lanes) {
+              if (!l->empty()) return true;
+            }
+            return false;
+          },
+          std::chrono::milliseconds(20));
+    }
+  }
+  for (auto& t : producers) t.join();
+  for (const auto& l : lanes) EXPECT_TRUE(l->empty());
+}
+
+// End-to-end: the real-thread runtime on a mailbox ring so small every
+// burst spills to the overflow queue, under schedule fuzzing — results
+// must still match the serial trace exactly (exactly-once delivery and
+// FIFO order through both the ring and the overflow path).
+TEST(SpscChannelThread, TinyRingFuzzedRuntimeMatchesSerial) {
+  auto w = sf::testing::rotor_world(2);
+  Rng rng(11);
+  const auto seeds = random_seeds(w.dataset->bounds(), 20, rng);
+  const IntegratorParams iparams;
+  const TraceLimits limits{.max_time = 15.0, .max_steps = 1500,
+                           .min_speed = 1e-8};
+  const auto serial = trace_all(*w.dataset, seeds, iparams, limits);
+
+  for (const std::uint64_t fuzz : {0ull, 7ull, 23ull}) {
+    SCOPED_TRACE(fuzz);
+    std::vector<Particle> rejected;
+    std::vector<Particle> particles =
+        make_particles(w.decomp(), seeds, rejected);
+    ProgramFactory factory = make_load_on_demand(
+        &w.decomp(),
+        partition_evenly_by_block(3, w.decomp(), std::move(particles)));
+
+    ThreadRuntimeConfig cfg;
+    cfg.num_ranks = 3;
+    cfg.model = sf::testing::test_model();
+    cfg.cache_blocks = 16;
+    cfg.mailbox_ring_slots = 2;  // force the overflow path constantly
+    cfg.schedule_fuzz_seed = fuzz;
+    ThreadRuntime rt(cfg, &w.decomp(), w.source.get(), iparams, limits);
+    RunMetrics m = rt.run(factory);
+    m.particles.insert(m.particles.end(), rejected.begin(), rejected.end());
+    std::sort(m.particles.begin(), m.particles.end(),
+              [](const Particle& a, const Particle& b) { return a.id < b.id; });
+
+    ASSERT_EQ(m.particles.size(), serial.size());
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+      EXPECT_EQ(m.particles[i].status, serial[i].status) << i;
+      EXPECT_EQ(m.particles[i].steps, serial[i].steps) << i;
+      EXPECT_EQ(m.particles[i].pos.x, serial[i].pos.x) << i;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace sf

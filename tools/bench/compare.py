@@ -15,6 +15,14 @@ its own improvement direction:
                      wall_s, lower is better.
   service_load       keyed (scenario, cache); compares p99_latency_s
                      (lower is better) and hit_rate (higher is better).
+  micro_core         google-benchmark JSON (the mailbox transport rows;
+                     detected by its top-level "benchmarks" array);
+                     keyed by benchmark name, compares items_per_second,
+                     higher is better.
+
+Baseline rows marked "optional": true (the host-dependent simd cells)
+are skipped with a note, not flagged, when the current run lacks them —
+a baseline recorded on an AVX2 host must not fail on a host without.
 
 Prints a ratio table (one row per case and metric) and exits non-zero if
 any current value regresses more than --threshold (default 10%) past the
@@ -37,26 +45,41 @@ SCHEMAS = {
                    [("wall_s", False)]),
     "service_load": (("scenario", "cache"),
                      [("p99_latency_s", False), ("hit_rate", True)]),
+    "micro_core": (("name",),
+                   [("items_per_second", True)]),
 }
 
 
 def load(path):
     with open(path) as f:
         doc = json.load(f)
+    if "benchmarks" in doc and "bench" not in doc:
+        # google-benchmark --benchmark_out JSON (bench/micro_core).
+        out = {}
+        for r in doc["benchmarks"]:
+            if r.get("run_type", "iteration") != "iteration":
+                continue  # skip aggregate (mean/median/stddev) rows
+            out[(r["name"],)] = {"items_per_second": r["items_per_second"]}
+        if not out:
+            sys.exit(f"{path}: no results")
+        return "micro_core", out, set()
     bench = doc.get("bench", "advect_throughput")
     if bench not in SCHEMAS:
         sys.exit(f"{path}: unknown bench kind {bench!r}")
     key_fields, metrics, = SCHEMAS[bench]
     out = {}
+    optional = set()
     for r in doc.get("results", []):
         # Older advect runs predate the cache-regime axis; treat them as
         # the all-blocks-resident regime so baselines stay comparable.
         key = tuple(r.get(f, "resident" if f == "cache" else None)
                     for f in key_fields)
         out[key] = {metric: r[metric] for metric, _ in metrics}
+        if r.get("optional"):
+            optional.add(key)
     if not out:
         sys.exit(f"{path}: no results")
-    return bench, out
+    return bench, out, optional
 
 
 def main():
@@ -71,8 +94,8 @@ def main():
                     help="exit non-zero on regression even with --warn-only")
     args = ap.parse_args()
 
-    base_bench, base = load(args.baseline)
-    cur_bench, cur = load(args.current)
+    base_bench, base, base_optional = load(args.baseline)
+    cur_bench, cur, _ = load(args.current)
     if base_bench != cur_bench:
         sys.exit(f"bench kinds differ: baseline is {base_bench}, "
                  f"current is {cur_bench}")
@@ -88,6 +111,9 @@ def main():
     for key in sorted(base):
         name = "/".join(key)
         if key not in cur:
+            if key in base_optional:
+                print(f"{name:{key_width}} (optional, absent here: skipped)")
+                continue
             regressions.append(f"{name}: missing from current run")
             continue
         for metric, higher_better in metrics:

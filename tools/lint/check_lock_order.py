@@ -15,6 +15,19 @@ the offending line or the line above):
                   are invisible to both the thread-safety analysis and
                   the rank checker; all locking goes through sf::Mutex.
 
+  raw-atomic      An explicit memory_order_* argument or a
+                  std::atomic_thread_fence / atomic_signal_fence call
+                  without an adjacent `// lockfree-lint: spsc` marker
+                  (same line or within 8 lines above) whose comment
+                  states the happens-before argument (it must mention
+                  one of: happens-before, pairs with, owns, Dekker).
+                  Raw atomics are the one concurrency tool the rank
+                  checker cannot see at all; the marker pins the proof
+                  obligation to the site so a reviewer — and this lint —
+                  can hold each ordering to its documented pairing.
+                  The lock-free mailbox plane (runtime/spsc_ring.hpp)
+                  and the cancel-set fast path are the intended users.
+
   unranked-mutex  An sf::Mutex member constructed without an explicit
                   LockRank.  Unranked mutexes opt out of the runtime
                   order check, which defeats the registry.
@@ -60,6 +73,19 @@ RAW_MUTEX_RE = re.compile(
     r"\bstd\s*::\s*(mutex|recursive_mutex|shared_mutex|timed_mutex|"
     r"condition_variable(?:_any)?|lock_guard|unique_lock|scoped_lock|"
     r"shared_lock)\b")
+
+RAW_ATOMIC_RE = re.compile(
+    r"\bmemory_order_(?:relaxed|consume|acquire|release|acq_rel|seq_cst)\b"
+    r"|\batomic_(?:thread|signal)_fence\s*\(")
+
+# The atomics waiver class: an explicit marker within reach of the site,
+# plus a stated happens-before rationale somewhere in the marker-to-site
+# comment block.
+SPSC_MARKER = "lockfree-lint: spsc"
+SPSC_MARKER_REACH = 8  # lines above the site the marker may sit
+SPSC_RATIONALE_RE = re.compile(
+    r"happens?[- ](?:before|after)|pairs? with|pairing|\bowns\b|Dekker",
+    re.IGNORECASE)
 
 MUTEX_DECL_RE = re.compile(
     r"\b(?:sf::)?Mutex\s+(\w+)\s*(\{[^;{}]*\}|=[^;]*)?;")
@@ -382,6 +408,34 @@ def main() -> int:
                        f"sf::MutexLock / sf::CondVar so the thread-safety "
                        f"analysis and the rank checker see it "
                        f"(rule: raw-mutex)")
+
+        raw_lines = raw.splitlines()
+        for m in RAW_ATOMIC_RE.finditer(clean):
+            line = line_of(clean, m.start())
+            if is_waived(waivers, line, "raw-atomic"):
+                continue
+            marker_line = None
+            for cand in range(line, max(0, line - SPSC_MARKER_REACH - 1),
+                              -1):
+                if cand <= len(raw_lines) and \
+                        SPSC_MARKER in raw_lines[cand - 1]:
+                    marker_line = cand
+                    break
+            if marker_line is None:
+                report(rel, line,
+                       f"explicit atomic ordering without a "
+                       f"`// {SPSC_MARKER}` marker on the line or within "
+                       f"{SPSC_MARKER_REACH} lines above — every raw "
+                       f"atomic site must carry its happens-before "
+                       f"argument (rule: raw-atomic)")
+                continue
+            block = "\n".join(raw_lines[marker_line - 1:line])
+            if not SPSC_RATIONALE_RE.search(block):
+                report(rel, line,
+                       f"`// {SPSC_MARKER}` marker at line {marker_line} "
+                       f"states no happens-before argument (mention the "
+                       f"pairing: happens-before / pairs with / owns / "
+                       f"Dekker) (rule: raw-atomic)")
 
         scan_declarations(reg, rel, raw, clean, waivers)
 
