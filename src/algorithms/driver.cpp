@@ -126,10 +126,11 @@ PreparedRun prepare_run(const ExperimentConfig& config,
           partition_evenly_by_block(num_ranks, decomp, std::move(particles)));
       break;
     case Algorithm::kHybridMasterSlave: {
-      const HybridLayout layout =
-          HybridLayout::make(num_ranks, cfg.hybrid.slaves_per_master);
+      const HybridLayout layout = HybridLayout::make(
+          num_ranks, cfg.hybrid.slaves_per_master, cfg.hybrid.root_fanout);
       cfg.runtime.checked_protocol = CheckedProtocol::kHybrid;
       cfg.runtime.checker_num_masters = layout.num_masters;
+      cfg.runtime.checker_num_roots = layout.num_roots;
       if (faulty) {
         // Hybrid detects failures in-protocol, both ways: slaves
         // heartbeat status and the master declares the silent dead (the
@@ -145,13 +146,14 @@ PreparedRun prepare_run(const ExperimentConfig& config,
         cfg.hybrid.heartbeat_miss_limit =
             cfg.runtime.fault.heartbeat_miss_limit;
       }
-      // Masters get equal seed shares *grouped by block* (same locality
-      // trick as §4.2's seed split): each master group then only touches
-      // the blocks its own seeds and their streamlines reach, instead of
-      // every group re-loading the whole dataset.
+      // Leaf masters get equal seed shares *grouped by block* (same
+      // locality trick as §4.2's seed split): each master group then only
+      // touches the blocks its own seeds and their streamlines reach,
+      // instead of every group re-loading the whole dataset.  Tree-layout
+      // roots start with no seeds at all.
       run.factory = make_hybrid(
           &decomp,
-          partition_evenly_by_block(layout.num_masters, decomp,
+          partition_evenly_by_block(layout.num_leaves(), decomp,
                                     std::move(particles)),
           total_active, cfg.hybrid);
       break;
@@ -215,6 +217,7 @@ RunMetrics run_experiment_threads(const ExperimentConfig& config,
   tcfg.schedule_fuzz_seed = run.cfg.schedule_fuzz_seed;
   tcfg.checked_protocol = run.cfg.runtime.checked_protocol;
   tcfg.checker_num_masters = run.cfg.runtime.checker_num_masters;
+  tcfg.checker_num_roots = run.cfg.runtime.checker_num_roots;
   tcfg.async_io = run.cfg.runtime.async_io;
   tcfg.shared_blocks = run.cfg.runtime.shared_blocks;
   // The thread runtime has no deterministic mid-run instant, so it only

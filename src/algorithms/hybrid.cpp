@@ -1,6 +1,7 @@
 #include "algorithms/hybrid.hpp"
 
 #include <algorithm>
+#include <deque>
 #include <map>
 #include <memory>
 #include <optional>
@@ -15,7 +16,8 @@ namespace sf {
 // Layout
 // ---------------------------------------------------------------------------
 
-HybridLayout HybridLayout::make(int num_ranks, int slaves_per_master) {
+HybridLayout HybridLayout::make(int num_ranks, int slaves_per_master,
+                                int root_fanout) {
   if (num_ranks < 2) {
     throw std::invalid_argument("HybridLayout: need at least 2 ranks");
   }
@@ -25,24 +27,55 @@ HybridLayout HybridLayout::make(int num_ranks, int slaves_per_master) {
   HybridLayout layout;
   layout.num_ranks = num_ranks;
   // One master per W slaves, carved out of the allocation itself.
-  layout.num_masters =
+  const int flat_masters =
       std::clamp(num_ranks / (slaves_per_master + 1), 1, num_ranks - 1);
+  layout.num_masters = flat_masters;
+  // Two-level tree: once the flat master count exceeds the root fanout,
+  // add a root tier of ceil(masters / fanout) extra coordinator ranks
+  // above the (unchanged) leaf-master count.  Below that threshold the
+  // layout — and hence the whole message sequence — is exactly the flat
+  // one, which is the bit-identity contract (DESIGN.md §15).
+  if (root_fanout > 0 && flat_masters > root_fanout) {
+    const int roots = (flat_masters + root_fanout - 1) / root_fanout;
+    if (flat_masters + roots < num_ranks) {  // must leave >= 1 slave
+      layout.num_roots = roots;
+      layout.num_masters = flat_masters + roots;
+    }
+  }
   return layout;
 }
 
 int HybridLayout::master_of(int slave_rank) const {
   const int s = slave_rank - num_masters;  // slave index
   // Inverse of slaves_of's balanced contiguous split.
-  return static_cast<int>(
-      ((static_cast<std::int64_t>(s) + 1) * num_masters - 1) / num_slaves());
+  return num_roots +
+         static_cast<int>(((static_cast<std::int64_t>(s) + 1) * num_leaves() -
+                           1) /
+                          num_slaves());
 }
 
 std::pair<int, int> HybridLayout::slaves_of(int master_rank) const {
+  if (master_rank < num_roots) return {num_masters, num_masters};  // empty
+  const int leaf = master_rank - num_roots;
   const auto ns = static_cast<std::int64_t>(num_slaves());
-  const int first =
-      num_masters + static_cast<int>(ns * master_rank / num_masters);
+  const int first = num_masters + static_cast<int>(ns * leaf / num_leaves());
   const int last =
-      num_masters + static_cast<int>(ns * (master_rank + 1) / num_masters);
+      num_masters + static_cast<int>(ns * (leaf + 1) / num_leaves());
+  return {first, last};
+}
+
+int HybridLayout::root_of(int leaf_master) const {
+  const int l = leaf_master - num_roots;  // leaf index
+  // Inverse of leaves_of's balanced contiguous split.
+  return static_cast<int>(
+      ((static_cast<std::int64_t>(l) + 1) * num_roots - 1) / num_leaves());
+}
+
+std::pair<int, int> HybridLayout::leaves_of(int root_rank) const {
+  const auto nl = static_cast<std::int64_t>(num_leaves());
+  const int first = num_roots + static_cast<int>(nl * root_rank / num_roots);
+  const int last =
+      num_roots + static_cast<int>(nl * (root_rank + 1) / num_roots);
   return {first, last};
 }
 
@@ -154,12 +187,26 @@ class MasterCore {
 
     if (!params_.failover) return;
 
+    // Parent duty (tree layouts): each live root absorbs its own dead
+    // leaf children, keeping recovery local to the subtree instead of
+    // serializing every adoption through the global successor.
+    if (layout_.num_roots > 0 && layout_.is_root(self_)) {
+      const auto [first, last] = layout_.leaves_of(self_);
+      for (int leaf = first; leaf < last; ++leaf) {
+        if (ctx.is_alive(leaf)) continue;
+        adopt_coordinator(ctx, leaf);
+        if (finished_) return;
+      }
+    }
     // Successor duty: absorb groups whose dead master has no survivor
     // left to re-home (dead promoted coordinators are reached through
-    // their own group's dead-slave recovery).
+    // their own group's dead-slave recovery).  Under the tree, a dead
+    // leaf master with a live parent is that parent's duty, not ours —
+    // exactly one live rank claims any dead coordinator.
     if (successor_rank(ctx, layout_) == self_) {
       for (int m = 0; m < layout_.num_masters; ++m) {
         if (m == self_ || ctx.is_alive(m)) continue;
+        if (adopter_of(ctx, m) != self_) continue;
         adopt_coordinator(ctx, m);
         if (finished_) return;
       }
@@ -168,6 +215,13 @@ class MasterCore {
     if (seed_request_outstanding_ && !ctx.is_alive(seed_request_target_)) {
       seed_request_outstanding_ = false;
       dry_masters_.insert(seed_request_target_);
+    }
+    // Same for a brokered relay whose donor died before answering.
+    if (relay_outstanding_ && !ctx.is_alive(relay_target_)) {
+      relay_outstanding_ = false;
+      dry_masters_.insert(relay_target_);
+      if (!pending_requests_.empty()) broker(ctx);
+      if (finished_) return;
     }
     // Liveness beacons: slaves track the last time they heard us; silence
     // past their miss limit is what triggers their re-homing.
@@ -231,31 +285,38 @@ class MasterCore {
 
   void on_seed_request(RankContext& ctx, int requester) {
     if (finished_) return;
-    SeedTransfer transfer;
-    // Donate up to 4N seeds, whole blocks at a time, if we can spare them.
-    const std::size_t spare_floor =
-        static_cast<std::size_t>(params_.assign_batch) * records_.size();
-    std::size_t donated = 0;
-    const std::size_t donate_cap =
-        static_cast<std::size_t>(4 * params_.assign_batch);
-    while (seeds_.size() > spare_floor && donated < donate_cap) {
-      const BlockId b = seeds_.densest_block();
-      if (b == kInvalidBlock) break;
-      auto p = seeds_.take_from(b);
-      if (!p) break;
-      ctx.charge_particle_memory(
-          -static_cast<std::int64_t>(particle_message_bytes(*p, false)));
-      transfer.seeds.push_back(std::move(*p));
-      ++donated;
+    if (layout_.num_roots > 0 && layout_.is_root(self_)) {
+      // Tree mode: a root brokers demand it cannot satisfy from its own
+      // pool instead of answering dry — the requester's one candidate is
+      // its root, so a dry answer here would quench balancing for the
+      // whole subtree while leaf pools still hold seeds.
+      pending_requests_.push_back({requester, /*may_escalate=*/true});
+      broker(ctx);
+      return;
     }
-    Message m;
-    m.payload = std::move(transfer);
-    ctx.send(requester, std::move(m));
+    answer_seed_request(ctx, requester);
+  }
+
+  // A relayed demand from a broker root: donate back to the broker, which
+  // forwards the seeds to whichever starving master it is serving.  A
+  // root receiving a relay brokers it within its own subtree but must not
+  // escalate again — the one-escalation rule is what bounds the chain.
+  void on_seed_relay(RankContext& ctx, int broker_rank) {
+    if (finished_) return;
+    if (layout_.num_roots > 0 && layout_.is_root(self_)) {
+      pending_requests_.push_back({broker_rank, /*may_escalate=*/false});
+      broker(ctx);
+      return;
+    }
+    answer_seed_request(ctx, broker_rank);
   }
 
   void on_seed_transfer(RankContext& ctx, int from, SeedTransfer transfer) {
     if (finished_) return;
-    seed_request_outstanding_ = false;
+    // Clear only the matching outstanding marker: a broker root can have
+    // its own request and a relayed donation in flight at once.
+    if (from == seed_request_target_) seed_request_outstanding_ = false;
+    if (from == relay_target_) relay_outstanding_ = false;
     if (transfer.seeds.empty()) {
       dry_masters_.insert(from);
     } else {
@@ -264,6 +325,10 @@ class MasterCore {
             static_cast<std::int64_t>(particle_message_bytes(p, false)));
         seeds_.add(decomp_->block_of(p.pos), std::move(p));
       }
+    }
+    if (!pending_requests_.empty()) {
+      broker(ctx);
+      if (finished_) return;
     }
     assignment_pass(ctx);
   }
@@ -687,19 +752,144 @@ class MasterCore {
         if (rec.needs_work && !rec.outstanding) starving = true;
       }
       if (starving) {
-        for (int m = 0; m < layout_.num_masters; ++m) {
-          const int candidate = (self_ + 1 + m) % layout_.num_masters;
-          if (candidate == self_ || dry_masters_.count(candidate)) continue;
-          if (!ctx.is_alive(candidate)) continue;  // failover reclaims it
+        const int candidate = seed_donor_candidate(ctx);
+        if (candidate >= 0) {
           Message msg;
           msg.payload = SeedRequest{};
           ctx.send(candidate, std::move(msg));
           seed_request_outstanding_ = true;
           seed_request_target_ = candidate;
-          break;
         }
       }
     }
+  }
+
+  // Whom a starving master asks for seeds.  Flat layout: round-robin over
+  // the peer masters.  Tree layout: a leaf asks a root (its parent first),
+  // so demand is brokered instead of flooding every master; a root asks
+  // its own leaf children first, then peer roots (roots hold no pool of
+  // their own unless they adopted one).  -1 when every candidate is dry
+  // or dead.
+  int seed_donor_candidate(const RankContext& ctx) const {
+    auto viable = [&](int m) {
+      return m != self_ && dry_masters_.count(m) == 0 && ctx.is_alive(m);
+    };
+    if (layout_.num_roots == 0 || self_ >= layout_.num_masters) {
+      // Flat layout — or a promoted slave, whose master candidates are
+      // all dead by the promotion condition (the loop degenerates).
+      for (int m = 0; m < layout_.num_masters; ++m) {
+        const int candidate = (self_ + 1 + m) % layout_.num_masters;
+        if (viable(candidate)) return candidate;
+      }
+      return -1;
+    }
+    if (layout_.is_root(self_)) {
+      const auto [first, last] = layout_.leaves_of(self_);
+      for (int leaf = first; leaf < last; ++leaf) {
+        if (viable(leaf)) return leaf;
+      }
+      for (int i = 0; i < layout_.num_roots; ++i) {
+        const int peer = (self_ + 1 + i) % layout_.num_roots;
+        if (viable(peer)) return peer;
+      }
+      return -1;
+    }
+    const int parent = layout_.root_of(self_);
+    for (int i = 0; i < layout_.num_roots; ++i) {
+      const int candidate = (parent + i) % layout_.num_roots;
+      if (viable(candidate)) return candidate;
+    }
+    return -1;
+  }
+
+  // --- root-tier seed brokering (tree layouts) -----------------------------
+
+  // Donate up to 4N seeds, whole blocks at a time, if we can spare them.
+  SeedTransfer collect_donation(RankContext& ctx) {
+    SeedTransfer transfer;
+    const std::size_t spare_floor =
+        static_cast<std::size_t>(params_.assign_batch) * records_.size();
+    std::size_t donated = 0;
+    const std::size_t donate_cap =
+        static_cast<std::size_t>(4 * params_.assign_batch);
+    while (seeds_.size() > spare_floor && donated < donate_cap) {
+      const BlockId b = seeds_.densest_block();
+      if (b == kInvalidBlock) break;
+      auto p = seeds_.take_from(b);
+      if (!p) break;
+      ctx.charge_particle_memory(
+          -static_cast<std::int64_t>(particle_message_bytes(*p, false)));
+      transfer.seeds.push_back(std::move(*p));
+      ++donated;
+    }
+    return transfer;
+  }
+
+  // Always answers with a SeedTransfer — an empty one is the "I am dry"
+  // signal the requester's dry_masters_ set quenches on.
+  void answer_seed_request(RankContext& ctx, int requester) {
+    Message m;
+    m.payload = collect_donation(ctx);
+    ctx.send(requester, std::move(m));
+  }
+
+  // Serve queued demands from this root's own pool; when dry, relay one
+  // demand at a time to a child leaf (round-robin), escalating once to a
+  // peer root when the whole subtree answered dry.  Donations flow back
+  // here (on_seed_transfer re-enters), so every queued demand ends in
+  // either seeds or a definitive empty answer once all candidates are dry
+  // — the same quenching guarantee the flat round-robin has.
+  void broker(RankContext& ctx) {
+    while (!pending_requests_.empty()) {
+      PendingSeedRequest& req = pending_requests_.front();
+      if (!ctx.is_alive(req.reply_to)) {
+        pending_requests_.pop_front();  // failover reclaims its work
+        continue;
+      }
+      SeedTransfer transfer = collect_donation(ctx);
+      if (!transfer.seeds.empty()) {
+        Message m;
+        m.payload = std::move(transfer);
+        ctx.send(req.reply_to, std::move(m));
+        pending_requests_.pop_front();
+        continue;
+      }
+      if (relay_outstanding_) return;  // a donation is already in flight
+      const auto [first, last] = layout_.leaves_of(self_);
+      const int span = last - first;
+      for (int i = 0; i < span; ++i) {
+        const int leaf = first + (relay_cursor_ + i) % span;
+        if (leaf == req.reply_to || dry_masters_.count(leaf) != 0) continue;
+        if (!ctx.is_alive(leaf)) continue;
+        relay_cursor_ = (leaf - first + 1) % span;
+        send_relay(ctx, leaf);
+        return;
+      }
+      if (req.may_escalate) {
+        req.may_escalate = false;
+        for (int i = 0; i < layout_.num_roots; ++i) {
+          const int peer = (self_ + 1 + i) % layout_.num_roots;
+          if (peer == self_ || peer == req.reply_to) continue;
+          if (dry_masters_.count(peer) != 0 || !ctx.is_alive(peer)) continue;
+          send_relay(ctx, peer);
+          return;
+        }
+      }
+      // Every candidate is dry or dead: a definitive empty answer, which
+      // marks this root dry at the requester and quenches its asking.
+      Message m;
+      m.payload = SeedTransfer{};
+      ctx.send(req.reply_to, std::move(m));
+      pending_requests_.pop_front();
+    }
+  }
+
+  void send_relay(RankContext& ctx, int donor) {
+    Message m;
+    m.payload = SeedRelay{};
+    ctx.send(donor, std::move(m));
+    relay_outstanding_ = true;
+    relay_target_ = donor;
   }
 
   // --- failover ------------------------------------------------------------
@@ -777,13 +967,30 @@ class MasterCore {
     totals_dirty_ = true;
   }
 
-  // Push the per-rank high-water board to the acting counter (or, when we
-  // are the counter, check for completion).  Re-publishing the *full*
-  // board — not deltas — is what lets a counter successor reconstruct the
-  // count after the old counter died with reports it never broadcast.
+  // Where this coordinator publishes its board.  Flat layout: straight to
+  // the acting counter.  Tree layout: leaf masters report to their parent
+  // root, which max-merges its subtree's boards and forwards the merged
+  // board to the counter — a two-level reduction that replaces the
+  // all-to-all master exchange, so the counter hears O(num_roots) links
+  // instead of O(num_masters).  A dead parent falls back to the
+  // successor, so every credit still reaches the counter.
+  int publish_target(const RankContext& ctx) const {
+    if (layout_.num_roots > 0 && !layout_.is_root(self_) &&
+        self_ < layout_.num_masters) {
+      const int parent = layout_.root_of(self_);
+      if (ctx.is_alive(parent)) return parent;
+    }
+    return successor_rank(ctx, layout_);
+  }
+
+  // Push the per-rank high-water board one tier up (or, when we are the
+  // counter, check for completion).  Re-publishing the *full* board — not
+  // deltas — is what lets a counter successor reconstruct the count after
+  // the old counter died with reports it never broadcast, and what makes
+  // the tree reduction idempotent (max-merge of cumulative totals).
   void publish_totals(RankContext& ctx) {
     if (finished_) return;
-    const int counter = successor_rank(ctx, layout_);
+    const int counter = publish_target(ctx);
     if (counter == self_) {
       last_published_counter_ = counter;
       totals_dirty_ = false;
@@ -850,7 +1057,22 @@ class MasterCore {
   bool coordinates(const RankContext& ctx, int slave) const {
     const int m = layout_.master_of(slave);
     if (ctx.is_alive(m)) return m == self_;
-    return successor_rank(ctx, layout_) == self_;
+    return adopter_of(ctx, m) == self_;
+  }
+
+  // The unique live rank responsible for absorbing a dead coordinator:
+  // its parent root when the tree is on and the parent survives, else the
+  // global successor.  Uniqueness keeps ledger recovery single-fire on
+  // the primary path (duplicate adoption stays safe — recovered credits
+  // max-merge and re-run terminations dedup — but never happens fault-
+  // free under this rule).
+  int adopter_of(const RankContext& ctx, int dead_master) const {
+    if (layout_.num_roots > 0 && dead_master >= layout_.num_roots &&
+        dead_master < layout_.num_masters) {
+      const int parent = layout_.root_of(dead_master);
+      if (ctx.is_alive(parent)) return parent;
+    }
+    return successor_rank(ctx, layout_);
   }
 
   const BlockDecomposition* decomp_;
@@ -869,6 +1091,18 @@ class MasterCore {
   std::set<int> dry_masters_;
   bool seed_request_outstanding_ = false;
   int seed_request_target_ = -1;
+  // Root-tier brokering state (tree layouts; unused in flat runs).  One
+  // queued demand records whom the eventual SeedTransfer goes to (the
+  // starving master, or the peer root that escalated on its behalf) and
+  // whether one escalation is still allowed.
+  struct PendingSeedRequest {
+    int reply_to = -1;
+    bool may_escalate = false;
+  };
+  std::deque<PendingSeedRequest> pending_requests_;
+  int relay_cursor_ = 0;
+  bool relay_outstanding_ = false;
+  int relay_target_ = -1;
   // Survivable termination accounting (§11): per-rank cumulative
   // high-water marks, max-merged from statuses, peer boards, and ledger
   // recoveries; global done = sum of the board.
@@ -982,6 +1216,8 @@ class HybridSlave final : public RankProgram {
       core_->on_termination_count(ctx, term->totals);
     } else if (std::holds_alternative<SeedRequest>(msg.payload)) {
       core_->on_seed_request(ctx, msg.from);
+    } else if (std::holds_alternative<SeedRelay>(msg.payload)) {
+      core_->on_seed_relay(ctx, msg.from);
     } else if (auto* transfer = std::get_if<SeedTransfer>(&msg.payload)) {
       core_->on_seed_transfer(ctx, msg.from, std::move(*transfer));
     } else if (std::holds_alternative<DoneSignal>(msg.payload)) {
@@ -1095,7 +1331,7 @@ class HybridSlave final : public RankProgram {
         params_.heartbeat_period;
     if (ctx.now() - master_heard_ <= deadline) return;  // not silent yet
     if (ctx.is_alive(coord_)) return;  // silent but alive: keep waiting
-    const int succ = successor_rank(ctx, layout_);
+    const int succ = rehome_target(ctx);
     if (succ == rank_) {
       promote(ctx);
       return;
@@ -1104,6 +1340,20 @@ class HybridSlave final : public RankProgram {
     coord_ = succ;
     master_heard_ = ctx.now();  // restart the clock on the successor
     send_status(ctx, workable(ctx), orphaned);
+  }
+
+  // Where an orphaned slave re-homes: the adopter of its dead coordinator
+  // — the parent root of a dead leaf master when the tree is on and that
+  // root survives, else the global successor (which may be this slave
+  // itself, promoting).  Mirrors MasterCore::adopter_of so the slave
+  // re-reports to exactly the rank that absorbed its group.
+  int rehome_target(const RankContext& ctx) const {
+    if (layout_.num_roots > 0 && coord_ >= layout_.num_roots &&
+        coord_ < layout_.num_masters) {
+      const int parent = layout_.root_of(coord_);
+      if (ctx.is_alive(parent)) return parent;
+    }
+    return successor_rank(ctx, layout_);
   }
 
   // Become the acting master: instantiate the identical scheduling core a
@@ -1307,6 +1557,8 @@ class HybridMaster final : public RankProgram {
       core_.on_termination_count(ctx, term->totals);
     } else if (std::holds_alternative<SeedRequest>(msg.payload)) {
       core_.on_seed_request(ctx, msg.from);
+    } else if (std::holds_alternative<SeedRelay>(msg.payload)) {
+      core_.on_seed_relay(ctx, msg.from);
     } else if (auto* transfer = std::get_if<SeedTransfer>(&msg.payload)) {
       core_.on_seed_transfer(ctx, msg.from, std::move(*transfer));
     } else if (std::holds_alternative<DoneSignal>(msg.payload)) {
@@ -1359,13 +1611,19 @@ ProgramFactory make_hybrid(const BlockDecomposition* decomp,
       std::move(seeds_per_master));
   return [decomp, shared, total_active, params](
              int rank, int num_ranks) -> std::unique_ptr<RankProgram> {
-    const HybridLayout layout =
-        HybridLayout::make(num_ranks, params.slaves_per_master);
+    const HybridLayout layout = HybridLayout::make(
+        num_ranks, params.slaves_per_master, params.root_fanout);
     if (layout.is_master(rank)) {
-      return std::make_unique<HybridMaster>(
-          decomp, rank, layout, params,
-          std::move((*shared)[static_cast<std::size_t>(rank)]),
-          total_active);
+      // Seeds are partitioned over the leaf masters (the masters that own
+      // slave groups); roots start empty and only hold seeds transiently
+      // while brokering.
+      std::vector<Particle> seeds;
+      if (!layout.is_root(rank)) {
+        seeds = std::move(
+            (*shared)[static_cast<std::size_t>(rank - layout.num_roots)]);
+      }
+      return std::make_unique<HybridMaster>(decomp, rank, layout, params,
+                                            std::move(seeds), total_active);
     }
     return std::make_unique<HybridSlave>(decomp, rank, layout, params,
                                          total_active);

@@ -54,28 +54,54 @@ struct HybridParams {
   // directly.  Set by the driver on fault runs; off keeps the fault-free
   // message sequence unchanged.
   bool failover = false;
+  // Two-level master tree (DESIGN.md §15): when the flat layout would
+  // produce more than root_fanout masters, a root tier is carved out above
+  // them — each root aggregates the termination board of up to root_fanout
+  // leaf masters and brokers seed balancing between them, so control
+  // traffic per master stays flat as ranks grow.  At the defaults the tree
+  // only engages above ~1K ranks, which keeps runs at <= 512 ranks
+  // bit-identical to the single-tier layout.
+  int root_fanout = 32;
 };
 
-// How ranks are split into masters and slaves: masters are ranks
-// [0, num_masters), slaves the rest, divided into contiguous groups.
+// How ranks are split into coordinators and slaves.  Coordinators are
+// ranks [0, num_masters); slaves the rest, divided into contiguous
+// groups.  With a tree layout the coordinator range is itself split:
+// ranks [0, num_roots) are root masters (no slave group of their own —
+// they aggregate boards and broker seeds for their leaf children) and
+// [num_roots, num_masters) are leaf masters owning the slave groups.
+// num_roots == 0 is the paper's flat layout, and every formula below
+// reduces exactly to it.
 struct HybridLayout {
   int num_ranks = 0;
-  int num_masters = 0;
+  int num_masters = 0;  // all coordinator ranks: roots + leaf masters
+  int num_roots = 0;    // root tier size (0 = flat single-tier layout)
 
-  static HybridLayout make(int num_ranks, int slaves_per_master);
+  static HybridLayout make(int num_ranks, int slaves_per_master,
+                           int root_fanout = 0);
 
   int num_slaves() const { return num_ranks - num_masters; }
+  int num_leaves() const { return num_masters - num_roots; }
   bool is_master(int rank) const { return rank < num_masters; }
+  bool is_root(int rank) const { return rank < num_roots; }
 
-  // The master responsible for a slave rank.
+  // The leaf master responsible for a slave rank.
   int master_of(int slave_rank) const;
 
-  // The [first, last) slave-rank range of one master's group.
+  // The [first, last) slave-rank range of one master's group.  Roots own
+  // no slaves: their range is empty.
   std::pair<int, int> slaves_of(int master_rank) const;
+
+  // The root responsible for a leaf master (tree layouts only).
+  int root_of(int leaf_master) const;
+
+  // The [first, last) leaf-master range of one root's subtree.
+  std::pair<int, int> leaves_of(int root_rank) const;
 };
 
-// Program factory.  `seeds_per_master[m]` is master m's initial seed
-// pool; `total_active` the global live-streamline count.
+// Program factory.  `seeds_per_master[l]` is leaf master l's initial seed
+// pool (with a flat layout every master is a leaf); `total_active` the
+// global live-streamline count.  Roots start with empty pools.
 ProgramFactory make_hybrid(const BlockDecomposition* decomp,
                            std::vector<std::vector<Particle>> seeds_per_master,
                            std::uint32_t total_active, HybridParams params);

@@ -31,7 +31,8 @@ class LoadOnDemandProgram final : public RankProgram {
     // is one of those hand-offs bounced off a rank that died before
     // delivery: adopt its particles the same way so none are lost.
     // protocol-lint: ignores StatusUpdate, Command, TerminationCount
-    // protocol-lint: ignores DoneSignal, SeedRequest, SeedTransfer
+    // protocol-lint: ignores DoneSignal, SeedRequest, SeedRelay
+    // protocol-lint: ignores SeedTransfer
     // protocol-lint: ignores MasterBeacon, ControlAck
     // protocol-lint: ignores QuerySubmit, QueryCancel, QueryResult
     // protocol-lint: ignores QueryDone

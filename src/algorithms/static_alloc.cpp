@@ -37,7 +37,8 @@ class StaticProgram final : public RankProgram {
     // count; Hybrid-only traffic cannot legally reach it, and ControlAck
     // is consumed by the control transport before program dispatch.
     // protocol-lint: ignores StatusUpdate, Command, SeedRequest
-    // protocol-lint: ignores SeedTransfer, MasterBeacon, ControlAck
+    // protocol-lint: ignores SeedRelay, SeedTransfer, MasterBeacon
+    // protocol-lint: ignores ControlAck
     // protocol-lint: ignores QuerySubmit, QueryCancel, QueryResult
     // protocol-lint: ignores QueryDone
     if (auto* batch = std::get_if<ParticleBatch>(&msg.payload)) {

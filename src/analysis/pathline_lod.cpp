@@ -36,7 +36,7 @@ class PathlineLodProgram final : public RankProgram {
     // single rank, so no message can legally arrive.
     // protocol-lint: ignores ParticleBatch, StatusUpdate, Command
     // protocol-lint: ignores TerminationCount, DoneSignal, SeedRequest
-    // protocol-lint: ignores SeedTransfer, Undeliverable
+    // protocol-lint: ignores SeedRelay, SeedTransfer, Undeliverable
     // protocol-lint: ignores MasterBeacon, ControlAck
     // protocol-lint: ignores QuerySubmit, QueryCancel, QueryResult
     // protocol-lint: ignores QueryDone

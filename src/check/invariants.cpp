@@ -58,6 +58,7 @@ const char* payload_name(const Message& msg) {
     }
     const char* operator()(const DoneSignal&) { return "DoneSignal"; }
     const char* operator()(const SeedRequest&) { return "SeedRequest"; }
+    const char* operator()(const SeedRelay&) { return "SeedRelay"; }
     const char* operator()(const SeedTransfer&) { return "SeedTransfer"; }
     const char* operator()(const Undeliverable&) { return "Undeliverable"; }
     const char* operator()(const MasterBeacon&) { return "MasterBeacon"; }
@@ -711,12 +712,20 @@ void InvariantChecker::check_protocol(int from, int to, const Message& msg,
 
     case CheckedProtocol::kHybrid: {
       const int nm = config_.num_masters;
+      const int nroots = config_.num_roots;
       const auto is_master = [nm](int r) { return r >= 0 && r < nm; };
-      // Mirror of HybridLayout's balanced contiguous split.
-      const auto master_of = [this, nm](int slave) {
+      const auto is_root = [nroots](int r) { return r >= 0 && r < nroots; };
+      // Mirrors of HybridLayout's balanced contiguous splits (slaves over
+      // leaf masters, leaf masters over roots).
+      const auto master_of = [this, nm, nroots](int slave) {
         const std::int64_t ns = config_.num_ranks - nm;
         const std::int64_t s = slave - nm;
-        return static_cast<int>(((s + 1) * nm - 1) / ns);
+        return nroots + static_cast<int>(((s + 1) * (nm - nroots) - 1) / ns);
+      };
+      const auto root_of = [nm, nroots](int leaf) {
+        const std::int64_t nl = nm - nroots;
+        const std::int64_t l = leaf - nroots;
+        return static_cast<int>(((l + 1) * nroots - 1) / nl);
       };
       // Fault mode admits the §11 failover edges: an orphaned slave may
       // report to any acting coordinator, a promoted slave (the acting
@@ -749,8 +758,17 @@ void InvariantChecker::check_protocol(int from, int to, const Message& msg,
       }
       if (std::holds_alternative<TerminationCount>(msg.payload)) {
         const int counter = config_.fault_mode ? acting_counter() : 0;
-        if (!is_master(from) || to != counter) {
-          illegal("termination counts flow master -> acting counter");
+        bool ok = is_master(from);
+        if (ok && nroots > 0 && !is_root(from)) {
+          // Tree reduction: leaf boards climb to the leaf's parent root;
+          // a dead parent re-routes them to the acting counter.
+          ok = to == root_of(from) || (config_.fault_mode && to == counter);
+        } else if (ok) {
+          ok = to == counter;
+        }
+        if (!ok) {
+          illegal("termination counts flow up the master tree to the "
+                  "acting counter");
         }
         return;
       }
@@ -765,6 +783,17 @@ void InvariantChecker::check_protocol(int from, int to, const Message& msg,
           std::holds_alternative<SeedTransfer>(msg.payload)) {
         if (!is_master(from) || !is_master(to)) {
           illegal("seed balancing is master-to-master traffic");
+        }
+        return;
+      }
+      if (std::holds_alternative<SeedRelay>(msg.payload)) {
+        // Only a root brokers: relays go to a child leaf or (escalated
+        // once) to a peer root; the donation returns as a SeedTransfer.
+        if (nroots == 0) {
+          illegal("seed relays only exist in tree layouts");
+        }
+        if (!is_root(from) || !is_master(to)) {
+          illegal("seed relays flow root -> master");
         }
         return;
       }

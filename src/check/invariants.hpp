@@ -66,6 +66,10 @@ struct CheckerConfig {
   int num_ranks = 0;
   // Hybrid layout (ranks [0, num_masters) are masters); 0 outside hybrid.
   int num_masters = 0;
+  // Hybrid tree layout: ranks [0, num_roots) of the masters are the root
+  // tier (no slave groups; they aggregate boards and broker seeds).
+  // 0 models the flat single-tier layout.
+  int num_roots = 0;
   // Static-allocation routing table inputs; 0 disables routing checks.
   int num_blocks = 0;
   // Per-rank LRU capacity mirrored by the cache-coherence model.

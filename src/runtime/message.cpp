@@ -34,6 +34,7 @@ struct ByteSizer {
   std::size_t operator()(const MasterBeacon&) const { return kEnvelope; }
   std::size_t operator()(const ControlAck&) const { return kEnvelope + 4; }
   std::size_t operator()(const SeedRequest&) const { return kEnvelope; }
+  std::size_t operator()(const SeedRelay&) const { return kEnvelope; }
   std::size_t operator()(const SeedTransfer& t) const {
     // Seeds have no geometry yet; they are always compact.
     return kEnvelope + particles_bytes(t.seeds, false);

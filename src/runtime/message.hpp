@@ -10,6 +10,9 @@
 //   * TerminationCount   — the global streamline count of §4.1
 //   * DoneSignal         — terminate broadcast
 //   * SeedRequest/SeedTransfer — master <-> master balancing
+//   * SeedRelay          — a root master brokering a SeedRequest it could
+//                          not satisfy down to a leaf donor (or once
+//                          across to a peer root); tree layouts only
 //   * Undeliverable      — fault injection: a particle-bearing message
 //                          bounced back to its sender (dropped in flight
 //                          or addressed to a dead rank), so the particles
@@ -105,6 +108,14 @@ struct ControlAck {
 
 struct SeedRequest {};
 
+// Tree-mode seed brokering (two-level master tree, DESIGN.md §15): a root
+// that cannot satisfy a SeedRequest from its own pool relays the demand to
+// one of its leaf masters (or, escalated once, to a peer root).  The
+// receiver donates back to the *broker* (msg.from) with a SeedTransfer, and
+// a root receiving a relay must never re-escalate it — which is what bounds
+// the brokering chain and distinguishes the kind from SeedRequest.
+struct SeedRelay {};
+
 struct SeedTransfer {
   std::vector<Particle> seeds;
 };
@@ -153,9 +164,9 @@ struct QueryDone {
 struct Message {
   int from = -1;
   std::variant<ParticleBatch, StatusUpdate, Command, TerminationCount,
-               DoneSignal, SeedRequest, SeedTransfer, Undeliverable,
-               MasterBeacon, ControlAck, QuerySubmit, QueryCancel,
-               QueryResult, QueryDone>
+               DoneSignal, SeedRequest, SeedRelay, SeedTransfer,
+               Undeliverable, MasterBeacon, ControlAck, QuerySubmit,
+               QueryCancel, QueryResult, QueryDone>
       payload;
   // Sequence number stamped by the sender's control transport on sequenced
   // control messages (0 = unsequenced).  Receivers dedup on it, so

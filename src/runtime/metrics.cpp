@@ -13,6 +13,8 @@ void RankMetrics::accumulate(const RankMetrics& other) {
   bytes_read += other.bytes_read;
   messages_sent += other.messages_sent;
   bytes_sent += other.bytes_sent;
+  control_messages_sent += other.control_messages_sent;
+  bytes_received += other.bytes_received;
   steps += other.steps;
   bursts += other.bursts;
   peak_particle_bytes = std::max(peak_particle_bytes,
@@ -71,6 +73,10 @@ std::uint64_t RunMetrics::total_messages() const {
 std::uint64_t RunMetrics::total_bytes_sent() const {
   return accumulate_ranks<std::uint64_t>(
       ranks, [](const RankMetrics& r) { return r.bytes_sent; });
+}
+std::uint64_t RunMetrics::total_control_messages() const {
+  return accumulate_ranks<std::uint64_t>(
+      ranks, [](const RankMetrics& r) { return r.control_messages_sent; });
 }
 std::uint64_t RunMetrics::total_steps() const {
   return accumulate_ranks<std::uint64_t>(

@@ -25,6 +25,12 @@ struct RankMetrics {
   std::uint64_t bytes_read = 0;
   std::uint64_t messages_sent = 0;
   std::uint64_t bytes_sent = 0;
+  // Coordination traffic (everything that is not a ParticleBatch): the
+  // scalability bench's per-rank control-volume metric (DESIGN.md §15).
+  std::uint64_t control_messages_sent = 0;
+  // Bytes delivered to this rank; bytes_received at the tree root is the
+  // bytes-at-root aggregation-pressure metric.
+  std::uint64_t bytes_received = 0;
   std::uint64_t steps = 0;              // accepted integration steps
   std::uint64_t bursts = 0;             // compute bursts executed
   std::size_t peak_particle_bytes = 0;  // high-water resident memory
@@ -89,6 +95,7 @@ struct RunMetrics {
   std::uint64_t total_bytes_read() const;
   std::uint64_t total_messages() const;
   std::uint64_t total_bytes_sent() const;
+  std::uint64_t total_control_messages() const;
   std::uint64_t total_steps() const;
   std::uint64_t total_cache_hits() const;
   std::uint64_t total_cache_misses() const;

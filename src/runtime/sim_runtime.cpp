@@ -1,6 +1,7 @@
 #include "runtime/sim_runtime.hpp"
 
 #include <algorithm>
+#include <cassert>
 #include <cmath>
 #include <map>
 #include <stdexcept>
@@ -46,6 +47,9 @@ class SimRuntime::Context final : public RankContext {
     metrics.comm_time += network_->endpoint_cost(bytes);
     metrics.messages_sent += 1;
     metrics.bytes_sent += bytes;
+    if (!std::holds_alternative<ParticleBatch>(msg.payload)) {
+      metrics.control_messages_sent += 1;
+    }
     const SimTime arrive = network_->delivery_time(engine_->now(), bytes);
     if (runtime_->fault_) {
       runtime_->fault_send(rank_, to, arrive, bytes, std::move(msg));
@@ -54,9 +58,11 @@ class SimRuntime::Context final : public RankContext {
     Context* dest = runtime_->contexts_[static_cast<std::size_t>(to)].get();
     engine_->schedule_at(arrive, [dest, bytes, m = std::move(msg)]() mutable {
       dest->metrics.comm_time += dest->network_->endpoint_cost(bytes);
+      dest->metrics.bytes_received += bytes;
       SF_INVARIANT_HOOK(dest->runtime_->checker_,
                         on_deliver(dest->rank_, m, dest->engine_->now()));
       dest->program->on_message(*dest, std::move(m));
+      dest->runtime_->refresh_finished(dest->rank_);
     });
   }
 
@@ -66,6 +72,7 @@ class SimRuntime::Context final : public RankContext {
       engine_->schedule_at(engine_->now(), [this, id] {
         if (dead()) return;
         program->on_block_loaded(*this, id);
+        runtime_->refresh_finished(rank_);
       });
       return;
     }
@@ -93,6 +100,7 @@ class SimRuntime::Context final : public RankContext {
       engine_->schedule_at(engine_->now(), [this, id] {
         if (dead()) return;
         program->on_block_loaded(*this, id);
+        runtime_->refresh_finished(rank_);
       });
       return;
     }
@@ -181,6 +189,7 @@ class SimRuntime::Context final : public RankContext {
       if (dead()) return;
       busy_ = false;
       program->on_compute_done(*this);
+      runtime_->refresh_finished(rank_);
     });
   }
 
@@ -207,6 +216,7 @@ class SimRuntime::Context final : public RankContext {
     engine_->schedule_after(seconds, [this] {
       if (dead()) return;
       program->on_timer(*this);
+      runtime_->refresh_finished(rank_);
     });
   }
 
@@ -338,6 +348,7 @@ class SimRuntime::Context final : public RankContext {
       pending_.erase(id);
       sync_cache_counters();
       program->on_block_loaded(*this, id);
+      runtime_->refresh_finished(rank_);
     });
   }
 
@@ -412,6 +423,7 @@ class SimRuntime::Context final : public RankContext {
         pending_.erase(id);
         sync_cache_counters();
         program->on_block_loaded(*this, id);
+        runtime_->refresh_finished(rank_);
         return;
       }
       // Stage it: the grid waits outside the cache until a demand
@@ -475,15 +487,44 @@ bool SimRuntime::rank_alive(int rank) const {
 }
 
 bool SimRuntime::all_live_finished() const {
+  const bool fast = live_unfinished_ == 0;
+#ifndef NDEBUG
+  // Equivalence audit: the incremental counter must always agree with
+  // the full-rank sweep it replaced.  Debug-only — the sweep is the
+  // O(R)-per-event cost the counter exists to eliminate.
+  bool sweep = true;
   for (std::size_t r = 0; r < contexts_.size(); ++r) {
     if (!rank_alive(static_cast<int>(r))) continue;
-    if (!contexts_[r]->program->finished()) return false;
+    if (!contexts_[r]->program->finished()) {
+      sweep = false;
+      break;
+    }
   }
-  return true;
+  assert(sweep == fast &&
+         "live-unfinished counter diverged from the full-rank sweep");
+#endif
+  return fast;
+}
+
+void SimRuntime::refresh_finished(int rank) {
+  if (!rank_alive(rank)) return;  // dead ranks settled at kill time
+  const char now_finished =
+      contexts_[static_cast<std::size_t>(rank)]->program->finished() ? 1 : 0;
+  char& cached = finished_[static_cast<std::size_t>(rank)];
+  if (cached == now_finished) return;
+  // finished -> unfinished happens too: recovery hand-offs re-open ranks.
+  live_unfinished_ += now_finished ? -1 : 1;
+  cached = now_finished;
 }
 
 void SimRuntime::kill_rank(int rank) {
   SF_INVARIANT_HOOK(checker_, on_crash(rank, engine_->now()));
+  // Settle the cached finished() bit while the rank still counts as
+  // live: an OOM abort unwinds past the callback-site refresh, so the
+  // bit can be stale here.
+  refresh_finished(rank);
+  live_ranks_.erase(rank);
+  if (finished_[static_cast<std::size_t>(rank)] == 0) --live_unfinished_;
   FaultState& fs = *fault_;
   fs.alive[static_cast<std::size_t>(rank)] = 0;
   fs.crash_time[static_cast<std::size_t>(rank)] = engine_->now();
@@ -533,17 +574,11 @@ void SimRuntime::note_detected_recovered(int dead_rank) {
 }
 
 void SimRuntime::runtime_recover(int dead_rank) {
-  // Successor: the next live rank after the dead one in cyclic order.
-  int succ = -1;
-  const int n = config_.num_ranks;
-  for (int i = 1; i <= n; ++i) {
-    const int r = (dead_rank + i) % n;
-    if (rank_alive(r)) {
-      succ = r;
-      break;
-    }
-  }
-  if (succ < 0) return;  // everything died; the run will just quiesce
+  // Successor: the next live rank after the dead one in cyclic order —
+  // one ordered-set lookup, not a scan of every rank.
+  if (live_ranks_.empty()) return;  // everything died; the run quiesces
+  auto next = live_ranks_.upper_bound(dead_rank);
+  const int succ = next != live_ranks_.end() ? *next : *live_ranks_.begin();
 
   FaultState& fs = *fault_;
   RecoveredWork work = fs.ledger.recover(dead_rank, succ);
@@ -560,18 +595,13 @@ void SimRuntime::runtime_recover(int dead_rank) {
   // wake-up that seeds the successor's high-water board; max-merging
   // makes it a no-op in every other case beyond the dead rank's entry.
   {
-    int counter = -1;
-    for (int r = 0; r < n; ++r) {
-      if (rank_alive(r)) {
-        counter = r;
-        break;
-      }
-    }
+    const int counter = *live_ranks_.begin();
     Context* c = contexts_[static_cast<std::size_t>(counter)].get();
     Message m;
     m.from = dead_rank;
     m.payload = TerminationCount{fs.ledger.logged_totals()};
     c->program->on_message(*c, std::move(m));
+    refresh_finished(counter);
   }
   if (!work.active.empty()) {
     fs.ledger.on_send(work.active, succ);
@@ -584,6 +614,7 @@ void SimRuntime::runtime_recover(int dead_rank) {
     m.from = dead_rank;
     m.payload = ParticleBatch{kInvalidBlock, std::move(work.active)};
     s->program->on_message(*s, std::move(m));
+    refresh_finished(succ);
   }
 }
 
@@ -716,6 +747,7 @@ void SimRuntime::transmit_control(int from, int to, std::uint32_t seq,
     sender->metrics.comm_time += network_->endpoint_cost(p.bytes);
     sender->metrics.messages_sent += 1;
     sender->metrics.bytes_sent += p.bytes;
+    sender->metrics.control_messages_sent += 1;
     transmit_control(from, to, seq,
                      network_->delivery_time(engine_->now(), p.bytes));
   });
@@ -745,8 +777,10 @@ void SimRuntime::deliver_control(int from, int to, std::size_t bytes,
                     on_dedup_window(from, to, win.low_water, engine_->now()));
   Context* dest = contexts_[static_cast<std::size_t>(to)].get();
   dest->metrics.comm_time += network_->endpoint_cost(bytes);
+  dest->metrics.bytes_received += bytes;
   SF_INVARIANT_HOOK(checker_, on_deliver(to, msg, engine_->now()));
   dest->program->on_message(*dest, std::move(msg));
+  refresh_finished(to);
 }
 
 void SimRuntime::send_control_ack(int acker, int sender, std::uint32_t seq) {
@@ -759,6 +793,7 @@ void SimRuntime::send_control_ack(int acker, int sender, std::uint32_t seq) {
   a->metrics.comm_time += network_->endpoint_cost(bytes);
   a->metrics.messages_sent += 1;
   a->metrics.bytes_sent += bytes;
+  a->metrics.control_messages_sent += 1;
   // Acks draw from the same lossy link but are never retransmitted: a
   // lost ack just provokes one more (deduped) retransmit of the data.
   if (fs.injector.draw_message_drop()) {
@@ -782,8 +817,10 @@ void SimRuntime::deliver(int to, std::size_t bytes, Message msg) {
   }
   Context* dest = contexts_[static_cast<std::size_t>(to)].get();
   dest->metrics.comm_time += network_->endpoint_cost(bytes);
+  dest->metrics.bytes_received += bytes;
   SF_INVARIANT_HOOK(checker_, on_deliver(to, msg, engine_->now()));
   dest->program->on_message(*dest, std::move(msg));
+  refresh_finished(to);
 }
 
 void SimRuntime::bounce_undeliverable(int intended, Message msg) {
@@ -812,14 +849,8 @@ void SimRuntime::bounce_undeliverable(int intended, Message msg) {
   // adopted work.
   int back = msg.from;
   if (back < 0 || !rank_alive(back)) {
-    back = -1;
-    for (int r = 0; r < config_.num_ranks; ++r) {
-      if (rank_alive(r)) {
-        back = r;
-        break;
-      }
-    }
-    if (back < 0) return;  // everything died
+    if (live_ranks_.empty()) return;  // everything died
+    back = *live_ranks_.begin();
   }
 
   fault_->ledger.on_send(particles, back);
@@ -840,8 +871,7 @@ void SimRuntime::checkpoint_tick() {
   // snapshot reflects "now", not just the last communication.  The
   // scratch vector is a member: its capacity survives across ticks.
   std::vector<Particle>& snap = snapshot_scratch_;
-  for (int r = 0; r < config_.num_ranks; ++r) {
-    if (!rank_alive(r)) continue;
+  for (const int r : live_ranks_) {
     snap.clear();
     contexts_[static_cast<std::size_t>(r)]->program->snapshot_particles(snap);
     fs.ledger.refresh(r, snap);
@@ -868,17 +898,11 @@ void SimRuntime::checkpoint_tick() {
   // write burns I/O service time that is attributed evenly to the live
   // ranks and reported as overhead.
   const double cost = config_.model.io_service_seconds(checkpoint_bytes(*ck));
-  int live = 0;
-  for (int r = 0; r < config_.num_ranks; ++r) {
-    if (rank_alive(r)) ++live;
-  }
-  if (live > 0) {
-    const double share = cost / live;
-    for (int r = 0; r < config_.num_ranks; ++r) {
-      if (rank_alive(r)) {
-        contexts_[static_cast<std::size_t>(r)]->metrics.checkpoint_seconds +=
-            share;
-      }
+  if (!live_ranks_.empty()) {
+    const double share = cost / static_cast<double>(live_ranks_.size());
+    for (const int r : live_ranks_) {
+      contexts_[static_cast<std::size_t>(r)]->metrics.checkpoint_seconds +=
+          share;
     }
   }
   fs.stats.checkpoint_overhead += cost;
@@ -934,10 +958,25 @@ RunMetrics SimRuntime::run(const ProgramFactory& factory) {
     contexts_.push_back(std::move(ctx));
   }
 
+  // Seed the O(1) quiescence state: all ranks live, cached finished()
+  // bits from the freshly built programs.
+  finished_.assign(static_cast<std::size_t>(config_.num_ranks), 0);
+  live_unfinished_ = 0;
+  live_ranks_.clear();
+  for (int r = 0; r < config_.num_ranks; ++r) {
+    live_ranks_.insert(live_ranks_.end(), r);
+    const char done = contexts_[static_cast<std::size_t>(r)]->program->finished()
+                          ? 1
+                          : 0;
+    finished_[static_cast<std::size_t>(r)] = done;
+    if (done == 0) ++live_unfinished_;
+  }
+
   checker_ = make_invariant_checker(
       {.protocol = config_.checked_protocol,
        .num_ranks = config_.num_ranks,
        .num_masters = config_.checker_num_masters,
+       .num_roots = config_.checker_num_roots,
        .num_blocks = decomp_->num_blocks(),
        .cache_blocks = config_.cache_blocks,
        .fault_mode = config_.fault.enabled,
@@ -1016,7 +1055,10 @@ RunMetrics SimRuntime::run(const ProgramFactory& factory) {
 
   // Kick every program off at t = 0 (in rank order, deterministically).
   for (auto& ctx : contexts_) {
-    engine.schedule_at(0.0, [c = ctx.get()] { c->program->start(*c); });
+    engine.schedule_at(0.0, [this, c = ctx.get()] {
+      c->program->start(*c);
+      refresh_finished(c->rank());
+    });
   }
 
   if (fault_) {
@@ -1046,6 +1088,10 @@ RunMetrics SimRuntime::run(const ProgramFactory& factory) {
         crash_rank(r, /*from_oom=*/true);
         continue;
       }
+      // The abort unwound past a callback-site refresh, and the thrower
+      // may not name its rank: resync every cached bit once (O(R) on a
+      // failed run only) so post-run accounting stays consistent.
+      for (int rr = 0; rr < config_.num_ranks; ++rr) refresh_finished(rr);
       run_metrics.failed_oom = true;
       run_metrics.failed_fault = fault_ != nullptr;
       run_metrics.abort_reason = abort.what();
@@ -1067,11 +1113,8 @@ RunMetrics SimRuntime::run(const ProgramFactory& factory) {
   // the vacuous "all live ranks finished" must then read as a failed
   // fault run, not a completed one — there is nobody left to finish the
   // remaining streamlines.
-  bool any_alive = fault_ == nullptr;
+  const bool any_alive = fault_ == nullptr || !live_ranks_.empty();
   if (fault_) {
-    for (int r = 0; r < config_.num_ranks; ++r) {
-      if (rank_alive(r)) any_alive = true;
-    }
     if (!any_alive) {
       run_metrics.failed_fault = true;
       if (fault_->stats.oom_crashes > 0) run_metrics.failed_oom = true;
@@ -1079,7 +1122,11 @@ RunMetrics SimRuntime::run(const ProgramFactory& factory) {
     }
   }
 
-  bool all_finished = true;
+  // Post-run quiescence reads the maintained counter; in Debug builds
+  // all_live_finished() re-derives it with the full sweep and asserts
+  // they agree.
+  const bool all_finished = all_live_finished();
+  run_metrics.ranks.reserve(contexts_.size());
   for (std::size_t r = 0; r < contexts_.size(); ++r) {
     Context* ctx = contexts_[r].get();
     if (rank_alive(static_cast<int>(r))) {
@@ -1087,9 +1134,6 @@ RunMetrics SimRuntime::run(const ProgramFactory& factory) {
     }
     ctx->sync_cache_counters();
     run_metrics.ranks.push_back(ctx->metrics);
-    if (rank_alive(static_cast<int>(r)) && !ctx->program->finished()) {
-      all_finished = false;
-    }
     if (!fault_ && !run_metrics.failed_oom) {
       ctx->program->collect_particles(run_metrics.particles);
     }

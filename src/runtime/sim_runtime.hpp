@@ -69,8 +69,10 @@ struct SimRuntimeConfig {
   // and termination accounting.  Only meaningful in builds with
   // SF_CHECK_INVARIANTS; Release runs ignore it entirely.
   CheckedProtocol checked_protocol = CheckedProtocol::kNone;
-  // Hybrid layout input for the protocol model (ranks [0, n) are masters).
+  // Hybrid layout input for the protocol model (ranks [0, n) are masters;
+  // with a tree layout ranks [0, num_roots) of them are the root tier).
   int checker_num_masters = 0;
+  int checker_num_roots = 0;
   // Asynchronous block I/O (DESIGN.md §10).  Off by default: the
   // synchronous path stays bit-identical to the pre-async runtime.
   // When enabled, prefetch_block() overlaps modeled reads with compute;
@@ -146,6 +148,10 @@ class SimRuntime {
 
   bool rank_alive(int rank) const;
   bool all_live_finished() const;
+  // Re-sync `rank`'s cached finished() bit (and the live-unfinished
+  // counter) after a program callback may have changed it.  Called at
+  // every callback site so quiescence stays O(1) per event.
+  void refresh_finished(int rank);
   // Kill `rank` without touching stats (shared by crash paths).
   void kill_rank(int rank);
   // Injected/OOM crash: kill, count, and (kRuntime detector) schedule the
@@ -203,6 +209,17 @@ class SimRuntime {
   std::map<std::uint32_t, std::uint32_t> query_total_;
   std::vector<QueryCompletion> completions_;
   std::vector<std::unique_ptr<Context>> contexts_;
+  // O(1)-per-event coordination state (DESIGN.md §15).  The simulator
+  // used to sweep every rank after every event to detect quiescence and
+  // to find successors; at 16K ranks those O(R) scans dominated.  Now:
+  // `finished_` caches each live rank's program->finished() bit
+  // (refreshed at the callback sites that can change it),
+  // `live_unfinished_` counts live ranks whose bit is clear, and
+  // `live_ranks_` is the ordered live set for successor / acting-counter
+  // lookups (O(log R) instead of a cyclic scan).
+  std::vector<char> finished_;
+  int live_unfinished_ = 0;
+  std::set<int> live_ranks_;
   // Scratch for the periodic checkpoint tick's per-rank particle
   // snapshots: reused across ticks so steady-state checkpointing does
   // not reallocate (mirrors the mailbox data plane's fixed-slot rings).

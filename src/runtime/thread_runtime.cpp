@@ -78,12 +78,14 @@ class ThreadRuntime::Context final : public RankContext {
     maybe_perturb();
     const std::size_t bytes =
         message_bytes(msg, runtime_->config_.carry_geometry);
+    const bool control = !std::holds_alternative<ParticleBatch>(msg.payload);
     const auto t0 = std::chrono::steady_clock::now();
     runtime_->contexts_[static_cast<std::size_t>(to)]->deliver(
         std::move(msg));
     metrics.comm_time += seconds_since(t0);
     metrics.messages_sent += 1;
     metrics.bytes_sent += bytes;
+    if (control) metrics.control_messages_sent += 1;
   }
 
   void request_block(BlockId id) override {
@@ -274,6 +276,10 @@ class ThreadRuntime::Context final : public RankContext {
         }
         if (!have) continue;
         maybe_perturb();
+        // Receiver-side accounting happens on the owning thread (the
+        // sender must not touch this rank's metrics).
+        metrics.bytes_received +=
+            message_bytes(msg, runtime_->config_.carry_geometry);
         SF_INVARIANT_HOOK(runtime_->checker_,
                           on_deliver(rank_, msg, seconds_since(epoch_)));
         program->on_message(*this, std::move(msg));
@@ -562,6 +568,7 @@ RunMetrics ThreadRuntime::run(const ProgramFactory& factory) {
       {.protocol = config_.checked_protocol,
        .num_ranks = config_.num_ranks,
        .num_masters = config_.checker_num_masters,
+       .num_roots = config_.checker_num_roots,
        .num_blocks = decomp_->num_blocks(),
        .cache_blocks = config_.cache_blocks,
        .fault_mode = false,

@@ -41,6 +41,7 @@ struct ThreadRuntimeConfig {
   // conservation, cache coherence and termination accounting.
   CheckedProtocol checked_protocol = CheckedProtocol::kNone;
   int checker_num_masters = 0;
+  int checker_num_roots = 0;
   // Asynchronous block I/O (DESIGN.md §10).  When enabled, one shared
   // AsyncBlockLoader serves prefetch hints from every rank; reads for
   // the same block are coalesced across ranks.  Completions are polled

@@ -10,6 +10,7 @@
 #include <fstream>
 
 #include "algorithms/driver.hpp"
+#include "algorithms/hybrid.hpp"
 #include "algorithms/load_on_demand.hpp"
 #include "algorithms/static_alloc.hpp"
 #include "fault/injector.hpp"
@@ -397,6 +398,119 @@ TEST(CoordinatorFailoverHybrid, PeerMasterAdoptsOrphanedSlaves) {
             m.fault.crash_records[0].crash_time);
   EXPECT_GE(m.fault.crash_records[0].recover_time,
             m.fault.crash_records[0].detect_time);
+}
+
+// ---------------------------------------------------------------------------
+// Master-tree failover (DESIGN.md §15)
+//
+// The crash matrix below runs on SimRuntime only: ThreadRuntime has no
+// fault plane (run_experiment_threads rejects fault configs), so "both
+// runtimes" coverage for the tree is the crash suite on the simulator
+// plus the fault-free tree-vs-threads equivalence test at the end.
+
+struct TreeFaultWorld : FaultWorld {
+  // 13 ranks at W=2 / fanout=2: roots {0, 1}, leaf masters {2..5},
+  // slaves {6..12} — the smallest layout that puts a root above every
+  // leaf while leaving each leaf a non-trivial slave group.
+  ExperimentConfig tree_config() const {
+    auto cfg = config(Algorithm::kHybridMasterSlave, 13);
+    cfg.hybrid.slaves_per_master = 2;
+    cfg.hybrid.root_fanout = 2;
+    // A root has no slaves watching it, so its death is only noticed by
+    // the surviving masters' periodic tick; tighten the heartbeat (only
+    // faulted runs wire it up) so that tick fires within this short run.
+    cfg.runtime.fault.heartbeat_period = 0.002;
+    return cfg;
+  }
+};
+
+// A dead leaf master is absorbed by its parent root: the root inherits
+// the leaf's seed pool and slave group, and the run completes with the
+// same streamlines as the fault-free tree run.
+TEST(TreeFailover, LeafMasterDeathIsAbsorbedByItsRoot) {
+  const TreeFaultWorld fw;
+  const auto base = fw.tree_config();
+  const HybridLayout layout = HybridLayout::make(13, 2, 2);
+  ASSERT_EQ(layout.num_roots, 2);
+  ASSERT_EQ(layout.root_of(2), 0);  // leaf 2's parent is root 0
+
+  const RunMetrics clean = fw.run(base);
+  ASSERT_FALSE(clean.failed_oom);
+  ASSERT_GT(clean.wall_clock, 0.0);
+
+  auto cfg = base;
+  cfg.runtime.fault.crashes = {{0.4 * clean.wall_clock, 2}};
+  const RunMetrics m = fw.run(cfg);
+
+  ASSERT_FALSE(m.failed_oom);
+  ASSERT_FALSE(m.failed_fault);
+  EXPECT_TRUE(m.ranks[2].crashed);
+  EXPECT_EQ(m.fault.crashes_survived, 1u);
+  expect_same_particles(clean.particles, m.particles, "leaf-death-vs-clean");
+  ASSERT_EQ(m.fault.crash_records.size(), 1u);
+  EXPECT_GT(m.fault.crash_records[0].detect_time,
+            m.fault.crash_records[0].crash_time);
+}
+
+// Killing a root removes a tier-1 coordinator (and, for root 0, the
+// termination counter): the surviving root deterministically takes over
+// its leaves and the counter role.
+TEST(TreeFailover, RootMasterDeathPromotesSurvivor) {
+  const TreeFaultWorld fw;
+  const auto base = fw.tree_config();
+
+  const RunMetrics clean = fw.run(base);
+  ASSERT_FALSE(clean.failed_oom);
+
+  auto cfg = base;
+  cfg.runtime.fault.crashes = {{0.4 * clean.wall_clock, 0}};
+  const RunMetrics m = fw.run(cfg);
+
+  ASSERT_FALSE(m.failed_oom);
+  ASSERT_FALSE(m.failed_fault);
+  EXPECT_TRUE(m.ranks[0].crashed);
+  EXPECT_EQ(m.fault.crashes_survived, 1u);
+  expect_same_particles(clean.particles, m.particles, "root-death-vs-clean");
+}
+
+// Both tiers lose a coordinator in quick succession — the root that
+// would have adopted leaf 2's group is itself dead, so the recovery
+// chain has to re-route (successor adoption) without losing a seed.
+TEST(TreeFailover, SimultaneousLeafAndRootDeathStillConverges) {
+  const TreeFaultWorld fw;
+  const auto base = fw.tree_config();
+
+  const RunMetrics clean = fw.run(base);
+  ASSERT_FALSE(clean.failed_oom);
+
+  auto cfg = base;
+  cfg.runtime.fault.crashes = {{0.4 * clean.wall_clock, 0},
+                               {0.4 * clean.wall_clock, 2}};
+  const RunMetrics m = fw.run(cfg);
+
+  ASSERT_FALSE(m.failed_oom);
+  ASSERT_FALSE(m.failed_fault);
+  EXPECT_TRUE(m.ranks[0].crashed);
+  EXPECT_TRUE(m.ranks[2].crashed);
+  EXPECT_EQ(m.fault.crashes_survived, 2u);
+  expect_same_particles(clean.particles, m.particles,
+                        "leaf-and-root-death-vs-clean");
+}
+
+// ThreadRuntime leg: the tree layout on real threads terminates with the
+// same streamline set as the discrete-event simulator (fault-free — the
+// thread runtime has no fault plane to crash a rank with).
+TEST(TreeFailover, FaultFreeTreeRunMatchesOnRealThreads) {
+  const TreeFaultWorld fw;
+  const auto cfg = fw.tree_config();
+
+  const RunMetrics sim = fw.run(cfg);
+  ASSERT_FALSE(sim.failed_oom);
+
+  const RunMetrics thr =
+      run_experiment_threads(cfg, fw.w.decomp(), *fw.w.source, fw.seeds);
+  ASSERT_FALSE(thr.failed_oom);
+  expect_same_particles(sim.particles, thr.particles, "tree-sim-vs-threads");
 }
 
 // The sequenced control transport repairs a lossy link: dropped status /

@@ -45,6 +45,95 @@ TEST(HybridLayout, Validation) {
   EXPECT_THROW(HybridLayout::make(8, 0), std::invalid_argument);
 }
 
+TEST(HybridLayout, NonDivisibleGroupsDifferByAtMostOne) {
+  // 23 ranks at W=4: 4 masters, 19 slaves — groups of 4 or 5, never
+  // worse, and the contiguous split covers every slave exactly once.
+  const HybridLayout l = HybridLayout::make(23, 4);
+  ASSERT_EQ(l.num_masters, 4);
+  for (int m = 0; m < l.num_masters; ++m) {
+    const auto [first, last] = l.slaves_of(m);
+    EXPECT_GE(last - first, 4) << "master " << m;
+    EXPECT_LE(last - first, 5) << "master " << m;
+  }
+}
+
+TEST(HybridLayout, ClampsMastersForExtremeW) {
+  // W far beyond the rank count still yields one master, one+ slaves.
+  const HybridLayout wide = HybridLayout::make(3, 1000);
+  EXPECT_EQ(wide.num_masters, 1);
+  EXPECT_EQ(wide.num_slaves(), 2);
+  // W = 1 wants a master per slave; the clamp keeps at least one slave.
+  const HybridLayout narrow = HybridLayout::make(2, 1);
+  EXPECT_EQ(narrow.num_masters, 1);
+  EXPECT_EQ(narrow.num_slaves(), 1);
+}
+
+TEST(HybridLayout, FlatWhenFanoutNotExceeded) {
+  // 40 ranks at W=8 is 4 masters; a fanout of 100 never engages the tree
+  // and the layout is field-for-field the two-arg (flat) one.
+  const HybridLayout l = HybridLayout::make(40, 8, 100);
+  const HybridLayout flat = HybridLayout::make(40, 8);
+  EXPECT_EQ(l.num_roots, 0);
+  EXPECT_EQ(l.num_masters, flat.num_masters);
+  for (int s = l.num_masters; s < l.num_ranks; ++s) {
+    EXPECT_EQ(l.master_of(s), flat.master_of(s));
+  }
+}
+
+TEST(HybridLayout, DefaultFanoutKeepsPaperScalesFlat) {
+  // The <= 512-rank bit-identity contract is structural: at the default
+  // W=32 / fanout=32 the root tier only appears past ~1K ranks.
+  for (const int ranks : {64, 128, 512, 1056}) {
+    EXPECT_EQ(HybridLayout::make(ranks, 32, 32).num_roots, 0) << ranks;
+  }
+  EXPECT_GT(HybridLayout::make(2048, 32, 32).num_roots, 0);
+  EXPECT_GT(HybridLayout::make(16384, 32, 32).num_roots, 0);
+}
+
+TEST(HybridLayout, TreeTierPartitionsAndInverts) {
+  const HybridLayout l = HybridLayout::make(4096, 32, 32);
+  ASSERT_GT(l.num_roots, 0);
+  EXPECT_EQ(l.num_masters, l.num_roots + l.num_leaves());
+  // Roots own no slave group.
+  for (int r = 0; r < l.num_roots; ++r) {
+    const auto [first, last] = l.slaves_of(r);
+    EXPECT_EQ(first, last) << "root " << r;
+  }
+  // leaves_of partitions the leaf tier; root_of inverts it; no subtree
+  // exceeds the fanout.
+  int covered = 0;
+  for (int r = 0; r < l.num_roots; ++r) {
+    const auto [first, last] = l.leaves_of(r);
+    EXPECT_GE(first, l.num_roots);
+    EXPECT_LE(last, l.num_masters);
+    EXPECT_LE(last - first, 32) << "root " << r;
+    for (int m = first; m < last; ++m) {
+      EXPECT_EQ(l.root_of(m), r);
+      ++covered;
+    }
+  }
+  EXPECT_EQ(covered, l.num_leaves());
+  // Slaves map to leaf masters only, covering every slave exactly once.
+  covered = 0;
+  for (int m = l.num_roots; m < l.num_masters; ++m) {
+    const auto [first, last] = l.slaves_of(m);
+    for (int s = first; s < last; ++s) {
+      EXPECT_EQ(l.master_of(s), m);
+      ++covered;
+    }
+  }
+  EXPECT_EQ(covered, l.num_slaves());
+}
+
+TEST(HybridLayout, TreeStaysFlatWhenRootsWouldStarveSlaves) {
+  // 4 ranks at W=1 is 2 flat masters; fanout 1 would want 2 roots, which
+  // leaves no slaves at all — the tree must decline and stay flat.
+  const HybridLayout l = HybridLayout::make(4, 1, 1);
+  EXPECT_EQ(l.num_roots, 0);
+  EXPECT_EQ(l.num_masters, 2);
+  EXPECT_EQ(l.num_slaves(), 2);
+}
+
 TEST(PartitionForMasters, EqualChunks) {
   std::vector<Particle> ps(10);
   for (int i = 0; i < 10; ++i) ps[static_cast<std::size_t>(i)].id = i;
@@ -157,6 +246,41 @@ TEST(Hybrid, AssignBatchSizeIsBehaviorPreserving) {
       EXPECT_EQ(reference[i].pos.x, m.particles[i].pos.x) << "N=" << n;
     }
   }
+}
+
+TEST(Hybrid, TreeLayoutIsBehaviorPreserving) {
+  // The master tree moves coordination traffic, never integration work:
+  // a run with a root tier terminates the same streamlines, bit for
+  // bit, as the flat layout at the same rank count.  13 ranks at W=2 /
+  // fanout=2 gives roots {0, 1}, leaf masters {2..5}, slaves {6..12}.
+  auto w = sf::testing::rotor_world(2);
+  Rng rng(53);
+  const auto seeds = random_seeds(w.dataset->bounds(), 60, rng);
+
+  auto flat_cfg = test_config(Algorithm::kHybridMasterSlave, 13);
+  flat_cfg.hybrid.slaves_per_master = 2;
+  flat_cfg.hybrid.root_fanout = 0;  // force flat
+  const RunMetrics flat = run_experiment(flat_cfg, w.decomp(), *w.source,
+                                         seeds);
+  ASSERT_FALSE(flat.failed_oom);
+  ASSERT_EQ(flat.particles.size(), seeds.size());
+
+  auto tree_cfg = flat_cfg;
+  tree_cfg.hybrid.root_fanout = 2;
+  ASSERT_EQ(HybridLayout::make(13, 2, 2).num_roots, 2);
+  const RunMetrics tree = run_experiment(tree_cfg, w.decomp(), *w.source,
+                                         seeds);
+  ASSERT_FALSE(tree.failed_oom);
+  ASSERT_EQ(tree.particles.size(), seeds.size());
+
+  for (std::size_t i = 0; i < flat.particles.size(); ++i) {
+    EXPECT_EQ(flat.particles[i].id, tree.particles[i].id) << "i=" << i;
+    EXPECT_EQ(flat.particles[i].steps, tree.particles[i].steps) << "i=" << i;
+    EXPECT_EQ(flat.particles[i].pos.x, tree.particles[i].pos.x) << "i=" << i;
+  }
+  // Roots coordinate; they never integrate a streamline themselves.
+  EXPECT_EQ(tree.ranks[0].steps, 0u);
+  EXPECT_EQ(tree.ranks[1].steps, 0u);
 }
 
 TEST(Hybrid, TwoRanksMinimumWorks) {

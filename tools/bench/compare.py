@@ -19,6 +19,8 @@ its own improvement direction:
                      detected by its top-level "benchmarks" array);
                      keyed by benchmark name, compares items_per_second,
                      higher is better.
+  scale_sweep        keyed (procs,); compares wall_s and
+                     ctrl_msgs_per_rank, both lower is better.
 
 Baseline rows marked "optional": true (the host-dependent simd cells)
 are skipped with a note, not flagged, when the current run lacks them —
@@ -47,6 +49,8 @@ SCHEMAS = {
                      [("p99_latency_s", False), ("hit_rate", True)]),
     "micro_core": (("name",),
                    [("items_per_second", True)]),
+    "scale_sweep": (("procs",),
+                    [("wall_s", False), ("ctrl_msgs_per_rank", False)]),
 }
 
 
@@ -72,7 +76,8 @@ def load(path):
     for r in doc.get("results", []):
         # Older advect runs predate the cache-regime axis; treat them as
         # the all-blocks-resident regime so baselines stay comparable.
-        key = tuple(r.get(f, "resident" if f == "cache" else None)
+        # Key fields may be numeric (scale_sweep keys on procs).
+        key = tuple(str(r.get(f, "resident" if f == "cache" else None))
                     for f in key_fields)
         out[key] = {metric: r[metric] for metric, _ in metrics}
         if r.get("optional"):

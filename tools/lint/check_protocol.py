@@ -36,6 +36,12 @@ Static checks that clang-tidy cannot express, run in CI next to it:
    — and conversely a Query* kind constructed outside src/service/ is a
    layering violation (ranks never exchange query control traffic).
 
+6. Tree-coordination coverage.  The master-tree kinds (SeedRelay) belong
+   to the hybrid algorithm: each must be constructed in
+   src/algorithms/hybrid.cpp and nowhere else — only a root master
+   brokers seed demand, so a relay minted by another layer would bypass
+   the brokering invariants (single relay in flight, no re-escalation).
+
 Randomness hygiene (unseeded RNG / wall-clock engines) lives in
 check_determinism.py, next to the other sources of nondeterminism.
 
@@ -226,6 +232,35 @@ def check_service_kinds(files: list[pathlib.Path], root: pathlib.Path,
                        f"rank links")
 
 
+TREE_KINDS = ["SeedRelay"]
+
+
+def check_tree_kinds(files: list[pathlib.Path], root: pathlib.Path,
+                     alternatives: list[str]) -> None:
+    """Master-tree payload kinds belong to the hybrid algorithm, both ways."""
+    kinds = [a for a in alternatives if a in TREE_KINDS]
+    owner = root / "src" / "algorithms" / "hybrid.cpp"
+    owner_text = strip_comments_and_strings(owner.read_text())
+    for kind in kinds:
+        if not re.search(r"\b" + kind + r"\s*\{", owner_text):
+            report(pathlib.Path("src/algorithms/hybrid.cpp"), 1,
+                   f"tree message kind '{kind}' is never constructed by the "
+                   f"hybrid algorithm — wire it up or drop it from the "
+                   f"Message variant")
+    for path in files:
+        if path == owner:
+            continue
+        if path.name in ("message.hpp", "message.cpp", "invariants.cpp"):
+            continue  # variant declaration and the side tables
+        clean = strip_comments_and_strings(path.read_text())
+        for kind in kinds:
+            for m in re.finditer(r"\b" + kind + r"\s*\{", clean):
+                report(path.relative_to(root), line_of(clean, m.start()),
+                       f"tree message kind '{kind}' constructed outside "
+                       f"src/algorithms/hybrid.cpp — only root masters "
+                       f"broker seed demand")
+
+
 def main() -> int:
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("--root", type=pathlib.Path,
@@ -259,6 +294,7 @@ def main() -> int:
         check_payload_side_table(rel_path, clean, alternatives, table)
 
     check_service_kinds(files, args.root, alternatives)
+    check_tree_kinds(files, args.root, alternatives)
 
     if dispatchers == 0:
         FINDINGS.append("check_protocol: found no on_message definitions — "
