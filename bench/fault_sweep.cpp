@@ -7,9 +7,11 @@
 // Flags: the common bench flags (bench_common.hpp); --quick shrinks the
 // seed set and the sweep grid for smoke runs.
 
+#include <fstream>
 #include <map>
 #include <memory>
 
+#include "algorithms/hybrid.hpp"
 #include "bench_common.hpp"
 #include "core/rng.hpp"
 
@@ -22,6 +24,22 @@ struct SweepPoint {
   double mtbf_rel;        // MTBF as a fraction of baseline wall clock
   double checkpoint_rel;  // checkpoint interval as a fraction of it (0 = off)
 };
+
+// Bit-exact terminal-streamline comparison (both sides sorted by id).
+bool particles_identical(const std::vector<Particle>& a,
+                         const std::vector<Particle>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const Particle& x = a[i];
+    const Particle& y = b[i];
+    if (x.id != y.id || x.status != y.status || x.steps != y.steps ||
+        x.time != y.time || x.h != y.h || x.pos.x != y.pos.x ||
+        x.pos.y != y.pos.y || x.pos.z != y.pos.z) {
+      return false;
+    }
+  }
+  return true;
+}
 
 }  // namespace
 
@@ -55,6 +73,7 @@ int main(int argc, char** argv) {
                "recovery_s", "checkpoints", "checkpoint_overhead_s",
                "status"});
   std::map<Algorithm, double> baseline_wall;
+  std::map<Algorithm, std::vector<Particle>> baseline_particles;
 
   for (const Algorithm algo : kAllAlgorithms) {
     ExperimentConfig base;
@@ -68,6 +87,7 @@ int main(int argc, char** argv) {
         base, data.dataset->decomposition(), *data.source, seeds);
     const double T = clean.wall_clock;
     baseline_wall[algo] = T;
+    baseline_particles[algo] = clean.particles;
     table.add_row({std::string(to_string(algo)),
                    static_cast<long long>(procs), 0.0, 0.0, T, 1.0,
                    static_cast<long long>(0), static_cast<long long>(0),
@@ -154,6 +174,136 @@ int main(int argc, char** argv) {
               << "s wall=" << m.wall_clock << "s\n";
   }
 
+  // Straggler mitigation (DESIGN.md §16): put one hybrid slave at a 10x
+  // compute slowdown early in the run and compare three runs — fault-free,
+  // unmitigated (speculative re-issue disabled, the run waits for the slow
+  // rank), and mitigated (busy-second straggler detection + speculative re-issue
+  // of the straggler's ledger-owned streamlines to healthy slaves).  The
+  // mitigated run must produce bit-identical terminal streamlines; a
+  // mismatch fails the bench.  Slowdowns multiply modelled seconds only,
+  // so the unmitigated run is bit-identical too — the mitigation is pure
+  // wall-clock rescue.
+  int failures = 0;
+  Table straggler({"algorithm", "procs", "mode", "victim", "slow_factor",
+                   "wall_s", "vs_clean", "flagged", "detect_latency_s",
+                   "reissued_particles", "wasted_dup_steps", "bit_identical",
+                   "status"});
+  struct StragglerRow {
+    std::string algorithm;
+    std::string mode;
+    double wall_s = 0.0;
+    double vs_clean = 0.0;
+    double detect_latency_s = 0.0;
+    unsigned long long reissued = 0;
+    unsigned long long wasted = 0;
+  };
+  std::vector<StragglerRow> straggler_rows;
+  {
+    const Algorithm algo = Algorithm::kHybridMasterSlave;
+    ExperimentConfig base;
+    base.algorithm = algo;
+    base.runtime.num_ranks = procs;
+    base.runtime.model = bench_machine(opt.seeds_scale);
+    base.runtime.cache_blocks = opt.cache_blocks;
+    base.limits = limits;
+    const double T = baseline_wall[algo];
+    const HybridLayout layout = HybridLayout::make(
+        procs, base.hybrid.slaves_per_master, base.hybrid.root_fanout);
+    const int victim = layout.num_masters;  // first slave rank
+    const double slow_factor = 10.0;
+    // Slow the victim from early in the run — late enough that it holds
+    // work, early enough that its whole compute phase runs gray — and
+    // scale the heartbeat to the run so the detector sees several full
+    // progress windows before the victim could drain.
+    const SlowdownEvent slow{0.02 * T, victim, slow_factor};
+
+    straggler.add_row({std::string(to_string(algo)),
+                       static_cast<long long>(procs),
+                       std::string("fault-free"),
+                       static_cast<long long>(-1), 1.0, T, 1.0,
+                       static_cast<long long>(0), 0.0,
+                       static_cast<long long>(0), static_cast<long long>(0),
+                       std::string("yes"), std::string("baseline")});
+    straggler_rows.push_back(
+        {std::string(to_string(algo)), "fault-free", T, 1.0, 0.0, 0, 0});
+
+    for (const bool mitigated : {false, true}) {
+      ExperimentConfig cfg = base;
+      cfg.runtime.fault.slowdowns = {slow};
+      cfg.runtime.fault.heartbeat_period = std::max(1e-4, 0.01 * T);
+      cfg.hybrid.speculative_reissue = mitigated;
+      const RunMetrics m = run_experiment(
+          cfg, data.dataset->decomposition(), *data.source, seeds);
+      const FaultStats& fs = m.fault;
+      const bool identical =
+          particles_identical(baseline_particles[algo], m.particles);
+      if (!identical) ++failures;
+      const double ratio = T > 0.0 ? m.wall_clock / T : 0.0;
+      const bool slow_miss = mitigated && ratio > 1.5;
+      straggler.add_row(
+          {std::string(to_string(algo)), static_cast<long long>(procs),
+           std::string(mitigated ? "mitigated" : "unmitigated"),
+           static_cast<long long>(victim), slow_factor, m.wall_clock, ratio,
+           static_cast<long long>(fs.stragglers_flagged),
+           fs.straggler_detect_latency,
+           static_cast<long long>(fs.particles_speculated),
+           static_cast<long long>(fs.wasted_duplicate_steps),
+           std::string(identical ? "yes" : "NO"),
+           std::string(!identical  ? "MISMATCH"
+                       : slow_miss ? "SLOW"
+                                   : "ok")});
+      straggler_rows.push_back({std::string(to_string(algo)),
+                                mitigated ? "mitigated" : "unmitigated",
+                                m.wall_clock, ratio,
+                                fs.straggler_detect_latency,
+                                fs.particles_speculated,
+                                fs.wasted_duplicate_steps});
+      std::cerr << "  straggler " << (mitigated ? "mitigated" : "unmitigated")
+                << ": wall=" << m.wall_clock << "s (" << ratio
+                << "x clean), flagged=" << fs.stragglers_flagged
+                << " reissued=" << fs.particles_speculated
+                << " identical=" << (identical ? "yes" : "NO") << '\n';
+    }
+  }
+
+  // Corruption tolerance: silent payload bit-flips on 1 in 1000 block
+  // reads.  The checksum catches every flip, the read retries on the
+  // capped-backoff ladder, and all three algorithms must complete with
+  // trajectories bit-identical to the fault-free run (zero wrong results).
+  Table corrupt({"algorithm", "procs", "corrupt_rate", "wall_s", "vs_clean",
+                 "corruptions_injected", "corruptions_detected",
+                 "trajectories_match", "status"});
+  for (const Algorithm algo : kAllAlgorithms) {
+    ExperimentConfig cfg;
+    cfg.algorithm = algo;
+    cfg.runtime.num_ranks = procs;
+    cfg.runtime.model = bench_machine(opt.seeds_scale);
+    cfg.runtime.cache_blocks = opt.cache_blocks;
+    cfg.limits = limits;
+    cfg.runtime.fault.corrupt_rate = 1e-3;
+    const RunMetrics m = run_experiment(
+        cfg, data.dataset->decomposition(), *data.source, seeds);
+    const FaultStats& fs = m.fault;
+    const bool identical =
+        particles_identical(baseline_particles[algo], m.particles);
+    if (!identical || m.failed_fault) ++failures;
+    const double T = baseline_wall[algo];
+    corrupt.add_row(
+        {std::string(to_string(algo)), static_cast<long long>(procs), 1e-3,
+         m.wall_clock, T > 0.0 ? m.wall_clock / T : 0.0,
+         static_cast<long long>(fs.corruptions_injected),
+         static_cast<long long>(fs.corruptions_detected),
+         std::string(identical ? "yes" : "NO"),
+         std::string(m.failed_oom     ? "OOM"
+                     : m.failed_fault ? "fault"
+                     : identical      ? "ok"
+                                      : "MISMATCH")});
+    std::cerr << "  corruption: " << to_string(algo)
+              << " injected=" << fs.corruptions_injected
+              << " detected=" << fs.corruptions_detected
+              << " identical=" << (identical ? "yes" : "NO") << '\n';
+  }
+
   std::cout << "\nFault sweep: crash survival cost vs. MTBF and checkpoint "
                "cadence (P="
             << procs << ", seeds-scale=" << opt.seeds_scale << ")\n";
@@ -161,6 +311,12 @@ int main(int argc, char** argv) {
   std::cout << "\nCoordinator failure: master / termination-counter death "
                "vs. immune baseline\n";
   coord.print(std::cout);
+  std::cout << "\nStraggler mitigation: one slave at 10x slowdown, busy-rate "
+               "detection + speculative re-issue\n";
+  straggler.print(std::cout);
+  std::cout << "\nCorruption tolerance: checksum-caught bit-flips at 1e-3 "
+               "per read\n";
+  corrupt.print(std::cout);
   if (opt.csv_dir) {
     const std::string path = *opt.csv_dir + "/fault_sweep.csv";
     table.write_csv(path);
@@ -169,6 +325,41 @@ int main(int argc, char** argv) {
         *opt.csv_dir + "/fault_sweep_coordinator.csv";
     coord.write_csv(coord_path);
     std::cout << "csv written to " << coord_path << '\n';
+    const std::string strag_path = *opt.csv_dir + "/fault_sweep_straggler.csv";
+    straggler.write_csv(strag_path);
+    std::cout << "csv written to " << strag_path << '\n';
+    const std::string corrupt_path =
+        *opt.csv_dir + "/fault_sweep_corruption.csv";
+    corrupt.write_csv(corrupt_path);
+    std::cout << "csv written to " << corrupt_path << '\n';
+
+    // compare.py-consumable summary of the straggler table ("bench":
+    // "fault_straggler", keyed by algorithm+mode).
+    const std::string json_path = *opt.csv_dir + "/fault_straggler.json";
+    std::ofstream out(json_path);
+    out << "{\n \"bench\": \"fault_straggler\",\n"
+        << " \"procs\": " << procs << ",\n"
+        << " \"seeds_scale\": " << opt.seeds_scale << ",\n"
+        << " \"results\": [\n";
+    for (std::size_t i = 0; i < straggler_rows.size(); ++i) {
+      const StragglerRow& r = straggler_rows[i];
+      out << "  {\n"
+          << "   \"algorithm\": \"" << r.algorithm << "\",\n"
+          << "   \"mode\": \"" << r.mode << "\",\n"
+          << "   \"wall_s\": " << r.wall_s << ",\n"
+          << "   \"vs_clean\": " << r.vs_clean << ",\n"
+          << "   \"detect_latency_s\": " << r.detect_latency_s << ",\n"
+          << "   \"reissued_particles\": " << r.reissued << ",\n"
+          << "   \"wasted_dup_steps\": " << r.wasted << "\n"
+          << "  }" << (i + 1 < straggler_rows.size() ? "," : "") << "\n";
+    }
+    out << " ]\n}\n";
+    std::cout << "json written to " << json_path << '\n';
+  }
+  if (failures > 0) {
+    std::cerr << "FAILURES: " << failures
+              << " run(s) with non-identical trajectories\n";
+    return 1;
   }
   return 0;
 }

@@ -16,6 +16,17 @@
 //                    property — shared-cache hit rate strictly above the
 //                    cold baseline at >= 50% overlap — is asserted here,
 //                    so a regression fails the bench, not just the diff.
+//   deadline sweep : the overloaded arrival schedule replayed with a
+//                    per-query latency budget (tight and loose) and a
+//                    shallow admission queue, plus one malformed
+//                    submission — so every rejection class shows up
+//                    attributed: rej_depth (queue full), rej_deadline
+//                    (budget burned while queued), rej_malformed, and
+//                    dl_cancelled (admitted, expired mid-flight).  The
+//                    acceptance property — under a tight deadline every
+//                    completed query's latency is within budget, and
+//                    shedding keeps p99 below the unbounded overloaded
+//                    p99 — is asserted here too.
 //
 // Results are written as JSON for tools/bench/compare.py.
 //
@@ -24,6 +35,10 @@
 //   --seeds=N           streamlines per query (default 400)
 //   --queries=N         queries per load-sweep cell (default 10)
 //   --out=PATH          output JSON path (default BENCH_service.json)
+//   --query-deadline=S  replace the tight/loose deadline rows with one
+//                       explicit per-query budget of S service-clock
+//                       seconds (the relative acceptance assert is
+//                       skipped; the met-budget assert still runs)
 //   --quick             smoke preset: 8 ranks, 150 seeds, 6 queries
 
 #include <algorithm>
@@ -46,6 +61,7 @@ struct Options {
   std::size_t seeds = 400;
   std::size_t queries = 10;
   std::string out = "BENCH_service.json";
+  double query_deadline = 0.0;  // 0 = the default tight/loose sweep
   bool quick = false;
 };
 
@@ -62,6 +78,8 @@ Options parse_options(int argc, char** argv) {
           static_cast<std::size_t>(std::atoll(arg.substr(10).c_str()));
     } else if (arg.rfind("--out=", 0) == 0) {
       opt.out = arg.substr(6);
+    } else if (arg.rfind("--query-deadline=", 0) == 0) {
+      opt.query_deadline = std::atof(arg.substr(17).c_str());
     } else if (arg == "--quick") {
       opt.quick = true;
       opt.procs = 8;
@@ -223,12 +241,82 @@ int main(int argc, char** argv) {
     }
   }
 
-  sf::Table table({"scenario", "cache", "completed", "p50_wait", "p99_wait",
-                   "p50_latency", "p99_latency", "hit_rate", "adopted",
-                   "loads", "throughput"});
+  // --- Deadline sweep ------------------------------------------------------
+  // The overloaded schedule again, now with a per-query latency budget
+  // and a shallow queue, plus one malformed (empty) submission — every
+  // rejection class gets exercised and attributed.
+  struct Budget {
+    std::string name;
+    double seconds;  // absolute service-clock latency budget
+  };
+  std::vector<Budget> budgets = {{"deadline-tight", 1.5 * solo_s},
+                                 {"deadline-loose", 8.0 * solo_s}};
+  if (opt.query_deadline > 0.0) {
+    budgets = {{"deadline-user", opt.query_deadline}};
+  }
+  for (const auto& budget : budgets) {
+    sf::ServiceConfig sc = base_service(4, true);
+    sc.default_deadline = budget.seconds;
+    sc.max_queue_depth = 2;  // shallow: depth shedding under overload
+    sf::StreamlineService svc(sc, &decomp, &source);
+    sf::PoissonArrivals arrivals(2.5 / solo_s, 0x5eed);
+    for (const auto& seeds : mix) svc.submit_at(seeds, arrivals.next());
+    svc.submit(std::vector<sf::Vec3>{});  // malformed: must be attributed
+    svc.run_until_idle();
+    Row row;
+    row.scenario = budget.name;
+    row.cache = "shared";
+    row.r = svc.report();
+    row.throughput =
+        static_cast<double>(row.r.completed) / std::max(row.r.makespan, 1e-12);
+    // Every query the service did complete must have met its budget: the
+    // simulated runtime cancels at the exact expiry instant, so a
+    // completed-but-late query means deadline enforcement broke.
+    for (const auto& rec : svc.records()) {
+      if (rec.state != sf::QueryState::kDone || rec.deadline <= 0.0) continue;
+      if (rec.latency() > rec.deadline + 1e-9) {
+        std::cerr << "FAIL: query " << rec.query << " completed at latency "
+                  << rec.latency() << "s past its " << rec.deadline
+                  << "s deadline\n";
+        return 1;
+      }
+    }
+    std::cerr << "  done: " << row.scenario << "  completed="
+              << row.r.completed << "  rej_depth=" << row.r.rejected_depth
+              << "  rej_deadline=" << row.r.rejected_deadline
+              << "  rej_malformed=" << row.r.rejected_malformed
+              << "  dl_cancelled=" << row.r.deadline_cancelled << '\n';
+    if (row.r.rejected_malformed != 1) {
+      std::cerr << "FAIL: the one malformed submission was not attributed "
+                << "(rej_malformed=" << row.r.rejected_malformed << ")\n";
+      return 1;
+    }
+    rows.push_back(std::move(row));
+  }
+  // Shedding must keep the tight-deadline completed-query p99 below the
+  // unbounded overloaded p99 (rows[2] is load-high): that is the point
+  // of deadline-aware admission.  Only meaningful for the default
+  // tight/loose sweep — a user-chosen budget may be anything.
+  if (opt.query_deadline <= 0.0 &&
+      rows[rows.size() - 2].r.p99_latency >= rows[2].r.p99_latency) {
+    std::cerr << "FAIL: tight-deadline p99 "
+              << rows[rows.size() - 2].r.p99_latency
+              << " not below unbounded overloaded p99 "
+              << rows[2].r.p99_latency << '\n';
+    return 1;
+  }
+
+  sf::Table table({"scenario", "cache", "completed", "rej_depth",
+                   "rej_deadline", "rej_malformed", "dl_cancelled",
+                   "p50_wait", "p99_wait", "p50_latency", "p99_latency",
+                   "hit_rate", "adopted", "loads", "throughput"});
   for (const Row& row : rows) {
     table.add_row({row.scenario, row.cache,
                    static_cast<long long>(row.r.completed),
+                   static_cast<long long>(row.r.rejected_depth),
+                   static_cast<long long>(row.r.rejected_deadline),
+                   static_cast<long long>(row.r.rejected_malformed),
+                   static_cast<long long>(row.r.deadline_cancelled),
                    row.r.p50_queue_wait, row.r.p99_queue_wait,
                    row.r.p50_latency, row.r.p99_latency, row.r.cache_hit_rate,
                    static_cast<long long>(row.r.blocks_adopted),
@@ -255,6 +343,10 @@ int main(int argc, char** argv) {
         << "   \"scenario\": \"" << row.scenario << "\",\n"
         << "   \"cache\": \"" << row.cache << "\",\n"
         << "   \"completed\": " << row.r.completed << ",\n"
+        << "   \"rejected_depth\": " << row.r.rejected_depth << ",\n"
+        << "   \"rejected_deadline\": " << row.r.rejected_deadline << ",\n"
+        << "   \"rejected_malformed\": " << row.r.rejected_malformed << ",\n"
+        << "   \"deadline_cancelled\": " << row.r.deadline_cancelled << ",\n"
         << "   \"epochs\": " << row.r.epochs << ",\n"
         << "   \"makespan_s\": " << row.r.makespan << ",\n"
         << "   \"p50_queue_wait_s\": " << row.r.p50_queue_wait << ",\n"

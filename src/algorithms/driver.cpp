@@ -28,7 +28,8 @@ bool fault_features_requested(const FaultConfig& f,
   return f.enabled || !restart_from.empty() || f.mtbf > 0.0 ||
          !f.crashes.empty() || f.disk_fault_rate > 0.0 ||
          f.disk_stall_rate > 0.0 || f.message_drop_rate > 0.0 ||
-         f.checkpoint_interval > 0.0;
+         f.checkpoint_interval > 0.0 || !f.slowdowns.empty() ||
+         f.gray_mtbf > 0.0 || f.disk_slow_rate > 0.0 || f.corrupt_rate > 0.0;
 }
 
 // Everything both runtimes share: seed rejection, checkpoint restart,

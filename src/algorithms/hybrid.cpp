@@ -1,6 +1,7 @@
 #include "algorithms/hybrid.hpp"
 
 #include <algorithm>
+#include <cstddef>
 #include <deque>
 #include <map>
 #include <memory>
@@ -260,6 +261,8 @@ class MasterCore {
     if (it == records_.end()) return;
     last_heard_[from] = ctx.now();
     apply_status(from, it->second, status);
+    update_progress(ctx, from, status.steps_total, status.busy_seconds,
+                    status.computing);
     merge_total(from, status.terminated_total);
     publish_totals(ctx);
     if (finished_) return;  // terminations may have ended the run
@@ -433,6 +436,144 @@ class MasterCore {
            params_.heartbeat_period;
   }
 
+  // --- straggler detection (gray failures, DESIGN.md §16) ------------------
+
+  struct ProgressTrack {
+    std::uint64_t anchor_steps = 0;  // watermark at the window anchor
+    double anchor_busy = 0.0;        // busy clock at the window anchor
+    double anchor_time = 0.0;        // when the current window opened
+    double rate = 0.0;      // steps per *busy* second, last closed window
+    double last_busy = 0.0; // busy seconds inside the last closed window
+    int windows = 0;        // closed windows so far
+    bool computing = false;          // latest status: burst in flight
+    bool started = false;
+    bool flagged = false;
+  };
+
+  bool straggler_flagged(int slave) const {
+    const auto it = progress_.find(slave);
+    return it != progress_.end() && it->second.flagged;
+  }
+
+  // Width of one progress-measurement window.  Several heartbeat periods
+  // wide, so a window spans multiple bursts: per-status rate samples are
+  // all-or-nothing noise (a burst credits its steps at acceptance), while
+  // a multi-beat window averages over the burst cadence.
+  double progress_window() const {
+    return static_cast<double>(params_.straggler_min_beats) *
+           params_.heartbeat_period;
+  }
+
+  // Straggler detection (gray failures): every status carries the
+  // slave's cumulative accepted-step watermark and its cumulative busy
+  // clock.  The master differentiates watermark against busy clock over
+  // fixed-width wall windows into an *effective compute speed* — steps
+  // per busy second.  Wall-clock rates cannot separate "slow" from
+  // "starved" (a mostly-idle healthy slave and a continuously-busy slow
+  // one post similar steps/wall-second), but busy-second rates can:
+  // every healthy slave computes at exactly 1/seconds_per_step no matter
+  // how little work it holds, while a gray-slowed slave's bursts take
+  // longer than the steps they retire, collapsing its ratio by the
+  // slowdown factor.  Cumulative counters make this robust to re-reports
+  // and failover re-homing: a duplicate merges as zero delta, never as
+  // double progress.
+  void update_progress(RankContext& ctx, int slave,
+                       std::uint64_t steps_total, double busy_seconds,
+                       bool computing) {
+    if (params_.heartbeat_period <= 0.0 || !params_.speculative_reissue) {
+      return;
+    }
+    ProgressTrack& t = progress_[slave];
+    t.computing = computing;
+    const double now = ctx.now();
+    if (!t.started) {
+      t.started = true;
+      t.anchor_steps = steps_total;
+      t.anchor_busy = busy_seconds;
+      t.anchor_time = now;
+      return;
+    }
+    if (now - t.anchor_time < progress_window()) return;  // window open
+    const std::uint64_t ds =
+        steps_total > t.anchor_steps ? steps_total - t.anchor_steps : 0;
+    const double dbusy = busy_seconds - t.anchor_busy;
+    // No busy time in the window: the slave never computed, so there is
+    // no speed sample.  Rate 0 with computing set still marks it a
+    // candidate (burst accepted but no progress at all = hard stall).
+    t.rate = dbusy > 0.0 ? static_cast<double>(ds) / dbusy : 0.0;
+    t.last_busy = dbusy > 0.0 ? dbusy : 0.0;
+    ++t.windows;
+    t.anchor_steps = steps_total;
+    t.anchor_busy = busy_seconds;
+    t.anchor_time = now;
+    flag_stragglers(ctx);
+  }
+
+  // A slave is a detection candidate only while it is *expected* to
+  // progress: its latest status says a burst is in flight, or it
+  // reported runnable (resident-block) work.  A slave whose particles
+  // are all blocked on unloaded blocks — or which has simply run dry —
+  // produces a zero rate that means "no runnable work", not "slow";
+  // flagging the waiting and idle tails would starve them forever and
+  // poison the median.
+  bool detection_candidate(int slave, const ProgressTrack& t) const {
+    if (t.computing) return true;
+    const auto it = records_.find(slave);
+    return it != records_.end() && it->second.workable > 0;
+  }
+
+  // Flag every candidate slave whose last-window effective speed sits
+  // below the slowness threshold of the healthy-group median, and
+  // speculatively re-issue its ledger-owned streamlines into the seed
+  // pool for healthy slaves.  The reference group is every unflagged
+  // slave with a positive speed sample — a single short burst already
+  // yields an accurate steps-per-busy-second reading — so healthy bursts
+  // finishing between heartbeats never shrink it; requiring two of them
+  // also guarantees a healthy slave remains to run the copies.  Flagging
+  // additionally demands the suspect spent most of its last window
+  // *busy*: a slave that barely computed has a noisy speed sample (the
+  // pro-rated watermark truncates to whole steps), while a genuinely
+  // gray-slowed slave is busy wall-to-wall — its bursts overrun the
+  // window — so the gate costs no detection coverage where mitigation
+  // matters.
+  void flag_stragglers(RankContext& ctx) {
+    std::vector<double> rates;
+    for (const auto& [slave, t] : progress_) {
+      if (t.flagged || t.windows < 1 || t.rate <= 0.0) continue;
+      rates.push_back(t.rate);
+    }
+    if (rates.size() < 2) return;
+    const std::size_t mid = rates.size() / 2;
+    std::nth_element(rates.begin(),
+                     rates.begin() + static_cast<std::ptrdiff_t>(mid),
+                     rates.end());
+    const double median = rates[mid];
+    if (median <= 0.0) return;
+    const double busy_floor = 0.5 * progress_window();
+    for (auto& [slave, t] : progress_) {
+      if (t.flagged || t.windows < 1) continue;
+      if (t.last_busy < busy_floor) continue;
+      if (!detection_candidate(slave, t)) continue;
+      if (t.rate >= params_.straggler_slowness * median) continue;
+      t.flagged = true;
+      speculate_straggler(ctx, slave);
+    }
+  }
+
+  // Copy the straggler's in-progress streamlines out of the ledger into
+  // the seed pool, exactly like absorb_recovered — except the straggler
+  // stays alive and keeps its own copies, so its termination total is NOT
+  // merged here (it reports its own credits; first-terminal-wins dedups
+  // whichever copy loses the race).
+  void speculate_straggler(RankContext& ctx, int straggler) {
+    std::vector<Particle> copies = ctx.speculate_rank(straggler);
+    for (Particle& p : copies) {
+      ctx.charge_particle_memory(
+          static_cast<std::int64_t>(particle_message_bytes(p, false)));
+      seeds_.add(decomp_->block_of(p.pos), std::move(p));
+    }
+  }
+
   // --- index maintenance ---------------------------------------------------
   // Two inverted indexes keep the rule passes O(own state) instead of
   // O(slaves x blocks): which slaves hold a block (loaded or loading),
@@ -585,7 +726,7 @@ class MasterCore {
         const std::uint32_t count = rec.queued[b];
         int target = -1;
         for (const int cand : hit->second) {
-          if (cand == slave) continue;
+          if (cand == slave || straggler_flagged(cand)) continue;
           if (workload(records_[cand]) + count <= overload_limit()) {
             target = cand;
             break;
@@ -734,6 +875,9 @@ class MasterCore {
     bool expensive_available = true;
     for (auto& [slave, rec] : records_) {
       if (!rec.needs_work || rec.outstanding) continue;
+      // A flagged straggler gets no new work: its remaining copies race
+      // the speculated ones, and feeding it more only slows the run.
+      if (straggler_flagged(slave)) continue;
       if (rules_for(ctx, slave, rec, expensive_available)) {
         rec.needs_work = false;
         rec.outstanding = true;
@@ -949,6 +1093,7 @@ class MasterCore {
     apply_status(slave, it->second, StatusUpdate{});
     records_.erase(it);
     last_heard_.erase(slave);
+    progress_.erase(slave);
 
     recovered_coords_.insert(slave);
     absorb_recovered(ctx, slave);
@@ -1085,6 +1230,7 @@ class MasterCore {
   ParticlePool seeds_;
   std::map<int, SlaveRecord> records_;
   std::map<int, double> last_heard_;  // heartbeat bookkeeping (§7)
+  std::map<int, ProgressTrack> progress_;  // straggler detection (§16)
   // Inverted indexes over the records (see index_* helpers).
   std::map<BlockId, std::set<int>> holders_;
   std::map<BlockId, std::map<int, std::uint32_t>> queued_idx_;
@@ -1233,6 +1379,9 @@ class HybridSlave final : public RankProgram {
   }
 
   void on_compute_done(RankContext& ctx) override {
+    steps_total_ += in_flight_steps_;
+    in_flight_steps_ = 0;
+    busy_total_ += ctx.now() - burst_start_;
     std::vector<Particle> batch = std::move(in_flight_);
     in_flight_.clear();
     std::vector<AdvanceOutcome> outcomes = std::move(flights_);
@@ -1416,6 +1565,28 @@ class HybridSlave final : public RankProgram {
     ctx.request_block(b);
   }
 
+  // Cumulative accepted-step watermark for straggler detection (§16):
+  // completed bursts in full, plus the in-flight burst pro-rated by how
+  // much of its *planned* modelled duration has elapsed.  On a healthy
+  // slave the pro-rating tracks reality and the watermark rises smoothly
+  // through multi-heartbeat bursts; on a secretly slowed rank the planned
+  // fraction is exhausted early and the watermark sits flat until the
+  // burst really completes — exactly the rate collapse the master's
+  // windowed detector needs.  Monotone: the fraction is capped at 1 and
+  // burst completion folds the same total into steps_total_.
+  std::uint64_t watermark(const RankContext& ctx) const {
+    if (in_flight_steps_ == 0) return steps_total_;
+    double frac = 1.0;
+    if (burst_duration_ > 0.0) {
+      frac = (ctx.now() - burst_start_) / burst_duration_;
+      if (frac > 1.0) frac = 1.0;
+      if (frac < 0.0) frac = 0.0;
+    }
+    return steps_total_ +
+           static_cast<std::uint64_t>(
+               frac * static_cast<double>(in_flight_steps_));
+  }
+
   void send_status(RankContext& ctx, std::uint32_t workable_now,
                    int orphaned_from = -1) {
     StatusUpdate s;
@@ -1428,6 +1599,11 @@ class HybridSlave final : public RankProgram {
     }
     s.workable = workable_now;
     s.terminated_total = terminated_total_;
+    s.steps_total = watermark(ctx);
+    s.busy_seconds = busy_total_ + (in_flight_steps_ > 0
+                                        ? ctx.now() - burst_start_
+                                        : 0.0);
+    s.computing = in_flight_steps_ > 0;
     s.orphaned_from = orphaned_from;
     Message m;
     m.payload = std::move(s);
@@ -1460,9 +1636,15 @@ class HybridSlave final : public RankProgram {
       const int lookahead = std::min(4, ctx.prefetch_capacity());
       BatchAdvanceResult r = advance_block_and_charge(ctx, in_flight_);
       flights_ = std::move(r.outcomes);
-      ctx.begin_compute(static_cast<double>(r.total_steps) *
-                            ctx.model().seconds_per_step,
-                        r.total_steps);
+      // Folded into steps_total_ when the burst completes; a heartbeat
+      // status mid-burst reports the burst's steps pro-rated by elapsed
+      // planned time (see watermark()), so the master sees progress as a
+      // smooth rate rather than burst-sized quanta.
+      in_flight_steps_ = r.total_steps;
+      burst_start_ = ctx.now();
+      burst_duration_ = static_cast<double>(r.total_steps) *
+                        ctx.model().seconds_per_step;
+      ctx.begin_compute(burst_duration_, r.total_steps);
       // Overlap: background-read where this burst is headed (its
       // outcomes name the blocks exactly), then the densest blocked
       // queues, so the master's next kLoad (or our own wait for it)
@@ -1505,6 +1687,11 @@ class HybridSlave final : public RankProgram {
   std::vector<Particle> in_flight_;      // the burst being computed
   std::vector<AdvanceOutcome> flights_;  // outcome per in_flight_[i]
   std::uint32_t terminated_total_ = 0;   // cumulative first-time credits
+  std::uint64_t steps_total_ = 0;      // completed-burst steps (§16)
+  std::uint64_t in_flight_steps_ = 0;  // accepted steps of the burst
+  double burst_start_ = 0.0;           // when the burst began computing
+  double burst_duration_ = 0.0;        // its *planned* modelled seconds
+  double busy_total_ = 0.0;            // observed compute seconds (§16)
   double master_heard_ = 0.0;            // last beacon/command time
   int pending_loads_ = 0;
   bool reported_ = false;

@@ -54,6 +54,22 @@ struct HybridParams {
   // directly.  Set by the driver on fault runs; off keeps the fault-free
   // message sequence unchanged.
   bool failover = false;
+  // Gray-failure mitigation (DESIGN.md §16): every status carries a
+  // cumulative step watermark and a cumulative busy clock; the master
+  // differentiates them over windows of straggler_min_beats heartbeat
+  // periods into a per-slave *effective compute speed* (steps per busy
+  // second — immune to starvation, unlike wall-clock rates), and flags a
+  // slave that holds work but whose speed falls below
+  // straggler_slowness x the working-group median.  A flagged
+  // slave's ledger-owned streamlines are speculatively re-issued to
+  // healthy slaves (ownership stays with the straggler; the ledger's
+  // first-terminal-wins credit dedups the losing copies) and it receives
+  // no further assignments.  Only active when heartbeat_period > 0, i.e.
+  // on fault runs, so fault-free runs keep the exact five-rule message
+  // sequence.
+  double straggler_slowness = 0.25;
+  int straggler_min_beats = 3;
+  bool speculative_reissue = true;
   // Two-level master tree (DESIGN.md §15): when the flat layout would
   // produce more than root_fanout masters, a root tier is carved out above
   // them — each root aggregates the termination board of up to root_fanout

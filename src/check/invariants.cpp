@@ -387,6 +387,37 @@ void InvariantChecker::on_recover(int dead_rank, int new_owner,
   }
 }
 
+void InvariantChecker::on_speculate(int straggler, int speculator,
+                                    const std::vector<Particle>& particles,
+                                    double now) {
+  MutexLock lock(mutex_);
+  for (const Particle& p : particles) {
+    ParticleState& s = particles_[p.id];
+    if (s.done) {
+      fail({.kind = ViolationKind::kConservation,
+            .rank = speculator,
+            .when = now,
+            .particle = p.id,
+            .detail = "speculation re-issued a terminated streamline"});
+    }
+    // The ledger transfers ownership at wire time, so a "straggler-owned"
+    // entry may still be on the wire toward it — both are legal sources.
+    if (s.holders.count(straggler) == 0 && s.in_flight == 0) {
+      fail({.kind = ViolationKind::kConservation,
+            .rank = speculator,
+            .when = now,
+            .particle = p.id,
+            .detail = "speculation copied a streamline the straggler (rank " +
+                      std::to_string(straggler) + ") does not hold"});
+    }
+    // The straggler keeps its copy and keeps racing; the speculator gets
+    // an extra legal replica (fault-mode multi-residency), so its later
+    // re-assign send is not a double-assign.
+    s.holders[speculator] += 1;
+    ++live_copies_;
+  }
+}
+
 // ---------------------------------------------------------------------------
 // Reliable control transport
 // ---------------------------------------------------------------------------

@@ -178,6 +178,16 @@ class InvariantChecker {
                   const std::vector<Particle>& particles, double now)
       SF_EXCLUDES(mutex_);
 
+  // Speculative re-issue (gray failures): `speculator` took ledger copies
+  // of `straggler`'s live streamlines without killing the straggler.  The
+  // speculator becomes an extra legal holder of each copy — fault-mode
+  // multi-residency — so its later re-assign send is not a double-assign.
+  // Only legal in fault mode, on live ranks, for undone streamlines the
+  // straggler still holds.
+  void on_speculate(int straggler, int speculator,
+                    const std::vector<Particle>& particles, double now)
+      SF_EXCLUDES(mutex_);
+
   // --- reliable control transport ------------------------------------------
 
   // The receiver-side dedup window of one control link advanced (or at

@@ -27,6 +27,15 @@ struct CrashEvent {
   int rank = -1;
 };
 
+// One explicitly scheduled gray slowdown: from `time` on, every compute
+// burst on `rank` takes `factor` times as long (steps are unchanged, so
+// trajectories are unchanged — the rank is slow, not wrong).
+struct SlowdownEvent {
+  double time = 0.0;
+  int rank = -1;
+  double factor = 10.0;
+};
+
 struct FaultConfig {
   // Master switch.  run_experiment turns it on automatically when any
   // fault feature below is requested.
@@ -58,6 +67,25 @@ struct FaultConfig {
   double disk_retry_backoff = 0.01;
   double disk_backoff_cap = 0.5;
   int disk_max_retries = 8;
+
+  // --- Gray failures (slow-but-alive) --------------------------------------
+  // Explicit per-rank compute slowdowns, plus optional MTBF-drawn ones:
+  // every gray_mtbf simulated seconds (mean, exponential) another victim
+  // rank starts running gray_slow_factor times slow, up to max_slowdowns
+  // victims (each rank at most once).  Immune ranks are never slowed.
+  std::vector<SlowdownEvent> slowdowns;
+  double gray_mtbf = 0.0;  // 0 disables MTBF-drawn slowdowns
+  int max_slowdowns = 1;
+  double gray_slow_factor = 10.0;
+  // Per-read probability that a block read's latency is inflated by
+  // disk_slow_factor — slowness, not failure: no retry is consumed.
+  double disk_slow_rate = 0.0;
+  double disk_slow_factor = 4.0;
+  // Per-read probability that the returned payload is silently
+  // bit-flipped.  The checksum catches it, the read behaves like a
+  // failed attempt and retries on the capped-backoff ladder; only
+  // disk_max_retries consecutive corruptions escalate to a rank crash.
+  double corrupt_rate = 0.0;
 
   // --- Message drops -------------------------------------------------------
   // Per-message probability that the link drops a message.  Particle-
@@ -148,6 +176,15 @@ struct FaultStats {
   std::uint64_t checkpoints_taken = 0;
   double checkpoint_overhead = 0.0;     // modelled checkpoint write seconds
   std::vector<CrashRecord> crash_records;  // per-crash timeline
+  // Gray-failure counters.
+  std::uint64_t slowdowns_injected = 0;   // ranks put into slow mode
+  std::uint64_t disk_slow_events = 0;     // reads with inflated latency
+  std::uint64_t corruptions_injected = 0;  // payload bit-flips injected
+  std::uint64_t corruptions_detected = 0;  // flips the checksum caught
+  std::uint64_t stragglers_flagged = 0;   // slaves flagged as stragglers
+  std::uint64_t particles_speculated = 0;  // copies re-issued from the ledger
+  std::uint64_t wasted_duplicate_steps = 0;  // loser-copy steps past the fork
+  double straggler_detect_latency = 0.0;  // summed slowdown -> flag latency
 };
 
 }  // namespace sf

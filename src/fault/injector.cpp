@@ -9,10 +9,14 @@ namespace sf {
 FaultInjector::FaultInjector(const FaultConfig& config, int num_ranks)
     : disk_fault_rate_(config.disk_fault_rate),
       disk_stall_rate_(config.disk_stall_rate),
+      disk_slow_rate_(config.disk_slow_rate),
+      corrupt_rate_(config.corrupt_rate),
       message_drop_rate_(config.message_drop_rate),
       max_drops_(config.max_drops),
       disk_rng_(config.rng_seed ^ 0xd15cULL),
       stall_rng_(config.rng_seed ^ 0x57a11ULL),
+      slow_rng_(config.rng_seed ^ 0x510e7ULL),
+      corrupt_rng_(config.rng_seed ^ 0xc02217ULL),
       drop_rng_(config.rng_seed ^ 0xd60bULL) {
   const std::set<int> immune(config.immune_ranks.begin(),
                              config.immune_ranks.end());
@@ -45,6 +49,36 @@ FaultInjector::FaultInjector(const FaultConfig& config, int num_ranks)
             [](const CrashEvent& a, const CrashEvent& b) {
               return a.time != b.time ? a.time < b.time : a.rank < b.rank;
             });
+
+  for (const SlowdownEvent& ev : config.slowdowns) {
+    if (ev.rank < 0 || ev.rank >= num_ranks) continue;
+    if (immune.count(ev.rank) != 0) continue;
+    if (ev.factor <= 1.0) continue;
+    slowdowns_.push_back(ev);
+  }
+
+  if (config.gray_mtbf > 0.0 && config.max_slowdowns > 0 &&
+      config.gray_slow_factor > 1.0) {
+    Rng gray_rng(config.rng_seed ^ 0x6a4a17ULL);
+    std::vector<int> eligible;
+    for (int r = 0; r < num_ranks; ++r) {
+      if (immune.count(r) == 0) eligible.push_back(r);
+    }
+    double t = 0.0;
+    for (int i = 0; i < config.max_slowdowns && !eligible.empty(); ++i) {
+      t += -config.gray_mtbf * std::log(1.0 - gray_rng.next_double());
+      const std::size_t pick = static_cast<std::size_t>(
+          gray_rng.next_below(eligible.size()));
+      slowdowns_.push_back({t, eligible[pick], config.gray_slow_factor});
+      eligible.erase(eligible.begin() +
+                     static_cast<std::ptrdiff_t>(pick));
+    }
+  }
+
+  std::sort(slowdowns_.begin(), slowdowns_.end(),
+            [](const SlowdownEvent& a, const SlowdownEvent& b) {
+              return a.time != b.time ? a.time < b.time : a.rank < b.rank;
+            });
 }
 
 bool FaultInjector::draw_disk_fault() {
@@ -55,6 +89,16 @@ bool FaultInjector::draw_disk_fault() {
 bool FaultInjector::draw_disk_stall() {
   if (disk_stall_rate_ <= 0.0) return false;
   return stall_rng_.next_double() < disk_stall_rate_;
+}
+
+bool FaultInjector::draw_disk_slow() {
+  if (disk_slow_rate_ <= 0.0) return false;
+  return slow_rng_.next_double() < disk_slow_rate_;
+}
+
+bool FaultInjector::draw_disk_corrupt() {
+  if (corrupt_rate_ <= 0.0) return false;
+  return corrupt_rng_.next_double() < corrupt_rate_;
 }
 
 bool FaultInjector::draw_message_drop() {

@@ -22,19 +22,34 @@ class FaultInjector {
   // MTBF draws over the non-immune ranks (each rank at most once).
   const std::vector<CrashEvent>& crash_schedule() const { return schedule_; }
 
+  // Gray slowdown schedule, sorted by time: explicit events plus
+  // exponential gray_mtbf draws (each rank slowed at most once, immune
+  // ranks never).  Its own Rng stream, so enabling crash injection does
+  // not perturb the slowdown draws or vice versa.
+  const std::vector<SlowdownEvent>& slowdown_schedule() const {
+    return slowdowns_;
+  }
+
   // Per-attempt draws, consumed in simulation event order.
   bool draw_disk_fault();
   bool draw_disk_stall();
+  bool draw_disk_slow();
+  bool draw_disk_corrupt();
   bool draw_message_drop();
 
  private:
   double disk_fault_rate_;
   double disk_stall_rate_;
+  double disk_slow_rate_;
+  double corrupt_rate_;
   double message_drop_rate_;
   std::uint64_t max_drops_;
   std::vector<CrashEvent> schedule_;
+  std::vector<SlowdownEvent> slowdowns_;
   Rng disk_rng_;
   Rng stall_rng_;
+  Rng slow_rng_;
+  Rng corrupt_rng_;
   Rng drop_rng_;
   std::uint64_t drops_ = 0;
 };

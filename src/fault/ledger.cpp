@@ -28,6 +28,10 @@ void ParticleLedger::on_send(const std::vector<Particle>& particles,
                              int new_owner) {
   for (const Particle& p : particles) {
     Entry& e = entries_[p.id];
+    // A terminal entry is settled: a still-live duplicate copy (crash
+    // recovery overlap, speculative re-issue) racing through the wire
+    // after the first termination must not clobber the recorded result.
+    if (e.terminal) continue;
     e.state = p;
     e.owner = new_owner;
   }
@@ -35,9 +39,13 @@ void ParticleLedger::on_send(const std::vector<Particle>& particles,
 
 bool ParticleLedger::on_terminated(int rank, const Particle& p) {
   Entry& e = entries_[p.id];
-  e.state = p;
-  e.owner = rank;
-  e.terminal = true;
+  // First terminal state wins: a losing duplicate's (bit-identical)
+  // re-run result is dropped along with its credit.
+  if (!e.terminal) {
+    e.state = p;
+    e.owner = rank;
+    e.terminal = true;
+  }
   if (e.counted) return false;
   e.counted = true;
   ++logged_[rank];
@@ -96,6 +104,14 @@ RecoveredWork ParticleLedger::recover(int dead_rank, int new_owner) {
   }
   work.terminated_total = logged_total(dead_rank);
   return work;
+}
+
+std::vector<Particle> ParticleLedger::peek_owned(int rank) const {
+  std::vector<Particle> out;
+  for (const auto& [id, e] : entries_) {
+    if (e.owner == rank && !e.terminal) out.push_back(e.state);
+  }
+  return out;  // map iteration order == sorted by id
 }
 
 std::uint32_t ParticleLedger::steps_of(std::uint32_t id) const {

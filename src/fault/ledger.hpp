@@ -78,6 +78,13 @@ class ParticleLedger {
   // total is returned every time; max-merging makes that harmless).
   RecoveredWork recover(int dead_rank, int new_owner);
 
+  // Copies of the last safe states of `rank`'s non-terminal streamlines,
+  // *without* transferring ownership or touching the entries — the
+  // speculative re-issue seam for a straggling (slow but alive) rank.
+  // The straggler keeps racing its own copies; on_terminated's first-wins
+  // credit dedups whichever copy finishes second.
+  std::vector<Particle> peek_owned(int rank) const;
+
   // Last safe accepted-step count of a streamline (0 if unknown) — used
   // for the steps_redone diagnostic.
   std::uint32_t steps_of(std::uint32_t id) const;

@@ -7,6 +7,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "io/io_error.hpp"
+
 namespace sf {
 
 const char* to_string(LoadState s) {
@@ -138,6 +140,7 @@ SF_LOADER_COUNTER(completed)
 SF_LOADER_COUNTER(cancelled)
 SF_LOADER_COUNTER(failed)
 SF_LOADER_COUNTER(retries)
+SF_LOADER_COUNTER(corruptions)
 #undef SF_LOADER_COUNTER
 
 bool AsyncBlockLoader::pop_next(BlockId& id) {
@@ -188,17 +191,26 @@ void AsyncBlockLoader::worker_main() {
     }
 
     // The read itself runs unlocked: other workers keep draining the
-    // queues and ranks keep submitting while this block is on the disk.
+    // queues and ranks keep submitting while this block is on the disk —
+    // and the checksum verification inside BlockSource::load runs here
+    // too, off the compute hot path.
     GridPtr grid;
     std::exception_ptr error;
     int attempts_retried = 0;
+    int corrupt_attempts = 0;
     for (int attempt = 0;; ++attempt) {
       if (stall) sleep_seconds(stall(id, attempt));
       bool faulted = fault && fault(id, attempt);
+      bool recoverable = true;
       error = nullptr;
       if (!faulted) {
         try {
           grid = source_->load(id);
+        } catch (const BlockReadError& e) {
+          error = std::current_exception();
+          faulted = true;
+          recoverable = e.recoverable();
+          if (e.kind() == BlockReadError::Kind::kCorrupt) ++corrupt_attempts;
         } catch (...) {
           error = std::current_exception();
           faulted = true;
@@ -206,10 +218,12 @@ void AsyncBlockLoader::worker_main() {
       }
       if (!faulted) break;
       if (error == nullptr) {
-        error = std::make_exception_ptr(
-            std::runtime_error("injected disk fault"));
+        error = std::make_exception_ptr(BlockReadError(
+            BlockReadError::Kind::kInjected, id, "injected disk fault"));
       }
-      if (attempt >= cfg_.max_retries) break;
+      // A structurally unrecoverable read (missing file) fails at once;
+      // everything else walks the retry ladder.
+      if (!recoverable || attempt >= cfg_.max_retries) break;
       ++attempts_retried;
       // Same deterministic capped exponential backoff as the simulated
       // disk's retry path.
@@ -221,6 +235,7 @@ void AsyncBlockLoader::worker_main() {
     {
       MutexLock lock(mu_);
       retries_ += static_cast<std::uint64_t>(attempts_retried);
+      corruptions_ += static_cast<std::uint64_t>(corrupt_attempts);
       if (error != nullptr) {
         ++failed_;
         settled = take_settled(id, LoadState::kFailed);

@@ -120,6 +120,10 @@ class AsyncBlockLoader {
   std::uint64_t cancelled() const SF_EXCLUDES(mu_);
   std::uint64_t failed() const SF_EXCLUDES(mu_);
   std::uint64_t retries() const SF_EXCLUDES(mu_);
+  // Attempts that failed with BlockReadError::kCorrupt — checksum
+  // verification happens inside BlockSource::load on the worker thread
+  // (off the compute hot path), and every caught flip lands here.
+  std::uint64_t corruptions() const SF_EXCLUDES(mu_);
 
  private:
   struct Entry {
@@ -166,6 +170,7 @@ class AsyncBlockLoader {
   std::uint64_t cancelled_ SF_GUARDED_BY(mu_) = 0;
   std::uint64_t failed_ SF_GUARDED_BY(mu_) = 0;
   std::uint64_t retries_ SF_GUARDED_BY(mu_) = 0;
+  std::uint64_t corruptions_ SF_GUARDED_BY(mu_) = 0;
 
   std::vector<std::thread> workers_;  // written in the ctor only
 };

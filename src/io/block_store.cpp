@@ -4,6 +4,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "io/io_error.hpp"
+
 namespace sf {
 
 namespace {
@@ -126,13 +128,15 @@ GridPtr BlockStore::load_block(BlockId id) const {
   }
   std::ifstream f(block_path(id), std::ios::binary);
   if (!f) {
-    throw std::runtime_error("BlockStore: missing block file " +
+    throw BlockReadError(BlockReadError::Kind::kMissing, id,
+                         "BlockStore: missing block file " +
                              block_path(id).string());
   }
   BlockHeader h{};
   f.read(reinterpret_cast<char*>(&h), sizeof(h));
   if (!f || !std::equal(std::begin(kMagic), std::end(kMagic), h.magic)) {
-    throw std::runtime_error("BlockStore: bad magic in " +
+    throw BlockReadError(BlockReadError::Kind::kBadMagic, id,
+                         "BlockStore: bad magic in " +
                              block_path(id).string());
   }
   auto grid = std::make_shared<StructuredGrid>(
@@ -142,15 +146,28 @@ GridPtr BlockStore::load_block(BlockId id) const {
   f.read(reinterpret_cast<char*>(nodes.data()),
          static_cast<std::streamsize>(grid->payload_bytes()));
   if (!f) {
-    throw std::runtime_error("BlockStore: truncated block " +
+    throw BlockReadError(BlockReadError::Kind::kTruncated, id,
+                         "BlockStore: truncated block " +
                              block_path(id).string());
   }
   if (fnv1a(nodes.data(), grid->payload_bytes()) != h.payload_checksum) {
-    throw std::runtime_error("BlockStore: checksum mismatch in " +
+    throw BlockReadError(BlockReadError::Kind::kCorrupt, id,
+                         "BlockStore: checksum mismatch in " +
                              block_path(id).string());
   }
   grid->set_data(nodes);
   return grid;
+}
+
+const char* to_string(BlockReadError::Kind k) {
+  switch (k) {
+    case BlockReadError::Kind::kMissing: return "missing";
+    case BlockReadError::Kind::kBadMagic: return "bad-magic";
+    case BlockReadError::Kind::kTruncated: return "truncated";
+    case BlockReadError::Kind::kCorrupt: return "corrupt";
+    case BlockReadError::Kind::kInjected: return "injected";
+  }
+  return "unknown";
 }
 
 std::size_t BlockStore::block_file_bytes(BlockId id) const {

@@ -40,8 +40,10 @@ class BlockStore {
     return decomp_->num_blocks();
   }
 
-  // Read one block from disk.  Verifies the payload checksum; throws on
-  // corruption or missing file.
+  // Read one block from disk.  Verifies the payload checksum; throws a
+  // typed BlockReadError (io/io_error.hpp) on a missing file, bad
+  // header, truncation or checksum mismatch, so retry machinery can
+  // distinguish recoverable read faults from structural ones.
   GridPtr load_block(BlockId id) const;
 
   // Size of the block file on disk.

@@ -125,6 +125,17 @@ class RankContext {
     (void)dead_rank;
     return {};
   }
+
+  // Speculatively copy a straggling (slow but alive) rank's in-progress
+  // streamlines from the ledger, *without* killing the straggler or
+  // transferring ownership: the straggler keeps racing its own copies,
+  // the caller re-issues the returned ones to healthy ranks, and the
+  // ledger's first-terminal-wins credit dedups whichever copy loses.
+  // Outside fault injection there is nothing to speculate.
+  virtual std::vector<Particle> speculate_rank(int straggler) {
+    (void)straggler;
+    return {};
+  }
 };
 
 class RankProgram {

@@ -178,6 +178,11 @@ class SimRuntime::Context final : public RankContext {
       throw std::logic_error("begin_compute while busy (program bug)");
     }
     busy_ = true;
+    if (runtime_->fault_) {
+      // Gray failure: a slowed rank's bursts take longer in modeled time,
+      // but the steps (and hence the trajectories) are untouched.
+      seconds *= runtime_->fault_->slow_factor[static_cast<std::size_t>(rank_)];
+    }
     metrics.compute_time += seconds;
     metrics.steps += steps;
     metrics.bursts += 1;
@@ -228,6 +233,16 @@ class SimRuntime::Context final : public RankContext {
     const bool first =
         !runtime_->fault_ ||
         runtime_->fault_->ledger.on_terminated(rank_, p);
+    if (!first) {
+      // Speculation accounting: the losing copy of a speculated streamline
+      // re-ran every step past its fork point.  (Crash-recovery re-runs
+      // are not in the map and stay uncounted here, as before.)
+      FaultState& fs = *runtime_->fault_;
+      auto it = fs.speculated_at_steps.find(p.id);
+      if (it != fs.speculated_at_steps.end() && p.steps >= it->second) {
+        fs.stats.wasted_duplicate_steps += p.steps - it->second;
+      }
+    }
     SF_INVARIANT_HOOK(runtime_->checker_,
                       on_terminated(rank_, p, first, engine_->now()));
     if (first) runtime_->note_query_termination(p);
@@ -236,6 +251,10 @@ class SimRuntime::Context final : public RankContext {
 
   RecoveredWork recover_rank(int dead_rank) override {
     return runtime_->recover_for(rank_, dead_rank);
+  }
+
+  std::vector<Particle> speculate_rank(int straggler) override {
+    return runtime_->speculate_for(rank_, straggler);
   }
 
   // --- runtime-side ------------------------------------------------------
@@ -303,9 +322,24 @@ class SimRuntime::Context final : public RankContext {
         faulted = true;
         disk_->note_faulted_read();
         ++fs.stats.disk_faults;
+      } else if (fs.injector.draw_disk_corrupt()) {
+        // Silent payload bit-flip.  The checksum catches it at completion
+        // (never delivered to the tracer), so the attempt behaves exactly
+        // like a failed read and walks the same capped-backoff ladder.
+        faulted = true;
+        disk_->note_faulted_read();
+        ++fs.stats.corruptions_injected;
+        ++fs.stats.corruptions_detected;
       } else if (fs.injector.draw_disk_stall()) {
         done += runtime_->config_.fault.disk_stall_seconds;
         ++fs.stats.disk_stalls;
+        ++metrics.disk_stall_events;
+      } else if (fs.injector.draw_disk_slow()) {
+        // Gray disk: the read completes intact but takes longer (latency
+        // inflation without failure).
+        done = engine_->now() +
+               (done - engine_->now()) * runtime_->config_.fault.disk_slow_factor;
+        ++fs.stats.disk_slow_events;
         ++metrics.disk_stall_events;
       }
     }
@@ -369,9 +403,19 @@ class SimRuntime::Context final : public RankContext {
         faulted = true;
         disk_->note_faulted_read();
         ++fs.stats.disk_faults;
+      } else if (fs.injector.draw_disk_corrupt()) {
+        faulted = true;
+        disk_->note_faulted_read();
+        ++fs.stats.corruptions_injected;
+        ++fs.stats.corruptions_detected;
       } else if (fs.injector.draw_disk_stall()) {
         done += runtime_->config_.fault.disk_stall_seconds;
         ++fs.stats.disk_stalls;
+        ++metrics.disk_stall_events;
+      } else if (fs.injector.draw_disk_slow()) {
+        done = engine_->now() +
+               (done - engine_->now()) * runtime_->config_.fault.disk_slow_factor;
+        ++fs.stats.disk_slow_events;
         ++metrics.disk_stall_events;
       }
     }
@@ -638,6 +682,33 @@ RecoveredWork SimRuntime::recover_for(int recoverer, int dead_rank) {
       checker_,
       on_recover(dead_rank, recoverer, work.active, engine_->now()));
   return work;
+}
+
+std::vector<Particle> SimRuntime::speculate_for(int speculator,
+                                                int straggler) {
+  if (!fault_) return {};
+  if (straggler == speculator || !rank_alive(straggler)) return {};
+  FaultState& fs = *fault_;
+  // One speculative re-issue per straggler: the straggler keeps whatever
+  // it already holds, so re-copying would only multiply duplicate work.
+  if (!fs.speculated.insert(straggler).second) return {};
+  std::vector<Particle> copies = fs.ledger.peek_owned(straggler);
+  ++fs.stats.stragglers_flagged;
+  auto it = fs.slowdown_time.find(straggler);
+  if (it != fs.slowdown_time.end()) {
+    // Detection latency only counts flags that answer a real injected
+    // slowdown; a false positive has no onset to measure from.
+    fs.stats.straggler_detect_latency += engine_->now() - it->second;
+    fs.slowdown_time.erase(it);
+  }
+  fs.stats.particles_speculated += copies.size();
+  for (const Particle& p : copies) {
+    fs.speculated_at_steps.emplace(p.id, p.steps);
+  }
+  SF_INVARIANT_HOOK(
+      checker_,
+      on_speculate(straggler, speculator, copies, engine_->now()));
+  return copies;
 }
 
 void SimRuntime::fault_send(int from, int to, SimTime arrive,
@@ -1039,6 +1110,8 @@ RunMetrics SimRuntime::run(const ProgramFactory& factory) {
     fault_->alive.assign(static_cast<std::size_t>(config_.num_ranks), 1);
     fault_->crash_time.assign(static_cast<std::size_t>(config_.num_ranks),
                               0.0);
+    fault_->slow_factor.assign(static_cast<std::size_t>(config_.num_ranks),
+                               1.0);
     fault_->immune.insert(config_.fault.immune_ranks.begin(),
                           config_.fault.immune_ranks.end());
     // Seed the ledger: already-terminal particles (rejected seeds, a
@@ -1068,6 +1141,15 @@ RunMetrics SimRuntime::run(const ProgramFactory& factory) {
         crash_rank(rank, /*from_oom=*/false);
       });
     }
+    for (const SlowdownEvent& ev : fault_->injector.slowdown_schedule()) {
+      engine.schedule_at(ev.time, [this, ev] {
+        if (all_live_finished()) return;  // run already over
+        if (!rank_alive(ev.rank)) return;
+        fault_->slow_factor[static_cast<std::size_t>(ev.rank)] = ev.factor;
+        fault_->slowdown_time.emplace(ev.rank, engine_->now());
+        ++fault_->stats.slowdowns_injected;
+      });
+    }
     if (config_.fault.checkpoint_interval > 0.0) {
       schedule_checkpoint(config_.fault.checkpoint_interval);
     }
@@ -1075,6 +1157,11 @@ RunMetrics SimRuntime::run(const ProgramFactory& factory) {
 
   RunMetrics run_metrics;
   run_metrics.num_ranks = config_.num_ranks;
+  // Quiescence time of a cancel-bearing fault-free run: a deadline cancel
+  // scheduled past completion still fires (and advances engine.now()), but
+  // must not stretch the reported wall clock — same trailing-event rule
+  // the fault plane applies through done_time.
+  double quiesce_time = -1.0;
   for (;;) {
     try {
       if (!engine.step()) break;
@@ -1103,11 +1190,18 @@ RunMetrics SimRuntime::run(const ProgramFactory& factory) {
       } else {
         fault_->done_time = -1.0;  // a recovery re-opened some rank
       }
+    } else if (!config_.cancels.empty()) {
+      if (all_live_finished()) {
+        if (quiesce_time < 0.0) quiesce_time = engine.now();
+      } else {
+        quiesce_time = -1.0;  // a late arrival re-opened some rank
+      }
     }
   }
   run_metrics.wall_clock = (fault_ && fault_->done_time >= 0.0)
                                ? fault_->done_time
-                               : engine.now();
+                               : (quiesce_time >= 0.0 ? quiesce_time
+                                                      : engine.now());
 
   // With no immune ranks a crash (or OOM) cascade can kill every rank;
   // the vacuous "all live ranks finished" must then read as a failed

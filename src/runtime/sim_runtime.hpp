@@ -135,6 +135,15 @@ class SimRuntime {
     std::vector<double> crash_time;
     std::set<int> immune;
     std::shared_ptr<Checkpoint> last_checkpoint;
+    // Gray failures: per-rank compute slowdown multiplier (1.0 = healthy),
+    // onset times of pending-detection slowdowns (for the detect-latency
+    // stat), ranks already speculated against (one re-issue per
+    // straggler), and each speculated streamline's fork-point step count
+    // (the baseline for the wasted-duplicate-steps stat).
+    std::vector<double> slow_factor;
+    std::map<int, double> slowdown_time;
+    std::set<int> speculated;
+    std::map<std::uint32_t, std::uint32_t> speculated_at_steps;
     // Simulated time when every live rank finished; the fault-mode wall
     // clock (trailing injector/checkpoint events do not extend the run).
     double done_time = -1.0;
@@ -165,6 +174,11 @@ class SimRuntime {
   // kProgram-detector recovery, called by the hybrid master through
   // RankContext::recover_rank.
   RecoveredWork recover_for(int recoverer, int dead_rank);
+  // Speculative re-issue against a straggler (gray failure, DESIGN.md
+  // §16): copy the straggler's ledger-owned streamlines for `speculator`
+  // without transferring ownership.  One re-issue per straggler; the
+  // first-terminal-wins ledger dedups the losing copies.
+  std::vector<Particle> speculate_for(int speculator, int straggler);
   // Bookkeeping for the per-crash timeline (satellite of DESIGN.md §11).
   CrashRecord* crash_record_of(int rank);
   void note_detected_recovered(int dead_rank);

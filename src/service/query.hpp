@@ -32,11 +32,28 @@ enum class QueryState {
 
 const char* to_string(QueryState s);
 
+// Why admission control refused a query (kNone for queries that were
+// never rejected).  Split so shed decisions are attributable: a full
+// queue, an expired deadline and a malformed submission are different
+// operational signals.
+enum class RejectReason : std::uint8_t {
+  kNone,
+  kDepth,      // queue full at arrival
+  kDeadline,   // queue wait exhausted the query's deadline budget
+  kMalformed,  // empty or oversized seed set
+};
+
+const char* to_string(RejectReason r);
+
 // One submitted query, as the queue holds it.
 struct StreamlineQuery {
   QueryId id = 0;
   std::vector<Vec3> seeds;
   double arrival = 0.0;  // service-clock submission time
+  // Latency budget in service-clock seconds from submission; 0 = none.
+  // A query still queued past its budget is shed at admission; one
+  // admitted in time is cancelled mid-flight when the budget expires.
+  double deadline = 0.0;
 };
 
 // Everything the service remembers about a query, for results and for the
@@ -44,11 +61,15 @@ struct StreamlineQuery {
 struct QueryRecord {
   QueryId query = 0;
   QueryState state = QueryState::kQueued;
+  RejectReason reject_reason = RejectReason::kNone;
   std::size_t num_seeds = 0;
+  double deadline = 0.0;      // latency budget (0 = none)
   double submit_time = 0.0;
   double admit_time = -1.0;   // -1 until admitted
   double done_time = -1.0;    // -1 until every particle terminated
   double cancel_time = -1.0;  // -1 unless cancelled
+  // The cancellation came from deadline expiry, not a client cancel.
+  bool deadline_expired = false;
   // Terminated particles, ids renumbered to the query's own seed indices
   // (0..num_seeds-1) so the result is directly comparable to a standalone
   // run of the same seeds.

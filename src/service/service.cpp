@@ -20,6 +20,16 @@ const char* to_string(QueryState s) {
   return "unknown";
 }
 
+const char* to_string(RejectReason r) {
+  switch (r) {
+    case RejectReason::kNone: return "none";
+    case RejectReason::kDepth: return "depth";
+    case RejectReason::kDeadline: return "deadline";
+    case RejectReason::kMalformed: return "malformed";
+  }
+  return "unknown";
+}
+
 namespace {
 
 // Nearest-rank percentile over an unsorted sample.
@@ -60,30 +70,34 @@ StreamlineService::StreamlineService(const ServiceConfig& config,
   }
 }
 
-QueryId StreamlineService::submit(std::vector<Vec3> seeds) {
-  return submit_at(std::move(seeds), clock_);
+QueryId StreamlineService::submit(std::vector<Vec3> seeds, double deadline) {
+  return submit_at(std::move(seeds), clock_, deadline);
 }
 
-QueryId StreamlineService::submit_at(std::vector<Vec3> seeds, double at) {
+QueryId StreamlineService::submit_at(std::vector<Vec3> seeds, double at,
+                                     double deadline) {
   if (at < clock_) {
     throw std::invalid_argument("service: submission in the past");
   }
+  if (deadline <= 0.0) deadline = config_.default_deadline;
   const QueryId id = next_id_++;
   QueryRecord rec;
   rec.query = id;
   rec.num_seeds = seeds.size();
   rec.submit_time = at;
+  rec.deadline = deadline;
   Message m;
   m.payload = QuerySubmit{id, seeds};
   journal_push(at, std::move(m));
   if (seeds.empty() || seeds.size() > config_.max_seeds_per_query) {
     // Malformed submissions never enter the queue.
     rec.state = QueryState::kRejected;
+    rec.reject_reason = RejectReason::kMalformed;
     records_.push_back(std::move(rec));
     return id;
   }
   records_.push_back(std::move(rec));
-  pending_.push_back(StreamlineQuery{id, std::move(seeds), at});
+  pending_.push_back(StreamlineQuery{id, std::move(seeds), at, deadline});
   return id;
 }
 
@@ -139,7 +153,9 @@ void StreamlineService::ingest_arrivals() {
     const QueryId id = q.id;
     if (!queue_.submit(std::move(q))) {
       // Admission control: the queue is full at arrival time.
-      record_mut(id).state = QueryState::kRejected;
+      QueryRecord& rec = record_mut(id);
+      rec.state = QueryState::kRejected;
+      rec.reject_reason = RejectReason::kDepth;
     }
   }
   pending_.erase(pending_.begin(),
@@ -162,6 +178,19 @@ void StreamlineService::apply_queued_cancels() {
     } else {
       ++it;
     }
+  }
+}
+
+void StreamlineService::shed_expired() {
+  for (QueryRecord& rec : records_) {
+    if (rec.state != QueryState::kQueued || rec.deadline <= 0.0) continue;
+    if (clock_ < rec.submit_time + rec.deadline) continue;
+    // Only queries actually sitting in the admission queue are shed;
+    // future arrivals (still in pending_) have not started waiting.
+    if (!queue_.cancel(rec.query)) continue;
+    rec.state = QueryState::kRejected;
+    rec.reject_reason = RejectReason::kDeadline;
+    rec.cancel_time = rec.submit_time + rec.deadline;
   }
 }
 
@@ -201,6 +230,20 @@ RunMetrics StreamlineService::run_epoch(
         QueryCancelAt{it->query, std::max(0.0, it->at - epoch_start)});
     record_mut(it->query).cancel_time = std::max(it->at, epoch_start);
     it = cancels_.erase(it);
+  }
+
+  // Deadline expiry drives the same graceful-cancellation path: a query
+  // admitted with budget left gets a timed cancel at its exact expiry
+  // instant (simulated runtime; the thread runtime's deadline bite is at
+  // admission only — DESIGN.md §16).
+  if (!config_.use_thread_runtime) {
+    for (const StreamlineQuery& q : batch) {
+      const QueryRecord& rec = record(q.id);
+      if (rec.deadline <= 0.0 || rec.cancel_time >= 0.0) continue;
+      cfg.runtime.cancels.push_back(QueryCancelAt{
+          q.id,
+          std::max(0.0, rec.submit_time + rec.deadline - epoch_start)});
+    }
   }
 
   RunMetrics m = config_.use_thread_runtime
@@ -251,6 +294,11 @@ RunMetrics StreamlineService::run_epoch(
           return p.status == ParticleStatus::kCancelled;
         });
     rec.state = any_cancelled ? QueryState::kCancelled : QueryState::kDone;
+    if (any_cancelled && rec.cancel_time < 0.0) {
+      // No client cancel was routed: the cancellation was deadline expiry.
+      rec.deadline_expired = true;
+      rec.cancel_time = rec.submit_time + rec.deadline;
+    }
     Message result;
     result.payload = QueryResult{q.id, rec.particles};
     journal_push(rec.done_time, std::move(result));
@@ -265,6 +313,7 @@ void StreamlineService::run_until_idle() {
   for (;;) {
     ingest_arrivals();
     apply_queued_cancels();
+    shed_expired();
     if (queue_.empty()) {
       if (pending_.empty()) break;
       // Idle: jump the service clock to the next arrival.
@@ -294,8 +343,19 @@ ServiceReport StreamlineService::report() const {
   for (const QueryRecord& rec : records_) {
     switch (rec.state) {
       case QueryState::kDone: ++r.completed; break;
-      case QueryState::kCancelled: ++r.cancelled; break;
-      case QueryState::kRejected: ++r.rejected; break;
+      case QueryState::kCancelled:
+        ++r.cancelled;
+        if (rec.deadline_expired) ++r.deadline_cancelled;
+        break;
+      case QueryState::kRejected:
+        ++r.rejected;
+        switch (rec.reject_reason) {
+          case RejectReason::kDepth: ++r.rejected_depth; break;
+          case RejectReason::kDeadline: ++r.rejected_deadline; break;
+          case RejectReason::kMalformed: ++r.rejected_malformed; break;
+          case RejectReason::kNone: break;
+        }
+        break;
       default: break;
     }
     if (rec.admit_time >= 0.0 || rec.cancel_time >= 0.0) {

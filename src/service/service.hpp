@@ -58,6 +58,14 @@ struct ServiceConfig {
   // Carry each rank's resident blocks across epochs.  Off = every epoch
   // starts cold (the baseline bench/service_load compares against).
   bool share_cache = true;
+  // Deadline applied to queries submitted without one (0 = none).  A
+  // query's deadline is a service-clock latency budget from submission:
+  // still queued past it -> shed at admission (rejected_deadline);
+  // admitted in time -> the simulated runtime cancels its remaining
+  // particles at the exact expiry instant (the thread runtime, which has
+  // no deterministic mid-run instant, only sheds at admission — the same
+  // granularity difference as user cancels, DESIGN.md §12).
+  double default_deadline = 0.0;
 };
 
 // Aggregate latency/fairness metrics over a service lifetime
@@ -66,7 +74,12 @@ struct ServiceReport {
   std::size_t submitted = 0;
   std::size_t completed = 0;
   std::size_t cancelled = 0;
-  std::size_t rejected = 0;
+  std::size_t rejected = 0;  // = rejected_depth + rejected_deadline +
+                             //   rejected_malformed
+  std::size_t rejected_depth = 0;     // queue full at arrival
+  std::size_t rejected_deadline = 0;  // deadline expired while queued
+  std::size_t rejected_malformed = 0;  // empty/oversized seed set
+  std::size_t deadline_cancelled = 0;  // admitted, then expired mid-flight
   std::size_t epochs = 0;
   double makespan = 0.0;  // service clock at the end of run_until_idle
   double p50_queue_wait = 0.0;
@@ -97,10 +110,14 @@ class StreamlineService {
 
   // Submit a query arriving at the current service clock (or at a given
   // future instant).  Returns its QueryId; inspect record(id).state for
-  // kRejected (queue full or seed set oversized/empty).  QueryIds start
-  // at 1 — 0 is the standalone-run tag.
-  QueryId submit(std::vector<Vec3> seeds);
-  QueryId submit_at(std::vector<Vec3> seeds, double at);
+  // kRejected (queue full or seed set oversized/empty) and
+  // record(id).reject_reason for why.  QueryIds start at 1 — 0 is the
+  // standalone-run tag.  `deadline` is the query's latency budget in
+  // seconds from submission; 0 means "use ServiceConfig::default_deadline"
+  // (which itself defaults to no deadline).
+  QueryId submit(std::vector<Vec3> seeds, double deadline = 0.0);
+  QueryId submit_at(std::vector<Vec3> seeds, double at,
+                    double deadline = 0.0);
 
   // Cancel a query, now or at a future service-clock instant.  Queued:
   // removed before it ever runs.  Running (simulated runtime): its
@@ -136,6 +153,10 @@ class StreamlineService {
   void ingest_arrivals();
   // Apply due cancels to still-queued queries.
   void apply_queued_cancels();
+  // Deadline-aware admission: shed still-queued queries whose queue wait
+  // has already exhausted their budget (rejected_deadline, distinct from
+  // depth rejections).
+  void shed_expired();
   // Run one admission epoch over `batch`; returns the epoch's metrics.
   RunMetrics run_epoch(const std::vector<StreamlineQuery>& batch);
 

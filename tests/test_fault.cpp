@@ -642,12 +642,12 @@ class FakeContext final : public RankContext {
  public:
   FakeContext(const BlockDecomposition* decomp, const Tracer* tracer,
               int rank, int num_ranks)
-      : decomp_(decomp),
+      : alive(static_cast<std::size_t>(num_ranks), true),
+        decomp_(decomp),
         tracer_(tracer),
         model_(sf::testing::test_model()),
         rank_(rank),
-        num_ranks_(num_ranks),
-        alive(static_cast<std::size_t>(num_ranks), true) {}
+        num_ranks_(num_ranks) {}
 
   int rank() const override { return rank_; }
   int num_ranks() const override { return num_ranks_; }

@@ -1,0 +1,250 @@
+// Gray-failure tests (DESIGN.md §16): slowdown/corruption schedules are
+// deterministic, a 10x-slowed slave is flagged and its streamlines
+// speculatively re-issued with bit-identical terminal results, and
+// silent payload corruption is always caught by the checksum and retried
+// without changing any trajectory.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "algorithms/driver.hpp"
+#include "algorithms/hybrid.hpp"
+#include "fault/injector.hpp"
+#include "test_support.hpp"
+
+namespace sf {
+namespace {
+
+using sf::testing::test_config;
+
+void expect_same_particles(const std::vector<Particle>& a,
+                           const std::vector<Particle>& b,
+                           const char* label) {
+  ASSERT_EQ(a.size(), b.size()) << label;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].id, b[i].id) << label << " i=" << i;
+    EXPECT_EQ(a[i].status, b[i].status) << label << " i=" << i;
+    EXPECT_EQ(a[i].steps, b[i].steps) << label << " i=" << i;
+    EXPECT_EQ(a[i].pos.x, b[i].pos.x) << label << " i=" << i;
+    EXPECT_EQ(a[i].pos.y, b[i].pos.y) << label << " i=" << i;
+    EXPECT_EQ(a[i].pos.z, b[i].pos.z) << label << " i=" << i;
+    EXPECT_EQ(a[i].time, b[i].time) << label << " i=" << i;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Injector determinism: same seed => same gray schedule, event for event.
+
+TEST(GrayInjector, SlowdownScheduleIsDeterministic) {
+  FaultConfig cfg;
+  cfg.gray_mtbf = 0.3;
+  cfg.max_slowdowns = 3;
+  cfg.gray_slow_factor = 7.0;
+  cfg.rng_seed = 77;
+  const FaultInjector a(cfg, 16);
+  const FaultInjector b(cfg, 16);
+  ASSERT_EQ(a.slowdown_schedule().size(), b.slowdown_schedule().size());
+  ASSERT_FALSE(a.slowdown_schedule().empty());
+  ASSERT_LE(a.slowdown_schedule().size(), 3u);
+  for (std::size_t i = 0; i < a.slowdown_schedule().size(); ++i) {
+    EXPECT_EQ(a.slowdown_schedule()[i].rank, b.slowdown_schedule()[i].rank);
+    EXPECT_EQ(a.slowdown_schedule()[i].time, b.slowdown_schedule()[i].time);
+    EXPECT_EQ(a.slowdown_schedule()[i].factor, 7.0);
+    if (i > 0) {
+      EXPECT_GE(a.slowdown_schedule()[i].time,
+                a.slowdown_schedule()[i - 1].time);
+    }
+  }
+}
+
+TEST(GrayInjector, EachRankSlowsAtMostOnceAndImmuneRanksNever) {
+  FaultConfig cfg;
+  cfg.gray_mtbf = 0.01;  // would draw far more slowdowns than ranks
+  cfg.max_slowdowns = 100;
+  cfg.immune_ranks = {0};
+  const FaultInjector inj(cfg, 6);
+  std::vector<int> seen;
+  for (const SlowdownEvent& e : inj.slowdown_schedule()) {
+    EXPECT_NE(e.rank, 0);
+    EXPECT_GE(e.rank, 0);
+    EXPECT_LT(e.rank, 6);
+    EXPECT_TRUE(std::find(seen.begin(), seen.end(), e.rank) == seen.end())
+        << "rank " << e.rank << " slowed twice";
+    seen.push_back(e.rank);
+  }
+  EXPECT_FALSE(inj.slowdown_schedule().empty());
+}
+
+TEST(GrayInjector, GrayDrawStreamsAreDeterministicAndIndependent) {
+  FaultConfig cfg;
+  cfg.disk_slow_rate = 0.3;
+  cfg.corrupt_rate = 0.3;
+  FaultInjector a(cfg, 4);
+  FaultInjector b(cfg, 4);
+  int slows = 0;
+  int flips = 0;
+  for (int i = 0; i < 500; ++i) {
+    const bool sa = a.draw_disk_slow();
+    const bool ca = a.draw_disk_corrupt();
+    EXPECT_EQ(sa, b.draw_disk_slow());
+    EXPECT_EQ(ca, b.draw_disk_corrupt());
+    slows += sa ? 1 : 0;
+    flips += ca ? 1 : 0;
+  }
+  EXPECT_GT(slows, 0);
+  EXPECT_LT(slows, 500);
+  EXPECT_GT(flips, 0);
+  EXPECT_LT(flips, 500);
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end gray runs.  A bigger seed pool than FaultWorld keeps every
+// slave busy long enough for progress windows to close.
+
+struct GrayWorld {
+  sf::testing::TestWorld w = sf::testing::abc_world(2);
+  std::vector<Vec3> seeds;
+
+  GrayWorld() {
+    Rng rng(321);
+    seeds = random_seeds(w.dataset->bounds(), 200, rng);
+  }
+
+  ExperimentConfig config(Algorithm algo, int ranks) const {
+    auto cfg = test_config(algo, ranks);
+    cfg.limits.max_steps = 600;
+    cfg.limits.max_time = 10.0;
+    return cfg;
+  }
+
+  RunMetrics run(const ExperimentConfig& cfg) const {
+    return run_experiment(cfg, w.decomp(), *w.source, seeds);
+  }
+};
+
+// Same seed => the whole gray run replays bit-for-bit: wall clock,
+// counters and trajectories.
+TEST(GrayFailure, RepeatGrayRunsAreDeterministic) {
+  const GrayWorld gw;
+  auto cfg = gw.config(Algorithm::kHybridMasterSlave, 9);
+  cfg.runtime.fault.gray_mtbf = 0.05;
+  cfg.runtime.fault.max_slowdowns = 2;
+  cfg.runtime.fault.corrupt_rate = 0.05;
+  cfg.runtime.fault.disk_slow_rate = 0.05;
+  const RunMetrics a = gw.run(cfg);
+  const RunMetrics b = gw.run(cfg);
+  EXPECT_EQ(a.wall_clock, b.wall_clock);
+  EXPECT_EQ(a.total_steps(), b.total_steps());
+  EXPECT_EQ(a.fault.slowdowns_injected, b.fault.slowdowns_injected);
+  EXPECT_EQ(a.fault.disk_slow_events, b.fault.disk_slow_events);
+  EXPECT_EQ(a.fault.corruptions_injected, b.fault.corruptions_injected);
+  EXPECT_EQ(a.fault.corruptions_detected, b.fault.corruptions_detected);
+  EXPECT_EQ(a.fault.stragglers_flagged, b.fault.stragglers_flagged);
+  EXPECT_EQ(a.fault.particles_speculated, b.fault.particles_speculated);
+  expect_same_particles(a.particles, b.particles, "gray-repeat");
+}
+
+// The golden straggler test: one slave runs 10x slow from early in the
+// run.  The master must flag it from its busy-second compute speed,
+// speculatively re-issue its ledger-owned streamlines, and the terminal
+// particle set must match the fault-free oracle bit for bit
+// (first-terminal-wins dedup in the ledger).
+TEST(GrayFailure, HybridStragglerIsFlaggedAndResultsAreBitIdentical) {
+  const GrayWorld gw;
+  const int ranks = 9;  // 1 master + 8 slaves; rank 5 is a plain slave
+
+  const RunMetrics clean = gw.run(gw.config(Algorithm::kHybridMasterSlave,
+                                            ranks));
+  ASSERT_FALSE(clean.failed_oom);
+  ASSERT_GT(clean.wall_clock, 0.0);
+
+  auto cfg = gw.config(Algorithm::kHybridMasterSlave, ranks);
+  cfg.runtime.fault.slowdowns = {{0.1 * clean.wall_clock, 5, 10.0}};
+  // Shrink the heartbeat so several progress windows close within the
+  // (short) test run; the detector needs straggler_min_beats of them.
+  cfg.runtime.fault.heartbeat_period =
+      std::max(1e-4, 0.02 * clean.wall_clock);
+  const RunMetrics m = gw.run(cfg);
+
+  ASSERT_FALSE(m.failed_oom);
+  ASSERT_FALSE(m.failed_fault);
+  EXPECT_EQ(m.fault.slowdowns_injected, 1u);
+  EXPECT_GE(m.fault.stragglers_flagged, 1u);
+  EXPECT_GT(m.fault.particles_speculated, 0u);
+  EXPECT_GT(m.fault.straggler_detect_latency, 0.0);
+  expect_same_particles(clean.particles, m.particles, "straggler-vs-clean");
+}
+
+// Under static allocation there is no master to mitigate — a slowdown
+// may cost wall-clock time but must never change a trajectory.
+TEST(GrayFailure, StaticSlowdownIsSlowNotWrong) {
+  const GrayWorld gw;
+  const RunMetrics clean =
+      gw.run(gw.config(Algorithm::kStaticAllocation, 8));
+  ASSERT_FALSE(clean.failed_oom);
+
+  auto cfg = gw.config(Algorithm::kStaticAllocation, 8);
+  cfg.runtime.fault.slowdowns = {{0.1 * clean.wall_clock, 5, 10.0}};
+  const RunMetrics m = gw.run(cfg);
+
+  ASSERT_FALSE(m.failed_oom);
+  EXPECT_EQ(m.fault.slowdowns_injected, 1u);
+  EXPECT_GE(m.wall_clock, clean.wall_clock);
+  expect_same_particles(clean.particles, m.particles, "static-slow-vs-clean");
+}
+
+// Silent payload corruption: the checksum catches every injected flip,
+// the read retries, and no trajectory changes — on all three algorithms.
+class CorruptionRecovery : public ::testing::TestWithParam<Algorithm> {};
+
+TEST_P(CorruptionRecovery, AllFlipsDetectedAndResultsUnchanged) {
+  const Algorithm algo = GetParam();
+  const GrayWorld gw;
+  const RunMetrics clean = gw.run(gw.config(algo, 8));
+  ASSERT_FALSE(clean.failed_oom);
+
+  auto cfg = gw.config(algo, 8);
+  cfg.runtime.fault.corrupt_rate = 0.3;  // test-scale reads need a high rate
+  const RunMetrics m = gw.run(cfg);
+
+  ASSERT_FALSE(m.failed_oom);
+  ASSERT_FALSE(m.failed_fault);
+  EXPECT_GT(m.fault.corruptions_injected, 0u);
+  EXPECT_EQ(m.fault.corruptions_detected, m.fault.corruptions_injected);
+  expect_same_particles(clean.particles, m.particles, "corrupt-vs-clean");
+  EXPECT_GE(m.wall_clock, clean.wall_clock);  // retries cost time
+}
+
+INSTANTIATE_TEST_SUITE_P(AllAlgorithms, CorruptionRecovery,
+                         ::testing::Values(Algorithm::kStaticAllocation,
+                                           Algorithm::kLoadOnDemand,
+                                           Algorithm::kHybridMasterSlave),
+                         [](const auto& suite_info) {
+                           switch (suite_info.param) {
+                             case Algorithm::kStaticAllocation:
+                               return "Static";
+                             case Algorithm::kLoadOnDemand: return "Lod";
+                             default: return "Hybrid";
+                           }
+                         });
+
+// Disk-latency inflation is pure slowness: no retry consumed, no
+// trajectory changed, wall clock not faster.
+TEST(GrayFailure, DiskSlownessCostsTimeNotCorrectness) {
+  const GrayWorld gw;
+  const RunMetrics clean = gw.run(gw.config(Algorithm::kLoadOnDemand, 8));
+
+  auto cfg = gw.config(Algorithm::kLoadOnDemand, 8);
+  cfg.runtime.fault.disk_slow_rate = 0.3;
+  const RunMetrics m = gw.run(cfg);
+
+  ASSERT_FALSE(m.failed_oom);
+  EXPECT_GT(m.fault.disk_slow_events, 0u);
+  EXPECT_EQ(m.fault.disk_faults, 0u);  // slowness is not failure
+  expect_same_particles(clean.particles, m.particles, "disk-slow-vs-clean");
+  EXPECT_GT(m.wall_clock, clean.wall_clock);
+}
+
+}  // namespace
+}  // namespace sf

@@ -285,6 +285,131 @@ TEST(Service, MalformedSubmissionsRejectedUpFront) {
   EXPECT_EQ(svc.report().epochs, 0u);
 }
 
+// --- Deadlines (DESIGN.md §16) ----------------------------------------------
+
+TEST(Service, QueryWithGenerousDeadlineCompletesWithinIt) {
+  auto w = sf::testing::rotor_world(2);
+  const ServiceConfig sc = service_config(Algorithm::kStaticAllocation, 3);
+  StreamlineService svc(sc, &w.decomp(), w.source.get());
+  const QueryId q = svc.submit(seeds_for(w, 10, 7), /*deadline=*/100.0);
+  svc.run_until_idle();
+
+  const QueryRecord& rec = svc.record(q);
+  EXPECT_EQ(rec.state, QueryState::kDone);
+  EXPECT_EQ(rec.deadline, 100.0);
+  EXPECT_LE(rec.latency(), rec.deadline);
+  EXPECT_EQ(svc.report().deadline_cancelled, 0u);
+  EXPECT_EQ(svc.report().rejected_deadline, 0u);
+}
+
+TEST(Service, DeadlineExpiryCancelsMidFlightAtTheExactInstant) {
+  auto w = sf::testing::abc_world(3);
+  const auto seeds = seeds_for(w, 15, 31);
+  const ServiceConfig sc = service_config(Algorithm::kLoadOnDemand, 4);
+  const RunMetrics solo = run_experiment(sc.base, w.decomp(), *w.source,
+                                         seeds);
+  ASSERT_GT(solo.wall_clock, 0.0);
+
+  StreamlineService svc(sc, &w.decomp(), w.source.get());
+  const double budget = 0.3 * solo.wall_clock;
+  const QueryId q = svc.submit(seeds, budget);
+  svc.run_until_idle();
+
+  const QueryRecord& rec = svc.record(q);
+  EXPECT_EQ(rec.state, QueryState::kCancelled);
+  EXPECT_TRUE(rec.deadline_expired);
+  EXPECT_EQ(rec.cancel_time, rec.submit_time + budget);
+  // The query drained: every particle reached a terminal state, some as
+  // kCancelled, and strictly less work was done than a full solo run.
+  ASSERT_EQ(rec.particles.size(), seeds.size());
+  std::size_t cancelled = 0;
+  for (const Particle& p : rec.particles) {
+    EXPECT_TRUE(is_terminal(p.status));
+    if (p.status == ParticleStatus::kCancelled) ++cancelled;
+  }
+  EXPECT_GT(cancelled, 0u);
+  EXPECT_LT(total_steps(rec.particles), total_steps(solo.particles));
+
+  const ServiceReport r = svc.report();
+  EXPECT_EQ(r.deadline_cancelled, 1u);
+  EXPECT_EQ(r.cancelled, 1u);
+  EXPECT_EQ(r.rejected, 0u);
+}
+
+TEST(Service, ExpiredDeadlineIsShedAtAdmissionNotRun) {
+  auto w = sf::testing::rotor_world(2);
+  ServiceConfig sc = service_config(Algorithm::kStaticAllocation, 3);
+  sc.max_queries_per_epoch = 1;
+  const RunMetrics solo = run_experiment(sc.base, w.decomp(), *w.source,
+                                         seeds_for(w, 10, 41));
+  ASSERT_GT(solo.wall_clock, 0.0);
+
+  StreamlineService svc(sc, &w.decomp(), w.source.get());
+  const QueryId first = svc.submit(seeds_for(w, 10, 41));
+  // Queued behind `first`; its budget is gone before epoch 2 can admit
+  // it, so deadline-aware admission sheds it instead of running it.
+  const QueryId starved =
+      svc.submit(seeds_for(w, 10, 42), 0.5 * solo.wall_clock);
+  svc.run_until_idle();
+
+  EXPECT_EQ(svc.record(first).state, QueryState::kDone);
+  const QueryRecord& rec = svc.record(starved);
+  EXPECT_EQ(rec.state, QueryState::kRejected);
+  EXPECT_EQ(rec.reject_reason, RejectReason::kDeadline);
+  EXPECT_TRUE(rec.particles.empty());
+
+  const ServiceReport r = svc.report();
+  EXPECT_EQ(r.rejected_deadline, 1u);
+  EXPECT_EQ(r.rejected, 1u);
+  EXPECT_EQ(r.epochs, 1u);  // the shed query never cost an epoch
+}
+
+TEST(Service, DefaultDeadlineAppliesToUntaggedSubmissions) {
+  auto w = sf::testing::abc_world(3);
+  const auto seeds = seeds_for(w, 15, 51);
+  ServiceConfig sc = service_config(Algorithm::kLoadOnDemand, 4);
+  const RunMetrics solo = run_experiment(sc.base, w.decomp(), *w.source,
+                                         seeds);
+
+  sc.default_deadline = 0.3 * solo.wall_clock;
+  StreamlineService svc(sc, &w.decomp(), w.source.get());
+  const QueryId untagged = svc.submit(seeds);            // inherits default
+  const QueryId tagged = svc.submit(seeds_for(w, 5, 52), 90.0);  // overrides
+  svc.run_until_idle();
+
+  EXPECT_EQ(svc.record(untagged).deadline, sc.default_deadline);
+  EXPECT_EQ(svc.record(untagged).state, QueryState::kCancelled);
+  EXPECT_TRUE(svc.record(untagged).deadline_expired);
+  EXPECT_EQ(svc.record(tagged).deadline, 90.0);
+  EXPECT_EQ(svc.record(tagged).state, QueryState::kDone);
+}
+
+TEST(Service, RejectionSplitsSumToRejected) {
+  auto w = sf::testing::rotor_world(2);
+  ServiceConfig sc = service_config(Algorithm::kStaticAllocation, 2);
+  sc.max_queries_per_epoch = 1;
+  sc.max_queue_depth = 2;
+  const RunMetrics solo = run_experiment(sc.base, w.decomp(), *w.source,
+                                         seeds_for(w, 10, 61));
+  ASSERT_GT(solo.wall_clock, 0.0);
+
+  StreamlineService svc(sc, &w.decomp(), w.source.get());
+  svc.submit(seeds_for(w, 10, 61));                           // runs
+  svc.submit(seeds_for(w, 10, 62), 0.5 * solo.wall_clock);    // sheds
+  svc.submit(seeds_for(w, 10, 63));                           // queue full
+  svc.submit({});                                             // malformed
+  svc.run_until_idle();
+
+  const ServiceReport r = svc.report();
+  EXPECT_EQ(r.submitted, 4u);
+  EXPECT_EQ(r.completed, 1u);
+  EXPECT_EQ(r.rejected_depth, 1u);
+  EXPECT_EQ(r.rejected_deadline, 1u);
+  EXPECT_EQ(r.rejected_malformed, 1u);
+  EXPECT_EQ(r.rejected,
+            r.rejected_depth + r.rejected_deadline + r.rejected_malformed);
+}
+
 TEST(Service, PoissonArrivalsAreSeededAndReplayable) {
   PoissonArrivals a(2.0, 0xfeed);
   PoissonArrivals b(2.0, 0xfeed);

@@ -21,6 +21,10 @@ its own improvement direction:
                      higher is better.
   scale_sweep        keyed (procs,); compares wall_s and
                      ctrl_msgs_per_rank, both lower is better.
+  fault_straggler    keyed (algorithm, mode); compares wall_s, lower is
+                     better — the mitigated row regressing past the
+                     unmitigated row means straggler re-issue stopped
+                     paying for itself.
 
 Baseline rows marked "optional": true (the host-dependent simd cells)
 are skipped with a note, not flagged, when the current run lacks them —
@@ -51,6 +55,8 @@ SCHEMAS = {
                    [("items_per_second", True)]),
     "scale_sweep": (("procs",),
                     [("wall_s", False), ("ctrl_msgs_per_rank", False)]),
+    "fault_straggler": (("algorithm", "mode"),
+                        [("wall_s", False)]),
 }
 
 

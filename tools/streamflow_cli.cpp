@@ -248,6 +248,18 @@ int cmd_experiment(const Flags& flags) {
                  "    --crash=R@T[,R@T...]    explicit crashes: rank R at time T\n"
                  "    --disk-fault-rate=P     per-read failure probability\n"
                  "    --drop-rate=P           particle-message drop probability\n"
+                 "  gray failures (slow-but-alive, DESIGN.md §16):\n"
+                 "    --slow-rank=R@T@F[,...] rank R computes F times slow "
+                 "from time T\n"
+                 "    --gray-mtbf=SECONDS     mean time between random "
+                 "slowdowns\n"
+                 "    --corrupt-rate=P        per-read silent bit-flip "
+                 "probability\n"
+                 "    --disk-slow-rate=P      per-read latency-inflation "
+                 "probability\n"
+                 "    --heartbeat=SECONDS     slave status period; straggler\n"
+                 "                            detection needs ~3 periods of "
+                 "progress\n"
                  "    --checkpoint-interval=S checkpoint every S simulated secs\n"
                  "    --checkpoint-out=FILE   write the latest checkpoint here\n"
                  "    --restart-from=FILE     resume from a checkpoint file\n"
@@ -300,6 +312,10 @@ int cmd_experiment(const Flags& flags) {
   fc.message_drop_rate = flags.get_double("drop-rate", 0.0);
   fc.checkpoint_interval = flags.get_double("checkpoint-interval", 0.0);
   fc.checkpoint_path = flags.get("checkpoint-out", "");
+  fc.gray_mtbf = flags.get_double("gray-mtbf", 0.0);
+  fc.corrupt_rate = flags.get_double("corrupt-rate", 0.0);
+  fc.disk_slow_rate = flags.get_double("disk-slow-rate", 0.0);
+  fc.heartbeat_period = flags.get_double("heartbeat", fc.heartbeat_period);
   fc.rng_seed =
       static_cast<std::uint64_t>(flags.get_long("fault-seed", 0xfa017LL));
   cfg.restart_from = flags.get("restart-from", "");
@@ -316,6 +332,30 @@ int cmd_experiment(const Flags& flags) {
                             .rank = std::stoi(item.substr(0, sep))});
     } catch (const std::exception&) {
       std::cerr << "bad --crash entry '" << item << "' (want rank@time)\n";
+      return 2;
+    }
+    if (comma == std::string::npos) break;
+    at = comma + 1;
+  }
+  // --slow-rank=rank@time@factor[,...] — deterministic gray slowdowns.
+  const std::string slow_list = flags.get("slow-rank", "");
+  for (std::size_t at = 0; at < slow_list.size();) {
+    const std::size_t comma = slow_list.find(',', at);
+    const std::string item = slow_list.substr(
+        at, comma == std::string::npos ? std::string::npos : comma - at);
+    const std::size_t sep1 = item.find('@');
+    const std::size_t sep2 =
+        sep1 == std::string::npos ? std::string::npos
+                                  : item.find('@', sep1 + 1);
+    try {
+      if (sep2 == std::string::npos) throw std::invalid_argument(item);
+      fc.slowdowns.push_back(
+          {.time = std::stod(item.substr(sep1 + 1, sep2 - sep1 - 1)),
+           .rank = std::stoi(item.substr(0, sep1)),
+           .factor = std::stod(item.substr(sep2 + 1))});
+    } catch (const std::exception&) {
+      std::cerr << "bad --slow-rank entry '" << item
+                << "' (want rank@time@factor)\n";
       return 2;
     }
     if (comma == std::string::npos) break;
@@ -377,11 +417,13 @@ int cmd_experiment(const Flags& flags) {
   table.add_row({std::string("streamlines"),
                  static_cast<long long>(m.particles.size())});
   const sf::FaultStats& fs = m.fault;
+  const bool gray_active = !fc.slowdowns.empty() || fc.gray_mtbf > 0.0 ||
+                           fc.corrupt_rate > 0.0 || fc.disk_slow_rate > 0.0;
   const bool fault_active = fc.mtbf > 0.0 || !fc.crashes.empty() ||
                             fc.disk_fault_rate > 0.0 ||
                             fc.message_drop_rate > 0.0 ||
                             fc.checkpoint_interval > 0.0 ||
-                            !cfg.restart_from.empty();
+                            !cfg.restart_from.empty() || gray_active;
   if (fault_active) {
     table.add_row({std::string("crashes injected"),
                    static_cast<long long>(fs.crashes_injected)});
@@ -421,6 +463,24 @@ int cmd_experiment(const Flags& flags) {
                    static_cast<long long>(fs.checkpoints_taken)});
     table.add_row({std::string("checkpoint overhead [s]"),
                    fs.checkpoint_overhead});
+  }
+  if (gray_active) {
+    table.add_row({std::string("slowdowns injected"),
+                   static_cast<long long>(fs.slowdowns_injected)});
+    table.add_row({std::string("slow disk reads"),
+                   static_cast<long long>(fs.disk_slow_events)});
+    table.add_row({std::string("corruptions injected"),
+                   static_cast<long long>(fs.corruptions_injected)});
+    table.add_row({std::string("corruptions detected"),
+                   static_cast<long long>(fs.corruptions_detected)});
+    table.add_row({std::string("stragglers flagged"),
+                   static_cast<long long>(fs.stragglers_flagged)});
+    table.add_row({std::string("particles speculated"),
+                   static_cast<long long>(fs.particles_speculated)});
+    table.add_row({std::string("wasted duplicate steps"),
+                   static_cast<long long>(fs.wasted_duplicate_steps)});
+    table.add_row({std::string("straggler detect latency [s]"),
+                   fs.straggler_detect_latency});
   }
   table.print(std::cout);
   return 0;
